@@ -1,0 +1,256 @@
+//! The traffic-correlation attack and its success measurement (§6.2).
+//!
+//! Given the adversary's tap, the attack tries, for each client request
+//! `R`, to guess which IA → LRS message `R'` carries it. §6.2 derives the
+//! best achievable success probability: `1/S` with one IA instance, and
+//! `1/(S·I)` with `I` IA instances (responses symmetrically with `U`).
+//!
+//! The implementation is the adversary's *best* strategy under each
+//! configuration:
+//!
+//! * **With padding** — all messages in a shuffle batch are byte-identical
+//!   in size, so the only signal is timing: the attacker locates the UA
+//!   flush batch containing `R`, follows each batch member to the IA
+//!   instance it entered, and picks among the LRS-bound candidates those
+//!   instances emit.
+//! * **Without padding** (ablation) — sizes fingerprint flows; the
+//!   attacker simply matches sizes end-to-end and wins almost always,
+//!   which is why §4.3 pads.
+
+use crate::observer::{run_observation, ObservationConfig};
+use pprox_net::tap::{FlowRecord, Segment, Tap};
+
+/// Result of running the correlation attack over a tap.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorrelationOutcome {
+    /// Requests attacked.
+    pub attempts: usize,
+    /// Correct guesses.
+    pub correct: usize,
+    /// Measured linkage probability.
+    pub success_rate: f64,
+    /// §6.2 bound `1/S` (single IA instance).
+    pub bound_single: f64,
+    /// §6.2 bound `1/(S·I)`.
+    pub bound_scaled: f64,
+}
+
+impl CorrelationOutcome {
+    fn new(attempts: usize, correct: usize, s: usize, i: usize) -> Self {
+        CorrelationOutcome {
+            attempts,
+            correct,
+            success_rate: correct as f64 / attempts.max(1) as f64,
+            bound_single: 1.0 / s as f64,
+            bound_scaled: 1.0 / (s * i) as f64,
+        }
+    }
+}
+
+/// Runs the correlation attack against an observation trace.
+///
+/// `seed` drives the adversary's tie-breaking choices.
+pub fn correlation_attack(tap: &Tap, config: &ObservationConfig, seed: u64) -> CorrelationOutcome {
+    let client_hops = tap.on_segment(Segment::ClientToUa);
+    let ua_hops = tap.on_segment(Segment::UaToIa);
+    let lrs_hops = tap.on_segment(Segment::IaToLrs);
+    let mut rng = pprox_net::service::SimRng::from_seed(seed);
+
+    let mut correct = 0usize;
+    let mut attempts = 0usize;
+    for target in &client_hops {
+        attempts += 1;
+        let guess = if config.padding {
+            guess_by_timing(target, &ua_hops, &lrs_hops, &mut rng)
+        } else {
+            guess_by_size(target, &lrs_hops)
+        };
+        if guess == Some(target.flow) {
+            correct += 1;
+        }
+    }
+    CorrelationOutcome::new(
+        attempts,
+        correct,
+        config.shuffle_size,
+        config.ia_instances,
+    )
+}
+
+/// Timing strategy: find the batch that left the target's UA instance
+/// first at-or-after the target arrived; follow each member to its IA
+/// instance; collect each instance's next LRS-bound departures; guess
+/// uniformly among the candidate set.
+fn guess_by_timing(
+    target: &FlowRecord,
+    ua_hops: &[FlowRecord],
+    lrs_hops: &[FlowRecord],
+    rng: &mut pprox_net::service::SimRng,
+) -> Option<u64> {
+    // The batch: all UaToIa records from this UA sharing the first flush
+    // timestamp >= arrival.
+    let flush_time = ua_hops
+        .iter()
+        .filter(|r| r.src == target.dst && r.time >= target.time)
+        .map(|r| r.time)
+        .min()?;
+    let batch: Vec<&FlowRecord> = ua_hops
+        .iter()
+        .filter(|r| r.src == target.dst && r.time == flush_time)
+        .collect();
+    // For each batch member, the candidate LRS messages are those its IA
+    // instance emits shortly after the flush. The adversary cannot order
+    // them (concurrent dequeue), so all are candidates.
+    let mut candidates: Vec<u64> = Vec::new();
+    for member in &batch {
+        let ia = &member.dst;
+        // Next few departures from that IA after the flush: take as many
+        // as the instance received in this flush.
+        let received = batch.iter().filter(|m| &m.dst == ia).count();
+        let mut departures: Vec<&FlowRecord> = lrs_hops
+            .iter()
+            .filter(|r| &r.src == ia && r.time >= flush_time)
+            .collect();
+        departures.sort_by_key(|r| r.time);
+        for d in departures.into_iter().take(received) {
+            if !candidates.contains(&d.flow) {
+                candidates.push(d.flow);
+            }
+        }
+    }
+    if candidates.is_empty() {
+        return None;
+    }
+    Some(candidates[rng.below(candidates.len())])
+}
+
+/// Size strategy (padding disabled): match the target's unique size on
+/// the LRS segment.
+fn guess_by_size(target: &FlowRecord, lrs_hops: &[FlowRecord]) -> Option<u64> {
+    lrs_hops
+        .iter()
+        .filter(|r| r.size == target.size && r.time >= target.time)
+        .min_by_key(|r| r.time.as_micros() - target.time.as_micros())
+        .map(|r| r.flow)
+}
+
+/// Convenience: run observation + attack in one call.
+pub fn measure_linkage(config: &ObservationConfig, seed: u64) -> CorrelationOutcome {
+    let tap = run_observation(config, seed);
+    correlation_attack(&tap, config, seed ^ 0xadda)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn success_close_to_one_over_s_single_instance() {
+        let config = ObservationConfig {
+            shuffle_size: 10,
+            requests: 4_000,
+            ..ObservationConfig::default()
+        };
+        let outcome = measure_linkage(&config, 42);
+        // Theory: 1/S = 0.1. Allow generous statistical slack.
+        assert!(
+            (outcome.success_rate - 0.1).abs() < 0.04,
+            "measured {} vs bound {}",
+            outcome.success_rate,
+            outcome.bound_single
+        );
+    }
+
+    #[test]
+    fn shuffling_disabled_lets_attacker_win() {
+        let config = ObservationConfig {
+            shuffle_size: 1,
+            requests: 500,
+            ..ObservationConfig::default()
+        };
+        let outcome = measure_linkage(&config, 43);
+        // Residual confusion comes only from IA service-time reordering
+        // across adjacent requests, not from shuffling.
+        assert!(
+            outcome.success_rate > 0.75,
+            "S=1 should be mostly linkable: {}",
+            outcome.success_rate
+        );
+    }
+
+    #[test]
+    fn larger_s_lowers_success() {
+        let base = ObservationConfig {
+            requests: 3_000,
+            ..ObservationConfig::default()
+        };
+        let s5 = measure_linkage(
+            &ObservationConfig {
+                shuffle_size: 5,
+                ..base.clone()
+            },
+            44,
+        );
+        let s20 = measure_linkage(
+            &ObservationConfig {
+                shuffle_size: 20,
+                ..base
+            },
+            44,
+        );
+        assert!(s20.success_rate < s5.success_rate);
+    }
+
+    #[test]
+    fn more_ia_instances_lower_success() {
+        let base = ObservationConfig {
+            shuffle_size: 10,
+            requests: 4_000,
+            ..ObservationConfig::default()
+        };
+        let i1 = measure_linkage(&base, 45);
+        let i4 = measure_linkage(
+            &ObservationConfig {
+                ia_instances: 4,
+                ..base
+            },
+            45,
+        );
+        assert!(
+            i4.success_rate <= i1.success_rate + 0.01,
+            "I=4 ({}) should not exceed I=1 ({})",
+            i4.success_rate,
+            i1.success_rate
+        );
+    }
+
+    #[test]
+    fn no_padding_breaks_unlinkability() {
+        let config = ObservationConfig {
+            shuffle_size: 10,
+            requests: 500,
+            padding: false,
+            ..ObservationConfig::default()
+        };
+        let outcome = measure_linkage(&config, 46);
+        assert!(
+            outcome.success_rate > 0.5,
+            "size fingerprinting should mostly win: {}",
+            outcome.success_rate
+        );
+    }
+
+    #[test]
+    fn bounds_reported() {
+        let config = ObservationConfig {
+            shuffle_size: 8,
+            ia_instances: 2,
+            requests: 100,
+            ..ObservationConfig::default()
+        };
+        let outcome = measure_linkage(&config, 47);
+        assert_eq!(outcome.bound_single, 1.0 / 8.0);
+        assert_eq!(outcome.bound_scaled, 1.0 / 16.0);
+        assert_eq!(outcome.attempts, 100);
+    }
+}

@@ -1,0 +1,43 @@
+//! Adversary harness: executable versions of the paper's security
+//! analysis (§6).
+//!
+//! The PProx paper proves its properties informally. This crate turns each
+//! argument into a *measurement*:
+//!
+//! * [`observer`] — replays the wire-level message schedule an adversary
+//!   tapping every link would record (§2.3).
+//! * [`correlation`] — mounts the best traffic-correlation attack on that
+//!   trace and compares the measured linkage probability with the §6.2
+//!   bounds `1/S` and `1/(S·I)`; includes the no-padding ablation where
+//!   size fingerprints defeat shuffling.
+//! * [`cases`] — the §6.1 case analysis against a live deployment: break
+//!   a UA or IA enclave (through the simulated-SGX compromise API), read
+//!   the whole LRS database, and check exactly what leaks. Includes the
+//!   hypothetical two-layer break (forbidden by the §2.3 model) as a
+//!   positive control, and the §6.3 item-pseudonymization-off trade-off.
+//! * [`history`] — the §6.3 history-based intersection attack and its
+//!   IP-hiding mitigation, measured quantitatively.
+//! * [`lowtraffic`] — the §6.3 low-traffic limitation: effective
+//!   anonymity-set size under starved shuffle buffers, and the
+//!   multi-tenancy mitigation.
+//! * [`combined`] — the rejected single-enclave alternative (§3): cheaper,
+//!   and fatally linkable after one break.
+//!
+//! The harness binary `security_analysis` in `pprox-bench` prints the
+//! full report; EXPERIMENTS.md records the numbers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cases;
+pub mod combined;
+pub mod correlation;
+pub mod history;
+pub mod lowtraffic;
+pub mod observer;
+
+pub use cases::{break_ia_and_read_database, break_ua_and_read_database, CaseOutcome};
+pub use correlation::{correlation_attack, measure_linkage, CorrelationOutcome};
+pub use history::{intersection_attack, IntersectionOutcome};
+pub use lowtraffic::{measure_anonymity_set, AnonymitySetReport};
+pub use observer::{run_observation, ObservationConfig};

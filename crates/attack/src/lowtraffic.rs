@@ -1,0 +1,170 @@
+//! The low-traffic limitation and its multi-tenancy mitigation (§6.3).
+//!
+//! "The effectiveness of shuffling depends on our assumption that there is
+//! sufficient traffic. In certain cases, e.g., for unpopular websites or
+//! for some given periods of times (e.g., at night time), this assumption
+//! may not hold … Possible mitigation would be for the RaaS provider to
+//! leverage multi-tenancy, i.e., use the same proxy layer for multiple
+//! applications, thereby increasing the minimum traffic."
+//!
+//! This module measures the *effective anonymity set*: the actual batch
+//! size at each shuffle flush. When the timer fires before `S` requests
+//! arrive, a request hides among fewer than `S-1` others — quantifying
+//! exactly how much privacy low traffic costs, and how much aggregating
+//! tenants restores.
+
+use pprox_core::shuffler::{ShuffleBuffer, ShuffleConfig};
+use pprox_net::service::SimRng;
+
+/// Distribution of flush batch sizes over one experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnonymitySetReport {
+    /// Mean batch size at flush (the average anonymity set).
+    pub mean_batch: f64,
+    /// Fraction of flushes that were timer-driven (under-filled).
+    pub timeout_fraction: f64,
+    /// Fraction of requests that traveled in a batch of size 1 — fully
+    /// linkable by a network observer.
+    pub singleton_fraction: f64,
+    /// Total requests driven.
+    pub requests: usize,
+}
+
+/// Simulates one proxy instance's shuffle buffer under Poisson traffic of
+/// `rps` for `duration_secs`, returning the anonymity-set statistics.
+pub fn measure_anonymity_set(
+    shuffle: ShuffleConfig,
+    rps: f64,
+    duration_secs: f64,
+    seed: u64,
+) -> AnonymitySetReport {
+    assert!(rps > 0.0 && duration_secs > 0.0);
+    let mut rng = SimRng::from_seed(seed);
+    let mut buffer: ShuffleBuffer<u64> = ShuffleBuffer::new(shuffle, seed ^ 0x10);
+    let mut now_us = 0.0f64;
+    let horizon_us = duration_secs * 1e6;
+    let mut batches: Vec<usize> = Vec::new();
+    let mut requests = 0usize;
+    let mut flow = 0u64;
+    while now_us < horizon_us {
+        let next_arrival = now_us + rng.exponential(1e6 / rps);
+        // Fire any timer deadlines before the next arrival.
+        while let Some(deadline) = buffer.deadline_us() {
+            if (deadline as f64) < next_arrival {
+                if let Some(flush) = buffer.poll_timeout(deadline) {
+                    batches.push(flush.items.len());
+                }
+            } else {
+                break;
+            }
+        }
+        now_us = next_arrival;
+        if now_us >= horizon_us {
+            break;
+        }
+        requests += 1;
+        flow += 1;
+        if let Some(flush) = buffer.push(now_us as u64, flow) {
+            batches.push(flush.items.len());
+        }
+    }
+    if let Some(flush) = buffer.drain() {
+        batches.push(flush.items.len());
+    }
+    let timer_flushes = buffer.timeout_flushes();
+    let total_flushes = buffer.flushes().max(1);
+    let total_batched: usize = batches.iter().sum();
+    let singletons: usize = batches.iter().filter(|&&b| b == 1).count();
+    AnonymitySetReport {
+        mean_batch: total_batched as f64 / batches.len().max(1) as f64,
+        timeout_fraction: timer_flushes as f64 / total_flushes as f64,
+        singleton_fraction: singletons as f64 / total_batched.max(1) as f64,
+        requests,
+    }
+}
+
+/// The multi-tenancy mitigation: `tenants` applications each contributing
+/// `rps_per_tenant` share one proxy layer. Returns the aggregated report.
+pub fn measure_with_multitenancy(
+    shuffle: ShuffleConfig,
+    rps_per_tenant: f64,
+    tenants: usize,
+    duration_secs: f64,
+    seed: u64,
+) -> AnonymitySetReport {
+    assert!(tenants >= 1);
+    measure_anonymity_set(
+        shuffle,
+        rps_per_tenant * tenants as f64,
+        duration_secs,
+        seed,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shuffle(s: usize) -> ShuffleConfig {
+        ShuffleConfig {
+            size: s,
+            timeout_us: 500_000,
+        }
+    }
+
+    #[test]
+    fn high_traffic_fills_batches() {
+        // 250 RPS with S=10: batches fill in ~40 ms, far under the timer.
+        let report = measure_anonymity_set(shuffle(10), 250.0, 60.0, 1);
+        assert!(report.mean_batch > 9.5, "mean {}", report.mean_batch);
+        assert!(report.timeout_fraction < 0.05);
+        assert!(report.singleton_fraction < 0.01);
+    }
+
+    #[test]
+    fn night_time_traffic_starves_batches() {
+        // 2 RPS with S=10 and a 500 ms timer: ~1 request per window.
+        let report = measure_anonymity_set(shuffle(10), 2.0, 300.0, 2);
+        assert!(report.mean_batch < 3.0, "mean {}", report.mean_batch);
+        assert!(
+            report.singleton_fraction > 0.2,
+            "many requests travel alone: {}",
+            report.singleton_fraction
+        );
+        assert!(report.timeout_fraction > 0.9);
+    }
+
+    #[test]
+    fn multitenancy_restores_anonymity() {
+        let alone = measure_anonymity_set(shuffle(10), 2.0, 300.0, 3);
+        let pooled = measure_with_multitenancy(shuffle(10), 2.0, 25, 300.0, 3);
+        assert!(
+            pooled.mean_batch > alone.mean_batch * 2.0,
+            "pooled {} vs alone {}",
+            pooled.mean_batch,
+            alone.mean_batch
+        );
+        assert!(pooled.singleton_fraction < 0.02);
+    }
+
+    #[test]
+    fn anonymity_grows_monotonically_with_traffic() {
+        let mut last = 0.0;
+        for rps in [1.0, 5.0, 20.0, 100.0] {
+            let report = measure_anonymity_set(shuffle(10), rps, 120.0, 4);
+            assert!(
+                report.mean_batch >= last - 0.2,
+                "rps {rps}: {} < {last}",
+                report.mean_batch
+            );
+            last = report.mean_batch;
+        }
+    }
+
+    #[test]
+    fn counts_are_consistent() {
+        let report = measure_anonymity_set(shuffle(5), 50.0, 30.0, 5);
+        // Roughly rps × duration requests observed.
+        assert!((report.requests as f64 - 1_500.0).abs() < 300.0);
+    }
+}

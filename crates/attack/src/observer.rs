@@ -1,0 +1,238 @@
+//! The network-observation experiment: simulate the message schedule the
+//! adversary sees.
+//!
+//! §2.3: the adversary "may monitor network flows between the nodes
+//! forming this infrastructure … and correlate in time its observations."
+//! This module replays the PProx message pattern — clients → UA instances
+//! (shuffle buffers of size `S`) → IA instances → LRS — and records every
+//! hop into a [`Tap`], producing exactly the observation trace §6.2's
+//! analysis reasons about. Contents are irrelevant to the observer (all
+//! encrypted, constant size unless padding is disabled), so only
+//! endpoints, times, and sizes are modelled.
+
+use pprox_core::shuffler::{ShuffleBuffer, ShuffleConfig};
+use pprox_net::service::SimRng;
+use pprox_net::tap::{Segment, Tap};
+use pprox_net::time::SimTime;
+
+/// Parameters of an observation experiment.
+#[derive(Debug, Clone)]
+pub struct ObservationConfig {
+    /// Shuffle buffer size `S`.
+    pub shuffle_size: usize,
+    /// UA instances (`U` in §6.2).
+    pub ua_instances: usize,
+    /// IA instances (`I` in §6.2).
+    pub ia_instances: usize,
+    /// Number of requests to drive.
+    pub requests: usize,
+    /// Mean gap between client arrivals, microseconds.
+    pub mean_gap_us: f64,
+    /// Whether messages are padded to constant size. Disabling this is
+    /// the ablation showing size-correlation attacks (§4.3's rationale).
+    pub padding: bool,
+}
+
+impl Default for ObservationConfig {
+    fn default() -> Self {
+        ObservationConfig {
+            shuffle_size: 10,
+            ua_instances: 1,
+            ia_instances: 1,
+            requests: 2_000,
+            mean_gap_us: 4_000.0, // 250 requests/s
+            padding: true,
+        }
+    }
+}
+
+/// Constant frame size used when padding is on.
+const PADDED_SIZE: usize = 1024;
+
+/// Runs the observation experiment, returning the adversary's tap.
+///
+/// Every request `f` (flow id = ground truth) produces:
+/// 1. `ClientToUa` at its arrival time, from `client-f` to a UA instance;
+/// 2. `UaToIa` when its UA buffer flushes (whole batch at one instant, in
+///    shuffled order — what an observer of the UA's NIC sees);
+/// 3. `IaToLrs` after the IA's processing delay. IA data-processing
+///    threads dequeue from a shared concurrent queue (§5), so messages
+///    that arrive together leave in an order uncorrelated with arrival.
+pub fn run_observation(config: &ObservationConfig, seed: u64) -> Tap {
+    let tap = Tap::new();
+    let mut rng = SimRng::from_seed(seed);
+    let shuffle = ShuffleConfig {
+        size: config.shuffle_size,
+        timeout_us: 500_000,
+    };
+    // Per-UA shuffle buffers holding (flow, size) pairs.
+    let mut ua_buffers: Vec<ShuffleBuffer<(u64, usize)>> = (0..config.ua_instances)
+        .map(|i| ShuffleBuffer::new(shuffle, seed ^ (i as u64)))
+        .collect();
+
+    // Per-IA queues of (flow, size, release_time).
+    let mut ia_out: Vec<Vec<(u64, usize, u64)>> = vec![Vec::new(); config.ia_instances];
+
+    let mut now_us = 0u64;
+    for flow in 0..config.requests as u64 {
+        now_us += rng.exponential(config.mean_gap_us).round() as u64;
+        let size = if config.padding {
+            PADDED_SIZE
+        } else {
+            // Unpadded: message length leaks a per-flow fingerprint (e.g.
+            // the item id length), stable across hops.
+            600 + (flow % 97) as usize
+        };
+        let ua = rng.below(config.ua_instances);
+        tap.record(
+            SimTime(now_us),
+            Segment::ClientToUa,
+            format!("client-{flow}"),
+            format!("ua-{ua}"),
+            size,
+            flow,
+        );
+        if let Some(flush) = ua_buffers[ua].push(now_us, (flow, size)) {
+            // The whole batch leaves the UA at one instant; the observer
+            // sees the (shuffled) serialization order via record order.
+            for (f, s) in flush.items {
+                let ia = rng.below(config.ia_instances);
+                tap.record(
+                    SimTime(now_us),
+                    Segment::UaToIa,
+                    format!("ua-{ua}"),
+                    format!("ia-{ia}"),
+                    s,
+                    f,
+                );
+                // IA processing delay: exponential service, so departure
+                // order within a batch is uncorrelated with arrival order.
+                let depart = now_us + 200 + rng.exponential(300.0).round() as u64;
+                ia_out[ia].push((f, s, depart));
+            }
+        }
+    }
+    // Drain leftovers (end of run), then emit the IA → LRS hop in time
+    // order as the observer would see it.
+    for (ua, buffer) in ua_buffers.iter_mut().enumerate() {
+        if let Some(flush) = buffer.drain() {
+            for (f, s) in flush.items {
+                let ia = rng.below(config.ia_instances);
+                tap.record(
+                    SimTime(now_us),
+                    Segment::UaToIa,
+                    format!("ua-{ua}"),
+                    format!("ia-{ia}"),
+                    s,
+                    f,
+                );
+                let depart = now_us + 200 + rng.exponential(300.0).round() as u64;
+                ia_out[ia].push((f, s, depart));
+            }
+        }
+    }
+    let mut lrs_msgs: Vec<(u64, usize, u64, usize)> = Vec::new(); // (flow, size, t, ia)
+    for (ia, msgs) in ia_out.iter().enumerate() {
+        for &(f, s, t) in msgs {
+            lrs_msgs.push((f, s, t, ia));
+        }
+    }
+    lrs_msgs.sort_by_key(|&(_, _, t, _)| t);
+    for (f, s, t, ia) in lrs_msgs {
+        tap.record(
+            SimTime(t),
+            Segment::IaToLrs,
+            format!("ia-{ia}"),
+            "lrs".to_owned(),
+            s,
+            f,
+        );
+    }
+    tap
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_request_traverses_all_segments() {
+        let config = ObservationConfig {
+            requests: 200,
+            ..ObservationConfig::default()
+        };
+        let tap = run_observation(&config, 1);
+        assert_eq!(tap.on_segment(Segment::ClientToUa).len(), 200);
+        assert_eq!(tap.on_segment(Segment::UaToIa).len(), 200);
+        assert_eq!(tap.on_segment(Segment::IaToLrs).len(), 200);
+    }
+
+    #[test]
+    fn padded_sizes_are_constant() {
+        let tap = run_observation(
+            &ObservationConfig {
+                requests: 100,
+                ..ObservationConfig::default()
+            },
+            2,
+        );
+        for r in tap.snapshot() {
+            assert_eq!(r.size, PADDED_SIZE);
+        }
+    }
+
+    #[test]
+    fn unpadded_sizes_vary() {
+        let tap = run_observation(
+            &ObservationConfig {
+                requests: 100,
+                padding: false,
+                ..ObservationConfig::default()
+            },
+            3,
+        );
+        let sizes: std::collections::HashSet<usize> =
+            tap.on_segment(Segment::ClientToUa).iter().map(|r| r.size).collect();
+        assert!(sizes.len() > 10, "sizes should fingerprint flows");
+    }
+
+    #[test]
+    fn batches_leave_together() {
+        let config = ObservationConfig {
+            shuffle_size: 5,
+            requests: 50,
+            ..ObservationConfig::default()
+        };
+        let tap = run_observation(&config, 4);
+        let ua_out = tap.on_segment(Segment::UaToIa);
+        // Messages leave in groups of 5 sharing a timestamp.
+        let mut by_time: std::collections::HashMap<u64, usize> = Default::default();
+        for r in &ua_out {
+            *by_time.entry(r.time.as_micros()).or_default() += 1;
+        }
+        assert!(by_time.values().all(|&n| n == 5), "{by_time:?}");
+    }
+
+    #[test]
+    fn multiple_instances_used() {
+        let config = ObservationConfig {
+            ua_instances: 3,
+            ia_instances: 2,
+            requests: 300,
+            ..ObservationConfig::default()
+        };
+        let tap = run_observation(&config, 5);
+        let uas: std::collections::HashSet<String> = tap
+            .on_segment(Segment::ClientToUa)
+            .iter()
+            .map(|r| r.dst.clone())
+            .collect();
+        assert_eq!(uas.len(), 3);
+        let ias: std::collections::HashSet<String> = tap
+            .on_segment(Segment::IaToLrs)
+            .iter()
+            .map(|r| r.src.clone())
+            .collect();
+        assert_eq!(ias.len(), 2);
+    }
+}

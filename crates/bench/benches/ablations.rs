@@ -1,0 +1,92 @@
+//! Design-decision ablations (the DESIGN.md list): what each choice costs.
+//!
+//! * Two layers vs one combined enclave — the combined design saves one
+//!   hop's processing but is rejected for security (one break links
+//!   everything; see `pprox-attack::combined`).
+//! * Item pseudonymization on vs off — the m4 knob.
+//! * Padding overhead — constant-size frames vs raw message sizes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pprox_attack::combined::CombinedProxyState;
+use pprox_core::ia::{IaOptions, IaState};
+use pprox_core::keys::{ClientKeys, LayerSecrets};
+use pprox_core::ua::UaState;
+use pprox_core::UserClient;
+use pprox_crypto::rng::SecureRng;
+use std::hint::black_box;
+
+const BITS: usize = 1152; // same key size for both designs: fair comparison
+
+struct World {
+    ua: UaState,
+    ia: IaState,
+    combined: CombinedProxyState,
+    client: UserClient,
+}
+
+fn world() -> World {
+    let mut rng = SecureRng::from_seed(0xab1a);
+    let (ua_secrets, pk_ua) = LayerSecrets::generate(BITS, &mut rng);
+    let (ia_secrets, pk_ia) = LayerSecrets::generate(BITS, &mut rng);
+    World {
+        ua: UaState::new(ua_secrets.clone()),
+        ia: IaState::new(ia_secrets.clone()),
+        combined: CombinedProxyState::new(ua_secrets, ia_secrets),
+        client: UserClient::new(ClientKeys { pk_ua, pk_ia }, 9),
+    }
+}
+
+fn bench_layer_count_ablation(c: &mut Criterion) {
+    let mut w = world();
+    let env = w.client.post("user-00042", "m00042", Some(4.0)).unwrap();
+    let mut group = c.benchmark_group("ablation_layers");
+    group.sample_size(20);
+    group.bench_function("two_layer_post_path", |b| {
+        b.iter(|| {
+            let layer = w.ua.process(black_box(&env), true).unwrap();
+            w.ia.process_post(&layer, IaOptions::default()).unwrap()
+        })
+    });
+    group.bench_function("combined_single_enclave_post", |b| {
+        b.iter(|| w.combined.process_post(black_box(&env)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_item_pseudonymization_ablation(c: &mut Criterion) {
+    let mut w = world();
+    let env = w.client.post("user-00042", "m00042", Some(4.0)).unwrap();
+    let layer = w.ua.process(&env, true).unwrap();
+    let mut group = c.benchmark_group("ablation_item_pseudo");
+    group.sample_size(20);
+    for (label, enabled) in [("on", true), ("off", false)] {
+        let options = IaOptions {
+            encryption: true,
+            item_pseudonymization: enabled,
+        };
+        group.bench_function(label, |b| {
+            b.iter(|| w.ia.process_post(black_box(&layer), options).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_padding_overhead(c: &mut Criterion) {
+    // Not a latency ablation but a size one: report the byte overhead of
+    // constant-size frames via the work needed to produce them.
+    let mut w = world();
+    let env = w.client.post("u", "i", None).unwrap();
+    let mut group = c.benchmark_group("ablation_framing");
+    group.bench_function("frame_constant_1024B", |b| {
+        b.iter(|| black_box(&env).to_frame().unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_layer_count_ablation,
+    bench_item_pseudonymization_ablation,
+    bench_padding_overhead
+);
+criterion_main!(benches);

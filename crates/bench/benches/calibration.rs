@@ -1,0 +1,115 @@
+//! Component-cost calibration on the real implementation.
+//!
+//! These measurements ground the simulator's `ServiceCosts` (see
+//! EXPERIMENTS.md): per-request cryptographic and layer-processing costs
+//! with production-size (2048-bit) keys, corresponding to the feature
+//! increments dissected in Figure 6.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pprox_core::client::UserClient;
+use pprox_core::ia::{IaOptions, IaState};
+use pprox_core::keys::{KeyProvisioner, LayerSecrets};
+use pprox_core::message::Op;
+use pprox_core::ua::UaState;
+use pprox_crypto::ctr::SymmetricKey;
+use pprox_crypto::rng::SecureRng;
+use pprox_crypto::rsa::RsaKeyPair;
+use std::hint::black_box;
+
+const MODULUS_BITS: usize = 2048;
+
+fn bench_crypto_primitives(c: &mut Criterion) {
+    let mut rng = SecureRng::from_seed(1);
+    let keys = RsaKeyPair::generate(MODULUS_BITS, &mut rng);
+    let plaintext = [0x5au8; 32];
+    let ciphertext = keys.public.encrypt(&plaintext, &mut rng).unwrap();
+    let sym = SymmetricKey::generate(&mut rng);
+    let mut group = c.benchmark_group("crypto");
+    group.sample_size(20);
+    group.bench_function("rsa2048_encrypt_32B", |b| {
+        let mut rng = SecureRng::from_seed(2);
+        b.iter(|| keys.public.encrypt(black_box(&plaintext), &mut rng).unwrap())
+    });
+    group.bench_function("rsa2048_decrypt", |b| {
+        b.iter(|| keys.private.decrypt(black_box(&ciphertext)).unwrap())
+    });
+    group.bench_function("aes256_det_encrypt_32B", |b| {
+        b.iter(|| sym.det_encrypt(black_box(&plaintext)))
+    });
+    group.bench_function("aes256_encrypt_1600B_list", |b| {
+        let mut rng = SecureRng::from_seed(3);
+        let list = vec![0u8; 1600];
+        b.iter(|| sym.encrypt(black_box(&list), &mut rng))
+    });
+    group.bench_function("sha256_1KiB", |b| {
+        let data = vec![0xabu8; 1024];
+        b.iter(|| pprox_crypto::sha256::digest(black_box(&data)))
+    });
+    group.finish();
+}
+
+fn bench_layer_processing(c: &mut Criterion) {
+    let mut rng = SecureRng::from_seed(4);
+    let (ua_secrets, pk_ua) = LayerSecrets::generate(MODULUS_BITS, &mut rng);
+    let (ia_secrets, pk_ia) = LayerSecrets::generate(MODULUS_BITS, &mut rng);
+    let mut ua = UaState::new(ua_secrets);
+    let mut ia = IaState::new(ia_secrets);
+    let mut client = UserClient::new(
+        pprox_core::keys::ClientKeys {
+            pk_ua: pk_ua.clone(),
+            pk_ia: pk_ia.clone(),
+        },
+        7,
+    );
+    let post_env = client.post("user-00042", "m00042", Some(4.5)).unwrap();
+    let (get_env, _ticket) = client.get("user-00042").unwrap();
+    let ua_post = ua.process(&post_env, true).unwrap();
+    let ua_get = ua.process(&get_env, true).unwrap();
+    let options = IaOptions::default();
+    let pseudo_items: Vec<String> = {
+        // LRS-returned ids are pseudonyms: reproduce one via a post.
+        let event = ia.process_post(&ua_post, options).unwrap();
+        vec![event.item; 20]
+    };
+
+    let mut group = c.benchmark_group("layers");
+    group.sample_size(20);
+    group.bench_function("client_encrypt_post", |b| {
+        b.iter(|| client.post(black_box("user-00042"), "m00042", Some(4.5)).unwrap())
+    });
+    group.bench_function("ua_process_request", |b| {
+        b.iter(|| ua.process(black_box(&post_env), true).unwrap())
+    });
+    group.bench_function("ia_process_post", |b| {
+        b.iter(|| ia.process_post(black_box(&ua_post), options).unwrap())
+    });
+    group.bench_function("ia_get_plus_response", |b| {
+        b.iter(|| {
+            debug_assert_eq!(ua_get.op, Op::Get);
+            let (_, token) = ia.process_get(black_box(&ua_get), options).unwrap();
+            ia.process_get_response(token, &pseudo_items, options).unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_provisioning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("provisioning");
+    group.sample_size(10);
+    group.bench_function("keygen_both_layers_2048", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            KeyProvisioner::generate(MODULUS_BITS, &mut SecureRng::from_seed(seed))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_crypto_primitives,
+    bench_layer_processing,
+    bench_provisioning
+);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! In-enclave JSON handling costs (§5: the lightweight parser with
+//! in-place field update). Compares the full-parse path against the
+//! splice fast path the proxy layers use per request.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pprox_json::{parser, patch, Value};
+use std::hint::black_box;
+
+fn request_body() -> String {
+    // Representative proxied request: two base64 blobs plus metadata.
+    let blob: String = "A".repeat(344);
+    Value::object([
+        ("op", Value::from("post")),
+        ("u", Value::from(blob.clone())),
+        ("x", Value::from(blob)),
+    ])
+    .to_json()
+}
+
+fn bench_json(c: &mut Criterion) {
+    let body = request_body();
+    let pseudonym = format!("\"{}\"", "B".repeat(44));
+    let mut group = c.benchmark_group("json");
+    group.bench_function("full_parse_request", |b| {
+        b.iter(|| parser::parse(black_box(&body)).unwrap())
+    });
+    group.bench_function("parse_and_reserialize", |b| {
+        b.iter(|| parser::parse(black_box(&body)).unwrap().to_json())
+    });
+    group.bench_function("in_place_field_splice", |b| {
+        b.iter(|| patch::replace_field(black_box(&body), "u", &pseudonym).unwrap())
+    });
+    group.bench_function("get_raw_field", |b| {
+        b.iter(|| patch::get_raw_field(black_box(&body), "x").unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_json);
+criterion_main!(benches);

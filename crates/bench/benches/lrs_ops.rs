@@ -1,0 +1,69 @@
+//! LRS component costs: CCO training (the Spark-job role) and query
+//! serving (the Elasticsearch/front-end role), on a scaled MovieLens-like
+//! trace. Grounds the simulator's `harness_fe` service model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pprox_lrs::cco::{CcoConfig, CcoTrainer};
+use pprox_lrs::engine::Engine;
+use pprox_workload::dataset::Dataset;
+use std::hint::black_box;
+
+fn engine_with(dataset: &Dataset) -> Engine {
+    let engine = Engine::new();
+    for r in &dataset.ratings {
+        engine.post(
+            &Dataset::user_id(r.user),
+            &Dataset::item_id(r.item),
+            Some(r.rating),
+        );
+    }
+    engine.train();
+    engine
+}
+
+fn bench_training(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cco_training");
+    group.sample_size(10);
+    for scale in [1_000usize, 4_000, 8_000] {
+        let dataset = Dataset::generate(scale / 10, scale / 5, scale, 42);
+        let pairs: Vec<(String, String)> = dataset.interactions().collect();
+        group.bench_with_input(BenchmarkId::from_parameter(scale), &pairs, |b, pairs| {
+            let trainer = CcoTrainer::new(CcoConfig::default());
+            b.iter(|| {
+                black_box(trainer.train(pairs.iter().map(|(u, i)| (u.as_str(), i.as_str()))))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let dataset = Dataset::small(7);
+    let engine = engine_with(&dataset);
+    let users: Vec<String> = dataset
+        .ratings
+        .iter()
+        .map(|r| Dataset::user_id(r.user))
+        .take(256)
+        .collect();
+    let mut group = c.benchmark_group("lrs_serving");
+    group.sample_size(20);
+    group.bench_function("engine_get_top20", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % users.len();
+            black_box(engine.get(&users[i], 20))
+        })
+    });
+    group.bench_function("engine_post", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            engine.post(&format!("bench-user-{i}"), "m00001", None)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_training, bench_queries);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! End-to-end throughput of the live multi-threaded pipeline (real
+//! crypto, simulated enclaves, stub LRS): the wall-clock counterpart of
+//! the simulated Figure 8 scaling, at laptop scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pprox_core::config::PProxConfig;
+use pprox_core::pipeline::{Completion, PProxPipeline};
+use pprox_core::shuffler::ShuffleConfig;
+use pprox_lrs::stub::StubLrs;
+use std::sync::Arc;
+
+const BATCH: usize = 64;
+
+fn run_batch(pipeline: &PProxPipeline) {
+    let mut client = pipeline.client();
+    let mut rxs = Vec::with_capacity(BATCH);
+    for i in 0..BATCH {
+        let env = client.post(&format!("u{i}"), "m00001", None).unwrap();
+        rxs.push(pipeline.submit(env).unwrap());
+    }
+    for rx in rxs {
+        match rx.recv().unwrap() {
+            Completion::Post(Ok(())) => {}
+            other => panic!("unexpected completion: {other:?}"),
+        }
+    }
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("live_pipeline");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(BATCH as u64));
+    for instances in [1usize, 2] {
+        let config = PProxConfig {
+            ua_instances: instances,
+            ia_instances: instances,
+            shuffle: ShuffleConfig {
+                size: 8,
+                timeout_us: 20_000,
+            },
+            modulus_bits: 1152,
+            ..PProxConfig::default()
+        };
+        let pipeline =
+            PProxPipeline::new(config, Arc::new(StubLrs::new()), 1, 2 * instances).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("post_batch64", instances),
+            &pipeline,
+            |b, pipeline| b.iter(|| run_batch(pipeline)),
+        );
+        pipeline.shutdown();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

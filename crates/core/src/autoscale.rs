@@ -1,0 +1,215 @@
+//! Elastic scaling of the proxy layers (§5).
+//!
+//! "The two proxy layers need, therefore, to elastically scale up and
+//! down based on observed request load, dynamically implementing a
+//! compromise between throughput and latency." Two forces pull in
+//! opposite directions:
+//!
+//! * **Throughput** — each UA+IA pair sustains ~250 requests/s before
+//!   queueing explodes (Figure 8), so high load needs more instances.
+//! * **Latency/privacy** — shuffling needs each instance's buffer to fill
+//!   before its timer: over-provisioning starves the buffers and either
+//!   adds timer latency (Figure 8's 50-RPS cells) or, with short timers,
+//!   shrinks the effective anonymity set below `S`.
+//!
+//! [`Autoscaler`] implements that policy as a pure function of observed
+//! load plus hysteresis, so it is testable and usable by both the live
+//! pipeline and the simulator.
+
+/// Autoscaler policy parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AutoscaleConfig {
+    /// Sustainable requests/s per UA+IA instance pair (≈250 in the
+    /// paper's evaluation).
+    pub rps_per_pair: f64,
+    /// Target utilization at the chosen scale (leave headroom below the
+    /// saturation knee).
+    pub target_utilization: f64,
+    /// Minimum per-instance request rate needed to fill shuffle buffers
+    /// of size `S` within the timer: `S / timeout`. Scaling *up* beyond
+    /// this starves the buffers.
+    pub min_rps_per_instance_for_shuffling: f64,
+    /// Upper bound on instances per layer.
+    pub max_instances: usize,
+    /// Scale down only when the target drops below the current scale by
+    /// this fraction (hysteresis against flapping).
+    pub scale_down_headroom: f64,
+}
+
+impl AutoscaleConfig {
+    /// Policy matching the paper's deployment: 250 RPS per pair, 80%
+    /// target utilization, `S = 10` with a 500 ms timer (so an instance
+    /// needs ≥20 RPS to fill its buffer), up to 16 instances.
+    pub fn paper_default() -> Self {
+        AutoscaleConfig {
+            rps_per_pair: 250.0,
+            target_utilization: 0.8,
+            min_rps_per_instance_for_shuffling: 10.0 / 0.5,
+            max_instances: 16,
+            scale_down_headroom: 0.25,
+        }
+    }
+}
+
+/// A scaling decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScaleDecision {
+    /// Instances per layer to run.
+    pub instances: usize,
+    /// Whether the chosen scale can still fill shuffle buffers by count
+    /// (false = the timer will pad out batches; §6.3's low-traffic
+    /// caveat applies).
+    pub shuffling_healthy: bool,
+}
+
+/// Elastic scaling controller for the proxy layers.
+#[derive(Debug, Clone)]
+pub struct Autoscaler {
+    config: AutoscaleConfig,
+    current: usize,
+}
+
+impl Autoscaler {
+    /// Creates a controller starting at `initial` instances per layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial` is zero or exceeds `config.max_instances`.
+    pub fn new(config: AutoscaleConfig, initial: usize) -> Self {
+        assert!(initial >= 1 && initial <= config.max_instances);
+        Autoscaler {
+            config,
+            current: initial,
+        }
+    }
+
+    /// Current instances per layer.
+    pub fn instances(&self) -> usize {
+        self.current
+    }
+
+    /// The ideal instance count for a given load, before hysteresis.
+    pub fn target_for(&self, observed_rps: f64) -> usize {
+        let capacity_needed =
+            (observed_rps / (self.config.rps_per_pair * self.config.target_utilization)).ceil();
+        (capacity_needed.max(1.0) as usize).min(self.config.max_instances)
+    }
+
+    /// Observes the current load and returns (and adopts) the decision.
+    pub fn observe(&mut self, observed_rps: f64) -> ScaleDecision {
+        let target = self.target_for(observed_rps.max(0.0));
+        if target > self.current {
+            // Scale up immediately: saturation hurts every request.
+            self.current = target;
+        } else if target < self.current {
+            // Scale down only with headroom to avoid flapping.
+            let down_threshold = self.current as f64 * (1.0 - self.config.scale_down_headroom);
+            if (target as f64) <= down_threshold {
+                self.current = target;
+            }
+        }
+        let per_instance = observed_rps / self.current as f64;
+        ScaleDecision {
+            instances: self.current,
+            shuffling_healthy: per_instance
+                >= self.config.min_rps_per_instance_for_shuffling,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scaler() -> Autoscaler {
+        Autoscaler::new(AutoscaleConfig::paper_default(), 1)
+    }
+
+    #[test]
+    fn targets_match_figure8_steps() {
+        let s = scaler();
+        // 250 RPS/pair at 80% target → 200 effective per pair.
+        assert_eq!(s.target_for(50.0), 1);
+        assert_eq!(s.target_for(200.0), 1);
+        assert_eq!(s.target_for(201.0), 2);
+        assert_eq!(s.target_for(500.0), 3);
+        assert_eq!(s.target_for(1000.0), 5);
+    }
+
+    #[test]
+    fn scales_up_immediately() {
+        let mut s = scaler();
+        let d = s.observe(900.0);
+        assert_eq!(d.instances, 5);
+    }
+
+    #[test]
+    fn scales_down_with_hysteresis() {
+        let mut s = scaler();
+        s.observe(900.0);
+        assert_eq!(s.instances(), 5);
+        // Small dip: no change (5 → 4 is within the 25% headroom band).
+        s.observe(700.0);
+        assert_eq!(s.instances(), 5);
+        // Large dip: scale down.
+        s.observe(100.0);
+        assert_eq!(s.instances(), 1);
+    }
+
+    #[test]
+    fn respects_max_instances() {
+        let mut s = Autoscaler::new(
+            AutoscaleConfig {
+                max_instances: 4,
+                ..AutoscaleConfig::paper_default()
+            },
+            1,
+        );
+        assert_eq!(s.observe(100_000.0).instances, 4);
+    }
+
+    #[test]
+    fn detects_shuffle_starvation() {
+        let mut s = scaler();
+        s.observe(900.0); // 5 instances
+        // Load collapses to 40 RPS but hysteresis holds 5 instances for a
+        // beat: 8 RPS per instance cannot fill S=10 within 500 ms.
+        let d = s.observe(40.0 * 5.0 / 5.0); // still 5 instances this tick
+        // After the big dip the scaler drops to 1 and shuffling recovers.
+        let d2 = s.observe(40.0);
+        let _ = d;
+        assert_eq!(d2.instances, 1);
+        assert!(d2.shuffling_healthy, "40 RPS on one instance fills S=10");
+    }
+
+    #[test]
+    fn starved_when_overprovisioned() {
+        // Figure 8's m9-at-50-RPS cell: a *statically* provisioned 4-pair
+        // deployment (scale-down disabled) at 50 RPS = 12.5 RPS per
+        // instance < 20 needed → unhealthy shuffling (timer-bound).
+        let mut s = Autoscaler::new(
+            AutoscaleConfig {
+                scale_down_headroom: 1.0, // never scale down
+                ..AutoscaleConfig::paper_default()
+            },
+            4,
+        );
+        let d = s.observe(50.0);
+        assert_eq!(d.instances, 4);
+        assert!(!d.shuffling_healthy);
+    }
+
+    #[test]
+    fn zero_load_stays_alive() {
+        let mut s = scaler();
+        let d = s.observe(0.0);
+        assert_eq!(d.instances, 1);
+        assert!(!d.shuffling_healthy);
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_initial_panics() {
+        let _ = Autoscaler::new(AutoscaleConfig::paper_default(), 0);
+    }
+}

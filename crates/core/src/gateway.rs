@@ -1,0 +1,286 @@
+//! Transparent REST call redirection (§4.2).
+//!
+//! "The LRS offers a REST API and the user-side library intercepts
+//! unmodified calls to this API. The user-side library and the two proxy
+//! service layers modify the headers, to implement redirections, and
+//! payloads, to enable encryption."
+//!
+//! This module is the wire format of that interception: PProx envelopes
+//! ride as ordinary HTTP requests against the *same paths* as the LRS API
+//! (`/events`, `/queries`), with the encrypted frame as a base64 body and
+//! two PProx headers:
+//!
+//! * `x-pprox-hop` — which hop the message is on (`client-ua` or
+//!   `ua-ia`), so a layer knows which decoder to apply;
+//! * `x-pprox-conn` — the logical connection id used by the reverse path
+//!   (the socket/file-descriptor identity of table T in §5).
+//!
+//! To everything that only inspects method + path, a proxied deployment
+//! is indistinguishable from a direct one — that is the "transparent"
+//! part.
+
+use crate::message::{ClientEnvelope, EncryptedList, LayerEnvelope, Op};
+use crate::routing::ConnId;
+use crate::PProxError;
+use pprox_crypto::base64;
+use pprox_lrs::api::{HttpRequest, HttpResponse, EVENTS_PATH, QUERIES_PATH};
+
+/// Header naming the hop an envelope is on.
+pub const HOP_HEADER: &str = "x-pprox-hop";
+
+/// Header carrying the logical connection id for the reverse path.
+pub const CONN_HEADER: &str = "x-pprox-conn";
+
+/// Hop values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Hop {
+    /// Client → UA.
+    ClientToUa,
+    /// UA → IA.
+    UaToIa,
+}
+
+impl Hop {
+    fn as_str(self) -> &'static str {
+        match self {
+            Hop::ClientToUa => "client-ua",
+            Hop::UaToIa => "ua-ia",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Hop> {
+        match s {
+            "client-ua" => Some(Hop::ClientToUa),
+            "ua-ia" => Some(Hop::UaToIa),
+            _ => None,
+        }
+    }
+}
+
+fn path_for(op: Op) -> &'static str {
+    match op {
+        Op::Post => EVENTS_PATH,
+        Op::Get => QUERIES_PATH,
+    }
+}
+
+/// Wraps a client envelope as the HTTP request sent to the UA layer. The
+/// path matches the LRS API path for the operation, so the application's
+/// HTTP plumbing needs no change.
+///
+/// # Errors
+///
+/// Framing errors if the envelope exceeds its constant frame budget.
+pub fn client_request(envelope: &ClientEnvelope, conn: ConnId) -> Result<HttpRequest, PProxError> {
+    let frame = envelope.to_frame()?;
+    Ok(HttpRequest::post(path_for(envelope.op), base64::encode(&frame))
+        .with_header(HOP_HEADER, Hop::ClientToUa.as_str())
+        .with_header(CONN_HEADER, conn.0.to_string()))
+}
+
+/// Wraps a UA-processed envelope as the HTTP request forwarded to the IA
+/// layer.
+///
+/// # Errors
+///
+/// Framing errors as for [`client_request`].
+pub fn layer_request(envelope: &LayerEnvelope, conn: ConnId) -> Result<HttpRequest, PProxError> {
+    let frame = envelope.to_frame()?;
+    Ok(HttpRequest::post(path_for(envelope.op), base64::encode(&frame))
+        .with_header(HOP_HEADER, Hop::UaToIa.as_str())
+        .with_header(CONN_HEADER, conn.0.to_string()))
+}
+
+/// What a proxy layer recovers from an incoming HTTP request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Incoming {
+    /// A client request, for the UA layer.
+    FromClient {
+        /// Decoded envelope.
+        envelope: ClientEnvelope,
+        /// Reverse-path connection id.
+        conn: ConnId,
+    },
+    /// A UA-processed request, for the IA layer.
+    FromUa {
+        /// Decoded envelope.
+        envelope: LayerEnvelope,
+        /// Reverse-path connection id.
+        conn: ConnId,
+    },
+}
+
+/// Decodes an incoming HTTP request at a proxy layer.
+///
+/// # Errors
+///
+/// [`PProxError::MalformedMessage`] on missing/invalid PProx headers, an
+/// unexpected path, or an undecodable frame.
+pub fn decode_incoming(request: &HttpRequest) -> Result<Incoming, PProxError> {
+    let op = match request.path.as_str() {
+        EVENTS_PATH => Op::Post,
+        QUERIES_PATH => Op::Get,
+        _ => return Err(PProxError::MalformedMessage),
+    };
+    let hop = request
+        .header(HOP_HEADER)
+        .and_then(Hop::parse)
+        .ok_or(PProxError::MalformedMessage)?;
+    let conn = ConnId(
+        request
+            .header(CONN_HEADER)
+            .and_then(|v| v.parse().ok())
+            .ok_or(PProxError::MalformedMessage)?,
+    );
+    let frame = base64::decode(&request.body)?;
+    match hop {
+        Hop::ClientToUa => {
+            let envelope = ClientEnvelope::from_frame(&frame)?;
+            if envelope.op != op {
+                return Err(PProxError::MalformedMessage);
+            }
+            Ok(Incoming::FromClient { envelope, conn })
+        }
+        Hop::UaToIa => {
+            let envelope = LayerEnvelope::from_frame(&frame)?;
+            if envelope.op != op {
+                return Err(PProxError::MalformedMessage);
+            }
+            Ok(Incoming::FromUa { envelope, conn })
+        }
+    }
+}
+
+/// Wraps an encrypted response list as the HTTP response travelling the
+/// reverse path (IA → UA → client).
+///
+/// # Errors
+///
+/// Framing errors if the blob exceeds the constant response frame.
+pub fn response_for(list: &EncryptedList) -> Result<HttpResponse, PProxError> {
+    Ok(HttpResponse::ok(base64::encode(&list.to_frame()?)))
+}
+
+/// Decodes a reverse-path HTTP response back into the encrypted list.
+///
+/// # Errors
+///
+/// [`PProxError::Lrs`] for non-success statuses; decoding errors for
+/// malformed bodies.
+pub fn decode_response(response: &HttpResponse) -> Result<EncryptedList, PProxError> {
+    if !response.is_success() {
+        return Err(PProxError::Lrs {
+            status: response.status,
+        });
+    }
+    let frame = base64::decode(&response.body)?;
+    EncryptedList::from_frame(&frame)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn client_env() -> ClientEnvelope {
+        ClientEnvelope {
+            op: Op::Get,
+            user: vec![1; 144],
+            aux: vec![2; 144],
+        }
+    }
+
+    #[test]
+    fn client_request_roundtrip() {
+        let env = client_env();
+        let req = client_request(&env, ConnId(42)).unwrap();
+        assert_eq!(req.path, QUERIES_PATH);
+        match decode_incoming(&req).unwrap() {
+            Incoming::FromClient { envelope, conn } => {
+                assert_eq!(envelope, env);
+                assert_eq!(conn, ConnId(42));
+            }
+            other => panic!("wrong hop: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn layer_request_roundtrip() {
+        let env = LayerEnvelope {
+            op: Op::Post,
+            user_pseudonym: vec![9; 32],
+            aux: vec![7; 144],
+        };
+        let req = layer_request(&env, ConnId(7)).unwrap();
+        assert_eq!(req.path, EVENTS_PATH);
+        match decode_incoming(&req).unwrap() {
+            Incoming::FromUa { envelope, conn } => {
+                assert_eq!(envelope, env);
+                assert_eq!(conn, ConnId(7));
+            }
+            other => panic!("wrong hop: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn paths_match_the_lrs_api() {
+        // Transparency: the proxied request uses the same REST paths the
+        // LRS itself exposes.
+        let post = ClientEnvelope {
+            op: Op::Post,
+            ..client_env()
+        };
+        assert_eq!(client_request(&post, ConnId(1)).unwrap().path, EVENTS_PATH);
+        assert_eq!(client_request(&client_env(), ConnId(1)).unwrap().path, QUERIES_PATH);
+    }
+
+    #[test]
+    fn missing_headers_rejected() {
+        let env = client_env();
+        let mut req = client_request(&env, ConnId(1)).unwrap();
+        req.headers.clear();
+        assert!(matches!(
+            decode_incoming(&req),
+            Err(PProxError::MalformedMessage)
+        ));
+    }
+
+    #[test]
+    fn unknown_path_rejected() {
+        let env = client_env();
+        let mut req = client_request(&env, ConnId(1)).unwrap();
+        req.path = "/admin".to_owned();
+        assert!(decode_incoming(&req).is_err());
+    }
+
+    #[test]
+    fn op_path_mismatch_rejected() {
+        // A get envelope riding on the events path is inconsistent.
+        let env = client_env();
+        let mut req = client_request(&env, ConnId(1)).unwrap();
+        req.path = EVENTS_PATH.to_owned();
+        assert!(decode_incoming(&req).is_err());
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let list = EncryptedList(vec![0xab; 700]);
+        let resp = response_for(&list).unwrap();
+        assert!(resp.is_success());
+        assert_eq!(decode_response(&resp).unwrap(), list);
+    }
+
+    #[test]
+    fn error_response_propagates_status() {
+        let resp = HttpResponse::error(503, "down");
+        assert!(matches!(
+            decode_response(&resp),
+            Err(PProxError::Lrs { status: 503 })
+        ));
+    }
+
+    #[test]
+    fn corrupt_body_rejected() {
+        let resp = HttpResponse::ok("!!!not-base64!!!");
+        assert!(decode_response(&resp).is_err());
+    }
+}

@@ -1,0 +1,367 @@
+//! Wire messages of the PProx protocol (Table 1 / §4.2 lifecycles).
+//!
+//! Three hops carry PProx-specific envelopes:
+//!
+//! * client → UA: [`ClientEnvelope`] — `post(enc(u,pkUA), enc(i,pkIA))` or
+//!   `get(enc(u,pkUA), enc(k_u,pkIA))`;
+//! * UA → IA: [`LayerEnvelope`] — the user field replaced by the
+//!   deterministic pseudonym `det_enc(u,kUA)`;
+//! * IA → UA → client (get responses): an opaque [`EncryptedList`] blob,
+//!   `enc({i_1..i_n}, k_u)`.
+//!
+//! Every envelope serializes to JSON (encrypted fields in base64, as in
+//! the paper's implementation §5) and is then padded to a constant frame
+//! size (§4.3) so that a network observer cannot correlate messages by
+//! length. Identifiers are padded to [`ID_PLAINTEXT_LEN`] before
+//! deterministic encryption for the same reason.
+
+use pprox_crypto::base64;
+use pprox_crypto::pad;
+use pprox_json::Value;
+
+use crate::PProxError;
+
+/// Fixed plaintext length of user/item identifiers before encryption.
+pub const ID_PLAINTEXT_LEN: usize = 32;
+
+/// Maximum identifier length accepted by the user-side library
+/// (`ID_PLAINTEXT_LEN` minus the 4-byte padding header).
+pub const MAX_ID_LEN: usize = ID_PLAINTEXT_LEN - 4;
+
+/// Fixed plaintext length of the item+payload block encrypted to the IA.
+pub const ITEM_BLOCK_LEN: usize = 64;
+
+/// Fixed plaintext length of the extended get block (temporary key +
+/// business rules), hybrid-encrypted to the IA. Sized so the resulting
+/// aux still fits the constant request frame.
+pub const RULES_BLOCK_LEN: usize = 192;
+
+/// Constant frame size of client → UA and UA → IA request messages.
+pub const REQUEST_FRAME_LEN: usize = 1024;
+
+/// Fixed plaintext length of a serialized recommendation list before
+/// encryption under `k_u`.
+pub const LIST_PLAINTEXT_LEN: usize = 1600;
+
+/// Constant frame size of response messages on every hop.
+pub const RESPONSE_FRAME_LEN: usize = 2048;
+
+/// Prefix of padding items injected by the IA layer and discarded by the
+/// user-side library (§4.3: "pseudo-items used for padding are
+/// automatically discarded").
+pub const PAD_ITEM_PREFIX: &str = "\u{0}pprox-pad-";
+
+/// Operation carried by a request envelope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// Feedback insertion.
+    Post,
+    /// Recommendation collection.
+    Get,
+}
+
+impl Op {
+    fn as_str(self) -> &'static str {
+        match self {
+            Op::Post => "post",
+            Op::Get => "get",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Op> {
+        match s {
+            "post" => Some(Op::Post),
+            "get" => Some(Op::Get),
+            _ => None,
+        }
+    }
+}
+
+/// A request as produced by the user-side library (client → UA hop).
+///
+/// `user` is `enc(u, pkUA)`; `aux` is `enc({item, payload}, pkIA)` for a
+/// post or `enc(k_u, pkIA)` for a get. In passthrough mode (encryption
+/// disabled, micro-benchmark m1) the fields carry the raw values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientEnvelope {
+    /// Which call this is.
+    pub op: Op,
+    /// Encrypted (or raw) user identifier.
+    pub user: Vec<u8>,
+    /// Encrypted (or raw) auxiliary block: item+payload or temporary key.
+    pub aux: Vec<u8>,
+}
+
+/// A request after UA processing (UA → IA hop): the user field is now the
+/// deterministic pseudonym.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayerEnvelope {
+    /// Which call this is.
+    pub op: Op,
+    /// Pseudonymous user identifier (`det_enc(u, kUA)`), or the raw id in
+    /// passthrough mode.
+    pub user_pseudonym: Vec<u8>,
+    /// The auxiliary block, untouched by the UA (it cannot decrypt it).
+    pub aux: Vec<u8>,
+}
+
+/// An encrypted recommendation list on the response path (IA → UA →
+/// client); opaque to the UA layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncryptedList(pub Vec<u8>);
+
+fn encode(op: Op, a_name: &str, a: &[u8], b_name: &str, b: &[u8]) -> Result<Vec<u8>, PProxError> {
+    let v = Value::object([
+        ("op", Value::from(op.as_str())),
+        (a_name, Value::from(base64::encode(a))),
+        (b_name, Value::from(base64::encode(b))),
+    ]);
+    Ok(pad::pad(v.to_json().as_bytes(), REQUEST_FRAME_LEN)?)
+}
+
+fn decode(
+    frame: &[u8],
+    a_name: &str,
+    b_name: &str,
+) -> Result<(Op, Vec<u8>, Vec<u8>), PProxError> {
+    let body = pad::unpad(frame, REQUEST_FRAME_LEN)?;
+    let text = std::str::from_utf8(&body).map_err(|_| PProxError::MalformedMessage)?;
+    let v = Value::parse(text)?;
+    let op = v
+        .get("op")
+        .and_then(|o| o.as_str())
+        .and_then(Op::parse)
+        .ok_or(PProxError::MalformedMessage)?;
+    let a = base64::decode(
+        v.get(a_name)
+            .and_then(|x| x.as_str())
+            .ok_or(PProxError::MalformedMessage)?,
+    )?;
+    let b = base64::decode(
+        v.get(b_name)
+            .and_then(|x| x.as_str())
+            .ok_or(PProxError::MalformedMessage)?,
+    )?;
+    Ok((op, a, b))
+}
+
+impl ClientEnvelope {
+    /// Serializes to a constant-size wire frame.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the encrypted fields exceed the frame budget (cannot
+    /// happen with the fixed key sizes used by the deployment).
+    pub fn to_frame(&self) -> Result<Vec<u8>, PProxError> {
+        encode(self.op, "u", &self.user, "x", &self.aux)
+    }
+
+    /// Parses a wire frame.
+    ///
+    /// # Errors
+    ///
+    /// [`PProxError::MalformedMessage`] (or padding/JSON errors) on any
+    /// structural problem.
+    pub fn from_frame(frame: &[u8]) -> Result<Self, PProxError> {
+        let (op, user, aux) = decode(frame, "u", "x")?;
+        Ok(ClientEnvelope { op, user, aux })
+    }
+}
+
+impl LayerEnvelope {
+    /// Serializes to a constant-size wire frame (same size as client
+    /// frames: an observer cannot tell the hops apart by length).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ClientEnvelope::to_frame`].
+    pub fn to_frame(&self) -> Result<Vec<u8>, PProxError> {
+        encode(self.op, "p", &self.user_pseudonym, "x", &self.aux)
+    }
+
+    /// Parses a wire frame.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ClientEnvelope::from_frame`].
+    pub fn from_frame(frame: &[u8]) -> Result<Self, PProxError> {
+        let (op, user_pseudonym, aux) = decode(frame, "p", "x")?;
+        Ok(LayerEnvelope {
+            op,
+            user_pseudonym,
+            aux,
+        })
+    }
+}
+
+impl EncryptedList {
+    /// Serializes to a constant-size response frame.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the ciphertext exceeds [`RESPONSE_FRAME_LEN`].
+    pub fn to_frame(&self) -> Result<Vec<u8>, PProxError> {
+        Ok(pad::pad(&self.0, RESPONSE_FRAME_LEN)?)
+    }
+
+    /// Parses a response frame.
+    ///
+    /// # Errors
+    ///
+    /// Padding errors on wrong-size or inconsistent frames.
+    pub fn from_frame(frame: &[u8]) -> Result<Self, PProxError> {
+        Ok(EncryptedList(pad::unpad(frame, RESPONSE_FRAME_LEN)?))
+    }
+}
+
+/// Serializes a recommendation item-id list to the fixed-size plaintext
+/// block the IA encrypts under `k_u`.
+///
+/// # Errors
+///
+/// Fails when the ids exceed the block budget (bounded in practice: at
+/// most 20 ids of at most [`MAX_ID_LEN`] bytes).
+pub fn list_to_plaintext(items: &[String]) -> Result<Vec<u8>, PProxError> {
+    let v: Value = items
+        .iter()
+        .map(|i| Value::from(i.as_str()))
+        .collect();
+    Ok(pad::pad(v.to_json().as_bytes(), LIST_PLAINTEXT_LEN)?)
+}
+
+/// Parses the fixed-size plaintext block back into item ids.
+///
+/// # Errors
+///
+/// Padding or JSON errors on corrupted plaintext (wrong `k_u`).
+pub fn list_from_plaintext(block: &[u8]) -> Result<Vec<String>, PProxError> {
+    let body = pad::unpad(block, LIST_PLAINTEXT_LEN)?;
+    let text = std::str::from_utf8(&body).map_err(|_| PProxError::MalformedMessage)?;
+    let v = Value::parse(text)?;
+    let arr = v.as_array().ok_or(PProxError::MalformedMessage)?;
+    arr.iter()
+        .map(|e| {
+            e.as_str()
+                .map(str::to_owned)
+                .ok_or(PProxError::MalformedMessage)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn client_envelope_roundtrip() {
+        let env = ClientEnvelope {
+            op: Op::Post,
+            user: vec![1, 2, 3],
+            aux: vec![4, 5],
+        };
+        let frame = env.to_frame().unwrap();
+        assert_eq!(frame.len(), REQUEST_FRAME_LEN);
+        assert_eq!(ClientEnvelope::from_frame(&frame).unwrap(), env);
+    }
+
+    #[test]
+    fn layer_envelope_roundtrip() {
+        let env = LayerEnvelope {
+            op: Op::Get,
+            user_pseudonym: vec![9; 32],
+            aux: vec![7; 256],
+        };
+        let frame = env.to_frame().unwrap();
+        assert_eq!(frame.len(), REQUEST_FRAME_LEN);
+        assert_eq!(LayerEnvelope::from_frame(&frame).unwrap(), env);
+    }
+
+    #[test]
+    fn frames_constant_size_regardless_of_content() {
+        let small = ClientEnvelope {
+            op: Op::Get,
+            user: vec![],
+            aux: vec![],
+        };
+        let large = ClientEnvelope {
+            op: Op::Post,
+            user: vec![0xaa; 256],
+            aux: vec![0xbb; 256],
+        };
+        assert_eq!(
+            small.to_frame().unwrap().len(),
+            large.to_frame().unwrap().len()
+        );
+    }
+
+    #[test]
+    fn client_and_layer_frames_same_size() {
+        // §4.3: messages between user→UA and UA→IA are indistinguishable
+        // in size.
+        let c = ClientEnvelope {
+            op: Op::Get,
+            user: vec![1; 256],
+            aux: vec![2; 256],
+        }
+        .to_frame()
+        .unwrap();
+        let l = LayerEnvelope {
+            op: Op::Get,
+            user_pseudonym: vec![3; 32],
+            aux: vec![2; 256],
+        }
+        .to_frame()
+        .unwrap();
+        assert_eq!(c.len(), l.len());
+    }
+
+    #[test]
+    fn malformed_frames_rejected() {
+        assert!(ClientEnvelope::from_frame(&[0u8; 10]).is_err());
+        let garbage = pprox_crypto::pad::pad(b"not json", REQUEST_FRAME_LEN).unwrap();
+        assert!(ClientEnvelope::from_frame(&garbage).is_err());
+        let wrong_op =
+            pprox_crypto::pad::pad(br#"{"op":"delete","u":"","x":""}"#, REQUEST_FRAME_LEN)
+                .unwrap();
+        assert!(ClientEnvelope::from_frame(&wrong_op).is_err());
+    }
+
+    #[test]
+    fn encrypted_list_roundtrip() {
+        let list = EncryptedList(vec![0xcd; 500]);
+        let frame = list.to_frame().unwrap();
+        assert_eq!(frame.len(), RESPONSE_FRAME_LEN);
+        assert_eq!(EncryptedList::from_frame(&frame).unwrap(), list);
+    }
+
+    #[test]
+    fn list_plaintext_roundtrip() {
+        let items: Vec<String> = (0..20).map(|i| format!("m{i:05}")).collect();
+        let block = list_to_plaintext(&items).unwrap();
+        assert_eq!(block.len(), LIST_PLAINTEXT_LEN);
+        assert_eq!(list_from_plaintext(&block).unwrap(), items);
+    }
+
+    #[test]
+    fn list_plaintext_constant_size() {
+        let a = list_to_plaintext(&[]).unwrap();
+        let b = list_to_plaintext(&vec!["x".to_owned(); 20]).unwrap();
+        assert_eq!(a.len(), b.len());
+    }
+
+    #[test]
+    fn pseudonymized_ids_fit_the_list_block() {
+        // Worst case: 20 pseudonymous ids (44 base64 chars each).
+        let items: Vec<String> = (0..20)
+            .map(|i| pprox_crypto::base64::encode(&[i as u8; 32]))
+            .collect();
+        assert!(list_to_plaintext(&items).is_ok());
+    }
+
+    #[test]
+    fn op_parse() {
+        assert_eq!(Op::parse("post"), Some(Op::Post));
+        assert_eq!(Op::parse("get"), Some(Op::Get));
+        assert_eq!(Op::parse("x"), None);
+    }
+}

@@ -1,0 +1,210 @@
+//! Operational telemetry (the paper's fluentd/monitoring role, §7.2).
+//!
+//! The paper's deployment "collect\[s\] logs in a systematic fashion using
+//! fluentd"; elastic scaling (§5) additionally needs live load
+//! observations. [`LayerMetrics`] is the lock-free per-layer counter set
+//! the proxy updates on its hot path, and [`MetricsRegistry`] aggregates
+//! layers into the snapshot an operator (or the
+//! [`crate::autoscale::Autoscaler`]) consumes.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Lock-free counters for one proxy layer instance.
+#[derive(Debug, Default)]
+pub struct LayerMetrics {
+    requests: AtomicU64,
+    responses: AtomicU64,
+    errors: AtomicU64,
+    /// Sum of per-request processing latency, microseconds.
+    busy_us: AtomicU64,
+    shuffle_flushes: AtomicU64,
+    shuffle_timeouts: AtomicU64,
+}
+
+impl LayerMetrics {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one processed request with its processing time.
+    pub fn record_request(&self, processing_us: u64) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.busy_us.fetch_add(processing_us, Ordering::Relaxed);
+    }
+
+    /// Records one forwarded response.
+    pub fn record_response(&self) {
+        self.responses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one failed request.
+    pub fn record_error(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a shuffle flush; `by_timer` marks under-filled batches.
+    pub fn record_flush(&self, by_timer: bool) {
+        self.shuffle_flushes.fetch_add(1, Ordering::Relaxed);
+        if by_timer {
+            self.shuffle_timeouts.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Current snapshot.
+    pub fn snapshot(&self) -> LayerSnapshot {
+        LayerSnapshot {
+            requests: self.requests.load(Ordering::Relaxed),
+            responses: self.responses.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            busy_us: self.busy_us.load(Ordering::Relaxed),
+            shuffle_flushes: self.shuffle_flushes.load(Ordering::Relaxed),
+            shuffle_timeouts: self.shuffle_timeouts.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time counter values for one layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LayerSnapshot {
+    /// Requests processed.
+    pub requests: u64,
+    /// Responses forwarded.
+    pub responses: u64,
+    /// Failures.
+    pub errors: u64,
+    /// Total processing time, microseconds.
+    pub busy_us: u64,
+    /// Shuffle flushes performed.
+    pub shuffle_flushes: u64,
+    /// Flushes forced by the timer (under-filled batches).
+    pub shuffle_timeouts: u64,
+}
+
+impl LayerSnapshot {
+    /// Mean processing latency in microseconds (0 when idle).
+    pub fn mean_processing_us(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.busy_us as f64 / self.requests as f64
+        }
+    }
+
+    /// Fraction of flushes that were timer-forced — the §5 health signal
+    /// that shuffle buffers are starving.
+    pub fn timeout_flush_fraction(&self) -> f64 {
+        if self.shuffle_flushes == 0 {
+            0.0
+        } else {
+            self.shuffle_timeouts as f64 / self.shuffle_flushes as f64
+        }
+    }
+}
+
+/// A registered layer: its name and shared counter handle.
+type LayerEntry = (String, Arc<LayerMetrics>);
+
+/// Registry of named layer metrics plus a load estimator.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    layers: Arc<Mutex<Vec<LayerEntry>>>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a layer instance, returning its counter handle.
+    pub fn register(&self, name: impl Into<String>) -> Arc<LayerMetrics> {
+        let metrics = Arc::new(LayerMetrics::new());
+        self.layers.lock().push((name.into(), metrics.clone()));
+        metrics
+    }
+
+    /// Snapshot of all layers, in registration order.
+    pub fn snapshot(&self) -> Vec<(String, LayerSnapshot)> {
+        self.layers
+            .lock()
+            .iter()
+            .map(|(name, m)| (name.clone(), m.snapshot()))
+            .collect()
+    }
+
+    /// Total requests across all layers (feed for the autoscaler: divide
+    /// by the observation window to get RPS).
+    pub fn total_requests(&self) -> u64 {
+        self.layers
+            .lock()
+            .iter()
+            .map(|(_, m)| m.snapshot().requests)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = LayerMetrics::new();
+        m.record_request(100);
+        m.record_request(300);
+        m.record_response();
+        m.record_error();
+        m.record_flush(false);
+        m.record_flush(true);
+        let s = m.snapshot();
+        assert_eq!(s.requests, 2);
+        assert_eq!(s.responses, 1);
+        assert_eq!(s.errors, 1);
+        assert_eq!(s.mean_processing_us(), 200.0);
+        assert_eq!(s.timeout_flush_fraction(), 0.5);
+    }
+
+    #[test]
+    fn idle_snapshot_is_zero() {
+        let s = LayerMetrics::new().snapshot();
+        assert_eq!(s.mean_processing_us(), 0.0);
+        assert_eq!(s.timeout_flush_fraction(), 0.0);
+    }
+
+    #[test]
+    fn registry_aggregates_layers() {
+        let registry = MetricsRegistry::new();
+        let ua = registry.register("ua-0");
+        let ia = registry.register("ia-0");
+        ua.record_request(10);
+        ua.record_request(10);
+        ia.record_request(10);
+        assert_eq!(registry.total_requests(), 3);
+        let snap = registry.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].0, "ua-0");
+        assert_eq!(snap[0].1.requests, 2);
+    }
+
+    #[test]
+    fn handles_are_shared_across_threads() {
+        let registry = MetricsRegistry::new();
+        let handle = registry.register("ua-0");
+        let mut joins = Vec::new();
+        for _ in 0..4 {
+            let h = handle.clone();
+            joins.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    h.record_request(1);
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        assert_eq!(registry.total_requests(), 4000);
+    }
+}

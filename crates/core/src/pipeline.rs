@@ -1,0 +1,514 @@
+//! The event-driven, multi-threaded proxy deployment (§5).
+//!
+//! The paper's proxy splits each layer into a *server* part — which
+//! "handles connection requests and schedules their processing,
+//! implementing shuffling" — and a *data-processing* part, "a pool of
+//! threads running in the SGX enclave" consuming work from a shared
+//! concurrent queue. This module reproduces that architecture with OS
+//! threads and crossbeam channels (the lock-free concurrent-queue role):
+//!
+//! ```text
+//! clients ─► UA server (shuffle S) ─► UA workers (enclave ECALLs)
+//!            ─► IA workers (enclave ECALLs + LRS call)
+//!            ─► response server (shuffle S) ─► client reply channels
+//! ```
+//!
+//! Shuffling happens in real time: the UA server buffers up to `S`
+//! requests (or until the timer expires) and releases them in randomized
+//! order; the response server does the same for responses, per §4.3.
+
+use crate::config::PProxConfig;
+use crate::ia::{IaOptions, IaState};
+use crate::keys::{KeyProvisioner, IA_CODE_IDENTITY, UA_CODE_IDENTITY};
+use crate::message::{ClientEnvelope, EncryptedList, Op};
+use crate::metrics::MetricsRegistry;
+use crate::shuffler::ShuffleBuffer;
+use crate::ua::UaState;
+use crate::{PProxError, UserClient};
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use pprox_crypto::rng::SecureRng;
+use pprox_lrs::api::{HttpRequest, RecommendationList, RestHandler, EVENTS_PATH, QUERIES_PATH};
+use pprox_sgx::{Enclave, Platform};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Completion channel for one submitted request.
+#[derive(Debug)]
+pub enum Completion {
+    /// Acknowledgement of a post.
+    Post(Result<(), PProxError>),
+    /// Encrypted recommendation list for a get.
+    Get(Result<EncryptedList, PProxError>),
+}
+
+struct Job {
+    envelope: ClientEnvelope,
+    reply: Sender<Completion>,
+}
+
+struct IaJob {
+    layer_env: crate::message::LayerEnvelope,
+    reply: Sender<Completion>,
+}
+
+struct ResponseJob {
+    completion: Completion,
+    reply: Sender<Completion>,
+}
+
+/// A running multi-threaded PProx deployment.
+///
+/// Dropping the pipeline (or calling [`shutdown`](Self::shutdown)) drains
+/// the shuffle buffers and joins all threads.
+pub struct PProxPipeline {
+    ingress: Option<Sender<Job>>,
+    handles: Vec<JoinHandle<()>>,
+    provisioner: KeyProvisioner,
+    encryption: bool,
+    client_seq: std::sync::atomic::AtomicU64,
+    platform: Platform,
+    metrics: MetricsRegistry,
+}
+
+impl std::fmt::Debug for PProxPipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PProxPipeline")
+            .field("threads", &self.handles.len())
+            .finish()
+    }
+}
+
+impl PProxPipeline {
+    /// Builds and starts the pipeline: provisions enclaves and spawns the
+    /// server and worker threads (`workers_per_layer` data-processing
+    /// threads per layer — the paper uses one per core).
+    ///
+    /// # Errors
+    ///
+    /// Propagates attestation/provisioning failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers_per_layer` is zero.
+    pub fn new(
+        config: PProxConfig,
+        lrs: Arc<dyn RestHandler>,
+        seed: u64,
+        workers_per_layer: usize,
+    ) -> Result<Self, PProxError> {
+        assert!(workers_per_layer > 0, "need at least one worker per layer");
+        let mut rng = SecureRng::from_seed(seed);
+        let provisioner = KeyProvisioner::generate(config.modulus_bits, &mut rng);
+        let platform = Platform::new(&mut rng);
+
+        let mut ua_layer: Vec<Arc<Enclave<UaState>>> = Vec::new();
+        for _ in 0..config.ua_instances.max(1) {
+            let enclave = platform.load_enclave::<UaState>(UA_CODE_IDENTITY);
+            provisioner.provision_ua(&platform, &enclave)?;
+            ua_layer.push(enclave);
+        }
+        let mut ia_layer: Vec<Arc<Enclave<IaState>>> = Vec::new();
+        for _ in 0..config.ia_instances.max(1) {
+            let enclave = platform.load_enclave::<IaState>(IA_CODE_IDENTITY);
+            provisioner.provision_ia(&platform, &enclave)?;
+            ia_layer.push(enclave);
+        }
+
+        let metrics = MetricsRegistry::new();
+        let (ingress_tx, ingress_rx) = unbounded::<Job>();
+        let (ua_work_tx, ua_work_rx) = unbounded::<Job>();
+        let (ia_work_tx, ia_work_rx) = unbounded::<IaJob>();
+        let (resp_tx, resp_rx) = unbounded::<ResponseJob>();
+
+        let mut handles = Vec::new();
+        let start = Instant::now();
+
+        // UA server thread: request-direction shuffling.
+        {
+            let shuffle = config.shuffle;
+            let mut buffer: ShuffleBuffer<Job> = ShuffleBuffer::new(shuffle, seed ^ 0x0a5e);
+            let ua_work_tx = ua_work_tx.clone();
+            handles.push(std::thread::spawn(move || {
+                shuffle_server(start, ingress_rx, &mut buffer, |job| {
+                    let _ = ua_work_tx.send(job);
+                });
+            }));
+        }
+        drop(ua_work_tx);
+
+        // UA data-processing workers.
+        let encryption = config.encryption;
+        for w in 0..workers_per_layer {
+            let rx = ua_work_rx.clone();
+            let ia_tx = ia_work_tx.clone();
+            let enclave = ua_layer[w % ua_layer.len()].clone();
+            let layer_metrics = metrics.register(format!("ua-worker-{w}"));
+            handles.push(std::thread::spawn(move || {
+                while let Ok(job) = rx.recv() {
+                    let started = Instant::now();
+                    let result = enclave
+                        .call(|ua| ua.process(&job.envelope, encryption))
+                        .map_err(PProxError::from)
+                        .and_then(|r| r);
+                    layer_metrics.record_request(started.elapsed().as_micros() as u64);
+                    if result.is_err() {
+                        layer_metrics.record_error();
+                    }
+                    match result {
+                        Ok(layer_env) => {
+                            let _ = ia_tx.send(IaJob {
+                                layer_env,
+                                reply: job.reply,
+                            });
+                        }
+                        Err(e) => {
+                            let completion = match job.envelope.op {
+                                Op::Post => Completion::Post(Err(e)),
+                                Op::Get => Completion::Get(Err(e)),
+                            };
+                            let _ = job.reply.send(completion);
+                        }
+                    }
+                }
+            }));
+        }
+        drop(ia_work_tx);
+        drop(ua_work_rx);
+
+        // IA data-processing workers (they also perform the LRS call, as
+        // the IA layer is the one that "directly interacts with the LRS").
+        let options = IaOptions {
+            encryption: config.encryption,
+            item_pseudonymization: config.item_pseudonymization,
+        };
+        for w in 0..workers_per_layer {
+            let rx = ia_work_rx.clone();
+            let resp_tx = resp_tx.clone();
+            let enclave = ia_layer[w % ia_layer.len()].clone();
+            let lrs = lrs.clone();
+            let layer_metrics = metrics.register(format!("ia-worker-{w}"));
+            handles.push(std::thread::spawn(move || {
+                while let Ok(job) = rx.recv() {
+                    let started = Instant::now();
+                    let completion = process_ia_job(&enclave, &lrs, &job, options);
+                    layer_metrics.record_request(started.elapsed().as_micros() as u64);
+                    match &completion {
+                        Completion::Post(Err(_)) | Completion::Get(Err(_)) => {
+                            layer_metrics.record_error()
+                        }
+                        _ => layer_metrics.record_response(),
+                    }
+                    let _ = resp_tx.send(ResponseJob {
+                        completion,
+                        reply: job.reply,
+                    });
+                }
+            }));
+        }
+        drop(resp_tx);
+        drop(ia_work_rx);
+
+        // Response server thread: response-direction shuffling.
+        {
+            let shuffle = config.shuffle;
+            let mut buffer: ShuffleBuffer<ResponseJob> =
+                ShuffleBuffer::new(shuffle, seed ^ 0x1a5e);
+            handles.push(std::thread::spawn(move || {
+                shuffle_server(start, resp_rx, &mut buffer, |job| {
+                    let _ = job.reply.send(job.completion);
+                });
+            }));
+        }
+
+        Ok(PProxPipeline {
+            ingress: Some(ingress_tx),
+            handles,
+            provisioner,
+            encryption: config.encryption,
+            client_seq: std::sync::atomic::AtomicU64::new(0),
+            platform,
+            metrics,
+        })
+    }
+
+    /// A user-side library wired to this deployment.
+    pub fn client(&self) -> UserClient {
+        let seq = self
+            .client_seq
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        if self.encryption {
+            UserClient::new(self.provisioner.client_keys(), 0xc11e ^ seq)
+        } else {
+            UserClient::new_passthrough(self.provisioner.client_keys(), 0xc11e ^ seq)
+        }
+    }
+
+    /// The simulated SGX platform hosting the layers.
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// Operational telemetry for this pipeline's workers.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Submits a request; the returned channel yields its completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the pipeline is shutting down.
+    pub fn submit(&self, envelope: ClientEnvelope) -> Result<Receiver<Completion>, PProxError> {
+        let (tx, rx) = bounded(1);
+        let job = Job {
+            envelope,
+            reply: tx,
+        };
+        self.ingress
+            .as_ref()
+            .expect("pipeline running")
+            .send(job)
+            .map_err(|_| PProxError::MalformedMessage)?;
+        Ok(rx)
+    }
+
+    /// Stops intake, drains buffers, and joins all threads.
+    pub fn shutdown(mut self) {
+        self.ingress.take();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for PProxPipeline {
+    fn drop(&mut self) {
+        self.ingress.take();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Generic shuffle-server loop shared by the UA (requests) and response
+/// servers: buffer items until `S` or the timer, then release the batch in
+/// randomized order via `forward`.
+fn shuffle_server<T>(
+    start: Instant,
+    rx: Receiver<T>,
+    buffer: &mut ShuffleBuffer<T>,
+    mut forward: impl FnMut(T),
+) {
+    let now_us = |start: Instant| start.elapsed().as_micros() as u64;
+    loop {
+        let timeout = match buffer.deadline_us() {
+            Some(deadline) => Duration::from_micros(deadline.saturating_sub(now_us(start))),
+            None => Duration::from_millis(50),
+        };
+        match rx.recv_timeout(timeout) {
+            Ok(item) => {
+                if let Some(flush) = buffer.push(now_us(start), item) {
+                    for item in flush.items {
+                        forward(item);
+                    }
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                if let Some(flush) = buffer.poll_timeout(now_us(start)) {
+                    for item in flush.items {
+                        forward(item);
+                    }
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                if let Some(flush) = buffer.drain() {
+                    for item in flush.items {
+                        forward(item);
+                    }
+                }
+                return;
+            }
+        }
+    }
+}
+
+fn process_ia_job(
+    enclave: &Enclave<IaState>,
+    lrs: &Arc<dyn RestHandler>,
+    job: &IaJob,
+    options: IaOptions,
+) -> Completion {
+    match job.layer_env.op {
+        Op::Post => {
+            let result = (|| {
+                let event = enclave.call(|ia| ia.process_post(&job.layer_env, options))??;
+                let response = lrs.handle(&HttpRequest::post(EVENTS_PATH, event.to_json()));
+                if !response.is_success() {
+                    return Err(PProxError::Lrs {
+                        status: response.status,
+                    });
+                }
+                Ok(())
+            })();
+            Completion::Post(result)
+        }
+        Op::Get => {
+            let result = (|| {
+                let (query, token) =
+                    enclave.call(|ia| ia.process_get(&job.layer_env, options))??;
+                let response = lrs.handle(&HttpRequest::post(QUERIES_PATH, query.to_json()));
+                if !response.is_success() {
+                    return Err(PProxError::Lrs {
+                        status: response.status,
+                    });
+                }
+                let list = RecommendationList::from_json(&response.body)
+                    .ok_or(PProxError::MalformedMessage)?;
+                let ids: Vec<String> = list.items.into_iter().map(|s| s.item).collect();
+                enclave.call(|ia| ia.process_get_response(token, &ids, options))?
+            })();
+            Completion::Get(result)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shuffler::ShuffleConfig;
+    use pprox_lrs::stub::StubLrs;
+    use pprox_lrs::MAX_RECOMMENDATIONS;
+
+    fn pipeline(shuffle: ShuffleConfig) -> PProxPipeline {
+        let config = PProxConfig {
+            shuffle,
+            modulus_bits: 1152,
+            ..PProxConfig::default()
+        };
+        PProxPipeline::new(config, Arc::new(StubLrs::new()), 77, 2).unwrap()
+    }
+
+    #[test]
+    fn single_get_completes_without_shuffling() {
+        let p = pipeline(ShuffleConfig::disabled());
+        let mut client = p.client();
+        let (env, ticket) = client.get("alice").unwrap();
+        let rx = p.submit(env).unwrap();
+        match rx.recv_timeout(Duration::from_secs(10)).unwrap() {
+            Completion::Get(Ok(list)) => {
+                let items = client.open_response(&ticket, &list).unwrap();
+                assert_eq!(items.len(), MAX_RECOMMENDATIONS);
+            }
+            other => panic!("unexpected completion: {other:?}"),
+        }
+        p.shutdown();
+    }
+
+    #[test]
+    fn posts_and_gets_interleave() {
+        let p = pipeline(ShuffleConfig::disabled());
+        let mut client = p.client();
+        let mut rxs = Vec::new();
+        for i in 0..10 {
+            if i % 2 == 0 {
+                let env = client.post(&format!("u{i}"), "item", None).unwrap();
+                rxs.push((None, p.submit(env).unwrap()));
+            } else {
+                let (env, ticket) = client.get(&format!("u{i}")).unwrap();
+                rxs.push((Some(ticket), p.submit(env).unwrap()));
+            }
+        }
+        for (ticket, rx) in rxs {
+            match (ticket, rx.recv_timeout(Duration::from_secs(10)).unwrap()) {
+                (None, Completion::Post(Ok(()))) => {}
+                (Some(t), Completion::Get(Ok(list))) => {
+                    assert!(!client.open_response(&t, &list).unwrap().is_empty());
+                }
+                (_, other) => panic!("unexpected: {other:?}"),
+            }
+        }
+        p.shutdown();
+    }
+
+    #[test]
+    fn shuffled_batch_all_complete() {
+        // S=5 with a short timer: submit 12 requests (2 full flushes + a
+        // timeout flush) and expect 12 completions.
+        let p = pipeline(ShuffleConfig {
+            size: 5,
+            timeout_us: 100_000,
+        });
+        let mut client = p.client();
+        let mut rxs = Vec::new();
+        for i in 0..12 {
+            let env = client.post(&format!("u{i}"), "item", None).unwrap();
+            rxs.push(p.submit(env).unwrap());
+        }
+        for rx in rxs {
+            match rx.recv_timeout(Duration::from_secs(10)).unwrap() {
+                Completion::Post(Ok(())) => {}
+                other => panic!("unexpected: {other:?}"),
+            }
+        }
+        p.shutdown();
+    }
+
+    #[test]
+    fn partial_batch_flushes_on_timer() {
+        let p = pipeline(ShuffleConfig {
+            size: 100, // never fills
+            timeout_us: 50_000,
+        });
+        let mut client = p.client();
+        let env = client.post("lonely", "item", None).unwrap();
+        let rx = p.submit(env).unwrap();
+        let t = Instant::now();
+        match rx.recv_timeout(Duration::from_secs(10)).unwrap() {
+            Completion::Post(Ok(())) => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+        // Two timers (request + response shuffler) of 50 ms each bound the
+        // latency from below; allow generous scheduling slack above.
+        assert!(t.elapsed() >= Duration::from_millis(50));
+        p.shutdown();
+    }
+
+    #[test]
+    fn metrics_track_worker_activity() {
+        let p = pipeline(ShuffleConfig::disabled());
+        let mut client = p.client();
+        let mut rxs = Vec::new();
+        for i in 0..6 {
+            let env = client.post(&format!("u{i}"), "item", None).unwrap();
+            rxs.push(p.submit(env).unwrap());
+        }
+        for rx in rxs {
+            let _ = rx.recv_timeout(Duration::from_secs(10)).unwrap();
+        }
+        let snapshot = p.metrics().snapshot();
+        // 2 UA workers + 2 IA workers registered.
+        assert_eq!(snapshot.len(), 4);
+        let total: u64 = snapshot.iter().map(|(_, s)| s.requests).sum();
+        assert_eq!(total, 12, "each request crosses one UA and one IA worker");
+        let errors: u64 = snapshot.iter().map(|(_, s)| s.errors).sum();
+        assert_eq!(errors, 0);
+        p.shutdown();
+    }
+
+    #[test]
+    fn drop_drains_cleanly() {
+        let p = pipeline(ShuffleConfig {
+            size: 100,
+            timeout_us: 10_000_000, // long timer: only drain can flush
+        });
+        let mut client = p.client();
+        let env = client.post("u", "i", None).unwrap();
+        let rx = p.submit(env).unwrap();
+        drop(p); // shutdown drains the buffers
+        match rx.recv_timeout(Duration::from_secs(10)).unwrap() {
+            Completion::Post(Ok(())) => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,265 @@
+//! Breach response: key rotation with LRS state re-encryption.
+//!
+//! The paper's footnote on breach detection (§2.3, footnote 1): once an
+//! enclave compromise is detected, "available options include dropping
+//! the database content and re-starting the system with new secrets,
+//! downloading the LRS state for local re-encryption before re-uploading
+//! it and provisioning fresh enclaves and the user-side library with new
+//! secrets, or employing an LRS-specific proxy re-encryption technique
+//! using (or not) an enclave."
+//!
+//! This module implements the second and third options:
+//!
+//! * [`rotate_database`] — the offline path: given old and new layer key
+//!   sets, translate every pseudonym in an exported LRS event dump.
+//! * [`RotationEnclave`] — the proxy re-encryption path: a dedicated
+//!   enclave provisioned with *both* the compromised layer's old key and
+//!   its replacement, which translates pseudonyms one at a time without
+//!   ever exposing either key to the host.
+//!
+//! Either way, only the *broken layer's* key rotates: the other layer's
+//! pseudonyms are untouched, so the un-compromised layer's secrets never
+//! leave their enclaves.
+
+use crate::keys::LayerSecrets;
+use crate::message::ID_PLAINTEXT_LEN;
+use crate::PProxError;
+use pprox_crypto::base64;
+use pprox_crypto::ctr::SymmetricKey;
+use pprox_crypto::pad;
+use pprox_sgx::enclave::{EnclaveApp, SecretBag};
+
+/// Which proxy layer is being rotated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RotatedLayer {
+    /// Rotate `kUA` (user pseudonyms change).
+    UserAnonymizer,
+    /// Rotate `kIA` (item pseudonyms change).
+    ItemAnonymizer,
+}
+
+/// Translates one pseudonym from the old key to the new key.
+///
+/// # Errors
+///
+/// Fails when the stored id is not a valid pseudonym under the old key —
+/// a corrupted database entry (plaintext entries from an
+/// item-pseudonymization-off deployment are returned unchanged).
+pub fn translate_pseudonym(
+    old_key: &SymmetricKey,
+    new_key: &SymmetricKey,
+    stored_id: &str,
+) -> Result<String, PProxError> {
+    let Ok(ct) = base64::decode(stored_id) else {
+        // Plaintext id (item pseudonymization disabled): nothing to do.
+        return Ok(stored_id.to_owned());
+    };
+    if ct.len() != ID_PLAINTEXT_LEN {
+        return Ok(stored_id.to_owned());
+    }
+    let padded = old_key.det_decrypt(&ct);
+    // Sanity: must unpad, otherwise the old key is wrong.
+    pad::unpad(&padded, ID_PLAINTEXT_LEN)?;
+    Ok(base64::encode(&new_key.det_encrypt(&padded)))
+}
+
+/// Offline re-encryption of an exported LRS event dump: rewrites the
+/// rotated layer's column of every `(user, item)` pair.
+///
+/// # Errors
+///
+/// Fails on the first entry that does not decrypt under the old key.
+pub fn rotate_database(
+    layer: RotatedLayer,
+    old_key: &SymmetricKey,
+    new_key: &SymmetricKey,
+    events: &[(String, String)],
+) -> Result<Vec<(String, String)>, PProxError> {
+    events
+        .iter()
+        .map(|(user, item)| {
+            Ok(match layer {
+                RotatedLayer::UserAnonymizer => (
+                    translate_pseudonym(old_key, new_key, user)?,
+                    item.clone(),
+                ),
+                RotatedLayer::ItemAnonymizer => (
+                    user.clone(),
+                    translate_pseudonym(old_key, new_key, item)?,
+                ),
+            })
+        })
+        .collect()
+}
+
+/// In-enclave proxy re-encryption state: holds the old (compromised) and
+/// new keys of one layer. Loaded as its own enclave so the host performing
+/// the migration never sees either key.
+pub struct RotationEnclave {
+    old_key: SymmetricKey,
+    new_key: SymmetricKey,
+    translated: u64,
+}
+
+impl std::fmt::Debug for RotationEnclave {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RotationEnclave")
+            .field("translated", &self.translated)
+            .finish()
+    }
+}
+
+/// Code identity of the rotation enclave.
+pub const ROTATION_CODE_IDENTITY: &str = "pprox-rotation-v1";
+
+impl RotationEnclave {
+    /// Creates the rotation state (provisioned after attestation, like
+    /// any layer enclave).
+    pub fn new(old_secrets: &LayerSecrets, new_key: SymmetricKey) -> Self {
+        RotationEnclave {
+            old_key: old_secrets.k.clone(),
+            new_key,
+            translated: 0,
+        }
+    }
+
+    /// Translates one stored id (ECALL body).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`translate_pseudonym`].
+    pub fn translate(&mut self, stored_id: &str) -> Result<String, PProxError> {
+        self.translated += 1;
+        translate_pseudonym(&self.old_key, &self.new_key, stored_id)
+    }
+
+    /// Ids translated so far (migration progress).
+    pub fn translated(&self) -> u64 {
+        self.translated
+    }
+}
+
+impl EnclaveApp for RotationEnclave {
+    fn leak_secrets(&self) -> SecretBag {
+        let mut bag = SecretBag::new();
+        // A broken rotation enclave leaks both generations of ONE layer's
+        // key — still never the other layer's.
+        bag.insert("rotation.old_k", self.old_key.as_bytes().to_vec());
+        bag.insert("rotation.new_k", self.new_key.as_bytes().to_vec());
+        bag
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pprox_crypto::rng::SecureRng;
+
+    fn keys() -> (SymmetricKey, SymmetricKey) {
+        let mut rng = SecureRng::from_seed(0x707);
+        (SymmetricKey::generate(&mut rng), SymmetricKey::generate(&mut rng))
+    }
+
+    fn pseudonym(key: &SymmetricKey, id: &str) -> String {
+        let padded = pad::pad(id.as_bytes(), ID_PLAINTEXT_LEN).unwrap();
+        base64::encode(&key.det_encrypt(&padded))
+    }
+
+    fn depseudonymize(key: &SymmetricKey, stored: &str) -> String {
+        let ct = base64::decode(stored).unwrap();
+        let padded = key.det_decrypt(&ct);
+        String::from_utf8(pad::unpad(&padded, ID_PLAINTEXT_LEN).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn translate_preserves_identity_under_new_key() {
+        let (old, new) = keys();
+        let stored = pseudonym(&old, "alice");
+        let rotated = translate_pseudonym(&old, &new, &stored).unwrap();
+        assert_ne!(rotated, stored, "pseudonym must change");
+        assert_eq!(depseudonymize(&new, &rotated), "alice");
+    }
+
+    #[test]
+    fn translate_is_deterministic() {
+        let (old, new) = keys();
+        let stored = pseudonym(&old, "bob");
+        assert_eq!(
+            translate_pseudonym(&old, &new, &stored).unwrap(),
+            translate_pseudonym(&old, &new, &stored).unwrap()
+        );
+    }
+
+    #[test]
+    fn plaintext_ids_pass_through() {
+        let (old, new) = keys();
+        assert_eq!(
+            translate_pseudonym(&old, &new, "clear-item").unwrap(),
+            "clear-item"
+        );
+    }
+
+    #[test]
+    fn wrong_old_key_detected() {
+        let (old, new) = keys();
+        let mut rng = SecureRng::from_seed(0x708);
+        let other = SymmetricKey::generate(&mut rng);
+        let stored = pseudonym(&other, "alice");
+        assert!(translate_pseudonym(&old, &new, &stored).is_err());
+    }
+
+    #[test]
+    fn rotate_database_only_touches_selected_layer() {
+        let (old_ua, new_ua) = keys();
+        let mut rng = SecureRng::from_seed(0x709);
+        let k_ia = SymmetricKey::generate(&mut rng);
+        let events: Vec<(String, String)> = (0..10)
+            .map(|i| {
+                (
+                    pseudonym(&old_ua, &format!("user-{i}")),
+                    pseudonym(&k_ia, &format!("item-{i}")),
+                )
+            })
+            .collect();
+        let rotated =
+            rotate_database(RotatedLayer::UserAnonymizer, &old_ua, &new_ua, &events).unwrap();
+        for (i, ((new_user, new_item), (_, old_item))) in
+            rotated.iter().zip(events.iter()).enumerate()
+        {
+            assert_eq!(new_item, old_item, "item column untouched");
+            assert_eq!(depseudonymize(&new_ua, new_user), format!("user-{i}"));
+        }
+    }
+
+    #[test]
+    fn rotated_profiles_stay_consistent() {
+        // The same user appearing in many events must map to ONE new
+        // pseudonym (profile continuity survives rotation).
+        let (old, new) = keys();
+        let stored = pseudonym(&old, "heavy-user");
+        let events = vec![
+            (stored.clone(), "i1".to_owned()),
+            (stored.clone(), "i2".to_owned()),
+            (stored, "i3".to_owned()),
+        ];
+        let rotated =
+            rotate_database(RotatedLayer::UserAnonymizer, &old, &new, &events).unwrap();
+        assert_eq!(rotated[0].0, rotated[1].0);
+        assert_eq!(rotated[1].0, rotated[2].0);
+    }
+
+    #[test]
+    fn rotation_enclave_counts_and_leaks_only_one_layer() {
+        let mut rng = SecureRng::from_seed(0x70a);
+        let (secrets, _) = LayerSecrets::generate(1152, &mut rng);
+        let new_key = SymmetricKey::generate(&mut rng);
+        let old_key = secrets.k.clone();
+        let mut enclave = RotationEnclave::new(&secrets, new_key);
+        let stored = pseudonym(&old_key, "u");
+        enclave.translate(&stored).unwrap();
+        assert_eq!(enclave.translated(), 1);
+        let bag = enclave.leak_secrets();
+        assert!(bag.get("rotation.old_k").is_some());
+        assert!(bag.get("ia.k").is_none() && bag.get("ua.k").is_none());
+    }
+}

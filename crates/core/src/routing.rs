@@ -1,0 +1,115 @@
+//! Routing table T (§4.2, §5).
+//!
+//! "Each layer maintains a table T storing the association between an
+//! inbound socket I … and an outbound socket O … When the epoll() call
+//! raises an event for a file descriptor f, the server thread can lookup
+//! T to establish the corresponding return path." In this in-process
+//! reproduction the sockets are logical connection ids; the table plays
+//! the same role on the response path of the pipelined deployment.
+
+use std::collections::HashMap;
+
+/// A logical connection/request id (the file-descriptor analog).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ConnId(pub u64);
+
+/// The routing table: outbound id → inbound return path.
+#[derive(Debug, Default)]
+pub struct RoutingTable<P> {
+    entries: HashMap<ConnId, P>,
+    next_id: u64,
+    max_size: usize,
+}
+
+impl<P> RoutingTable<P> {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        RoutingTable {
+            entries: HashMap::new(),
+            next_id: 1,
+            max_size: 0,
+        }
+    }
+
+    /// Registers a pending request, returning the fresh outbound id under
+    /// which the response will arrive.
+    pub fn register(&mut self, return_path: P) -> ConnId {
+        let id = ConnId(self.next_id);
+        self.next_id += 1;
+        self.entries.insert(id, return_path);
+        self.max_size = self.max_size.max(self.entries.len());
+        id
+    }
+
+    /// Resolves (and removes) the return path for a completed request.
+    pub fn take(&mut self, id: ConnId) -> Option<P> {
+        self.entries.remove(&id)
+    }
+
+    /// Looks at a return path without consuming it.
+    pub fn peek(&self, id: ConnId) -> Option<&P> {
+        self.entries.get(&id)
+    }
+
+    /// In-flight request count.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no requests are in flight.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Peak simultaneous in-flight requests — the sizing consideration of
+    /// §5: "the size of T should be larger than S in order to avoid
+    /// dropping incoming requests".
+    pub fn max_size(&self) -> usize {
+        self.max_size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_take_roundtrip() {
+        let mut t: RoutingTable<String> = RoutingTable::new();
+        let a = t.register("client-1".to_owned());
+        let b = t.register("client-2".to_owned());
+        assert_ne!(a, b);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.take(a), Some("client-1".to_owned()));
+        assert_eq!(t.take(a), None, "entries are single-use");
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut t: RoutingTable<u32> = RoutingTable::new();
+        let id = t.register(7);
+        assert_eq!(t.peek(id), Some(&7));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn ids_are_unique_across_reuse() {
+        let mut t: RoutingTable<u32> = RoutingTable::new();
+        let a = t.register(1);
+        t.take(a);
+        let b = t.register(2);
+        assert_ne!(a, b, "ids never recycled");
+    }
+
+    #[test]
+    fn max_size_tracks_peak() {
+        let mut t: RoutingTable<u32> = RoutingTable::new();
+        let ids: Vec<ConnId> = (0..5).map(|i| t.register(i)).collect();
+        for id in &ids {
+            t.take(*id);
+        }
+        assert!(t.is_empty());
+        assert_eq!(t.max_size(), 5);
+    }
+}

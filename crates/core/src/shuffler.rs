@@ -1,0 +1,298 @@
+//! Request/response shuffling (§4.3).
+//!
+//! "Incoming requests are buffered until `S` requests are received, or
+//! until a timer expires, and then sent in random order to the next
+//! stage." The [`ShuffleBuffer`] implements exactly that policy as a pure
+//! data structure over abstract deadlines, so both the live (wall-clock)
+//! and simulated (virtual-clock) deployments drive it: callers tell it the
+//! current time, it answers with flush decisions.
+
+use pprox_crypto::rng::SecureRng;
+
+/// Shuffling configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShuffleConfig {
+    /// Buffer size `S`: a flush happens as soon as `S` items are held.
+    /// `S = 1` effectively disables shuffling (m1–m4 configurations).
+    pub size: usize,
+    /// Timer: the oldest buffered item never waits longer than this many
+    /// microseconds before a flush.
+    pub timeout_us: u64,
+}
+
+impl ShuffleConfig {
+    /// Shuffling disabled (`S = 1`): every item flushes immediately.
+    pub fn disabled() -> Self {
+        ShuffleConfig {
+            size: 1,
+            timeout_us: 0,
+        }
+    }
+
+    /// The paper's default micro-benchmark setting `S = 10` with a 500 ms
+    /// timer.
+    pub fn paper_default() -> Self {
+        ShuffleConfig {
+            size: 10,
+            timeout_us: 500_000,
+        }
+    }
+
+    /// `true` when shuffling is effectively off.
+    pub fn is_disabled(&self) -> bool {
+        self.size <= 1
+    }
+}
+
+/// A batch released by the buffer: items in randomized order plus the
+/// (pre-shuffle) arrival times, for latency accounting.
+#[derive(Debug)]
+pub struct Flush<T> {
+    /// Items in randomized forwarding order.
+    pub items: Vec<T>,
+    /// Why the flush happened.
+    pub reason: FlushReason,
+}
+
+/// What triggered a flush.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlushReason {
+    /// The buffer reached `S` items.
+    Full,
+    /// The oldest item hit the timeout.
+    Timeout,
+    /// Explicit drain (shutdown).
+    Drain,
+}
+
+/// The §4.3 shuffle buffer.
+///
+/// # Examples
+///
+/// ```
+/// use pprox_core::shuffler::{ShuffleBuffer, ShuffleConfig};
+///
+/// let mut buf = ShuffleBuffer::new(ShuffleConfig { size: 3, timeout_us: 1_000 }, 42);
+/// assert!(buf.push(0, "a").is_none());
+/// assert!(buf.push(10, "b").is_none());
+/// let flush = buf.push(20, "c").expect("third item fills the buffer");
+/// assert_eq!(flush.items.len(), 3);
+/// ```
+#[derive(Debug)]
+pub struct ShuffleBuffer<T> {
+    config: ShuffleConfig,
+    held: Vec<T>,
+    oldest_at_us: Option<u64>,
+    rng: SecureRng,
+    flushes: u64,
+    timeout_flushes: u64,
+}
+
+impl<T> ShuffleBuffer<T> {
+    /// Creates a buffer; `seed` makes the shuffle order reproducible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.size` is zero.
+    pub fn new(config: ShuffleConfig, seed: u64) -> Self {
+        assert!(config.size > 0, "shuffle size must be at least 1");
+        ShuffleBuffer {
+            config,
+            held: Vec::with_capacity(config.size),
+            oldest_at_us: None,
+            rng: SecureRng::from_seed(seed),
+            flushes: 0,
+            timeout_flushes: 0,
+        }
+    }
+
+    /// Adds an item arriving at `now_us`; returns a flush when the buffer
+    /// reaches `S`.
+    pub fn push(&mut self, now_us: u64, item: T) -> Option<Flush<T>> {
+        if self.held.is_empty() {
+            self.oldest_at_us = Some(now_us);
+        }
+        self.held.push(item);
+        if self.held.len() >= self.config.size {
+            Some(self.flush(FlushReason::Full))
+        } else {
+            None
+        }
+    }
+
+    /// The absolute deadline (µs) by which the buffer must flush, if any
+    /// items are held. The deployment schedules its timer from this.
+    pub fn deadline_us(&self) -> Option<u64> {
+        self.oldest_at_us
+            .map(|t| t + self.config.timeout_us)
+    }
+
+    /// Checks the timer at `now_us`; flushes if the deadline passed.
+    pub fn poll_timeout(&mut self, now_us: u64) -> Option<Flush<T>> {
+        match self.deadline_us() {
+            Some(deadline) if now_us >= deadline && !self.held.is_empty() => {
+                self.timeout_flushes += 1;
+                Some(self.flush(FlushReason::Timeout))
+            }
+            _ => None,
+        }
+    }
+
+    /// Unconditionally flushes whatever is held (used at shutdown).
+    pub fn drain(&mut self) -> Option<Flush<T>> {
+        if self.held.is_empty() {
+            None
+        } else {
+            Some(self.flush(FlushReason::Drain))
+        }
+    }
+
+    fn flush(&mut self, reason: FlushReason) -> Flush<T> {
+        let mut items = std::mem::take(&mut self.held);
+        self.oldest_at_us = None;
+        self.rng.shuffle(&mut items);
+        self.flushes += 1;
+        Flush { items, reason }
+    }
+
+    /// Items currently buffered.
+    pub fn len(&self) -> usize {
+        self.held.len()
+    }
+
+    /// `true` when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.held.is_empty()
+    }
+
+    /// Total flushes so far.
+    pub fn flushes(&self) -> u64 {
+        self.flushes
+    }
+
+    /// Flushes caused by the timer (vs. the buffer filling).
+    pub fn timeout_flushes(&self) -> u64 {
+        self.timeout_flushes
+    }
+
+    /// The configured parameters.
+    pub fn config(&self) -> ShuffleConfig {
+        self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn buf(size: usize, timeout_us: u64) -> ShuffleBuffer<u32> {
+        ShuffleBuffer::new(
+            ShuffleConfig {
+                size,
+                timeout_us,
+            },
+            1234,
+        )
+    }
+
+    #[test]
+    fn flushes_when_full() {
+        let mut b = buf(3, 1_000_000);
+        assert!(b.push(0, 1).is_none());
+        assert!(b.push(1, 2).is_none());
+        let flush = b.push(2, 3).unwrap();
+        assert_eq!(flush.reason, FlushReason::Full);
+        let mut sorted = flush.items.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![1, 2, 3]);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn output_order_is_shuffled() {
+        // Over many flushes of 8 items, at least one must differ from
+        // arrival order (probability of failure ≈ (1/8!)^trials ≈ 0).
+        let mut b = buf(8, 1_000_000);
+        let mut any_permuted = false;
+        for _ in 0..20 {
+            let mut flush = None;
+            for i in 0..8u32 {
+                flush = b.push(0, i).or(flush);
+            }
+            let items = flush.unwrap().items;
+            if items != (0..8).collect::<Vec<_>>() {
+                any_permuted = true;
+            }
+        }
+        assert!(any_permuted, "shuffling never permuted the batch");
+    }
+
+    #[test]
+    fn timer_flushes_partial_batch() {
+        let mut b = buf(10, 500_000);
+        b.push(100, 1);
+        b.push(200, 2);
+        assert_eq!(b.deadline_us(), Some(500_100));
+        assert!(b.poll_timeout(500_099).is_none());
+        let flush = b.poll_timeout(500_100).unwrap();
+        assert_eq!(flush.reason, FlushReason::Timeout);
+        assert_eq!(flush.items.len(), 2);
+        assert_eq!(b.timeout_flushes(), 1);
+        assert_eq!(b.deadline_us(), None);
+    }
+
+    #[test]
+    fn deadline_tracks_oldest_item() {
+        let mut b = buf(10, 1_000);
+        b.push(5_000, 1);
+        b.push(9_000, 2);
+        // Deadline comes from the first (oldest) item.
+        assert_eq!(b.deadline_us(), Some(6_000));
+    }
+
+    #[test]
+    fn size_one_flushes_every_item() {
+        let mut b = buf(1, 0);
+        for i in 0..5u32 {
+            let flush = b.push(i as u64, i).unwrap();
+            assert_eq!(flush.items, vec![i]);
+        }
+        assert_eq!(b.flushes(), 5);
+    }
+
+    #[test]
+    fn drain_returns_remaining() {
+        let mut b = buf(10, 1_000_000);
+        assert!(b.drain().is_none());
+        b.push(0, 7);
+        let flush = b.drain().unwrap();
+        assert_eq!(flush.reason, FlushReason::Drain);
+        assert_eq!(flush.items, vec![7]);
+    }
+
+    #[test]
+    fn empty_buffer_never_times_out() {
+        let mut b = buf(10, 100);
+        assert!(b.poll_timeout(u64::MAX).is_none());
+    }
+
+    #[test]
+    fn config_constructors() {
+        assert!(ShuffleConfig::disabled().is_disabled());
+        let paper = ShuffleConfig::paper_default();
+        assert_eq!(paper.size, 10);
+        assert!(!paper.is_disabled());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_size_panics() {
+        let _ = ShuffleBuffer::<u32>::new(
+            ShuffleConfig {
+                size: 0,
+                timeout_us: 0,
+            },
+            0,
+        );
+    }
+}

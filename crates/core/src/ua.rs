@@ -1,0 +1,212 @@
+//! User Anonymizer (UA) layer — the first proxy layer.
+//!
+//! §3: "The first layer, the User Anonymizer (UA), is responsible for
+//! hiding the identity of the user by replacing it with a pseudonymous
+//! identity. It is able to see the IP address and the identifier of the
+//! user but it is not able to see the identifiers of the items sent by or
+//! returned to this user."
+//!
+//! [`UaState`] is the data-processing logic that runs *inside* a UA
+//! enclave; its only secrets are `skUA` (to decrypt `enc(u, pkUA)`) and
+//! `kUA` (to produce the stable pseudonym `det_enc(u, kUA)`). It never
+//! touches the aux block (item or response key): that is encrypted to the
+//! IA layer.
+
+use crate::keys::LayerSecrets;
+use crate::message::{ClientEnvelope, LayerEnvelope};
+use crate::PProxError;
+
+/// In-enclave state and logic of a UA instance.
+pub struct UaState {
+    secrets: LayerSecrets,
+    processed: u64,
+}
+
+impl std::fmt::Debug for UaState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UaState")
+            .field("processed", &self.processed)
+            .finish()
+    }
+}
+
+impl UaState {
+    /// Creates the state from provisioned layer secrets.
+    pub fn new(secrets: LayerSecrets) -> Self {
+        UaState {
+            secrets,
+            processed: 0,
+        }
+    }
+
+    pub(crate) fn secrets(&self) -> &LayerSecrets {
+        &self.secrets
+    }
+
+    /// Requests processed by this instance.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Transforms a client request into the UA → IA form: decrypts the
+    /// user field with `skUA` and replaces it with the deterministic
+    /// pseudonym `det_enc(u, kUA)`. The aux block passes through untouched.
+    ///
+    /// With `encryption == false` (micro-benchmark m1: all security
+    /// features off) the user field is raw and is forwarded as-is.
+    ///
+    /// # Errors
+    ///
+    /// [`PProxError::Crypto`] when the user field does not decrypt under
+    /// `skUA` (corrupted request or key mismatch).
+    pub fn process(
+        &mut self,
+        envelope: &ClientEnvelope,
+        encryption: bool,
+    ) -> Result<LayerEnvelope, PProxError> {
+        self.processed += 1;
+        let user_pseudonym = if encryption {
+            // The client encrypted the *padded* id, so the decrypted block
+            // is already fixed-size; deterministic CTR keeps it fixed-size.
+            let padded_user = self.secrets.sk.decrypt(&envelope.user)?;
+            self.secrets.k.det_encrypt(&padded_user)
+        } else {
+            envelope.user.clone()
+        };
+        Ok(LayerEnvelope {
+            op: envelope.op,
+            user_pseudonym,
+            aux: envelope.aux.clone(),
+        })
+    }
+
+    /// Recovers the plaintext (padded) user id from a pseudonym — only
+    /// possible *inside* the UA enclave. Exposed for the security-analysis
+    /// harness (§6.1 case 1.c: an adversary holding `kUA` can
+    /// de-pseudonymize LRS user ids).
+    pub fn depseudonymize(&self, pseudonym: &[u8]) -> Vec<u8> {
+        self.secrets.k.det_decrypt(pseudonym)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::{Op, ID_PLAINTEXT_LEN};
+    use pprox_crypto::pad;
+    use pprox_crypto::rng::SecureRng;
+
+    fn setup() -> (UaState, SecureRng) {
+        // Unit test reaches the UA state directly; the enclave wrapper is
+        // exercised in proxy.rs tests.
+        let mut rng = SecureRng::from_seed(11);
+        let (secrets, _pk) = crate::keys::LayerSecrets::generate(1152, &mut rng);
+        (UaState::new(secrets), rng)
+    }
+
+    fn padded(id: &str) -> Vec<u8> {
+        pad::pad(id.as_bytes(), ID_PLAINTEXT_LEN).unwrap()
+    }
+
+    #[test]
+    fn pseudonym_is_deterministic_and_fixed_size() {
+        let (mut ua, mut rng) = setup();
+        let pk = ua.secrets.sk.public_key().clone();
+        let make = |rng: &mut SecureRng, ua: &mut UaState| {
+            let env = ClientEnvelope {
+                op: Op::Post,
+                user: pk.encrypt(&padded("alice"), rng).unwrap(),
+                aux: vec![1, 2, 3],
+            };
+            ua.process(&env, true).unwrap()
+        };
+        let a = make(&mut rng, &mut ua);
+        let b = make(&mut rng, &mut ua);
+        // Ciphertexts differed (randomized RSA) but pseudonyms are equal.
+        assert_eq!(a.user_pseudonym, b.user_pseudonym);
+        assert_eq!(a.user_pseudonym.len(), ID_PLAINTEXT_LEN);
+    }
+
+    #[test]
+    fn different_users_different_pseudonyms() {
+        let (mut ua, mut rng) = setup();
+        let pk = ua.secrets.sk.public_key().clone();
+        let make = |id: &str, rng: &mut SecureRng, ua: &mut UaState| {
+            let env = ClientEnvelope {
+                op: Op::Get,
+                user: pk.encrypt(&padded(id), rng).unwrap(),
+                aux: vec![],
+            };
+            ua.process(&env, true).unwrap().user_pseudonym
+        };
+        assert_ne!(make("alice", &mut rng, &mut ua), make("bob", &mut rng, &mut ua));
+    }
+
+    #[test]
+    fn aux_passes_through_unmodified() {
+        let (mut ua, mut rng) = setup();
+        let pk = ua.secrets.sk.public_key().clone();
+        let aux = vec![0xab; 100];
+        let env = ClientEnvelope {
+            op: Op::Get,
+            user: pk.encrypt(&padded("u"), &mut rng).unwrap(),
+            aux: aux.clone(),
+        };
+        let out = ua.process(&env, true).unwrap();
+        assert_eq!(out.aux, aux);
+        assert_eq!(out.op, Op::Get);
+    }
+
+    #[test]
+    fn passthrough_mode_copies_user() {
+        let (mut ua, _) = setup();
+        let env = ClientEnvelope {
+            op: Op::Post,
+            user: b"alice".to_vec(),
+            aux: b"item".to_vec(),
+        };
+        let out = ua.process(&env, false).unwrap();
+        assert_eq!(out.user_pseudonym, b"alice");
+    }
+
+    #[test]
+    fn garbage_ciphertext_rejected() {
+        let (mut ua, _) = setup();
+        let env = ClientEnvelope {
+            op: Op::Post,
+            user: vec![0u8; 13],
+            aux: vec![],
+        };
+        assert!(matches!(
+            ua.process(&env, true),
+            Err(PProxError::Crypto(_))
+        ));
+    }
+
+    #[test]
+    fn depseudonymize_inverts() {
+        let (mut ua, mut rng) = setup();
+        let pk = ua.secrets.sk.public_key().clone();
+        let env = ClientEnvelope {
+            op: Op::Post,
+            user: pk.encrypt(&padded("carol"), &mut rng).unwrap(),
+            aux: vec![],
+        };
+        let out = ua.process(&env, true).unwrap();
+        let recovered = ua.depseudonymize(&out.user_pseudonym);
+        assert_eq!(pad::unpad(&recovered, ID_PLAINTEXT_LEN).unwrap(), b"carol");
+    }
+
+    #[test]
+    fn processed_counter() {
+        let (mut ua, _) = setup();
+        assert_eq!(ua.processed(), 0);
+        let env = ClientEnvelope {
+            op: Op::Post,
+            user: b"x".to_vec(),
+            aux: vec![],
+        };
+        ua.process(&env, false).unwrap();
+        assert_eq!(ua.processed(), 1);
+    }
+}

@@ -1,0 +1,165 @@
+//! Property-based tests on the proxy's core data structures.
+
+use pprox_core::autoscale::{AutoscaleConfig, Autoscaler};
+use pprox_core::message::{ClientEnvelope, LayerEnvelope, Op};
+use pprox_core::routing::RoutingTable;
+use pprox_core::shuffler::{ShuffleBuffer, ShuffleConfig};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+/// A script of shuffle-buffer operations.
+#[derive(Debug, Clone)]
+enum ShuffleOp {
+    Push(u64),
+    AdvanceAndPoll(u64),
+}
+
+fn shuffle_ops() -> impl Strategy<Value = Vec<ShuffleOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (1u64..10_000).prop_map(ShuffleOp::Push),
+            (1u64..2_000_000).prop_map(ShuffleOp::AdvanceAndPoll),
+        ],
+        1..200,
+    )
+}
+
+proptest! {
+    /// No item is ever lost or duplicated by the shuffle buffer, under
+    /// arbitrary interleavings of pushes and timer polls.
+    #[test]
+    fn shuffler_conserves_items(
+        ops in shuffle_ops(),
+        size in 1usize..20,
+        timeout_us in 1_000u64..1_000_000,
+        seed in any::<u64>(),
+    ) {
+        let mut buffer = ShuffleBuffer::new(
+            ShuffleConfig { size, timeout_us },
+            seed,
+        );
+        let mut now = 0u64;
+        let mut pushed: Vec<u64> = Vec::new();
+        let mut released: Vec<u64> = Vec::new();
+        let mut next_item = 0u64;
+        for op in ops {
+            match op {
+                ShuffleOp::Push(dt) => {
+                    now += dt;
+                    let item = next_item;
+                    next_item += 1;
+                    pushed.push(item);
+                    if let Some(flush) = buffer.push(now, item) {
+                        released.extend(flush.items);
+                    }
+                }
+                ShuffleOp::AdvanceAndPoll(dt) => {
+                    now += dt;
+                    if let Some(flush) = buffer.poll_timeout(now) {
+                        released.extend(flush.items);
+                    }
+                }
+            }
+        }
+        if let Some(flush) = buffer.drain() {
+            released.extend(flush.items);
+        }
+        let mut sorted = released.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, pushed, "conservation violated");
+        // No duplicates.
+        let set: HashSet<u64> = released.iter().copied().collect();
+        prop_assert_eq!(set.len(), released.len());
+    }
+
+    /// Full-buffer flushes always release exactly S items.
+    #[test]
+    fn shuffler_full_flushes_have_exact_size(
+        size in 1usize..30,
+        n in 1usize..200,
+        seed in any::<u64>(),
+    ) {
+        let mut buffer = ShuffleBuffer::new(
+            ShuffleConfig { size, timeout_us: u64::MAX / 2 },
+            seed,
+        );
+        for i in 0..n as u64 {
+            if let Some(flush) = buffer.push(i, i) {
+                prop_assert_eq!(flush.items.len(), size);
+            }
+        }
+        prop_assert!(buffer.len() < size);
+    }
+
+    /// Routing table: every registered id resolves exactly once, ids are
+    /// unique, and the table drains to empty.
+    #[test]
+    fn routing_table_is_a_bijection(values in proptest::collection::vec(any::<u32>(), 0..100)) {
+        let mut table: RoutingTable<u32> = RoutingTable::new();
+        let ids: Vec<_> = values.iter().map(|&v| table.register(v)).collect();
+        let unique: HashSet<_> = ids.iter().copied().collect();
+        prop_assert_eq!(unique.len(), ids.len());
+        for (id, &v) in ids.iter().zip(values.iter()) {
+            prop_assert_eq!(table.take(*id), Some(v));
+            prop_assert_eq!(table.take(*id), None);
+        }
+        prop_assert!(table.is_empty());
+    }
+
+    /// Envelope framing roundtrips for arbitrary field contents within
+    /// the frame budget.
+    #[test]
+    fn envelopes_roundtrip(
+        user in proptest::collection::vec(any::<u8>(), 0..300),
+        aux in proptest::collection::vec(any::<u8>(), 0..300),
+        is_post in any::<bool>(),
+    ) {
+        let op = if is_post { Op::Post } else { Op::Get };
+        let env = ClientEnvelope { op, user: user.clone(), aux: aux.clone() };
+        let frame = env.to_frame().unwrap();
+        prop_assert_eq!(ClientEnvelope::from_frame(&frame).unwrap(), env);
+
+        let layer = LayerEnvelope { op, user_pseudonym: user, aux };
+        let frame = layer.to_frame().unwrap();
+        prop_assert_eq!(LayerEnvelope::from_frame(&frame).unwrap(), layer);
+    }
+
+    /// All frames are constant-size regardless of content.
+    #[test]
+    fn frames_constant_size(
+        user in proptest::collection::vec(any::<u8>(), 0..300),
+        aux in proptest::collection::vec(any::<u8>(), 0..300),
+    ) {
+        let env = ClientEnvelope { op: Op::Get, user, aux };
+        prop_assert_eq!(
+            env.to_frame().unwrap().len(),
+            pprox_core::message::REQUEST_FRAME_LEN
+        );
+    }
+
+    /// The autoscaler never exceeds bounds, never returns zero instances,
+    /// and its target is monotone in load.
+    #[test]
+    fn autoscaler_is_bounded_and_monotone(
+        loads in proptest::collection::vec(0.0f64..5_000.0, 1..50),
+        max in 1usize..32,
+    ) {
+        let config = AutoscaleConfig {
+            max_instances: max,
+            ..AutoscaleConfig::paper_default()
+        };
+        let mut scaler = Autoscaler::new(config, 1);
+        for &rps in &loads {
+            let d = scaler.observe(rps);
+            prop_assert!(d.instances >= 1 && d.instances <= max);
+        }
+        // Monotonicity of the pure target function.
+        let probe = Autoscaler::new(config, 1);
+        let mut last = 0usize;
+        for rps in [0.0, 100.0, 300.0, 700.0, 2_000.0, 4_900.0] {
+            let t = probe.target_for(rps);
+            prop_assert!(t >= last);
+            last = t;
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Standard base64 (RFC 4648) encoding and decoding.
+//!
+//! The paper's implementation stores encrypted content in base64 inside JSON
+//! payloads (§5); this module provides that encoding without an external
+//! dependency.
+
+const ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// Encodes `data` as standard base64 with padding.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(pprox_crypto::base64::encode(b"hi"), "aGk=");
+/// ```
+pub fn encode(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
+    for chunk in data.chunks(3) {
+        let b0 = chunk[0] as u32;
+        let b1 = chunk.get(1).copied().unwrap_or(0) as u32;
+        let b2 = chunk.get(2).copied().unwrap_or(0) as u32;
+        let n = (b0 << 16) | (b1 << 8) | b2;
+        out.push(ALPHABET[(n >> 18) as usize & 0x3f] as char);
+        out.push(ALPHABET[(n >> 12) as usize & 0x3f] as char);
+        out.push(if chunk.len() > 1 {
+            ALPHABET[(n >> 6) as usize & 0x3f] as char
+        } else {
+            '='
+        });
+        out.push(if chunk.len() > 2 {
+            ALPHABET[n as usize & 0x3f] as char
+        } else {
+            '='
+        });
+    }
+    out
+}
+
+/// Error returned by [`decode`] on malformed input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeBase64Error {
+    /// Byte offset of the offending character, if applicable.
+    pub position: Option<usize>,
+}
+
+impl std::fmt::Display for DecodeBase64Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.position {
+            Some(p) => write!(f, "invalid base64 at byte {p}"),
+            None => write!(f, "invalid base64 length"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeBase64Error {}
+
+fn decode_char(c: u8) -> Option<u32> {
+    match c {
+        b'A'..=b'Z' => Some((c - b'A') as u32),
+        b'a'..=b'z' => Some((c - b'a' + 26) as u32),
+        b'0'..=b'9' => Some((c - b'0' + 52) as u32),
+        b'+' => Some(62),
+        b'/' => Some(63),
+        _ => None,
+    }
+}
+
+/// Decodes standard base64 (padding required).
+///
+/// # Errors
+///
+/// Returns [`DecodeBase64Error`] if the input length is not a multiple of 4
+/// or contains characters outside the standard alphabet.
+pub fn decode(s: &str) -> Result<Vec<u8>, DecodeBase64Error> {
+    let bytes = s.as_bytes();
+    if !bytes.len().is_multiple_of(4) {
+        return Err(DecodeBase64Error { position: None });
+    }
+    let mut out = Vec::with_capacity(bytes.len() / 4 * 3);
+    for (chunk_idx, chunk) in bytes.chunks(4).enumerate() {
+        let is_last = (chunk_idx + 1) * 4 == bytes.len();
+        let mut n = 0u32;
+        let mut pad = 0;
+        for (i, &c) in chunk.iter().enumerate() {
+            if c == b'=' {
+                if !is_last || i < 2 {
+                    return Err(DecodeBase64Error {
+                        position: Some(chunk_idx * 4 + i),
+                    });
+                }
+                pad += 1;
+                n <<= 6;
+            } else {
+                if pad > 0 {
+                    // data after padding
+                    return Err(DecodeBase64Error {
+                        position: Some(chunk_idx * 4 + i),
+                    });
+                }
+                let v = decode_char(c).ok_or(DecodeBase64Error {
+                    position: Some(chunk_idx * 4 + i),
+                })?;
+                n = (n << 6) | v;
+            }
+        }
+        out.push((n >> 16) as u8);
+        if pad < 2 {
+            out.push((n >> 8) as u8);
+        }
+        if pad < 1 {
+            out.push(n as u8);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // RFC 4648 §10 test vectors.
+    #[test]
+    fn rfc4648_vectors() {
+        let cases: &[(&[u8], &str)] = &[
+            (b"", ""),
+            (b"f", "Zg=="),
+            (b"fo", "Zm8="),
+            (b"foo", "Zm9v"),
+            (b"foob", "Zm9vYg=="),
+            (b"fooba", "Zm9vYmE="),
+            (b"foobar", "Zm9vYmFy"),
+        ];
+        for (plain, enc) in cases {
+            assert_eq!(encode(plain), *enc);
+            assert_eq!(decode(enc).unwrap(), plain.to_vec());
+        }
+    }
+
+    #[test]
+    fn roundtrip_binary() {
+        let data: Vec<u8> = (0..=255u8).collect();
+        assert_eq!(decode(&encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn rejects_bad_length() {
+        assert!(decode("abc").is_err());
+    }
+
+    #[test]
+    fn rejects_bad_chars() {
+        let err = decode("ab!=").unwrap_err();
+        assert_eq!(err.position, Some(2));
+    }
+
+    #[test]
+    fn rejects_interior_padding() {
+        assert!(decode("Zg==Zg==").is_err());
+        assert!(decode("Z=g=").is_err());
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(
+            decode("a").unwrap_err().to_string(),
+            "invalid base64 length"
+        );
+    }
+}

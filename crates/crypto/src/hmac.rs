@@ -1,0 +1,110 @@
+//! HMAC-SHA256 (RFC 2104 / FIPS 198-1).
+//!
+//! Used by the simulated attestation protocol in `pprox-sgx` to bind quotes
+//! to a platform key, and available for message authentication generally.
+
+use crate::sha256::{Sha256, BLOCK_LEN, DIGEST_LEN};
+
+/// Computes `HMAC-SHA256(key, message)`.
+///
+/// Keys longer than the SHA-256 block size are hashed first, per the RFC.
+///
+/// # Examples
+///
+/// ```
+/// let tag = pprox_crypto::hmac::hmac_sha256(b"key", b"The quick brown fox jumps over the lazy dog");
+/// assert_eq!(tag[0], 0xf7);
+/// ```
+pub fn hmac_sha256(key: &[u8], message: &[u8]) -> [u8; DIGEST_LEN] {
+    let mut key_block = [0u8; BLOCK_LEN];
+    if key.len() > BLOCK_LEN {
+        let digest = crate::sha256::digest(key);
+        key_block[..DIGEST_LEN].copy_from_slice(&digest);
+    } else {
+        key_block[..key.len()].copy_from_slice(key);
+    }
+    let mut ipad = [0x36u8; BLOCK_LEN];
+    let mut opad = [0x5cu8; BLOCK_LEN];
+    for i in 0..BLOCK_LEN {
+        ipad[i] ^= key_block[i];
+        opad[i] ^= key_block[i];
+    }
+    let mut inner = Sha256::new();
+    inner.update(&ipad);
+    inner.update(message);
+    let inner_digest = inner.finalize();
+    let mut outer = Sha256::new();
+    outer.update(&opad);
+    outer.update(&inner_digest);
+    outer.finalize()
+}
+
+/// Constant-time comparison of two byte strings.
+///
+/// Returns `false` when lengths differ. Prevents the trivial timing oracle
+/// on tag verification.
+pub fn verify_tag(expected: &[u8], actual: &[u8]) -> bool {
+    if expected.len() != actual.len() {
+        return false;
+    }
+    let mut acc = 0u8;
+    for (a, b) in expected.iter().zip(actual.iter()) {
+        acc |= a ^ b;
+    }
+    acc == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(d: &[u8]) -> String {
+        d.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    // RFC 4231 test vectors for HMAC-SHA256.
+    #[test]
+    fn rfc4231_case1() {
+        let key = [0x0bu8; 20];
+        let tag = hmac_sha256(&key, b"Hi There");
+        assert_eq!(
+            hex(&tag),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case2() {
+        let tag = hmac_sha256(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            hex(&tag),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case6_long_key() {
+        let key = [0xaau8; 131];
+        let tag = hmac_sha256(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        assert_eq!(
+            hex(&tag),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn verify_tag_matches() {
+        let t = hmac_sha256(b"k", b"m");
+        assert!(verify_tag(&t, &t));
+        let mut bad = t;
+        bad[0] ^= 1;
+        assert!(!verify_tag(&t, &bad));
+        assert!(!verify_tag(&t, &t[..31]));
+    }
+
+    #[test]
+    fn distinct_keys_distinct_tags() {
+        assert_ne!(hmac_sha256(b"k1", b"m"), hmac_sha256(b"k2", b"m"));
+        assert_ne!(hmac_sha256(b"k", b"m1"), hmac_sha256(b"k", b"m2"));
+    }
+}

@@ -1,0 +1,122 @@
+//! Hybrid public-key encryption: RSA-wrapped AES-CTR.
+//!
+//! RSA-OAEP caps plaintexts at `modulus_len − 66` bytes — enough for the
+//! fixed-size identifiers of the base protocol (§4.1), but not for
+//! extended request payloads such as recommendation business rules
+//! (exclusion lists) or the "general services accessed through REST APIs"
+//! the paper's conclusion points at. The standard fix is hybrid
+//! encryption: encrypt a fresh symmetric key under RSA and the payload
+//! under that key.
+//!
+//! Wire layout: `rsa_ct(len = modulus bytes) || aes_ct(iv || body)`.
+
+use crate::ctr::SymmetricKey;
+use crate::rng::SecureRng;
+use crate::rsa::{RsaPrivateKey, RsaPublicKey};
+use crate::CryptoError;
+
+/// Encrypts an arbitrary-length payload to `pk`.
+///
+/// The result is randomized (fresh key and IV per call) and
+/// length-revealing up to the payload size — pad externally when sizes
+/// must be hidden (as the proxy's constant frames do).
+///
+/// # Errors
+///
+/// Propagates RSA errors (cannot occur for supported key sizes: the
+/// wrapped key is 32 bytes).
+pub fn seal(pk: &RsaPublicKey, plaintext: &[u8], rng: &mut SecureRng) -> Result<Vec<u8>, CryptoError> {
+    let key = SymmetricKey::generate(rng);
+    let wrapped = pk.encrypt(key.as_bytes(), rng)?;
+    debug_assert_eq!(wrapped.len(), pk.ciphertext_len());
+    let body = key.encrypt(plaintext, rng);
+    let mut out = Vec::with_capacity(wrapped.len() + body.len());
+    out.extend_from_slice(&wrapped);
+    out.extend_from_slice(&body);
+    Ok(out)
+}
+
+/// Decrypts a [`seal`]ed message.
+///
+/// # Errors
+///
+/// [`CryptoError::DecryptionFailed`] when the blob is too short, the key
+/// unwrap fails, or the body is malformed.
+pub fn open(sk: &RsaPrivateKey, ciphertext: &[u8]) -> Result<Vec<u8>, CryptoError> {
+    let k = sk.public_key().ciphertext_len();
+    if ciphertext.len() < k + 16 {
+        return Err(CryptoError::DecryptionFailed);
+    }
+    let (wrapped, body) = ciphertext.split_at(k);
+    let key_bytes = sk.decrypt(wrapped)?;
+    if key_bytes.len() != 32 {
+        return Err(CryptoError::DecryptionFailed);
+    }
+    let mut key = [0u8; 32];
+    key.copy_from_slice(&key_bytes);
+    SymmetricKey::from_bytes(key)
+        .decrypt(body)
+        .ok_or(CryptoError::DecryptionFailed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rsa::RsaKeyPair;
+    use std::sync::OnceLock;
+
+    fn keys() -> &'static RsaKeyPair {
+        static KEYS: OnceLock<RsaKeyPair> = OnceLock::new();
+        KEYS.get_or_init(|| RsaKeyPair::generate(1152, &mut SecureRng::from_seed(0x4b1d)))
+    }
+
+    #[test]
+    fn roundtrip_small_and_large() {
+        let kp = keys();
+        let mut rng = SecureRng::from_seed(1);
+        for len in [0usize, 1, 32, 100, 1_000, 20_000] {
+            let pt: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+            let ct = seal(&kp.public, &pt, &mut rng).unwrap();
+            assert_eq!(open(&kp.private, &ct).unwrap(), pt, "len {len}");
+        }
+    }
+
+    #[test]
+    fn exceeds_plain_rsa_capacity() {
+        // The whole point: payloads far beyond max_plaintext_len work.
+        let kp = keys();
+        let mut rng = SecureRng::from_seed(2);
+        let pt = vec![7u8; kp.public.max_plaintext_len() * 10];
+        let ct = seal(&kp.public, &pt, &mut rng).unwrap();
+        assert_eq!(open(&kp.private, &ct).unwrap(), pt);
+    }
+
+    #[test]
+    fn randomized() {
+        let kp = keys();
+        let mut rng = SecureRng::from_seed(3);
+        let a = seal(&kp.public, b"same", &mut rng).unwrap();
+        let b = seal(&kp.public, b"same", &mut rng).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn wrong_key_fails() {
+        let kp = keys();
+        let other = RsaKeyPair::generate(1152, &mut SecureRng::from_seed(0x4b1e));
+        let mut rng = SecureRng::from_seed(4);
+        let ct = seal(&kp.public, b"secret", &mut rng).unwrap();
+        assert!(open(&other.private, &ct).is_err());
+    }
+
+    #[test]
+    fn truncated_or_corrupted_fails() {
+        let kp = keys();
+        let mut rng = SecureRng::from_seed(5);
+        let ct = seal(&kp.public, b"payload", &mut rng).unwrap();
+        assert!(open(&kp.private, &ct[..10]).is_err());
+        let mut corrupted = ct.clone();
+        corrupted[5] ^= 1; // inside the RSA-wrapped key
+        assert!(open(&kp.private, &corrupted).is_err());
+    }
+}

@@ -1,0 +1,103 @@
+//! Cryptographic substrate for the PProx reproduction.
+//!
+//! The PProx paper (Middleware '21) builds its privacy-preserving proxy
+//! service on three cryptographic tools (§4.1):
+//!
+//! 1. **Randomized asymmetric encryption** (RSA-OAEP, [`rsa`]) — used by the
+//!    user-side library so that only the intended proxy layer (UA or IA) can
+//!    read a user id, item id, or temporary response key.
+//! 2. **Deterministic symmetric encryption** (AES-256-CTR with a constant
+//!    IV, [`ctr::SymmetricKey::det_encrypt`]) — used by each layer to
+//!    pseudonymize identifiers so the LRS sees stable profiles.
+//! 3. **Randomized symmetric encryption** (AES-256-CTR with a random IV,
+//!    [`ctr::SymmetricKey::encrypt`]) — used by the IA layer to hide
+//!    recommendation lists from the UA layer on the way back.
+//!
+//! The original system uses Intel's OpenSSL SGX port; the reproduction is
+//! restricted to a small offline crate set, so AES, SHA-256, HMAC, RSA and
+//! the big-integer arithmetic below are implemented from scratch and
+//! validated against FIPS/NIST/RFC test vectors.
+//!
+//! # Examples
+//!
+//! ```
+//! use pprox_crypto::rng::SecureRng;
+//! use pprox_crypto::rsa::RsaKeyPair;
+//! use pprox_crypto::ctr::SymmetricKey;
+//!
+//! # fn main() -> Result<(), pprox_crypto::CryptoError> {
+//! let mut rng = SecureRng::from_seed(42);
+//! // A layer key pair (as provisioned to a UA enclave)...
+//! let layer = RsaKeyPair::generate(768, &mut rng);
+//! // ...and the deterministic pseudonymization key.
+//! let k_ua = SymmetricKey::generate(&mut rng);
+//!
+//! let ct = layer.public.encrypt(b"user-7", &mut rng)?;
+//! let user = layer.private.decrypt(&ct)?;
+//! let pseudonym = k_ua.det_encrypt(&user);
+//! assert_eq!(pseudonym, k_ua.det_encrypt(b"user-7"));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aes;
+pub mod base64;
+pub mod bigint;
+pub mod ctr;
+pub mod hmac;
+pub mod hybrid;
+pub mod pad;
+pub mod prime;
+pub mod rng;
+pub mod rsa;
+pub mod sha256;
+
+/// Errors produced by the cryptographic operations in this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CryptoError {
+    /// Plaintext exceeds the capacity of the encryption scheme.
+    MessageTooLong {
+        /// Attempted plaintext length.
+        len: usize,
+        /// Maximum supported plaintext length.
+        max: usize,
+    },
+    /// Ciphertext failed to decrypt (wrong key, wrong length, or corrupted).
+    DecryptionFailed,
+}
+
+impl std::fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CryptoError::MessageTooLong { len, max } => {
+                write!(f, "message of {len} bytes exceeds maximum of {max}")
+            }
+            CryptoError::DecryptionFailed => write!(f, "decryption failed"),
+        }
+    }
+}
+
+impl std::error::Error for CryptoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        assert_eq!(
+            CryptoError::MessageTooLong { len: 10, max: 5 }.to_string(),
+            "message of 10 bytes exceeds maximum of 5"
+        );
+        assert_eq!(CryptoError::DecryptionFailed.to_string(), "decryption failed");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CryptoError>();
+    }
+}

@@ -1,0 +1,188 @@
+//! Probabilistic prime generation for RSA key material.
+//!
+//! Candidates are sieved against a table of small primes and then subjected
+//! to Miller–Rabin rounds; the error probability after `MILLER_RABIN_ROUNDS`
+//! rounds is below 2⁻⁸⁰ for the candidate sizes used here.
+
+use crate::bigint::BigUint;
+use crate::rng::SecureRng;
+
+/// Number of Miller–Rabin witnesses tested per candidate.
+pub const MILLER_RABIN_ROUNDS: usize = 40;
+
+/// Small primes used to cheaply reject most candidates before Miller–Rabin.
+const SMALL_PRIMES: [u64; 60] = [
+    3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89, 97,
+    101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191, 193,
+    197, 199, 211, 223, 227, 229, 233, 239, 241, 251, 257, 263, 269, 271, 277, 281, 283,
+];
+
+/// Miller–Rabin primality test with `rounds` random witnesses.
+///
+/// Returns `true` if `n` is probably prime. Deterministically correct for
+/// `n < 3` and even `n`.
+pub fn is_probable_prime(n: &BigUint, rounds: usize, rng: &mut SecureRng) -> bool {
+    let two = BigUint::from_u64(2);
+    if n < &two {
+        return false;
+    }
+    if n == &two {
+        return true;
+    }
+    if n.is_even() {
+        return false;
+    }
+    for &p in &SMALL_PRIMES {
+        let pb = BigUint::from_u64(p);
+        if n == &pb {
+            return true;
+        }
+        if n.rem(&pb).is_zero() {
+            return false;
+        }
+    }
+    // n - 1 = d * 2^r with d odd
+    let n_minus_1 = n.sub(&BigUint::one());
+    let mut d = n_minus_1.clone();
+    let mut r = 0usize;
+    while d.is_even() {
+        d = d.shr(1);
+        r += 1;
+    }
+    'witness: for _ in 0..rounds {
+        let a = random_in_range(&two, &n_minus_1, rng);
+        let mut x = a.mod_pow(&d, n);
+        if x.is_one() || x == n_minus_1 {
+            continue 'witness;
+        }
+        for _ in 0..r - 1 {
+            x = x.mod_mul(&x, n);
+            if x == n_minus_1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Uniform random value in `[low, high)`.
+fn random_in_range(low: &BigUint, high: &BigUint, rng: &mut SecureRng) -> BigUint {
+    debug_assert!(low < high);
+    let span = high.sub(low);
+    let bits = span.bit_len();
+    let bytes = bits.div_ceil(8);
+    loop {
+        let mut buf = vec![0u8; bytes];
+        rng.fill(&mut buf);
+        // Mask excess top bits so the rejection rate stays below 50%.
+        let excess = bytes * 8 - bits;
+        if excess > 0 {
+            buf[0] &= 0xff >> excess;
+        }
+        let v = BigUint::from_bytes_be(&buf);
+        if v < span {
+            return low.add(&v);
+        }
+    }
+}
+
+/// Generates a random probable prime of exactly `bits` bits.
+///
+/// The top two bits are forced to 1 (so products of two such primes have
+/// exactly `2*bits` bits, as RSA key generation requires) and the low bit is
+/// forced to 1.
+///
+/// # Panics
+///
+/// Panics if `bits < 16`.
+pub fn generate_prime(bits: usize, rng: &mut SecureRng) -> BigUint {
+    assert!(bits >= 16, "prime size too small");
+    let bytes = bits.div_ceil(8);
+    loop {
+        let mut buf = vec![0u8; bytes];
+        rng.fill(&mut buf);
+        let excess = bytes * 8 - bits;
+        buf[0] &= 0xff >> excess;
+        // Force the two most significant bits of the requested width.
+        let top_bit = 7 - excess; // bit index within buf[0]
+        if top_bit == 0 {
+            buf[0] |= 1;
+            buf[1] |= 0x80;
+        } else {
+            buf[0] |= 1 << top_bit;
+            buf[0] |= 1 << (top_bit - 1);
+        }
+        *buf.last_mut().expect("nonempty") |= 1; // odd
+        let candidate = BigUint::from_bytes_be(&buf);
+        debug_assert_eq!(candidate.bit_len(), bits);
+        if is_probable_prime(&candidate, MILLER_RABIN_ROUNDS, rng) {
+            return candidate;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_primes_pass() {
+        let mut rng = SecureRng::from_seed(1);
+        for p in [2u64, 3, 5, 7, 11, 13, 101, 257, 65_537, 1_000_000_007] {
+            assert!(
+                is_probable_prime(&BigUint::from_u64(p), 10, &mut rng),
+                "{p} should be prime"
+            );
+        }
+    }
+
+    #[test]
+    fn small_composites_fail() {
+        let mut rng = SecureRng::from_seed(2);
+        for c in [0u64, 1, 4, 9, 15, 100, 561 /* Carmichael */, 65_535, 1_000_000_008] {
+            assert!(
+                !is_probable_prime(&BigUint::from_u64(c), 10, &mut rng),
+                "{c} should be composite"
+            );
+        }
+    }
+
+    #[test]
+    fn carmichael_numbers_rejected() {
+        // Carmichael numbers fool Fermat but not Miller–Rabin.
+        let mut rng = SecureRng::from_seed(3);
+        for c in [561u64, 1105, 1729, 2465, 2821, 6601, 8911] {
+            assert!(!is_probable_prime(&BigUint::from_u64(c), 20, &mut rng));
+        }
+    }
+
+    #[test]
+    fn generated_prime_has_exact_bit_length() {
+        let mut rng = SecureRng::from_seed(4);
+        for bits in [64usize, 128, 256] {
+            let p = generate_prime(bits, &mut rng);
+            assert_eq!(p.bit_len(), bits);
+            assert!(!p.is_even());
+        }
+    }
+
+    #[test]
+    fn generated_primes_differ() {
+        let mut rng = SecureRng::from_seed(5);
+        let a = generate_prime(128, &mut rng);
+        let b = generate_prime(128, &mut rng);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn mersenne_prime_passes() {
+        let mut rng = SecureRng::from_seed(6);
+        // 2^127 - 1 is prime.
+        let m127 = BigUint::one().shl(127).sub(&BigUint::one());
+        assert!(is_probable_prime(&m127, 20, &mut rng));
+        // 2^128 - 1 is composite.
+        let m128 = BigUint::one().shl(128).sub(&BigUint::one());
+        assert!(!is_probable_prime(&m128, 20, &mut rng));
+    }
+}

@@ -1,0 +1,374 @@
+//! RSA public-key encryption with OAEP padding (SHA-256 / MGF1).
+//!
+//! The PProx user-side library encrypts the user identifier under the UA
+//! layer's public key, and the item identifier (or the temporary response
+//! key `k_u`) under the IA layer's public key (§4.1, §4.2). Randomized
+//! asymmetric encryption is essential there: two encryptions of the same
+//! identifier must be unlinkable, which is why the same ciphertext cannot
+//! double as a pseudonym.
+//!
+//! Decryption uses the Chinese Remainder Theorem for a ~4× speedup, as any
+//! production RSA implementation does.
+
+use crate::bigint::BigUint;
+use crate::prime::generate_prime;
+use crate::rng::SecureRng;
+use crate::sha256;
+use crate::CryptoError;
+
+/// Default modulus size for PProx layer keys.
+pub const DEFAULT_MODULUS_BITS: usize = 2048;
+
+/// Public RSA exponent (F4).
+const E: u64 = 65_537;
+
+/// An RSA public key `(n, e)`.
+#[derive(Clone, PartialEq, Eq)]
+pub struct RsaPublicKey {
+    n: BigUint,
+    e: BigUint,
+    modulus_len: usize,
+}
+
+impl std::fmt::Debug for RsaPublicKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RsaPublicKey")
+            .field("bits", &self.n.bit_len())
+            .field("fingerprint", &crate::base64::encode(&self.fingerprint()[..6]))
+            .finish()
+    }
+}
+
+/// An RSA private key with CRT parameters.
+#[derive(Clone)]
+pub struct RsaPrivateKey {
+    public: RsaPublicKey,
+    p: BigUint,
+    q: BigUint,
+    dp: BigUint,
+    dq: BigUint,
+    qinv: BigUint,
+}
+
+impl std::fmt::Debug for RsaPrivateKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print private material.
+        f.debug_struct("RsaPrivateKey")
+            .field("bits", &self.public.n.bit_len())
+            .finish()
+    }
+}
+
+/// A freshly generated key pair.
+#[derive(Clone, Debug)]
+pub struct RsaKeyPair {
+    /// Shareable encryption key.
+    pub public: RsaPublicKey,
+    /// Secret decryption key (provisioned to an enclave layer).
+    pub private: RsaPrivateKey,
+}
+
+impl RsaKeyPair {
+    /// Generates a key pair with a modulus of `bits` bits.
+    ///
+    /// 2048 bits ([`DEFAULT_MODULUS_BITS`]) matches the paper's deployment;
+    /// tests use smaller sizes for speed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits < 576` (the OAEP-SHA256 minimum) or `bits` is odd.
+    pub fn generate(bits: usize, rng: &mut SecureRng) -> Self {
+        assert!(bits >= 576, "modulus too small for OAEP-SHA256");
+        assert!(bits.is_multiple_of(2), "modulus bits must be even");
+        let e = BigUint::from_u64(E);
+        loop {
+            let p = generate_prime(bits / 2, rng);
+            let q = generate_prime(bits / 2, rng);
+            if p == q {
+                continue;
+            }
+            let n = p.mul(&q);
+            let p1 = p.sub(&BigUint::one());
+            let q1 = q.sub(&BigUint::one());
+            let phi = p1.mul(&q1);
+            let Some(d) = e.mod_inverse(&phi) else {
+                continue; // gcd(e, phi) != 1; pick new primes
+            };
+            let dp = d.rem(&p1);
+            let dq = d.rem(&q1);
+            let Some(qinv) = q.mod_inverse(&p) else {
+                continue;
+            };
+            let modulus_len = bits / 8;
+            let public = RsaPublicKey {
+                n,
+                e,
+                modulus_len,
+            };
+            let private = RsaPrivateKey {
+                public: public.clone(),
+                p,
+                q,
+                dp,
+                dq,
+                qinv,
+            };
+            return RsaKeyPair { public, private };
+        }
+    }
+}
+
+impl RsaPublicKey {
+    /// Ciphertext (= modulus) length in bytes.
+    pub fn ciphertext_len(&self) -> usize {
+        self.modulus_len
+    }
+
+    /// Largest plaintext accepted by [`encrypt`](Self::encrypt).
+    pub fn max_plaintext_len(&self) -> usize {
+        self.modulus_len - 2 * sha256::DIGEST_LEN - 2
+    }
+
+    /// SHA-256 fingerprint of the public key (used as a key id in
+    /// attestation transcripts).
+    pub fn fingerprint(&self) -> [u8; sha256::DIGEST_LEN] {
+        let mut h = sha256::Sha256::new();
+        h.update(&self.n.to_bytes_be());
+        h.update(&self.e.to_bytes_be());
+        h.finalize()
+    }
+
+    /// Encrypts `plaintext` with OAEP padding. The result is always exactly
+    /// [`ciphertext_len`](Self::ciphertext_len) bytes and is randomized: two
+    /// encryptions of the same plaintext differ.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::MessageTooLong`] if the plaintext exceeds
+    /// [`max_plaintext_len`](Self::max_plaintext_len).
+    pub fn encrypt(&self, plaintext: &[u8], rng: &mut SecureRng) -> Result<Vec<u8>, CryptoError> {
+        let k = self.modulus_len;
+        let h_len = sha256::DIGEST_LEN;
+        if plaintext.len() > self.max_plaintext_len() {
+            return Err(CryptoError::MessageTooLong {
+                len: plaintext.len(),
+                max: self.max_plaintext_len(),
+            });
+        }
+        // EME-OAEP encoding (RFC 8017 §7.1.1) with an empty label.
+        let l_hash = sha256::digest(b"");
+        let mut db = Vec::with_capacity(k - h_len - 1);
+        db.extend_from_slice(&l_hash);
+        db.resize(k - h_len - 1 - plaintext.len() - 1, 0);
+        db.push(0x01);
+        db.extend_from_slice(plaintext);
+        let mut seed = vec![0u8; h_len];
+        rng.fill(&mut seed);
+        let db_mask = mgf1(&seed, db.len());
+        for (b, m) in db.iter_mut().zip(db_mask.iter()) {
+            *b ^= m;
+        }
+        let seed_mask = mgf1(&db, h_len);
+        for (b, m) in seed.iter_mut().zip(seed_mask.iter()) {
+            *b ^= m;
+        }
+        let mut em = Vec::with_capacity(k);
+        em.push(0x00);
+        em.extend_from_slice(&seed);
+        em.extend_from_slice(&db);
+        let m = BigUint::from_bytes_be(&em);
+        let c = m.mod_pow(&self.e, &self.n);
+        Ok(c.to_bytes_be_padded(k))
+    }
+}
+
+impl RsaPrivateKey {
+    /// The matching public key.
+    pub fn public_key(&self) -> &RsaPublicKey {
+        &self.public
+    }
+
+    /// Decrypts an OAEP ciphertext produced by [`RsaPublicKey::encrypt`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::DecryptionFailed`] when the ciphertext has the
+    /// wrong length, is out of range, or the OAEP structure does not verify
+    /// (wrong key or corrupted data).
+    pub fn decrypt(&self, ciphertext: &[u8]) -> Result<Vec<u8>, CryptoError> {
+        let k = self.public.modulus_len;
+        let h_len = sha256::DIGEST_LEN;
+        if ciphertext.len() != k {
+            return Err(CryptoError::DecryptionFailed);
+        }
+        let c = BigUint::from_bytes_be(ciphertext);
+        if c >= self.public.n {
+            return Err(CryptoError::DecryptionFailed);
+        }
+        // CRT: m = m2 + q * ((m1 - m2) * qinv mod p)
+        let m1 = c.rem(&self.p).mod_pow(&self.dp, &self.p);
+        let m2 = c.rem(&self.q).mod_pow(&self.dq, &self.q);
+        let diff = if m1 >= m2 {
+            m1.sub(&m2)
+        } else {
+            // (m1 - m2) mod p
+            self.p.sub(&m2.sub(&m1).rem(&self.p))
+        };
+        let h = diff.mod_mul(&self.qinv, &self.p);
+        let m = m2.add(&self.q.mul(&h));
+        let em = m.to_bytes_be_padded(k);
+        // EME-OAEP decoding.
+        if em[0] != 0 {
+            return Err(CryptoError::DecryptionFailed);
+        }
+        let mut seed = em[1..1 + h_len].to_vec();
+        let mut db = em[1 + h_len..].to_vec();
+        let seed_mask = mgf1(&db, h_len);
+        for (b, m) in seed.iter_mut().zip(seed_mask.iter()) {
+            *b ^= m;
+        }
+        let db_mask = mgf1(&seed, db.len());
+        for (b, m) in db.iter_mut().zip(db_mask.iter()) {
+            *b ^= m;
+        }
+        let l_hash = sha256::digest(b"");
+        if db[..h_len] != l_hash {
+            return Err(CryptoError::DecryptionFailed);
+        }
+        // Skip zero padding until the 0x01 separator.
+        let mut idx = h_len;
+        while idx < db.len() && db[idx] == 0 {
+            idx += 1;
+        }
+        if idx >= db.len() || db[idx] != 0x01 {
+            return Err(CryptoError::DecryptionFailed);
+        }
+        Ok(db[idx + 1..].to_vec())
+    }
+}
+
+/// MGF1 mask generation (RFC 8017 §B.2.1) over SHA-256.
+fn mgf1(seed: &[u8], len: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(len + sha256::DIGEST_LEN);
+    let mut counter = 0u32;
+    while out.len() < len {
+        let mut h = sha256::Sha256::new();
+        h.update(seed);
+        h.update(&counter.to_be_bytes());
+        out.extend_from_slice(&h.finalize());
+        counter += 1;
+    }
+    out.truncate(len);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_keys() -> RsaKeyPair {
+        // 768-bit keys keep the test fast; production code uses 2048.
+        let mut rng = SecureRng::from_seed(0xdead_beef);
+        RsaKeyPair::generate(768, &mut rng)
+    }
+
+    #[test]
+    fn roundtrip() {
+        let kp = test_keys();
+        let mut rng = SecureRng::from_seed(1);
+        let ct = kp.public.encrypt(b"user-4711", &mut rng).unwrap();
+        assert_eq!(ct.len(), kp.public.ciphertext_len());
+        assert_eq!(kp.private.decrypt(&ct).unwrap(), b"user-4711");
+    }
+
+    #[test]
+    fn empty_plaintext_roundtrip() {
+        let kp = test_keys();
+        let mut rng = SecureRng::from_seed(2);
+        let ct = kp.public.encrypt(b"", &mut rng).unwrap();
+        assert_eq!(kp.private.decrypt(&ct).unwrap(), b"");
+    }
+
+    #[test]
+    fn max_length_plaintext_roundtrip() {
+        let kp = test_keys();
+        let mut rng = SecureRng::from_seed(3);
+        let pt = vec![0xabu8; kp.public.max_plaintext_len()];
+        let ct = kp.public.encrypt(&pt, &mut rng).unwrap();
+        assert_eq!(kp.private.decrypt(&ct).unwrap(), pt);
+    }
+
+    #[test]
+    fn over_length_plaintext_rejected() {
+        let kp = test_keys();
+        let mut rng = SecureRng::from_seed(4);
+        let pt = vec![0u8; kp.public.max_plaintext_len() + 1];
+        assert!(matches!(
+            kp.public.encrypt(&pt, &mut rng),
+            Err(CryptoError::MessageTooLong { .. })
+        ));
+    }
+
+    #[test]
+    fn encryption_is_randomized() {
+        // This is the property §3 of the paper leans on: a ciphertext of a
+        // user id cannot serve as a stable pseudonym.
+        let kp = test_keys();
+        let mut rng = SecureRng::from_seed(5);
+        let a = kp.public.encrypt(b"u", &mut rng).unwrap();
+        let b = kp.public.encrypt(b"u", &mut rng).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn corrupted_ciphertext_fails() {
+        let kp = test_keys();
+        let mut rng = SecureRng::from_seed(6);
+        let mut ct = kp.public.encrypt(b"x", &mut rng).unwrap();
+        ct[10] ^= 0xff;
+        assert!(kp.private.decrypt(&ct).is_err());
+    }
+
+    #[test]
+    fn wrong_key_fails() {
+        let kp1 = test_keys();
+        let mut rng = SecureRng::from_seed(7);
+        let kp2 = RsaKeyPair::generate(768, &mut rng);
+        let ct = kp1.public.encrypt(b"x", &mut rng).unwrap();
+        assert!(kp2.private.decrypt(&ct).is_err());
+    }
+
+    #[test]
+    fn wrong_length_ciphertext_fails() {
+        let kp = test_keys();
+        assert!(kp.private.decrypt(&[0u8; 10]).is_err());
+    }
+
+    #[test]
+    fn fingerprints_are_stable_and_distinct() {
+        let kp1 = test_keys();
+        let kp2 = test_keys(); // same seed → same key
+        assert_eq!(kp1.public.fingerprint(), kp2.public.fingerprint());
+        let mut rng = SecureRng::from_seed(99);
+        let kp3 = RsaKeyPair::generate(768, &mut rng);
+        assert_ne!(kp1.public.fingerprint(), kp3.public.fingerprint());
+    }
+
+    #[test]
+    fn debug_output_hides_secrets() {
+        let kp = test_keys();
+        let s = format!("{:?}", kp.private);
+        assert_eq!(s, "RsaPrivateKey { bits: 768 }");
+    }
+
+    #[test]
+    fn mgf1_lengths() {
+        assert_eq!(mgf1(b"seed", 0).len(), 0);
+        assert_eq!(mgf1(b"seed", 31).len(), 31);
+        assert_eq!(mgf1(b"seed", 32).len(), 32);
+        assert_eq!(mgf1(b"seed", 100).len(), 100);
+        // Deterministic
+        assert_eq!(mgf1(b"seed", 64), mgf1(b"seed", 64));
+        assert_ne!(mgf1(b"seed", 64), mgf1(b"tree", 64));
+    }
+}

@@ -1,0 +1,127 @@
+//! Property-based tests over the cryptographic substrate.
+
+use pprox_crypto::base64;
+use pprox_crypto::bigint::BigUint;
+use pprox_crypto::ctr::SymmetricKey;
+use pprox_crypto::pad;
+use pprox_crypto::rng::SecureRng;
+use pprox_crypto::rsa::RsaKeyPair;
+use pprox_crypto::sha256;
+use proptest::prelude::*;
+
+fn biguint_strategy() -> impl Strategy<Value = BigUint> {
+    proptest::collection::vec(any::<u8>(), 0..40).prop_map(|b| BigUint::from_bytes_be(&b))
+}
+
+proptest! {
+    #[test]
+    fn bigint_add_commutes(a in biguint_strategy(), b in biguint_strategy()) {
+        prop_assert_eq!(a.add(&b), b.add(&a));
+    }
+
+    #[test]
+    fn bigint_mul_commutes(a in biguint_strategy(), b in biguint_strategy()) {
+        prop_assert_eq!(a.mul(&b), b.mul(&a));
+    }
+
+    #[test]
+    fn bigint_add_sub_roundtrip(a in biguint_strategy(), b in biguint_strategy()) {
+        prop_assert_eq!(a.add(&b).sub(&b), a);
+    }
+
+    #[test]
+    fn bigint_divrem_identity(a in biguint_strategy(), b in biguint_strategy()) {
+        prop_assume!(!b.is_zero());
+        let (q, r) = a.divrem(&b);
+        prop_assert!(r < b);
+        prop_assert_eq!(q.mul(&b).add(&r), a);
+    }
+
+    #[test]
+    fn bigint_mul_distributes(a in biguint_strategy(), b in biguint_strategy(), c in biguint_strategy()) {
+        prop_assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
+    }
+
+    #[test]
+    fn bigint_bytes_roundtrip(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let v = BigUint::from_bytes_be(&bytes);
+        prop_assert_eq!(BigUint::from_bytes_be(&v.to_bytes_be()), v);
+    }
+
+    #[test]
+    fn bigint_shift_roundtrip(a in biguint_strategy(), n in 0usize..200) {
+        prop_assert_eq!(a.shl(n).shr(n), a);
+    }
+
+    #[test]
+    fn bigint_mod_pow_mul_law(a in biguint_strategy(), m in biguint_strategy()) {
+        // a^2 * a = a^3 (mod m)
+        prop_assume!(m > BigUint::one());
+        let a2 = a.mod_pow(&BigUint::from_u64(2), &m);
+        let a3 = a.mod_pow(&BigUint::from_u64(3), &m);
+        prop_assert_eq!(a2.mod_mul(&a.rem(&m), &m), a3);
+    }
+
+    #[test]
+    fn base64_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..300)) {
+        prop_assert_eq!(base64::decode(&base64::encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn det_encrypt_roundtrip(key in any::<[u8; 32]>(), data in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let k = SymmetricKey::from_bytes(key);
+        prop_assert_eq!(k.det_decrypt(&k.det_encrypt(&data)), data);
+    }
+
+    #[test]
+    fn randomized_encrypt_roundtrip(key in any::<[u8; 32]>(), data in proptest::collection::vec(any::<u8>(), 0..200), seed in any::<u64>()) {
+        let k = SymmetricKey::from_bytes(key);
+        let mut rng = SecureRng::from_seed(seed);
+        let ct = k.encrypt(&data, &mut rng);
+        prop_assert_eq!(k.decrypt(&ct).unwrap(), data);
+    }
+
+    #[test]
+    fn pad_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..100), extra in 0usize..64) {
+        let frame = data.len() + 4 + extra;
+        let framed = pad::pad(&data, frame).unwrap();
+        prop_assert_eq!(framed.len(), frame);
+        prop_assert_eq!(pad::unpad(&framed, frame).unwrap(), data);
+    }
+
+    #[test]
+    fn sha256_incremental_matches(data in proptest::collection::vec(any::<u8>(), 0..500), split in 0usize..500) {
+        let split = split.min(data.len());
+        let mut h = sha256::Sha256::new();
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        prop_assert_eq!(h.finalize(), sha256::digest(&data));
+    }
+}
+
+// RSA proptests use a single cached key pair: keygen is the expensive part.
+fn shared_keys() -> &'static RsaKeyPair {
+    use std::sync::OnceLock;
+    static KEYS: OnceLock<RsaKeyPair> = OnceLock::new();
+    KEYS.get_or_init(|| RsaKeyPair::generate(768, &mut SecureRng::from_seed(0x5eed)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn rsa_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..30), seed in any::<u64>()) {
+        let kp = shared_keys();
+        let mut rng = SecureRng::from_seed(seed);
+        let ct = kp.public.encrypt(&data, &mut rng).unwrap();
+        prop_assert_eq!(kp.private.decrypt(&ct).unwrap(), data);
+    }
+
+    #[test]
+    fn rsa_ciphertexts_constant_size(data in proptest::collection::vec(any::<u8>(), 0..30), seed in any::<u64>()) {
+        let kp = shared_keys();
+        let mut rng = SecureRng::from_seed(seed);
+        let ct = kp.public.encrypt(&data, &mut rng).unwrap();
+        prop_assert_eq!(ct.len(), kp.public.ciphertext_len());
+    }
+}

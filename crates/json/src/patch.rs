@@ -1,0 +1,310 @@
+//! In-place field rewriting on raw JSON text.
+//!
+//! The paper's in-enclave data-processing threads "retrieve and/or update
+//! JSON fields in place and with minimal copy overhead" (§5): a proxy layer
+//! replaces exactly one field of a request (e.g. swapping the encrypted user
+//! id for a pseudonym) without re-serializing the whole document. This
+//! module provides that primitive: it locates a top-level field's value span
+//! in the source text and splices in a replacement, leaving every other byte
+//! untouched.
+
+use crate::ParseJsonError;
+
+/// Locates the byte span of the *value* of top-level field `key` in a JSON
+/// object document.
+///
+/// Only top-level (depth-1) keys are matched; an identically named key in a
+/// nested object is ignored.
+///
+/// # Errors
+///
+/// Returns an error when the document is not a syntactically plausible
+/// object or the key is absent.
+pub fn find_field_span(doc: &str, key: &str) -> Result<std::ops::Range<usize>, ParseJsonError> {
+    let bytes = doc.as_bytes();
+    let mut pos = skip_ws(bytes, 0);
+    if bytes.get(pos) != Some(&b'{') {
+        return Err(ParseJsonError {
+            offset: pos,
+            message: "expected object document",
+        });
+    }
+    pos += 1;
+    loop {
+        pos = skip_ws(bytes, pos);
+        if bytes.get(pos) == Some(&b'}') {
+            return Err(ParseJsonError {
+                offset: pos,
+                message: "field not found",
+            });
+        }
+        let (k, after_key) = scan_string(bytes, pos)?;
+        pos = skip_ws(bytes, after_key);
+        if bytes.get(pos) != Some(&b':') {
+            return Err(ParseJsonError {
+                offset: pos,
+                message: "expected ':'",
+            });
+        }
+        pos = skip_ws(bytes, pos + 1);
+        let value_start = pos;
+        let value_end = scan_value(bytes, pos)?;
+        if k == key {
+            return Ok(value_start..value_end);
+        }
+        pos = skip_ws(bytes, value_end);
+        match bytes.get(pos) {
+            Some(b',') => pos += 1,
+            Some(b'}') => {
+                return Err(ParseJsonError {
+                    offset: pos,
+                    message: "field not found",
+                })
+            }
+            _ => {
+                return Err(ParseJsonError {
+                    offset: pos,
+                    message: "expected ',' or '}'",
+                })
+            }
+        }
+    }
+}
+
+/// Returns the raw text of top-level field `key`'s value.
+///
+/// # Errors
+///
+/// Same conditions as [`find_field_span`].
+///
+/// # Examples
+///
+/// ```
+/// let doc = r#"{"user":"enc...","item":"xyz"}"#;
+/// assert_eq!(pprox_json::patch::get_raw_field(doc, "item")?, "\"xyz\"");
+/// # Ok::<(), pprox_json::ParseJsonError>(())
+/// ```
+pub fn get_raw_field<'a>(doc: &'a str, key: &str) -> Result<&'a str, ParseJsonError> {
+    let span = find_field_span(doc, key)?;
+    Ok(&doc[span])
+}
+
+/// Replaces the value of top-level field `key` with `new_raw_value` (which
+/// must itself be valid JSON text) and returns the patched document.
+///
+/// Bytes outside the replaced span are copied verbatim — the "minimal copy"
+/// discipline of the paper's in-enclave parser.
+///
+/// # Errors
+///
+/// Same conditions as [`find_field_span`].
+///
+/// # Examples
+///
+/// ```
+/// let doc = r#"{"user":"alice","item":"i9"}"#;
+/// let patched = pprox_json::patch::replace_field(doc, "user", "\"p-77\"")?;
+/// assert_eq!(patched, r#"{"user":"p-77","item":"i9"}"#);
+/// # Ok::<(), pprox_json::ParseJsonError>(())
+/// ```
+pub fn replace_field(doc: &str, key: &str, new_raw_value: &str) -> Result<String, ParseJsonError> {
+    let span = find_field_span(doc, key)?;
+    let mut out = String::with_capacity(doc.len() - span.len() + new_raw_value.len());
+    out.push_str(&doc[..span.start]);
+    out.push_str(new_raw_value);
+    out.push_str(&doc[span.end..]);
+    Ok(out)
+}
+
+fn skip_ws(bytes: &[u8], mut pos: usize) -> usize {
+    while matches!(bytes.get(pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+        pos += 1;
+    }
+    pos
+}
+
+/// Scans a string starting at `pos` (must be `"`), returning its decoded
+/// content and the position after the closing quote.
+fn scan_string(bytes: &[u8], pos: usize) -> Result<(String, usize), ParseJsonError> {
+    if bytes.get(pos) != Some(&b'"') {
+        return Err(ParseJsonError {
+            offset: pos,
+            message: "expected string key",
+        });
+    }
+    let mut i = pos + 1;
+    let mut out = Vec::new();
+    while let Some(&b) = bytes.get(i) {
+        match b {
+            b'"' => {
+                let s = String::from_utf8(out).map_err(|_| ParseJsonError {
+                    offset: pos,
+                    message: "invalid UTF-8 in key",
+                })?;
+                return Ok((s, i + 1));
+            }
+            b'\\' => {
+                // Keys in proxy messages are plain identifiers; keep escapes
+                // byte-identical rather than decoding (sufficient for lookup).
+                out.push(b);
+                if let Some(&n) = bytes.get(i + 1) {
+                    out.push(n);
+                }
+                i += 2;
+            }
+            _ => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    Err(ParseJsonError {
+        offset: i,
+        message: "unterminated string",
+    })
+}
+
+/// Scans any JSON value starting at `pos`, returning the position one past
+/// its end. Structure-aware but tolerant: it tracks bracket depth and string
+/// state rather than fully validating.
+fn scan_value(bytes: &[u8], pos: usize) -> Result<usize, ParseJsonError> {
+    match bytes.get(pos) {
+        Some(b'"') => scan_string(bytes, pos).map(|(_, end)| end),
+        Some(b'{' | b'[') => {
+            let mut depth = 0usize;
+            let mut i = pos;
+            let mut in_string = false;
+            while let Some(&b) = bytes.get(i) {
+                if in_string {
+                    match b {
+                        b'\\' => i += 1,
+                        b'"' => in_string = false,
+                        _ => {}
+                    }
+                } else {
+                    match b {
+                        b'"' => in_string = true,
+                        b'{' | b'[' => depth += 1,
+                        b'}' | b']' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                return Ok(i + 1);
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                i += 1;
+            }
+            Err(ParseJsonError {
+                offset: i,
+                message: "unterminated container",
+            })
+        }
+        Some(_) => {
+            // Scalar: scan to the next delimiter.
+            let mut i = pos;
+            while let Some(&b) = bytes.get(i) {
+                if matches!(b, b',' | b'}' | b']' | b' ' | b'\t' | b'\n' | b'\r') {
+                    break;
+                }
+                i += 1;
+            }
+            if i == pos {
+                Err(ParseJsonError {
+                    offset: pos,
+                    message: "expected value",
+                })
+            } else {
+                Ok(i)
+            }
+        }
+        None => Err(ParseJsonError {
+            offset: pos,
+            message: "expected value",
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOC: &str = r#"{"user":"alice","item":{"id":"i1","tags":[1,2]},"n":42,"flag":true}"#;
+
+    #[test]
+    fn get_raw_scalar() {
+        assert_eq!(get_raw_field(DOC, "n").unwrap(), "42");
+        assert_eq!(get_raw_field(DOC, "flag").unwrap(), "true");
+        assert_eq!(get_raw_field(DOC, "user").unwrap(), "\"alice\"");
+    }
+
+    #[test]
+    fn get_raw_container() {
+        assert_eq!(
+            get_raw_field(DOC, "item").unwrap(),
+            r#"{"id":"i1","tags":[1,2]}"#
+        );
+    }
+
+    #[test]
+    fn replace_preserves_other_bytes() {
+        let patched = replace_field(DOC, "user", "\"pseudo-9\"").unwrap();
+        assert_eq!(
+            patched,
+            r#"{"user":"pseudo-9","item":{"id":"i1","tags":[1,2]},"n":42,"flag":true}"#
+        );
+    }
+
+    #[test]
+    fn replace_container_value() {
+        let patched = replace_field(DOC, "item", "null").unwrap();
+        assert_eq!(patched, r#"{"user":"alice","item":null,"n":42,"flag":true}"#);
+    }
+
+    #[test]
+    fn missing_field_errors() {
+        let e = get_raw_field(DOC, "absent").unwrap_err();
+        assert_eq!(e.message, "field not found");
+    }
+
+    #[test]
+    fn nested_keys_not_matched() {
+        // "id" exists only inside "item"; top-level lookup must fail.
+        assert!(get_raw_field(DOC, "id").is_err());
+    }
+
+    #[test]
+    fn whitespace_tolerated() {
+        let doc = "{ \"a\" : 1 , \"b\" : \"x\" }";
+        assert_eq!(get_raw_field(doc, "b").unwrap(), "\"x\"");
+        let patched = replace_field(doc, "a", "2").unwrap();
+        assert_eq!(patched, "{ \"a\" : 2 , \"b\" : \"x\" }");
+    }
+
+    #[test]
+    fn non_object_rejected() {
+        assert!(get_raw_field("[1,2]", "a").is_err());
+        assert!(get_raw_field("", "a").is_err());
+    }
+
+    #[test]
+    fn strings_with_escaped_quotes() {
+        let doc = r#"{"a":"he said \"hi\"","b":1}"#;
+        assert_eq!(get_raw_field(doc, "b").unwrap(), "1");
+        assert_eq!(get_raw_field(doc, "a").unwrap(), r#""he said \"hi\"""#);
+    }
+
+    #[test]
+    fn braces_inside_strings_ignored() {
+        let doc = r#"{"a":"}{","b":[ "]" ]}"#;
+        assert_eq!(get_raw_field(doc, "b").unwrap(), r#"[ "]" ]"#);
+    }
+
+    #[test]
+    fn patched_doc_still_parses() {
+        let patched = replace_field(DOC, "n", "[1,2,3]").unwrap();
+        let v = crate::parser::parse(&patched).unwrap();
+        assert_eq!(v.get("n").unwrap().as_array().unwrap().len(), 3);
+    }
+}

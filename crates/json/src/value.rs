@@ -1,0 +1,267 @@
+//! JSON value model.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed JSON document.
+///
+/// Objects use a [`BTreeMap`] so that serialization order is deterministic —
+/// important for the constant-size framing of proxy messages and for test
+/// reproducibility.
+///
+/// # Examples
+///
+/// ```
+/// use pprox_json::Value;
+///
+/// let v = Value::parse(r#"{"user":"u1","items":[1,2]}"#)?;
+/// assert_eq!(v.get("user").and_then(|u| u.as_str()), Some("u1"));
+/// assert_eq!(v.get("items").and_then(|i| i.as_array()).map(|a| a.len()), Some(2));
+/// # Ok::<(), pprox_json::ParseJsonError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[derive(Default)]
+pub enum Value {
+    /// `null`
+    #[default]
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (stored as `f64`, like JavaScript).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An ordered array.
+    Array(Vec<Value>),
+    /// An object with deterministically ordered keys.
+    Object(BTreeMap<String, Value>),
+}
+
+
+impl Value {
+    /// Parses a JSON document. See [`crate::parser::parse`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::ParseJsonError`] on malformed input.
+    pub fn parse(input: &str) -> Result<Value, crate::ParseJsonError> {
+        crate::parser::parse(input)
+    }
+
+    /// Member lookup on an object; `None` for other variants.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// Mutable member lookup on an object.
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Value> {
+        match self {
+            Value::Object(map) => map.get_mut(key),
+            _ => None,
+        }
+    }
+
+    /// Inserts a member, turning `self` into an object if it was `Null`.
+    ///
+    /// Returns the previous value if the key existed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is neither an object nor `Null`.
+    pub fn insert(&mut self, key: impl Into<String>, value: Value) -> Option<Value> {
+        if matches!(self, Value::Null) {
+            *self = Value::Object(BTreeMap::new());
+        }
+        match self {
+            Value::Object(map) => map.insert(key.into(), value),
+            _ => panic!("insert on non-object JSON value"),
+        }
+    }
+
+    /// Borrows the string content, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric content, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Numeric content as `u64` when losslessly representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 2f64.powi(53) => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// Boolean content, if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Array content, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Object content, if this is an object.
+    pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// `true` if this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Serializes to a compact JSON string. See [`crate::writer`].
+    pub fn to_json(&self) -> String {
+        crate::writer::write(self)
+    }
+
+    /// Convenience constructor for an object from key/value pairs.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pprox_json::Value;
+    /// let v = Value::object([("a", Value::from(1.0)), ("b", Value::from("x"))]);
+    /// assert_eq!(v.to_json(), r#"{"a":1,"b":"x"}"#);
+    /// ```
+    pub fn object<K: Into<String>, I: IntoIterator<Item = (K, Value)>>(pairs: I) -> Value {
+        Value::Object(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_json())
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::String(s.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::String(s)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(n: f64) -> Self {
+        Value::Number(n)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(n: u64) -> Self {
+        Value::Number(n as f64)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<Vec<Value>> for Value {
+    fn from(a: Vec<Value>) -> Self {
+        Value::Array(a)
+    }
+}
+
+impl FromIterator<Value> for Value {
+    fn from_iter<I: IntoIterator<Item = Value>>(iter: I) -> Self {
+        Value::Array(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let v = Value::object([
+            ("s", Value::from("hi")),
+            ("n", Value::from(4.0)),
+            ("b", Value::from(true)),
+            ("a", Value::Array(vec![Value::Null])),
+        ]);
+        assert_eq!(v.get("s").unwrap().as_str(), Some("hi"));
+        assert_eq!(v.get("n").unwrap().as_f64(), Some(4.0));
+        assert_eq!(v.get("n").unwrap().as_u64(), Some(4));
+        assert_eq!(v.get("b").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("a").unwrap().as_array().unwrap().len(), 1);
+        assert!(v.get("a").unwrap().as_array().unwrap()[0].is_null());
+        assert!(v.get("missing").is_none());
+        assert!(v.as_object().unwrap().contains_key("s"));
+    }
+
+    #[test]
+    fn as_u64_rejects_fractions_and_negatives() {
+        assert_eq!(Value::Number(1.5).as_u64(), None);
+        assert_eq!(Value::Number(-1.0).as_u64(), None);
+        assert_eq!(Value::Number(0.0).as_u64(), Some(0));
+    }
+
+    #[test]
+    fn insert_on_null_creates_object() {
+        let mut v = Value::Null;
+        v.insert("k", Value::from(1.0));
+        assert_eq!(v.get("k").unwrap().as_f64(), Some(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "insert on non-object")]
+    fn insert_on_array_panics() {
+        let mut v = Value::Array(vec![]);
+        v.insert("k", Value::Null);
+    }
+
+    #[test]
+    fn get_mut_updates() {
+        let mut v = Value::object([("k", Value::from(1.0))]);
+        *v.get_mut("k").unwrap() = Value::from("replaced");
+        assert_eq!(v.get("k").unwrap().as_str(), Some("replaced"));
+    }
+
+    #[test]
+    fn display_is_json() {
+        let v = Value::object([("x", Value::Null)]);
+        assert_eq!(v.to_string(), r#"{"x":null}"#);
+    }
+
+    #[test]
+    fn from_iterator_collects_array() {
+        let v: Value = (0..3).map(|i| Value::from(i as f64)).collect();
+        assert_eq!(v.to_json(), "[0,1,2]");
+    }
+}

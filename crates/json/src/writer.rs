@@ -1,0 +1,135 @@
+//! Compact JSON serialization.
+
+use crate::value::Value;
+
+/// Serializes a [`Value`] to compact JSON (no insignificant whitespace).
+///
+/// Object keys are emitted in sorted order (the [`Value::Object`] map is a
+/// `BTreeMap`), so output is deterministic: the same value always produces
+/// byte-identical JSON. Deterministic framing matters for the constant-size
+/// message property of the proxy protocol.
+pub fn write(value: &Value) -> String {
+    let mut out = String::new();
+    write_into(value, &mut out);
+    out
+}
+
+fn write_into(value: &Value, out: &mut String) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(n) => write_number(*n, out),
+        Value::String(s) => write_string(s, out),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_into(item, out);
+            }
+            out.push(']');
+        }
+        Value::Object(map) => {
+            out.push('{');
+            for (i, (k, v)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(k, out);
+                out.push(':');
+                write_into(v, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_number(n: f64, out: &mut String) {
+    if !n.is_finite() {
+        // JSON has no NaN/Infinity; emit null like most tolerant writers.
+        out.push_str("null");
+    } else if n.fract() == 0.0 && n.abs() < 2f64.powi(53) {
+        out.push_str(&format!("{}", n as i64));
+    } else {
+        out.push_str(&format!("{n}"));
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{0008}' => out.push_str("\\b"),
+            '\u{000c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn scalars() {
+        assert_eq!(write(&Value::Null), "null");
+        assert_eq!(write(&Value::Bool(true)), "true");
+        assert_eq!(write(&Value::Number(3.0)), "3");
+        assert_eq!(write(&Value::Number(3.5)), "3.5");
+        assert_eq!(write(&Value::String("x".into())), "\"x\"");
+    }
+
+    #[test]
+    fn integers_have_no_decimal_point() {
+        assert_eq!(write(&Value::Number(1e6)), "1000000");
+        assert_eq!(write(&Value::Number(-42.0)), "-42");
+    }
+
+    #[test]
+    fn non_finite_becomes_null() {
+        assert_eq!(write(&Value::Number(f64::NAN)), "null");
+        assert_eq!(write(&Value::Number(f64::INFINITY)), "null");
+    }
+
+    #[test]
+    fn escapes() {
+        assert_eq!(
+            write(&Value::String("a\"b\\c\nd\u{0001}".into())),
+            "\"a\\\"b\\\\c\\nd\\u0001\""
+        );
+    }
+
+    #[test]
+    fn roundtrip_through_parser() {
+        let src = r#"{"arr":[1,2.5,null,true,"s"],"nested":{"k":"v"},"unicode":"héllo"}"#;
+        let v = parse(src).unwrap();
+        let emitted = write(&v);
+        assert_eq!(parse(&emitted).unwrap(), v);
+    }
+
+    #[test]
+    fn deterministic_key_order() {
+        let v1 = parse(r#"{"b":1,"a":2}"#).unwrap();
+        let v2 = parse(r#"{"a":2,"b":1}"#).unwrap();
+        assert_eq!(write(&v1), write(&v2));
+        assert_eq!(write(&v1), r#"{"a":2,"b":1}"#);
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert_eq!(write(&Value::Array(vec![])), "[]");
+        assert_eq!(write(&Value::Object(Default::default())), "{}");
+    }
+}

@@ -1,0 +1,160 @@
+//! Failure injection for resilience testing.
+//!
+//! The paper's RaaS provider promises service-level objectives; the proxy
+//! must degrade cleanly — not hang or corrupt state — when the LRS behind
+//! it misbehaves. [`ChaosLrs`] wraps any [`RestHandler`] and injects
+//! deterministic, seed-driven failures: error statuses and garbage
+//! bodies.
+
+use crate::api::{HttpRequest, HttpResponse, RestHandler};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Kinds of injected failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Reply with HTTP 503.
+    ErrorStatus,
+    /// Reply 200 with a non-JSON body.
+    GarbageBody,
+}
+
+/// A fault-injecting wrapper around an inner LRS.
+///
+/// # Examples
+///
+/// ```
+/// use pprox_lrs::chaos::{ChaosLrs, Fault};
+/// use pprox_lrs::stub::StubLrs;
+/// use pprox_lrs::api::{HttpRequest, RestHandler, QUERIES_PATH};
+/// use std::sync::Arc;
+///
+/// let chaos = ChaosLrs::new(Arc::new(StubLrs::new()), 1.0, Fault::ErrorStatus, 7);
+/// let resp = chaos.handle(&HttpRequest::post(QUERIES_PATH, "{}"));
+/// assert_eq!(resp.status, 503);
+/// ```
+pub struct ChaosLrs {
+    inner: std::sync::Arc<dyn RestHandler>,
+    failure_rate: f64,
+    fault: Fault,
+    rng: Mutex<StdRng>,
+    injected: AtomicU64,
+    served: AtomicU64,
+}
+
+impl std::fmt::Debug for ChaosLrs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChaosLrs")
+            .field("failure_rate", &self.failure_rate)
+            .field("fault", &self.fault)
+            .field("injected", &self.injected.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl ChaosLrs {
+    /// Wraps `inner`, failing each request independently with
+    /// `failure_rate` probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= failure_rate <= 1.0`.
+    pub fn new(
+        inner: std::sync::Arc<dyn RestHandler>,
+        failure_rate: f64,
+        fault: Fault,
+        seed: u64,
+    ) -> Self {
+        assert!((0.0..=1.0).contains(&failure_rate));
+        ChaosLrs {
+            inner,
+            failure_rate,
+            fault,
+            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+            injected: AtomicU64::new(0),
+            served: AtomicU64::new(0),
+        }
+    }
+
+    /// Failures injected so far.
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    /// Requests passed through to the inner handler.
+    pub fn served(&self) -> u64 {
+        self.served.load(Ordering::Relaxed)
+    }
+}
+
+impl RestHandler for ChaosLrs {
+    fn handle(&self, request: &HttpRequest) -> HttpResponse {
+        let fail = self.rng.lock().gen::<f64>() < self.failure_rate;
+        if fail {
+            self.injected.fetch_add(1, Ordering::Relaxed);
+            return match self.fault {
+                Fault::ErrorStatus => HttpResponse::error(503, "injected failure"),
+                Fault::GarbageBody => HttpResponse::ok("<<<garbage-not-json>>>"),
+            };
+        }
+        self.served.fetch_add(1, Ordering::Relaxed);
+        self.inner.handle(request)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::QUERIES_PATH;
+    use crate::stub::StubLrs;
+    use std::sync::Arc;
+
+    fn chaos(rate: f64, fault: Fault) -> ChaosLrs {
+        ChaosLrs::new(Arc::new(StubLrs::new()), rate, fault, 42)
+    }
+
+    #[test]
+    fn zero_rate_never_fails() {
+        let c = chaos(0.0, Fault::ErrorStatus);
+        for _ in 0..100 {
+            assert!(c.handle(&HttpRequest::post(QUERIES_PATH, "{}")).is_success());
+        }
+        assert_eq!(c.injected(), 0);
+        assert_eq!(c.served(), 100);
+    }
+
+    #[test]
+    fn full_rate_always_fails() {
+        let c = chaos(1.0, Fault::ErrorStatus);
+        for _ in 0..20 {
+            assert_eq!(c.handle(&HttpRequest::post(QUERIES_PATH, "{}")).status, 503);
+        }
+        assert_eq!(c.served(), 0);
+    }
+
+    #[test]
+    fn partial_rate_roughly_matches() {
+        let c = chaos(0.3, Fault::ErrorStatus);
+        for _ in 0..1000 {
+            c.handle(&HttpRequest::post(QUERIES_PATH, "{}"));
+        }
+        let rate = c.injected() as f64 / 1000.0;
+        assert!((rate - 0.3).abs() < 0.06, "rate {rate}");
+    }
+
+    #[test]
+    fn garbage_body_is_200_but_unparsable() {
+        let c = chaos(1.0, Fault::GarbageBody);
+        let resp = c.handle(&HttpRequest::post(QUERIES_PATH, "{}"));
+        assert!(resp.is_success());
+        assert!(crate::api::RecommendationList::from_json(&resp.body).is_none());
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_rate_panics() {
+        let _ = chaos(1.5, Fault::ErrorStatus);
+    }
+}

@@ -1,0 +1,182 @@
+//! Horizontally scaled LRS deployments (Table 3 configurations).
+//!
+//! The macro-benchmarks deploy Harness with 3–12 front-end instances plus
+//! 4 support nodes (three Elasticsearch, one MongoDB + Spark), labelled
+//! b1–b4 in the paper's Table 3. [`HarnessConfig`] captures those node
+//! counts and the resulting capacity; [`HarnessCluster`] is the runnable
+//! counterpart: `n` [`Frontend`]s sharing one [`Engine`], with round-robin
+//! dispatch standing in for kube-proxy load balancing.
+
+use crate::api::{HttpRequest, HttpResponse, RestHandler};
+use crate::engine::Engine;
+use crate::frontend::Frontend;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of support nodes in every macro configuration (3× Elasticsearch,
+/// 1× MongoDB + Spark).
+pub const SUPPORT_NODES: usize = 4;
+
+/// Front-end instances added per 250 RPS capacity step (Table 3).
+pub const FRONTENDS_PER_STEP: usize = 3;
+
+/// Sustainable throughput added by each front-end step, in requests/s.
+pub const RPS_PER_STEP: f64 = 250.0;
+
+/// A Harness deployment size, as in Table 3 (b1–b4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HarnessConfig {
+    /// Number of front-end instances (3, 6, 9 or 12 in the paper).
+    pub frontends: usize,
+}
+
+impl HarnessConfig {
+    /// The paper's baseline configuration ids b1–b4.
+    pub fn baseline(step: usize) -> Self {
+        assert!((1..=4).contains(&step), "paper configurations are b1..b4");
+        HarnessConfig {
+            frontends: FRONTENDS_PER_STEP * step,
+        }
+    }
+
+    /// Total nodes: front-ends + support (the "7: 3+4" notation of Table 3).
+    pub fn node_count(&self) -> usize {
+        self.frontends + SUPPORT_NODES
+    }
+
+    /// Maximum sustainable throughput before saturation, in requests/s.
+    pub fn max_rps(&self) -> f64 {
+        (self.frontends as f64 / FRONTENDS_PER_STEP as f64) * RPS_PER_STEP
+    }
+
+    /// Table 3 label ("b1".."b4") when this is a paper configuration.
+    pub fn label(&self) -> String {
+        format!("b{}", self.frontends / FRONTENDS_PER_STEP)
+    }
+}
+
+/// A running LRS cluster: shared engine, `n` front-ends, round-robin
+/// dispatch.
+///
+/// # Examples
+///
+/// ```
+/// use pprox_lrs::cluster::HarnessCluster;
+/// use pprox_lrs::api::{HttpRequest, RestHandler, EVENTS_PATH};
+///
+/// let cluster = HarnessCluster::new(3);
+/// let resp = cluster.handle(&HttpRequest::post(EVENTS_PATH, r#"{"user":"u","item":"i"}"#));
+/// assert!(resp.is_success());
+/// ```
+#[derive(Debug)]
+pub struct HarnessCluster {
+    engine: Engine,
+    frontends: Vec<Frontend>,
+    next: AtomicUsize,
+}
+
+impl HarnessCluster {
+    /// Creates a cluster with `frontends` front-end instances.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frontends` is zero.
+    pub fn new(frontends: usize) -> Self {
+        assert!(frontends > 0, "need at least one front-end");
+        let engine = Engine::new();
+        let frontends = (0..frontends)
+            .map(|i| Frontend::new(format!("lrs-fe-{i}"), engine.clone()))
+            .collect();
+        HarnessCluster {
+            engine,
+            frontends,
+            next: AtomicUsize::new(0),
+        }
+    }
+
+    /// The shared engine (for training and inspection).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Number of front-end instances.
+    pub fn frontend_count(&self) -> usize {
+        self.frontends.len()
+    }
+
+    /// Per-front-end served counts (to verify balancing).
+    pub fn served_per_frontend(&self) -> Vec<u64> {
+        self.frontends.iter().map(|f| f.served()).collect()
+    }
+}
+
+impl RestHandler for HarnessCluster {
+    fn handle(&self, request: &HttpRequest) -> HttpResponse {
+        let i = self.next.fetch_add(1, Ordering::Relaxed) % self.frontends.len();
+        self.frontends[i].handle(request)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::{RecommendationList, EVENTS_PATH, QUERIES_PATH};
+
+    #[test]
+    fn table3_node_counts_and_rps() {
+        // Table 3: b1=7 nodes/250 RPS … b4=16 nodes/1000 RPS.
+        let expect = [(1, 7, 250.0), (2, 10, 500.0), (3, 13, 750.0), (4, 16, 1000.0)];
+        for (step, nodes, rps) in expect {
+            let c = HarnessConfig::baseline(step);
+            assert_eq!(c.node_count(), nodes);
+            assert_eq!(c.max_rps(), rps);
+            assert_eq!(c.label(), format!("b{step}"));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "b1..b4")]
+    fn invalid_baseline_step_panics() {
+        let _ = HarnessConfig::baseline(5);
+    }
+
+    #[test]
+    fn round_robin_balances() {
+        let cluster = HarnessCluster::new(3);
+        for _ in 0..9 {
+            cluster.handle(&HttpRequest::post(EVENTS_PATH, r#"{"user":"u","item":"i"}"#));
+        }
+        assert_eq!(cluster.served_per_frontend(), vec![3, 3, 3]);
+    }
+
+    #[test]
+    fn end_to_end_through_cluster() {
+        let cluster = HarnessCluster::new(2);
+        for u in 0..5 {
+            for item in ["x", "y"] {
+                let body = format!(r#"{{"user":"u{u}","item":"{item}"}}"#);
+                assert!(cluster.handle(&HttpRequest::post(EVENTS_PATH, body)).is_success());
+            }
+        }
+        for u in 0..10 {
+            let body = format!(r#"{{"user":"bg{u}","item":"solo-{u}"}}"#);
+            cluster.handle(&HttpRequest::post(EVENTS_PATH, body));
+        }
+        cluster.engine().train();
+        cluster.handle(&HttpRequest::post(
+            EVENTS_PATH,
+            r#"{"user":"fresh","item":"x"}"#,
+        ));
+        let resp = cluster.handle(&HttpRequest::post(
+            QUERIES_PATH,
+            r#"{"user":"fresh","num":5}"#,
+        ));
+        let list = RecommendationList::from_json(&resp.body).unwrap();
+        assert_eq!(list.item_ids(), vec!["y"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one front-end")]
+    fn zero_frontends_panics() {
+        let _ = HarnessCluster::new(0);
+    }
+}

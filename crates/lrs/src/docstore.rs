@@ -1,0 +1,237 @@
+//! In-memory document store (MongoDB substitute).
+//!
+//! Harness persists engine data and pending feedback events in MongoDB
+//! (§7). The reproduction keeps the same architecture — the engine writes
+//! every `post` event to a document collection, and the batch trainer reads
+//! them back — with an in-process store: named collections of JSON
+//! documents with auto-assigned ids, equality filters, and a simple
+//! secondary index.
+
+use parking_lot::RwLock;
+use pprox_json::Value;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A stored document id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DocId(pub u64);
+
+/// One collection of JSON documents.
+#[derive(Debug, Default)]
+struct Collection {
+    docs: Vec<(DocId, Value)>,
+    /// field name -> field value -> doc positions
+    indexes: HashMap<String, HashMap<String, Vec<usize>>>,
+}
+
+impl Collection {
+    fn insert(&mut self, id: DocId, doc: Value) {
+        let pos = self.docs.len();
+        for (field, index) in self.indexes.iter_mut() {
+            if let Some(key) = doc.get(field).and_then(|v| v.as_str()) {
+                index.entry(key.to_owned()).or_default().push(pos);
+            }
+        }
+        self.docs.push((id, doc));
+    }
+
+    fn create_index(&mut self, field: &str) {
+        let mut index: HashMap<String, Vec<usize>> = HashMap::new();
+        for (pos, (_, doc)) in self.docs.iter().enumerate() {
+            if let Some(key) = doc.get(field).and_then(|v| v.as_str()) {
+                index.entry(key.to_owned()).or_default().push(pos);
+            }
+        }
+        self.indexes.insert(field.to_owned(), index);
+    }
+
+    fn find_eq(&self, field: &str, value: &str) -> Vec<(DocId, Value)> {
+        if let Some(index) = self.indexes.get(field) {
+            return index
+                .get(value)
+                .map(|positions| {
+                    positions
+                        .iter()
+                        .map(|&p| self.docs[p].clone())
+                        .collect()
+                })
+                .unwrap_or_default();
+        }
+        self.docs
+            .iter()
+            .filter(|(_, d)| d.get(field).and_then(|v| v.as_str()) == Some(value))
+            .cloned()
+            .collect()
+    }
+}
+
+/// A thread-safe, in-memory document database.
+///
+/// # Examples
+///
+/// ```
+/// use pprox_lrs::docstore::DocStore;
+/// use pprox_json::Value;
+///
+/// let store = DocStore::new();
+/// store.insert("events", Value::object([("user", Value::from("u1"))]));
+/// assert_eq!(store.find_eq("events", "user", "u1").len(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct DocStore {
+    collections: RwLock<HashMap<String, Collection>>,
+    next_id: AtomicU64,
+}
+
+impl DocStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a document, returning its id. The collection is created on
+    /// first use (MongoDB semantics).
+    pub fn insert(&self, collection: &str, doc: Value) -> DocId {
+        let id = DocId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        let mut cols = self.collections.write();
+        cols.entry(collection.to_owned())
+            .or_default()
+            .insert(id, doc);
+        id
+    }
+
+    /// Creates an equality index over a string field.
+    pub fn create_index(&self, collection: &str, field: &str) {
+        let mut cols = self.collections.write();
+        cols.entry(collection.to_owned())
+            .or_default()
+            .create_index(field);
+    }
+
+    /// All documents where string field `field` equals `value`.
+    pub fn find_eq(&self, collection: &str, field: &str, value: &str) -> Vec<(DocId, Value)> {
+        let cols = self.collections.read();
+        cols.get(collection)
+            .map(|c| c.find_eq(field, value))
+            .unwrap_or_default()
+    }
+
+    /// Full scan of a collection.
+    pub fn scan(&self, collection: &str) -> Vec<(DocId, Value)> {
+        let cols = self.collections.read();
+        cols.get(collection)
+            .map(|c| c.docs.clone())
+            .unwrap_or_default()
+    }
+
+    /// Number of documents in a collection (0 if absent).
+    pub fn count(&self, collection: &str) -> usize {
+        let cols = self.collections.read();
+        cols.get(collection).map(|c| c.docs.len()).unwrap_or(0)
+    }
+
+    /// Drops a collection, returning how many documents it held.
+    pub fn drop_collection(&self, collection: &str) -> usize {
+        let mut cols = self.collections.write();
+        cols.remove(collection).map(|c| c.docs.len()).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(user: &str, item: &str) -> Value {
+        Value::object([
+            ("user", Value::from(user)),
+            ("item", Value::from(item)),
+        ])
+    }
+
+    #[test]
+    fn insert_assigns_unique_ids() {
+        let store = DocStore::new();
+        let a = store.insert("c", doc("u1", "i1"));
+        let b = store.insert("c", doc("u1", "i2"));
+        assert_ne!(a, b);
+        assert_eq!(store.count("c"), 2);
+    }
+
+    #[test]
+    fn find_eq_without_index() {
+        let store = DocStore::new();
+        store.insert("c", doc("u1", "i1"));
+        store.insert("c", doc("u2", "i2"));
+        store.insert("c", doc("u1", "i3"));
+        let found = store.find_eq("c", "user", "u1");
+        assert_eq!(found.len(), 2);
+        assert!(found.iter().all(|(_, d)| d.get("user").unwrap().as_str() == Some("u1")));
+    }
+
+    #[test]
+    fn find_eq_with_index_matches_scan() {
+        let store = DocStore::new();
+        for i in 0..20 {
+            store.insert("c", doc(&format!("u{}", i % 3), &format!("i{i}")));
+        }
+        let unindexed = store.find_eq("c", "user", "u1");
+        store.create_index("c", "user");
+        let indexed = store.find_eq("c", "user", "u1");
+        assert_eq!(unindexed, indexed);
+    }
+
+    #[test]
+    fn index_created_before_inserts_stays_current() {
+        let store = DocStore::new();
+        store.create_index("c", "user");
+        store.insert("c", doc("u9", "i1"));
+        store.insert("c", doc("u9", "i2"));
+        assert_eq!(store.find_eq("c", "user", "u9").len(), 2);
+    }
+
+    #[test]
+    fn missing_collection_is_empty() {
+        let store = DocStore::new();
+        assert!(store.find_eq("none", "f", "v").is_empty());
+        assert!(store.scan("none").is_empty());
+        assert_eq!(store.count("none"), 0);
+    }
+
+    #[test]
+    fn drop_collection_counts() {
+        let store = DocStore::new();
+        store.insert("c", doc("u", "i"));
+        assert_eq!(store.drop_collection("c"), 1);
+        assert_eq!(store.count("c"), 0);
+        assert_eq!(store.drop_collection("c"), 0);
+    }
+
+    #[test]
+    fn collections_are_isolated() {
+        let store = DocStore::new();
+        store.insert("a", doc("u", "i"));
+        store.insert("b", doc("u", "j"));
+        assert_eq!(store.count("a"), 1);
+        assert_eq!(store.count("b"), 1);
+        assert_eq!(store.find_eq("a", "item", "j").len(), 0);
+    }
+
+    #[test]
+    fn concurrent_inserts() {
+        use std::sync::Arc;
+        let store = Arc::new(DocStore::new());
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let store = store.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100 {
+                    store.insert("c", doc(&format!("u{t}"), &format!("i{i}")));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(store.count("c"), 400);
+    }
+}

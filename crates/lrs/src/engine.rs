@@ -1,0 +1,325 @@
+//! The Universal Recommender engine: event store + trainer + query index.
+//!
+//! Mirrors the Harness architecture of §7: `post` events are persisted to
+//! the document store (MongoDB role), [`Engine::train`] runs the batch CCO
+//! job (Spark role) and swaps in a fresh scoring index (Elasticsearch
+//! role), and `get` queries are answered from the current index plus the
+//! user's stored history.
+//!
+//! The engine is identifier-agnostic: user and item ids are opaque strings,
+//! which is precisely why PProx's deterministic pseudonymization is
+//! transparent to it — `det_enc(u)` is just another id.
+
+use crate::api::{RecommendationList, ScoredItem};
+use crate::cco::{CcoConfig, CcoModel, CcoTrainer};
+use crate::docstore::DocStore;
+use crate::index::ScoringIndex;
+use parking_lot::RwLock;
+use pprox_json::Value;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Collection name for feedback events.
+const EVENTS: &str = "events";
+
+/// Snapshot of engine statistics.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct EngineStats {
+    /// Total feedback events stored.
+    pub events: u64,
+    /// Batch trainings performed.
+    pub trainings: u64,
+    /// Queries served.
+    pub queries: u64,
+}
+
+/// The recommendation engine (Universal Recommender stand-in).
+///
+/// Thread-safe and cheap to clone behind [`Arc`]; front-end instances share
+/// one engine the way Harness front-ends share the same backing services.
+///
+/// # Examples
+///
+/// ```
+/// use pprox_lrs::engine::Engine;
+///
+/// let engine = Engine::new();
+/// engine.post("u1", "film-a", None);
+/// engine.post("u1", "film-b", None);
+/// engine.post("u2", "film-a", None);
+/// engine.post("u2", "film-b", None);
+/// engine.post("u3", "film-a", None);
+/// // Users with unrelated tastes give the (a,b) pair statistical contrast.
+/// for u in 0..8 {
+///     engine.post(&format!("bg{u}"), &format!("other-{u}"), None);
+/// }
+/// engine.train();
+/// let recs = engine.get("u3", 10);
+/// assert_eq!(recs.items[0].item, "film-b");
+/// ```
+#[derive(Clone)]
+pub struct Engine {
+    inner: Arc<EngineInner>,
+}
+
+struct EngineInner {
+    store: DocStore,
+    index: RwLock<ScoringIndex>,
+    model: RwLock<CcoModel>,
+    config: CcoConfig,
+    trainings: AtomicU64,
+    queries: AtomicU64,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("Engine")
+            .field("events", &stats.events)
+            .field("trainings", &stats.trainings)
+            .finish()
+    }
+}
+
+impl Engine {
+    /// Creates an engine with default CCO configuration.
+    pub fn new() -> Self {
+        Self::with_config(CcoConfig::default())
+    }
+
+    /// Creates an engine with an explicit CCO configuration.
+    pub fn with_config(config: CcoConfig) -> Self {
+        let store = DocStore::new();
+        store.create_index(EVENTS, "user");
+        Engine {
+            inner: Arc::new(EngineInner {
+                store,
+                index: RwLock::new(ScoringIndex::default()),
+                model: RwLock::new(CcoModel::default()),
+                config,
+                trainings: AtomicU64::new(0),
+                queries: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Records feedback: user `user` interacted with item `item`.
+    pub fn post(&self, user: &str, item: &str, payload: Option<f64>) {
+        let mut doc = Value::object([
+            ("user", Value::from(user)),
+            ("item", Value::from(item)),
+        ]);
+        if let Some(p) = payload {
+            doc.insert("payload", Value::from(p));
+        }
+        self.inner.store.insert(EVENTS, doc);
+    }
+
+    /// Runs the batch training job over all stored events and atomically
+    /// swaps in the new model and index.
+    ///
+    /// Returns the number of interactions the model was trained on.
+    pub fn train(&self) -> u64 {
+        let events = self.inner.store.scan(EVENTS);
+        let pairs: Vec<(String, String)> = events
+            .iter()
+            .filter_map(|(_, d)| {
+                Some((
+                    d.get("user")?.as_str()?.to_owned(),
+                    d.get("item")?.as_str()?.to_owned(),
+                ))
+            })
+            .collect();
+        let trainer = CcoTrainer::new(self.inner.config.clone());
+        let model = trainer.train(pairs.iter().map(|(u, i)| (u.as_str(), i.as_str())));
+        let interactions = model.num_interactions;
+        let index = ScoringIndex::build(&model);
+        *self.inner.model.write() = model;
+        *self.inner.index.write() = index;
+        self.inner.trainings.fetch_add(1, Ordering::Relaxed);
+        interactions
+    }
+
+    /// The user's stored interaction history (item ids, insertion order).
+    pub fn history(&self, user: &str) -> Vec<String> {
+        self.inner
+            .store
+            .find_eq(EVENTS, "user", user)
+            .into_iter()
+            .filter_map(|(_, d)| Some(d.get("item")?.as_str()?.to_owned()))
+            .collect()
+    }
+
+    /// Returns up to `n` recommendations for `user` from the current model.
+    ///
+    /// Unknown users receive an empty list (cold start is out of the
+    /// paper's scope; its workload trains before querying).
+    pub fn get(&self, user: &str, n: usize) -> RecommendationList {
+        self.get_filtered(user, n, &[])
+    }
+
+    /// Returns up to `n` recommendations for `user`, dropping `exclude`
+    /// items (the Universal Recommender blacklist business rule).
+    pub fn get_filtered(&self, user: &str, n: usize, exclude: &[String]) -> RecommendationList {
+        self.inner.queries.fetch_add(1, Ordering::Relaxed);
+        let history = self.history(user);
+        let items: Vec<ScoredItem> = self
+            .inner
+            .index
+            .read()
+            .recommend_filtered(&history, n, exclude);
+        RecommendationList { items }
+    }
+
+    /// Dumps all stored `(user, item)` event pairs.
+    ///
+    /// This is the adversary's view of the LRS database (§2.3 of the
+    /// paper: the adversary "can access any data manipulated by the LRS");
+    /// the attack harness uses it for the §6.1 case analysis. With PProx
+    /// in front, every pair is pseudonymous.
+    pub fn dump_events(&self) -> Vec<(String, String)> {
+        self.inner
+            .store
+            .scan(EVENTS)
+            .into_iter()
+            .filter_map(|(_, d)| {
+                Some((
+                    d.get("user")?.as_str()?.to_owned(),
+                    d.get("item")?.as_str()?.to_owned(),
+                ))
+            })
+            .collect()
+    }
+
+    /// Current statistics snapshot.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            events: self.inner.store.count(EVENTS) as u64,
+            trainings: self.inner.trainings.load(Ordering::Relaxed),
+            queries: self.inner.queries.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Model metadata from the last training.
+    pub fn model_stats(&self) -> (u64, u64, u64) {
+        let m = self.inner.model.read();
+        (m.num_users, m.num_items, m.num_interactions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seeded_engine() -> Engine {
+        let engine = Engine::new();
+        // Two taste clusters.
+        for u in 0..8 {
+            engine.post(&format!("sci-{u}"), "alien", None);
+            engine.post(&format!("sci-{u}"), "blade-runner", None);
+            engine.post(&format!("sci-{u}"), "dune", None);
+        }
+        for u in 0..8 {
+            engine.post(&format!("rom-{u}"), "amelie", None);
+            engine.post(&format!("rom-{u}"), "notebook", None);
+        }
+        engine.train();
+        engine
+    }
+
+    #[test]
+    fn recommends_cluster_items() {
+        let engine = seeded_engine();
+        engine.post("newbie", "alien", None);
+        let recs = engine.get("newbie", 5);
+        let ids = recs.item_ids();
+        assert!(ids.contains(&"blade-runner"));
+        assert!(ids.contains(&"dune"));
+        assert!(!ids.contains(&"amelie"));
+        assert!(!ids.contains(&"alien"), "history must be excluded");
+    }
+
+    #[test]
+    fn unknown_user_gets_empty_list() {
+        let engine = seeded_engine();
+        assert!(engine.get("stranger", 5).items.is_empty());
+    }
+
+    #[test]
+    fn untrained_engine_returns_empty() {
+        let engine = Engine::new();
+        engine.post("u", "i", None);
+        assert!(engine.get("u", 5).items.is_empty());
+    }
+
+    #[test]
+    fn retraining_incorporates_new_events() {
+        let engine = seeded_engine();
+        engine.post("newbie", "amelie", None);
+        let before = engine.get("newbie", 5);
+        assert!(before.item_ids().contains(&"notebook"));
+        // New taste: sci cluster.
+        engine.post("newbie", "alien", None);
+        engine.post("newbie", "dune", None);
+        engine.train();
+        let after = engine.get("newbie", 5);
+        assert!(after.item_ids().contains(&"blade-runner"));
+    }
+
+    #[test]
+    fn history_tracks_insertion_order() {
+        let engine = Engine::new();
+        engine.post("u", "first", None);
+        engine.post("u", "second", None);
+        assert_eq!(engine.history("u"), vec!["first", "second"]);
+    }
+
+    #[test]
+    fn stats_count_operations() {
+        let engine = seeded_engine();
+        let s0 = engine.stats();
+        assert_eq!(s0.events, 40);
+        assert_eq!(s0.trainings, 1);
+        engine.get("sci-0", 5);
+        assert_eq!(engine.stats().queries, 1);
+    }
+
+    #[test]
+    fn model_stats_populated() {
+        let engine = seeded_engine();
+        let (users, items, interactions) = engine.model_stats();
+        assert_eq!(users, 16);
+        assert_eq!(items, 5);
+        assert_eq!(interactions, 40);
+    }
+
+    #[test]
+    fn payload_is_stored_but_optional() {
+        let engine = Engine::new();
+        engine.post("u", "i", Some(4.5));
+        engine.post("u", "j", None);
+        assert_eq!(engine.stats().events, 2);
+    }
+
+    #[test]
+    fn n_limits_result_size() {
+        let engine = seeded_engine();
+        engine.post("newbie", "alien", None);
+        let recs = engine.get("newbie", 1);
+        assert_eq!(recs.items.len(), 1);
+    }
+
+    #[test]
+    fn clone_shares_state() {
+        let engine = Engine::new();
+        let clone = engine.clone();
+        engine.post("u", "i", None);
+        assert_eq!(clone.stats().events, 1);
+    }
+}

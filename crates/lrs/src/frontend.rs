@@ -1,0 +1,177 @@
+//! REST front-end over the engine (the Harness front-end module).
+//!
+//! §7: "Harness frontend modules provide a REST API allowing to query the
+//! model and return JSON-encoded recommendations. These frontend modules
+//! handle the most significant part of the load. All modules can scale
+//! horizontally by adding new instances." A [`Frontend`] is one such
+//! instance; many front-ends share one [`Engine`].
+
+use crate::api::{
+    FeedbackEvent, HttpRequest, HttpResponse, Method, RecommendationQuery, RestHandler,
+    EVENTS_PATH, QUERIES_PATH,
+};
+use crate::engine::Engine;
+use crate::MAX_RECOMMENDATIONS;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One front-end instance serving the LRS REST API.
+#[derive(Debug)]
+pub struct Frontend {
+    engine: Engine,
+    /// Instance label, e.g. `"lrs-fe-0"` (used by deployment/balancing).
+    pub name: String,
+    served: AtomicU64,
+}
+
+impl Frontend {
+    /// Creates a front-end over a shared engine.
+    pub fn new(name: impl Into<String>, engine: Engine) -> Self {
+        Frontend {
+            engine,
+            name: name.into(),
+            served: AtomicU64::new(0),
+        }
+    }
+
+    /// Requests served by this instance (for balance checks).
+    pub fn served(&self) -> u64 {
+        self.served.load(Ordering::Relaxed)
+    }
+
+    fn handle_post_event(&self, request: &HttpRequest) -> HttpResponse {
+        match FeedbackEvent::from_json(&request.body) {
+            Some(event) => {
+                self.engine.post(&event.user, &event.item, event.payload);
+                HttpResponse::ok(r#"{"status":"ok"}"#)
+            }
+            None => HttpResponse::error(400, "malformed event"),
+        }
+    }
+
+    fn handle_query(&self, request: &HttpRequest) -> HttpResponse {
+        match RecommendationQuery::from_json(&request.body) {
+            Some(query) => {
+                let n = query.num.min(MAX_RECOMMENDATIONS);
+                let list = self.engine.get_filtered(&query.user, n, &query.exclude);
+                HttpResponse::ok(list.to_json())
+            }
+            None => HttpResponse::error(400, "malformed query"),
+        }
+    }
+}
+
+impl RestHandler for Frontend {
+    fn handle(&self, request: &HttpRequest) -> HttpResponse {
+        self.served.fetch_add(1, Ordering::Relaxed);
+        match (request.method, request.path.as_str()) {
+            (Method::Post, EVENTS_PATH) => self.handle_post_event(request),
+            (Method::Post, QUERIES_PATH) => self.handle_query(request),
+            _ => HttpResponse::error(404, "unknown endpoint"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::RecommendationList;
+
+    fn seeded() -> Frontend {
+        let engine = Engine::new();
+        for u in 0..5 {
+            engine.post(&format!("u{u}"), "a", None);
+            engine.post(&format!("u{u}"), "b", None);
+        }
+        // Background users give the (a,b) pair statistical contrast.
+        for u in 0..10 {
+            engine.post(&format!("bg{u}"), &format!("solo-{u}"), None);
+        }
+        engine.train();
+        Frontend::new("fe-0", engine)
+    }
+
+    #[test]
+    fn post_event_roundtrip() {
+        let fe = seeded();
+        let resp = fe.handle(&HttpRequest::post(
+            EVENTS_PATH,
+            r#"{"user":"u9","item":"a"}"#,
+        ));
+        assert!(resp.is_success());
+        assert_eq!(resp.body, r#"{"status":"ok"}"#);
+    }
+
+    #[test]
+    fn query_returns_recommendations() {
+        let fe = seeded();
+        fe.handle(&HttpRequest::post(
+            EVENTS_PATH,
+            r#"{"user":"u9","item":"a"}"#,
+        ));
+        let resp = fe.handle(&HttpRequest::post(
+            QUERIES_PATH,
+            r#"{"user":"u9","num":5}"#,
+        ));
+        assert!(resp.is_success());
+        let list = RecommendationList::from_json(&resp.body).unwrap();
+        assert_eq!(list.item_ids(), vec!["b"]);
+    }
+
+    #[test]
+    fn num_capped_at_maximum() {
+        let fe = seeded();
+        let resp = fe.handle(&HttpRequest::post(
+            QUERIES_PATH,
+            r#"{"user":"u0","num":10000}"#,
+        ));
+        let list = RecommendationList::from_json(&resp.body).unwrap();
+        assert!(list.items.len() <= MAX_RECOMMENDATIONS);
+    }
+
+    #[test]
+    fn malformed_bodies_rejected() {
+        let fe = seeded();
+        assert_eq!(fe.handle(&HttpRequest::post(EVENTS_PATH, "{}")).status, 400);
+        assert_eq!(fe.handle(&HttpRequest::post(QUERIES_PATH, "nope")).status, 400);
+    }
+
+    #[test]
+    fn unknown_endpoint_404() {
+        let fe = seeded();
+        assert_eq!(fe.handle(&HttpRequest::post("/nope", "{}")).status, 404);
+        let get = HttpRequest {
+            method: Method::Get,
+            path: EVENTS_PATH.to_owned(),
+            headers: vec![],
+            body: String::new(),
+        };
+        assert_eq!(fe.handle(&get).status, 404);
+    }
+
+    #[test]
+    fn served_counter_increments() {
+        let fe = seeded();
+        assert_eq!(fe.served(), 0);
+        fe.handle(&HttpRequest::post(EVENTS_PATH, r#"{"user":"u","item":"i"}"#));
+        fe.handle(&HttpRequest::post("/nope", ""));
+        assert_eq!(fe.served(), 2);
+    }
+
+    #[test]
+    fn multiple_frontends_share_engine() {
+        let engine = Engine::new();
+        let fe1 = Frontend::new("fe-1", engine.clone());
+        let fe2 = Frontend::new("fe-2", engine.clone());
+        fe1.handle(&HttpRequest::post(
+            EVENTS_PATH,
+            r#"{"user":"u","item":"i"}"#,
+        ));
+        assert_eq!(engine.stats().events, 1);
+        // fe2 sees the same store.
+        fe2.handle(&HttpRequest::post(
+            EVENTS_PATH,
+            r#"{"user":"u","item":"j"}"#,
+        ));
+        assert_eq!(engine.stats().events, 2);
+    }
+}

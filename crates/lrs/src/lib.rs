@@ -1,0 +1,48 @@
+//! Legacy Recommendation System (LRS): a Harness / Universal Recommender
+//! stand-in.
+//!
+//! PProx interposes on an *unmodified* recommendation service. The paper
+//! evaluates against [Harness](https://actionml.com/harness) running the
+//! Universal Recommender — collaborative filtering via Correlated
+//! Cross-Occurrence (CCO) — backed by MongoDB, Elasticsearch and periodic
+//! Apache Spark training jobs (§7). This crate rebuilds that stack
+//! in-process so the reproduction can exercise the real algorithm:
+//!
+//! | Paper component | Module here |
+//! |---|---|
+//! | REST API (`post(u,i[,p])`, `get(u)`) | [`api`] |
+//! | MongoDB event/meta store | [`docstore`] |
+//! | Spark CCO training job | [`cco`] (batch) + [`trainer`] (periodic) |
+//! | Elasticsearch model index | [`index`] |
+//! | Universal Recommender engine | [`engine`] |
+//! | Harness front-end modules | [`frontend`] |
+//! | nginx static stub (micro-benchmarks) | [`stub`] |
+//! | failure injection (resilience tests) | [`chaos`] |
+//! | Table 3 deployments (b1–b4) | [`cluster`] |
+//!
+//! The LRS is deliberately identifier-agnostic: it never interprets user or
+//! item ids, which is what makes PProx's deterministic pseudonymization
+//! transparent to it — and is why recommendations through the proxy are
+//! byte-identical to direct ones (verified in `tests/transparency.rs`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod cco;
+pub mod chaos;
+pub mod cluster;
+pub mod docstore;
+pub mod engine;
+pub mod frontend;
+pub mod index;
+pub mod stub;
+pub mod trainer;
+
+pub use api::{HttpRequest, HttpResponse, RestHandler};
+pub use engine::Engine;
+
+/// Maximum recommendation list size; responses are padded to this length by
+/// the proxy (§4.3: "The list of items returned by the LRS has a maximal
+/// size (20 in our implementation)").
+pub const MAX_RECOMMENDATIONS: usize = 20;

@@ -1,0 +1,109 @@
+//! Static stub LRS (nginx substitute).
+//!
+//! §7.1: "When testing PProx in isolation from Harness, we use a stub
+//! service with the nginx high-performance HTTP server to serve a static
+//! payload of the same size as Harness recommendations lists." The
+//! micro-benchmarks (Table 2, Figures 6–8) run against this stub so that
+//! measured latency isolates the proxy's own cost.
+
+use crate::api::{
+    HttpRequest, HttpResponse, Method, RecommendationList, RestHandler, ScoredItem, EVENTS_PATH,
+    QUERIES_PATH,
+};
+use crate::MAX_RECOMMENDATIONS;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A stateless LRS returning a constant, full-size recommendation list.
+#[derive(Debug)]
+pub struct StubLrs {
+    payload: String,
+    served: AtomicU64,
+}
+
+impl Default for StubLrs {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StubLrs {
+    /// Creates a stub whose payload has exactly [`MAX_RECOMMENDATIONS`]
+    /// entries (the paper's fixed list size of 20).
+    pub fn new() -> Self {
+        let items = (0..MAX_RECOMMENDATIONS)
+            .map(|i| ScoredItem {
+                item: format!("stub-item-{i:04}"),
+                score: (MAX_RECOMMENDATIONS - i) as f64,
+            })
+            .collect();
+        let payload = RecommendationList { items }.to_json();
+        StubLrs {
+            payload,
+            served: AtomicU64::new(0),
+        }
+    }
+
+    /// The constant payload served for queries.
+    pub fn payload(&self) -> &str {
+        &self.payload
+    }
+
+    /// Requests served so far.
+    pub fn served(&self) -> u64 {
+        self.served.load(Ordering::Relaxed)
+    }
+}
+
+impl RestHandler for StubLrs {
+    fn handle(&self, request: &HttpRequest) -> HttpResponse {
+        self.served.fetch_add(1, Ordering::Relaxed);
+        match (request.method, request.path.as_str()) {
+            (Method::Post, EVENTS_PATH) => HttpResponse::ok(r#"{"status":"ok"}"#),
+            (Method::Post, QUERIES_PATH) => HttpResponse::ok(self.payload.clone()),
+            _ => HttpResponse::error(404, "unknown endpoint"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serves_constant_full_size_list() {
+        let stub = StubLrs::new();
+        let resp = stub.handle(&HttpRequest::post(QUERIES_PATH, r#"{"user":"any"}"#));
+        assert!(resp.is_success());
+        let list = RecommendationList::from_json(&resp.body).unwrap();
+        assert_eq!(list.items.len(), MAX_RECOMMENDATIONS);
+    }
+
+    #[test]
+    fn payload_is_identical_across_requests() {
+        let stub = StubLrs::new();
+        let a = stub.handle(&HttpRequest::post(QUERIES_PATH, r#"{"user":"u1"}"#));
+        let b = stub.handle(&HttpRequest::post(QUERIES_PATH, r#"{"user":"u2"}"#));
+        assert_eq!(a.body, b.body);
+    }
+
+    #[test]
+    fn accepts_events() {
+        let stub = StubLrs::new();
+        let resp = stub.handle(&HttpRequest::post(EVENTS_PATH, r#"{"user":"u","item":"i"}"#));
+        assert!(resp.is_success());
+    }
+
+    #[test]
+    fn rejects_unknown_paths() {
+        let stub = StubLrs::new();
+        assert_eq!(stub.handle(&HttpRequest::post("/x", "")).status, 404);
+    }
+
+    #[test]
+    fn counts_requests() {
+        let stub = StubLrs::new();
+        stub.handle(&HttpRequest::post(EVENTS_PATH, "{}"));
+        stub.handle(&HttpRequest::post(QUERIES_PATH, "{}"));
+        assert_eq!(stub.served(), 2);
+    }
+}

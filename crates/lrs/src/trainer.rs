@@ -1,0 +1,166 @@
+//! Periodic background training (the paper's "periodic runs of Apache
+//! Spark for rebuilding this model including new inputs fetched from
+//! MongoDB", §7).
+//!
+//! [`PeriodicTrainer`] owns a background thread that retrains the shared
+//! [`Engine`] on a fixed interval, atomically swapping in each new model
+//! exactly as `Engine::train` does. Queries keep hitting the previous
+//! model while a build runs — the same read-availability property the
+//! Harness stack gets from Elasticsearch index swaps.
+
+use crate::engine::Engine;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Handle to a running periodic trainer; stops on drop or [`stop`].
+///
+/// [`stop`]: PeriodicTrainer::stop
+pub struct PeriodicTrainer {
+    stop_flag: Arc<AtomicBool>,
+    runs: Arc<AtomicU64>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for PeriodicTrainer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PeriodicTrainer")
+            .field("runs", &self.runs())
+            .finish()
+    }
+}
+
+impl PeriodicTrainer {
+    /// Starts retraining `engine` every `interval`.
+    ///
+    /// The first training runs immediately (so a freshly started service
+    /// has a model as soon as possible), then on the interval.
+    pub fn start(engine: Engine, interval: Duration) -> Self {
+        let stop_flag = Arc::new(AtomicBool::new(false));
+        let runs = Arc::new(AtomicU64::new(0));
+        let thread_stop = stop_flag.clone();
+        let thread_runs = runs.clone();
+        let handle = std::thread::spawn(move || {
+            loop {
+                engine.train();
+                thread_runs.fetch_add(1, Ordering::Relaxed);
+                // Sleep in small slices so stop() is responsive.
+                let mut remaining = interval;
+                while !thread_stop.load(Ordering::Relaxed) && remaining > Duration::ZERO {
+                    let slice = remaining.min(Duration::from_millis(10));
+                    std::thread::sleep(slice);
+                    remaining = remaining.saturating_sub(slice);
+                }
+                if thread_stop.load(Ordering::Relaxed) {
+                    return;
+                }
+            }
+        });
+        PeriodicTrainer {
+            stop_flag,
+            runs,
+            handle: Some(handle),
+        }
+    }
+
+    /// Completed training runs so far.
+    pub fn runs(&self) -> u64 {
+        self.runs.load(Ordering::Relaxed)
+    }
+
+    /// Stops the trainer and waits for the thread to exit.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop_flag.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for PeriodicTrainer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine_with_cluster() -> Engine {
+        let engine = Engine::new();
+        for u in 0..5 {
+            engine.post(&format!("u{u}"), "a", None);
+            engine.post(&format!("u{u}"), "b", None);
+        }
+        for u in 0..8 {
+            engine.post(&format!("bg{u}"), &format!("s{u}"), None);
+        }
+        engine
+    }
+
+    #[test]
+    fn trains_immediately_on_start() {
+        let engine = engine_with_cluster();
+        let trainer = PeriodicTrainer::start(engine.clone(), Duration::from_secs(3600));
+        // The immediate first run lands quickly.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while trainer.runs() == 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(trainer.runs() >= 1);
+        assert_eq!(engine.stats().trainings, trainer.runs());
+        trainer.stop();
+    }
+
+    #[test]
+    fn retrains_on_interval_and_picks_up_new_events() {
+        let engine = engine_with_cluster();
+        let trainer = PeriodicTrainer::start(engine.clone(), Duration::from_millis(30));
+        // Insert a new user mid-flight; a later run must include them.
+        engine.post("late", "a", None);
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while std::time::Instant::now() < deadline {
+            if trainer.runs() >= 2 && !engine.get("late", 5).items.is_empty() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(trainer.runs() >= 2, "expected multiple training runs");
+        assert_eq!(engine.get("late", 5).item_ids(), vec!["b"]);
+        trainer.stop();
+    }
+
+    #[test]
+    fn stop_joins_cleanly_and_halts_training() {
+        let engine = engine_with_cluster();
+        let trainer = PeriodicTrainer::start(engine.clone(), Duration::from_millis(5));
+        std::thread::sleep(Duration::from_millis(50));
+        let runs_at_stop = {
+            let r = trainer.runs();
+            trainer.stop();
+            r
+        };
+        let after = engine.stats().trainings;
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(engine.stats().trainings, after, "no training after stop");
+        assert!(runs_at_stop >= 1);
+    }
+
+    #[test]
+    fn drop_also_stops() {
+        let engine = engine_with_cluster();
+        {
+            let _trainer = PeriodicTrainer::start(engine.clone(), Duration::from_millis(5));
+            std::thread::sleep(Duration::from_millis(30));
+        } // dropped here
+        let settled = engine.stats().trainings;
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(engine.stats().trainings, settled);
+    }
+}

@@ -1,0 +1,92 @@
+//! Network links with propagation latency.
+
+use crate::sim::{EventFn, Simulator};
+use crate::time::SimDuration;
+
+/// A point-to-point link: delivering a message takes a fixed base latency
+/// plus a per-byte serialization cost.
+///
+/// The paper's cluster is a single-datacenter LAN ("runs … in the same
+/// cloud as the LRS to avoid indirections through multiple data centers"),
+/// so defaults model an intra-DC link.
+///
+/// # Examples
+///
+/// ```
+/// use pprox_net::link::Link;
+/// use pprox_net::sim::Simulator;
+///
+/// let mut sim = Simulator::new();
+/// let link = Link::lan();
+/// link.send(&mut sim, 1024, Box::new(|sim| {
+///     assert!(sim.now().as_micros() > 0);
+/// }));
+/// sim.run();
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Link {
+    /// One-way propagation delay.
+    pub latency: SimDuration,
+    /// Serialization cost per kilobyte.
+    pub per_kb: SimDuration,
+}
+
+impl Link {
+    /// An intra-datacenter link: 150 µs propagation, ~10 µs/KB (≈ 1 Gb/s).
+    pub fn lan() -> Self {
+        Link {
+            latency: SimDuration::from_micros(150),
+            per_kb: SimDuration::from_micros(10),
+        }
+    }
+
+    /// A WAN link for contrast experiments (20 ms propagation).
+    pub fn wan() -> Self {
+        Link {
+            latency: SimDuration::from_millis(20),
+            per_kb: SimDuration::from_micros(10),
+        }
+    }
+
+    /// Transfer time for a message of `bytes`.
+    pub fn transfer_time(&self, bytes: usize) -> SimDuration {
+        SimDuration(self.latency.0 + (self.per_kb.0 * bytes as u64) / 1024)
+    }
+
+    /// Delivers a `bytes`-sized message: `delivered` runs after the
+    /// transfer time.
+    pub fn send(&self, sim: &mut Simulator, bytes: usize, delivered: EventFn) {
+        sim.schedule(self.transfer_time(bytes), delivered);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_scales_with_size() {
+        let link = Link::lan();
+        assert_eq!(link.transfer_time(0), SimDuration::from_micros(150));
+        assert_eq!(link.transfer_time(1024), SimDuration::from_micros(160));
+        assert!(link.transfer_time(10_240) > link.transfer_time(1024));
+    }
+
+    #[test]
+    fn wan_is_slower_than_lan() {
+        assert!(Link::wan().transfer_time(100) > Link::lan().transfer_time(100));
+    }
+
+    #[test]
+    fn send_schedules_delivery() {
+        let mut sim = Simulator::new();
+        let link = Link::lan();
+        link.send(
+            &mut sim,
+            2048,
+            Box::new(|sim| assert_eq!(sim.now().as_micros(), 170)),
+        );
+        sim.run();
+        assert_eq!(sim.executed(), 1);
+    }
+}

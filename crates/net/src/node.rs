@@ -1,0 +1,261 @@
+//! Queueing stations: simulated nodes with bounded service capacity.
+//!
+//! Every node of the paper's cluster — a proxy enclave host, an LRS
+//! front-end, the stub server — is modelled as a multi-server FCFS queue:
+//! `servers` parallel executors (the NUCs have 2 cores), a FIFO backlog,
+//! and per-job service demands drawn from a [`ServiceTime`](crate::service::ServiceTime) model. Queueing
+//! at saturated stations is what produces the paper's latency knees in
+//! Figures 6–10.
+
+use crate::sim::{EventFn, Simulator};
+use crate::time::{SimDuration, SimTime};
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+struct StationInner {
+    name: String,
+    servers: usize,
+    busy: usize,
+    backlog: VecDeque<(SimDuration, EventFn)>,
+    completed: u64,
+    busy_micros: u64,
+    max_backlog: usize,
+    opened_at: SimTime,
+}
+
+/// A multi-server FCFS queueing station.
+///
+/// Cloning the handle shares the underlying station.
+///
+/// # Examples
+///
+/// ```
+/// use pprox_net::node::Station;
+/// use pprox_net::sim::Simulator;
+/// use pprox_net::time::SimDuration;
+///
+/// let mut sim = Simulator::new();
+/// let station = Station::new("fe-0", 1);
+/// // Two 10ms jobs on one server: the second finishes at 20ms.
+/// station.submit(&mut sim, SimDuration::from_millis(10), Box::new(|_| {}));
+/// station.submit(&mut sim, SimDuration::from_millis(10), Box::new(|sim| {
+///     assert_eq!(sim.now().as_micros(), 20_000);
+/// }));
+/// sim.run();
+/// assert_eq!(station.completed(), 2);
+/// ```
+#[derive(Clone)]
+pub struct Station {
+    inner: Rc<RefCell<StationInner>>,
+}
+
+impl std::fmt::Debug for Station {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.borrow();
+        f.debug_struct("Station")
+            .field("name", &inner.name)
+            .field("servers", &inner.servers)
+            .field("busy", &inner.busy)
+            .field("backlog", &inner.backlog.len())
+            .finish()
+    }
+}
+
+impl Station {
+    /// Creates a station with `servers` parallel executors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `servers` is zero.
+    pub fn new(name: impl Into<String>, servers: usize) -> Self {
+        assert!(servers > 0, "station needs at least one server");
+        Station {
+            inner: Rc::new(RefCell::new(StationInner {
+                name: name.into(),
+                servers,
+                busy: 0,
+                backlog: VecDeque::new(),
+                completed: 0,
+                busy_micros: 0,
+                max_backlog: 0,
+                opened_at: SimTime::ZERO,
+            })),
+        }
+    }
+
+    /// Submits a job with the given service `demand`; `done` runs when the
+    /// job completes (after queueing + service).
+    pub fn submit(&self, sim: &mut Simulator, demand: SimDuration, done: EventFn) {
+        let job = {
+            let mut inner = self.inner.borrow_mut();
+            if inner.busy < inner.servers {
+                inner.busy += 1;
+                Some((demand, done))
+            } else {
+                inner.backlog.push_back((demand, done));
+                let backlog = inner.backlog.len();
+                inner.max_backlog = inner.max_backlog.max(backlog);
+                None
+            }
+        };
+        if let Some((demand, done)) = job {
+            self.run_job(sim, demand, done);
+        }
+    }
+
+    fn run_job(&self, sim: &mut Simulator, demand: SimDuration, done: EventFn) {
+        let station = self.clone();
+        sim.schedule(
+            demand,
+            Box::new(move |sim| {
+                let next = {
+                    let mut inner = station.inner.borrow_mut();
+                    inner.completed += 1;
+                    inner.busy_micros += demand.as_micros();
+                    match inner.backlog.pop_front() {
+                        Some(job) => Some(job), // server stays busy
+                        None => {
+                            inner.busy -= 1;
+                            None
+                        }
+                    }
+                };
+                if let Some((next_demand, next_done)) = next {
+                    station.run_job(sim, next_demand, next_done);
+                }
+                done(sim);
+            }),
+        );
+    }
+
+    /// Station label.
+    pub fn name(&self) -> String {
+        self.inner.borrow().name.clone()
+    }
+
+    /// Jobs completed.
+    pub fn completed(&self) -> u64 {
+        self.inner.borrow().completed
+    }
+
+    /// Current backlog length.
+    pub fn backlog(&self) -> usize {
+        self.inner.borrow().backlog.len()
+    }
+
+    /// Peak backlog observed.
+    pub fn max_backlog(&self) -> usize {
+        self.inner.borrow().max_backlog
+    }
+
+    /// Utilization of the station over `[0, now]`: busy time divided by
+    /// capacity time.
+    pub fn utilization(&self, now: SimTime) -> f64 {
+        let inner = self.inner.borrow();
+        let span = now.since(inner.opened_at).as_micros();
+        if span == 0 {
+            return 0.0;
+        }
+        inner.busy_micros as f64 / (span as f64 * inner.servers as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+
+    #[test]
+    fn single_server_serializes() {
+        let mut sim = Simulator::new();
+        let st = Station::new("s", 1);
+        let done_times: Rc<RefCell<Vec<u64>>> = Rc::default();
+        for _ in 0..3 {
+            let d = done_times.clone();
+            st.submit(
+                &mut sim,
+                SimDuration::from_millis(10),
+                Box::new(move |sim| d.borrow_mut().push(sim.now().as_micros())),
+            );
+        }
+        sim.run();
+        assert_eq!(*done_times.borrow(), vec![10_000, 20_000, 30_000]);
+        assert_eq!(st.max_backlog(), 2);
+    }
+
+    #[test]
+    fn two_servers_parallelize() {
+        let mut sim = Simulator::new();
+        let st = Station::new("s", 2);
+        let done_times: Rc<RefCell<Vec<u64>>> = Rc::default();
+        for _ in 0..4 {
+            let d = done_times.clone();
+            st.submit(
+                &mut sim,
+                SimDuration::from_millis(10),
+                Box::new(move |sim| d.borrow_mut().push(sim.now().as_micros())),
+            );
+        }
+        sim.run();
+        assert_eq!(*done_times.borrow(), vec![10_000, 10_000, 20_000, 20_000]);
+    }
+
+    #[test]
+    fn fcfs_order_preserved() {
+        let mut sim = Simulator::new();
+        let st = Station::new("s", 1);
+        let order: Rc<RefCell<Vec<u32>>> = Rc::default();
+        for id in 0..5u32 {
+            let o = order.clone();
+            st.submit(
+                &mut sim,
+                SimDuration::from_millis(1),
+                Box::new(move |_| o.borrow_mut().push(id)),
+            );
+        }
+        sim.run();
+        assert_eq!(*order.borrow(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn utilization_accounting() {
+        let mut sim = Simulator::new();
+        let st = Station::new("s", 1);
+        st.submit(&mut sim, SimDuration::from_millis(30), Box::new(|_| {}));
+        sim.run();
+        // 30ms busy out of 30ms elapsed on one server.
+        assert!((st.utilization(sim.now()) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn completion_callback_can_resubmit() {
+        let mut sim = Simulator::new();
+        let st = Station::new("s", 1);
+        let count = Rc::new(Cell::new(0u32));
+        let c = count.clone();
+        let st2 = st.clone();
+        st.submit(
+            &mut sim,
+            SimDuration::from_millis(5),
+            Box::new(move |sim| {
+                c.set(c.get() + 1);
+                let c2 = c.clone();
+                st2.submit(
+                    sim,
+                    SimDuration::from_millis(5),
+                    Box::new(move |_| c2.set(c2.get() + 1)),
+                );
+            }),
+        );
+        sim.run();
+        assert_eq!(count.get(), 2);
+        assert_eq!(st.completed(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn zero_servers_panics() {
+        let _ = Station::new("s", 0);
+    }
+}

@@ -1,0 +1,245 @@
+//! The discrete-event simulation core.
+//!
+//! A classic event-heap design: closures scheduled at virtual instants,
+//! executed in timestamp order (FIFO among equal timestamps). Components
+//! like [`crate::node::Station`] and the proxy's shuffle buffers build on
+//! `schedule`.
+
+use crate::time::{SimDuration, SimTime};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A scheduled action: runs at its instant with access to the simulator.
+pub type EventFn = Box<dyn FnOnce(&mut Simulator)>;
+
+struct Scheduled {
+    at: SimTime,
+    seq: u64,
+    action: EventFn,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl Eq for Scheduled {}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// A discrete-event simulator with a virtual clock.
+///
+/// # Examples
+///
+/// ```
+/// use pprox_net::sim::Simulator;
+/// use pprox_net::time::SimDuration;
+/// use std::rc::Rc;
+/// use std::cell::Cell;
+///
+/// let mut sim = Simulator::new();
+/// let fired = Rc::new(Cell::new(false));
+/// let flag = fired.clone();
+/// sim.schedule(SimDuration::from_millis(10), Box::new(move |_| flag.set(true)));
+/// sim.run();
+/// assert!(fired.get());
+/// assert_eq!(sim.now().as_micros(), 10_000);
+/// ```
+pub struct Simulator {
+    now: SimTime,
+    heap: BinaryHeap<Scheduled>,
+    next_seq: u64,
+    executed: u64,
+}
+
+impl Default for Simulator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Simulator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("now", &self.now)
+            .field("pending", &self.heap.len())
+            .field("executed", &self.executed)
+            .finish()
+    }
+}
+
+impl Simulator {
+    /// Creates a simulator at time zero.
+    pub fn new() -> Self {
+        Simulator {
+            now: SimTime::ZERO,
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            executed: 0,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `action` to run `delay` from now. Actions scheduled for
+    /// the same instant run in scheduling order.
+    pub fn schedule(&mut self, delay: SimDuration, action: EventFn) {
+        self.schedule_at(self.now + delay, action);
+    }
+
+    /// Schedules `action` at an absolute instant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past.
+    pub fn schedule_at(&mut self, at: SimTime, action: EventFn) {
+        assert!(at >= self.now, "cannot schedule into the past");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { at, seq, action });
+    }
+
+    /// Runs one event; returns `false` when the heap is empty.
+    pub fn step(&mut self) -> bool {
+        match self.heap.pop() {
+            Some(ev) => {
+                debug_assert!(ev.at >= self.now);
+                self.now = ev.at;
+                (ev.action)(self);
+                self.executed += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Runs until no events remain.
+    pub fn run(&mut self) {
+        while self.step() {}
+    }
+
+    /// Runs events up to and including instant `until`; later events stay
+    /// queued and the clock stops at `until`.
+    pub fn run_until(&mut self, until: SimTime) {
+        while let Some(head) = self.heap.peek() {
+            if head.at > until {
+                break;
+            }
+            self.step();
+        }
+        if self.now < until {
+            self.now = until;
+        }
+    }
+
+    /// Number of events executed so far.
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of events still queued.
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn events_run_in_time_order() {
+        let mut sim = Simulator::new();
+        let log: Rc<RefCell<Vec<u32>>> = Rc::default();
+        for (delay, id) in [(30u64, 3u32), (10, 1), (20, 2)] {
+            let log = log.clone();
+            sim.schedule(
+                SimDuration::from_millis(delay),
+                Box::new(move |_| log.borrow_mut().push(id)),
+            );
+        }
+        sim.run();
+        assert_eq!(*log.borrow(), vec![1, 2, 3]);
+        assert_eq!(sim.executed(), 3);
+    }
+
+    #[test]
+    fn equal_timestamps_fifo() {
+        let mut sim = Simulator::new();
+        let log: Rc<RefCell<Vec<u32>>> = Rc::default();
+        for id in 0..10u32 {
+            let log = log.clone();
+            sim.schedule(
+                SimDuration::from_millis(5),
+                Box::new(move |_| log.borrow_mut().push(id)),
+            );
+        }
+        sim.run();
+        assert_eq!(*log.borrow(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn events_can_schedule_events() {
+        let mut sim = Simulator::new();
+        let hits: Rc<RefCell<Vec<u64>>> = Rc::default();
+        let h = hits.clone();
+        sim.schedule(
+            SimDuration::from_millis(1),
+            Box::new(move |sim| {
+                h.borrow_mut().push(sim.now().as_micros());
+                let h2 = h.clone();
+                sim.schedule(
+                    SimDuration::from_millis(2),
+                    Box::new(move |sim| h2.borrow_mut().push(sim.now().as_micros())),
+                );
+            }),
+        );
+        sim.run();
+        assert_eq!(*hits.borrow(), vec![1_000, 3_000]);
+    }
+
+    #[test]
+    fn run_until_stops_clock() {
+        let mut sim = Simulator::new();
+        let fired = Rc::new(RefCell::new(0u32));
+        for delay in [5u64, 15] {
+            let fired = fired.clone();
+            sim.schedule(
+                SimDuration::from_millis(delay),
+                Box::new(move |_| *fired.borrow_mut() += 1),
+            );
+        }
+        sim.run_until(SimTime(10_000));
+        assert_eq!(*fired.borrow(), 1);
+        assert_eq!(sim.now(), SimTime(10_000));
+        assert_eq!(sim.pending(), 1);
+        sim.run();
+        assert_eq!(*fired.borrow(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "into the past")]
+    fn scheduling_past_panics() {
+        let mut sim = Simulator::new();
+        sim.schedule(SimDuration::from_millis(5), Box::new(|_| {}));
+        sim.run();
+        sim.schedule_at(SimTime(1), Box::new(|_| {}));
+    }
+}

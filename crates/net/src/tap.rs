@@ -1,0 +1,154 @@
+//! The adversary's network tap.
+//!
+//! §2.3: the adversary "may monitor network flows between the nodes forming
+//! this infrastructure, both with the outside world and internally, and
+//! correlate in time its observations". A [`Tap`] records exactly what such
+//! an observer sees for every message: timestamp, source endpoint,
+//! destination endpooint, and size — never plaintext contents, which are
+//! encrypted end-to-end. Each record also carries the ground-truth flow id,
+//! which the attack harness uses only to *score* the adversary's guesses,
+//! never as an input to them.
+
+use crate::time::SimTime;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// What kind of hop a record describes (which wire segment it was seen on).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Segment {
+    /// Client → UA layer.
+    ClientToUa,
+    /// UA layer → IA layer.
+    UaToIa,
+    /// IA layer → LRS.
+    IaToLrs,
+    /// LRS → IA layer (response).
+    LrsToIa,
+    /// IA layer → UA layer (response).
+    IaToUa,
+    /// UA layer → client (response).
+    UaToClient,
+    /// Direct client → LRS traffic (unprotected baseline).
+    Direct,
+}
+
+/// One observed message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowRecord {
+    /// When the message was seen.
+    pub time: SimTime,
+    /// Wire segment it was seen on.
+    pub segment: Segment,
+    /// Source endpoint (e.g. `"client-17"` or `"ua-0"`).
+    pub src: String,
+    /// Destination endpoint.
+    pub dst: String,
+    /// Message size in bytes (constant under padding).
+    pub size: usize,
+    /// Ground truth: which logical request this message belongs to. Used
+    /// for scoring attack success only.
+    pub flow: u64,
+}
+
+/// A shared recorder of all observed flows.
+///
+/// Cloning shares the underlying buffer (the adversary sees everything).
+#[derive(Debug, Clone, Default)]
+pub struct Tap {
+    records: Rc<RefCell<Vec<FlowRecord>>>,
+}
+
+impl Tap {
+    /// Creates an empty tap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one message observation.
+    pub fn record(
+        &self,
+        time: SimTime,
+        segment: Segment,
+        src: impl Into<String>,
+        dst: impl Into<String>,
+        size: usize,
+        flow: u64,
+    ) {
+        self.records.borrow_mut().push(FlowRecord {
+            time,
+            segment,
+            src: src.into(),
+            dst: dst.into(),
+            size,
+            flow,
+        });
+    }
+
+    /// Snapshot of all records so far.
+    pub fn snapshot(&self) -> Vec<FlowRecord> {
+        self.records.borrow().clone()
+    }
+
+    /// Records on one segment, in observation order.
+    pub fn on_segment(&self, segment: Segment) -> Vec<FlowRecord> {
+        self.records
+            .borrow()
+            .iter()
+            .filter(|r| r.segment == segment)
+            .cloned()
+            .collect()
+    }
+
+    /// Total records.
+    pub fn len(&self) -> usize {
+        self.records.borrow().len()
+    }
+
+    /// `true` when nothing has been observed.
+    pub fn is_empty(&self) -> bool {
+        self.records.borrow().is_empty()
+    }
+
+    /// Clears all records.
+    pub fn clear(&self) {
+        self.records.borrow_mut().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_filters() {
+        let tap = Tap::new();
+        tap.record(SimTime(1), Segment::ClientToUa, "c1", "ua-0", 256, 1);
+        tap.record(SimTime(2), Segment::UaToIa, "ua-0", "ia-0", 256, 1);
+        tap.record(SimTime(3), Segment::ClientToUa, "c2", "ua-0", 256, 2);
+        assert_eq!(tap.len(), 3);
+        let client_hops = tap.on_segment(Segment::ClientToUa);
+        assert_eq!(client_hops.len(), 2);
+        assert_eq!(client_hops[0].src, "c1");
+        assert_eq!(client_hops[1].flow, 2);
+    }
+
+    #[test]
+    fn clones_share_buffer() {
+        let tap = Tap::new();
+        let view = tap.clone();
+        tap.record(SimTime(1), Segment::Direct, "c", "lrs", 10, 7);
+        assert_eq!(view.len(), 1);
+        view.clear();
+        assert!(tap.is_empty());
+    }
+
+    #[test]
+    fn snapshot_is_detached() {
+        let tap = Tap::new();
+        tap.record(SimTime(1), Segment::Direct, "c", "lrs", 10, 1);
+        let snap = tap.snapshot();
+        tap.record(SimTime(2), Segment::Direct, "c", "lrs", 10, 2);
+        assert_eq!(snap.len(), 1);
+        assert_eq!(tap.len(), 2);
+    }
+}

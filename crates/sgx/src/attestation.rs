@@ -1,0 +1,195 @@
+//! Simulated remote attestation.
+//!
+//! Models the part of the SGX ecosystem PProx relies on: before a RaaS
+//! client application provisions layer secrets (`skUA`/`kUA` or
+//! `skIA`/`kIA`) to an enclave, it verifies a *quote* proving that (a) the
+//! enclave runs on a genuine platform and (b) its code measurement matches
+//! the expected proxy-layer code (§2.2, §4.1).
+//!
+//! The simulation replaces Intel's EPID/DCAP machinery with an HMAC keyed
+//! by a per-platform key that only the [`AttestationService`] (standing in
+//! for Intel's attestation service) can verify.
+
+use crate::measurement::Measurement;
+use crate::EnclaveId;
+use pprox_crypto::hmac::{hmac_sha256, verify_tag};
+use pprox_crypto::rng::SecureRng;
+
+/// A signed statement that enclave `enclave_id` with code `measurement`
+/// runs on a genuine platform, binding caller-chosen `report_data`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Quote {
+    /// Identity of the quoted enclave instance.
+    pub enclave_id: EnclaveId,
+    /// Code measurement of the quoted enclave.
+    pub measurement: Measurement,
+    /// 64 bytes of caller-chosen data (e.g. a key-exchange public value).
+    pub report_data: Vec<u8>,
+    mac: [u8; 32],
+}
+
+/// Errors from quote verification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AttestationError {
+    /// The quote's MAC does not verify (forged or corrupted quote).
+    InvalidQuote,
+    /// The quote is genuine but the measurement is not the expected one.
+    WrongMeasurement {
+        /// Measurement the verifier expected.
+        expected: Measurement,
+        /// Measurement found in the quote.
+        found: Measurement,
+    },
+}
+
+impl std::fmt::Display for AttestationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AttestationError::InvalidQuote => write!(f, "quote MAC verification failed"),
+            AttestationError::WrongMeasurement { expected, found } => {
+                write!(f, "expected measurement {expected}, found {found}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AttestationError {}
+
+/// Token proving a successful attestation of a specific enclave; consumed
+/// by [`crate::enclave::Enclave::provision`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProvisioningToken {
+    pub(crate) enclave_id: EnclaveId,
+    pub(crate) measurement: Measurement,
+}
+
+/// The platform's quoting/verification authority (Intel IAS/DCAP analog).
+///
+/// One instance per simulated platform; it holds the secret quoting key.
+#[derive(Debug)]
+pub struct AttestationService {
+    quoting_key: [u8; 32],
+}
+
+impl AttestationService {
+    /// Creates a service with a random quoting key.
+    pub fn new(rng: &mut SecureRng) -> Self {
+        let mut quoting_key = [0u8; 32];
+        rng.fill(&mut quoting_key);
+        AttestationService { quoting_key }
+    }
+
+    fn mac_input(enclave_id: EnclaveId, measurement: &Measurement, report_data: &[u8]) -> Vec<u8> {
+        let mut input = Vec::with_capacity(8 + 32 + report_data.len());
+        input.extend_from_slice(&enclave_id.0.to_be_bytes());
+        input.extend_from_slice(measurement.as_bytes());
+        input.extend_from_slice(report_data);
+        input
+    }
+
+    /// Produces a quote for an enclave (invoked by the enclave runtime).
+    pub fn quote(
+        &self,
+        enclave_id: EnclaveId,
+        measurement: Measurement,
+        report_data: Vec<u8>,
+    ) -> Quote {
+        let mac = hmac_sha256(
+            &self.quoting_key,
+            &Self::mac_input(enclave_id, &measurement, &report_data),
+        );
+        Quote {
+            enclave_id,
+            measurement,
+            report_data,
+            mac,
+        }
+    }
+
+    /// Verifies a quote against the measurement the verifier expects.
+    ///
+    /// # Errors
+    ///
+    /// [`AttestationError::InvalidQuote`] when the MAC fails;
+    /// [`AttestationError::WrongMeasurement`] when the quote is genuine but
+    /// for different code.
+    pub fn verify(
+        &self,
+        quote: &Quote,
+        expected: Measurement,
+    ) -> Result<ProvisioningToken, AttestationError> {
+        let mac = hmac_sha256(
+            &self.quoting_key,
+            &Self::mac_input(quote.enclave_id, &quote.measurement, &quote.report_data),
+        );
+        if !verify_tag(&mac, &quote.mac) {
+            return Err(AttestationError::InvalidQuote);
+        }
+        if quote.measurement != expected {
+            return Err(AttestationError::WrongMeasurement {
+                expected,
+                found: quote.measurement,
+            });
+        }
+        Ok(ProvisioningToken {
+            enclave_id: quote.enclave_id,
+            measurement: quote.measurement,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn service() -> AttestationService {
+        AttestationService::new(&mut SecureRng::from_seed(1))
+    }
+
+    #[test]
+    fn genuine_quote_verifies() {
+        let svc = service();
+        let m = Measurement::of_code("ua");
+        let q = svc.quote(EnclaveId(7), m, b"rd".to_vec());
+        let token = svc.verify(&q, m).unwrap();
+        assert_eq!(token.enclave_id, EnclaveId(7));
+    }
+
+    #[test]
+    fn tampered_quote_rejected() {
+        let svc = service();
+        let m = Measurement::of_code("ua");
+        let mut q = svc.quote(EnclaveId(7), m, b"rd".to_vec());
+        q.report_data = b"other".to_vec();
+        assert_eq!(svc.verify(&q, m), Err(AttestationError::InvalidQuote));
+    }
+
+    #[test]
+    fn wrong_measurement_rejected() {
+        let svc = service();
+        let ua = Measurement::of_code("ua");
+        let ia = Measurement::of_code("ia");
+        let q = svc.quote(EnclaveId(1), ua, vec![]);
+        assert!(matches!(
+            svc.verify(&q, ia),
+            Err(AttestationError::WrongMeasurement { .. })
+        ));
+    }
+
+    #[test]
+    fn quote_from_other_platform_rejected() {
+        let svc_a = service();
+        let svc_b = AttestationService::new(&mut SecureRng::from_seed(2));
+        let m = Measurement::of_code("ua");
+        let q = svc_b.quote(EnclaveId(1), m, vec![]);
+        assert_eq!(svc_a.verify(&q, m), Err(AttestationError::InvalidQuote));
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(
+            AttestationError::InvalidQuote.to_string(),
+            "quote MAC verification failed"
+        );
+    }
+}

@@ -1,0 +1,173 @@
+//! Data sealing: encrypting enclave state to the platform + measurement.
+//!
+//! SGX sealing lets an enclave persist secrets outside the EPC such that
+//! only an enclave with the same measurement on the same platform can
+//! recover them. PProx's footnote on breach response mentions re-starting
+//! the system with new secrets or re-encrypting state — sealing is the
+//! primitive such machinery relies on, so the simulated platform provides
+//! it too.
+
+use crate::measurement::Measurement;
+use pprox_crypto::ctr::SymmetricKey;
+use pprox_crypto::hmac::{hmac_sha256, verify_tag};
+use pprox_crypto::rng::SecureRng;
+use pprox_crypto::sha256::Sha256;
+
+/// Errors from unsealing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SealError {
+    /// Blob too short or structurally invalid.
+    Malformed,
+    /// Authentication failed: wrong platform, wrong measurement, or
+    /// tampered blob.
+    AuthenticationFailed,
+}
+
+impl std::fmt::Display for SealError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SealError::Malformed => write!(f, "malformed sealed blob"),
+            SealError::AuthenticationFailed => write!(f, "sealed blob failed authentication"),
+        }
+    }
+}
+
+impl std::error::Error for SealError {}
+
+/// Per-platform root sealing key (fused into the CPU on real hardware).
+#[derive(Clone)]
+pub struct SealingKey {
+    root: [u8; 32],
+}
+
+impl std::fmt::Debug for SealingKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("SealingKey(redacted)")
+    }
+}
+
+const MAC_LEN: usize = 32;
+
+impl SealingKey {
+    /// Generates a fresh platform root key.
+    pub fn generate(rng: &mut SecureRng) -> Self {
+        let mut root = [0u8; 32];
+        rng.fill(&mut root);
+        SealingKey { root }
+    }
+
+    /// Derives the per-measurement sealing key (MRENCLAVE policy).
+    fn derive(&self, measurement: Measurement) -> ([u8; 32], [u8; 32]) {
+        let mut enc = Sha256::new();
+        enc.update(b"seal-enc");
+        enc.update(&self.root);
+        enc.update(measurement.as_bytes());
+        let mut mac = Sha256::new();
+        mac.update(b"seal-mac");
+        mac.update(&self.root);
+        mac.update(measurement.as_bytes());
+        (enc.finalize(), mac.finalize())
+    }
+
+    /// Seals `data` to `measurement` on this platform.
+    ///
+    /// Layout: `ciphertext(IV || body) || mac`.
+    pub fn seal(&self, measurement: Measurement, data: &[u8], rng: &mut SecureRng) -> Vec<u8> {
+        let (enc_key, mac_key) = self.derive(measurement);
+        let ct = SymmetricKey::from_bytes(enc_key).encrypt(data, rng);
+        let tag = hmac_sha256(&mac_key, &ct);
+        let mut out = ct;
+        out.extend_from_slice(&tag);
+        out
+    }
+
+    /// Recovers data sealed by [`seal`](Self::seal) with the same
+    /// measurement on the same platform.
+    ///
+    /// # Errors
+    ///
+    /// [`SealError::AuthenticationFailed`] if platform or measurement
+    /// differ or the blob was modified; [`SealError::Malformed`] if the
+    /// blob is too short.
+    pub fn unseal(&self, measurement: Measurement, blob: &[u8]) -> Result<Vec<u8>, SealError> {
+        if blob.len() < MAC_LEN + 16 {
+            return Err(SealError::Malformed);
+        }
+        let (ct, tag) = blob.split_at(blob.len() - MAC_LEN);
+        let (enc_key, mac_key) = self.derive(measurement);
+        let expected = hmac_sha256(&mac_key, ct);
+        if !verify_tag(&expected, tag) {
+            return Err(SealError::AuthenticationFailed);
+        }
+        SymmetricKey::from_bytes(enc_key)
+            .decrypt(ct)
+            .ok_or(SealError::Malformed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (SealingKey, Measurement, SecureRng) {
+        (
+            SealingKey::generate(&mut SecureRng::from_seed(1)),
+            Measurement::of_code("ua"),
+            SecureRng::from_seed(2),
+        )
+    }
+
+    #[test]
+    fn seal_unseal_roundtrip() {
+        let (key, m, mut rng) = setup();
+        let blob = key.seal(m, b"layer secrets", &mut rng);
+        assert_eq!(key.unseal(m, &blob).unwrap(), b"layer secrets");
+    }
+
+    #[test]
+    fn wrong_measurement_fails() {
+        let (key, m, mut rng) = setup();
+        let blob = key.seal(m, b"s", &mut rng);
+        assert_eq!(
+            key.unseal(Measurement::of_code("ia"), &blob),
+            Err(SealError::AuthenticationFailed)
+        );
+    }
+
+    #[test]
+    fn wrong_platform_fails() {
+        let (key, m, mut rng) = setup();
+        let other = SealingKey::generate(&mut SecureRng::from_seed(9));
+        let blob = key.seal(m, b"s", &mut rng);
+        assert_eq!(other.unseal(m, &blob), Err(SealError::AuthenticationFailed));
+    }
+
+    #[test]
+    fn tampering_detected() {
+        let (key, m, mut rng) = setup();
+        let mut blob = key.seal(m, b"s", &mut rng);
+        let mid = blob.len() / 2;
+        blob[mid] ^= 1;
+        assert_eq!(key.unseal(m, &blob), Err(SealError::AuthenticationFailed));
+    }
+
+    #[test]
+    fn short_blob_malformed() {
+        let (key, m, _) = setup();
+        assert_eq!(key.unseal(m, &[0u8; 10]), Err(SealError::Malformed));
+    }
+
+    #[test]
+    fn sealed_blobs_randomized() {
+        let (key, m, mut rng) = setup();
+        let a = key.seal(m, b"same", &mut rng);
+        let b = key.seal(m, b"same", &mut rng);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn debug_redacts() {
+        let (key, _, _) = setup();
+        assert_eq!(format!("{key:?}"), "SealingKey(redacted)");
+    }
+}

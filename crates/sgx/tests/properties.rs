@@ -1,0 +1,80 @@
+//! Property-based tests for the simulated-TEE substrate.
+
+use pprox_crypto::rng::SecureRng;
+use pprox_sgx::epc::EpcStore;
+use pprox_sgx::measurement::Measurement;
+use pprox_sgx::sealing::SealingKey;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum EpcOp {
+    Insert(u16, Vec<u8>),
+    Remove(u16),
+}
+
+fn epc_ops() -> impl Strategy<Value = Vec<EpcOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (any::<u16>(), proptest::collection::vec(any::<u8>(), 0..64))
+                .prop_map(|(k, v)| EpcOp::Insert(k, v)),
+            any::<u16>().prop_map(EpcOp::Remove),
+        ],
+        0..100,
+    )
+}
+
+proptest! {
+    /// The EPC store never exceeds its budget, its accounting matches a
+    /// model map exactly, and it drains to zero.
+    #[test]
+    fn epc_accounting_matches_model(ops in epc_ops(), capacity in 200usize..4_000) {
+        let mut store = EpcStore::with_capacity(capacity);
+        let mut model: HashMap<u16, Vec<u8>> = HashMap::new();
+        for op in ops {
+            match op {
+                EpcOp::Insert(k, v) => {
+                    let accepted = store.insert(k.to_be_bytes().to_vec(), v.clone()).is_ok();
+                    if accepted {
+                        model.insert(k, v);
+                    }
+                }
+                EpcOp::Remove(k) => {
+                    let from_store = store.remove(&k.to_be_bytes());
+                    let from_model = model.remove(&k);
+                    prop_assert_eq!(from_store, from_model);
+                }
+            }
+            prop_assert!(store.used_bytes() <= store.capacity_bytes());
+            prop_assert_eq!(store.len(), model.len());
+        }
+        for (k, v) in model {
+            prop_assert_eq!(store.get(&k.to_be_bytes()), Some(v.as_slice()));
+            store.remove(&k.to_be_bytes());
+        }
+        prop_assert_eq!(store.used_bytes(), 0);
+        prop_assert!(store.is_empty());
+    }
+
+    /// Sealing roundtrips for arbitrary payloads; cross-measurement and
+    /// cross-platform unsealing always fails.
+    #[test]
+    fn sealing_roundtrip_and_isolation(
+        data in proptest::collection::vec(any::<u8>(), 0..256),
+        code_a in "[a-z]{1,10}",
+        code_b in "[a-z]{1,10}",
+        seed in any::<u64>(),
+    ) {
+        let key = SealingKey::generate(&mut SecureRng::from_seed(seed));
+        let other_key = SealingKey::generate(&mut SecureRng::from_seed(seed ^ 1));
+        let m_a = Measurement::of_code(&code_a);
+        let m_b = Measurement::of_code(&code_b);
+        let mut rng = SecureRng::from_seed(seed ^ 2);
+        let blob = key.seal(m_a, &data, &mut rng);
+        prop_assert_eq!(key.unseal(m_a, &blob).unwrap(), data);
+        if code_a != code_b {
+            prop_assert!(key.unseal(m_b, &blob).is_err());
+        }
+        prop_assert!(other_key.unseal(m_a, &blob).is_err());
+    }
+}

@@ -1,0 +1,136 @@
+//! Diurnal load curves.
+//!
+//! Web traffic follows a day/night rhythm; the paper's §6.3 "at night
+//! time" caveat and §5's elastic-scaling requirement are both about this
+//! shape. [`DiurnalCurve`] produces a smooth, reproducible 24-hour load
+//! profile for the autoscaling and low-traffic experiments.
+
+use std::f64::consts::TAU;
+
+/// A smooth 24-hour request-rate profile.
+///
+/// The shape is a raised cosine between `night_rps` and `peak_rps`,
+/// peaking at `peak_hour` — the classic single-peak diurnal curve of a
+/// consumer-facing service.
+///
+/// # Examples
+///
+/// ```
+/// use pprox_workload::diurnal::DiurnalCurve;
+///
+/// let curve = DiurnalCurve::new(20.0, 900.0, 20.5);
+/// assert!(curve.rps_at(20.5) > curve.rps_at(4.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiurnalCurve {
+    /// Overnight floor, requests/s.
+    pub night_rps: f64,
+    /// Peak rate, requests/s.
+    pub peak_rps: f64,
+    /// Hour of day (0–24) at which the peak occurs.
+    pub peak_hour: f64,
+}
+
+impl DiurnalCurve {
+    /// Creates a curve.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < night_rps <= peak_rps` and
+    /// `0 <= peak_hour < 24`.
+    pub fn new(night_rps: f64, peak_rps: f64, peak_hour: f64) -> Self {
+        assert!(night_rps > 0.0 && night_rps <= peak_rps);
+        assert!((0.0..24.0).contains(&peak_hour));
+        DiurnalCurve {
+            night_rps,
+            peak_rps,
+            peak_hour,
+        }
+    }
+
+    /// Request rate at hour-of-day `hour` (wraps modulo 24).
+    pub fn rps_at(&self, hour: f64) -> f64 {
+        let phase = (hour - self.peak_hour) / 24.0 * TAU;
+        // Raised cosine: 1 at the peak, 0 twelve hours away.
+        let weight = (1.0 + phase.cos()) / 2.0;
+        self.night_rps + (self.peak_rps - self.night_rps) * weight
+    }
+
+    /// One sample per hour for `hours` consecutive hours starting at 0.
+    pub fn hourly(&self, hours: usize) -> Vec<(f64, f64)> {
+        (0..hours)
+            .map(|h| {
+                let hour = h as f64 % 24.0;
+                (h as f64, self.rps_at(hour))
+            })
+            .collect()
+    }
+
+    /// Mean rate over a full day.
+    pub fn daily_mean(&self) -> f64 {
+        (self.night_rps + self.peak_rps) / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curve() -> DiurnalCurve {
+        DiurnalCurve::new(10.0, 1_000.0, 20.0)
+    }
+
+    #[test]
+    fn peak_is_at_peak_hour() {
+        let c = curve();
+        let peak = c.rps_at(20.0);
+        for h in 0..24 {
+            assert!(c.rps_at(h as f64) <= peak + 1e-9);
+        }
+        assert!((peak - 1_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trough_is_opposite_the_peak() {
+        let c = curve();
+        let trough = c.rps_at(8.0); // 12 hours from the 20:00 peak
+        assert!((trough - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wraps_around_midnight() {
+        let c = curve();
+        assert!((c.rps_at(0.0) - c.rps_at(24.0)).abs() < 1e-9);
+        assert!((c.rps_at(-4.0) - c.rps_at(20.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn always_positive_and_bounded() {
+        let c = curve();
+        for i in 0..240 {
+            let rps = c.rps_at(i as f64 / 10.0);
+            assert!(rps >= c.night_rps - 1e-9);
+            assert!(rps <= c.peak_rps + 1e-9);
+        }
+    }
+
+    #[test]
+    fn hourly_covers_requested_span() {
+        let c = curve();
+        let samples = c.hourly(48);
+        assert_eq!(samples.len(), 48);
+        // Periodic: hour 3 equals hour 27.
+        assert!((samples[3].1 - samples[27].1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn daily_mean_is_midpoint() {
+        assert!((curve().daily_mean() - 505.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_params_panic() {
+        let _ = DiurnalCurve::new(100.0, 10.0, 5.0);
+    }
+}

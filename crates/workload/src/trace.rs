@@ -1,0 +1,171 @@
+//! Request traces: the two-phase experiment protocol of §8.
+//!
+//! "In all of our experiments, we proceed in two phases: We inject feedback
+//! for one minute and trigger the training phase of UR … in a first phase,
+//! and collect recommendations for a duration of 5 minutes in a second
+//! phase." A [`RequestTrace`] materializes the request sequence for either
+//! phase from a [`Dataset`].
+
+use crate::dataset::Dataset;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One request of the trace.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// `post(u, i[, p])`
+    Post {
+        /// User id string.
+        user: String,
+        /// Item id string.
+        item: String,
+        /// Optional rating payload.
+        payload: Option<f64>,
+    },
+    /// `get(u)`
+    Get {
+        /// User id string.
+        user: String,
+    },
+}
+
+impl Request {
+    /// The user the request belongs to.
+    pub fn user(&self) -> &str {
+        match self {
+            Request::Post { user, .. } | Request::Get { user } => user,
+        }
+    }
+
+    /// `true` for `get` requests.
+    pub fn is_get(&self) -> bool {
+        matches!(self, Request::Get { .. })
+    }
+}
+
+/// A sequence of requests for one experiment phase.
+#[derive(Debug, Clone, Default)]
+pub struct RequestTrace {
+    /// Requests in issue order.
+    pub requests: Vec<Request>,
+}
+
+impl RequestTrace {
+    /// Phase-1 trace: the first `n` feedback insertions of the dataset
+    /// (`n = None` takes all).
+    pub fn feedback_phase(dataset: &Dataset, n: Option<usize>) -> Self {
+        let take = n.unwrap_or(dataset.ratings.len()).min(dataset.ratings.len());
+        let requests = dataset.ratings[..take]
+            .iter()
+            .map(|r| Request::Post {
+                user: Dataset::user_id(r.user),
+                item: Dataset::item_id(r.item),
+                payload: Some(r.rating),
+            })
+            .collect();
+        RequestTrace { requests }
+    }
+
+    /// Phase-2 trace: `n` `get` requests from users drawn uniformly among
+    /// users that appear in the dataset (they have history, so queries hit
+    /// the model — §8 reports `get` as the costly, measured operation).
+    pub fn query_phase(dataset: &Dataset, n: usize, seed: u64) -> Self {
+        let mut users: Vec<u32> = dataset.ratings.iter().map(|r| r.user).collect();
+        users.sort_unstable();
+        users.dedup();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let requests = (0..n)
+            .map(|_| Request::Get {
+                user: Dataset::user_id(users[rng.gen_range(0..users.len())]),
+            })
+            .collect();
+        RequestTrace { requests }
+    }
+
+    /// Number of requests.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// `true` when the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// Fraction of `get` requests.
+    pub fn get_fraction(&self) -> f64 {
+        if self.requests.is_empty() {
+            return 0.0;
+        }
+        self.requests.iter().filter(|r| r.is_get()).count() as f64 / self.requests.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Dataset {
+        Dataset::generate(30, 50, 300, 5)
+    }
+
+    #[test]
+    fn feedback_phase_mirrors_dataset() {
+        let d = small();
+        let t = RequestTrace::feedback_phase(&d, None);
+        assert_eq!(t.len(), 300);
+        assert_eq!(t.get_fraction(), 0.0);
+        match &t.requests[0] {
+            Request::Post { user, item, payload } => {
+                assert_eq!(user, &Dataset::user_id(d.ratings[0].user));
+                assert_eq!(item, &Dataset::item_id(d.ratings[0].item));
+                assert_eq!(*payload, Some(d.ratings[0].rating));
+            }
+            _ => panic!("expected post"),
+        }
+    }
+
+    #[test]
+    fn feedback_phase_truncates() {
+        let d = small();
+        assert_eq!(RequestTrace::feedback_phase(&d, Some(10)).len(), 10);
+        assert_eq!(RequestTrace::feedback_phase(&d, Some(10_000)).len(), 300);
+    }
+
+    #[test]
+    fn query_phase_only_known_users() {
+        let d = small();
+        let t = RequestTrace::query_phase(&d, 100, 1);
+        assert_eq!(t.len(), 100);
+        assert_eq!(t.get_fraction(), 1.0);
+        let known: std::collections::HashSet<String> = d
+            .ratings
+            .iter()
+            .map(|r| Dataset::user_id(r.user))
+            .collect();
+        for r in &t.requests {
+            assert!(known.contains(r.user()));
+        }
+    }
+
+    #[test]
+    fn query_phase_deterministic() {
+        let d = small();
+        let a = RequestTrace::query_phase(&d, 50, 2);
+        let b = RequestTrace::query_phase(&d, 50, 2);
+        assert_eq!(a.requests, b.requests);
+    }
+
+    #[test]
+    fn request_accessors() {
+        let p = Request::Post {
+            user: "u".into(),
+            item: "i".into(),
+            payload: None,
+        };
+        let g = Request::Get { user: "u".into() };
+        assert_eq!(p.user(), "u");
+        assert!(!p.is_get());
+        assert!(g.is_get());
+    }
+}

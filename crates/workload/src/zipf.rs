@@ -1,0 +1,151 @@
+//! Zipf-distributed sampling.
+//!
+//! Item popularity and user activity in recommendation workloads are
+//! heavy-tailed; the MovieLens-like synthetic trace draws both from Zipf
+//! distributions (the standard model for such skew).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A Zipf(`n`, `s`) sampler over ranks `0..n` using a precomputed CDF.
+///
+/// Rank 0 is the most popular element.
+///
+/// # Examples
+///
+/// ```
+/// use pprox_workload::zipf::Zipf;
+///
+/// let mut z = Zipf::new(100, 1.0, 42);
+/// let first = z.sample();
+/// assert!(first < 100);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+    rng: StdRng,
+}
+
+impl Zipf {
+    /// Creates a sampler over `n` ranks with exponent `s`, seeded for
+    /// reproducibility.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s < 0`.
+    pub fn new(n: usize, s: f64, seed: u64) -> Self {
+        assert!(n > 0, "Zipf needs at least one element");
+        assert!(s >= 0.0, "Zipf exponent must be non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf {
+            cdf,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// `true` when the support has a single element.
+    pub fn is_empty(&self) -> bool {
+        false // guaranteed non-empty by the constructor
+    }
+
+    /// Draws one rank in `0..n`.
+    pub fn sample(&mut self) -> usize {
+        let u: f64 = self.rng.gen();
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("finite"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// Probability mass of rank `k`.
+    pub fn pmf(&self, k: usize) -> f64 {
+        if k >= self.cdf.len() {
+            return 0.0;
+        }
+        if k == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[k] - self.cdf[k - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_in_range() {
+        let mut z = Zipf::new(50, 1.2, 1);
+        for _ in 0..1000 {
+            assert!(z.sample() < 50);
+        }
+    }
+
+    #[test]
+    fn rank_zero_most_popular() {
+        let mut z = Zipf::new(100, 1.0, 2);
+        let mut counts = vec![0u32; 100];
+        for _ in 0..20_000 {
+            counts[z.sample()] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[0] > counts[99]);
+        // Head mass roughly matches pmf: p(0) = 1/H_100 ≈ 0.193
+        let frac = counts[0] as f64 / 20_000.0;
+        assert!((frac - 0.193).abs() < 0.02, "frac {frac}");
+    }
+
+    #[test]
+    fn exponent_zero_is_uniform() {
+        let mut z = Zipf::new(10, 0.0, 3);
+        let mut counts = vec![0u32; 10];
+        for _ in 0..50_000 {
+            counts[z.sample()] += 1;
+        }
+        for &c in &counts {
+            let frac = c as f64 / 50_000.0;
+            assert!((frac - 0.1).abs() < 0.02, "frac {frac}");
+        }
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = Zipf::new(20, 1.5, 4);
+        let total: f64 = (0..20).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert_eq!(z.pmf(99), 0.0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = Zipf::new(100, 1.0, 7);
+        let mut b = Zipf::new(100, 1.0, 7);
+        for _ in 0..20 {
+            assert_eq!(a.sample(), b.sample());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one element")]
+    fn empty_support_panics() {
+        let _ = Zipf::new(0, 1.0, 0);
+    }
+}

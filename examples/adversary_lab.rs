@@ -1,0 +1,45 @@
+//! Adversary lab: measure the §6.2 traffic-correlation bounds yourself.
+//!
+//! Run with `cargo run --example adversary_lab --release`.
+//!
+//! Sweeps the shuffle size `S` and IA instance count `I` and reports the
+//! measured probability that a network-observing adversary links a client
+//! request to its LRS-bound message, next to the paper's `1/S` and
+//! `1/(S·I)` bounds — plus the two ablations that make the design
+//! decisions visible (no shuffling; no padding).
+
+use pprox::attack::correlation::measure_linkage;
+use pprox::attack::observer::ObservationConfig;
+
+fn main() {
+    println!("traffic-correlation lab (6,000 requests per cell, 250 req/s)\n");
+    println!(
+        "{:<24} {:>3} {:>3} {:>10} {:>8} {:>8}",
+        "scenario", "S", "I", "measured", "1/S", "1/(S·I)"
+    );
+    let cells = [
+        ("no shuffling", 1usize, 1usize, true),
+        ("paper S=5", 5, 1, true),
+        ("paper S=10", 10, 1, true),
+        ("S=10, scaled IA ×2", 10, 2, true),
+        ("S=10, scaled IA ×4", 10, 4, true),
+        ("S=10, padding OFF", 10, 1, false),
+    ];
+    for (label, s, i, padding) in cells {
+        let config = ObservationConfig {
+            shuffle_size: s,
+            ia_instances: i,
+            requests: 6_000,
+            padding,
+            ..ObservationConfig::default()
+        };
+        let outcome = measure_linkage(&config, 0x1ab ^ ((s * 100 + i) as u64));
+        println!(
+            "{:<24} {:>3} {:>3} {:>10.4} {:>8.4} {:>8.4}",
+            label, s, i, outcome.success_rate, outcome.bound_single, outcome.bound_scaled
+        );
+    }
+    println!();
+    println!("reading: with padding, shuffling caps the adversary near 1/S (improving");
+    println!("with I); disabling either mechanism hands the adversary the link.");
+}

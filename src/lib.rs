@@ -1,0 +1,60 @@
+//! PProx — privacy-preserving proxying for Recommendation-as-a-Service.
+//!
+//! A from-scratch Rust reproduction of *"PProx: Efficient Privacy for
+//! Recommendation-as-a-Service"* (Rosinosky, Da Silva, Ben Mokhtar, Négru,
+//! Réveillère, Rivière — Middleware 2021). This facade crate re-exports
+//! the whole workspace; see the subsystem crates for details:
+//!
+//! * [`core`] (`pprox-core`) — the paper's contribution: the two-layer
+//!   (User Anonymizer / Item Anonymizer) proxy service, user-side library,
+//!   shuffling, and both synchronous and multi-threaded deployments.
+//! * [`crypto`] (`pprox-crypto`) — RSA-OAEP, AES-256-CTR (deterministic
+//!   and randomized), SHA-256/HMAC, base64 and constant-size padding,
+//!   implemented from scratch and validated against standard test vectors.
+//! * [`sgx`] (`pprox-sgx`) — a simulated trusted-execution platform with
+//!   attestation, sealed provisioning, EPC budgeting, and the paper's
+//!   one-layer-at-a-time compromise model.
+//! * [`lrs`] (`pprox-lrs`) — a Harness / Universal Recommender stand-in:
+//!   document store, CCO/LLR trainer, scoring index, REST front-ends, and
+//!   the nginx-like stub.
+//! * [`net`] (`pprox-net`) — the discrete-event cluster simulator behind
+//!   the latency/throughput figures.
+//! * [`workload`] (`pprox-workload`) — MovieLens-like synthetic traces,
+//!   open-loop injection schedules, candlestick statistics.
+//! * [`attack`] (`pprox-attack`) — the executable §6 security analysis:
+//!   traffic correlation, enclave compromise cases, history attacks.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use pprox::core::{PProxConfig, PProxDeployment};
+//! use pprox::lrs::engine::Engine;
+//! use pprox::lrs::frontend::Frontend;
+//! use std::sync::Arc;
+//!
+//! # fn main() -> Result<(), pprox::core::PProxError> {
+//! // An unmodified recommendation engine, fronted by PProx.
+//! let engine = Engine::new();
+//! let frontend = Arc::new(Frontend::new("lrs-fe-0", engine.clone()));
+//! let pprox = PProxDeployment::new(PProxConfig::for_tests(), frontend, 42)?;
+//!
+//! // Applications talk to the user-side library; ids never reach the
+//! // provider in the clear.
+//! let mut client = pprox.client();
+//! pprox.post_feedback(&mut client, "alice", "the-matrix", Some(5.0))?;
+//! assert!(engine.history("alice").is_empty()); // only pseudonyms stored
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use pprox_attack as attack;
+pub use pprox_core as core;
+pub use pprox_crypto as crypto;
+pub use pprox_json as json;
+pub use pprox_lrs as lrs;
+pub use pprox_net as net;
+pub use pprox_sgx as sgx;
+pub use pprox_workload as workload;

@@ -1,0 +1,86 @@
+//! Integration test: business rules (blacklists) through the proxy.
+//!
+//! The Universal Recommender supports query-time business rules; carrying
+//! them privately requires that excluded item ids be visible to the IA
+//! layer only — delivered in the hybrid-encrypted aux block — and
+//! pseudonymized before the LRS sees the query. This is an extension in
+//! the spirit of the paper's conclusion (richer REST payloads through the
+//! same two-layer structure).
+
+use pprox::core::{PProxConfig, PProxDeployment};
+use pprox::lrs::engine::Engine;
+use pprox::lrs::frontend::Frontend;
+use std::sync::Arc;
+
+fn world() -> (PProxDeployment, Engine) {
+    let engine = Engine::new();
+    let fe = Arc::new(Frontend::new("fe", engine.clone()));
+    let d = PProxDeployment::new(PProxConfig::for_tests(), fe, 0xb1e5).unwrap();
+    let mut client = d.client();
+    // One cluster with three strongly associated items, plus contrast.
+    for u in 0..8 {
+        for item in ["a1", "a2", "a3"] {
+            d.post_feedback(&mut client, &format!("u{u}"), item, None).unwrap();
+        }
+    }
+    for u in 0..8 {
+        d.post_feedback(&mut client, &format!("bg{u}"), &format!("s{u}"), None)
+            .unwrap();
+    }
+    d.post_feedback(&mut client, "probe", "a1", None).unwrap();
+    engine.train();
+    (d, engine)
+}
+
+#[test]
+fn exclusions_are_applied_end_to_end() {
+    let (d, _engine) = world();
+    let mut client = d.client();
+    let plain = d.get_recommendations(&mut client, "probe").unwrap();
+    assert!(plain.contains(&"a2".to_owned()) && plain.contains(&"a3".to_owned()));
+
+    let filtered = d
+        .get_recommendations_with_rules(&mut client, "probe", &["a2"])
+        .unwrap();
+    assert!(!filtered.contains(&"a2".to_owned()), "{filtered:?}");
+    assert!(filtered.contains(&"a3".to_owned()));
+}
+
+#[test]
+fn excluded_ids_reach_the_lrs_only_as_pseudonyms() {
+    let (d, engine) = world();
+    let mut client = d.client();
+    let _ = d
+        .get_recommendations_with_rules(&mut client, "probe", &["a2", "a3"])
+        .unwrap();
+    // The LRS saw a query; verify via the engine's stored state that no
+    // plaintext ids exist anywhere (events) — and by construction the
+    // query's exclude list went through the same pseudonymization, which
+    // the end-to-end filtering above proves (it matched stored ids).
+    for (user, item) in engine.dump_events() {
+        assert!(!user.contains("probe"));
+        assert!(!item.starts_with('a'), "plaintext item leaked: {item}");
+    }
+}
+
+#[test]
+fn empty_rule_list_equals_plain_get() {
+    let (d, _engine) = world();
+    let mut client = d.client();
+    let plain = d.get_recommendations(&mut client, "probe").unwrap();
+    let with_empty_rules = d
+        .get_recommendations_with_rules(&mut client, "probe", &[])
+        .unwrap();
+    assert_eq!(plain, with_empty_rules);
+}
+
+#[test]
+fn oversized_rules_rejected_cleanly() {
+    let (d, _engine) = world();
+    let mut client = d.client();
+    // Enough long ids to overflow the fixed rules block.
+    let long_ids: Vec<String> = (0..20).map(|i| format!("very-long-item-id-{i:04}")).collect();
+    let refs: Vec<&str> = long_ids.iter().map(String::as_str).collect();
+    let err = client.get_with_rules("probe", &refs).unwrap_err();
+    assert!(matches!(err, pprox::core::PProxError::Pad(_)), "{err:?}");
+}

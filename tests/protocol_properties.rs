@@ -1,0 +1,122 @@
+//! Property-based tests over the full protocol path.
+
+use pprox::core::ia::{IaOptions, IaState};
+use pprox::core::keys::LayerSecrets;
+use pprox::core::message::{ClientEnvelope, LayerEnvelope, Op, MAX_ID_LEN};
+use pprox::core::ua::UaState;
+use pprox::core::UserClient;
+use pprox::crypto::rng::SecureRng;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// One shared key universe: keygen dominates test time otherwise.
+struct Universe {
+    ua: std::sync::Mutex<UaState>,
+    ia: std::sync::Mutex<IaState>,
+    keys: pprox::core::keys::ClientKeys,
+}
+
+fn universe() -> &'static Universe {
+    static UNIVERSE: OnceLock<Universe> = OnceLock::new();
+    UNIVERSE.get_or_init(|| {
+        let mut rng = SecureRng::from_seed(0x9999);
+        let (ua_secrets, pk_ua) = LayerSecrets::generate(1152, &mut rng);
+        let (ia_secrets, pk_ia) = LayerSecrets::generate(1152, &mut rng);
+        Universe {
+            ua: std::sync::Mutex::new(UaState::new(ua_secrets)),
+            ia: std::sync::Mutex::new(IaState::new(ia_secrets)),
+            keys: pprox::core::keys::ClientKeys { pk_ua, pk_ia },
+        }
+    })
+}
+
+fn id_strategy() -> impl Strategy<Value = String> {
+    // Arbitrary printable ids up to the protocol maximum.
+    proptest::string::string_regex(&format!("[a-zA-Z0-9_\\-\\.]{{1,{MAX_ID_LEN}}}"))
+        .expect("valid regex")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// For any user/item, the post path produces stable pseudonyms that
+    /// never contain the plaintext, and equal inputs map to equal
+    /// pseudonyms (profile continuity for the LRS).
+    #[test]
+    fn post_path_pseudonymizes_consistently(
+        user in id_strategy(),
+        item in id_strategy(),
+        payload in proptest::option::of(0.5f64..5.0),
+        seed in any::<u64>(),
+    ) {
+        let universe = universe();
+        let mut client = UserClient::new(universe.keys.clone(), seed);
+        let options = IaOptions::default();
+
+        let run = |client: &mut UserClient| {
+            let env = client.post(&user, &item, payload).unwrap();
+            let layer = universe.ua.lock().unwrap().process(&env, true).unwrap();
+            universe.ia.lock().unwrap().process_post(&layer, options).unwrap()
+        };
+        let a = run(&mut client);
+        let b = run(&mut client);
+
+        prop_assert_eq!(&a.user, &b.user, "user pseudonym must be stable");
+        prop_assert_eq!(&a.item, &b.item, "item pseudonym must be stable");
+        prop_assert_eq!(a.payload, payload);
+        // The pseudonyms never reveal the ids (ids of length >= 4 cannot
+        // appear in base64 of a ciphertext by accident in 24 cases).
+        if user.len() >= 4 {
+            prop_assert!(!a.user.contains(&user));
+        }
+        if item.len() >= 4 {
+            prop_assert!(!a.item.contains(&item));
+        }
+    }
+
+    /// For any set of item ids, the full get-response path (pseudonymized
+    /// by IA on post, returned by the LRS, de-pseudonymized + padded +
+    /// encrypted by IA, opened by the client) restores the original ids.
+    #[test]
+    fn get_response_path_roundtrips(
+        items in proptest::collection::vec(id_strategy(), 0..20),
+        user in id_strategy(),
+        seed in any::<u64>(),
+    ) {
+        let universe = universe();
+        let mut client = UserClient::new(universe.keys.clone(), seed);
+        let options = IaOptions::default();
+
+        let (env, ticket) = client.get(&user).unwrap();
+        let layer = universe.ua.lock().unwrap().process(&env, true).unwrap();
+        let mut ia = universe.ia.lock().unwrap();
+        let (_query, token) = ia.process_get(&layer, options).unwrap();
+
+        // The LRS would return pseudonymized ids: create them the same
+        // way the post path stores them.
+        let pseudonyms: Vec<String> = items
+            .iter()
+            .map(|item| {
+                let post_env = ClientEnvelope {
+                    op: Op::Post,
+                    user: env.user.clone(),
+                    aux: client_aux_for(&universe.keys, item, seed),
+                };
+                let layer_env: LayerEnvelope =
+                    universe.ua.lock().unwrap().process(&post_env, true).unwrap();
+                ia.process_post(&layer_env, options).unwrap().item
+            })
+            .collect();
+        let encrypted = ia.process_get_response(token, &pseudonyms, options).unwrap();
+        drop(ia);
+
+        let opened = client.open_response(&ticket, &encrypted).unwrap();
+        prop_assert_eq!(opened, items);
+    }
+}
+
+/// Builds the encrypted item block the user-side library would produce.
+fn client_aux_for(keys: &pprox::core::keys::ClientKeys, item: &str, seed: u64) -> Vec<u8> {
+    let mut tmp_client = UserClient::new(keys.clone(), seed ^ 0xffff);
+    tmp_client.post("ignored", item, None).unwrap().aux
+}

@@ -1,0 +1,94 @@
+//! The design-decision ablation DESIGN.md calls out: deterministic vs
+//! randomized pseudonymization.
+//!
+//! §4.1: a randomized ciphertext "cannot be used as the pseudonym of u
+//! with the LRS, as it is the result of randomized encryption: Two
+//! encryptions of the same u yield two different ciphertexts and do not
+//! allow linking to a single pseudonymous user profile." Deterministic
+//! encryption is lower-security but *necessary* — this test demonstrates
+//! both halves of that trade-off empirically.
+
+use pprox::crypto::ctr::SymmetricKey;
+use pprox::crypto::pad;
+use pprox::crypto::rng::SecureRng;
+use pprox::lrs::engine::Engine;
+
+const ID_LEN: usize = 32;
+
+/// Deterministic pseudonym (what PProx actually does).
+fn det_pseudonym(key: &SymmetricKey, id: &str) -> String {
+    let padded = pad::pad(id.as_bytes(), ID_LEN).unwrap();
+    pprox::crypto::base64::encode(&key.det_encrypt(&padded))
+}
+
+/// Randomized "pseudonym" (the broken alternative).
+fn randomized_pseudonym(key: &SymmetricKey, id: &str, rng: &mut SecureRng) -> String {
+    let padded = pad::pad(id.as_bytes(), ID_LEN).unwrap();
+    pprox::crypto::base64::encode(&key.encrypt(&padded, rng))
+}
+
+/// Trace: two user clusters with overlapping tastes plus background
+/// users; returns whether a probe user (history: "a1") gets "a2"
+/// recommended.
+fn run_with_pseudonyms(mut pseudonymize: impl FnMut(&str) -> String) -> bool {
+    let engine = Engine::new();
+    for u in 0..8 {
+        let user = format!("cluster-a-{u}");
+        engine.post(&pseudonymize(&user), &pseudonymize("a1"), None);
+        engine.post(&pseudonymize(&user), &pseudonymize("a2"), None);
+    }
+    for u in 0..8 {
+        let user = format!("bg-{u}");
+        engine.post(&pseudonymize(&user), &pseudonymize(&format!("solo-{u}")), None);
+    }
+    let probe = pseudonymize("probe");
+    engine.post(&probe, &pseudonymize("a1"), None);
+    engine.train();
+    let recs = engine.get(&probe, 10);
+    recs.items.iter().any(|s| s.item == pseudonymize("a2"))
+}
+
+#[test]
+fn deterministic_pseudonyms_preserve_recommendations() {
+    let mut rng = SecureRng::from_seed(1);
+    let key = SymmetricKey::generate(&mut rng);
+    assert!(
+        run_with_pseudonyms(|id| det_pseudonym(&key, id)),
+        "deterministic pseudonymization must keep profiles linkable for the LRS"
+    );
+}
+
+#[test]
+fn randomized_pseudonyms_destroy_recommendations() {
+    let mut rng = SecureRng::from_seed(2);
+    let key = SymmetricKey::generate(&mut rng);
+    let mut enc_rng = SecureRng::from_seed(3);
+    assert!(
+        !run_with_pseudonyms(|id| randomized_pseudonym(&key, id, &mut enc_rng)),
+        "randomized encryption severs every event from every other: no profile, no model"
+    );
+}
+
+#[test]
+fn deterministic_pseudonyms_are_stable_and_size_constant() {
+    let mut rng = SecureRng::from_seed(4);
+    let key = SymmetricKey::generate(&mut rng);
+    let a = det_pseudonym(&key, "user-x");
+    let b = det_pseudonym(&key, "user-x");
+    assert_eq!(a, b);
+    // All pseudonyms have identical length regardless of id length
+    // (§4.3's fixed-size identifiers).
+    let short = det_pseudonym(&key, "u");
+    let long = det_pseudonym(&key, &"x".repeat(28));
+    assert_eq!(short.len(), long.len());
+}
+
+#[test]
+fn randomized_pseudonyms_differ_every_time() {
+    let mut rng = SecureRng::from_seed(5);
+    let key = SymmetricKey::generate(&mut rng);
+    let mut enc_rng = SecureRng::from_seed(6);
+    let a = randomized_pseudonym(&key, "user-x", &mut enc_rng);
+    let b = randomized_pseudonym(&key, "user-x", &mut enc_rng);
+    assert_ne!(a, b);
+}

@@ -1,0 +1,108 @@
+//! Failure injection: the proxy degrades cleanly when the LRS misbehaves.
+
+use pprox::core::config::PProxConfig;
+use pprox::core::pipeline::{Completion, PProxPipeline};
+use pprox::core::shuffler::ShuffleConfig;
+use pprox::core::{PProxDeployment, PProxError};
+use pprox::lrs::chaos::{ChaosLrs, Fault};
+use pprox::lrs::stub::StubLrs;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn test_config() -> PProxConfig {
+    PProxConfig {
+        shuffle: ShuffleConfig::disabled(),
+        modulus_bits: 1152,
+        ..PProxConfig::default()
+    }
+}
+
+#[test]
+fn lrs_errors_surface_as_typed_errors() {
+    let chaos = Arc::new(ChaosLrs::new(
+        Arc::new(StubLrs::new()),
+        1.0,
+        Fault::ErrorStatus,
+        1,
+    ));
+    let d = PProxDeployment::new(test_config(), chaos, 1).unwrap();
+    let mut client = d.client();
+    let err = d.post_feedback(&mut client, "u", "i", None).unwrap_err();
+    assert!(matches!(err, PProxError::Lrs { status: 503 }));
+    let err = d.get_recommendations(&mut client, "u").unwrap_err();
+    assert!(matches!(err, PProxError::Lrs { status: 503 }));
+}
+
+#[test]
+fn garbage_lrs_bodies_are_rejected_not_propagated() {
+    let chaos = Arc::new(ChaosLrs::new(
+        Arc::new(StubLrs::new()),
+        1.0,
+        Fault::GarbageBody,
+        2,
+    ));
+    let d = PProxDeployment::new(test_config(), chaos, 2).unwrap();
+    let mut client = d.client();
+    let err = d.get_recommendations(&mut client, "u").unwrap_err();
+    assert!(matches!(err, PProxError::MalformedMessage));
+}
+
+#[test]
+fn pipeline_survives_partial_lrs_failures() {
+    // 30% of LRS calls fail; every submission still completes (Ok or
+    // typed Err), nothing hangs, and the pipeline keeps order-of-magnitude
+    // expected success counts.
+    let chaos = Arc::new(ChaosLrs::new(
+        Arc::new(StubLrs::new()),
+        0.3,
+        Fault::ErrorStatus,
+        3,
+    ));
+    let p = PProxPipeline::new(test_config(), chaos.clone(), 3, 2).unwrap();
+    let mut client = p.client();
+    let mut rxs = Vec::new();
+    for i in 0..100 {
+        let env = client.post(&format!("u{i}"), "item", None).unwrap();
+        rxs.push(p.submit(env).unwrap());
+    }
+    let mut ok = 0;
+    let mut failed = 0;
+    for rx in rxs {
+        match rx.recv_timeout(Duration::from_secs(30)).unwrap() {
+            Completion::Post(Ok(())) => ok += 1,
+            Completion::Post(Err(PProxError::Lrs { status: 503 })) => failed += 1,
+            other => panic!("unexpected completion: {other:?}"),
+        }
+    }
+    assert_eq!(ok + failed, 100);
+    assert!((15..=50).contains(&failed), "injected ~30%: got {failed}");
+    p.shutdown();
+
+    // The IA never stored dangling response keys for failed posts.
+    assert_eq!(chaos.injected() + chaos.served(), 100);
+}
+
+#[test]
+fn failed_gets_release_pending_keys() {
+    // A failing LRS must not leak EPC budget: pending k_u entries for
+    // failed gets are the IA's responsibility. After many failed gets the
+    // deployment still serves successful ones (budget not exhausted).
+    let chaos = Arc::new(ChaosLrs::new(
+        Arc::new(StubLrs::new()),
+        1.0,
+        Fault::ErrorStatus,
+        4,
+    ));
+    let d = PProxDeployment::new(test_config(), chaos, 4).unwrap();
+    let mut client = d.client();
+    for _ in 0..50 {
+        let _ = d.get_recommendations(&mut client, "u");
+    }
+    // Pending keys accumulate for failed gets (50 × (8 + 32 + 48) bytes ≈
+    // 4.4 KiB), far below the 4 MiB default budget; a healthy LRS behind
+    // the same layers still works.
+    let healthy = Arc::new(StubLrs::new());
+    let d2 = PProxDeployment::new(test_config(), healthy, 5).unwrap();
+    let mut c2 = d2.client();
+    assert!(d2.get_recommendations(&mut c2, "u").is_ok());
+}
