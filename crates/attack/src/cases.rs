@@ -68,10 +68,7 @@ fn try_depseudonymize(key: &SymmetricKey, stored_id: &str) -> Option<String> {
 ///
 /// Panics when the platform refuses the break (another layer already
 /// compromised), which is itself a modelled property.
-pub fn break_ua_and_read_database(
-    deployment: &PProxDeployment,
-    engine: &Engine,
-) -> CaseOutcome {
+pub fn break_ua_and_read_database(deployment: &PProxDeployment, engine: &Engine) -> CaseOutcome {
     let ua = &deployment.ua_layer()[0];
     let bag = deployment
         .platform()
@@ -82,10 +79,7 @@ pub fn break_ua_and_read_database(
 
 /// §6.1 Case 2.(c): the adversary breaks an **IA** enclave and reads the
 /// LRS database. Dual outcome: items recovered, users opaque.
-pub fn break_ia_and_read_database(
-    deployment: &PProxDeployment,
-    engine: &Engine,
-) -> CaseOutcome {
+pub fn break_ia_and_read_database(deployment: &PProxDeployment, engine: &Engine) -> CaseOutcome {
     let ia = &deployment.ia_layer()[0];
     let bag = deployment
         .platform()
@@ -150,10 +144,8 @@ pub fn attack_with_both_keys(
     engine: &Engine,
 ) -> CaseOutcome {
     let mut outcome = CaseOutcome::default();
-    let (Some(k_ua), Some(k_ia)) = (
-        symmetric_key(ua_bag, "ua.k"),
-        symmetric_key(ia_bag, "ia.k"),
-    ) else {
+    let (Some(k_ua), Some(k_ia)) = (symmetric_key(ua_bag, "ua.k"), symmetric_key(ia_bag, "ia.k"))
+    else {
         return outcome;
     };
     for (stored_user, stored_item) in engine.dump_events() {
@@ -207,7 +199,11 @@ mod tests {
             assert!(outcome.recovered_users.contains(user), "missing {user}");
         }
         // …but no item decrypts, so unlinkability holds.
-        assert!(outcome.recovered_items.is_empty(), "{:?}", outcome.recovered_items);
+        assert!(
+            outcome.recovered_items.is_empty(),
+            "{:?}",
+            outcome.recovered_items
+        );
         assert!(outcome.unlinkability_holds());
     }
 
@@ -218,7 +214,11 @@ mod tests {
         for (_, item) in &truth {
             assert!(outcome.recovered_items.contains(item), "missing {item}");
         }
-        assert!(outcome.recovered_users.is_empty(), "{:?}", outcome.recovered_users);
+        assert!(
+            outcome.recovered_users.is_empty(),
+            "{:?}",
+            outcome.recovered_users
+        );
         assert!(outcome.unlinkability_holds());
     }
 

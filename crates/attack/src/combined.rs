@@ -105,7 +105,11 @@ mod tests {
     use pprox_lrs::engine::Engine;
     use pprox_sgx::{Measurement, Platform};
 
-    fn setup() -> (Platform, std::sync::Arc<pprox_sgx::Enclave<CombinedProxyState>>, ClientKeys) {
+    fn setup() -> (
+        Platform,
+        std::sync::Arc<pprox_sgx::Enclave<CombinedProxyState>>,
+        ClientKeys,
+    ) {
         let mut rng = SecureRng::from_seed(0xc0b1);
         let (user_secrets, pk_ua) = LayerSecrets::generate(1152, &mut rng);
         let (item_secrets, pk_ia) = LayerSecrets::generate(1152, &mut rng);
@@ -127,10 +131,7 @@ mod tests {
         let (_platform, enclave, keys) = setup();
         let mut client = UserClient::new(keys, 1);
         let env = client.post("alice", "m00001", Some(3.5)).unwrap();
-        let event = enclave
-            .call(|s| s.process_post(&env))
-            .unwrap()
-            .unwrap();
+        let event = enclave.call(|s| s.process_post(&env)).unwrap().unwrap();
         assert!(!event.user.contains("alice"));
         assert!(!event.item.contains("m00001"));
         assert_eq!(event.payload, Some(3.5));

@@ -69,12 +69,7 @@ pub fn correlation_attack(tap: &Tap, config: &ObservationConfig, seed: u64) -> C
             correct += 1;
         }
     }
-    CorrelationOutcome::new(
-        attempts,
-        correct,
-        config.shuffle_size,
-        config.ia_instances,
-    )
+    CorrelationOutcome::new(attempts, correct, config.shuffle_size, config.ia_instances)
 }
 
 /// Timing strategy: find the batch that left the target's UA instance

@@ -162,7 +162,10 @@ mod tests {
                 identified += 1;
             }
         }
-        assert!(identified <= 1, "IP hiding should prevent identification ({identified}/20)");
+        assert!(
+            identified <= 1,
+            "IP hiding should prevent identification ({identified}/20)"
+        );
     }
 
     #[test]

@@ -126,8 +126,12 @@ mod tests {
         // 2 RPS with S=10 and a 500 ms timer: ~1 request per window.
         let report = measure_anonymity_set(shuffle(10), 2.0, 300.0, 2);
         assert!(report.mean_batch < 3.0, "mean {}", report.mean_batch);
+        // At 2 RPS with a 500 ms timer the expected singleton share is
+        // P(no arrival in window) / E[batch] = e^-1 / 2 ≈ 0.18; bound it
+        // well below that so the assertion is about starvation, not the
+        // luck of one RNG stream (the high-traffic case sits under 0.01).
         assert!(
-            report.singleton_fraction > 0.2,
+            report.singleton_fraction > 0.1,
             "many requests travel alone: {}",
             report.singleton_fraction
         );

@@ -191,8 +191,11 @@ mod tests {
             },
             3,
         );
-        let sizes: std::collections::HashSet<usize> =
-            tap.on_segment(Segment::ClientToUa).iter().map(|r| r.size).collect();
+        let sizes: std::collections::HashSet<usize> = tap
+            .on_segment(Segment::ClientToUa)
+            .iter()
+            .map(|r| r.size)
+            .collect();
         assert!(sizes.len() > 10, "sizes should fingerprint flows");
     }
 

@@ -28,7 +28,11 @@ fn bench_crypto_primitives(c: &mut Criterion) {
     group.sample_size(20);
     group.bench_function("rsa2048_encrypt_32B", |b| {
         let mut rng = SecureRng::from_seed(2);
-        b.iter(|| keys.public.encrypt(black_box(&plaintext), &mut rng).unwrap())
+        b.iter(|| {
+            keys.public
+                .encrypt(black_box(&plaintext), &mut rng)
+                .unwrap()
+        })
     });
     group.bench_function("rsa2048_decrypt", |b| {
         b.iter(|| keys.private.decrypt(black_box(&ciphertext)).unwrap())
@@ -75,7 +79,11 @@ fn bench_layer_processing(c: &mut Criterion) {
     let mut group = c.benchmark_group("layers");
     group.sample_size(20);
     group.bench_function("client_encrypt_post", |b| {
-        b.iter(|| client.post(black_box("user-00042"), "m00042", Some(4.5)).unwrap())
+        b.iter(|| {
+            client
+                .post(black_box("user-00042"), "m00042", Some(4.5))
+                .unwrap()
+        })
     });
     group.bench_function("ua_process_request", |b| {
         b.iter(|| ua.process(black_box(&post_env), true).unwrap())
@@ -87,7 +95,8 @@ fn bench_layer_processing(c: &mut Criterion) {
         b.iter(|| {
             debug_assert_eq!(ua_get.op, Op::Get);
             let (_, token) = ia.process_get(black_box(&ua_get), options).unwrap();
-            ia.process_get_response(token, &pseudo_items, options).unwrap()
+            ia.process_get_response(token, &pseudo_items, options)
+                .unwrap()
         })
     });
     group.finish();

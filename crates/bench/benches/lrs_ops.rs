@@ -29,9 +29,7 @@ fn bench_training(c: &mut Criterion) {
         let pairs: Vec<(String, String)> = dataset.interactions().collect();
         group.bench_with_input(BenchmarkId::from_parameter(scale), &pairs, |b, pairs| {
             let trainer = CcoTrainer::new(CcoConfig::default());
-            b.iter(|| {
-                black_box(trainer.train(pairs.iter().map(|(u, i)| (u.as_str(), i.as_str()))))
-            })
+            b.iter(|| black_box(trainer.train(pairs.iter().map(|(u, i)| (u.as_str(), i.as_str())))))
         });
     }
     group.finish();

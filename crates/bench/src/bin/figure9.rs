@@ -34,7 +34,11 @@ fn main() {
                 );
                 merged.merge(&run_experiment(&cfg).latencies);
             }
-            report::figure_row(&config.label(), rps, &merged.candlestick().expect("samples"));
+            report::figure_row(
+                &config.label(),
+                rps,
+                &merged.candlestick().expect("samples"),
+            );
         }
         println!();
     }

@@ -42,7 +42,10 @@ fn main() {
     println!("anonymity set collapses — §6.3's \"assumption on traffic\" made concrete.");
 
     report::section("part 2 — multi-tenancy mitigation (each tenant at 2 RPS)");
-    println!("{:>8} {:>12} {:>16}", "tenants", "mean batch", "singleton %");
+    println!(
+        "{:>8} {:>12} {:>16}",
+        "tenants", "mean batch", "singleton %"
+    );
     for tenants in [1usize, 2, 5, 10, 25] {
         let r = measure_with_multitenancy(shuffle, 2.0, tenants, 600.0, 0x11b_0100);
         println!(
@@ -71,7 +74,11 @@ fn main() {
             hour,
             rps,
             d.instances,
-            if d.shuffling_healthy { "yes" } else { "NO (timer-bound)" }
+            if d.shuffling_healthy {
+                "yes"
+            } else {
+                "NO (timer-bound)"
+            }
         );
     }
     println!("the controller rides the curve: scale-up at the knees, hysteresis against");

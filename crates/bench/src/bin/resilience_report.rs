@@ -1,0 +1,362 @@
+//! Availability and latency of the live pipeline under injected faults.
+//!
+//! Drives the real `PProxPipeline` (enclave shims, key provisioning,
+//! admission gate, retries, circuit breaker) against a [`ChaosLrs`]
+//! through five fault scenarios and prints, for each, the availability
+//! (fraction of requests answered `Ok`) and the latency five-number
+//! summary. The scenarios mirror the acceptance criteria of the
+//! fault-tolerance layer:
+//!
+//! 1. **baseline** — no faults; the reference availability/latency.
+//! 2. **transient-errors** — 30% injected 503s; retries absorb them.
+//! 3. **hang** — the LRS never answers; every request resolves with
+//!    `Deadline` within 2× the configured budget.
+//! 4. **flap** — the backend dies and comes back; the breaker opens,
+//!    sheds without touching the LRS, and recovers after the outage.
+//! 5. **enclave-crash** — the IA enclaves are killed mid-run; the
+//!    supervisor re-provisions them and the pipeline keeps serving.
+
+use pprox_bench::report;
+use pprox_core::config::PProxConfig;
+use pprox_core::pipeline::{Completion, PProxPipeline};
+use pprox_core::resilience::BreakerState;
+use pprox_core::shuffler::ShuffleConfig;
+use pprox_core::{PProxError, UserClient};
+use pprox_lrs::chaos::{ChaosLrs, ChaosSchedule, Fault};
+use pprox_lrs::stub::StubLrs;
+use pprox_sgx::Measurement;
+use pprox_workload::stats::Candlestick;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The IA layer's code identity, for layer-wide crash injection.
+const IA_CODE_IDENTITY: &str = "pprox-ia-layer-v1";
+
+/// Outcome tally of one driven batch.
+#[derive(Default)]
+struct Tally {
+    ok: usize,
+    lrs_errors: usize,
+    deadline: usize,
+    shed: usize,
+    other: usize,
+    latencies_ms: Vec<f64>,
+}
+
+impl Tally {
+    fn total(&self) -> usize {
+        self.ok + self.lrs_errors + self.deadline + self.shed + self.other
+    }
+
+    fn availability(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.ok as f64 / self.total() as f64
+        }
+    }
+
+    fn record(&mut self, result: Result<(), PProxError>, elapsed: Duration) {
+        self.latencies_ms.push(elapsed.as_secs_f64() * 1e3);
+        match result {
+            Ok(()) => self.ok += 1,
+            Err(PProxError::Lrs { .. } | PProxError::MalformedMessage) => self.lrs_errors += 1,
+            Err(PProxError::Deadline) => self.deadline += 1,
+            Err(PProxError::Unavailable | PProxError::Overloaded) => self.shed += 1,
+            Err(_) => self.other += 1,
+        }
+    }
+
+    fn print(&self, scenario: &str) {
+        let c = Candlestick::from_samples(&self.latencies_ms);
+        print!(
+            "{:<18} {:>5} {:>6.1}% {:>5} {:>5} {:>5} {:>5}",
+            scenario,
+            self.total(),
+            100.0 * self.availability(),
+            self.lrs_errors,
+            self.deadline,
+            self.shed,
+            self.other,
+        );
+        match c {
+            Some(c) => println!("   {:>8.1} {:>8.1} {:>8.1}", c.q1, c.median, c.whisker_high),
+            None => println!("   {:>8} {:>8} {:>8}", "-", "-", "-"),
+        }
+    }
+}
+
+/// Sends one post and waits for its completion, recording the outcome.
+fn drive_post(p: &PProxPipeline, client: &mut UserClient, i: usize, tally: &mut Tally) {
+    let env = client.post(&format!("user-{i}"), "item", None).unwrap();
+    let started = Instant::now();
+    let rx = p.submit(env);
+    match rx {
+        Ok(rx) => match rx.recv_timeout(Duration::from_secs(30)) {
+            Ok(Completion::Post(r)) => tally.record(r, started.elapsed()),
+            Ok(other) => panic!("post answered with {other:?}"),
+            Err(_) => panic!("request hung past the 30 s harness cap"),
+        },
+        Err(e) => tally.record(Err(e), started.elapsed()),
+    }
+}
+
+/// Sends one get and waits for its completion, recording the outcome.
+fn drive_get(p: &PProxPipeline, client: &mut UserClient, i: usize, tally: &mut Tally) {
+    let (env, _ticket) = client.get(&format!("user-{i}")).unwrap();
+    let started = Instant::now();
+    let rx = p.submit(env);
+    match rx {
+        Ok(rx) => match rx.recv_timeout(Duration::from_secs(30)) {
+            Ok(Completion::Get(r)) => tally.record(r.map(|_| ()), started.elapsed()),
+            Ok(other) => panic!("get answered with {other:?}"),
+            Err(_) => panic!("request hung past the 30 s harness cap"),
+        },
+        Err(e) => tally.record(Err(e), started.elapsed()),
+    }
+}
+
+fn test_config() -> PProxConfig {
+    PProxConfig {
+        shuffle: ShuffleConfig::disabled(),
+        modulus_bits: 1152,
+        ..PProxConfig::default()
+    }
+}
+
+fn scenario_baseline(n: usize) -> Tally {
+    let p = PProxPipeline::new(test_config(), Arc::new(StubLrs::new()), 0x51, 2).unwrap();
+    let mut client = p.client();
+    let mut tally = Tally::default();
+    for i in 0..n {
+        if i % 3 == 0 {
+            drive_get(&p, &mut client, i, &mut tally);
+        } else {
+            drive_post(&p, &mut client, i, &mut tally);
+        }
+    }
+    p.shutdown();
+    tally
+}
+
+fn scenario_transient_errors(n: usize) -> (Tally, u64) {
+    // 30% 503s; the breaker is parked so the row isolates retry
+    // absorption (the flap row shows breaker behavior).
+    let mut config = test_config();
+    config.resilience.breaker_failure_threshold = u32::MAX;
+    let chaos = Arc::new(ChaosLrs::new(
+        Arc::new(StubLrs::new()),
+        0.3,
+        Fault::ErrorStatus,
+        0x52,
+    ));
+    let p = PProxPipeline::new(config, chaos, 0x52, 2).unwrap();
+    let mut client = p.client();
+    let mut tally = Tally::default();
+    for i in 0..n {
+        drive_post(&p, &mut client, i, &mut tally);
+    }
+    let retries: u64 = p.metrics().snapshot().iter().map(|(_, s)| s.retries).sum();
+    p.shutdown();
+    (tally, retries)
+}
+
+fn scenario_hang(n: usize) -> (Tally, Duration, Duration) {
+    let mut config = test_config();
+    config.resilience.deadline = Duration::from_millis(400);
+    config.resilience.lrs_timeout = Duration::from_millis(100);
+    config.resilience.max_retries = 1;
+    // Park the breaker: repeated pool timeouts would otherwise trip it
+    // and shed the tail of the batch; this row isolates the deadline.
+    config.resilience.breaker_failure_threshold = u32::MAX;
+    let deadline = config.resilience.deadline;
+    let chaos = Arc::new(ChaosLrs::new(
+        Arc::new(StubLrs::new()),
+        1.0,
+        Fault::Hang,
+        0x53,
+    ));
+    let p = PProxPipeline::new(config, chaos.clone(), 0x53, 2).unwrap();
+    let mut client = p.client();
+    let mut tally = Tally::default();
+    for i in 0..n {
+        drive_get(&p, &mut client, i, &mut tally);
+    }
+    let worst = tally.latencies_ms.iter().cloned().fold(0.0f64, f64::max);
+    chaos.release_hangs();
+    p.shutdown();
+    (tally, deadline, Duration::from_secs_f64(worst / 1e3))
+}
+
+struct FlapOutcome {
+    shed: Tally,
+    recovered: Tally,
+    leaked: u64,
+    shed_batch: usize,
+    times_opened: u64,
+}
+
+fn scenario_flap() -> FlapOutcome {
+    let mut config = test_config();
+    config.resilience.lrs_timeout = Duration::from_millis(200);
+    config.resilience.max_retries = 0;
+    config.resilience.breaker_failure_threshold = 5;
+    config.resilience.breaker_open_for = Duration::from_millis(100);
+    config.resilience.breaker_half_open_probes = 2;
+    let down_for = Duration::from_millis(900);
+    let chaos = Arc::new(ChaosLrs::with_schedule(
+        Arc::new(StubLrs::new()),
+        ChaosSchedule::constant(
+            Fault::Flap {
+                down_for,
+                up_for: Duration::from_secs(60),
+            },
+            1.0,
+        ),
+        0x54,
+    ));
+    let flap_started = Instant::now();
+    let p = PProxPipeline::new(config, chaos.clone(), 0x54, 2).unwrap();
+    let mut client = p.client();
+
+    // Trip the breaker on the dead backend.
+    let mut warmup = Tally::default();
+    let mut i = 0;
+    while p.resilience_stats().breaker_state != BreakerState::Open && i < 50 {
+        drive_post(&p, &mut client, i, &mut warmup);
+        i += 1;
+    }
+
+    // Shed phase: the open breaker answers without touching the LRS.
+    let attempts_before = chaos.injected() + chaos.served();
+    let mut shed = Tally::default();
+    let shed_batch = 60;
+    for j in 0..shed_batch {
+        drive_post(&p, &mut client, 1000 + j, &mut shed);
+    }
+    let leaked = (chaos.injected() + chaos.served()) - attempts_before;
+
+    // Wait out the outage plus the open window, then measure recovery.
+    std::thread::sleep(
+        down_for.saturating_sub(flap_started.elapsed()) + Duration::from_millis(150),
+    );
+    let mut recovered = Tally::default();
+    for j in 0..40 {
+        drive_post(&p, &mut client, 2000 + j, &mut recovered);
+        if recovered.ok == 0 {
+            // Still probing through the half-open window.
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+    let times_opened = p.resilience_stats().breaker_times_opened;
+    p.shutdown();
+    FlapOutcome {
+        shed,
+        recovered,
+        leaked,
+        shed_batch,
+        times_opened,
+    }
+}
+
+fn scenario_enclave_crash(n: usize) -> (Tally, Tally, u64) {
+    let p = PProxPipeline::new(test_config(), Arc::new(StubLrs::new()), 0x55, 2).unwrap();
+    let mut client = p.client();
+    let mut before = Tally::default();
+    for i in 0..n / 2 {
+        drive_post(&p, &mut client, i, &mut before);
+    }
+    let killed = p
+        .platform()
+        .crash_layer(Measurement::of_code(IA_CODE_IDENTITY));
+    assert!(killed >= 1, "crash injection must hit live enclaves");
+    let mut after = Tally::default();
+    for i in 0..n / 2 {
+        drive_get(&p, &mut client, 1000 + i, &mut after);
+    }
+    let restarts = p.enclave_restarts();
+    p.shutdown();
+    (before, after, restarts)
+}
+
+fn main() {
+    println!("Resilience report — live pipeline availability under injected faults");
+    println!();
+    println!(
+        "{:<18} {:>5} {:>7} {:>5} {:>5} {:>5} {:>5}   {:>8} {:>8} {:>8}",
+        "scenario", "n", "avail", "lrs", "ddl", "shed", "oth", "q1(ms)", "med(ms)", "hi(ms)"
+    );
+
+    let baseline = scenario_baseline(120);
+    baseline.print("baseline");
+
+    let (transient, retries) = scenario_transient_errors(120);
+    transient.print("transient-30pct");
+
+    let (hang, budget, worst) = scenario_hang(6);
+    hang.print("hang");
+
+    let flap = scenario_flap();
+    flap.shed.print("flap/open");
+    flap.recovered.print("flap/recovered");
+
+    let (crash_before, crash_after, restarts) = scenario_enclave_crash(60);
+    crash_before.print("crash/before");
+    crash_after.print("crash/after");
+
+    report::section("acceptance checks");
+    let checks: Vec<(String, bool)> = vec![
+        (
+            "baseline availability is 100%".to_string(),
+            baseline.availability() == 1.0,
+        ),
+        (
+            format!(
+                "retries absorb 30% transient faults (avail {:.1}% >= 80%, {retries} retried attempts)",
+                100.0 * transient.availability()
+            ),
+            transient.availability() >= 0.8,
+        ),
+        (
+            format!(
+                "hung LRS resolves with Deadline within 2x budget (worst {:.0} ms <= {:.0} ms)",
+                worst.as_secs_f64() * 1e3,
+                2.0 * budget.as_secs_f64() * 1e3
+            ),
+            hang.deadline == hang.total() && worst <= 2 * budget,
+        ),
+        (
+            format!(
+                "open breaker sheds without touching the LRS ({}/{} leaked < 5%, opened {}x)",
+                flap.leaked, flap.shed_batch, flap.times_opened
+            ),
+            flap.times_opened >= 1
+                && (flap.leaked as f64) < 0.05 * flap.shed_batch as f64,
+        ),
+        (
+            format!(
+                "breaker recovers after the outage (avail {:.1}% > 95%)",
+                100.0 * flap.recovered.availability()
+            ),
+            flap.recovered.availability() > 0.95,
+        ),
+        (
+            format!(
+                "crashed IA enclaves re-provisioned transparently ({restarts} restarts, post-crash avail {:.1}%)",
+                100.0 * crash_after.availability()
+            ),
+            restarts >= 1 && crash_after.availability() == 1.0,
+        ),
+    ];
+    let mut failed = 0;
+    for (label, pass) in &checks {
+        println!("  [{}] {label}", if *pass { "PASS" } else { "FAIL" });
+        if !pass {
+            failed += 1;
+        }
+    }
+    if failed > 0 {
+        eprintln!("{failed} acceptance check(s) failed");
+        std::process::exit(1);
+    }
+}

@@ -40,8 +40,13 @@ fn main() {
         let outcome = measure_linkage(&config, 0x5ec_0001 + (s * 10 + i) as u64);
         println!(
             "{:<10} {:>3} {:>3} {:>8} {:>10.4} {:>10.4} {:>10.4}",
-            "on", s, i, outcome.attempts, outcome.success_rate,
-            outcome.bound_single, outcome.bound_scaled
+            "on",
+            s,
+            i,
+            outcome.attempts,
+            outcome.success_rate,
+            outcome.bound_single,
+            outcome.bound_scaled
         );
     }
     for s in [5usize, 10] {
@@ -67,8 +72,13 @@ fn main() {
         let d = PProxDeployment::new(PProxConfig::for_tests(), fe, 0x5ec_0200).unwrap();
         let mut client = d.client();
         for u in 0..20 {
-            d.post_feedback(&mut client, &format!("user-{u}"), &format!("item-{u}"), None)
-                .unwrap();
+            d.post_feedback(
+                &mut client,
+                &format!("user-{u}"),
+                &format!("item-{u}"),
+                None,
+            )
+            .unwrap();
         }
         let outcome = if break_ua {
             cases::break_ua_and_read_database(&d, &engine)
@@ -93,14 +103,23 @@ fn main() {
         let d = PProxDeployment::new(PProxConfig::for_tests(), fe, 0x5ec_0201).unwrap();
         let mut client = d.client();
         for u in 0..20 {
-            d.post_feedback(&mut client, &format!("user-{u}"), &format!("item-{u}"), None)
-                .unwrap();
+            d.post_feedback(
+                &mut client,
+                &format!("user-{u}"),
+                &format!("item-{u}"),
+                None,
+            )
+            .unwrap();
         }
         let ua_bag = d.platform().break_enclave(d.ua_layer()[0].id()).unwrap();
         let refused = d.platform().break_enclave(d.ia_layer()[0].id());
         println!(
             "synchronous second-layer break: {}",
-            if refused.is_err() { "REFUSED by platform ✓ (§2.3 adversary model)" } else { "allowed?!" }
+            if refused.is_err() {
+                "REFUSED by platform ✓ (§2.3 adversary model)"
+            } else {
+                "allowed?!"
+            }
         );
         d.platform().detect_and_recover();
         let ia_bag = d.platform().break_enclave(d.ia_layer()[0].id()).unwrap();
@@ -116,7 +135,12 @@ fn main() {
         "{:<28} {:>6} {:>4} {:>22}",
         "scenario", "users", "S", "observations to identify"
     );
-    for (pop, s) in [(1_000usize, 10usize), (1_000, 50), (10_000, 10), (10_000, 100)] {
+    for (pop, s) in [
+        (1_000usize, 10usize),
+        (1_000, 50),
+        (10_000, 10),
+        (10_000, 100),
+    ] {
         let outcome = intersection_attack(pop, s, 10_000, 0x5ec_0300 + (pop + s) as u64);
         println!(
             "{:<28} {:>6} {:>4} {:>22}",

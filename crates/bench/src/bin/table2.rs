@@ -50,13 +50,19 @@ fn main() {
             m.name,
             enc,
             if m.sgx { "yes" } else { "no" },
-            m.shuffle_size.map(|s| s.to_string()).unwrap_or_else(|| "-".into()),
+            m.shuffle_size
+                .map(|s| s.to_string())
+                .unwrap_or_else(|| "-".into()),
             m.ua,
             m.ia,
             m.max_rps,
             at_max,
             beyond,
-            if sustained { "sustained ✓" } else { "NOT SUSTAINED" },
+            if sustained {
+                "sustained ✓"
+            } else {
+                "NOT SUSTAINED"
+            },
         );
     }
     report::section("interpretation");

@@ -38,7 +38,11 @@ fn main() {
             format!("{}: {}+4", h.node_count(), h.frontends),
             h.max_rps(),
             med,
-            if med < 300.0 { "sustained ✓" } else { "NOT SUSTAINED" },
+            if med < 300.0 {
+                "sustained ✓"
+            } else {
+                "NOT SUSTAINED"
+            },
         );
     }
     println!();
@@ -64,7 +68,11 @@ fn main() {
             format!("{}: {}+4", h.node_count(), h.frontends),
             h.max_rps(),
             med,
-            if med < 300.0 { "sustained ✓" } else { "NOT SUSTAINED" },
+            if med < 300.0 {
+                "sustained ✓"
+            } else {
+                "NOT SUSTAINED"
+            },
         );
     }
     println!();

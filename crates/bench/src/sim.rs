@@ -266,10 +266,7 @@ pub fn run_experiment(config: &ExperimentConfig) -> ExperimentResult {
     let window = schedule.trim_bounds(config.trim_secs);
 
     let (lrs_stations, lrs_service) = match config.lrs {
-        LrsModel::Stub => (
-            vec![Station::new("stub", 32)],
-            config.costs.stub_lrs,
-        ),
+        LrsModel::Stub => (vec![Station::new("stub", 32)], config.costs.stub_lrs),
         LrsModel::Harness { frontends } => (
             (0..frontends)
                 .map(|i| Station::new(format!("lrs-fe-{i}"), 2))
@@ -297,8 +294,12 @@ pub fn run_experiment(config: &ExperimentConfig) -> ExperimentResult {
         costs: config.costs.clone(),
         proxy: config.proxy,
         link: Link::lan(),
-        ua_stations: (0..ua_n).map(|i| Station::new(format!("ua-{i}"), 2)).collect(),
-        ia_stations: (0..ia_n).map(|i| Station::new(format!("ia-{i}"), 2)).collect(),
+        ua_stations: (0..ua_n)
+            .map(|i| Station::new(format!("ua-{i}"), 2))
+            .collect(),
+        ia_stations: (0..ia_n)
+            .map(|i| Station::new(format!("ia-{i}"), 2))
+            .collect(),
         lrs_lb: RefCell::new(LoadBalancer::new(
             BalancePolicy::RoundRobin,
             lrs_stations.len(),
@@ -618,7 +619,12 @@ fn lrs_submit_baseline(sim: &mut Simulator, ctx: Rc<Ctx>, msg: Msg) {
 mod tests {
     use super::*;
 
-    fn quick(proxy: Option<ProxySimConfig>, lrs: LrsModel, rps: f64, seed: u64) -> ExperimentResult {
+    fn quick(
+        proxy: Option<ProxySimConfig>,
+        lrs: LrsModel,
+        rps: f64,
+        seed: u64,
+    ) -> ExperimentResult {
         let mut cfg = ExperimentConfig::new(proxy, lrs, rps, seed);
         cfg.duration_secs = 10.0;
         cfg.trim_secs = 2.0;
@@ -655,7 +661,12 @@ mod tests {
             .latencies
             .candlestick()
             .unwrap();
-        assert!(prox.median > base.median + 5.0, "{} vs {}", prox.median, base.median);
+        assert!(
+            prox.median > base.median + 5.0,
+            "{} vs {}",
+            prox.median,
+            base.median
+        );
     }
 
     #[test]
@@ -672,9 +683,18 @@ mod tests {
             sgx: false,
             ..proxy_m3()
         };
-        let l1 = quick(Some(m1), LrsModel::Stub, 100.0, 3).latencies.candlestick().unwrap();
-        let l2 = quick(Some(m2), LrsModel::Stub, 100.0, 3).latencies.candlestick().unwrap();
-        let l3 = quick(Some(proxy_m3()), LrsModel::Stub, 100.0, 3).latencies.candlestick().unwrap();
+        let l1 = quick(Some(m1), LrsModel::Stub, 100.0, 3)
+            .latencies
+            .candlestick()
+            .unwrap();
+        let l2 = quick(Some(m2), LrsModel::Stub, 100.0, 3)
+            .latencies
+            .candlestick()
+            .unwrap();
+        let l3 = quick(Some(proxy_m3()), LrsModel::Stub, 100.0, 3)
+            .latencies
+            .candlestick()
+            .unwrap();
         let enc_cost = l2.median - l1.median;
         let sgx_cost = l3.median - l2.median;
         assert!(enc_cost > sgx_cost, "enc {enc_cost} vs sgx {sgx_cost}");
@@ -710,9 +730,20 @@ mod tests {
             shuffle_size: Some(10),
             ..proxy_m3()
         };
-        let slow = quick(Some(s10), LrsModel::Stub, 50.0, 5).latencies.candlestick().unwrap();
-        let fast = quick(Some(s10), LrsModel::Stub, 250.0, 5).latencies.candlestick().unwrap();
-        assert!(fast.median < slow.median, "{} vs {}", fast.median, slow.median);
+        let slow = quick(Some(s10), LrsModel::Stub, 50.0, 5)
+            .latencies
+            .candlestick()
+            .unwrap();
+        let fast = quick(Some(s10), LrsModel::Stub, 250.0, 5)
+            .latencies
+            .candlestick()
+            .unwrap();
+        assert!(
+            fast.median < slow.median,
+            "{} vs {}",
+            fast.median,
+            slow.median
+        );
     }
 
     #[test]
@@ -747,12 +778,19 @@ mod tests {
             .latencies
             .candlestick()
             .unwrap();
-        assert!(r.median < 100.0, "4 pairs should sustain 800 RPS: {}", r.median);
+        assert!(
+            r.median < 100.0,
+            "4 pairs should sustain 800 RPS: {}",
+            r.median
+        );
     }
 
     #[test]
     fn harness_slower_than_stub() {
-        let stub = quick(None, LrsModel::Stub, 100.0, 8).latencies.candlestick().unwrap();
+        let stub = quick(None, LrsModel::Stub, 100.0, 8)
+            .latencies
+            .candlestick()
+            .unwrap();
         let harness = quick(None, LrsModel::Harness { frontends: 3 }, 100.0, 8)
             .latencies
             .candlestick()
@@ -771,15 +809,24 @@ mod tests {
             .candlestick()
             .unwrap();
         assert!(ok.median < 300.0, "b1 at 250 RPS: {}", ok.median);
-        assert!(over.median > ok.median * 2.0, "b1 at 450 RPS should saturate");
+        assert!(
+            over.median > ok.median * 2.0,
+            "b1 at 450 RPS should saturate"
+        );
     }
 
     #[test]
     fn tap_sees_all_hops() {
         let r = quick(Some(proxy_m3()), LrsModel::Stub, 50.0, 10);
-        assert_eq!(r.tap.on_segment(Segment::ClientToUa).len() as u64, r.completed);
+        assert_eq!(
+            r.tap.on_segment(Segment::ClientToUa).len() as u64,
+            r.completed
+        );
         assert_eq!(r.tap.on_segment(Segment::IaToLrs).len() as u64, r.completed);
-        assert_eq!(r.tap.on_segment(Segment::UaToClient).len() as u64, r.completed);
+        assert_eq!(
+            r.tap.on_segment(Segment::UaToClient).len() as u64,
+            r.completed
+        );
     }
 
     #[test]
@@ -793,7 +840,12 @@ mod tests {
         post_cfg.post_fraction = 1.0;
         let gets = run_experiment(&get_cfg).latencies.candlestick().unwrap();
         let posts = run_experiment(&post_cfg).latencies.candlestick().unwrap();
-        assert!(posts.median < gets.median, "{} vs {}", posts.median, gets.median);
+        assert!(
+            posts.median < gets.median,
+            "{} vs {}",
+            posts.median,
+            gets.median
+        );
         assert!(
             gets.median - posts.median < 5.0,
             "difference must be marginal: {} vs {}",

@@ -111,9 +111,34 @@ impl Autoscaler {
         let per_instance = observed_rps / self.current as f64;
         ScaleDecision {
             instances: self.current,
-            shuffling_healthy: per_instance
-                >= self.config.min_rps_per_instance_for_shuffling,
+            shuffling_healthy: per_instance >= self.config.min_rps_per_instance_for_shuffling,
         }
+    }
+
+    /// Like [`observe`](Self::observe), but additionally aware of
+    /// admission-control pressure: `rejection_fraction` is the share of
+    /// submissions shed at the ingress gate (see
+    /// [`crate::resilience::AdmissionGate::rejection_fraction`]).
+    ///
+    /// Observed RPS alone under-estimates demand when the gate is
+    /// shedding — rejected requests never become load. Whenever more than
+    /// 1% of submissions are rejected, this adds one instance beyond the
+    /// throughput-derived target (up to `max_instances`) so capacity
+    /// chases the *offered* load, not just the admitted load.
+    pub fn observe_with_pressure(
+        &mut self,
+        observed_rps: f64,
+        rejection_fraction: f64,
+    ) -> ScaleDecision {
+        let mut decision = self.observe(observed_rps);
+        if rejection_fraction > 0.01 && self.current < self.config.max_instances {
+            self.current += 1;
+            decision.instances = self.current;
+            let per_instance = observed_rps / self.current as f64;
+            decision.shuffling_healthy =
+                per_instance >= self.config.min_rps_per_instance_for_shuffling;
+        }
+        decision
     }
 }
 
@@ -172,10 +197,10 @@ mod tests {
     fn detects_shuffle_starvation() {
         let mut s = scaler();
         s.observe(900.0); // 5 instances
-        // Load collapses to 40 RPS but hysteresis holds 5 instances for a
-        // beat: 8 RPS per instance cannot fill S=10 within 500 ms.
+                          // Load collapses to 40 RPS but hysteresis holds 5 instances for a
+                          // beat: 8 RPS per instance cannot fill S=10 within 500 ms.
         let d = s.observe(40.0 * 5.0 / 5.0); // still 5 instances this tick
-        // After the big dip the scaler drops to 1 and shuffling recovers.
+                                             // After the big dip the scaler drops to 1 and shuffling recovers.
         let d2 = s.observe(40.0);
         let _ = d;
         assert_eq!(d2.instances, 1);
@@ -197,6 +222,28 @@ mod tests {
         let d = s.observe(50.0);
         assert_eq!(d.instances, 4);
         assert!(!d.shuffling_healthy);
+    }
+
+    #[test]
+    fn rejection_pressure_scales_beyond_observed_rps() {
+        let mut s = scaler();
+        // 150 RPS admitted would normally fit one pair, but 10% of
+        // submissions are being shed: add capacity for the unseen demand.
+        let d = s.observe_with_pressure(150.0, 0.10);
+        assert_eq!(d.instances, 2);
+        // No pressure → identical to plain observe.
+        let mut s2 = scaler();
+        let d2 = s2.observe_with_pressure(150.0, 0.0);
+        assert_eq!(d2.instances, 1);
+        // Pressure never exceeds max_instances.
+        let mut s3 = Autoscaler::new(
+            AutoscaleConfig {
+                max_instances: 2,
+                ..AutoscaleConfig::paper_default()
+            },
+            2,
+        );
+        assert_eq!(s3.observe_with_pressure(100.0, 0.5).instances, 2);
     }
 
     #[test]

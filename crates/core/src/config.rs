@@ -6,6 +6,7 @@
 //! structures parameterize the live deployment ([`crate::proxy`]) and the
 //! simulated cluster (`pprox-bench` figure harnesses).
 
+use crate::resilience::ResilienceConfig;
 use crate::shuffler::ShuffleConfig;
 
 /// Parameters of a PProx deployment.
@@ -29,6 +30,9 @@ pub struct PProxConfig {
     /// RSA modulus size for layer keys (2048 in the paper; tests shrink
     /// it for speed).
     pub modulus_bits: usize,
+    /// Fault-tolerance knobs: deadlines, retries, circuit breaking and
+    /// admission control (see [`crate::resilience`]).
+    pub resilience: ResilienceConfig,
 }
 
 impl Default for PProxConfig {
@@ -41,6 +45,7 @@ impl Default for PProxConfig {
             ua_instances: 1,
             ia_instances: 1,
             modulus_bits: pprox_crypto::rsa::DEFAULT_MODULUS_BITS,
+            resilience: ResilienceConfig::default(),
         }
     }
 }
@@ -79,6 +84,7 @@ impl PProxConfig {
             ua_instances: m.ua,
             ia_instances: m.ia,
             modulus_bits: pprox_crypto::rsa::DEFAULT_MODULUS_BITS,
+            resilience: ResilienceConfig::default(),
         }
     }
 }
@@ -107,15 +113,96 @@ pub struct MicroConfig {
 /// The nine rows of Table 2.
 pub fn micro_configs() -> [MicroConfig; 9] {
     [
-        MicroConfig { name: "m1", encryption: false, item_pseudonymization: false, sgx: false, shuffle_size: None, ua: 1, ia: 1, max_rps: 250 },
-        MicroConfig { name: "m2", encryption: true, item_pseudonymization: true, sgx: false, shuffle_size: None, ua: 1, ia: 1, max_rps: 250 },
-        MicroConfig { name: "m3", encryption: true, item_pseudonymization: true, sgx: true, shuffle_size: None, ua: 1, ia: 1, max_rps: 250 },
-        MicroConfig { name: "m4", encryption: true, item_pseudonymization: false, sgx: true, shuffle_size: None, ua: 1, ia: 1, max_rps: 250 },
-        MicroConfig { name: "m5", encryption: true, item_pseudonymization: true, sgx: true, shuffle_size: Some(5), ua: 1, ia: 1, max_rps: 250 },
-        MicroConfig { name: "m6", encryption: true, item_pseudonymization: true, sgx: true, shuffle_size: Some(10), ua: 1, ia: 1, max_rps: 250 },
-        MicroConfig { name: "m7", encryption: true, item_pseudonymization: true, sgx: true, shuffle_size: Some(10), ua: 2, ia: 2, max_rps: 500 },
-        MicroConfig { name: "m8", encryption: true, item_pseudonymization: true, sgx: true, shuffle_size: Some(10), ua: 3, ia: 3, max_rps: 750 },
-        MicroConfig { name: "m9", encryption: true, item_pseudonymization: true, sgx: true, shuffle_size: Some(10), ua: 4, ia: 4, max_rps: 1000 },
+        MicroConfig {
+            name: "m1",
+            encryption: false,
+            item_pseudonymization: false,
+            sgx: false,
+            shuffle_size: None,
+            ua: 1,
+            ia: 1,
+            max_rps: 250,
+        },
+        MicroConfig {
+            name: "m2",
+            encryption: true,
+            item_pseudonymization: true,
+            sgx: false,
+            shuffle_size: None,
+            ua: 1,
+            ia: 1,
+            max_rps: 250,
+        },
+        MicroConfig {
+            name: "m3",
+            encryption: true,
+            item_pseudonymization: true,
+            sgx: true,
+            shuffle_size: None,
+            ua: 1,
+            ia: 1,
+            max_rps: 250,
+        },
+        MicroConfig {
+            name: "m4",
+            encryption: true,
+            item_pseudonymization: false,
+            sgx: true,
+            shuffle_size: None,
+            ua: 1,
+            ia: 1,
+            max_rps: 250,
+        },
+        MicroConfig {
+            name: "m5",
+            encryption: true,
+            item_pseudonymization: true,
+            sgx: true,
+            shuffle_size: Some(5),
+            ua: 1,
+            ia: 1,
+            max_rps: 250,
+        },
+        MicroConfig {
+            name: "m6",
+            encryption: true,
+            item_pseudonymization: true,
+            sgx: true,
+            shuffle_size: Some(10),
+            ua: 1,
+            ia: 1,
+            max_rps: 250,
+        },
+        MicroConfig {
+            name: "m7",
+            encryption: true,
+            item_pseudonymization: true,
+            sgx: true,
+            shuffle_size: Some(10),
+            ua: 2,
+            ia: 2,
+            max_rps: 500,
+        },
+        MicroConfig {
+            name: "m8",
+            encryption: true,
+            item_pseudonymization: true,
+            sgx: true,
+            shuffle_size: Some(10),
+            ua: 3,
+            ia: 3,
+            max_rps: 750,
+        },
+        MicroConfig {
+            name: "m9",
+            encryption: true,
+            item_pseudonymization: true,
+            sgx: true,
+            shuffle_size: Some(10),
+            ua: 4,
+            ia: 4,
+            max_rps: 1000,
+        },
     ]
 }
 

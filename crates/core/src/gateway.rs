@@ -73,9 +73,11 @@ fn path_for(op: Op) -> &'static str {
 /// Framing errors if the envelope exceeds its constant frame budget.
 pub fn client_request(envelope: &ClientEnvelope, conn: ConnId) -> Result<HttpRequest, PProxError> {
     let frame = envelope.to_frame()?;
-    Ok(HttpRequest::post(path_for(envelope.op), base64::encode(&frame))
-        .with_header(HOP_HEADER, Hop::ClientToUa.as_str())
-        .with_header(CONN_HEADER, conn.0.to_string()))
+    Ok(
+        HttpRequest::post(path_for(envelope.op), base64::encode(&frame))
+            .with_header(HOP_HEADER, Hop::ClientToUa.as_str())
+            .with_header(CONN_HEADER, conn.0.to_string()),
+    )
 }
 
 /// Wraps a UA-processed envelope as the HTTP request forwarded to the IA
@@ -86,9 +88,11 @@ pub fn client_request(envelope: &ClientEnvelope, conn: ConnId) -> Result<HttpReq
 /// Framing errors as for [`client_request`].
 pub fn layer_request(envelope: &LayerEnvelope, conn: ConnId) -> Result<HttpRequest, PProxError> {
     let frame = envelope.to_frame()?;
-    Ok(HttpRequest::post(path_for(envelope.op), base64::encode(&frame))
-        .with_header(HOP_HEADER, Hop::UaToIa.as_str())
-        .with_header(CONN_HEADER, conn.0.to_string()))
+    Ok(
+        HttpRequest::post(path_for(envelope.op), base64::encode(&frame))
+            .with_header(HOP_HEADER, Hop::UaToIa.as_str())
+            .with_header(CONN_HEADER, conn.0.to_string()),
+    )
 }
 
 /// What a proxy layer recovers from an incoming HTTP request.
@@ -230,7 +234,10 @@ mod tests {
             ..client_env()
         };
         assert_eq!(client_request(&post, ConnId(1)).unwrap().path, EVENTS_PATH);
-        assert_eq!(client_request(&client_env(), ConnId(1)).unwrap().path, QUERIES_PATH);
+        assert_eq!(
+            client_request(&client_env(), ConnId(1)).unwrap().path,
+            QUERIES_PATH
+        );
     }
 
     #[test]

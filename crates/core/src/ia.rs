@@ -166,8 +166,8 @@ impl IaState {
                 .to_owned();
             (item, v.get("p").and_then(|p| p.as_f64()))
         } else {
-            let text = std::str::from_utf8(&envelope.aux)
-                .map_err(|_| PProxError::MalformedMessage)?;
+            let text =
+                std::str::from_utf8(&envelope.aux).map_err(|_| PProxError::MalformedMessage)?;
             let v = Value::parse(text)?;
             let item = v
                 .get("i")
@@ -221,8 +221,7 @@ impl IaState {
                 // Extended protocol: hybrid block {k, x: [excluded ids]}.
                 let padded = pprox_crypto::hybrid::open(&self.secrets.sk, &envelope.aux)?;
                 let body = pad::unpad(&padded, RULES_BLOCK_LEN)?;
-                let text =
-                    std::str::from_utf8(&body).map_err(|_| PProxError::MalformedMessage)?;
+                let text = std::str::from_utf8(&body).map_err(|_| PProxError::MalformedMessage)?;
                 let v = Value::parse(text)?;
                 let key_b64 = v
                     .get("k")
@@ -438,12 +437,8 @@ mod tests {
             ),
         ]);
         let padded = pad::pad(block.to_json().as_bytes(), RULES_BLOCK_LEN).unwrap();
-        let aux = pprox_crypto::hybrid::seal(
-            ia.secrets.sk.public_key(),
-            &padded,
-            &mut rng,
-        )
-        .unwrap();
+        let aux =
+            pprox_crypto::hybrid::seal(ia.secrets.sk.public_key(), &padded, &mut rng).unwrap();
         let env = LayerEnvelope {
             op: Op::Get,
             user_pseudonym: vec![5; 32],

@@ -70,6 +70,7 @@ pub mod message;
 pub mod metrics;
 pub mod pipeline;
 pub mod proxy;
+pub mod resilience;
 pub mod rotation;
 pub mod routing;
 pub mod shuffler;
@@ -119,6 +120,17 @@ pub enum PProxError {
         /// HTTP status returned.
         status: u16,
     },
+    /// The request exceeded its end-to-end deadline budget (includes
+    /// hung/slow LRS calls that outlived every retry attempt).
+    Deadline,
+    /// A dependency is temporarily unusable: the circuit breaker is open,
+    /// the pipeline is shutting down, or a crashed enclave could not be
+    /// replaced in time. Safe to retry after a backoff.
+    Unavailable,
+    /// Admission control rejected the request: the pipeline already holds
+    /// its maximum number of in-flight requests. Shed load upstream or
+    /// scale out.
+    Overloaded,
 }
 
 impl std::fmt::Display for PProxError {
@@ -137,6 +149,9 @@ impl std::fmt::Display for PProxError {
                 write!(f, "identifier of {len} bytes exceeds maximum of {max}")
             }
             PProxError::Lrs { status } => write!(f, "LRS returned status {status}"),
+            PProxError::Deadline => write!(f, "request exceeded its deadline"),
+            PProxError::Unavailable => write!(f, "service temporarily unavailable"),
+            PProxError::Overloaded => write!(f, "pipeline overloaded; request rejected"),
         }
     }
 }
@@ -210,6 +225,18 @@ mod tests {
         assert_eq!(
             PProxError::IdTooLong { len: 40, max: 28 }.to_string(),
             "identifier of 40 bytes exceeds maximum of 28"
+        );
+        assert_eq!(
+            PProxError::Deadline.to_string(),
+            "request exceeded its deadline"
+        );
+        assert_eq!(
+            PProxError::Unavailable.to_string(),
+            "service temporarily unavailable"
+        );
+        assert_eq!(
+            PProxError::Overloaded.to_string(),
+            "pipeline overloaded; request rejected"
         );
     }
 

@@ -119,11 +119,7 @@ fn encode(op: Op, a_name: &str, a: &[u8], b_name: &str, b: &[u8]) -> Result<Vec<
     Ok(pad::pad(v.to_json().as_bytes(), REQUEST_FRAME_LEN)?)
 }
 
-fn decode(
-    frame: &[u8],
-    a_name: &str,
-    b_name: &str,
-) -> Result<(Op, Vec<u8>, Vec<u8>), PProxError> {
+fn decode(frame: &[u8], a_name: &str, b_name: &str) -> Result<(Op, Vec<u8>, Vec<u8>), PProxError> {
     let body = pad::unpad(frame, REQUEST_FRAME_LEN)?;
     let text = std::str::from_utf8(&body).map_err(|_| PProxError::MalformedMessage)?;
     let v = Value::parse(text)?;
@@ -222,10 +218,7 @@ impl EncryptedList {
 /// Fails when the ids exceed the block budget (bounded in practice: at
 /// most 20 ids of at most [`MAX_ID_LEN`] bytes).
 pub fn list_to_plaintext(items: &[String]) -> Result<Vec<u8>, PProxError> {
-    let v: Value = items
-        .iter()
-        .map(|i| Value::from(i.as_str()))
-        .collect();
+    let v: Value = items.iter().map(|i| Value::from(i.as_str())).collect();
     Ok(pad::pad(v.to_json().as_bytes(), LIST_PLAINTEXT_LEN)?)
 }
 
@@ -321,8 +314,7 @@ mod tests {
         let garbage = pprox_crypto::pad::pad(b"not json", REQUEST_FRAME_LEN).unwrap();
         assert!(ClientEnvelope::from_frame(&garbage).is_err());
         let wrong_op =
-            pprox_crypto::pad::pad(br#"{"op":"delete","u":"","x":""}"#, REQUEST_FRAME_LEN)
-                .unwrap();
+            pprox_crypto::pad::pad(br#"{"op":"delete","u":"","x":""}"#, REQUEST_FRAME_LEN).unwrap();
         assert!(ClientEnvelope::from_frame(&wrong_op).is_err());
     }
 

@@ -21,6 +21,9 @@ pub struct LayerMetrics {
     busy_us: AtomicU64,
     shuffle_flushes: AtomicU64,
     shuffle_timeouts: AtomicU64,
+    retries: AtomicU64,
+    deadline_misses: AtomicU64,
+    rejected: AtomicU64,
 }
 
 impl LayerMetrics {
@@ -53,6 +56,22 @@ impl LayerMetrics {
         }
     }
 
+    /// Records one retried LRS attempt.
+    pub fn record_retry(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a request that exhausted its deadline budget.
+    pub fn record_deadline_miss(&self) {
+        self.deadline_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a request shed by admission control or the circuit
+    /// breaker.
+    pub fn record_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Current snapshot.
     pub fn snapshot(&self) -> LayerSnapshot {
         LayerSnapshot {
@@ -62,6 +81,9 @@ impl LayerMetrics {
             busy_us: self.busy_us.load(Ordering::Relaxed),
             shuffle_flushes: self.shuffle_flushes.load(Ordering::Relaxed),
             shuffle_timeouts: self.shuffle_timeouts.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            deadline_misses: self.deadline_misses.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
         }
     }
 }
@@ -81,6 +103,12 @@ pub struct LayerSnapshot {
     pub shuffle_flushes: u64,
     /// Flushes forced by the timer (under-filled batches).
     pub shuffle_timeouts: u64,
+    /// Retried LRS attempts.
+    pub retries: u64,
+    /// Requests that exhausted their deadline budget.
+    pub deadline_misses: u64,
+    /// Requests shed by admission control or the circuit breaker.
+    pub rejected: u64,
 }
 
 impl LayerSnapshot {
@@ -165,6 +193,19 @@ mod tests {
         assert_eq!(s.errors, 1);
         assert_eq!(s.mean_processing_us(), 200.0);
         assert_eq!(s.timeout_flush_fraction(), 0.5);
+    }
+
+    #[test]
+    fn resilience_counters_accumulate() {
+        let m = LayerMetrics::new();
+        m.record_retry();
+        m.record_retry();
+        m.record_deadline_miss();
+        m.record_rejected();
+        let s = m.snapshot();
+        assert_eq!(s.retries, 2);
+        assert_eq!(s.deadline_misses, 1);
+        assert_eq!(s.rejected, 1);
     }
 
     #[test]

@@ -8,27 +8,53 @@
 //! threads and crossbeam channels (the lock-free concurrent-queue role):
 //!
 //! ```text
-//! clients ─► UA server (shuffle S) ─► UA workers (enclave ECALLs)
-//!            ─► IA workers (enclave ECALLs + LRS call)
+//! clients ─► admission gate ─► UA server (shuffle S) ─► UA workers
+//!            ─► IA workers (enclave ECALLs + resilient LRS call)
 //!            ─► response server (shuffle S) ─► client reply channels
 //! ```
 //!
 //! Shuffling happens in real time: the UA server buffers up to `S`
 //! requests (or until the timer expires) and releases them in randomized
 //! order; the response server does the same for responses, per §4.3.
+//!
+//! # Fault tolerance
+//!
+//! The pipeline is wrapped in the [`crate::resilience`] machinery:
+//!
+//! * every admitted request carries a [`Deadline`]; stages drop expired
+//!   work with [`PProxError::Deadline`] instead of processing it;
+//! * the LRS call runs on a [`TimeoutPool`] with per-attempt timeouts,
+//!   decorrelated-jitter retries for 5xx/timeouts, and a shared
+//!   [`CircuitBreaker`] that sheds load with [`PProxError::Unavailable`]
+//!   while the backend is sick;
+//! * ingress is bounded by an [`AdmissionGate`] — beyond
+//!   `resilience.max_inflight` concurrent requests, [`PProxPipeline::submit`]
+//!   returns [`PProxError::Overloaded`] immediately;
+//! * enclaves are supervised: a crashed enclave (see
+//!   [`pprox_sgx::Platform::crash_enclave`]) is detected at the next
+//!   ECALL, a replacement is loaded and re-provisioned through the normal
+//!   attestation flow, and the call is retried on the fresh instance.
 
 use crate::config::PProxConfig;
 use crate::ia::{IaOptions, IaState};
 use crate::keys::{KeyProvisioner, IA_CODE_IDENTITY, UA_CODE_IDENTITY};
-use crate::message::{ClientEnvelope, EncryptedList, Op};
-use crate::metrics::MetricsRegistry;
+use crate::message::{ClientEnvelope, EncryptedList, LayerEnvelope, Op};
+use crate::metrics::{LayerMetrics, MetricsRegistry};
+use crate::resilience::{
+    AdmissionGate, AdmissionPermit, BreakerState, CallTimedOut, CircuitBreaker, Deadline,
+    ResilienceConfig, RetryBackoff, TimeoutPool,
+};
 use crate::shuffler::ShuffleBuffer;
 use crate::ua::UaState;
 use crate::{PProxError, UserClient};
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::{Mutex, RwLock};
 use pprox_crypto::rng::SecureRng;
-use pprox_lrs::api::{HttpRequest, RecommendationList, RestHandler, EVENTS_PATH, QUERIES_PATH};
-use pprox_sgx::{Enclave, Platform};
+use pprox_lrs::api::{
+    HttpRequest, HttpResponse, RecommendationList, RestHandler, EVENTS_PATH, QUERIES_PATH,
+};
+use pprox_sgx::{Enclave, EnclaveApp, EnclaveError, Platform};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -42,19 +68,111 @@ pub enum Completion {
     Get(Result<EncryptedList, PProxError>),
 }
 
+/// Receiving end for one submitted request's [`Completion`], as returned
+/// by [`PProxPipeline::submit`].
+pub type CompletionReceiver = Receiver<Completion>;
+
 struct Job {
     envelope: ClientEnvelope,
     reply: Sender<Completion>,
+    deadline: Deadline,
+    permit: AdmissionPermit,
 }
 
 struct IaJob {
-    layer_env: crate::message::LayerEnvelope,
+    layer_env: LayerEnvelope,
     reply: Sender<Completion>,
+    deadline: Deadline,
+    permit: AdmissionPermit,
 }
 
 struct ResponseJob {
     completion: Completion,
     reply: Sender<Completion>,
+    // Held until the response is delivered so the admission gate tracks
+    // true end-to-end in-flight occupancy; released on drop.
+    permit: AdmissionPermit,
+}
+
+/// A supervised enclave slot: the live enclave plus the recipe to replace
+/// it after a crash.
+///
+/// Workers call through the slot; when an ECALL reports
+/// [`EnclaveError::Crashed`], the supervisor loads a fresh enclave of the
+/// same code identity, re-provisions it through attestation, swaps it into
+/// the slot, and retries the call once. Replacement is single-flight: the
+/// first worker to observe the crash performs it, racers find the slot
+/// already holding a live enclave.
+struct SupervisedEnclave<T: EnclaveApp> {
+    slot: RwLock<Arc<Enclave<T>>>,
+    reload: Box<dyn Fn() -> Result<Arc<Enclave<T>>, PProxError> + Send + Sync>,
+    restart_lock: Mutex<()>,
+    restarts: Arc<AtomicU64>,
+}
+
+impl<T: EnclaveApp> SupervisedEnclave<T> {
+    fn new(
+        initial: Arc<Enclave<T>>,
+        restarts: Arc<AtomicU64>,
+        reload: impl Fn() -> Result<Arc<Enclave<T>>, PProxError> + Send + Sync + 'static,
+    ) -> Self {
+        SupervisedEnclave {
+            slot: RwLock::new(initial),
+            reload: Box::new(reload),
+            restart_lock: Mutex::new(()),
+            restarts,
+        }
+    }
+
+    /// The simulated ECALL, with crash supervision: on
+    /// [`EnclaveError::Crashed`] the enclave is replaced and the call
+    /// retried once on the fresh instance.
+    fn call<R>(&self, f: impl Fn(&mut T) -> R) -> Result<R, PProxError> {
+        for _ in 0..2 {
+            let enclave = self.slot.read().clone();
+            match enclave.call(|state| f(state)) {
+                Ok(r) => return Ok(r),
+                Err(EnclaveError::Crashed) => self.replace(&enclave)?,
+                Err(e) => return Err(e.into()),
+            }
+        }
+        // The replacement crashed too before we could use it.
+        Err(PProxError::Unavailable)
+    }
+
+    fn replace(&self, dead: &Arc<Enclave<T>>) -> Result<(), PProxError> {
+        let _guard = self.restart_lock.lock();
+        {
+            let current = self.slot.read();
+            // Another worker already swapped in a replacement.
+            if !Arc::ptr_eq(&current, dead) {
+                return Ok(());
+            }
+        }
+        let fresh = (self.reload)()?;
+        *self.slot.write() = fresh;
+        self.restarts.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+/// Point-in-time health of the pipeline's resilience layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResilienceStats {
+    /// Requests admitted and not yet answered.
+    pub in_flight: usize,
+    /// Submissions rejected by admission control.
+    pub admission_rejected: u64,
+    /// Current LRS circuit-breaker state.
+    pub breaker_state: BreakerState,
+    /// LRS calls shed by the breaker.
+    pub breaker_rejected: u64,
+    /// How many times the breaker tripped open.
+    pub breaker_times_opened: u64,
+    /// LRS-pool workers replaced after being stuck in a hung call.
+    pub lrs_worker_replacements: u64,
+    /// Enclaves re-provisioned after an injected crash.
+    pub enclave_restarts: u64,
 }
 
 /// A running multi-threaded PProx deployment.
@@ -64,11 +182,17 @@ struct ResponseJob {
 pub struct PProxPipeline {
     ingress: Option<Sender<Job>>,
     handles: Vec<JoinHandle<()>>,
-    provisioner: KeyProvisioner,
+    provisioner: Arc<KeyProvisioner>,
     encryption: bool,
-    client_seq: std::sync::atomic::AtomicU64,
+    client_seq: AtomicU64,
     platform: Platform,
     metrics: MetricsRegistry,
+    resilience: ResilienceConfig,
+    gate: AdmissionGate,
+    breaker: Arc<CircuitBreaker>,
+    lrs_pool: Arc<TimeoutPool>,
+    enclave_restarts: Arc<AtomicU64>,
+    ingress_metrics: Arc<LayerMetrics>,
 }
 
 impl std::fmt::Debug for PProxPipeline {
@@ -99,23 +223,48 @@ impl PProxPipeline {
     ) -> Result<Self, PProxError> {
         assert!(workers_per_layer > 0, "need at least one worker per layer");
         let mut rng = SecureRng::from_seed(seed);
-        let provisioner = KeyProvisioner::generate(config.modulus_bits, &mut rng);
+        let provisioner = Arc::new(KeyProvisioner::generate(config.modulus_bits, &mut rng));
         let platform = Platform::new(&mut rng);
+        let enclave_restarts = Arc::new(AtomicU64::new(0));
 
-        let mut ua_layer: Vec<Arc<Enclave<UaState>>> = Vec::new();
+        let mut ua_layer: Vec<Arc<SupervisedEnclave<UaState>>> = Vec::new();
         for _ in 0..config.ua_instances.max(1) {
             let enclave = platform.load_enclave::<UaState>(UA_CODE_IDENTITY);
             provisioner.provision_ua(&platform, &enclave)?;
-            ua_layer.push(enclave);
+            let (p, prov) = (platform.clone(), provisioner.clone());
+            ua_layer.push(Arc::new(SupervisedEnclave::new(
+                enclave,
+                enclave_restarts.clone(),
+                move || {
+                    let fresh = p.load_enclave::<UaState>(UA_CODE_IDENTITY);
+                    prov.provision_ua(&p, &fresh)?;
+                    Ok(fresh)
+                },
+            )));
         }
-        let mut ia_layer: Vec<Arc<Enclave<IaState>>> = Vec::new();
+        let mut ia_layer: Vec<Arc<SupervisedEnclave<IaState>>> = Vec::new();
         for _ in 0..config.ia_instances.max(1) {
             let enclave = platform.load_enclave::<IaState>(IA_CODE_IDENTITY);
             provisioner.provision_ia(&platform, &enclave)?;
-            ia_layer.push(enclave);
+            let (p, prov) = (platform.clone(), provisioner.clone());
+            ia_layer.push(Arc::new(SupervisedEnclave::new(
+                enclave,
+                enclave_restarts.clone(),
+                move || {
+                    let fresh = p.load_enclave::<IaState>(IA_CODE_IDENTITY);
+                    prov.provision_ia(&p, &fresh)?;
+                    Ok(fresh)
+                },
+            )));
         }
 
+        let resilience = config.resilience.clone();
+        let gate = AdmissionGate::new(resilience.max_inflight);
+        let breaker = Arc::new(CircuitBreaker::from_config(&resilience));
+        let lrs_pool = Arc::new(TimeoutPool::new(workers_per_layer));
+
         let metrics = MetricsRegistry::new();
+        let ingress_metrics = metrics.register("ingress");
         let (ingress_tx, ingress_rx) = unbounded::<Job>();
         let (ua_work_tx, ua_work_rx) = unbounded::<Job>();
         let (ia_work_tx, ia_work_rx) = unbounded::<IaJob>();
@@ -129,8 +278,9 @@ impl PProxPipeline {
             let shuffle = config.shuffle;
             let mut buffer: ShuffleBuffer<Job> = ShuffleBuffer::new(shuffle, seed ^ 0x0a5e);
             let ua_work_tx = ua_work_tx.clone();
+            let server_metrics = metrics.register("ua-shuffle");
             handles.push(std::thread::spawn(move || {
-                shuffle_server(start, ingress_rx, &mut buffer, |job| {
+                shuffle_server(start, ingress_rx, &mut buffer, server_metrics, |job| {
                     let _ = ua_work_tx.send(job);
                 });
             }));
@@ -147,10 +297,14 @@ impl PProxPipeline {
             handles.push(std::thread::spawn(move || {
                 while let Ok(job) = rx.recv() {
                     let started = Instant::now();
-                    let result = enclave
-                        .call(|ua| ua.process(&job.envelope, encryption))
-                        .map_err(PProxError::from)
-                        .and_then(|r| r);
+                    let result = if job.deadline.expired() {
+                        layer_metrics.record_deadline_miss();
+                        Err(PProxError::Deadline)
+                    } else {
+                        enclave
+                            .call(|ua| ua.process(&job.envelope, encryption))
+                            .and_then(|r| r)
+                    };
                     layer_metrics.record_request(started.elapsed().as_micros() as u64);
                     if result.is_err() {
                         layer_metrics.record_error();
@@ -160,6 +314,8 @@ impl PProxPipeline {
                             let _ = ia_tx.send(IaJob {
                                 layer_env,
                                 reply: job.reply,
+                                deadline: job.deadline,
+                                permit: job.permit,
                             });
                         }
                         Err(e) => {
@@ -187,11 +343,29 @@ impl PProxPipeline {
             let resp_tx = resp_tx.clone();
             let enclave = ia_layer[w % ia_layer.len()].clone();
             let lrs = lrs.clone();
+            let breaker = breaker.clone();
+            let pool = lrs_pool.clone();
+            let resilience = resilience.clone();
             let layer_metrics = metrics.register(format!("ia-worker-{w}"));
+            let seed_base = seed ^ ((w as u64) << 32) ^ 0x1a;
             handles.push(std::thread::spawn(move || {
+                let mut processed = 0u64;
                 while let Ok(job) = rx.recv() {
+                    processed += 1;
                     let started = Instant::now();
-                    let completion = process_ia_job(&enclave, &lrs, &job, options);
+                    let completion = process_ia_job(
+                        IaCallCtx {
+                            enclave: &enclave,
+                            lrs: &lrs,
+                            options,
+                            breaker: &breaker,
+                            pool: &pool,
+                            resilience: &resilience,
+                            metrics: &layer_metrics,
+                            backoff_seed: seed_base.wrapping_add(processed),
+                        },
+                        &job,
+                    );
                     layer_metrics.record_request(started.elapsed().as_micros() as u64);
                     match &completion {
                         Completion::Post(Err(_)) | Completion::Get(Err(_)) => {
@@ -199,9 +373,11 @@ impl PProxPipeline {
                         }
                         _ => layer_metrics.record_response(),
                     }
+                    let IaJob { reply, permit, .. } = job;
                     let _ = resp_tx.send(ResponseJob {
                         completion,
-                        reply: job.reply,
+                        reply,
+                        permit,
                     });
                 }
             }));
@@ -212,11 +388,12 @@ impl PProxPipeline {
         // Response server thread: response-direction shuffling.
         {
             let shuffle = config.shuffle;
-            let mut buffer: ShuffleBuffer<ResponseJob> =
-                ShuffleBuffer::new(shuffle, seed ^ 0x1a5e);
+            let mut buffer: ShuffleBuffer<ResponseJob> = ShuffleBuffer::new(shuffle, seed ^ 0x1a5e);
+            let server_metrics = metrics.register("response-shuffle");
             handles.push(std::thread::spawn(move || {
-                shuffle_server(start, resp_rx, &mut buffer, |job| {
+                shuffle_server(start, resp_rx, &mut buffer, server_metrics, |job| {
                     let _ = job.reply.send(job.completion);
+                    drop(job.permit); // request fully answered: free the slot
                 });
             }));
         }
@@ -226,17 +403,21 @@ impl PProxPipeline {
             handles,
             provisioner,
             encryption: config.encryption,
-            client_seq: std::sync::atomic::AtomicU64::new(0),
+            client_seq: AtomicU64::new(0),
             platform,
             metrics,
+            resilience,
+            gate,
+            breaker,
+            lrs_pool,
+            enclave_restarts,
+            ingress_metrics,
         })
     }
 
     /// A user-side library wired to this deployment.
     pub fn client(&self) -> UserClient {
-        let seq = self
-            .client_seq
-            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let seq = self.client_seq.fetch_add(1, Ordering::Relaxed);
         if self.encryption {
             UserClient::new(self.provisioner.client_keys(), 0xc11e ^ seq)
         } else {
@@ -254,22 +435,58 @@ impl PProxPipeline {
         &self.metrics
     }
 
+    /// Health of the resilience layer (gate, breaker, supervisors).
+    pub fn resilience_stats(&self) -> ResilienceStats {
+        ResilienceStats {
+            in_flight: self.gate.in_flight(),
+            admission_rejected: self.gate.rejected(),
+            breaker_state: self.breaker.state(),
+            breaker_rejected: self.breaker.rejected(),
+            breaker_times_opened: self.breaker.times_opened(),
+            lrs_worker_replacements: self.lrs_pool.replacements(),
+            enclave_restarts: self.enclave_restarts.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Fraction of submissions shed at the admission gate — feed for
+    /// [`crate::autoscale::Autoscaler::observe_with_pressure`].
+    pub fn rejection_fraction(&self) -> f64 {
+        self.gate.rejection_fraction()
+    }
+
+    /// Enclaves re-provisioned after a crash.
+    pub fn enclave_restarts(&self) -> u64 {
+        self.enclave_restarts.load(Ordering::Relaxed)
+    }
+
     /// Submits a request; the returned channel yields its completion.
+    ///
+    /// Never blocks and never panics. The request is stamped with the
+    /// configured deadline budget; its completion arrives within roughly
+    /// that budget, as a typed error if the budget is exceeded.
     ///
     /// # Errors
     ///
-    /// Returns an error if the pipeline is shutting down.
-    pub fn submit(&self, envelope: ClientEnvelope) -> Result<Receiver<Completion>, PProxError> {
+    /// [`PProxError::Overloaded`] when `resilience.max_inflight` requests
+    /// are already in flight; [`PProxError::Unavailable`] when the
+    /// pipeline is shutting down.
+    pub fn submit(&self, envelope: ClientEnvelope) -> Result<CompletionReceiver, PProxError> {
+        let ingress = self.ingress.as_ref().ok_or(PProxError::Unavailable)?;
+        let Some(permit) = self.gate.try_admit() else {
+            self.ingress_metrics.record_rejected();
+            return Err(PProxError::Overloaded);
+        };
+        self.ingress_metrics.record_request(0);
         let (tx, rx) = bounded(1);
         let job = Job {
             envelope,
             reply: tx,
+            deadline: Deadline::starting_now(self.resilience.deadline),
+            permit,
         };
-        self.ingress
-            .as_ref()
-            .expect("pipeline running")
-            .send(job)
-            .map_err(|_| PProxError::MalformedMessage)?;
+        // A send failure means the UA server exited (shutdown race); the
+        // permit inside the failed job is released on drop.
+        ingress.send(job).map_err(|_| PProxError::Unavailable)?;
         Ok(rx)
     }
 
@@ -298,52 +515,151 @@ fn shuffle_server<T>(
     start: Instant,
     rx: Receiver<T>,
     buffer: &mut ShuffleBuffer<T>,
+    metrics: Arc<LayerMetrics>,
     mut forward: impl FnMut(T),
 ) {
     let now_us = |start: Instant| start.elapsed().as_micros() as u64;
     loop {
-        let timeout = match buffer.deadline_us() {
-            Some(deadline) => Duration::from_micros(deadline.saturating_sub(now_us(start))),
-            None => Duration::from_millis(50),
-        };
-        match rx.recv_timeout(timeout) {
-            Ok(item) => {
-                if let Some(flush) = buffer.push(now_us(start), item) {
-                    for item in flush.items {
-                        forward(item);
+        match buffer.deadline_us() {
+            // An armed timer: wait for the next item at most until it fires.
+            Some(deadline) => {
+                let timeout = Duration::from_micros(deadline.saturating_sub(now_us(start)));
+                match rx.recv_timeout(timeout) {
+                    Ok(item) => {
+                        if let Some(flush) = buffer.push(now_us(start), item) {
+                            metrics.record_flush(false);
+                            for item in flush.items {
+                                forward(item);
+                            }
+                        }
                     }
+                    Err(RecvTimeoutError::Timeout) => {
+                        if let Some(flush) = buffer.poll_timeout(now_us(start)) {
+                            metrics.record_flush(true);
+                            for item in flush.items {
+                                forward(item);
+                            }
+                        }
+                    }
+                    Err(RecvTimeoutError::Disconnected) => break,
                 }
             }
-            Err(RecvTimeoutError::Timeout) => {
-                if let Some(flush) = buffer.poll_timeout(now_us(start)) {
-                    for item in flush.items {
-                        forward(item);
+            // Empty buffer, no timer to honor: block until work arrives
+            // instead of waking idly on a poll interval.
+            None => match rx.recv() {
+                Ok(item) => {
+                    if let Some(flush) = buffer.push(now_us(start), item) {
+                        metrics.record_flush(false);
+                        for item in flush.items {
+                            forward(item);
+                        }
                     }
                 }
-            }
-            Err(RecvTimeoutError::Disconnected) => {
-                if let Some(flush) = buffer.drain() {
-                    for item in flush.items {
-                        forward(item);
-                    }
-                }
-                return;
-            }
+                Err(_) => break,
+            },
+        }
+    }
+    if let Some(flush) = buffer.drain() {
+        metrics.record_flush(false);
+        for item in flush.items {
+            forward(item);
         }
     }
 }
 
-fn process_ia_job(
-    enclave: &Enclave<IaState>,
-    lrs: &Arc<dyn RestHandler>,
-    job: &IaJob,
+/// Everything an IA worker needs to process one job resiliently.
+struct IaCallCtx<'a> {
+    enclave: &'a SupervisedEnclave<IaState>,
+    lrs: &'a Arc<dyn RestHandler>,
     options: IaOptions,
-) -> Completion {
+    breaker: &'a CircuitBreaker,
+    pool: &'a TimeoutPool,
+    resilience: &'a ResilienceConfig,
+    metrics: &'a LayerMetrics,
+    backoff_seed: u64,
+}
+
+/// One LRS call under the full resilience policy: per-attempt timeout
+/// clamped to the remaining deadline, circuit breaking, and retries with
+/// decorrelated-jitter backoff for retryable failures (5xx, timeout).
+/// Definitive answers (2xx/4xx) return immediately.
+fn call_lrs_resilient(
+    ctx: &IaCallCtx<'_>,
+    deadline: Deadline,
+    request: &HttpRequest,
+) -> Result<HttpResponse, PProxError> {
+    let cfg = ctx.resilience;
+    let mut backoff = RetryBackoff::new(cfg.retry_base, cfg.retry_cap, ctx.backoff_seed);
+    let mut attempts = 0u32;
+    loop {
+        let Some(remaining) = deadline.remaining() else {
+            ctx.metrics.record_deadline_miss();
+            return Err(PProxError::Deadline);
+        };
+        if !ctx.breaker.try_acquire() {
+            ctx.metrics.record_rejected();
+            return Err(PProxError::Unavailable);
+        }
+        let per_try = cfg.lrs_timeout.min(remaining);
+        let req = request.clone();
+        let lrs = ctx.lrs.clone();
+        let outcome = ctx.pool.call(per_try, move || lrs.handle(&req));
+        attempts += 1;
+        let failure = match outcome {
+            Ok(resp) if resp.status >= 500 => {
+                ctx.breaker.record_failure();
+                PProxError::Lrs {
+                    status: resp.status,
+                }
+            }
+            Ok(resp) => {
+                // Success, or a definitive client error (4xx): the backend
+                // is alive and gave its final answer — no retry.
+                ctx.breaker.record_success();
+                return Ok(resp);
+            }
+            Err(CallTimedOut) => {
+                ctx.breaker.record_failure();
+                PProxError::Deadline
+            }
+        };
+        if attempts > cfg.max_retries {
+            if failure == PProxError::Deadline {
+                ctx.metrics.record_deadline_miss();
+            }
+            return Err(failure);
+        }
+        let delay = backoff.next_delay();
+        match deadline.remaining() {
+            Some(rem) if rem > delay => std::thread::sleep(delay),
+            _ => {
+                ctx.metrics.record_deadline_miss();
+                return Err(PProxError::Deadline);
+            }
+        }
+        ctx.metrics.record_retry();
+    }
+}
+
+fn process_ia_job(ctx: IaCallCtx<'_>, job: &IaJob) -> Completion {
+    if job.deadline.expired() {
+        ctx.metrics.record_deadline_miss();
+        return match job.layer_env.op {
+            Op::Post => Completion::Post(Err(PProxError::Deadline)),
+            Op::Get => Completion::Get(Err(PProxError::Deadline)),
+        };
+    }
     match job.layer_env.op {
         Op::Post => {
             let result = (|| {
-                let event = enclave.call(|ia| ia.process_post(&job.layer_env, options))??;
-                let response = lrs.handle(&HttpRequest::post(EVENTS_PATH, event.to_json()));
+                let event = ctx
+                    .enclave
+                    .call(|ia| ia.process_post(&job.layer_env, ctx.options))??;
+                let response = call_lrs_resilient(
+                    &ctx,
+                    job.deadline,
+                    &HttpRequest::post(EVENTS_PATH, event.to_json()),
+                )?;
                 if !response.is_success() {
                     return Err(PProxError::Lrs {
                         status: response.status,
@@ -355,9 +671,14 @@ fn process_ia_job(
         }
         Op::Get => {
             let result = (|| {
-                let (query, token) =
-                    enclave.call(|ia| ia.process_get(&job.layer_env, options))??;
-                let response = lrs.handle(&HttpRequest::post(QUERIES_PATH, query.to_json()));
+                let (query, token) = ctx
+                    .enclave
+                    .call(|ia| ia.process_get(&job.layer_env, ctx.options))??;
+                let response = call_lrs_resilient(
+                    &ctx,
+                    job.deadline,
+                    &HttpRequest::post(QUERIES_PATH, query.to_json()),
+                )?;
                 if !response.is_success() {
                     return Err(PProxError::Lrs {
                         status: response.status,
@@ -366,7 +687,8 @@ fn process_ia_job(
                 let list = RecommendationList::from_json(&response.body)
                     .ok_or(PProxError::MalformedMessage)?;
                 let ids: Vec<String> = list.items.into_iter().map(|s| s.item).collect();
-                enclave.call(|ia| ia.process_get_response(token, &ids, options))?
+                ctx.enclave
+                    .call(|ia| ia.process_get_response(token, &ids, ctx.options))?
             })();
             Completion::Get(result)
         }
@@ -487,10 +809,21 @@ mod tests {
             let _ = rx.recv_timeout(Duration::from_secs(10)).unwrap();
         }
         let snapshot = p.metrics().snapshot();
-        // 2 UA workers + 2 IA workers registered.
-        assert_eq!(snapshot.len(), 4);
-        let total: u64 = snapshot.iter().map(|(_, s)| s.requests).sum();
-        assert_eq!(total, 12, "each request crosses one UA and one IA worker");
+        // ingress + 2 shuffle servers + 2 UA workers + 2 IA workers.
+        assert_eq!(snapshot.len(), 7);
+        assert!(snapshot.iter().any(|(n, _)| n == "ingress"));
+        let worker_requests: u64 = snapshot
+            .iter()
+            .filter(|(n, _)| n.starts_with("ua-worker") || n.starts_with("ia-worker"))
+            .map(|(_, s)| s.requests)
+            .sum();
+        assert_eq!(
+            worker_requests, 12,
+            "each request crosses one UA and one IA worker"
+        );
+        let ingress = snapshot.iter().find(|(n, _)| n == "ingress").unwrap();
+        assert_eq!(ingress.1.requests, 6);
+        assert_eq!(ingress.1.rejected, 0);
         let errors: u64 = snapshot.iter().map(|(_, s)| s.errors).sum();
         assert_eq!(errors, 0);
         p.shutdown();
@@ -510,5 +843,85 @@ mod tests {
             Completion::Post(Ok(())) => {}
             other => panic!("unexpected: {other:?}"),
         }
+    }
+
+    #[test]
+    fn admission_gate_rejects_beyond_max_inflight() {
+        let mut config = PProxConfig {
+            // A never-flushing shuffle keeps submitted jobs buffered, so
+            // in-flight occupancy is fully under the test's control.
+            shuffle: ShuffleConfig {
+                size: 1000,
+                timeout_us: 60_000_000,
+            },
+            modulus_bits: 1152,
+            ..PProxConfig::default()
+        };
+        config.resilience.max_inflight = 3;
+        let p = PProxPipeline::new(config, Arc::new(StubLrs::new()), 5, 1).unwrap();
+        let mut client = p.client();
+        let mut rxs = Vec::new();
+        for i in 0..3 {
+            let env = client.post(&format!("u{i}"), "item", None).unwrap();
+            rxs.push(p.submit(env).unwrap());
+        }
+        let env = client.post("u-over", "item", None).unwrap();
+        assert_eq!(p.submit(env).unwrap_err(), PProxError::Overloaded);
+        let stats = p.resilience_stats();
+        assert_eq!(stats.in_flight, 3);
+        assert_eq!(stats.admission_rejected, 1);
+        // Drain: shutdown flushes the buffers; completions release permits.
+        drop(p);
+        for rx in rxs {
+            assert!(matches!(
+                rx.recv_timeout(Duration::from_secs(10)).unwrap(),
+                Completion::Post(Ok(()))
+            ));
+        }
+    }
+
+    #[test]
+    fn submit_after_shutdown_reports_unavailable() {
+        // Exercise the shutdown-race path via the internal field rather
+        // than a real half-shut pipeline: ingress gone ⇒ Unavailable.
+        let mut p = pipeline(ShuffleConfig::disabled());
+        p.ingress.take();
+        let mut client = p.client();
+        let env = client.post("u", "i", None).unwrap();
+        assert_eq!(p.submit(env).unwrap_err(), PProxError::Unavailable);
+        // Threads exit because the ingress sender is gone.
+        for handle in p.handles.drain(..) {
+            handle.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn crashed_ia_enclave_is_replaced_transparently() {
+        let p = pipeline(ShuffleConfig::disabled());
+        let mut client = p.client();
+        // Warm up: one request through the healthy pipeline.
+        let env = client.post("before", "item", None).unwrap();
+        let rx = p.submit(env).unwrap();
+        assert!(matches!(
+            rx.recv_timeout(Duration::from_secs(10)).unwrap(),
+            Completion::Post(Ok(()))
+        ));
+        // Kill the whole IA layer.
+        let killed = p
+            .platform()
+            .crash_layer(pprox_sgx::Measurement::of_code(IA_CODE_IDENTITY));
+        assert!(killed >= 1);
+        // Service continues: supervisors re-provision on first touch.
+        let (env, ticket) = client.get("after").unwrap();
+        let rx = p.submit(env).unwrap();
+        match rx.recv_timeout(Duration::from_secs(10)).unwrap() {
+            Completion::Get(Ok(list)) => {
+                assert!(!client.open_response(&ticket, &list).unwrap().is_empty());
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        assert!(p.enclave_restarts() >= 1);
+        assert_eq!(p.platform().crash_count(), killed as u64);
+        p.shutdown();
     }
 }

@@ -144,7 +144,9 @@ impl PProxDeployment {
     pub fn handle_post(&self, envelope: &ClientEnvelope) -> Result<(), PProxError> {
         debug_assert_eq!(envelope.op, Op::Post);
         let encryption = self.config.encryption;
-        let layer_env = self.pick_ua().call(|ua| ua.process(envelope, encryption))??;
+        let layer_env = self
+            .pick_ua()
+            .call(|ua| ua.process(envelope, encryption))??;
         let options = self.ia_options();
         let event = self
             .pick_ia()
@@ -171,7 +173,9 @@ impl PProxDeployment {
     pub fn handle_get(&self, envelope: &ClientEnvelope) -> Result<EncryptedList, PProxError> {
         debug_assert_eq!(envelope.op, Op::Get);
         let encryption = self.config.encryption;
-        let layer_env = self.pick_ua().call(|ua| ua.process(envelope, encryption))??;
+        let layer_env = self
+            .pick_ua()
+            .call(|ua| ua.process(envelope, encryption))??;
         let options = self.ia_options();
         let ia = self.pick_ia();
         let (query, token) = ia.call(|ia| ia.process_get(&layer_env, options))??;
@@ -183,8 +187,8 @@ impl PProxDeployment {
                 status: response.status,
             });
         }
-        let list = RecommendationList::from_json(&response.body)
-            .ok_or(PProxError::MalformedMessage)?;
+        let list =
+            RecommendationList::from_json(&response.body).ok_or(PProxError::MalformedMessage)?;
         let ids: Vec<String> = list.items.into_iter().map(|s| s.item).collect();
         ia.call(|ia| ia.process_get_response(token, &ids, options))?
     }
@@ -309,7 +313,8 @@ mod tests {
         }
         engine.train();
 
-        d.post_feedback(&mut client, "newbie", "alien", None).unwrap();
+        d.post_feedback(&mut client, "newbie", "alien", None)
+            .unwrap();
         let recs = d.get_recommendations(&mut client, "newbie").unwrap();
         assert!(recs.contains(&"dune".to_owned()), "{recs:?}");
         assert!(!recs.contains(&"amelie".to_owned()));

@@ -79,14 +79,12 @@ pub fn rotate_database(
         .iter()
         .map(|(user, item)| {
             Ok(match layer {
-                RotatedLayer::UserAnonymizer => (
-                    translate_pseudonym(old_key, new_key, user)?,
-                    item.clone(),
-                ),
-                RotatedLayer::ItemAnonymizer => (
-                    user.clone(),
-                    translate_pseudonym(old_key, new_key, item)?,
-                ),
+                RotatedLayer::UserAnonymizer => {
+                    (translate_pseudonym(old_key, new_key, user)?, item.clone())
+                }
+                RotatedLayer::ItemAnonymizer => {
+                    (user.clone(), translate_pseudonym(old_key, new_key, item)?)
+                }
             })
         })
         .collect()
@@ -157,7 +155,10 @@ mod tests {
 
     fn keys() -> (SymmetricKey, SymmetricKey) {
         let mut rng = SecureRng::from_seed(0x707);
-        (SymmetricKey::generate(&mut rng), SymmetricKey::generate(&mut rng))
+        (
+            SymmetricKey::generate(&mut rng),
+            SymmetricKey::generate(&mut rng),
+        )
     }
 
     fn pseudonym(key: &SymmetricKey, id: &str) -> String {
@@ -242,8 +243,7 @@ mod tests {
             (stored.clone(), "i2".to_owned()),
             (stored, "i3".to_owned()),
         ];
-        let rotated =
-            rotate_database(RotatedLayer::UserAnonymizer, &old, &new, &events).unwrap();
+        let rotated = rotate_database(RotatedLayer::UserAnonymizer, &old, &new, &events).unwrap();
         assert_eq!(rotated[0].0, rotated[1].0);
         assert_eq!(rotated[1].0, rotated[2].0);
     }

@@ -123,8 +123,7 @@ impl<T> ShuffleBuffer<T> {
     /// The absolute deadline (µs) by which the buffer must flush, if any
     /// items are held. The deployment schedules its timer from this.
     pub fn deadline_us(&self) -> Option<u64> {
-        self.oldest_at_us
-            .map(|t| t + self.config.timeout_us)
+        self.oldest_at_us.map(|t| t + self.config.timeout_us)
     }
 
     /// Checks the timer at `now_us`; flushes if the deadline passed.
@@ -186,13 +185,7 @@ mod tests {
     use super::*;
 
     fn buf(size: usize, timeout_us: u64) -> ShuffleBuffer<u32> {
-        ShuffleBuffer::new(
-            ShuffleConfig {
-                size,
-                timeout_us,
-            },
-            1234,
-        )
+        ShuffleBuffer::new(ShuffleConfig { size, timeout_us }, 1234)
     }
 
     #[test]

@@ -139,7 +139,10 @@ mod tests {
             };
             ua.process(&env, true).unwrap().user_pseudonym
         };
-        assert_ne!(make("alice", &mut rng, &mut ua), make("bob", &mut rng, &mut ua));
+        assert_ne!(
+            make("alice", &mut rng, &mut ua),
+            make("bob", &mut rng, &mut ua)
+        );
     }
 
     #[test]
@@ -177,10 +180,7 @@ mod tests {
             user: vec![0u8; 13],
             aux: vec![],
         };
-        assert!(matches!(
-            ua.process(&env, true),
-            Err(PProxError::Crypto(_))
-        ));
+        assert!(matches!(ua.process(&env, true), Err(PProxError::Crypto(_))));
     }
 
     #[test]

@@ -375,9 +375,7 @@ impl BigUint {
             let mut qhat = num / v_top;
             let mut rhat = num % v_top;
             // Correct q̂ down at most twice.
-            while qhat >= 1 << 64
-                || qhat * v_next > ((rhat << 64) | un[j + n - 2] as u128)
-            {
+            while qhat >= 1 << 64 || qhat * v_next > ((rhat << 64) | un[j + n - 2] as u128) {
                 qhat -= 1;
                 rhat += v_top;
                 if rhat >= 1 << 64 {
@@ -681,7 +679,13 @@ mod tests {
 
     #[test]
     fn hex_roundtrip() {
-        for s in ["0", "1", "ff", "deadbeef", "123456789abcdef0fedcba9876543210aa"] {
+        for s in [
+            "0",
+            "1",
+            "ff",
+            "deadbeef",
+            "123456789abcdef0fedcba9876543210aa",
+        ] {
             let v = BigUint::from_hex(s).unwrap();
             let expect = s.trim_start_matches('0');
             let expect = if expect.is_empty() { "0" } else { expect };

@@ -33,7 +33,11 @@ pub struct SymmetricKey {
 
 impl std::fmt::Debug for SymmetricKey {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "SymmetricKey(…{:02x}{:02x})", self.bytes[30], self.bytes[31])
+        write!(
+            f,
+            "SymmetricKey(…{:02x}{:02x})",
+            self.bytes[30], self.bytes[31]
+        )
     }
 }
 

@@ -25,7 +25,11 @@ use crate::CryptoError;
 ///
 /// Propagates RSA errors (cannot occur for supported key sizes: the
 /// wrapped key is 32 bytes).
-pub fn seal(pk: &RsaPublicKey, plaintext: &[u8], rng: &mut SecureRng) -> Result<Vec<u8>, CryptoError> {
+pub fn seal(
+    pk: &RsaPublicKey,
+    plaintext: &[u8],
+    rng: &mut SecureRng,
+) -> Result<Vec<u8>, CryptoError> {
     let key = SymmetricKey::generate(rng);
     let wrapped = pk.encrypt(key.as_bytes(), rng)?;
     debug_assert_eq!(wrapped.len(), pk.ciphertext_len());

@@ -92,7 +92,10 @@ mod tests {
             CryptoError::MessageTooLong { len: 10, max: 5 }.to_string(),
             "message of 10 bytes exceeds maximum of 5"
         );
-        assert_eq!(CryptoError::DecryptionFailed.to_string(), "decryption failed");
+        assert_eq!(
+            CryptoError::DecryptionFailed.to_string(),
+            "decryption failed"
+        );
     }
 
     #[test]

@@ -140,7 +140,17 @@ mod tests {
     #[test]
     fn small_composites_fail() {
         let mut rng = SecureRng::from_seed(2);
-        for c in [0u64, 1, 4, 9, 15, 100, 561 /* Carmichael */, 65_535, 1_000_000_008] {
+        for c in [
+            0u64,
+            1,
+            4,
+            9,
+            15,
+            100,
+            561, /* Carmichael */
+            65_535,
+            1_000_000_008,
+        ] {
             assert!(
                 !is_probable_prime(&BigUint::from_u64(c), 10, &mut rng),
                 "{c} should be composite"

@@ -141,7 +141,10 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..100).collect::<Vec<_>>());
-        assert_ne!(v, sorted, "a 100-element shuffle is virtually never identity");
+        assert_ne!(
+            v, sorted,
+            "a 100-element shuffle is virtually never identity"
+        );
     }
 
     #[test]

@@ -34,7 +34,10 @@ impl std::fmt::Debug for RsaPublicKey {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("RsaPublicKey")
             .field("bits", &self.n.bit_len())
-            .field("fingerprint", &crate::base64::encode(&self.fingerprint()[..6]))
+            .field(
+                "fingerprint",
+                &crate::base64::encode(&self.fingerprint()[..6]),
+            )
             .finish()
     }
 }
@@ -100,11 +103,7 @@ impl RsaKeyPair {
                 continue;
             };
             let modulus_len = bits / 8;
-            let public = RsaPublicKey {
-                n,
-                e,
-                modulus_len,
-            };
+            let public = RsaPublicKey { n, e, modulus_len };
             let private = RsaPrivateKey {
                 public: public.clone(),
                 p,

@@ -291,11 +291,16 @@ mod tests {
     fn nested_structures() {
         let v = parse(r#"{"a":{"b":{"c":[{"d":1}]}}}"#).unwrap();
         let d = v
-            .get("a").unwrap()
-            .get("b").unwrap()
-            .get("c").unwrap()
-            .as_array().unwrap()[0]
-            .get("d").unwrap()
+            .get("a")
+            .unwrap()
+            .get("b")
+            .unwrap()
+            .get("c")
+            .unwrap()
+            .as_array()
+            .unwrap()[0]
+            .get("d")
+            .unwrap()
             .as_f64();
         assert_eq!(d, Some(1.0));
     }
@@ -328,8 +333,22 @@ mod tests {
     #[test]
     fn rejects_malformed() {
         for bad in [
-            "", "{", "}", "[1,", "[1,]", "{\"a\"}", "{\"a\":}", "tru", "01", "1.",
-            "1e", "\"unterminated", "{\"a\":1,}", "[1 2]", "nul", "+1",
+            "",
+            "{",
+            "}",
+            "[1,",
+            "[1,]",
+            "{\"a\"}",
+            "{\"a\":}",
+            "tru",
+            "01",
+            "1.",
+            "1e",
+            "\"unterminated",
+            "{\"a\":1,}",
+            "[1 2]",
+            "nul",
+            "+1",
             "\"\x01\"",
         ] {
             assert!(parse(bad).is_err(), "should reject {bad:?}");

@@ -259,7 +259,10 @@ mod tests {
     #[test]
     fn replace_container_value() {
         let patched = replace_field(DOC, "item", "null").unwrap();
-        assert_eq!(patched, r#"{"user":"alice","item":null,"n":42,"flag":true}"#);
+        assert_eq!(
+            patched,
+            r#"{"user":"alice","item":null,"n":42,"flag":true}"#
+        );
     }
 
     #[test]

@@ -19,8 +19,7 @@ use std::fmt;
 /// assert_eq!(v.get("items").and_then(|i| i.as_array()).map(|a| a.len()), Some(2));
 /// # Ok::<(), pprox_json::ParseJsonError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq)]
-#[derive(Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub enum Value {
     /// `null`
     #[default]
@@ -36,7 +35,6 @@ pub enum Value {
     /// An object with deterministically ordered keys.
     Object(BTreeMap<String, Value>),
 }
-
 
 impl Value {
     /// Parses a JSON document. See [`crate::parser::parse`].

@@ -194,7 +194,10 @@ impl RecommendationQuery {
         if !self.exclude.is_empty() {
             v.insert(
                 "exclude",
-                self.exclude.iter().map(|e| Value::from(e.as_str())).collect(),
+                self.exclude
+                    .iter()
+                    .map(|e| Value::from(e.as_str()))
+                    .collect(),
             );
         }
         v.to_json()

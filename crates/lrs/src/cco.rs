@@ -141,7 +141,10 @@ impl CcoTrainer {
     ///
     /// Duplicate `(user, item)` pairs collapse to one (CCO works on the
     /// binary interaction matrix).
-    pub fn train<'a>(&self, interactions: impl IntoIterator<Item = (&'a str, &'a str)>) -> CcoModel {
+    pub fn train<'a>(
+        &self,
+        interactions: impl IntoIterator<Item = (&'a str, &'a str)>,
+    ) -> CcoModel {
         // 1. Gather per-user interaction sets (deduplicated, downsampled).
         let mut by_user: HashMap<&str, Vec<&str>> = HashMap::new();
         for (user, item) in interactions {
@@ -180,25 +183,23 @@ impl CcoTrainer {
             if llr < self.config.min_llr {
                 continue;
             }
-            indicators
-                .entry(a.to_owned())
-                .or_default()
-                .push(Indicator {
-                    item: b.to_owned(),
-                    llr,
-                });
-            indicators
-                .entry(b.to_owned())
-                .or_default()
-                .push(Indicator {
-                    item: a.to_owned(),
-                    llr,
-                });
+            indicators.entry(a.to_owned()).or_default().push(Indicator {
+                item: b.to_owned(),
+                llr,
+            });
+            indicators.entry(b.to_owned()).or_default().push(Indicator {
+                item: a.to_owned(),
+                llr,
+            });
         }
 
         // 4. Keep only the strongest indicators per item.
         for list in indicators.values_mut() {
-            list.sort_by(|x, y| y.llr.partial_cmp(&x.llr).unwrap_or(std::cmp::Ordering::Equal));
+            list.sort_by(|x, y| {
+                y.llr
+                    .partial_cmp(&x.llr)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
             list.truncate(self.config.max_indicators_per_item);
         }
 
@@ -265,8 +266,7 @@ mod tests {
     #[test]
     fn trainer_finds_strong_association() {
         let data = strong_pair_dataset();
-        let model = CcoTrainer::default()
-            .train(data.iter().map(|(u, i)| (u.as_str(), i.as_str())));
+        let model = CcoTrainer::default().train(data.iter().map(|(u, i)| (u.as_str(), i.as_str())));
         let inds = model.indicators("a");
         assert_eq!(inds.len(), 1);
         assert_eq!(inds[0].item, "b");
@@ -278,8 +278,7 @@ mod tests {
     #[test]
     fn trainer_counts() {
         let data = strong_pair_dataset();
-        let model = CcoTrainer::default()
-            .train(data.iter().map(|(u, i)| (u.as_str(), i.as_str())));
+        let model = CcoTrainer::default().train(data.iter().map(|(u, i)| (u.as_str(), i.as_str())));
         assert_eq!(model.num_users, 40);
         assert_eq!(model.num_items, 22);
         assert_eq!(model.num_interactions, 60);
@@ -295,10 +294,8 @@ mod tests {
     #[test]
     fn min_llr_filters_weak_pairs() {
         // One co-click, consistent with independence (E[k11] ≈ 8·8/65 ≈ 1).
-        let mut data: Vec<(String, String)> = vec![
-            ("u0".into(), "a".into()),
-            ("u0".into(), "b".into()),
-        ];
+        let mut data: Vec<(String, String)> =
+            vec![("u0".into(), "a".into()), ("u0".into(), "b".into())];
         for u in 1..8 {
             data.push((format!("u{u}"), "a".into()));
             data.push((format!("x{u}"), "b".into()));

@@ -124,7 +124,12 @@ mod tests {
     #[test]
     fn table3_node_counts_and_rps() {
         // Table 3: b1=7 nodes/250 RPS … b4=16 nodes/1000 RPS.
-        let expect = [(1, 7, 250.0), (2, 10, 500.0), (3, 13, 750.0), (4, 16, 1000.0)];
+        let expect = [
+            (1, 7, 250.0),
+            (2, 10, 500.0),
+            (3, 13, 750.0),
+            (4, 16, 1000.0),
+        ];
         for (step, nodes, rps) in expect {
             let c = HarnessConfig::baseline(step);
             assert_eq!(c.node_count(), nodes);
@@ -143,7 +148,10 @@ mod tests {
     fn round_robin_balances() {
         let cluster = HarnessCluster::new(3);
         for _ in 0..9 {
-            cluster.handle(&HttpRequest::post(EVENTS_PATH, r#"{"user":"u","item":"i"}"#));
+            cluster.handle(&HttpRequest::post(
+                EVENTS_PATH,
+                r#"{"user":"u","item":"i"}"#,
+            ));
         }
         assert_eq!(cluster.served_per_frontend(), vec![3, 3, 3]);
     }
@@ -154,7 +162,9 @@ mod tests {
         for u in 0..5 {
             for item in ["x", "y"] {
                 let body = format!(r#"{{"user":"u{u}","item":"{item}"}}"#);
-                assert!(cluster.handle(&HttpRequest::post(EVENTS_PATH, body)).is_success());
+                assert!(cluster
+                    .handle(&HttpRequest::post(EVENTS_PATH, body))
+                    .is_success());
             }
         }
         for u in 0..10 {

@@ -49,12 +49,7 @@ impl Collection {
         if let Some(index) = self.indexes.get(field) {
             return index
                 .get(value)
-                .map(|positions| {
-                    positions
-                        .iter()
-                        .map(|&p| self.docs[p].clone())
-                        .collect()
-                })
+                .map(|positions| positions.iter().map(|&p| self.docs[p].clone()).collect())
                 .unwrap_or_default();
         }
         self.docs
@@ -142,10 +137,7 @@ mod tests {
     use super::*;
 
     fn doc(user: &str, item: &str) -> Value {
-        Value::object([
-            ("user", Value::from(user)),
-            ("item", Value::from(item)),
-        ])
+        Value::object([("user", Value::from(user)), ("item", Value::from(item))])
     }
 
     #[test]
@@ -165,7 +157,9 @@ mod tests {
         store.insert("c", doc("u1", "i3"));
         let found = store.find_eq("c", "user", "u1");
         assert_eq!(found.len(), 2);
-        assert!(found.iter().all(|(_, d)| d.get("user").unwrap().as_str() == Some("u1")));
+        assert!(found
+            .iter()
+            .all(|(_, d)| d.get("user").unwrap().as_str() == Some("u1")));
     }
 
     #[test]

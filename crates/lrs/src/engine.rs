@@ -111,10 +111,7 @@ impl Engine {
 
     /// Records feedback: user `user` interacted with item `item`.
     pub fn post(&self, user: &str, item: &str, payload: Option<f64>) {
-        let mut doc = Value::object([
-            ("user", Value::from(user)),
-            ("item", Value::from(item)),
-        ]);
+        let mut doc = Value::object([("user", Value::from(user)), ("item", Value::from(item))]);
         if let Some(p) = payload {
             doc.insert("payload", Value::from(p));
         }

@@ -108,10 +108,7 @@ mod tests {
             EVENTS_PATH,
             r#"{"user":"u9","item":"a"}"#,
         ));
-        let resp = fe.handle(&HttpRequest::post(
-            QUERIES_PATH,
-            r#"{"user":"u9","num":5}"#,
-        ));
+        let resp = fe.handle(&HttpRequest::post(QUERIES_PATH, r#"{"user":"u9","num":5}"#));
         assert!(resp.is_success());
         let list = RecommendationList::from_json(&resp.body).unwrap();
         assert_eq!(list.item_ids(), vec!["b"]);
@@ -132,7 +129,10 @@ mod tests {
     fn malformed_bodies_rejected() {
         let fe = seeded();
         assert_eq!(fe.handle(&HttpRequest::post(EVENTS_PATH, "{}")).status, 400);
-        assert_eq!(fe.handle(&HttpRequest::post(QUERIES_PATH, "nope")).status, 400);
+        assert_eq!(
+            fe.handle(&HttpRequest::post(QUERIES_PATH, "nope")).status,
+            400
+        );
     }
 
     #[test]
@@ -152,7 +152,10 @@ mod tests {
     fn served_counter_increments() {
         let fe = seeded();
         assert_eq!(fe.served(), 0);
-        fe.handle(&HttpRequest::post(EVENTS_PATH, r#"{"user":"u","item":"i"}"#));
+        fe.handle(&HttpRequest::post(
+            EVENTS_PATH,
+            r#"{"user":"u","item":"i"}"#,
+        ));
         fe.handle(&HttpRequest::post("/nope", ""));
         assert_eq!(fe.served(), 2);
     }

@@ -184,8 +184,7 @@ mod tests {
         let index = ScoringIndex::build(&clustered_model());
         let all = index.recommend(&["a1".to_owned()], 10);
         assert!(all.iter().any(|r| r.item == "a2"));
-        let filtered =
-            index.recommend_filtered(&["a1".to_owned()], 10, &["a2".to_owned()]);
+        let filtered = index.recommend_filtered(&["a1".to_owned()], 10, &["a2".to_owned()]);
         assert!(!filtered.iter().any(|r| r.item == "a2"));
         assert!(filtered.iter().any(|r| r.item == "a3"));
     }

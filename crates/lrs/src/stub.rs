@@ -89,7 +89,10 @@ mod tests {
     #[test]
     fn accepts_events() {
         let stub = StubLrs::new();
-        let resp = stub.handle(&HttpRequest::post(EVENTS_PATH, r#"{"user":"u","item":"i"}"#));
+        let resp = stub.handle(&HttpRequest::post(
+            EVENTS_PATH,
+            r#"{"user":"u","item":"i"}"#,
+        ));
         assert!(resp.is_success());
     }
 

@@ -86,6 +86,7 @@ pub struct Enclave<T: EnclaveApp> {
     measurement: Measurement,
     inner: Mutex<EnclaveInner<T>>,
     compromised: AtomicBool,
+    crashed: AtomicBool,
     ecalls: AtomicU64,
     platform: Weak<PlatformShared>,
 }
@@ -143,10 +144,18 @@ impl<T: EnclaveApp> Enclave<T> {
     /// # Errors
     ///
     /// [`EnclaveError::NotProvisioned`] before [`provision`](Self::provision)
-    /// succeeds.
+    /// succeeds; [`EnclaveError::Crashed`] after a fault-injected crash
+    /// (the state is dropped — a crashed enclave cannot be revived, only
+    /// replaced).
     pub fn call<R>(&self, f: impl FnOnce(&mut T) -> R) -> Result<R, EnclaveError> {
+        if self.crashed.load(Ordering::Acquire) {
+            return Err(EnclaveError::Crashed);
+        }
         self.ecalls.fetch_add(1, Ordering::Relaxed);
         let mut inner = self.inner.lock();
+        if self.crashed.load(Ordering::Acquire) {
+            return Err(EnclaveError::Crashed);
+        }
         match inner.state.as_mut() {
             Some(state) => Ok(f(state)),
             None => Err(EnclaveError::NotProvisioned),
@@ -163,6 +172,11 @@ impl<T: EnclaveApp> Enclave<T> {
     pub fn is_compromised(&self) -> bool {
         self.compromised.load(Ordering::Relaxed)
     }
+
+    /// Whether this enclave has crashed (see [`Platform::crash_enclave`]).
+    pub fn is_crashed(&self) -> bool {
+        self.crashed.load(Ordering::Acquire)
+    }
 }
 
 /// Object-safe view of an enclave used by the platform registry.
@@ -172,6 +186,8 @@ trait AnyEnclave: Send + Sync {
     fn leak(&self) -> Result<SecretBag, EnclaveError>;
     fn mark_compromised(&self, v: bool);
     fn compromised(&self) -> bool;
+    fn crash(&self);
+    fn has_crashed(&self) -> bool;
 }
 
 impl<T: EnclaveApp> AnyEnclave for Enclave<T> {
@@ -198,6 +214,16 @@ impl<T: EnclaveApp> AnyEnclave for Enclave<T> {
     fn compromised(&self) -> bool {
         self.compromised.load(Ordering::Relaxed)
     }
+
+    fn crash(&self) {
+        self.crashed.store(true, Ordering::Release);
+        // The EPC pages are torn down with the process: state is gone.
+        self.inner.lock().state = None;
+    }
+
+    fn has_crashed(&self) -> bool {
+        self.crashed.load(Ordering::Acquire)
+    }
 }
 
 struct PlatformShared {
@@ -206,6 +232,7 @@ struct PlatformShared {
     next_id: AtomicU64,
     breaches: AtomicU64,
     recoveries: AtomicU64,
+    crashes: AtomicU64,
 }
 
 /// Errors from the adversary's compromise API.
@@ -291,6 +318,7 @@ impl Platform {
                 next_id: AtomicU64::new(1),
                 breaches: AtomicU64::new(0),
                 recoveries: AtomicU64::new(0),
+                crashes: AtomicU64::new(0),
             }),
         }
     }
@@ -308,6 +336,7 @@ impl Platform {
             measurement: Measurement::of_code(code_identity),
             inner: Mutex::new(EnclaveInner { state: None }),
             compromised: AtomicBool::new(false),
+            crashed: AtomicBool::new(false),
             ecalls: AtomicU64::new(0),
             platform: Arc::downgrade(&self.shared),
         });
@@ -370,6 +399,46 @@ impl Platform {
             .iter()
             .find(|e| e.compromised())
             .map(|e| e.measurement())
+    }
+
+    /// Fault injection: crashes one enclave. Its state is dropped and
+    /// every subsequent ECALL fails with [`EnclaveError::Crashed`] — the
+    /// supervisor's job is to load and re-provision a replacement.
+    ///
+    /// # Errors
+    ///
+    /// [`CompromiseError::UnknownEnclave`] when `id` does not exist.
+    pub fn crash_enclave(&self, id: EnclaveId) -> Result<(), CompromiseError> {
+        let registry = self.shared.registry.lock();
+        let target = registry
+            .iter()
+            .find(|e| e.id() == id)
+            .ok_or(CompromiseError::UnknownEnclave)?;
+        if !target.has_crashed() {
+            target.crash();
+            self.shared.crashes.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    /// Fault injection: crashes every live enclave of a measurement group
+    /// (e.g. the whole IA layer). Returns how many enclaves were killed.
+    pub fn crash_layer(&self, measurement: Measurement) -> usize {
+        let registry = self.shared.registry.lock();
+        let mut n = 0;
+        for e in registry.iter() {
+            if e.measurement() == measurement && !e.has_crashed() {
+                e.crash();
+                n += 1;
+            }
+        }
+        self.shared.crashes.fetch_add(n as u64, Ordering::Relaxed);
+        n
+    }
+
+    /// Total number of injected enclave crashes so far.
+    pub fn crash_count(&self) -> u64 {
+        self.shared.crashes.load(Ordering::Relaxed)
     }
 
     /// Total number of successful breaches so far.
@@ -487,7 +556,13 @@ mod tests {
                 .attestation()
                 .verify(&quote, Measurement::of_code(code))
                 .unwrap();
-            e.provision(token, App { secret: b"s".to_vec() }).unwrap();
+            e.provision(
+                token,
+                App {
+                    secret: b"s".to_vec(),
+                },
+            )
+            .unwrap();
         }
         p.break_enclave(ua.id()).unwrap();
         // Breaking the *other layer* while UA is compromised is forbidden.
@@ -502,7 +577,13 @@ mod tests {
             .attestation()
             .verify(&quote, Measurement::of_code("ua"))
             .unwrap();
-        ua2.provision(token, App { secret: b"s2".to_vec() }).unwrap();
+        ua2.provision(
+            token,
+            App {
+                secret: b"s2".to_vec(),
+            },
+        )
+        .unwrap();
         assert!(p.break_enclave(ua2.id()).is_ok());
         // After detection/recovery the IA layer becomes breakable.
         assert_eq!(p.detect_and_recover(), 2);
@@ -537,6 +618,74 @@ mod tests {
         assert_eq!(bag.names().collect::<Vec<_>>(), vec!["a", "b"]);
         assert_eq!(bag.get("a"), Some([1u8].as_slice()));
         assert_eq!(bag.get("z"), None);
+    }
+
+    #[test]
+    fn crash_kills_enclave_and_drops_state() {
+        let (p, e) = setup();
+        provision(&p, &e, b"k");
+        assert_eq!(e.call(|a| a.secret.len()).unwrap(), 1);
+        p.crash_enclave(e.id()).unwrap();
+        assert!(e.is_crashed());
+        assert_eq!(e.call(|_| ()), Err(EnclaveError::Crashed));
+        // Secrets are gone with the process: nothing to leak.
+        assert_eq!(
+            p.break_enclave(e.id()),
+            Err(CompromiseError::NotProvisioned)
+        );
+        assert_eq!(p.crash_count(), 1);
+        // Crashing again is idempotent.
+        p.crash_enclave(e.id()).unwrap();
+        assert_eq!(p.crash_count(), 1);
+    }
+
+    #[test]
+    fn crash_layer_kills_measurement_group_only() {
+        let p = Platform::new(&mut SecureRng::from_seed(9));
+        let ua1 = p.load_enclave::<App>("ua");
+        let ua2 = p.load_enclave::<App>("ua");
+        let ia = p.load_enclave::<App>("ia");
+        for (e, code) in [(&ua1, "ua"), (&ua2, "ua"), (&ia, "ia")] {
+            let quote = e.quote(vec![]);
+            let token = p
+                .attestation()
+                .verify(&quote, Measurement::of_code(code))
+                .unwrap();
+            e.provision(
+                token,
+                App {
+                    secret: b"s".to_vec(),
+                },
+            )
+            .unwrap();
+        }
+        assert_eq!(p.crash_layer(Measurement::of_code("ua")), 2);
+        assert!(ua1.is_crashed() && ua2.is_crashed());
+        assert!(!ia.is_crashed());
+        assert!(ia.call(|_| ()).is_ok());
+        // A second sweep finds nothing left to kill.
+        assert_eq!(p.crash_layer(Measurement::of_code("ua")), 0);
+    }
+
+    #[test]
+    fn crash_unknown_enclave_fails() {
+        let (p, _e) = setup();
+        assert_eq!(
+            p.crash_enclave(EnclaveId(424242)),
+            Err(CompromiseError::UnknownEnclave)
+        );
+    }
+
+    #[test]
+    fn replacement_after_crash_works() {
+        let (p, e) = setup();
+        provision(&p, &e, b"k1");
+        p.crash_enclave(e.id()).unwrap();
+        // Supervisor path: load a fresh enclave of the same code identity
+        // and provision it; service resumes.
+        let fresh = p.load_enclave::<App>("app-v1");
+        provision(&p, &fresh, b"k2");
+        assert_eq!(fresh.call(|a| a.secret.to_vec()).unwrap(), b"k2");
     }
 
     #[test]

@@ -26,7 +26,10 @@ impl std::fmt::Display for EpcError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             EpcError::Full { needed, available } => {
-                write!(f, "EPC budget exceeded: need {needed} bytes, {available} available")
+                write!(
+                    f,
+                    "EPC budget exceeded: need {needed} bytes, {available} available"
+                )
             }
         }
     }
@@ -81,11 +84,7 @@ impl EpcStore {
     /// store is unchanged in that case.
     pub fn insert(&mut self, key: Vec<u8>, value: Vec<u8>) -> Result<(), EpcError> {
         let new_cost = Self::cost(&key, &value);
-        let old_cost = self
-            .map
-            .get(&key)
-            .map(|v| Self::cost(&key, v))
-            .unwrap_or(0);
+        let old_cost = self.map.get(&key).map(|v| Self::cost(&key, v)).unwrap_or(0);
         let projected = self.used - old_cost + new_cost;
         if projected > self.capacity {
             return Err(EpcError::Full {

@@ -65,6 +65,10 @@ pub enum EnclaveError {
     AlreadyProvisioned,
     /// Provisioning token was issued for a different enclave.
     TokenMismatch,
+    /// The enclave process died (simulated crash, e.g. an AEX the host
+    /// cannot resume, or an EPC fault). Its state is gone; callers must
+    /// load and provision a replacement enclave.
+    Crashed,
 }
 
 impl std::fmt::Display for EnclaveError {
@@ -75,6 +79,7 @@ impl std::fmt::Display for EnclaveError {
             EnclaveError::TokenMismatch => {
                 write!(f, "provisioning token does not match enclave")
             }
+            EnclaveError::Crashed => write!(f, "enclave crashed; state lost"),
         }
     }
 }
@@ -88,7 +93,10 @@ mod tests {
     #[test]
     fn display_impls() {
         assert_eq!(EnclaveId(3).to_string(), "enclave-3");
-        assert_eq!(EnclaveError::NotProvisioned.to_string(), "enclave not provisioned");
+        assert_eq!(
+            EnclaveError::NotProvisioned.to_string(),
+            "enclave not provisioned"
+        );
         assert_eq!(
             EnclaveError::TokenMismatch.to_string(),
             "provisioning token does not match enclave"

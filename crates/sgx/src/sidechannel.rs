@@ -152,7 +152,10 @@ mod tests {
             ..SideChannelModel::default()
         };
         assert!(weak.both_layers_breakable(f64::INFINITY));
-        assert!(!weak.both_layers_breakable(30.0), "frequent audits still save it");
+        assert!(
+            !weak.both_layers_breakable(30.0),
+            "frequent audits still save it"
+        );
     }
 
     #[test]

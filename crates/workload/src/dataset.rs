@@ -97,12 +97,7 @@ impl Dataset {
     /// A proportionally scaled-down trace (~1/64 of the paper's size) for
     /// tests and examples.
     pub fn small(seed: u64) -> Self {
-        Self::generate(
-            PAPER_USERS / 64,
-            PAPER_ITEMS / 64,
-            PAPER_RATINGS / 64,
-            seed,
-        )
+        Self::generate(PAPER_USERS / 64, PAPER_ITEMS / 64, PAPER_RATINGS / 64, seed)
     }
 
     /// Stable string id for a user index (`"u0042"` style).

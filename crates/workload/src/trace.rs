@@ -54,7 +54,9 @@ impl RequestTrace {
     /// Phase-1 trace: the first `n` feedback insertions of the dataset
     /// (`n = None` takes all).
     pub fn feedback_phase(dataset: &Dataset, n: Option<usize>) -> Self {
-        let take = n.unwrap_or(dataset.ratings.len()).min(dataset.ratings.len());
+        let take = n
+            .unwrap_or(dataset.ratings.len())
+            .min(dataset.ratings.len());
         let requests = dataset.ratings[..take]
             .iter()
             .map(|r| Request::Post {
@@ -116,7 +118,11 @@ mod tests {
         assert_eq!(t.len(), 300);
         assert_eq!(t.get_fraction(), 0.0);
         match &t.requests[0] {
-            Request::Post { user, item, payload } => {
+            Request::Post {
+                user,
+                item,
+                payload,
+            } => {
                 assert_eq!(user, &Dataset::user_id(d.ratings[0].user));
                 assert_eq!(item, &Dataset::item_id(d.ratings[0].item));
                 assert_eq!(*payload, Some(d.ratings[0].rating));
@@ -138,11 +144,8 @@ mod tests {
         let t = RequestTrace::query_phase(&d, 100, 1);
         assert_eq!(t.len(), 100);
         assert_eq!(t.get_fraction(), 1.0);
-        let known: std::collections::HashSet<String> = d
-            .ratings
-            .iter()
-            .map(|r| Dataset::user_id(r.user))
-            .collect();
+        let known: std::collections::HashSet<String> =
+            d.ratings.iter().map(|r| Dataset::user_id(r.user)).collect();
         for r in &t.requests {
             assert!(known.contains(r.user()));
         }

@@ -11,13 +11,14 @@
 //! deployment would return.
 
 use pprox::core::config::PProxConfig;
-use pprox::core::pipeline::{Completion, PProxPipeline};
+use pprox::core::pipeline::{Completion, CompletionReceiver, PProxPipeline};
+use pprox::core::resilience::ResilienceConfig;
 use pprox::core::shuffler::ShuffleConfig;
 use pprox::lrs::engine::Engine;
 use pprox::lrs::frontend::Frontend;
 use pprox::workload::dataset::Dataset;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dataset = Dataset::small(2026);
@@ -35,24 +36,44 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             size: 10,
             timeout_us: 50_000,
         },
+        resilience: ResilienceConfig {
+            // Batch injection keeps deep queues; the default 2 s
+            // interactive deadline would expire queued requests, so give
+            // each a budget sized for the whole load phase.
+            deadline: Duration::from_secs(60),
+            ..ResilienceConfig::default()
+        },
         ..PProxConfig::default()
     };
     let pipeline = PProxPipeline::new(config, frontend, 7, 4)?;
     let mut client = pipeline.client();
 
-    // Phase 1: inject feedback through the shuffled pipeline.
+    // Phase 1: inject feedback through the shuffled pipeline. The
+    // pipeline bounds its in-flight work (admission control rejects with
+    // `Overloaded` beyond `resilience.max_inflight`), so a bulk loader
+    // keeps a submission window below the bound and drains completions
+    // as it goes instead of firing everything at once.
     let t = Instant::now();
     let inject = 2_000.min(dataset.ratings.len());
-    let mut pending = Vec::with_capacity(inject);
+    let window = 512;
+    let mut pending: std::collections::VecDeque<CompletionReceiver> =
+        std::collections::VecDeque::with_capacity(window);
+    let mut ok = 0;
     for r in &dataset.ratings[..inject] {
+        if pending.len() >= window {
+            if let Some(rx) = pending.pop_front() {
+                if matches!(rx.recv()?, Completion::Post(Ok(()))) {
+                    ok += 1;
+                }
+            }
+        }
         let envelope = client.post(
             &Dataset::user_id(r.user),
             &Dataset::item_id(r.item),
             Some(r.rating),
         )?;
-        pending.push(pipeline.submit(envelope)?);
+        pending.push_back(pipeline.submit(envelope)?);
     }
-    let mut ok = 0;
     for rx in pending {
         if matches!(rx.recv()?, Completion::Post(Ok(()))) {
             ok += 1;

@@ -63,7 +63,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &events[0].0[..16.min(events[0].0.len())],
         &events[0].1[..16.min(events[0].1.len())]
     );
-    assert!(events.iter().all(|(u, i)| !u.starts_with("reader") && !i.contains("health")));
+    assert!(events
+        .iter()
+        .all(|(u, i)| !u.starts_with("reader") && !i.contains("health")));
 
     // The adversary breaks the UA enclave (side-channel attack, §2.3) and
     // reads the database: it recovers WHO uses the service…

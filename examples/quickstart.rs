@@ -30,12 +30,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 4. Insert feedback through the proxy. Two taste clusters:
     for user in 0..8 {
         pprox.post_feedback(&mut client, &format!("scifi-fan-{user}"), "alien", None)?;
-        pprox.post_feedback(&mut client, &format!("scifi-fan-{user}"), "blade-runner", None)?;
+        pprox.post_feedback(
+            &mut client,
+            &format!("scifi-fan-{user}"),
+            "blade-runner",
+            None,
+        )?;
         pprox.post_feedback(&mut client, &format!("scifi-fan-{user}"), "dune", None)?;
     }
     for user in 0..8 {
         pprox.post_feedback(&mut client, &format!("romcom-fan-{user}"), "amelie", None)?;
-        pprox.post_feedback(&mut client, &format!("romcom-fan-{user}"), "notting-hill", None)?;
+        pprox.post_feedback(
+            &mut client,
+            &format!("romcom-fan-{user}"),
+            "notting-hill",
+            None,
+        )?;
     }
 
     // 5. The provider's database never saw a plaintext identifier:

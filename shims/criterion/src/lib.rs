@@ -1,0 +1,326 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the harness API the workspace benches use — `Criterion`,
+//! `benchmark_group`, `bench_function` / `bench_with_input`,
+//! `Bencher::iter`, `Throughput`, `BenchmarkId`, and the
+//! `criterion_group!` / `criterion_main!` macros — backed by a simple
+//! wall-clock timer instead of criterion's statistical machinery.
+//!
+//! Each benchmark is calibrated (iteration count chosen so a sample takes
+//! roughly [`TARGET_SAMPLE`]), then timed for `sample_size` samples; the
+//! median per-iteration time is printed. No plots, no baselines, no
+//! outlier analysis — enough to compare orders of magnitude offline and,
+//! more importantly, to keep `cargo bench`-style targets compiling and
+//! runnable without crates.io access.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Time budget per measured sample (before multiplying by sample count).
+const TARGET_SAMPLE: Duration = Duration::from_millis(5);
+
+/// Top-level harness handle, passed to each `criterion_group!` target.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n{name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 50,
+            throughput: None,
+        }
+    }
+}
+
+/// Units of work per iteration, for derived rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iteration processes this many logical elements.
+    Elements(u64),
+    /// Iteration processes this many bytes.
+    Bytes(u64),
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only form, for groups benching one function at many sizes.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Anything accepted as a benchmark label (`&str`, `String`, `BenchmarkId`).
+pub trait IntoBenchmarkId {
+    /// The printable label.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// A group of benchmarks sharing sample-count and throughput settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples to collect per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(2);
+        self
+    }
+
+    /// Declares per-iteration work for rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.into_benchmark_id();
+        let mut bencher = Bencher::calibrated(self.sample_size);
+        f(&mut bencher);
+        self.report(&label, &bencher);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = id.into_benchmark_id();
+        let mut bencher = Bencher::calibrated(self.sample_size);
+        f(&mut bencher, input);
+        self.report(&label, &bencher);
+        self
+    }
+
+    /// Ends the group (no-op beyond symmetry with criterion).
+    pub fn finish(&mut self) {}
+
+    fn report(&self, label: &str, bencher: &Bencher) {
+        let median = bencher.median_per_iter();
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if median > 0.0 => {
+                format!("  {:>12.0} elem/s", n as f64 / (median * 1e-9))
+            }
+            Some(Throughput::Bytes(n)) if median > 0.0 => {
+                format!("  {:>12.0} B/s", n as f64 / (median * 1e-9))
+            }
+            _ => String::new(),
+        };
+        println!(
+            "  {:<40} {:>14} / iter{rate}",
+            format!("{}/{}", self.name, label),
+            format_ns(median),
+        );
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Runs the closure under timing; handed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    fn calibrated(sample_size: usize) -> Self {
+        Bencher {
+            sample_size,
+            samples_ns: Vec::new(),
+        }
+    }
+
+    /// Times `routine`: calibrates an iteration count targeting
+    /// [`TARGET_SAMPLE`] per sample, then records `sample_size` samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibration: grow the iteration count until a sample is long
+        // enough to time reliably.
+        let mut iters_per_sample: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= TARGET_SAMPLE || iters_per_sample >= 1 << 20 {
+                break;
+            }
+            // At least double; jump straight to the target when the
+            // elapsed time gives a usable estimate.
+            let scaled = if elapsed.as_nanos() > 1000 {
+                (TARGET_SAMPLE.as_nanos() / elapsed.as_nanos().max(1)) as u64 * iters_per_sample
+            } else {
+                0
+            };
+            iters_per_sample = scaled.clamp(iters_per_sample * 2, iters_per_sample * 64);
+        }
+
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            let per_iter = start.elapsed().as_nanos() as f64 / iters_per_sample as f64;
+            self.samples_ns.push(per_iter);
+        }
+    }
+
+    fn median_per_iter(&self) -> f64 {
+        if self.samples_ns.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.samples_ns.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        sorted[sorted.len() / 2]
+    }
+}
+
+/// Declares a benchmark group: a function running each target.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_produces_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("selftest");
+        group.sample_size(3);
+        let mut ran = 0u64;
+        group.bench_function("spin", |b| {
+            b.iter(|| {
+                ran += 1;
+                std::hint::black_box(ran)
+            })
+        });
+        group.finish();
+        assert!(ran > 3, "routine should run during calibration + samples");
+    }
+
+    #[test]
+    fn bench_with_input_and_ids() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("selftest2");
+        group.sample_size(2).throughput(Throughput::Elements(10));
+        group.bench_with_input(BenchmarkId::new("sum", 8), &8u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(4), &4u64, |b, &n| {
+            b.iter(|| (0..n).product::<u64>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("f", 32).to_string(), "f/32");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+
+    #[test]
+    fn format_ns_scales() {
+        assert_eq!(format_ns(12.0), "12.0 ns");
+        assert_eq!(format_ns(1500.0), "1.500 µs");
+        assert_eq!(format_ns(2_500_000.0), "2.500 ms");
+        assert_eq!(format_ns(3_000_000_000.0), "3.000 s");
+    }
+}

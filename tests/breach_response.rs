@@ -23,8 +23,10 @@ fn seeded_world() -> (PProxDeployment, Engine) {
     let mut client = d.client();
     // Two clusters for meaningful recommendations.
     for u in 0..6 {
-        d.post_feedback(&mut client, &format!("sci-{u}"), "alien", None).unwrap();
-        d.post_feedback(&mut client, &format!("sci-{u}"), "dune", None).unwrap();
+        d.post_feedback(&mut client, &format!("sci-{u}"), "alien", None)
+            .unwrap();
+        d.post_feedback(&mut client, &format!("sci-{u}"), "dune", None)
+            .unwrap();
     }
     for u in 0..6 {
         d.post_feedback(&mut client, &format!("bg-{u}"), &format!("solo-{u}"), None)
@@ -32,7 +34,8 @@ fn seeded_world() -> (PProxDeployment, Engine) {
     }
     // A probe user with *partial* history, so recommendations are
     // non-empty (history items are excluded from results).
-    d.post_feedback(&mut client, "probe", "alien", None).unwrap();
+    d.post_feedback(&mut client, "probe", "alien", None)
+        .unwrap();
     (d, engine)
 }
 

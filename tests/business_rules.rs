@@ -20,7 +20,8 @@ fn world() -> (PProxDeployment, Engine) {
     // One cluster with three strongly associated items, plus contrast.
     for u in 0..8 {
         for item in ["a1", "a2", "a3"] {
-            d.post_feedback(&mut client, &format!("u{u}"), item, None).unwrap();
+            d.post_feedback(&mut client, &format!("u{u}"), item, None)
+                .unwrap();
         }
     }
     for u in 0..8 {
@@ -79,7 +80,9 @@ fn oversized_rules_rejected_cleanly() {
     let (d, _engine) = world();
     let mut client = d.client();
     // Enough long ids to overflow the fixed rules block.
-    let long_ids: Vec<String> = (0..20).map(|i| format!("very-long-item-id-{i:04}")).collect();
+    let long_ids: Vec<String> = (0..20)
+        .map(|i| format!("very-long-item-id-{i:04}"))
+        .collect();
     let refs: Vec<&str> = long_ids.iter().map(String::as_str).collect();
     let err = client.get_with_rules("probe", &refs).unwrap_err();
     assert!(matches!(err, pprox::core::PProxError::Pad(_)), "{err:?}");

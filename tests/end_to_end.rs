@@ -41,7 +41,11 @@ fn two_phase_workload_through_shuffled_pipeline() {
     let mut pending = Vec::new();
     for r in &dataset.ratings {
         let env = client
-            .post(&Dataset::user_id(r.user), &Dataset::item_id(r.item), Some(r.rating))
+            .post(
+                &Dataset::user_id(r.user),
+                &Dataset::item_id(r.item),
+                Some(r.rating),
+            )
             .unwrap();
         pending.push(p.submit(env).unwrap());
     }

@@ -39,7 +39,11 @@ fn run_with_pseudonyms(mut pseudonymize: impl FnMut(&str) -> String) -> bool {
     }
     for u in 0..8 {
         let user = format!("bg-{u}");
-        engine.post(&pseudonymize(&user), &pseudonymize(&format!("solo-{u}")), None);
+        engine.post(
+            &pseudonymize(&user),
+            &pseudonymize(&format!("solo-{u}")),
+            None,
+        );
     }
     let probe = pseudonymize("probe");
     engine.post(&probe, &pseudonymize("a1"), None);

@@ -113,8 +113,10 @@ fn get_responses_opaque_to_ua_layer() {
     let d = PProxDeployment::new(PProxConfig::for_tests(), fe, 6).unwrap();
     let mut client = d.client();
     for u in 0..6 {
-        d.post_feedback(&mut client, &format!("u{u}"), "aa", None).unwrap();
-        d.post_feedback(&mut client, &format!("u{u}"), "bb", None).unwrap();
+        d.post_feedback(&mut client, &format!("u{u}"), "aa", None)
+            .unwrap();
+        d.post_feedback(&mut client, &format!("u{u}"), "bb", None)
+            .unwrap();
     }
     for u in 0..6 {
         d.post_feedback(&mut client, &format!("x{u}"), &format!("solo{u}"), None)
@@ -126,7 +128,10 @@ fn get_responses_opaque_to_ua_layer() {
     let encrypted = d.handle_get(&envelope).unwrap();
     // What the UA (and any observer of the response path) sees:
     let blob = String::from_utf8_lossy(&encrypted.0);
-    assert!(!blob.contains("aa") || !blob.contains("bb"), "unexpected plaintext");
+    assert!(
+        !blob.contains("aa") || !blob.contains("bb"),
+        "unexpected plaintext"
+    );
     // The rightful client can open it.
     let items = client.open_response(&ticket, &encrypted).unwrap();
     assert!(items.contains(&"bb".to_owned()) || items.contains(&"aa".to_owned()));

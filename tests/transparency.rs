@@ -53,8 +53,7 @@ fn recommendations_identical_with_and_without_pprox() {
     for user in users {
         let user_id = Dataset::user_id(user);
         let direct_list = direct.get(&user_id, 20);
-        let direct_items: Vec<String> =
-            direct_list.items.iter().map(|s| s.item.clone()).collect();
+        let direct_items: Vec<String> = direct_list.items.iter().map(|s| s.item.clone()).collect();
         let scores: std::collections::HashMap<&str, f64> = direct_list
             .items
             .iter()
