@@ -1,0 +1,347 @@
+//! Crypto hot-path throughput baseline: `results/BENCH_throughput.json`.
+//!
+//! Measures the three stages the Montgomery/keystream overhaul targets and
+//! records, next to each optimized number, the retained-reference baseline
+//! so regressions (and the acceptance bar: rsa_decrypt ≥ 3× the naive
+//! `mod_pow` path) are checkable from the JSON alone:
+//!
+//! * `rsa_decrypt` — full RSA-OAEP decryption (CRT over two cached
+//!   Montgomery contexts) vs. [`RsaPrivateKey::raw_decrypt_naive`]
+//!   (binary square-and-multiply, same CRT split). The baseline does
+//!   strictly *less* work than a full naive decrypt (no OAEP decode), so
+//!   the reported speedup is a conservative lower bound.
+//! * `det_enc` — deterministic CTR over 64-byte item blocks with the
+//!   cached key schedule + keystream prefix vs.
+//!   [`SymmetricKey::det_encrypt_fresh`] (rebuilds cipher state per call).
+//! * `e2e` — closed-loop posts through the live [`PProxPipeline`]
+//!   (real crypto, simulated enclaves, stub LRS).
+//!
+//! Usage:
+//!
+//! ```text
+//! throughput [--requests N] [--rsa-ops N] [--det-ops N]
+//!            [--modulus-bits B] [--out PATH]
+//! throughput --validate PATH   # schema-check an emitted JSON file
+//! ```
+
+use pprox_core::config::PProxConfig;
+use pprox_core::pipeline::{Completion, PProxPipeline};
+use pprox_core::shuffler::ShuffleConfig;
+use pprox_crypto::ctr::SymmetricKey;
+use pprox_crypto::rng::SecureRng;
+use pprox_crypto::rsa::RsaKeyPair;
+use pprox_json::Value;
+use pprox_lrs::stub::StubLrs;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Item payload width on the wire (mirrors `pprox_core::message`).
+const ITEM_BLOCK_LEN: usize = 64;
+
+/// Requests in flight at once during the e2e stage.
+const E2E_WINDOW: usize = 32;
+
+#[derive(Debug)]
+struct Args {
+    requests: usize,
+    rsa_ops: usize,
+    det_ops: usize,
+    modulus_bits: usize,
+    out: String,
+    validate: Option<String>,
+}
+
+impl Args {
+    fn parse() -> Args {
+        let mut args = Args {
+            requests: 256,
+            rsa_ops: 64,
+            det_ops: 20_000,
+            modulus_bits: 2048,
+            out: "results/BENCH_throughput.json".to_string(),
+            validate: None,
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| {
+                it.next()
+                    .unwrap_or_else(|| panic!("missing value for {name}"))
+            };
+            match flag.as_str() {
+                "--requests" => args.requests = value("--requests").parse().unwrap(),
+                "--rsa-ops" => args.rsa_ops = value("--rsa-ops").parse().unwrap(),
+                "--det-ops" => args.det_ops = value("--det-ops").parse().unwrap(),
+                "--modulus-bits" => args.modulus_bits = value("--modulus-bits").parse().unwrap(),
+                "--out" => args.out = value("--out"),
+                "--validate" => args.validate = Some(value("--validate")),
+                other => panic!("unknown flag {other}"),
+            }
+        }
+        args
+    }
+}
+
+/// One measured stage: optimized-path latencies plus an optional
+/// reference-path ops/s for the speedup column.
+struct Stage {
+    ops_per_sec: f64,
+    p50_us: f64,
+    p99_us: f64,
+    baseline: Option<(&'static str, f64)>,
+}
+
+impl Stage {
+    /// Builds a stage from per-op latencies (µs) and total wall time (s).
+    fn from_samples(mut samples_us: Vec<f64>, wall_secs: f64) -> Stage {
+        assert!(!samples_us.is_empty());
+        samples_us.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        Stage {
+            ops_per_sec: samples_us.len() as f64 / wall_secs,
+            p50_us: percentile(&samples_us, 50.0),
+            p99_us: percentile(&samples_us, 99.0),
+            baseline: None,
+        }
+    }
+
+    fn to_value(&self) -> Value {
+        let mut v = Value::object([
+            ("ops_per_sec", Value::from(round3(self.ops_per_sec))),
+            ("p50_us", Value::from(round3(self.p50_us))),
+            ("p99_us", Value::from(round3(self.p99_us))),
+        ]);
+        if let Some((name, baseline_ops)) = self.baseline {
+            v.insert(name, Value::from(round3(baseline_ops)));
+            v.insert(
+                "speedup_vs_baseline",
+                Value::from(round3(self.ops_per_sec / baseline_ops)),
+            );
+        }
+        v
+    }
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn round3(v: f64) -> f64 {
+    (v * 1000.0).round() / 1000.0
+}
+
+/// Times `op` once per iteration, returning per-op µs and total seconds.
+fn time_ops(n: usize, mut op: impl FnMut(usize)) -> (Vec<f64>, f64) {
+    let mut samples = Vec::with_capacity(n);
+    let wall = Instant::now();
+    for i in 0..n {
+        let t = Instant::now();
+        op(i);
+        samples.push(t.elapsed().as_secs_f64() * 1e6);
+    }
+    (samples, wall.elapsed().as_secs_f64())
+}
+
+fn bench_rsa_decrypt(ops: usize, modulus_bits: usize, rng: &mut SecureRng) -> Stage {
+    let pair = RsaKeyPair::generate(modulus_bits, rng);
+    let ciphertexts: Vec<Vec<u8>> = (0..ops)
+        .map(|i| {
+            let msg = format!("item-{i:05}");
+            pair.public.encrypt(msg.as_bytes(), rng).unwrap()
+        })
+        .collect();
+    let raw: Vec<_> = ciphertexts
+        .iter()
+        .map(|c| pprox_crypto::bigint::BigUint::from_bytes_be(c))
+        .collect();
+
+    // Interleave the optimized and reference paths so CPU-frequency
+    // drift and scheduler noise hit both alike; the naive path is slow
+    // enough that it runs on a quarter of the iterations.
+    let mut samples = Vec::with_capacity(ops);
+    let mut naive_samples = Vec::with_capacity(ops / 4 + 1);
+    let wall = Instant::now();
+    for (i, (ct, c)) in ciphertexts.iter().zip(&raw).enumerate() {
+        let t = Instant::now();
+        std::hint::black_box(pair.private.decrypt(ct).unwrap());
+        samples.push(t.elapsed().as_secs_f64() * 1e6);
+        if i % 4 == 0 {
+            let t = Instant::now();
+            std::hint::black_box(pair.private.raw_decrypt_naive(c));
+            naive_samples.push(t.elapsed().as_secs_f64() * 1e6);
+        }
+    }
+    let _ = wall;
+    naive_samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let naive_p50 = percentile(&naive_samples, 50.0);
+
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let p50 = percentile(&samples, 50.0);
+    Stage {
+        // Single-threaded sequential stage: the median latency is the
+        // noise-robust throughput estimator (wall-clock would fold the
+        // interleaved baseline runs into the optimized number).
+        ops_per_sec: 1e6 / p50,
+        p50_us: p50,
+        p99_us: percentile(&samples, 99.0),
+        baseline: Some(("naive_baseline_ops_per_sec", 1e6 / naive_p50)),
+    }
+}
+
+fn bench_det_enc(ops: usize, rng: &mut SecureRng) -> Stage {
+    let key = SymmetricKey::generate(rng);
+    key.warm();
+    let block = vec![0x5au8; ITEM_BLOCK_LEN];
+
+    let (samples, wall) = time_ops(ops, |_| {
+        std::hint::black_box(key.det_encrypt(&block));
+    });
+    let mut stage = Stage::from_samples(samples, wall);
+
+    // Reference path: rebuild the AES key schedule on every call.
+    let fresh_ops = ops.clamp(1, 2_000);
+    let wall = Instant::now();
+    for _ in 0..fresh_ops {
+        std::hint::black_box(key.det_encrypt_fresh(&block));
+    }
+    let fresh_ops_per_sec = fresh_ops as f64 / wall.elapsed().as_secs_f64();
+    stage.baseline = Some(("fresh_baseline_ops_per_sec", fresh_ops_per_sec));
+    stage
+}
+
+fn bench_e2e(requests: usize, modulus_bits: usize) -> Stage {
+    let config = PProxConfig {
+        ua_instances: 2,
+        ia_instances: 2,
+        shuffle: ShuffleConfig {
+            size: 8,
+            timeout_us: 20_000,
+        },
+        modulus_bits,
+        ..PProxConfig::default()
+    };
+    let pipeline = PProxPipeline::new(config, Arc::new(StubLrs::new()), 1, 4).unwrap();
+    let mut client = pipeline.client();
+
+    let mut samples = Vec::with_capacity(requests);
+    let mut in_flight = Vec::with_capacity(E2E_WINDOW);
+    let wall = Instant::now();
+    let mut submitted = 0usize;
+    while submitted < requests || !in_flight.is_empty() {
+        while submitted < requests && in_flight.len() < E2E_WINDOW {
+            let env = client
+                .post(&format!("u{:03}", submitted % 64), "m00001", None)
+                .unwrap();
+            let start = Instant::now();
+            in_flight.push((start, pipeline.submit(env).unwrap()));
+            submitted += 1;
+        }
+        let (start, rx) = in_flight.remove(0);
+        match rx.recv().unwrap() {
+            Completion::Post(Ok(())) => {
+                samples.push(start.elapsed().as_secs_f64() * 1e6);
+            }
+            other => panic!("unexpected completion: {other:?}"),
+        }
+    }
+    let wall_secs = wall.elapsed().as_secs_f64();
+    pipeline.shutdown();
+    Stage::from_samples(samples, wall_secs)
+}
+
+/// Schema check for an emitted report; panics with a description of the
+/// first violation so `bench.sh` can gate CI on the exit status.
+fn validate(path: &str) {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+    let root = Value::parse(&text).unwrap_or_else(|e| panic!("{path}: invalid JSON: {e:?}"));
+    assert_eq!(
+        root.get("benchmark").and_then(Value::as_str),
+        Some("throughput"),
+        "{path}: missing benchmark tag"
+    );
+    let stages = root
+        .get("stages")
+        .unwrap_or_else(|| panic!("{path}: missing stages object"));
+    for (stage, baseline) in [
+        ("rsa_decrypt", Some("naive_baseline_ops_per_sec")),
+        ("det_enc", Some("fresh_baseline_ops_per_sec")),
+        ("e2e", None),
+    ] {
+        let s = stages
+            .get(stage)
+            .unwrap_or_else(|| panic!("{path}: missing stage {stage}"));
+        for field in ["ops_per_sec", "p50_us", "p99_us"] {
+            let v = s
+                .get(field)
+                .and_then(Value::as_f64)
+                .unwrap_or_else(|| panic!("{path}: {stage}.{field} missing or not a number"));
+            assert!(
+                v.is_finite() && v > 0.0,
+                "{path}: {stage}.{field} must be a positive number, got {v}"
+            );
+        }
+        if let Some(field) = baseline {
+            assert!(
+                s.get(field).and_then(Value::as_f64).is_some(),
+                "{path}: {stage}.{field} missing"
+            );
+            assert!(
+                s.get("speedup_vs_baseline")
+                    .and_then(Value::as_f64)
+                    .is_some(),
+                "{path}: {stage}.speedup_vs_baseline missing"
+            );
+        }
+    }
+    println!("{path}: schema OK");
+}
+
+fn main() {
+    let args = Args::parse();
+    if let Some(path) = &args.validate {
+        validate(path);
+        return;
+    }
+
+    let mut rng = SecureRng::from_seed(0x7470_7574); // "tput"
+
+    eprintln!(
+        "rsa_decrypt: {} ops at {} bits...",
+        args.rsa_ops, args.modulus_bits
+    );
+    let rsa = bench_rsa_decrypt(args.rsa_ops, args.modulus_bits, &mut rng);
+    eprintln!("det_enc: {} ops...", args.det_ops);
+    let det = bench_det_enc(args.det_ops, &mut rng);
+    eprintln!("e2e: {} posts through the live pipeline...", args.requests);
+    let e2e = bench_e2e(args.requests, args.modulus_bits.min(1152));
+
+    let report = Value::object([
+        ("benchmark", Value::from("throughput")),
+        (
+            "config",
+            Value::object([
+                ("rsa_ops", Value::from(args.rsa_ops as u64)),
+                ("det_ops", Value::from(args.det_ops as u64)),
+                ("requests", Value::from(args.requests as u64)),
+                ("modulus_bits", Value::from(args.modulus_bits as u64)),
+                (
+                    "e2e_modulus_bits",
+                    Value::from(args.modulus_bits.min(1152) as u64),
+                ),
+                ("e2e_window", Value::from(E2E_WINDOW as u64)),
+            ]),
+        ),
+        (
+            "stages",
+            Value::object([
+                ("rsa_decrypt", rsa.to_value()),
+                ("det_enc", det.to_value()),
+                ("e2e", e2e.to_value()),
+            ]),
+        ),
+    ]);
+
+    let json = report.to_json();
+    std::fs::write(&args.out, &json).unwrap_or_else(|e| panic!("write {}: {e}", args.out));
+    println!("{json}");
+    eprintln!("wrote {}", args.out);
+}

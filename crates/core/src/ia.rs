@@ -80,7 +80,11 @@ impl IaState {
     }
 
     /// Creates the state with an explicit EPC budget for pending keys.
+    ///
+    /// Warms the cached cipher state of `kIA` so the first item
+    /// pseudonymization is served at steady-state cost.
     pub fn with_epc_budget(secrets: LayerSecrets, epc_bytes: usize) -> Self {
+        secrets.warm();
         let rng = SecureRng::from_entropy();
         IaState {
             secrets,
@@ -115,8 +119,11 @@ impl IaState {
 
     /// Pseudonymizes an item id: `base64(det_enc(pad(item), kIA))`.
     fn pseudonymize_item(&self, item: &str) -> Result<String, PProxError> {
-        let padded = pad::pad(item.as_bytes(), ID_PLAINTEXT_LEN)?;
-        Ok(base64::encode(&self.secrets.k.det_encrypt(&padded)))
+        // Padding already allocated the fixed-size frame; encrypt it in
+        // place against the cached keystream prefix.
+        let mut padded = pad::pad(item.as_bytes(), ID_PLAINTEXT_LEN)?;
+        self.secrets.k.det_apply(&mut padded);
+        Ok(base64::encode(&padded))
     }
 
     /// Inverts [`pseudonymize_item`](Self::pseudonymize_item).
@@ -132,7 +139,8 @@ impl IaState {
         if ct.len() != ID_PLAINTEXT_LEN {
             return Ok(pseudonym.to_owned());
         }
-        let padded = self.secrets.k.det_decrypt(&ct);
+        let mut padded = ct;
+        self.secrets.k.det_apply(&mut padded);
         let Ok(raw) = pad::unpad(&padded, ID_PLAINTEXT_LEN) else {
             return Ok(pseudonym.to_owned());
         };

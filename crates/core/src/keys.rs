@@ -53,6 +53,15 @@ impl LayerSecrets {
         )
     }
 
+    /// Builds the cipher state the hot path needs — the deterministic
+    /// keystream prefix of `k` — so a freshly provisioned enclave serves
+    /// its first request at steady-state cost. Layer states call this in
+    /// their constructors; the RSA Montgomery contexts are already cached
+    /// inside `sk` at key generation.
+    pub fn warm(&self) {
+        self.k.warm();
+    }
+
     /// Secrets as an adversary would extract them from a broken enclave.
     pub fn leak_into(&self, bag: &mut SecretBag, prefix: &str) {
         // The private exponent is not serialized; leaking the symmetric key

@@ -31,8 +31,11 @@ impl std::fmt::Debug for UaState {
 }
 
 impl UaState {
-    /// Creates the state from provisioned layer secrets.
+    /// Creates the state from provisioned layer secrets, warming the
+    /// cached cipher state so the first request is served at steady-state
+    /// cost.
     pub fn new(secrets: LayerSecrets) -> Self {
+        secrets.warm();
         UaState {
             secrets,
             processed: 0,
@@ -68,8 +71,11 @@ impl UaState {
         let user_pseudonym = if encryption {
             // The client encrypted the *padded* id, so the decrypted block
             // is already fixed-size; deterministic CTR keeps it fixed-size.
-            let padded_user = self.secrets.sk.decrypt(&envelope.user)?;
-            self.secrets.k.det_encrypt(&padded_user)
+            // Pseudonymizing in place against the cached keystream prefix
+            // avoids a second allocation per request.
+            let mut padded_user = self.secrets.sk.decrypt(&envelope.user)?;
+            self.secrets.k.det_apply(&mut padded_user);
+            padded_user
         } else {
             envelope.user.clone()
         };

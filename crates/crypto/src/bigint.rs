@@ -8,9 +8,13 @@
 //! implemented from scratch here.
 //!
 //! The representation is a little-endian vector of `u64` limbs with no
-//! trailing zero limbs (so zero is the empty vector). All operations are
-//! value-semantics and allocate; this is plenty fast for 2048-bit RSA
-//! (micro- to milli-second scale per operation).
+//! trailing zero limbs (so zero is the empty vector). Most operations are
+//! value-semantics and allocate; the exponentiation hot path goes through
+//! [`Montgomery`], which replaces the quotient-estimation division of
+//! [`BigUint::divrem`] with word-by-word Montgomery reduction (CIOS) and a
+//! fixed 4-bit window, precomputed once per modulus. The schoolbook
+//! square-and-multiply path is retained as [`BigUint::mod_pow_naive`] so
+//! differential tests can check the fast path bit-for-bit.
 
 use std::cmp::Ordering;
 use std::fmt;
@@ -426,12 +430,39 @@ impl BigUint {
         self.mul(other).rem(modulus)
     }
 
-    /// Modular exponentiation `self^exp mod modulus` (left-to-right binary).
+    /// Modular exponentiation `self^exp mod modulus`.
+    ///
+    /// Odd moduli (the only kind RSA ever produces: `n`, `p`, `q` are all
+    /// odd) take the Montgomery/fixed-window fast path; even moduli fall
+    /// back to [`mod_pow_naive`](Self::mod_pow_naive). Both paths return
+    /// identical values — see `crates/crypto/tests/differential.rs`.
     ///
     /// # Panics
     ///
     /// Panics if `modulus` is zero.
     pub fn mod_pow(&self, exp: &Self, modulus: &Self) -> Self {
+        assert!(!modulus.is_zero(), "modulus must be nonzero");
+        if modulus.is_one() {
+            return Self::zero();
+        }
+        match Montgomery::new(modulus) {
+            Some(ctx) => ctx.mod_pow(self, exp),
+            None => self.mod_pow_naive(exp, modulus),
+        }
+    }
+
+    /// Modular exponentiation by left-to-right binary square-and-multiply
+    /// with a full [`divrem`](Self::divrem) reduction per step.
+    ///
+    /// This is the pre-Montgomery implementation, retained on purpose: it
+    /// is the reference the differential test battery checks
+    /// [`mod_pow`](Self::mod_pow) against, the fallback for even moduli,
+    /// and the baseline the throughput harness reports speedups over.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modulus` is zero.
+    pub fn mod_pow_naive(&self, exp: &Self, modulus: &Self) -> Self {
         assert!(!modulus.is_zero(), "modulus must be nonzero");
         if modulus.is_one() {
             return Self::zero();
@@ -448,16 +479,88 @@ impl BigUint {
         result
     }
 
-    /// Greatest common divisor (binary-free Euclid via divrem).
+    /// Number of trailing zero bits (0 for the value zero).
+    pub fn trailing_zeros(&self) -> usize {
+        for (i, &l) in self.limbs.iter().enumerate() {
+            if l != 0 {
+                return i * 64 + l.trailing_zeros() as usize;
+            }
+        }
+        0
+    }
+
+    /// In-place right shift by `n` bits.
+    fn shr_assign(&mut self, n: usize) {
+        if n == 0 || self.is_zero() {
+            return;
+        }
+        let limb_shift = n / 64;
+        if limb_shift >= self.limbs.len() {
+            self.limbs.clear();
+            return;
+        }
+        if limb_shift > 0 {
+            self.limbs.drain(..limb_shift);
+        }
+        let bit_shift = n % 64;
+        if bit_shift > 0 {
+            let len = self.limbs.len();
+            for i in 0..len {
+                let hi = if i + 1 < len { self.limbs[i + 1] } else { 0 };
+                self.limbs[i] = (self.limbs[i] >> bit_shift) | (hi << (64 - bit_shift));
+            }
+        }
+        self.normalize();
+    }
+
+    /// In-place subtraction `self -= other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `other > self`.
+    fn sub_assign(&mut self, other: &Self) {
+        debug_assert!(*self >= *other, "BigUint::sub_assign would underflow");
+        let mut borrow = 0u64;
+        for i in 0..self.limbs.len() {
+            let b = other.limbs.get(i).copied().unwrap_or(0);
+            let (d1, b1) = self.limbs[i].overflowing_sub(b);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            self.limbs[i] = d2;
+            borrow = (b1 as u64) + (b2 as u64);
+        }
+        self.normalize();
+    }
+
+    /// Greatest common divisor (Stein's binary algorithm).
+    ///
+    /// Division-free: the loop body is an in-place subtract and an in-place
+    /// shift on two scratch values, so — unlike the former Euclid-by-divrem
+    /// version, which allocated a quotient and remainder per iteration — it
+    /// performs no per-iteration allocations. Key generation calls this for
+    /// every prime candidate, so the loop cost matters.
     pub fn gcd(&self, other: &Self) -> Self {
+        if self.is_zero() {
+            return other.clone();
+        }
+        if other.is_zero() {
+            return self.clone();
+        }
         let mut a = self.clone();
         let mut b = other.clone();
-        while !b.is_zero() {
-            let r = a.rem(&b);
-            a = b;
-            b = r;
+        let common = a.trailing_zeros().min(b.trailing_zeros());
+        a.shr_assign(a.trailing_zeros());
+        b.shr_assign(b.trailing_zeros());
+        // Invariant: a and b are odd, so a - b (after ordering) is even.
+        loop {
+            match a.cmp(&b) {
+                Ordering::Equal => break,
+                Ordering::Less => std::mem::swap(&mut a, &mut b),
+                Ordering::Greater => {}
+            }
+            a.sub_assign(&b);
+            a.shr_assign(a.trailing_zeros());
         }
-        a
+        a.shl(common)
     }
 
     /// Modular inverse `self^-1 mod modulus`, or `None` when
@@ -465,7 +568,9 @@ impl BigUint {
     ///
     /// Implemented with the extended Euclidean algorithm tracking only the
     /// coefficient of `self`, using (value, negative?) pairs to stay in
-    /// unsigned arithmetic.
+    /// unsigned arithmetic. The coefficient update consumes its operands so
+    /// same-sign subtractions reuse the larger magnitude's buffer instead
+    /// of allocating a fresh difference each step.
     pub fn mod_inverse(&self, modulus: &Self) -> Option<Self> {
         if modulus.is_zero() || modulus.is_one() {
             return None;
@@ -478,8 +583,8 @@ impl BigUint {
         while !r1.is_zero() {
             let (q, r2) = r0.divrem(&r1);
             // t2 = t0 - q * t1  (signed arithmetic on (|t|, neg) pairs)
-            let qt1 = q.mul(&t1.0);
-            let t2 = signed_sub(&t0, &(qt1, t1.1));
+            let qt1 = (q.mul(&t1.0), t1.1);
+            let t2 = signed_sub(t0, qt1);
             r0 = r1;
             r1 = r2;
             t0 = t1;
@@ -499,29 +604,242 @@ impl BigUint {
 }
 
 /// Signed subtraction on (magnitude, is_negative) pairs: `a - b`.
-fn signed_sub(a: &(BigUint, bool), b: &(BigUint, bool)) -> (BigUint, bool) {
+///
+/// Takes ownership so the same-sign branches can subtract in place into
+/// whichever magnitude is larger.
+fn signed_sub(a: (BigUint, bool), b: (BigUint, bool)) -> (BigUint, bool) {
     match (a.1, b.1) {
-        // a - b with both non-negative
-        (false, false) => {
+        // Same sign: |result| = |larger - smaller|; the sign follows `a`
+        // when `a` dominates and flips otherwise ((-a) - (-b) = b - a).
+        (false, false) | (true, true) => {
+            let flip = a.1;
             if a.0 >= b.0 {
-                (a.0.sub(&b.0), false)
+                let mut m = a.0;
+                m.sub_assign(&b.0);
+                (m, flip)
             } else {
-                (b.0.sub(&a.0), true)
+                let mut m = b.0;
+                m.sub_assign(&a.0);
+                (m, !flip)
             }
         }
         // a - (-b) = a + b
         (false, true) => (a.0.add(&b.0), false),
         // (-a) - b = -(a + b)
         (true, false) => (a.0.add(&b.0), true),
-        // (-a) - (-b) = b - a
-        (true, true) => {
-            if b.0 >= a.0 {
-                (b.0.sub(&a.0), false)
-            } else {
-                (a.0.sub(&b.0), true)
+    }
+}
+
+/// Number of exponent bits consumed per fixed-window step in
+/// [`Montgomery::mod_pow`].
+const WINDOW_BITS: usize = 4;
+
+/// Montgomery-form modular arithmetic over a fixed odd modulus.
+///
+/// For a `k`-limb odd modulus `n`, precomputes `n0inv = -n⁻¹ mod 2⁶⁴` and
+/// `rr = R² mod n` (with `R = 2^(64k)`), after which every modular
+/// multiplication is one interleaved multiply-and-reduce pass (the CIOS
+/// method) — pure multiply/accumulate word work with no quotient
+/// estimation. [`Montgomery::mod_pow`] layers fixed 4-bit-window
+/// exponentiation on top: 4 squarings plus at most one table multiply per
+/// window, against a 16-entry table of small powers.
+///
+/// RSA keys cache one context per modulus (`n` for public ops; `p` and `q`
+/// for CRT decryption), so the precomputation division is paid once per
+/// key instead of once per multiplication.
+///
+/// Not constant-time: the table index is exponent-dependent and limb loops
+/// are data-length-dependent, consistent with the rest of this crate (the
+/// reproduction's threat model is protocol-level linkability, not local
+/// micro-architectural side channels — see `crates/crypto/src/aes.rs`).
+#[derive(Clone, Debug)]
+pub struct Montgomery {
+    /// The odd modulus (exactly `k` limbs, top limb nonzero).
+    n: BigUint,
+    /// `-n⁻¹ mod 2⁶⁴`.
+    n0inv: u64,
+    /// `R² mod n`, padded to `k` limbs.
+    rr: Vec<u64>,
+    /// Limb count of the modulus.
+    k: usize,
+}
+
+impl Montgomery {
+    /// Builds a context for `modulus`, or `None` when the modulus is even
+    /// or zero (Montgomery reduction requires `gcd(n, 2⁶⁴) = 1`).
+    pub fn new(modulus: &BigUint) -> Option<Self> {
+        if modulus.is_zero() || modulus.is_even() {
+            return None;
+        }
+        let k = modulus.limbs.len();
+        // Newton iteration for n[0]⁻¹ mod 2⁶⁴: each step doubles the number
+        // of correct low bits; 6 steps cover 64 bits from a 5-bit seed.
+        let n0 = modulus.limbs[0];
+        let mut inv = n0; // correct mod 2⁵ for odd n0
+        for _ in 0..6 {
+            inv = inv.wrapping_mul(2u64.wrapping_sub(n0.wrapping_mul(inv)));
+        }
+        debug_assert_eq!(n0.wrapping_mul(inv), 1);
+        let mut rr = BigUint::one().shl(2 * 64 * k).rem(modulus).limbs;
+        rr.resize(k, 0);
+        Some(Montgomery {
+            n: modulus.clone(),
+            n0inv: inv.wrapping_neg(),
+            rr,
+            k,
+        })
+    }
+
+    /// The modulus this context reduces by.
+    pub fn modulus(&self) -> &BigUint {
+        &self.n
+    }
+
+    /// CIOS Montgomery multiplication: returns `a · b · R⁻¹ mod n` for
+    /// `k`-limb operands `< n`.
+    fn mont_mul(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
+        let mut t = Vec::with_capacity(self.k + 2);
+        self.mont_mul_into(a, b, &mut t);
+        t
+    }
+
+    /// Fused CIOS into a caller-owned scratch buffer (any prior
+    /// contents), so the `mod_pow` ladder runs allocation-free: ~1.3k
+    /// `mont_mul`s per exponentiation ping-pong between two reused
+    /// buffers. On return `t` holds exactly the `k` result limbs.
+    ///
+    /// Each outer step folds the multiplication (`t += aᵢ·b`) and the
+    /// reduction (`t = (t + m·n) / 2⁶⁴`) into one pass over `t`, carrying
+    /// the two chains separately — `aᵢ·bⱼ + m·nⱼ + tⱼ + carries` would
+    /// overflow `u128` if summed naively. One load and one (shifted)
+    /// store per limb instead of two of each; at CRT operand sizes the
+    /// loop is store-bound, so this is worth ~25%.
+    fn mont_mul_into(&self, a: &[u64], b: &[u64], t: &mut Vec<u64>) {
+        let k = self.k;
+        let n = &self.n.limbs[..k];
+        let b = &b[..k];
+        debug_assert_eq!(a.len(), k);
+        t.clear();
+        t.resize(k + 1, 0);
+        for &ai in a.iter() {
+            let ai = ai as u128;
+            // m makes the low limb of (t + ai·b + m·n) vanish.
+            let low = t[0].wrapping_add((ai as u64).wrapping_mul(b[0]));
+            let m = low.wrapping_mul(self.n0inv) as u128;
+            // j = 0 hoisted: its store is the discarded zero limb.
+            let cur = t[0] as u128 + ai * b[0] as u128;
+            let mut c1 = cur >> 64;
+            let cur2 = (cur as u64) as u128 + m * n[0] as u128;
+            debug_assert_eq!(cur2 as u64, 0);
+            let mut c2 = cur2 >> 64;
+            for j in 1..k {
+                let cur = t[j] as u128 + ai * b[j] as u128 + c1;
+                c1 = cur >> 64;
+                let cur2 = (cur as u64) as u128 + m * n[j] as u128 + c2;
+                c2 = cur2 >> 64;
+                t[j - 1] = cur2 as u64;
+            }
+            // Top limb: t[k] ∈ {0,1} (t < 2n invariant), both carries
+            // < 2⁶⁴, so the new top limb stays in {0,1}.
+            let cur = t[k] as u128 + c1 + c2;
+            t[k - 1] = cur as u64;
+            t[k] = (cur >> 64) as u64;
+        }
+        // Invariant: t < 2n, so at most one final subtraction is needed.
+        if t[k] != 0 || !limbs_lt(&t[..k], n) {
+            let mut borrow = 0u64;
+            for (tj, &nj) in t[..k].iter_mut().zip(n) {
+                let (d1, b1) = tj.overflowing_sub(nj);
+                let (d2, b2) = d1.overflowing_sub(borrow);
+                *tj = d2;
+                borrow = (b1 as u64) + (b2 as u64);
+            }
+            debug_assert_eq!(t[k], borrow);
+        }
+        t.truncate(k);
+    }
+
+    /// Converts `value` (must be `< n`) into Montgomery form.
+    fn to_mont(&self, value: &BigUint) -> Vec<u64> {
+        debug_assert!(*value < self.n);
+        let mut limbs = value.limbs.clone();
+        limbs.resize(self.k, 0);
+        self.mont_mul(&limbs, &self.rr)
+    }
+
+    /// Converts out of Montgomery form (multiply by 1, i.e. by `R⁻¹`).
+    fn mont_reduce(&self, value: &[u64]) -> BigUint {
+        let mut one = vec![0u64; self.k];
+        one[0] = 1;
+        let mut out = BigUint {
+            limbs: self.mont_mul(value, &one),
+        };
+        out.normalize();
+        out
+    }
+
+    /// Modular multiplication `a · b mod n` through the Montgomery domain.
+    pub fn mod_mul(&self, a: &BigUint, b: &BigUint) -> BigUint {
+        let am = self.to_mont(&a.rem(&self.n));
+        let bm = self.to_mont(&b.rem(&self.n));
+        self.mont_reduce(&self.mont_mul(&am, &bm))
+    }
+
+    /// Modular exponentiation `base^exp mod n` with a fixed
+    /// [`WINDOW_BITS`]-bit window.
+    pub fn mod_pow(&self, base: &BigUint, exp: &BigUint) -> BigUint {
+        if self.n.is_one() {
+            return BigUint::zero();
+        }
+        if exp.is_zero() {
+            return BigUint::one();
+        }
+        let bm = self.to_mont(&base.rem(&self.n));
+        // table[i] = baseⁱ in Montgomery form; table[0] = R mod n (= 1).
+        let mut table: Vec<Vec<u64>> = Vec::with_capacity(1 << WINDOW_BITS);
+        table.push(self.to_mont(&BigUint::one()));
+        table.push(bm);
+        for i in 2..(1 << WINDOW_BITS) {
+            table.push(self.mont_mul(&table[i - 1], &table[1]));
+        }
+        let windows = exp.bit_len().div_ceil(WINDOW_BITS);
+        let mut acc = table[window_of(exp, windows - 1)].clone();
+        let mut scratch = Vec::with_capacity(self.k + 2);
+        for w in (0..windows - 1).rev() {
+            for _ in 0..WINDOW_BITS {
+                self.mont_mul_into(&acc, &acc, &mut scratch);
+                std::mem::swap(&mut acc, &mut scratch);
+            }
+            let idx = window_of(exp, w);
+            if idx != 0 {
+                self.mont_mul_into(&acc, &table[idx], &mut scratch);
+                std::mem::swap(&mut acc, &mut scratch);
             }
         }
+        self.mont_reduce(&acc)
     }
+}
+
+/// Extracts the `w`-th [`WINDOW_BITS`]-bit window of `exp` (window 0 is the
+/// least significant).
+fn window_of(exp: &BigUint, w: usize) -> usize {
+    let mut idx = 0;
+    for bit in (0..WINDOW_BITS).rev() {
+        idx = (idx << 1) | exp.bit(w * WINDOW_BITS + bit) as usize;
+    }
+    idx
+}
+
+/// `a < b` for equal-length limb slices.
+fn limbs_lt(a: &[u64], b: &[u64]) -> bool {
+    for (x, y) in a.iter().rev().zip(b.iter().rev()) {
+        match x.cmp(y) {
+            Ordering::Less => return true,
+            Ordering::Greater => return false,
+            Ordering::Equal => continue,
+        }
+    }
+    false
 }
 
 #[cfg(test)]
@@ -648,6 +966,94 @@ mod tests {
         assert_eq!(big(48).gcd(&big(36)), big(12));
         assert_eq!(big(17).gcd(&big(31)), big(1));
         assert_eq!(big(0).gcd(&big(9)), big(9));
+        assert_eq!(big(9).gcd(&big(0)), big(9));
+        assert_eq!(big(0).gcd(&big(0)), BigUint::zero());
+        // Common powers of two are preserved.
+        assert_eq!(big(96).gcd(&big(72)), big(24));
+        let a = BigUint::from_hex("deadbeef00000000").unwrap();
+        assert_eq!(a.gcd(&a), a);
+    }
+
+    #[test]
+    fn trailing_zeros_cases() {
+        assert_eq!(BigUint::zero().trailing_zeros(), 0);
+        assert_eq!(big(1).trailing_zeros(), 0);
+        assert_eq!(big(8).trailing_zeros(), 3);
+        assert_eq!(BigUint::one().shl(200).trailing_zeros(), 200);
+    }
+
+    #[test]
+    fn montgomery_rejects_even_or_zero_modulus() {
+        assert!(Montgomery::new(&BigUint::zero()).is_none());
+        assert!(Montgomery::new(&big(10)).is_none());
+        assert!(Montgomery::new(&big(9)).is_some());
+    }
+
+    #[test]
+    fn montgomery_mod_mul_matches_naive() {
+        let m = BigUint::from_hex("f123456789abcdef0123456789abcdef1").unwrap();
+        let ctx = Montgomery::new(&m).unwrap();
+        let a = BigUint::from_hex("deadbeefcafebabe1234567890").unwrap();
+        let b = BigUint::from_hex("aa55aa55aa55aa55aa55aa55aa55").unwrap();
+        assert_eq!(ctx.mod_mul(&a, &b), a.mod_mul(&b, &m));
+        // Operands larger than the modulus are reduced first.
+        let big_a = a.shl(300);
+        assert_eq!(ctx.mod_mul(&big_a, &b), big_a.mod_mul(&b, &m));
+    }
+
+    #[test]
+    fn montgomery_mul_buffer_reuse_is_clean() {
+        // mont_mul_into must give identical results when its scratch
+        // buffer is reused across calls with unrelated prior contents.
+        let m = BigUint::from_hex("f123456789abcdef0123456789abcdef1").unwrap();
+        let ctx = Montgomery::new(&m).unwrap();
+        let mut x = BigUint::from_hex("123456789abcdef").unwrap();
+        let mut scratch = vec![0xffff_ffff_ffff_ffffu64; 7];
+        for _ in 0..50 {
+            x = x.mod_mul(&x, &m).add(&BigUint::one()).rem(&m);
+            let xm = ctx.to_mont(&x);
+            ctx.mont_mul_into(&xm, &xm, &mut scratch);
+            assert_eq!(scratch, ctx.mont_mul(&xm, &xm));
+        }
+    }
+
+    #[test]
+    fn montgomery_mod_pow_matches_naive_small() {
+        for (base, exp, m) in [
+            (3u64, 4, 5),
+            (2, 64, 3),
+            (0, 5, 7),
+            (5, 0, 7),
+            (7, 1, 9),
+            (1_000_003, 65_537, 1_000_033),
+        ] {
+            let ctx = Montgomery::new(&big(m)).unwrap();
+            assert_eq!(
+                ctx.mod_pow(&big(base), &big(exp)),
+                big(base).mod_pow_naive(&big(exp), &big(m)),
+                "{base}^{exp} mod {m}"
+            );
+        }
+    }
+
+    #[test]
+    fn montgomery_mod_pow_matches_naive_multi_limb() {
+        // 2^89-1, a Mersenne prime: odd, crosses two limbs.
+        let m = BigUint::one().shl(89).sub(&BigUint::one());
+        let ctx = Montgomery::new(&m).unwrap();
+        let base = BigUint::from_hex("abcdef0123456789abcdef").unwrap();
+        let exp = BigUint::from_hex("fedcba9876543210").unwrap();
+        assert_eq!(ctx.mod_pow(&base, &exp), base.mod_pow_naive(&exp, &m));
+    }
+
+    #[test]
+    fn mod_pow_dispatches_to_naive_for_even_modulus() {
+        // 3^5 mod 16 = 243 mod 16 = 3
+        assert_eq!(big(3).mod_pow(&big(5), &big(16)), big(3));
+        assert_eq!(
+            big(3).mod_pow(&big(5), &big(16)),
+            big(3).mod_pow_naive(&big(5), &big(16))
+        );
     }
 
     #[test]

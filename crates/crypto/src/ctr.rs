@@ -12,9 +12,25 @@
 //!
 //! Deterministic encryption trades semantic security for referential
 //! integrity — exactly the trade-off the paper makes and discusses.
+//!
+//! # Cached cipher state
+//!
+//! Keys are long-lived (`kUA` / `kIA` last for the life of a provisioned
+//! enclave) while the data they process is tiny (32-byte ids, 64-byte item
+//! blocks), so per-call setup used to dominate: every encryption expanded
+//! the AES-256 key schedule from scratch. [`SymmetricKey`] now carries
+//! shared cipher state built once per key: the expanded key schedule
+//! (eager) and the first [`DET_PREFIX_BLOCKS`] blocks of the deterministic
+//! keystream (lazy — the constant all-zero IV makes that prefix a pure
+//! function of the key). After first use, pseudonymizing an id is a single
+//! XOR against the cached prefix. Clones share the state through an `Arc`,
+//! so enclave workers provisioned from the same secrets reuse one
+//! schedule. [`SymmetricKey::det_encrypt_fresh`] keeps the uncached path
+//! alive as the ablation knob and differential-test reference.
 
 use crate::aes::{Aes, BLOCK_LEN};
 use crate::rng::SecureRng;
+use std::sync::{Arc, OnceLock};
 
 /// Length in bytes of symmetric keys used throughout PProx.
 pub const KEY_LEN: usize = 32;
@@ -22,14 +38,48 @@ pub const KEY_LEN: usize = 32;
 /// Length in bytes of the CTR initialization vector / nonce.
 pub const IV_LEN: usize = 16;
 
+/// Number of deterministic-keystream blocks cached per key (256 bytes —
+/// covers every fixed-size id and item block the proxy layers encrypt;
+/// longer inputs continue the counter past the prefix).
+pub const DET_PREFIX_BLOCKS: usize = 16;
+
+/// Per-key cipher state shared by all clones of a [`SymmetricKey`].
+struct CipherState {
+    /// Expanded AES-256 key schedule, built once at key construction.
+    aes: Aes,
+    /// First [`DET_PREFIX_BLOCKS`] blocks of the zero-IV CTR keystream,
+    /// generated on first deterministic use. Lazy on purpose: transient
+    /// response keys (`k_u`) only ever use randomized CTR and should not
+    /// pay for a prefix they never read.
+    det_prefix: OnceLock<Box<[u8]>>,
+}
+
 /// A 256-bit symmetric key for CTR-mode encryption.
 ///
-/// Equal keys produce equal deterministic ciphertexts; the key material is
-/// deliberately excluded from `Debug` output.
-#[derive(Clone, PartialEq, Eq)]
+/// Equal key bytes compare equal regardless of how much cipher state has
+/// been cached; the key material is deliberately excluded from `Debug`
+/// output.
 pub struct SymmetricKey {
     bytes: [u8; KEY_LEN],
+    state: Arc<CipherState>,
 }
+
+impl Clone for SymmetricKey {
+    fn clone(&self) -> Self {
+        SymmetricKey {
+            bytes: self.bytes,
+            state: Arc::clone(&self.state),
+        }
+    }
+}
+
+impl PartialEq for SymmetricKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.bytes == other.bytes
+    }
+}
+
+impl Eq for SymmetricKey {}
 
 impl std::fmt::Debug for SymmetricKey {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -42,16 +92,22 @@ impl std::fmt::Debug for SymmetricKey {
 }
 
 impl SymmetricKey {
-    /// Wraps raw key bytes.
+    /// Wraps raw key bytes, expanding the AES key schedule once.
     pub fn from_bytes(bytes: [u8; KEY_LEN]) -> Self {
-        SymmetricKey { bytes }
+        SymmetricKey {
+            bytes,
+            state: Arc::new(CipherState {
+                aes: Aes::new_256(&bytes),
+                det_prefix: OnceLock::new(),
+            }),
+        }
     }
 
     /// Generates a fresh random key.
     pub fn generate(rng: &mut SecureRng) -> Self {
         let mut bytes = [0u8; KEY_LEN];
         rng.fill(&mut bytes);
-        SymmetricKey { bytes }
+        Self::from_bytes(bytes)
     }
 
     /// Raw key bytes (needed to provision enclaves).
@@ -59,20 +115,39 @@ impl SymmetricKey {
         &self.bytes
     }
 
-    /// Applies the CTR keystream for `iv` to `data` (encrypt == decrypt).
-    fn xor_keystream(&self, iv: &[u8; IV_LEN], data: &mut [u8]) {
-        let aes = Aes::new_256(&self.bytes);
-        let mut counter = *iv;
-        let mut offset = 0;
-        while offset < data.len() {
-            let mut ks = counter;
-            aes.encrypt_block(&mut ks);
-            let n = BLOCK_LEN.min(data.len() - offset);
-            for i in 0..n {
-                data[offset + i] ^= ks[i];
-            }
-            offset += n;
-            increment_counter(&mut counter);
+    /// Forces the deterministic-keystream prefix into the cache.
+    ///
+    /// Enclave layers call this at provisioning time so the first request
+    /// they serve does not pay the prefix generation.
+    pub fn warm(&self) {
+        let _ = self.det_prefix();
+    }
+
+    /// The cached zero-IV keystream prefix, generated on first use.
+    fn det_prefix(&self) -> &[u8] {
+        self.state.det_prefix.get_or_init(|| {
+            let mut buf = vec![0u8; DET_PREFIX_BLOCKS * BLOCK_LEN];
+            xor_keystream_with(&self.state.aes, [0u8; IV_LEN], &mut buf);
+            buf.into_boxed_slice()
+        })
+    }
+
+    /// Applies the deterministic (constant all-zero IV) keystream to
+    /// `data` in place — encrypt and decrypt are the same operation.
+    ///
+    /// The first [`DET_PREFIX_BLOCKS`] blocks come from the cached prefix
+    /// (one XOR, no AES work); longer inputs continue the counter stream
+    /// where the prefix ends.
+    pub fn det_apply(&self, data: &mut [u8]) {
+        let prefix = self.det_prefix();
+        let n = data.len().min(prefix.len());
+        for (b, k) in data[..n].iter_mut().zip(prefix.iter()) {
+            *b ^= k;
+        }
+        if data.len() > prefix.len() {
+            let counter = (DET_PREFIX_BLOCKS as u128).to_be_bytes();
+            let tail_start = prefix.len();
+            xor_keystream_with(&self.state.aes, counter, &mut data[tail_start..]);
         }
     }
 
@@ -94,7 +169,21 @@ impl SymmetricKey {
     /// ```
     pub fn det_encrypt(&self, plaintext: &[u8]) -> Vec<u8> {
         let mut out = plaintext.to_vec();
-        self.xor_keystream(&[0u8; IV_LEN], &mut out);
+        self.det_apply(&mut out);
+        out
+    }
+
+    /// [`det_encrypt`](Self::det_encrypt) without any cached state: the
+    /// key schedule is re-expanded and the keystream regenerated from the
+    /// zero IV on every call.
+    ///
+    /// This is the pre-caching code path, kept as the ablation knob and as
+    /// the reference the differential tests compare the cached path
+    /// against byte-for-byte.
+    pub fn det_encrypt_fresh(&self, plaintext: &[u8]) -> Vec<u8> {
+        let aes = Aes::new_256(&self.bytes);
+        let mut out = plaintext.to_vec();
+        xor_keystream_with(&aes, [0u8; IV_LEN], &mut out);
         out
     }
 
@@ -110,11 +199,10 @@ impl SymmetricKey {
     pub fn encrypt(&self, plaintext: &[u8], rng: &mut SecureRng) -> Vec<u8> {
         let mut iv = [0u8; IV_LEN];
         rng.fill(&mut iv);
-        let mut body = plaintext.to_vec();
-        self.xor_keystream(&iv, &mut body);
-        let mut out = Vec::with_capacity(IV_LEN + body.len());
+        let mut out = Vec::with_capacity(IV_LEN + plaintext.len());
         out.extend_from_slice(&iv);
-        out.extend_from_slice(&body);
+        out.extend_from_slice(plaintext);
+        xor_keystream_with(&self.state.aes, iv, &mut out[IV_LEN..]);
         out
     }
 
@@ -128,8 +216,23 @@ impl SymmetricKey {
         let mut iv = [0u8; IV_LEN];
         iv.copy_from_slice(&ciphertext[..IV_LEN]);
         let mut out = ciphertext[IV_LEN..].to_vec();
-        self.xor_keystream(&iv, &mut out);
+        xor_keystream_with(&self.state.aes, iv, &mut out);
         Some(out)
+    }
+}
+
+/// Applies the CTR keystream starting at `counter` to `data` in place.
+fn xor_keystream_with(aes: &Aes, mut counter: [u8; IV_LEN], data: &mut [u8]) {
+    let mut offset = 0;
+    while offset < data.len() {
+        let mut ks = counter;
+        aes.encrypt_block(&mut ks);
+        let n = BLOCK_LEN.min(data.len() - offset);
+        for i in 0..n {
+            data[offset + i] ^= ks[i];
+        }
+        offset += n;
+        increment_counter(&mut counter);
     }
 }
 
@@ -244,6 +347,48 @@ mod tests {
         let mut wire = iv.clone();
         wire.extend_from_slice(&expected_ct);
         assert_eq!(k.decrypt(&wire).unwrap(), plaintext);
+    }
+
+    #[test]
+    fn cached_matches_fresh_across_prefix_boundary() {
+        let k = key();
+        // Lengths straddling both the block size and the cached-prefix
+        // length (DET_PREFIX_BLOCKS * 16 = 256).
+        for len in [0usize, 1, 15, 16, 17, 255, 256, 257, 300, 1000] {
+            let pt: Vec<u8> = (0..len).map(|i| (i * 13 + 7) as u8).collect();
+            assert_eq!(k.det_encrypt(&pt), k.det_encrypt_fresh(&pt), "len {len}");
+        }
+    }
+
+    #[test]
+    fn warm_is_idempotent_and_changes_nothing() {
+        let k = key();
+        let before = k.det_encrypt(b"probe");
+        k.warm();
+        k.warm();
+        assert_eq!(k.det_encrypt(b"probe"), before);
+    }
+
+    #[test]
+    fn clones_share_cached_state() {
+        let k = key();
+        let c = k.clone();
+        k.warm();
+        // The clone sees the same Arc'd state; equality is on key bytes.
+        assert_eq!(k, c);
+        assert_eq!(c.det_encrypt(b"x"), k.det_encrypt_fresh(b"x"));
+    }
+
+    #[test]
+    fn det_apply_is_in_place_involution() {
+        let k = key();
+        let mut buf = b"patient-zero".to_vec();
+        let orig = buf.clone();
+        k.det_apply(&mut buf);
+        assert_ne!(buf, orig);
+        assert_eq!(buf, k.det_encrypt(&orig));
+        k.det_apply(&mut buf);
+        assert_eq!(buf, orig);
     }
 
     #[test]

@@ -133,6 +133,32 @@ mod tests {
     }
 
     #[test]
+    fn header_length_boundary() {
+        // len == capacity is the largest accepted header; one more is
+        // malformed even though the frame size itself is right.
+        let mut framed = pad(&[1u8; 60], 64).unwrap();
+        assert_eq!(unpad(&framed, 64).unwrap().len(), 60);
+        framed[0..4].copy_from_slice(&61u32.to_be_bytes());
+        assert_eq!(unpad(&framed, 64), Err(PadError::Malformed));
+    }
+
+    #[test]
+    fn adversarial_frame_sizes() {
+        // Truncated, extended, and empty frames must all be rejected
+        // rather than sliced out of range.
+        assert_eq!(unpad(&[], 64), Err(PadError::Malformed));
+        assert_eq!(unpad(&[0u8; 65], 64), Err(PadError::Malformed));
+        let framed = pad(b"ok", 64).unwrap();
+        assert_eq!(unpad(&framed[..32], 64), Err(PadError::Malformed));
+    }
+
+    #[test]
+    fn header_is_big_endian() {
+        let framed = pad(&[9u8; 5], 64).unwrap();
+        assert_eq!(&framed[0..4], &[0, 0, 0, 5]);
+    }
+
+    #[test]
     fn tiny_frames() {
         assert_eq!(max_payload_len(3), 0);
         assert_eq!(unpad(&[0; 3], 3), Err(PadError::Malformed));

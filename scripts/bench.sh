@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Smoke-runs the crypto-hot-path throughput harness and schema-checks its
+# JSON output (the validator parses with `crates/json`, the repo's own
+# parser — so this also exercises the parser against real emitted output).
+#
+# A full run (paper-scale 2048-bit moduli, defaults) refreshes the
+# committed baseline instead:
+#
+#     cargo run --release -p pprox-bench --bin throughput
+#
+# Run from anywhere; operates on the workspace root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-/tmp/pprox_bench_smoke.json}"
+
+echo "== throughput smoke run =="
+cargo run --release -q -p pprox-bench --bin throughput -- \
+    --rsa-ops 8 --det-ops 2000 --requests 64 --modulus-bits 1152 \
+    --out "$OUT" >/dev/null
+
+echo "== validate emitted JSON =="
+cargo run --release -q -p pprox-bench --bin throughput -- --validate "$OUT"
+
+echo "== validate committed baseline =="
+cargo run --release -q -p pprox-bench --bin throughput -- \
+    --validate results/BENCH_throughput.json
+
+echo "bench smoke green."

@@ -13,4 +13,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test =="
 cargo test -q --workspace
 
+echo "== bench smoke =="
+./scripts/bench.sh
+
 echo "CI green."

@@ -8,10 +8,14 @@
 //! encryption is lower-security but *necessary* — this test demonstrates
 //! both halves of that trade-off empirically.
 
+use pprox::core::keys::{KeyProvisioner, UA_CODE_IDENTITY};
+use pprox::core::message::{ClientEnvelope, Op};
+use pprox::core::ua::UaState;
 use pprox::crypto::ctr::SymmetricKey;
 use pprox::crypto::pad;
 use pprox::crypto::rng::SecureRng;
 use pprox::lrs::engine::Engine;
+use pprox::sgx::{Measurement, Platform};
 
 const ID_LEN: usize = 32;
 
@@ -95,4 +99,73 @@ fn randomized_pseudonyms_differ_every_time() {
     let a = randomized_pseudonym(&key, "user-x", &mut enc_rng);
     let b = randomized_pseudonym(&key, "user-x", &mut enc_rng);
     assert_ne!(a, b);
+}
+
+/// The cached-keystream fast path and the fresh-state reference path must
+/// produce identical pseudonyms — otherwise a mid-deployment upgrade of
+/// the cipher implementation would silently fork every user profile.
+#[test]
+fn cached_and_fresh_cipher_paths_agree_on_pseudonyms() {
+    let mut rng = SecureRng::from_seed(7);
+    let key = SymmetricKey::generate(&mut rng);
+    for id in ["u", "user-x", &"x".repeat(28)] {
+        let padded = pad::pad(id.as_bytes(), ID_LEN).unwrap();
+        assert_eq!(
+            key.det_encrypt(&padded),
+            key.det_encrypt_fresh(&padded),
+            "cached and fresh pseudonyms diverged for {id:?}"
+        );
+    }
+    // Pre-warming the cache must not change anything either.
+    let warmed = SymmetricKey::generate(&mut rng);
+    warmed.warm();
+    let padded = pad::pad(b"warm-check", ID_LEN).unwrap();
+    assert_eq!(
+        warmed.det_encrypt(&padded),
+        warmed.det_encrypt_fresh(&padded)
+    );
+}
+
+/// Pseudonyms survive a UA-layer crash + re-provision: the provisioner
+/// re-installs the *same* permanent `kUA`, so an enclave that comes back
+/// with freshly built cipher state (new key schedule, cold keystream
+/// cache) maps every user to the pseudonym the LRS already knows.
+#[test]
+fn pseudonyms_stable_across_crash_and_reprovision() {
+    let mut rng = SecureRng::from_seed(8);
+    // 1152-bit moduli: the smallest test size whose OAEP capacity fits a
+    // padded 32-byte user id.
+    let prov = KeyProvisioner::generate(1152, &mut rng);
+    let platform = Platform::new(&mut rng);
+    let pk_ua = prov.client_keys().pk_ua;
+
+    let pseudonym_of = |ua: &pprox::sgx::Enclave<UaState>, rng: &mut SecureRng| {
+        let env = ClientEnvelope {
+            op: Op::Post,
+            user: pk_ua
+                .encrypt(&pad::pad(b"alice", ID_LEN).unwrap(), rng)
+                .unwrap(),
+            aux: vec![],
+        };
+        ua.call(|state| state.process(&env, true).unwrap().user_pseudonym)
+            .unwrap()
+    };
+
+    let ua = platform.load_enclave::<UaState>(UA_CODE_IDENTITY);
+    prov.provision_ua(&platform, &ua).unwrap();
+    let before = pseudonym_of(&ua, &mut rng);
+
+    // Kill every UA enclave, then bring up a replacement from scratch.
+    let killed = platform.crash_layer(Measurement::of_code(UA_CODE_IDENTITY));
+    assert_eq!(killed, 1, "exactly the one UA enclave should crash");
+    assert!(ua.call(|_| ()).is_err(), "crashed enclave must be dead");
+
+    let replacement = platform.load_enclave::<UaState>(UA_CODE_IDENTITY);
+    prov.provision_ua(&platform, &replacement).unwrap();
+    let after = pseudonym_of(&replacement, &mut rng);
+
+    assert_eq!(
+        before, after,
+        "re-provisioned UA must keep the user ↔ pseudonym mapping"
+    );
 }
