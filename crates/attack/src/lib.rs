@@ -22,6 +22,10 @@
 //!   multi-tenancy mitigation.
 //! * [`combined`] — the rejected single-enclave alternative (§3): cheaper,
 //!   and fatally linkable after one break.
+//! * [`telemetry_audit`] — the §6.2 adversary pointed at the *monitoring*
+//!   system: joins exported telemetry spans across the shuffle boundary,
+//!   checks linkage stays at the `1/S` baseline under trace-ID
+//!   re-randomization, and demonstrates the stable-ID ablation is caught.
 //!
 //! The harness binary `security_analysis` in `pprox-bench` prints the
 //! full report; EXPERIMENTS.md records the numbers.
@@ -35,9 +39,11 @@ pub mod correlation;
 pub mod history;
 pub mod lowtraffic;
 pub mod observer;
+pub mod telemetry_audit;
 
 pub use cases::{break_ia_and_read_database, break_ua_and_read_database, CaseOutcome};
 pub use correlation::{correlation_attack, measure_linkage, CorrelationOutcome};
 pub use history::{intersection_attack, IntersectionOutcome};
 pub use lowtraffic::{measure_anonymity_set, AnonymitySetReport};
 pub use observer::{run_observation, ObservationConfig};
+pub use telemetry_audit::{audit_telemetry, TelemetryAuditConfig, TelemetryAuditOutcome};

@@ -1,0 +1,236 @@
+//! Telemetry exporter: drives a live pipeline, renders the Prometheus
+//! text exposition and the schema-versioned JSON snapshot, and runs the
+//! telemetry privacy audit over the span-export surface.
+//!
+//! Artifacts (under `results/` by default):
+//!
+//! * `TELEMETRY_snapshot.json` — per-stage p50/p95/p99/p99.9 histograms,
+//!   per-layer counters, span accounting, trace policy, and the privacy
+//!   audit outcomes (re-randomized policy at the `1/S` baseline; the
+//!   stable-ID ablation measured and flagged).
+//! * `TELEMETRY_prometheus.txt` — the same histograms and counters as
+//!   scrape-ready cumulative-`le` series.
+//!
+//! Usage:
+//!
+//! ```text
+//! telemetry_export [--requests N] [--shuffle-size S] [--out-dir DIR]
+//! telemetry_export --validate DIR   # schema-check previously emitted files
+//! ```
+//!
+//! The exporter refuses to write a snapshot whose own validator rejects
+//! it — including when the deployment runs the deliberately-leaky
+//! stable-trace-ID policy — so a leaky configuration cannot reach
+//! `results/` in the first place.
+
+use pprox_attack::telemetry_audit::{audit_telemetry, TelemetryAuditConfig};
+use pprox_core::config::PProxConfig;
+use pprox_core::pipeline::{Completion, PProxPipeline};
+use pprox_core::shuffler::ShuffleConfig;
+use pprox_core::telemetry::export::{
+    json_snapshot, prometheus_text, validate_json_snapshot, validate_prometheus, TelemetryReport,
+};
+use pprox_core::telemetry::{Stage, TraceIdPolicy};
+use pprox_json::Value;
+use pprox_lrs::stub::StubLrs;
+use std::sync::Arc;
+
+#[derive(Debug)]
+struct Args {
+    requests: usize,
+    shuffle_size: usize,
+    out_dir: String,
+    validate: Option<String>,
+}
+
+impl Args {
+    fn parse() -> Args {
+        let mut args = Args {
+            requests: 96,
+            shuffle_size: 4,
+            out_dir: "results".to_string(),
+            validate: None,
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| {
+                it.next()
+                    .unwrap_or_else(|| panic!("missing value for {name}"))
+            };
+            match flag.as_str() {
+                "--requests" => args.requests = value("--requests").parse().unwrap(),
+                "--shuffle-size" => args.shuffle_size = value("--shuffle-size").parse().unwrap(),
+                "--out-dir" => args.out_dir = value("--out-dir"),
+                "--validate" => args.validate = Some(value("--validate")),
+                other => panic!("unknown flag {other}"),
+            }
+        }
+        args
+    }
+}
+
+/// Drives a shuffling deployment with enough GET traffic to populate
+/// every stage histogram, then snapshots it into a [`TelemetryReport`].
+fn run_deployment(requests: usize, shuffle_size: usize) -> TelemetryReport {
+    let config = PProxConfig {
+        ua_instances: 2,
+        ia_instances: 2,
+        shuffle: ShuffleConfig {
+            size: shuffle_size,
+            timeout_us: 50_000,
+        },
+        modulus_bits: 1152,
+        ..PProxConfig::default()
+    };
+    let pipeline = PProxPipeline::new(config, Arc::new(StubLrs::new()), 1, 4).unwrap();
+    let mut client = pipeline.client();
+
+    // Posts seed the LRS so the recommendation GETs have history; GETs
+    // exercise the full span path (both shuffle directions, IA response
+    // re-encryption, LRS reads).
+    let mut receivers = Vec::with_capacity(requests);
+    for i in 0..requests / 2 {
+        let env = client
+            .post(&format!("u{:03}", i % 24), &format!("m{:05}", i % 40), None)
+            .unwrap();
+        receivers.push(pipeline.submit(env).unwrap());
+    }
+    for i in 0..requests - requests / 2 {
+        let (env, _ticket) = client.get(&format!("u{:03}", i % 24)).unwrap();
+        receivers.push(pipeline.submit(env).unwrap());
+    }
+    for rx in receivers {
+        match rx.recv().unwrap() {
+            Completion::Post(r) => r.unwrap(),
+            Completion::Get(r) => {
+                r.unwrap();
+            }
+        }
+    }
+
+    let telemetry = pipeline.telemetry().clone();
+    let spans = telemetry.spans().snapshot();
+    let report = TelemetryReport {
+        stages: telemetry.stages().snapshot(),
+        shuffle: telemetry.stages().shuffle_snapshot(),
+        layers: pipeline.metrics().snapshot(),
+        trace_policy: telemetry.policy().as_str().to_string(),
+        spans_pushed: telemetry.spans().pushed(),
+        spans_exported: spans.len() as u64,
+        spans_dropped: telemetry.spans().dropped(),
+    };
+    pipeline.shutdown();
+    report
+}
+
+/// Runs the privacy audit in both policies and renders the outcomes.
+///
+/// Panics when the shipped (re-randomized) policy exceeds the `1/S`
+/// baseline, or when the deliberately-leaky ablation is *not* caught —
+/// either way the exporter must not produce artifacts.
+fn audit_section(shuffle_size: usize) -> Value {
+    let safe = audit_telemetry(&TelemetryAuditConfig {
+        shuffle_size,
+        ..TelemetryAuditConfig::default()
+    });
+    assert!(
+        safe.within_baseline(),
+        "exported telemetry exceeds the 1/S linkage baseline: {} > {} + {}",
+        safe.success_rate,
+        safe.baseline,
+        safe.tolerance
+    );
+    let leaky = audit_telemetry(&TelemetryAuditConfig {
+        shuffle_size,
+        policy: TraceIdPolicy::StableAcrossShuffle,
+        ..TelemetryAuditConfig::default()
+    });
+    assert!(
+        !leaky.within_baseline() && leaky.success_rate > 0.9,
+        "the stable-trace-ID ablation was not caught (success {})",
+        leaky.success_rate
+    );
+    let outcome = |o: &pprox_attack::TelemetryAuditOutcome| {
+        Value::object([
+            ("policy", Value::from(o.policy_label)),
+            ("attempts", Value::from(o.attempts as u64)),
+            ("correct", Value::from(o.correct as u64)),
+            ("success_rate", Value::from(o.success_rate)),
+            ("baseline", Value::from(o.baseline)),
+            ("tolerance", Value::from(o.tolerance)),
+            ("within_baseline", Value::from(o.within_baseline())),
+        ])
+    };
+    Value::object([
+        ("rerandomize", outcome(&safe)),
+        ("stable_ablation", outcome(&leaky)),
+    ])
+}
+
+fn validate_dir(dir: &str) {
+    let json_path = format!("{dir}/TELEMETRY_snapshot.json");
+    let text =
+        std::fs::read_to_string(&json_path).unwrap_or_else(|e| panic!("read {json_path}: {e}"));
+    let root = Value::parse(&text).unwrap_or_else(|e| panic!("{json_path}: invalid JSON: {e:?}"));
+    validate_json_snapshot(&root).unwrap_or_else(|e| panic!("{json_path}: {e}"));
+    // The audit section must be present and both outcomes must hold.
+    let audit = root
+        .get("audit")
+        .unwrap_or_else(|| panic!("{json_path}: missing audit section"));
+    let ok = audit
+        .get("rerandomize")
+        .and_then(|a| a.get("within_baseline"))
+        .and_then(Value::as_bool);
+    assert_eq!(ok, Some(true), "{json_path}: rerandomize audit failed");
+    let caught = audit
+        .get("stable_ablation")
+        .and_then(|a| a.get("within_baseline"))
+        .and_then(Value::as_bool);
+    assert_eq!(
+        caught,
+        Some(false),
+        "{json_path}: stable ablation not flagged"
+    );
+    println!("{json_path}: schema OK");
+
+    let prom_path = format!("{dir}/TELEMETRY_prometheus.txt");
+    let prom =
+        std::fs::read_to_string(&prom_path).unwrap_or_else(|e| panic!("read {prom_path}: {e}"));
+    validate_prometheus(&prom).unwrap_or_else(|e| panic!("{prom_path}: {e}"));
+    println!("{prom_path}: exposition OK");
+}
+
+fn main() {
+    let args = Args::parse();
+    if let Some(dir) = &args.validate {
+        validate_dir(dir);
+        return;
+    }
+
+    eprintln!(
+        "driving deployment: {} requests, S={}...",
+        args.requests, args.shuffle_size
+    );
+    let report = run_deployment(args.requests, args.shuffle_size);
+    for required in [Stage::Ua, Stage::Ia, Stage::Lrs, Stage::E2e] {
+        let count = report.stages[required as usize].1.count();
+        assert!(count > 0, "stage {} recorded nothing", required.as_str());
+    }
+
+    eprintln!("running telemetry privacy audit...");
+    let audit = audit_section(args.shuffle_size.max(2));
+
+    let mut snapshot = json_snapshot(&report);
+    snapshot.insert("audit", audit);
+    validate_json_snapshot(&snapshot).expect("emitted snapshot must self-validate");
+    let prom = prometheus_text(&report);
+    validate_prometheus(&prom).expect("emitted exposition must self-validate");
+
+    std::fs::create_dir_all(&args.out_dir).unwrap();
+    let json_path = format!("{}/TELEMETRY_snapshot.json", args.out_dir);
+    std::fs::write(&json_path, snapshot.to_json()).unwrap();
+    let prom_path = format!("{}/TELEMETRY_prometheus.txt", args.out_dir);
+    std::fs::write(&prom_path, &prom).unwrap();
+    println!("wrote {json_path}");
+    println!("wrote {prom_path}");
+}

@@ -14,7 +14,10 @@
 //!   cached key schedule + keystream prefix vs.
 //!   [`SymmetricKey::det_encrypt_fresh`] (rebuilds cipher state per call).
 //! * `e2e` — closed-loop posts through the live [`PProxPipeline`]
-//!   (real crypto, simulated enclaves, stub LRS).
+//!   (real crypto, simulated enclaves, stub LRS). Since schema v2 the
+//!   report also carries `pipeline_stages`: per-stage p50/p99 (UA, IA,
+//!   LRS, shuffle dwell) read from the pipeline's telemetry histograms,
+//!   so a regression can be localized to a stage from the JSON alone.
 //!
 //! Usage:
 //!
@@ -27,6 +30,7 @@
 use pprox_core::config::PProxConfig;
 use pprox_core::pipeline::{Completion, PProxPipeline};
 use pprox_core::shuffler::ShuffleConfig;
+use pprox_core::telemetry::{HistogramSnapshot, Stage as TelemetryStage};
 use pprox_crypto::ctr::SymmetricKey;
 use pprox_crypto::rng::SecureRng;
 use pprox_crypto::rsa::RsaKeyPair;
@@ -37,6 +41,10 @@ use std::time::Instant;
 
 /// Item payload width on the wire (mirrors `pprox_core::message`).
 const ITEM_BLOCK_LEN: usize = 64;
+
+/// Report schema version: v2 added `pipeline_stages` (per-stage p50/p99
+/// from the telemetry histograms).
+const THROUGHPUT_SCHEMA_VERSION: u64 = 2;
 
 /// Requests in flight at once during the e2e stage.
 const E2E_WINDOW: usize = 32;
@@ -208,7 +216,24 @@ fn bench_det_enc(ops: usize, rng: &mut SecureRng) -> Stage {
     stage
 }
 
-fn bench_e2e(requests: usize, modulus_bits: usize) -> Stage {
+/// Per-pipeline-stage latency quantiles harvested from the deployment's
+/// telemetry histograms after the e2e run.
+fn pipeline_stages_value(snapshots: &[(&'static str, HistogramSnapshot)]) -> Value {
+    let mut v = Value::object::<&str, _>([]);
+    for (name, snap) in snapshots {
+        v.insert(
+            *name,
+            Value::object([
+                ("count", Value::from(snap.count())),
+                ("p50_us", Value::from(snap.p50())),
+                ("p99_us", Value::from(snap.p99())),
+            ]),
+        );
+    }
+    v
+}
+
+fn bench_e2e(requests: usize, modulus_bits: usize) -> (Stage, Value) {
     let config = PProxConfig {
         ua_instances: 2,
         ia_instances: 2,
@@ -244,8 +269,15 @@ fn bench_e2e(requests: usize, modulus_bits: usize) -> Stage {
         }
     }
     let wall_secs = wall.elapsed().as_secs_f64();
+    let stages = pipeline.telemetry().stages();
+    let per_stage = pipeline_stages_value(&[
+        ("ua", stages.histogram(TelemetryStage::Ua).snapshot()),
+        ("ia", stages.histogram(TelemetryStage::Ia).snapshot()),
+        ("lrs", stages.histogram(TelemetryStage::Lrs).snapshot()),
+        ("shuffle", stages.shuffle_snapshot()),
+    ]);
     pipeline.shutdown();
-    Stage::from_samples(samples, wall_secs)
+    (Stage::from_samples(samples, wall_secs), per_stage)
 }
 
 /// Schema check for an emitted report; panics with a description of the
@@ -292,6 +324,37 @@ fn validate(path: &str) {
             );
         }
     }
+    let version = root
+        .get("schema_version")
+        .and_then(Value::as_u64)
+        .unwrap_or_else(|| panic!("{path}: missing schema_version"));
+    assert!(
+        version >= THROUGHPUT_SCHEMA_VERSION,
+        "{path}: schema_version {version} < {THROUGHPUT_SCHEMA_VERSION}"
+    );
+    let per_stage = root
+        .get("pipeline_stages")
+        .unwrap_or_else(|| panic!("{path}: missing pipeline_stages"));
+    for stage in ["ua", "ia", "lrs", "shuffle"] {
+        let s = per_stage
+            .get(stage)
+            .unwrap_or_else(|| panic!("{path}: pipeline_stages.{stage} missing"));
+        let num = |f: &str| {
+            s.get(f)
+                .and_then(Value::as_f64)
+                .filter(|v| v.is_finite() && *v >= 0.0)
+                .unwrap_or_else(|| panic!("{path}: pipeline_stages.{stage}.{f} bad"))
+        };
+        assert!(
+            num("count") >= 1.0,
+            "{path}: pipeline_stages.{stage} has no observations"
+        );
+        let (p50, p99) = (num("p50_us"), num("p99_us"));
+        assert!(
+            p50 <= p99,
+            "{path}: pipeline_stages.{stage} quantiles not monotone ({p50} > {p99})"
+        );
+    }
     println!("{path}: schema OK");
 }
 
@@ -312,10 +375,12 @@ fn main() {
     eprintln!("det_enc: {} ops...", args.det_ops);
     let det = bench_det_enc(args.det_ops, &mut rng);
     eprintln!("e2e: {} posts through the live pipeline...", args.requests);
-    let e2e = bench_e2e(args.requests, args.modulus_bits.min(1152));
+    let (e2e, pipeline_stages) = bench_e2e(args.requests, args.modulus_bits.min(1152));
 
     let report = Value::object([
         ("benchmark", Value::from("throughput")),
+        ("schema_version", Value::from(THROUGHPUT_SCHEMA_VERSION)),
+        ("pipeline_stages", pipeline_stages),
         (
             "config",
             Value::object([

@@ -34,6 +34,12 @@ pub struct AutoscaleConfig {
     /// Scale down only when the target drops below the current scale by
     /// this fraction (hysteresis against flapping).
     pub scale_down_headroom: f64,
+    /// Tail-latency SLO for the worst *processing* stage (UA, IA or the
+    /// LRS call), microseconds at p99. Fed from
+    /// [`crate::telemetry::StageSet::worst_processing_p99_us`]; when the
+    /// observed p99 breaches it, capacity is added even if mean throughput
+    /// looks fine — queueing inflates the tail long before the mean moves.
+    pub stage_p99_slo_us: u64,
 }
 
 impl AutoscaleConfig {
@@ -47,6 +53,9 @@ impl AutoscaleConfig {
             min_rps_per_instance_for_shuffling: 10.0 / 0.5,
             max_instances: 16,
             scale_down_headroom: 0.25,
+            // The paper's proxy adds ~10 ms overhead per request (§7.3);
+            // a 50 ms p99 on any single processing stage means queueing.
+            stage_p99_slo_us: 50_000,
         }
     }
 }
@@ -115,23 +124,35 @@ impl Autoscaler {
         }
     }
 
-    /// Like [`observe`](Self::observe), but additionally aware of
-    /// admission-control pressure: `rejection_fraction` is the share of
-    /// submissions shed at the ingress gate (see
-    /// [`crate::resilience::AdmissionGate::rejection_fraction`]).
+    /// Like [`observe`](Self::observe), but additionally aware of two
+    /// pressure signals that throughput alone misses:
     ///
-    /// Observed RPS alone under-estimates demand when the gate is
-    /// shedding — rejected requests never become load. Whenever more than
-    /// 1% of submissions are rejected, this adds one instance beyond the
-    /// throughput-derived target (up to `max_instances`) so capacity
-    /// chases the *offered* load, not just the admitted load.
+    /// * `rejection_fraction` — the share of submissions shed at the
+    ///   ingress gate (see
+    ///   [`crate::resilience::AdmissionGate::rejection_fraction`]).
+    ///   Rejected requests never become observed load, so observed RPS
+    ///   under-estimates demand while the gate is shedding.
+    /// * `stage_p99_us` — the p99 latency of the worst processing stage
+    ///   from the telemetry histograms
+    ///   ([`crate::telemetry::StageSet::worst_processing_p99_us`]); `None`
+    ///   when no stage has observations yet. A queue building in front of
+    ///   one stage inflates its tail long before the mean (which a few
+    ///   fast requests keep low) reports trouble.
+    ///
+    /// Either signal firing — more than 1% rejections, or a p99 above
+    /// `stage_p99_slo_us` — adds one instance beyond the
+    /// throughput-derived target (up to `max_instances`), so capacity
+    /// chases offered load and tail health, not just admitted throughput.
     pub fn observe_with_pressure(
         &mut self,
         observed_rps: f64,
         rejection_fraction: f64,
+        stage_p99_us: Option<u64>,
     ) -> ScaleDecision {
         let mut decision = self.observe(observed_rps);
-        if rejection_fraction > 0.01 && self.current < self.config.max_instances {
+        let tail_breached = stage_p99_us.is_some_and(|p99| p99 > self.config.stage_p99_slo_us);
+        if (rejection_fraction > 0.01 || tail_breached) && self.current < self.config.max_instances
+        {
             self.current += 1;
             decision.instances = self.current;
             let per_instance = observed_rps / self.current as f64;
@@ -229,11 +250,11 @@ mod tests {
         let mut s = scaler();
         // 150 RPS admitted would normally fit one pair, but 10% of
         // submissions are being shed: add capacity for the unseen demand.
-        let d = s.observe_with_pressure(150.0, 0.10);
+        let d = s.observe_with_pressure(150.0, 0.10, None);
         assert_eq!(d.instances, 2);
         // No pressure → identical to plain observe.
         let mut s2 = scaler();
-        let d2 = s2.observe_with_pressure(150.0, 0.0);
+        let d2 = s2.observe_with_pressure(150.0, 0.0, None);
         assert_eq!(d2.instances, 1);
         // Pressure never exceeds max_instances.
         let mut s3 = Autoscaler::new(
@@ -243,7 +264,53 @@ mod tests {
             },
             2,
         );
-        assert_eq!(s3.observe_with_pressure(100.0, 0.5).instances, 2);
+        assert_eq!(s3.observe_with_pressure(100.0, 0.5, None).instances, 2);
+    }
+
+    #[test]
+    fn tail_inflation_scales_out_where_the_mean_is_blind() {
+        use crate::telemetry::LatencyHistogram;
+        // A workload whose mean hides the queue: 980 requests at 1 ms and
+        // 20 stragglers (2%) at 400 ms. Mean ≈ 9 ms (healthy-looking);
+        // p99 is 400 ms — far past the 50 ms stage SLO.
+        let h = LatencyHistogram::new();
+        for _ in 0..980 {
+            h.record(1_000);
+        }
+        for _ in 0..20 {
+            h.record(400_000);
+        }
+        let snap = h.snapshot();
+        assert!(
+            snap.mean_us() < 10_000.0,
+            "mean {} looks fine",
+            snap.mean_us()
+        );
+        let p99 = snap.p99();
+        assert!(p99 >= 390_000, "p99 {p99} must expose the stragglers");
+
+        // The mean-driven signal (what `observe` effectively consumed
+        // before): 100 RPS with no rejections → stays at 1 instance.
+        let mut mean_driven = scaler();
+        assert_eq!(
+            mean_driven
+                .observe_with_pressure(100.0, 0.0, None)
+                .instances,
+            1,
+            "without the tail signal the scaler is blind to the queue"
+        );
+        // The p99-driven signal scales out on the same throughput.
+        let mut tail_driven = scaler();
+        let d = tail_driven.observe_with_pressure(100.0, 0.0, Some(p99));
+        assert_eq!(d.instances, 2, "p99 breach must add capacity");
+        // A healthy tail adds nothing.
+        let mut healthy = scaler();
+        assert_eq!(
+            healthy
+                .observe_with_pressure(100.0, 0.0, Some(4_000))
+                .instances,
+            1
+        );
     }
 
     #[test]

@@ -19,11 +19,14 @@ use crate::message::{
     ClientEnvelope, EncryptedList, Op, ID_PLAINTEXT_LEN, ITEM_BLOCK_LEN, MAX_ID_LEN,
     PAD_ITEM_PREFIX, RULES_BLOCK_LEN,
 };
+use crate::telemetry::{SpanRecord, Stage, Telemetry, TraceId};
 use crate::PProxError;
 use pprox_crypto::ctr::SymmetricKey;
 use pprox_crypto::pad;
 use pprox_crypto::rng::SecureRng;
 use pprox_json::Value;
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Per-`get` state: the temporary key `k_u` needed to open the response.
 pub struct GetTicket {
@@ -42,6 +45,7 @@ pub struct UserClient {
     keys: ClientKeys,
     rng: SecureRng,
     encryption: bool,
+    telemetry: Option<Arc<Telemetry>>,
 }
 
 impl UserClient {
@@ -51,6 +55,7 @@ impl UserClient {
             keys,
             rng: SecureRng::from_seed(seed),
             encryption: true,
+            telemetry: None,
         }
     }
 
@@ -61,12 +66,36 @@ impl UserClient {
             keys,
             rng: SecureRng::from_seed(seed),
             encryption: false,
+            telemetry: None,
         }
+    }
+
+    /// Attaches a telemetry hub; subsequent requests record a
+    /// `client_encrypt` span. The span carries a trace ID drawn fresh from
+    /// the client's own RNG, deliberately unlinked to the proxy-side trace
+    /// segments: the client library sits outside the proxy trust domain,
+    /// so nothing it exports may join with server spans.
+    pub fn attach_telemetry(&mut self, telemetry: Arc<Telemetry>) {
+        self.telemetry = Some(telemetry);
     }
 
     /// Whether this client encrypts requests.
     pub fn encryption(&self) -> bool {
         self.encryption
+    }
+
+    fn record_encrypt(&mut self, started: Instant) {
+        if let Some(t) = &self.telemetry {
+            let duration_us = started.elapsed().as_micros() as u64;
+            t.record_span(SpanRecord {
+                trace: TraceId::random(&mut self.rng),
+                stage: Stage::ClientEncrypt,
+                instance: 0,
+                start_us: t.now_us().saturating_sub(duration_us),
+                duration_us,
+                ok: true,
+            });
+        }
     }
 
     fn check_id(id: &str) -> Result<(), PProxError> {
@@ -95,24 +124,29 @@ impl UserClient {
     ) -> Result<ClientEnvelope, PProxError> {
         Self::check_id(user)?;
         Self::check_id(item)?;
+        let started = Instant::now();
         let mut block = Value::object([("i", Value::from(item))]);
         if let Some(p) = payload {
             block.insert("p", Value::from(p));
         }
         if !self.encryption {
-            return Ok(ClientEnvelope {
+            let envelope = ClientEnvelope {
                 op: Op::Post,
                 user: user.as_bytes().to_vec(),
                 aux: block.to_json().into_bytes(),
-            });
+            };
+            self.record_encrypt(started);
+            return Ok(envelope);
         }
         let padded_user = pad::pad(user.as_bytes(), ID_PLAINTEXT_LEN)?;
         let padded_block = pad::pad(block.to_json().as_bytes(), ITEM_BLOCK_LEN)?;
-        Ok(ClientEnvelope {
+        let envelope = ClientEnvelope {
             op: Op::Post,
             user: self.keys.pk_ua.encrypt(&padded_user, &mut self.rng)?,
             aux: self.keys.pk_ia.encrypt(&padded_block, &mut self.rng)?,
-        })
+        };
+        self.record_encrypt(started);
+        Ok(envelope)
     }
 
     /// Intercepts `get(u)`: yields the encrypted envelope (Figure 4's
@@ -124,8 +158,10 @@ impl UserClient {
     /// Same conditions as [`post`](Self::post).
     pub fn get(&mut self, user: &str) -> Result<(ClientEnvelope, GetTicket), PProxError> {
         Self::check_id(user)?;
+        let started = Instant::now();
         let k_u = SymmetricKey::generate(&mut self.rng);
         if !self.encryption {
+            self.record_encrypt(started);
             return Ok((
                 ClientEnvelope {
                     op: Op::Get,
@@ -141,6 +177,7 @@ impl UserClient {
             user: self.keys.pk_ua.encrypt(&padded_user, &mut self.rng)?,
             aux: self.keys.pk_ia.encrypt(k_u.as_bytes(), &mut self.rng)?,
         };
+        self.record_encrypt(started);
         Ok((envelope, GetTicket { k_u }))
     }
 
@@ -166,6 +203,7 @@ impl UserClient {
         for id in exclude {
             Self::check_id(id)?;
         }
+        let started = Instant::now();
         let k_u = SymmetricKey::generate(&mut self.rng);
         if !self.encryption {
             // Passthrough mode: rules travel in the clear.
@@ -173,6 +211,7 @@ impl UserClient {
                 "x",
                 exclude.iter().map(|e| Value::from(*e)).collect::<Value>(),
             )]);
+            self.record_encrypt(started);
             return Ok((
                 ClientEnvelope {
                     op: Op::Get,
@@ -200,6 +239,7 @@ impl UserClient {
             user: self.keys.pk_ua.encrypt(&padded_user, &mut self.rng)?,
             aux,
         };
+        self.record_encrypt(started);
         Ok((envelope, GetTicket { k_u }))
     }
 

@@ -8,6 +8,7 @@
 
 use crate::resilience::ResilienceConfig;
 use crate::shuffler::ShuffleConfig;
+use crate::telemetry::TelemetryConfig;
 
 /// Parameters of a PProx deployment.
 #[derive(Debug, Clone, PartialEq)]
@@ -33,6 +34,9 @@ pub struct PProxConfig {
     /// Fault-tolerance knobs: deadlines, retries, circuit breaking and
     /// admission control (see [`crate::resilience`]).
     pub resilience: ResilienceConfig,
+    /// Observability knobs: span-ring retention and the trace-ID policy
+    /// at shuffle boundaries (see [`crate::telemetry`]).
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for PProxConfig {
@@ -46,6 +50,7 @@ impl Default for PProxConfig {
             ia_instances: 1,
             modulus_bits: pprox_crypto::rsa::DEFAULT_MODULUS_BITS,
             resilience: ResilienceConfig::default(),
+            telemetry: TelemetryConfig::default(),
         }
     }
 }
@@ -85,6 +90,7 @@ impl PProxConfig {
             ia_instances: m.ia,
             modulus_bits: pprox_crypto::rsa::DEFAULT_MODULUS_BITS,
             resilience: ResilienceConfig::default(),
+            telemetry: TelemetryConfig::default(),
         }
     }
 }

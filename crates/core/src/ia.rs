@@ -19,6 +19,7 @@ use crate::message::{
     list_to_plaintext, EncryptedList, LayerEnvelope, Op, ID_PLAINTEXT_LEN, ITEM_BLOCK_LEN,
     PAD_ITEM_PREFIX, RULES_BLOCK_LEN,
 };
+use crate::telemetry::LatencyHistogram;
 use crate::PProxError;
 use pprox_crypto::base64;
 use pprox_crypto::ctr::SymmetricKey;
@@ -28,6 +29,8 @@ use pprox_json::Value;
 use pprox_lrs::api::{FeedbackEvent, RecommendationQuery};
 use pprox_lrs::MAX_RECOMMENDATIONS;
 use pprox_sgx::EpcStore;
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Handle to a pending `get`: keys the stored `k_u` for the response leg.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -62,6 +65,7 @@ pub struct IaState {
     next_token: u64,
     rng: SecureRng,
     processed: u64,
+    processing_histogram: Option<Arc<LatencyHistogram>>,
 }
 
 impl std::fmt::Debug for IaState {
@@ -92,6 +96,21 @@ impl IaState {
             next_token: 1,
             rng,
             processed: 0,
+            processing_histogram: None,
+        }
+    }
+
+    /// Attaches the latency histogram this instance records its
+    /// in-enclave processing time into (the telemetry `ia` stage). Each
+    /// ECALL — post, get, get-response — is one observation, so the stage
+    /// count exceeds the request count for gets by design.
+    pub fn set_processing_histogram(&mut self, histogram: Arc<LatencyHistogram>) {
+        self.processing_histogram = Some(histogram);
+    }
+
+    fn record_processing(&self, started: Instant) {
+        if let Some(h) = &self.processing_histogram {
+            h.record(started.elapsed().as_micros() as u64);
         }
     }
 
@@ -162,6 +181,17 @@ impl IaState {
     ) -> Result<FeedbackEvent, PProxError> {
         debug_assert_eq!(envelope.op, Op::Post);
         self.processed += 1;
+        let started = Instant::now();
+        let result = self.process_post_inner(envelope, options);
+        self.record_processing(started);
+        result
+    }
+
+    fn process_post_inner(
+        &mut self,
+        envelope: &LayerEnvelope,
+        options: IaOptions,
+    ) -> Result<FeedbackEvent, PProxError> {
         let (item, payload) = if options.encryption {
             let block = self.secrets.sk.decrypt(&envelope.aux)?;
             let body = pad::unpad(&block, ITEM_BLOCK_LEN)?;
@@ -217,6 +247,17 @@ impl IaState {
     ) -> Result<(RecommendationQuery, PendingToken), PProxError> {
         debug_assert_eq!(envelope.op, Op::Get);
         self.processed += 1;
+        let started = Instant::now();
+        let result = self.process_get_inner(envelope, options);
+        self.record_processing(started);
+        result
+    }
+
+    fn process_get_inner(
+        &mut self,
+        envelope: &LayerEnvelope,
+        options: IaOptions,
+    ) -> Result<(RecommendationQuery, PendingToken), PProxError> {
         let token = PendingToken(self.next_token);
         self.next_token += 1;
         let mut exclude: Vec<String> = Vec::new();
@@ -295,6 +336,18 @@ impl IaState {
         options: IaOptions,
     ) -> Result<EncryptedList, PProxError> {
         self.processed += 1;
+        let started = Instant::now();
+        let result = self.process_get_response_inner(token, item_ids, options);
+        self.record_processing(started);
+        result
+    }
+
+    fn process_get_response_inner(
+        &mut self,
+        token: PendingToken,
+        item_ids: &[String],
+        options: IaOptions,
+    ) -> Result<EncryptedList, PProxError> {
         let mut items: Vec<String> = if options.encryption && options.item_pseudonymization {
             item_ids
                 .iter()

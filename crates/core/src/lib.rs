@@ -22,8 +22,9 @@
 //! * [`message`] — constant-size wire envelopes.
 //! * [`gateway`] — §4.2's transparent REST redirection: envelopes riding
 //!   the LRS's own paths with PProx routing headers.
-//! * [`metrics`] — per-layer operational telemetry (the fluentd role)
-//!   feeding the autoscaler.
+//! * [`metrics`] — per-layer operational counters feeding the autoscaler.
+//! * [`telemetry`] — privacy-safe tracing and latency histograms (the
+//!   fluentd role), with trace IDs re-randomized at shuffle boundaries.
 //! * [`shuffler`] — the §4.3 request/response shuffle buffers.
 //! * [`routing`] — table T of in-flight requests.
 //! * [`config`] — deployment parameters, incl. the paper's Table 2 rows.
@@ -74,6 +75,7 @@ pub mod resilience;
 pub mod rotation;
 pub mod routing;
 pub mod shuffler;
+pub mod telemetry;
 pub mod ua;
 
 pub use client::UserClient;

@@ -72,6 +72,13 @@ impl LayerMetrics {
         self.rejected.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Requests processed so far — a single atomic load, for callers
+    /// (like [`MetricsRegistry::total_requests`]) that poll one counter
+    /// on a tight loop and do not need the full nine-field snapshot.
+    pub fn requests(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
     /// Current snapshot.
     pub fn snapshot(&self) -> LayerSnapshot {
         LayerSnapshot {
@@ -148,9 +155,27 @@ impl MetricsRegistry {
     }
 
     /// Registers a layer instance, returning its counter handle.
+    ///
+    /// Layer names must be unique — a duplicate would make
+    /// [`snapshot`](Self::snapshot) ambiguous and let one instance's
+    /// counters shadow another's in downstream exports. Rather than
+    /// silently accepting the collision, a duplicate name is auto-suffixed
+    /// (`"ua-0"`, `"ua-0#2"`, `"ua-0#3"`, …); check the snapshot if the
+    /// effective name matters.
     pub fn register(&self, name: impl Into<String>) -> Arc<LayerMetrics> {
+        let base = name.into();
         let metrics = Arc::new(LayerMetrics::new());
-        self.layers.lock().push((name.into(), metrics.clone()));
+        let mut layers = self.layers.lock();
+        let unique = if layers.iter().any(|(n, _)| *n == base) {
+            let mut k = 2;
+            while layers.iter().any(|(n, _)| *n == format!("{base}#{k}")) {
+                k += 1;
+            }
+            format!("{base}#{k}")
+        } else {
+            base
+        };
+        layers.push((unique, metrics.clone()));
         metrics
     }
 
@@ -166,11 +191,9 @@ impl MetricsRegistry {
     /// Total requests across all layers (feed for the autoscaler: divide
     /// by the observation window to get RPS).
     pub fn total_requests(&self) -> u64 {
-        self.layers
-            .lock()
-            .iter()
-            .map(|(_, m)| m.snapshot().requests)
-            .sum()
+        // One atomic load per layer; the nine-field snapshot() here would
+        // cost 9x the loads just to discard eight of them.
+        self.layers.lock().iter().map(|(_, m)| m.requests()).sum()
     }
 }
 
@@ -228,6 +251,63 @@ mod tests {
         assert_eq!(snap.len(), 2);
         assert_eq!(snap[0].0, "ua-0");
         assert_eq!(snap[0].1.requests, 2);
+    }
+
+    #[test]
+    fn duplicate_layer_names_are_auto_suffixed() {
+        let registry = MetricsRegistry::new();
+        let a = registry.register("ua-0");
+        let b = registry.register("ua-0");
+        let c = registry.register("ua-0");
+        a.record_request(1);
+        b.record_request(1);
+        b.record_request(1);
+        c.record_request(1);
+        let names: Vec<String> = registry.snapshot().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["ua-0", "ua-0#2", "ua-0#3"]);
+        // Distinct handles: nobody shadows anybody.
+        let snap = registry.snapshot();
+        assert_eq!(snap[0].1.requests, 1);
+        assert_eq!(snap[1].1.requests, 2);
+        assert_eq!(snap[2].1.requests, 1);
+        assert_eq!(registry.total_requests(), 4);
+    }
+
+    #[test]
+    fn direct_requests_load_matches_snapshot() {
+        let m = LayerMetrics::new();
+        for i in 0..7 {
+            m.record_request(i);
+        }
+        assert_eq!(m.requests(), 7);
+        assert_eq!(m.requests(), m.snapshot().requests);
+    }
+
+    #[test]
+    fn timeout_flush_fraction_is_exact_under_concurrent_flushes() {
+        // Four threads race timer-forced and count-forced flushes; the
+        // relaxed counters must not lose any, so the fraction comes out
+        // exactly at the mix ratio once every thread joins.
+        let m = Arc::new(LayerMetrics::new());
+        let mut joins = Vec::new();
+        for t in 0..4 {
+            let h = m.clone();
+            joins.push(std::thread::spawn(move || {
+                for i in 0..1000 {
+                    // Threads 0,1 flush by timer on even i; 2,3 on i % 4.
+                    let by_timer = if t < 2 { i % 2 == 0 } else { i % 4 == 0 };
+                    h.record_flush(by_timer);
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        let s = m.snapshot();
+        assert_eq!(s.shuffle_flushes, 4000);
+        // 2 threads * 500 + 2 threads * 250 timer flushes.
+        assert_eq!(s.shuffle_timeouts, 1500);
+        assert!((s.timeout_flush_fraction() - 0.375).abs() < 1e-12);
     }
 
     #[test]

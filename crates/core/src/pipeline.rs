@@ -45,6 +45,7 @@ use crate::resilience::{
     ResilienceConfig, RetryBackoff, TimeoutPool,
 };
 use crate::shuffler::ShuffleBuffer;
+use crate::telemetry::{SpanRecord, Stage, Telemetry, TraceId};
 use crate::ua::UaState;
 use crate::{PProxError, UserClient};
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
@@ -77,6 +78,11 @@ struct Job {
     reply: Sender<Completion>,
     deadline: Deadline,
     permit: AdmissionPermit,
+    // Telemetry trace segment this job currently belongs to; replaced
+    // with a fresh random ID at every shuffle flush.
+    trace: TraceId,
+    // Admission time on the telemetry clock, for the e2e histogram.
+    accepted_us: u64,
 }
 
 struct IaJob {
@@ -84,6 +90,8 @@ struct IaJob {
     reply: Sender<Completion>,
     deadline: Deadline,
     permit: AdmissionPermit,
+    trace: TraceId,
+    accepted_us: u64,
 }
 
 struct ResponseJob {
@@ -92,6 +100,33 @@ struct ResponseJob {
     // Held until the response is delivered so the admission gate tracks
     // true end-to-end in-flight occupancy; released on drop.
     permit: AdmissionPermit,
+    trace: TraceId,
+    accepted_us: u64,
+}
+
+/// Shuffle-server access to an item's trace segment: read it to stamp the
+/// dwell span, replace it to cut the linkage across the boundary.
+trait Traced {
+    fn trace(&self) -> TraceId;
+    fn set_trace(&mut self, trace: TraceId);
+}
+
+impl Traced for Job {
+    fn trace(&self) -> TraceId {
+        self.trace
+    }
+    fn set_trace(&mut self, trace: TraceId) {
+        self.trace = trace;
+    }
+}
+
+impl Traced for ResponseJob {
+    fn trace(&self) -> TraceId {
+        self.trace
+    }
+    fn set_trace(&mut self, trace: TraceId) {
+        self.trace = trace;
+    }
 }
 
 /// A supervised enclave slot: the live enclave plus the recipe to replace
@@ -193,6 +228,8 @@ pub struct PProxPipeline {
     lrs_pool: Arc<TimeoutPool>,
     enclave_restarts: Arc<AtomicU64>,
     ingress_metrics: Arc<LayerMetrics>,
+    trace_rng: Mutex<SecureRng>,
+    telemetry: Arc<Telemetry>,
 }
 
 impl std::fmt::Debug for PProxPipeline {
@@ -226,18 +263,32 @@ impl PProxPipeline {
         let provisioner = Arc::new(KeyProvisioner::generate(config.modulus_bits, &mut rng));
         let platform = Platform::new(&mut rng);
         let enclave_restarts = Arc::new(AtomicU64::new(0));
+        let telemetry = Arc::new(Telemetry::new(config.telemetry));
 
+        // In-enclave histograms: each layer state times its own processing
+        // and records into the matching telemetry stage. Reload closures
+        // re-attach after a crash so replacements keep reporting.
+        let ua_hist = telemetry.stages().histogram(Stage::Ua).clone();
+        let ia_hist = telemetry.stages().histogram(Stage::Ia).clone();
         let mut ua_layer: Vec<Arc<SupervisedEnclave<UaState>>> = Vec::new();
         for _ in 0..config.ua_instances.max(1) {
             let enclave = platform.load_enclave::<UaState>(UA_CODE_IDENTITY);
             provisioner.provision_ua(&platform, &enclave)?;
-            let (p, prov) = (platform.clone(), provisioner.clone());
+            let h = ua_hist.clone();
+            enclave
+                .call(|ua| ua.set_processing_histogram(h))
+                .map_err(PProxError::from)?;
+            let (p, prov, hist) = (platform.clone(), provisioner.clone(), ua_hist.clone());
             ua_layer.push(Arc::new(SupervisedEnclave::new(
                 enclave,
                 enclave_restarts.clone(),
                 move || {
                     let fresh = p.load_enclave::<UaState>(UA_CODE_IDENTITY);
                     prov.provision_ua(&p, &fresh)?;
+                    let h = hist.clone();
+                    fresh
+                        .call(|ua| ua.set_processing_histogram(h))
+                        .map_err(PProxError::from)?;
                     Ok(fresh)
                 },
             )));
@@ -246,13 +297,21 @@ impl PProxPipeline {
         for _ in 0..config.ia_instances.max(1) {
             let enclave = platform.load_enclave::<IaState>(IA_CODE_IDENTITY);
             provisioner.provision_ia(&platform, &enclave)?;
-            let (p, prov) = (platform.clone(), provisioner.clone());
+            let h = ia_hist.clone();
+            enclave
+                .call(|ia| ia.set_processing_histogram(h))
+                .map_err(PProxError::from)?;
+            let (p, prov, hist) = (platform.clone(), provisioner.clone(), ia_hist.clone());
             ia_layer.push(Arc::new(SupervisedEnclave::new(
                 enclave,
                 enclave_restarts.clone(),
                 move || {
                     let fresh = p.load_enclave::<IaState>(IA_CODE_IDENTITY);
                     prov.provision_ia(&p, &fresh)?;
+                    let h = hist.clone();
+                    fresh
+                        .call(|ia| ia.set_processing_histogram(h))
+                        .map_err(PProxError::from)?;
                     Ok(fresh)
                 },
             )));
@@ -261,7 +320,9 @@ impl PProxPipeline {
         let resilience = config.resilience.clone();
         let gate = AdmissionGate::new(resilience.max_inflight);
         let breaker = Arc::new(CircuitBreaker::from_config(&resilience));
-        let lrs_pool = Arc::new(TimeoutPool::new(workers_per_layer));
+        let mut lrs_pool = TimeoutPool::new(workers_per_layer);
+        lrs_pool.set_attempt_histogram(telemetry.stages().histogram(Stage::LrsAttempt).clone());
+        let lrs_pool = Arc::new(lrs_pool);
 
         let metrics = MetricsRegistry::new();
         let ingress_metrics = metrics.register("ingress");
@@ -271,7 +332,6 @@ impl PProxPipeline {
         let (resp_tx, resp_rx) = unbounded::<ResponseJob>();
 
         let mut handles = Vec::new();
-        let start = Instant::now();
 
         // UA server thread: request-direction shuffling.
         {
@@ -279,10 +339,20 @@ impl PProxPipeline {
             let mut buffer: ShuffleBuffer<Job> = ShuffleBuffer::new(shuffle, seed ^ 0x0a5e);
             let ua_work_tx = ua_work_tx.clone();
             let server_metrics = metrics.register("ua-shuffle");
+            let telemetry = telemetry.clone();
+            let rerand_rng = SecureRng::from_seed(seed ^ 0x7e1e_0001);
             handles.push(std::thread::spawn(move || {
-                shuffle_server(start, ingress_rx, &mut buffer, server_metrics, |job| {
-                    let _ = ua_work_tx.send(job);
-                });
+                shuffle_server(
+                    ingress_rx,
+                    &mut buffer,
+                    server_metrics,
+                    telemetry,
+                    Stage::ShuffleRequest,
+                    rerand_rng,
+                    |job| {
+                        let _ = ua_work_tx.send(job);
+                    },
+                );
             }));
         }
         drop(ua_work_tx);
@@ -294,8 +364,10 @@ impl PProxPipeline {
             let ia_tx = ia_work_tx.clone();
             let enclave = ua_layer[w % ua_layer.len()].clone();
             let layer_metrics = metrics.register(format!("ua-worker-{w}"));
+            let telemetry = telemetry.clone();
             handles.push(std::thread::spawn(move || {
                 while let Ok(job) = rx.recv() {
+                    let span_start = telemetry.now_us();
                     let started = Instant::now();
                     let result = if job.deadline.expired() {
                         layer_metrics.record_deadline_miss();
@@ -309,6 +381,17 @@ impl PProxPipeline {
                     if result.is_err() {
                         layer_metrics.record_error();
                     }
+                    // Ring-only: the `ua` histogram is fed in-enclave by
+                    // `UaState`, so pushing the span via `record_span`
+                    // would double-count the stage.
+                    telemetry.spans().push(SpanRecord {
+                        trace: job.trace,
+                        stage: Stage::Ua,
+                        instance: w as u16,
+                        start_us: span_start,
+                        duration_us: started.elapsed().as_micros() as u64,
+                        ok: result.is_ok(),
+                    });
                     match result {
                         Ok(layer_env) => {
                             let _ = ia_tx.send(IaJob {
@@ -316,6 +399,8 @@ impl PProxPipeline {
                                 reply: job.reply,
                                 deadline: job.deadline,
                                 permit: job.permit,
+                                trace: job.trace,
+                                accepted_us: job.accepted_us,
                             });
                         }
                         Err(e) => {
@@ -347,6 +432,7 @@ impl PProxPipeline {
             let pool = lrs_pool.clone();
             let resilience = resilience.clone();
             let layer_metrics = metrics.register(format!("ia-worker-{w}"));
+            let telemetry = telemetry.clone();
             let seed_base = seed ^ ((w as u64) << 32) ^ 0x1a;
             handles.push(std::thread::spawn(move || {
                 let mut processed = 0u64;
@@ -363,6 +449,9 @@ impl PProxPipeline {
                             resilience: &resilience,
                             metrics: &layer_metrics,
                             backoff_seed: seed_base.wrapping_add(processed),
+                            telemetry: &telemetry,
+                            trace: job.trace,
+                            instance: w as u16,
                         },
                         &job,
                     );
@@ -373,11 +462,19 @@ impl PProxPipeline {
                         }
                         _ => layer_metrics.record_response(),
                     }
-                    let IaJob { reply, permit, .. } = job;
+                    let IaJob {
+                        reply,
+                        permit,
+                        trace,
+                        accepted_us,
+                        ..
+                    } = job;
                     let _ = resp_tx.send(ResponseJob {
                         completion,
                         reply,
                         permit,
+                        trace,
+                        accepted_us,
                     });
                 }
             }));
@@ -390,11 +487,27 @@ impl PProxPipeline {
             let shuffle = config.shuffle;
             let mut buffer: ShuffleBuffer<ResponseJob> = ShuffleBuffer::new(shuffle, seed ^ 0x1a5e);
             let server_metrics = metrics.register("response-shuffle");
+            let server_telemetry = telemetry.clone();
+            let e2e_telemetry = telemetry.clone();
+            let rerand_rng = SecureRng::from_seed(seed ^ 0x7e1e_0002);
             handles.push(std::thread::spawn(move || {
-                shuffle_server(start, resp_rx, &mut buffer, server_metrics, |job| {
-                    let _ = job.reply.send(job.completion);
-                    drop(job.permit); // request fully answered: free the slot
-                });
+                shuffle_server(
+                    resp_rx,
+                    &mut buffer,
+                    server_metrics,
+                    server_telemetry,
+                    Stage::ShuffleResponse,
+                    rerand_rng,
+                    |job| {
+                        // Histogram-only: a per-request e2e *span* would tie
+                        // total latency to delivery time and hand the
+                        // adversary an arrival-order oracle.
+                        let e2e = e2e_telemetry.now_us().saturating_sub(job.accepted_us);
+                        e2e_telemetry.record_duration(Stage::E2e, e2e);
+                        let _ = job.reply.send(job.completion);
+                        drop(job.permit); // request fully answered: free the slot
+                    },
+                );
             }));
         }
 
@@ -412,17 +525,22 @@ impl PProxPipeline {
             lrs_pool,
             enclave_restarts,
             ingress_metrics,
+            trace_rng: Mutex::new(SecureRng::from_seed(seed ^ 0x77ace)),
+            telemetry,
         })
     }
 
-    /// A user-side library wired to this deployment.
+    /// A user-side library wired to this deployment, reporting its
+    /// `client_encrypt` spans into the deployment's telemetry hub.
     pub fn client(&self) -> UserClient {
         let seq = self.client_seq.fetch_add(1, Ordering::Relaxed);
-        if self.encryption {
+        let mut client = if self.encryption {
             UserClient::new(self.provisioner.client_keys(), 0xc11e ^ seq)
         } else {
             UserClient::new_passthrough(self.provisioner.client_keys(), 0xc11e ^ seq)
-        }
+        };
+        client.attach_telemetry(self.telemetry.clone());
+        client
     }
 
     /// The simulated SGX platform hosting the layers.
@@ -430,9 +548,14 @@ impl PProxPipeline {
         &self.platform
     }
 
-    /// Operational telemetry for this pipeline's workers.
+    /// Operational counters for this pipeline's workers.
     pub fn metrics(&self) -> &MetricsRegistry {
         &self.metrics
+    }
+
+    /// The telemetry hub: per-stage latency histograms and the span ring.
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.telemetry
     }
 
     /// Health of the resilience layer (gate, breaker, supervisors).
@@ -483,6 +606,8 @@ impl PProxPipeline {
             reply: tx,
             deadline: Deadline::starting_now(self.resilience.deadline),
             permit,
+            trace: TraceId::random(&mut self.trace_rng.lock()),
+            accepted_us: self.telemetry.now_us(),
         };
         // A send failure means the UA server exited (shutdown race); the
         // permit inside the failed job is released on drop.
@@ -511,34 +636,53 @@ impl Drop for PProxPipeline {
 /// Generic shuffle-server loop shared by the UA (requests) and response
 /// servers: buffer items until `S` or the timer, then release the batch in
 /// randomized order via `forward`.
-fn shuffle_server<T>(
-    start: Instant,
+///
+/// This is also the telemetry trust boundary: at every flush, each item's
+/// dwell is recorded as a span under the trace ID it *arrived* with, and
+/// the item then leaves under a freshly drawn ID (per the configured
+/// [`crate::telemetry::TraceIdPolicy`]). An observer of the exported span
+/// stream therefore cannot join a pre-shuffle segment with a post-shuffle
+/// one except by guessing within the flush group — the §6.2 `1/S` bound.
+fn shuffle_server<T: Traced>(
     rx: Receiver<T>,
     buffer: &mut ShuffleBuffer<T>,
     metrics: Arc<LayerMetrics>,
+    telemetry: Arc<Telemetry>,
+    stage: Stage,
+    mut rng: SecureRng,
     mut forward: impl FnMut(T),
 ) {
-    let now_us = |start: Instant| start.elapsed().as_micros() as u64;
+    let mut release = |flush: crate::shuffler::Flush<T>, timeout: bool| {
+        metrics.record_flush(timeout);
+        let released_us = telemetry.now_us();
+        let policy = telemetry.policy();
+        for (mut item, arrived_us) in flush.items.into_iter().zip(flush.arrived_at_us) {
+            telemetry.record_span(SpanRecord {
+                trace: item.trace(),
+                stage,
+                instance: 0,
+                start_us: arrived_us,
+                duration_us: released_us.saturating_sub(arrived_us),
+                ok: true,
+            });
+            item.set_trace(policy.next_trace(item.trace(), &mut rng));
+            forward(item);
+        }
+    };
     loop {
         match buffer.deadline_us() {
             // An armed timer: wait for the next item at most until it fires.
             Some(deadline) => {
-                let timeout = Duration::from_micros(deadline.saturating_sub(now_us(start)));
+                let timeout = Duration::from_micros(deadline.saturating_sub(telemetry.now_us()));
                 match rx.recv_timeout(timeout) {
                     Ok(item) => {
-                        if let Some(flush) = buffer.push(now_us(start), item) {
-                            metrics.record_flush(false);
-                            for item in flush.items {
-                                forward(item);
-                            }
+                        if let Some(flush) = buffer.push(telemetry.now_us(), item) {
+                            release(flush, false);
                         }
                     }
                     Err(RecvTimeoutError::Timeout) => {
-                        if let Some(flush) = buffer.poll_timeout(now_us(start)) {
-                            metrics.record_flush(true);
-                            for item in flush.items {
-                                forward(item);
-                            }
+                        if let Some(flush) = buffer.poll_timeout(telemetry.now_us()) {
+                            release(flush, true);
                         }
                     }
                     Err(RecvTimeoutError::Disconnected) => break,
@@ -548,11 +692,8 @@ fn shuffle_server<T>(
             // instead of waking idly on a poll interval.
             None => match rx.recv() {
                 Ok(item) => {
-                    if let Some(flush) = buffer.push(now_us(start), item) {
-                        metrics.record_flush(false);
-                        for item in flush.items {
-                            forward(item);
-                        }
+                    if let Some(flush) = buffer.push(telemetry.now_us(), item) {
+                        release(flush, false);
                     }
                 }
                 Err(_) => break,
@@ -560,10 +701,7 @@ fn shuffle_server<T>(
         }
     }
     if let Some(flush) = buffer.drain() {
-        metrics.record_flush(false);
-        for item in flush.items {
-            forward(item);
-        }
+        release(flush, false);
     }
 }
 
@@ -577,13 +715,38 @@ struct IaCallCtx<'a> {
     resilience: &'a ResilienceConfig,
     metrics: &'a LayerMetrics,
     backoff_seed: u64,
+    telemetry: &'a Telemetry,
+    trace: TraceId,
+    instance: u16,
 }
 
 /// One LRS call under the full resilience policy: per-attempt timeout
 /// clamped to the remaining deadline, circuit breaking, and retries with
 /// decorrelated-jitter backoff for retryable failures (5xx, timeout).
 /// Definitive answers (2xx/4xx) return immediately.
+///
+/// The whole resilient call — every attempt plus backoff sleeps — is one
+/// `lrs` telemetry span; individual attempts feed the `lrs_attempt`
+/// histogram via the [`TimeoutPool`].
 fn call_lrs_resilient(
+    ctx: &IaCallCtx<'_>,
+    deadline: Deadline,
+    request: &HttpRequest,
+) -> Result<HttpResponse, PProxError> {
+    let start_us = ctx.telemetry.now_us();
+    let result = call_lrs_resilient_inner(ctx, deadline, request);
+    ctx.telemetry.record_span(SpanRecord {
+        trace: ctx.trace,
+        stage: Stage::Lrs,
+        instance: ctx.instance,
+        start_us,
+        duration_us: ctx.telemetry.now_us().saturating_sub(start_us),
+        ok: result.is_ok(),
+    });
+    result
+}
+
+fn call_lrs_resilient_inner(
     ctx: &IaCallCtx<'_>,
     deadline: Deadline,
     request: &HttpRequest,
@@ -641,6 +804,20 @@ fn call_lrs_resilient(
     }
 }
 
+/// Calls into the IA enclave while accumulating enclave wall time into
+/// `acc` — the `ia` span covers in-enclave work only, not the LRS call or
+/// backoff sleeps sandwiched between ECALLs.
+fn timed_ecall<R>(
+    ctx: &IaCallCtx<'_>,
+    acc: &std::cell::Cell<u64>,
+    f: impl Fn(&mut IaState) -> R,
+) -> Result<R, PProxError> {
+    let started = Instant::now();
+    let result = ctx.enclave.call(f);
+    acc.set(acc.get() + started.elapsed().as_micros() as u64);
+    result
+}
+
 fn process_ia_job(ctx: IaCallCtx<'_>, job: &IaJob) -> Completion {
     if job.deadline.expired() {
         ctx.metrics.record_deadline_miss();
@@ -649,12 +826,14 @@ fn process_ia_job(ctx: IaCallCtx<'_>, job: &IaJob) -> Completion {
             Op::Get => Completion::Get(Err(PProxError::Deadline)),
         };
     }
-    match job.layer_env.op {
+    let enclave_us = std::cell::Cell::new(0u64);
+    let span_start = ctx.telemetry.now_us();
+    let completion = match job.layer_env.op {
         Op::Post => {
             let result = (|| {
-                let event = ctx
-                    .enclave
-                    .call(|ia| ia.process_post(&job.layer_env, ctx.options))??;
+                let event = timed_ecall(&ctx, &enclave_us, |ia| {
+                    ia.process_post(&job.layer_env, ctx.options)
+                })??;
                 let response = call_lrs_resilient(
                     &ctx,
                     job.deadline,
@@ -671,9 +850,9 @@ fn process_ia_job(ctx: IaCallCtx<'_>, job: &IaJob) -> Completion {
         }
         Op::Get => {
             let result = (|| {
-                let (query, token) = ctx
-                    .enclave
-                    .call(|ia| ia.process_get(&job.layer_env, ctx.options))??;
+                let (query, token) = timed_ecall(&ctx, &enclave_us, |ia| {
+                    ia.process_get(&job.layer_env, ctx.options)
+                })??;
                 let response = call_lrs_resilient(
                     &ctx,
                     job.deadline,
@@ -687,12 +866,28 @@ fn process_ia_job(ctx: IaCallCtx<'_>, job: &IaJob) -> Completion {
                 let list = RecommendationList::from_json(&response.body)
                     .ok_or(PProxError::MalformedMessage)?;
                 let ids: Vec<String> = list.items.into_iter().map(|s| s.item).collect();
-                ctx.enclave
-                    .call(|ia| ia.process_get_response(token, &ids, ctx.options))?
+                timed_ecall(&ctx, &enclave_us, |ia| {
+                    ia.process_get_response(token, &ids, ctx.options)
+                })?
             })();
             Completion::Get(result)
         }
-    }
+    };
+    let ok = !matches!(
+        &completion,
+        Completion::Post(Err(_)) | Completion::Get(Err(_))
+    );
+    // Span duration is the enclave time; the histogram is fed in-enclave
+    // by `IaState`, so the ring-only push avoids double counting.
+    ctx.telemetry.spans().push(SpanRecord {
+        trace: ctx.trace,
+        stage: Stage::Ia,
+        instance: ctx.instance,
+        start_us: span_start,
+        duration_us: enclave_us.get(),
+        ok,
+    });
+    completion
 }
 
 #[cfg(test)]
@@ -826,6 +1021,69 @@ mod tests {
         assert_eq!(ingress.1.rejected, 0);
         let errors: u64 = snapshot.iter().map(|(_, s)| s.errors).sum();
         assert_eq!(errors, 0);
+        p.shutdown();
+    }
+
+    #[test]
+    fn telemetry_covers_stages_and_rerandomizes_traces() {
+        let p = pipeline(ShuffleConfig {
+            size: 4,
+            timeout_us: 50_000,
+        });
+        let mut client = p.client();
+        let mut rxs = Vec::new();
+        for i in 0..8 {
+            let (env, ticket) = client.get(&format!("u{i}")).unwrap();
+            rxs.push((ticket, p.submit(env).unwrap()));
+        }
+        for (_, rx) in &rxs {
+            assert!(matches!(
+                rx.recv_timeout(Duration::from_secs(10)).unwrap(),
+                Completion::Get(Ok(_))
+            ));
+        }
+        let t = p.telemetry();
+        for stage in [
+            Stage::ClientEncrypt,
+            Stage::Ua,
+            Stage::Ia,
+            Stage::Lrs,
+            Stage::LrsAttempt,
+            Stage::ShuffleRequest,
+            Stage::ShuffleResponse,
+            Stage::E2e,
+        ] {
+            assert!(
+                t.stages().histogram(stage).count() >= 8,
+                "stage {} undercounted: {}",
+                stage.as_str(),
+                t.stages().histogram(stage).count()
+            );
+        }
+        // The core privacy invariant: no trace ID observed before the
+        // request shuffle ever reappears after it.
+        let spans = t.spans().snapshot();
+        let pre: std::collections::HashSet<u64> = spans
+            .iter()
+            .filter(|s| matches!(s.stage, Stage::ClientEncrypt | Stage::ShuffleRequest))
+            .map(|s| s.trace.0)
+            .collect();
+        let post: std::collections::HashSet<u64> = spans
+            .iter()
+            .filter(|s| {
+                matches!(
+                    s.stage,
+                    Stage::Ua | Stage::Ia | Stage::Lrs | Stage::ShuffleResponse
+                )
+            })
+            .map(|s| s.trace.0)
+            .collect();
+        assert!(!pre.is_empty() && !post.is_empty());
+        assert!(
+            pre.is_disjoint(&post),
+            "a trace ID crossed the shuffle boundary"
+        );
+        assert_eq!(t.spans().dropped(), 0);
         p.shutdown();
     }
 

@@ -435,6 +435,7 @@ pub struct TimeoutPool {
     task_tx: Sender<PoolTask>,
     task_rx: Receiver<PoolTask>,
     replacements: AtomicU64,
+    attempt_histogram: Option<Arc<crate::telemetry::LatencyHistogram>>,
 }
 
 impl std::fmt::Debug for TimeoutPool {
@@ -458,11 +459,21 @@ impl TimeoutPool {
             task_tx,
             task_rx,
             replacements: AtomicU64::new(0),
+            attempt_histogram: None,
         };
         for _ in 0..workers {
             pool.spawn_worker();
         }
         pool
+    }
+
+    /// Attaches a latency histogram recording the wall-clock duration of
+    /// every `call` — including timed-out attempts, which record the full
+    /// timeout they burned. In the pipeline this is the `lrs_attempt`
+    /// telemetry stage (per-attempt view; the `lrs` stage covers the whole
+    /// resilient call with retries).
+    pub fn set_attempt_histogram(&mut self, histogram: Arc<crate::telemetry::LatencyHistogram>) {
+        self.attempt_histogram = Some(histogram);
     }
 
     fn spawn_worker(&self) {
@@ -496,14 +507,19 @@ impl TimeoutPool {
         if self.task_tx.send(task).is_err() {
             return Err(CallTimedOut);
         }
-        match done_rx.recv_timeout(timeout) {
+        let started = Instant::now();
+        let outcome = match done_rx.recv_timeout(timeout) {
             Ok(v) => Ok(v),
             Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => {
                 self.replacements.fetch_add(1, Ordering::Relaxed);
                 self.spawn_worker();
                 Err(CallTimedOut)
             }
+        };
+        if let Some(h) = &self.attempt_histogram {
+            h.record(started.elapsed().as_micros() as u64);
         }
+        outcome
     }
 
     /// Workers spawned to replace abandoned ones.

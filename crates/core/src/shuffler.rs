@@ -50,6 +50,10 @@ impl ShuffleConfig {
 pub struct Flush<T> {
     /// Items in randomized forwarding order.
     pub items: Vec<T>,
+    /// Arrival time (the `now_us` passed to `push`) of each item, aligned
+    /// with the shuffled `items` order — dwell accounting for the
+    /// telemetry layer without re-identifying arrival order.
+    pub arrived_at_us: Vec<u64>,
     /// Why the flush happened.
     pub reason: FlushReason,
 }
@@ -81,7 +85,7 @@ pub enum FlushReason {
 #[derive(Debug)]
 pub struct ShuffleBuffer<T> {
     config: ShuffleConfig,
-    held: Vec<T>,
+    held: Vec<(u64, T)>,
     oldest_at_us: Option<u64>,
     rng: SecureRng,
     flushes: u64,
@@ -112,7 +116,7 @@ impl<T> ShuffleBuffer<T> {
         if self.held.is_empty() {
             self.oldest_at_us = Some(now_us);
         }
-        self.held.push(item);
+        self.held.push((now_us, item));
         if self.held.len() >= self.config.size {
             Some(self.flush(FlushReason::Full))
         } else {
@@ -147,11 +151,23 @@ impl<T> ShuffleBuffer<T> {
     }
 
     fn flush(&mut self, reason: FlushReason) -> Flush<T> {
-        let mut items = std::mem::take(&mut self.held);
+        // Shuffle (arrival, item) pairs together so the reported arrival
+        // times stay attached to their items through the permutation.
+        let mut held = std::mem::take(&mut self.held);
         self.oldest_at_us = None;
-        self.rng.shuffle(&mut items);
+        self.rng.shuffle(&mut held);
         self.flushes += 1;
-        Flush { items, reason }
+        let mut items = Vec::with_capacity(held.len());
+        let mut arrived_at_us = Vec::with_capacity(held.len());
+        for (at, item) in held {
+            arrived_at_us.push(at);
+            items.push(item);
+        }
+        Flush {
+            items,
+            arrived_at_us,
+            reason,
+        }
     }
 
     /// Items currently buffered.
@@ -251,6 +267,22 @@ mod tests {
             assert_eq!(flush.items, vec![i]);
         }
         assert_eq!(b.flushes(), 5);
+    }
+
+    #[test]
+    fn arrival_times_follow_items_through_the_shuffle() {
+        // Tag each item with its own arrival time; after shuffling, the
+        // reported arrival must still be the one its item carried in.
+        let mut b = buf(16, 1_000_000);
+        let mut flush = None;
+        for i in 0..16u32 {
+            flush = b.push(1_000 + i as u64, i).or(flush);
+        }
+        let flush = flush.unwrap();
+        assert_eq!(flush.items.len(), flush.arrived_at_us.len());
+        for (item, at) in flush.items.iter().zip(&flush.arrived_at_us) {
+            assert_eq!(*at, 1_000 + *item as u64);
+        }
     }
 
     #[test]

@@ -1,0 +1,455 @@
+//! Rendering and validation of the exported telemetry formats.
+//!
+//! Two artifacts leave the deployment (the `telemetry_export` tool in
+//! `pprox-bench` is a thin driver around this module):
+//!
+//! * **Prometheus text exposition** — per-stage latency histograms as
+//!   cumulative `le` buckets plus per-layer counters, scrape-ready.
+//! * **JSON snapshot** — the same data as a schema-versioned document
+//!   written under `results/`, with per-stage p50/p95/p99/p99.9.
+//!
+//! Both renderers consume only [`HistogramSnapshot`]s, counter
+//! [`LayerSnapshot`]s and span accounting — never raw identifiers — so
+//! everything they can possibly emit is already covered by the telemetry
+//! privacy audit. The validators are deliberate about shape *and* sanity
+//! (cumulative buckets must be monotone, quantiles ordered) so CI catches
+//! a broken exporter, not just a missing field.
+
+use super::histogram::HistogramSnapshot;
+use super::trace::Stage;
+use crate::metrics::LayerSnapshot;
+use pprox_json::Value;
+
+/// Schema version of the JSON snapshot document.
+pub const TELEMETRY_SCHEMA_VERSION: u64 = 1;
+
+/// Stages the JSON validator requires (the acceptance surface): the two
+/// proxy layers, the merged shuffle dwell, and the LRS call.
+pub const REQUIRED_STAGES: [&str; 4] = ["ua", "ia", "shuffle", "lrs"];
+
+/// Prometheus `le` boundaries, µs: powers of two from 1 µs to ~67 s.
+/// Coarser than the in-memory log-linear cells on purpose — 27 series per
+/// stage instead of ~1100 — while `+Inf` keeps totals exact.
+pub fn prometheus_bounds_us() -> Vec<u64> {
+    (0..27).map(|e| 1u64 << e).collect()
+}
+
+/// Everything the renderers need from a deployment, already snapshotted.
+#[derive(Debug, Clone)]
+pub struct TelemetryReport {
+    /// Per-stage histogram snapshots, pipeline order.
+    pub stages: Vec<(Stage, HistogramSnapshot)>,
+    /// Merged shuffle dwell (request + response directions).
+    pub shuffle: HistogramSnapshot,
+    /// Per-layer counter snapshots, registration order.
+    pub layers: Vec<(String, LayerSnapshot)>,
+    /// Trace-ID policy label (see `TraceIdPolicy::as_str`).
+    pub trace_policy: String,
+    /// Spans pushed into the ring over the deployment's lifetime.
+    pub spans_pushed: u64,
+    /// Spans retained and exported from the ring.
+    pub spans_exported: u64,
+    /// Spans dropped under writer contention.
+    pub spans_dropped: u64,
+}
+
+fn round3(v: f64) -> f64 {
+    (v * 1000.0).round() / 1000.0
+}
+
+fn histogram_value(snap: &HistogramSnapshot) -> Value {
+    Value::object([
+        ("count", Value::from(snap.count())),
+        ("p50_us", Value::from(snap.p50())),
+        ("p95_us", Value::from(snap.p95())),
+        ("p99_us", Value::from(snap.p99())),
+        ("p999_us", Value::from(snap.p999())),
+        ("mean_us", Value::from(round3(snap.mean_us()))),
+        ("max_us", Value::from(snap.max_us())),
+    ])
+}
+
+/// Renders the JSON snapshot document.
+pub fn json_snapshot(report: &TelemetryReport) -> Value {
+    let mut stages = Value::object::<&str, _>([]);
+    for (stage, snap) in &report.stages {
+        stages.insert(stage.as_str(), histogram_value(snap));
+    }
+    stages.insert("shuffle", histogram_value(&report.shuffle));
+    let layers: Value = report
+        .layers
+        .iter()
+        .map(|(name, s)| {
+            Value::object([
+                ("name", Value::from(name.as_str())),
+                ("requests", Value::from(s.requests)),
+                ("responses", Value::from(s.responses)),
+                ("errors", Value::from(s.errors)),
+                ("retries", Value::from(s.retries)),
+                ("deadline_misses", Value::from(s.deadline_misses)),
+                ("rejected", Value::from(s.rejected)),
+                ("shuffle_flushes", Value::from(s.shuffle_flushes)),
+                ("shuffle_timeouts", Value::from(s.shuffle_timeouts)),
+                (
+                    "mean_processing_us",
+                    Value::from(round3(s.mean_processing_us())),
+                ),
+            ])
+        })
+        .collect();
+    Value::object([
+        ("report", Value::from("telemetry")),
+        ("schema_version", Value::from(TELEMETRY_SCHEMA_VERSION)),
+        ("trace_policy", Value::from(report.trace_policy.as_str())),
+        ("stages", stages),
+        ("layers", layers),
+        (
+            "spans",
+            Value::object([
+                ("pushed", Value::from(report.spans_pushed)),
+                ("exported", Value::from(report.spans_exported)),
+                ("dropped", Value::from(report.spans_dropped)),
+            ]),
+        ),
+    ])
+}
+
+/// Validates a parsed JSON snapshot. Returns the first violation.
+///
+/// # Errors
+///
+/// A human-readable description of the violated constraint.
+pub fn validate_json_snapshot(root: &Value) -> Result<(), String> {
+    if root.get("report").and_then(Value::as_str) != Some("telemetry") {
+        return Err("missing report=telemetry tag".into());
+    }
+    let version = root
+        .get("schema_version")
+        .and_then(Value::as_u64)
+        .ok_or("missing schema_version")?;
+    if version < TELEMETRY_SCHEMA_VERSION {
+        return Err(format!("schema_version {version} too old"));
+    }
+    let policy = root
+        .get("trace_policy")
+        .and_then(Value::as_str)
+        .ok_or("missing trace_policy")?;
+    if policy != "rerandomize" {
+        return Err(format!(
+            "trace_policy must be rerandomize in exported telemetry, got {policy}"
+        ));
+    }
+    let stages = root.get("stages").ok_or("missing stages object")?;
+    for name in REQUIRED_STAGES {
+        let s = stages.get(name).ok_or(format!("missing stage {name}"))?;
+        let field = |f: &str| -> Result<f64, String> {
+            s.get(f)
+                .and_then(Value::as_f64)
+                .filter(|v| v.is_finite() && *v >= 0.0)
+                .ok_or(format!("{name}.{f} missing or not a finite number"))
+        };
+        let count = field("count")?;
+        if count < 1.0 {
+            return Err(format!("stage {name} has no observations"));
+        }
+        let (p50, p95, p99) = (field("p50_us")?, field("p95_us")?, field("p99_us")?);
+        let p999 = field("p999_us")?;
+        field("mean_us")?;
+        field("max_us")?;
+        if !(p50 <= p95 && p95 <= p99 && p99 <= p999) {
+            return Err(format!(
+                "{name} quantiles not monotone: p50={p50} p95={p95} p99={p99} p999={p999}"
+            ));
+        }
+    }
+    let layers = root
+        .get("layers")
+        .and_then(Value::as_array)
+        .ok_or("missing layers array")?;
+    if layers.is_empty() {
+        return Err("layers array is empty".into());
+    }
+    for layer in layers {
+        layer
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or("layer without name")?;
+        layer
+            .get("requests")
+            .and_then(Value::as_u64)
+            .ok_or("layer without requests")?;
+    }
+    let spans = root.get("spans").ok_or("missing spans object")?;
+    for f in ["pushed", "exported", "dropped"] {
+        spans
+            .get(f)
+            .and_then(Value::as_u64)
+            .ok_or(format!("spans.{f} missing"))?;
+    }
+    Ok(())
+}
+
+/// Renders the Prometheus text exposition.
+pub fn prometheus_text(report: &TelemetryReport) -> String {
+    let mut out = String::new();
+    let bounds = prometheus_bounds_us();
+    out.push_str(
+        "# HELP pprox_stage_latency_us Per-stage latency, microseconds.\n\
+         # TYPE pprox_stage_latency_us histogram\n",
+    );
+    let mut emit_stage = |label: &str, snap: &HistogramSnapshot| {
+        for &b in &bounds {
+            out.push_str(&format!(
+                "pprox_stage_latency_us_bucket{{stage=\"{label}\",le=\"{b}\"}} {}\n",
+                snap.cumulative_le(b)
+            ));
+        }
+        out.push_str(&format!(
+            "pprox_stage_latency_us_bucket{{stage=\"{label}\",le=\"+Inf\"}} {}\n",
+            snap.count()
+        ));
+        out.push_str(&format!(
+            "pprox_stage_latency_us_sum{{stage=\"{label}\"}} {}\n",
+            snap.sum_us()
+        ));
+        out.push_str(&format!(
+            "pprox_stage_latency_us_count{{stage=\"{label}\"}} {}\n",
+            snap.count()
+        ));
+    };
+    for (stage, snap) in &report.stages {
+        emit_stage(stage.as_str(), snap);
+    }
+    emit_stage("shuffle", &report.shuffle);
+
+    for (help, metric, pick) in [
+        (
+            "Requests processed per layer.",
+            "pprox_layer_requests_total",
+            (|s: &LayerSnapshot| s.requests) as fn(&LayerSnapshot) -> u64,
+        ),
+        (
+            "Failed requests per layer.",
+            "pprox_layer_errors_total",
+            |s: &LayerSnapshot| s.errors,
+        ),
+        (
+            "Retried LRS attempts per layer.",
+            "pprox_layer_retries_total",
+            |s: &LayerSnapshot| s.retries,
+        ),
+        (
+            "Deadline-expired requests per layer.",
+            "pprox_layer_deadline_misses_total",
+            |s: &LayerSnapshot| s.deadline_misses,
+        ),
+        (
+            "Requests shed by admission control or breaker per layer.",
+            "pprox_layer_rejected_total",
+            |s: &LayerSnapshot| s.rejected,
+        ),
+        (
+            "Timer-forced shuffle flushes per layer.",
+            "pprox_layer_shuffle_timeouts_total",
+            |s: &LayerSnapshot| s.shuffle_timeouts,
+        ),
+    ] {
+        out.push_str(&format!(
+            "# HELP {metric} {help}\n# TYPE {metric} counter\n"
+        ));
+        for (name, snap) in &report.layers {
+            out.push_str(&format!("{metric}{{layer=\"{name}\"}} {}\n", pick(snap)));
+        }
+    }
+    out.push_str(
+        "# HELP pprox_spans_dropped_total Telemetry spans lost to ring contention.\n\
+         # TYPE pprox_spans_dropped_total counter\n",
+    );
+    out.push_str(&format!(
+        "pprox_spans_dropped_total {}\n",
+        report.spans_dropped
+    ));
+    out
+}
+
+/// Validates Prometheus exposition text: parseable sample lines, every
+/// histogram's cumulative buckets monotone and consistent with its
+/// `_count`, and the required stage series present.
+///
+/// # Errors
+///
+/// A human-readable description of the violated constraint.
+pub fn validate_prometheus(text: &str) -> Result<(), String> {
+    use std::collections::BTreeMap;
+    let mut buckets: BTreeMap<String, Vec<(f64, u64)>> = BTreeMap::new();
+    let mut counts: BTreeMap<String, u64> = BTreeMap::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (name_labels, value) = line
+            .rsplit_once(' ')
+            .ok_or(format!("line {lineno}: no sample value"))?;
+        let value: f64 = value
+            .parse()
+            .map_err(|_| format!("line {lineno}: bad sample value {value}"))?;
+        if value < 0.0 {
+            return Err(format!("line {lineno}: negative sample"));
+        }
+        if let Some(rest) = name_labels.strip_prefix("pprox_stage_latency_us_bucket{stage=\"") {
+            let (stage, rest) = rest
+                .split_once('"')
+                .ok_or(format!("line {lineno}: unterminated stage label"))?;
+            let le = rest
+                .strip_prefix(",le=\"")
+                .and_then(|r| r.strip_suffix("\"}"))
+                .ok_or(format!("line {lineno}: malformed le label"))?;
+            let bound = if le == "+Inf" {
+                f64::INFINITY
+            } else {
+                le.parse()
+                    .map_err(|_| format!("line {lineno}: bad le bound {le}"))?
+            };
+            buckets
+                .entry(stage.to_string())
+                .or_default()
+                .push((bound, value as u64));
+        } else if let Some(rest) = name_labels.strip_prefix("pprox_stage_latency_us_count{stage=\"")
+        {
+            let stage = rest
+                .strip_suffix("\"}")
+                .ok_or(format!("line {lineno}: malformed count label"))?;
+            counts.insert(stage.to_string(), value as u64);
+        }
+    }
+    for required in REQUIRED_STAGES {
+        if !buckets.contains_key(required) {
+            return Err(format!("missing histogram series for stage {required}"));
+        }
+    }
+    for (stage, series) in &buckets {
+        let mut prev = 0u64;
+        let mut prev_bound = f64::NEG_INFINITY;
+        for &(bound, cum) in series {
+            if bound <= prev_bound {
+                return Err(format!("stage {stage}: le bounds not increasing"));
+            }
+            if cum < prev {
+                return Err(format!("stage {stage}: cumulative buckets decrease"));
+            }
+            prev = cum;
+            prev_bound = bound;
+        }
+        let (last_bound, last_cum) = *series.last().unwrap();
+        if !last_bound.is_infinite() {
+            return Err(format!("stage {stage}: missing +Inf bucket"));
+        }
+        match counts.get(stage) {
+            Some(&c) if c == last_cum => {}
+            Some(&c) => {
+                return Err(format!(
+                    "stage {stage}: +Inf bucket {last_cum} != count {c}"
+                ))
+            }
+            None => return Err(format!("stage {stage}: missing _count series")),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{LatencyHistogram, Stage};
+    use super::*;
+
+    fn sample_report() -> TelemetryReport {
+        let mk = |values: &[u64]| {
+            let h = LatencyHistogram::new();
+            for &v in values {
+                h.record(v);
+            }
+            h.snapshot()
+        };
+        let stages: Vec<(Stage, HistogramSnapshot)> = Stage::ALL
+            .iter()
+            .map(|&s| (s, mk(&[100, 200, 400, 8_000])))
+            .collect();
+        let mut shuffle = stages[Stage::ShuffleRequest as usize].1.clone();
+        shuffle.merge(&stages[Stage::ShuffleResponse as usize].1);
+        let layer = LayerSnapshot {
+            requests: 4,
+            responses: 4,
+            ..LayerSnapshot::default()
+        };
+        TelemetryReport {
+            stages,
+            shuffle,
+            layers: vec![("ua-worker-0".into(), layer)],
+            trace_policy: "rerandomize".into(),
+            spans_pushed: 24,
+            spans_exported: 24,
+            spans_dropped: 0,
+        }
+    }
+
+    #[test]
+    fn json_snapshot_validates() {
+        let v = json_snapshot(&sample_report());
+        validate_json_snapshot(&v).unwrap();
+        // And survives a serialize/parse round trip.
+        let reparsed = Value::parse(&v.to_json()).unwrap();
+        validate_json_snapshot(&reparsed).unwrap();
+    }
+
+    #[test]
+    fn validator_rejects_leaky_policy() {
+        let mut report = sample_report();
+        report.trace_policy = "stable-across-shuffle".into();
+        let v = json_snapshot(&report);
+        let err = validate_json_snapshot(&v).unwrap_err();
+        assert!(err.contains("rerandomize"), "{err}");
+    }
+
+    #[test]
+    fn validator_rejects_missing_stage_and_empty_stage() {
+        let mut v = json_snapshot(&sample_report());
+        let stages = v.get_mut("stages").unwrap();
+        stages.insert("ua", Value::Null);
+        assert!(validate_json_snapshot(&v).is_err());
+
+        let mut report = sample_report();
+        report.stages[Stage::Ia as usize].1 = HistogramSnapshot::empty();
+        let v = json_snapshot(&report);
+        let err = validate_json_snapshot(&v).unwrap_err();
+        assert!(err.contains("no observations"), "{err}");
+    }
+
+    #[test]
+    fn prometheus_text_validates_and_mentions_every_stage() {
+        let text = prometheus_text(&sample_report());
+        validate_prometheus(&text).unwrap();
+        for s in Stage::ALL {
+            assert!(text.contains(&format!("stage=\"{}\"", s.as_str())));
+        }
+        assert!(text.contains("pprox_layer_requests_total{layer=\"ua-worker-0\"} 4"));
+    }
+
+    #[test]
+    fn prometheus_validator_catches_corruption() {
+        let text = prometheus_text(&sample_report());
+        // Breaking the +Inf bucket must be caught.
+        let broken = text.replace(
+            "pprox_stage_latency_us_bucket{stage=\"ua\",le=\"+Inf\"} 4",
+            "pprox_stage_latency_us_bucket{stage=\"ua\",le=\"+Inf\"} 3",
+        );
+        assert_ne!(text, broken);
+        assert!(validate_prometheus(&broken).is_err());
+        // Dropping a required stage must be caught.
+        let gone: String = text
+            .lines()
+            .filter(|l| !l.contains("stage=\"lrs\""))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert!(validate_prometheus(&gone).is_err());
+    }
+}

@@ -14,12 +14,16 @@
 
 use crate::keys::LayerSecrets;
 use crate::message::{ClientEnvelope, LayerEnvelope};
+use crate::telemetry::LatencyHistogram;
 use crate::PProxError;
+use std::sync::Arc;
+use std::time::Instant;
 
 /// In-enclave state and logic of a UA instance.
 pub struct UaState {
     secrets: LayerSecrets,
     processed: u64,
+    processing_histogram: Option<Arc<LatencyHistogram>>,
 }
 
 impl std::fmt::Debug for UaState {
@@ -39,7 +43,16 @@ impl UaState {
         UaState {
             secrets,
             processed: 0,
+            processing_histogram: None,
         }
+    }
+
+    /// Attaches the latency histogram this instance records its
+    /// in-enclave processing time into (the telemetry `ua` stage). Timing
+    /// is measured inside the enclave boundary so it reflects decrypt +
+    /// pseudonymize cost, not queueing or supervision overhead.
+    pub fn set_processing_histogram(&mut self, histogram: Arc<LatencyHistogram>) {
+        self.processing_histogram = Some(histogram);
     }
 
     pub(crate) fn secrets(&self) -> &LayerSecrets {
@@ -68,6 +81,19 @@ impl UaState {
         encryption: bool,
     ) -> Result<LayerEnvelope, PProxError> {
         self.processed += 1;
+        let started = Instant::now();
+        let result = self.process_inner(envelope, encryption);
+        if let Some(h) = &self.processing_histogram {
+            h.record(started.elapsed().as_micros() as u64);
+        }
+        result
+    }
+
+    fn process_inner(
+        &mut self,
+        envelope: &ClientEnvelope,
+        encryption: bool,
+    ) -> Result<LayerEnvelope, PProxError> {
         let user_pseudonym = if encryption {
             // The client encrypted the *padded* id, so the decrypted block
             // is already fixed-size; deterministic CTR keeps it fixed-size.
@@ -201,6 +227,27 @@ mod tests {
         let out = ua.process(&env, true).unwrap();
         let recovered = ua.depseudonymize(&out.user_pseudonym);
         assert_eq!(pad::unpad(&recovered, ID_PLAINTEXT_LEN).unwrap(), b"carol");
+    }
+
+    #[test]
+    fn processing_histogram_records_each_request() {
+        let (mut ua, _) = setup();
+        let hist = std::sync::Arc::new(crate::telemetry::LatencyHistogram::new());
+        ua.set_processing_histogram(hist.clone());
+        let env = ClientEnvelope {
+            op: Op::Post,
+            user: b"x".to_vec(),
+            aux: vec![],
+        };
+        ua.process(&env, false).unwrap();
+        // Failures are timed too: the enclave did work either way.
+        let bad = ClientEnvelope {
+            op: Op::Post,
+            user: vec![0u8; 13],
+            aux: vec![],
+        };
+        assert!(ua.process(&bad, true).is_err());
+        assert_eq!(hist.count(), 2);
     }
 
     #[test]

@@ -4,6 +4,8 @@ use pprox_core::autoscale::{AutoscaleConfig, Autoscaler};
 use pprox_core::message::{ClientEnvelope, LayerEnvelope, Op};
 use pprox_core::routing::RoutingTable;
 use pprox_core::shuffler::{ShuffleBuffer, ShuffleConfig};
+use pprox_core::telemetry::histogram::SUB_BUCKETS;
+use pprox_core::telemetry::{HistogramSnapshot, LatencyHistogram};
 use proptest::prelude::*;
 use std::collections::HashSet;
 
@@ -135,6 +137,63 @@ proptest! {
             env.to_frame().unwrap().len(),
             pprox_core::message::REQUEST_FRAME_LEN
         );
+    }
+
+    /// Histogram quantiles are monotone in `q`, stay within the observed
+    /// range, and respect the log-linear resolution bound against the
+    /// true (sorted) quantile.
+    #[test]
+    fn histogram_quantiles_are_monotone_and_bounded(
+        mut values in proptest::collection::vec(0u64..10_000_000, 1..500),
+    ) {
+        let h = LatencyHistogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        values.sort_unstable();
+        let max = *values.last().unwrap();
+        let mut prev = 0u64;
+        for step in 0..=100u32 {
+            let q = f64::from(step) / 100.0;
+            let got = s.quantile(q);
+            prop_assert!(got >= prev, "quantile({q}) = {got} < quantile(prev) = {prev}");
+            prop_assert!(got <= max, "quantile({q}) = {got} above observed max {max}");
+            prev = got;
+            // Resolution bound: the reported value is the upper edge of a
+            // bucket containing the true rank-order statistic, so it can
+            // exceed the true value by at most one sub-bucket's width.
+            let rank = ((q * values.len() as f64).ceil() as usize).max(1) - 1;
+            let truth = values[rank];
+            prop_assert!(
+                got as f64 >= truth as f64 * (1.0 - 1.0 / SUB_BUCKETS as f64) - 1.0
+                    && got as f64 <= truth as f64 * (1.0 + 1.0 / SUB_BUCKETS as f64) + 1.0,
+                "quantile({q}) = {got} vs true {truth}"
+            );
+        }
+        prop_assert_eq!(s.quantile(1.0), max);
+    }
+
+    /// Merging per-worker snapshots is exact: any partition of the same
+    /// observations merges into the identical snapshot, so quantiles are
+    /// independent of how recording was sharded across workers.
+    #[test]
+    fn histogram_merge_is_partition_independent(
+        values in proptest::collection::vec(0u64..10_000_000, 1..300),
+        split in 0usize..300,
+    ) {
+        let whole = LatencyHistogram::new();
+        let left = LatencyHistogram::new();
+        let right = LatencyHistogram::new();
+        let split = split.min(values.len());
+        for (i, &v) in values.iter().enumerate() {
+            whole.record(v);
+            if i < split { left.record(v) } else { right.record(v) }
+        }
+        let mut merged = HistogramSnapshot::empty();
+        merged.merge(&left.snapshot());
+        merged.merge(&right.snapshot());
+        prop_assert_eq!(merged, whole.snapshot());
     }
 
     /// The autoscaler never exceeds bounds, never returns zero instances,

@@ -16,4 +16,15 @@ cargo test -q --workspace
 echo "== bench smoke =="
 ./scripts/bench.sh
 
+echo "== telemetry export smoke =="
+TELEMETRY_DIR="$(mktemp -d)"
+trap 'rm -rf "$TELEMETRY_DIR"' EXIT
+cargo run --release -q -p pprox-bench --bin telemetry_export -- \
+    --requests 96 --shuffle-size 4 --out-dir "$TELEMETRY_DIR" >/dev/null
+cargo run --release -q -p pprox-bench --bin telemetry_export -- \
+    --validate "$TELEMETRY_DIR"
+
+echo "== validate committed telemetry snapshot =="
+cargo run --release -q -p pprox-bench --bin telemetry_export -- --validate results
+
 echo "CI green."
