@@ -1,0 +1,451 @@
+//! A small self-contained Rust lexer.
+//!
+//! The analyzer cannot depend on `syn` (offline build), and it does not
+//! need full parsing: every rule it enforces is expressible over a token
+//! stream with line numbers, plus the comment text per line (comments
+//! carry the `relaxed-ok:` / `analysis-allow:` directives). The lexer
+//! therefore handles exactly the lexical subtleties that would otherwise
+//! produce false positives — nested block comments, string and raw-string
+//! literals (so an identifier *named* in a string is not a reference),
+//! char literals vs lifetimes — and nothing more.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Token classification — only as fine-grained as the rules need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Operator / delimiter (multi-char for `==`, `!=`, `::` …).
+    Punct,
+    /// String / byte-string / char literal (text is the content).
+    Str,
+    /// Numeric literal.
+    Num,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Classification.
+    pub kind: TokKind,
+    /// Token text (content only for string literals).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: usize,
+}
+
+/// A lexed source file: tokens plus per-line comment text.
+#[derive(Debug, Default)]
+pub struct LexedFile {
+    /// All tokens in source order.
+    pub tokens: Vec<Tok>,
+    /// Comment text per line. A block comment contributes its full text to
+    /// every line it spans, so directive lookups are line-based.
+    pub comments: BTreeMap<usize, String>,
+    /// Lines that carry at least one token (used to find comment-only
+    /// lines when walking a contiguous comment block upward).
+    pub code_lines: BTreeSet<usize>,
+}
+
+impl LexedFile {
+    fn push(&mut self, kind: TokKind, text: String, line: usize) {
+        self.code_lines.insert(line);
+        self.tokens.push(Tok { kind, text, line });
+    }
+
+    fn note_comment(&mut self, line: usize, text: &str) {
+        let slot = self.comments.entry(line).or_default();
+        if !slot.is_empty() {
+            slot.push(' ');
+        }
+        slot.push_str(text);
+    }
+}
+
+const TWO_CHAR_PUNCT: &[&str] = &[
+    "==", "!=", "::", "->", "=>", "<=", ">=", "&&", "||", "..", "+=", "-=", "*=", "/=", "|=", "&=",
+    "^=",
+];
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `source` into tokens and per-line comments.
+pub fn lex(source: &str) -> LexedFile {
+    let chars: Vec<char> = source.chars().collect();
+    let mut out = LexedFile::default();
+    let mut i = 0;
+    let mut line = 1;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                let start = i;
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                out.note_comment(line, text.trim_start_matches('/').trim());
+            }
+            '/' if chars.get(i + 1) == Some(&'*') => {
+                // Nested block comment; register its text on every spanned
+                // line so line-based directive lookups work.
+                let start = i;
+                let first_line = line;
+                let mut depth = 1;
+                i += 2;
+                while i < chars.len() && depth > 0 {
+                    if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if chars[i] == '\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+                let text: String = chars[start..i.min(chars.len())].iter().collect();
+                let trimmed = text
+                    .trim_start_matches('/')
+                    .trim_start_matches('*')
+                    .trim_end_matches('/')
+                    .trim_end_matches('*')
+                    .trim();
+                for l in first_line..=line {
+                    out.note_comment(l, trimmed);
+                }
+            }
+            '"' => {
+                let (text, consumed, newlines) = lex_string(&chars, i);
+                out.push(TokKind::Str, text, line);
+                line += newlines;
+                i += consumed;
+            }
+            'r' | 'b' if raw_string_lookahead(&chars, i).is_some() => {
+                let hashes = raw_string_lookahead(&chars, i).unwrap();
+                let (text, consumed, newlines) = lex_raw_string(&chars, i, hashes);
+                out.push(TokKind::Str, text, line);
+                line += newlines;
+                i += consumed;
+            }
+            'b' if chars.get(i + 1) == Some(&'"') => {
+                let (text, consumed, newlines) = lex_string(&chars, i + 1);
+                out.push(TokKind::Str, text, line);
+                line += newlines;
+                i += consumed + 1;
+            }
+            '\'' => {
+                // Char literal vs lifetime: a lifetime is `'ident` NOT
+                // followed by a closing quote.
+                if chars.get(i + 1) == Some(&'\\') {
+                    // Escaped char literal.
+                    let mut j = i + 2;
+                    while j < chars.len() && chars[j] != '\'' {
+                        j += 1;
+                    }
+                    let text: String = chars[i + 1..j].iter().collect();
+                    out.push(TokKind::Str, text, line);
+                    i = j + 1;
+                } else if chars
+                    .get(i + 1)
+                    .map(|&ch| is_ident_start(ch) || ch.is_ascii_digit())
+                    .unwrap_or(false)
+                    && chars.get(i + 2) == Some(&'\'')
+                {
+                    let text: String = chars[i + 1..i + 2].iter().collect();
+                    out.push(TokKind::Str, text, line);
+                    i += 3;
+                } else {
+                    // Lifetime: consume the tick + identifier, no token.
+                    i += 1;
+                    while i < chars.len() && is_ident_continue(chars[i]) {
+                        i += 1;
+                    }
+                }
+            }
+            c if is_ident_start(c) => {
+                let start = i;
+                while i < chars.len() && is_ident_continue(chars[i]) {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                out.push(TokKind::Ident, text, line);
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < chars.len() && (is_ident_continue(chars[i])) {
+                    i += 1;
+                }
+                // Fractional part only when followed by a digit (so `0..9`
+                // stays three tokens).
+                if i < chars.len()
+                    && chars[i] == '.'
+                    && chars
+                        .get(i + 1)
+                        .map(|c| c.is_ascii_digit())
+                        .unwrap_or(false)
+                {
+                    i += 1;
+                    while i < chars.len() && is_ident_continue(chars[i]) {
+                        i += 1;
+                    }
+                }
+                let text: String = chars[start..i].iter().collect();
+                out.push(TokKind::Num, text, line);
+            }
+            _ => {
+                let pair: String = chars[i..(i + 2).min(chars.len())].iter().collect();
+                if TWO_CHAR_PUNCT.contains(&pair.as_str()) {
+                    out.push(TokKind::Punct, pair, line);
+                    i += 2;
+                } else {
+                    out.push(TokKind::Punct, c.to_string(), line);
+                    i += 1;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Lexes a `"…"` literal starting at the opening quote; returns
+/// (content, chars consumed, newlines spanned).
+fn lex_string(chars: &[char], start: usize) -> (String, usize, usize) {
+    let mut i = start + 1;
+    let mut newlines = 0;
+    let mut content = String::new();
+    while i < chars.len() {
+        match chars[i] {
+            '\\' => {
+                if let Some(&next) = chars.get(i + 1) {
+                    content.push(next);
+                    if next == '\n' {
+                        newlines += 1;
+                    }
+                }
+                i += 2;
+            }
+            '"' => {
+                i += 1;
+                break;
+            }
+            ch => {
+                if ch == '\n' {
+                    newlines += 1;
+                }
+                content.push(ch);
+                i += 1;
+            }
+        }
+    }
+    (content, i - start, newlines)
+}
+
+/// Detects `r"…"`, `r#"…"#`, `br"…"` … at `i`; returns the hash count.
+fn raw_string_lookahead(chars: &[char], i: usize) -> Option<usize> {
+    let mut j = i + 1;
+    if chars[i] == 'b' {
+        if chars.get(j) != Some(&'r') {
+            return None;
+        }
+        j += 1;
+    }
+    let mut hashes = 0;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if chars.get(j) == Some(&'"') {
+        Some(hashes)
+    } else {
+        None
+    }
+}
+
+fn lex_raw_string(chars: &[char], start: usize, hashes: usize) -> (String, usize, usize) {
+    // Skip prefix (r / br + hashes + quote).
+    let mut i = start;
+    while i < chars.len() && chars[i] != '"' {
+        i += 1;
+    }
+    i += 1;
+    let content_start = i;
+    let mut newlines = 0;
+    while i < chars.len() {
+        if chars[i] == '"' {
+            let mut ok = true;
+            for k in 0..hashes {
+                if chars.get(i + 1 + k) != Some(&'#') {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                let content: String = chars[content_start..i].iter().collect();
+                return (content, i + 1 + hashes - start, newlines);
+            }
+        }
+        if chars[i] == '\n' {
+            newlines += 1;
+        }
+        i += 1;
+    }
+    let content: String = chars[content_start..].iter().collect();
+    (content, chars.len() - start, newlines)
+}
+
+/// Line ranges (inclusive) covered by `#[cfg(test)]`-gated items.
+pub fn test_regions(lex: &LexedFile) -> Vec<(usize, usize)> {
+    let toks = &lex.tokens;
+    let mut regions = Vec::new();
+    let mut depth: i64 = 0;
+    let mut pending_attr = false;
+    let mut open_at: Vec<(i64, usize)> = Vec::new(); // (depth at open, start line)
+    let mut k = 0;
+    while k < toks.len() {
+        // Match `# [ cfg ( test ) ]` (and `#![cfg(test)]`).
+        if toks[k].text == "#"
+            && matches(toks, k + 1, &["[", "cfg", "(", "test", ")", "]"]).unwrap_or(false)
+        {
+            pending_attr = true;
+            k += 7;
+            continue;
+        }
+        match toks[k].text.as_str() {
+            "{" => {
+                if pending_attr {
+                    open_at.push((depth, toks[k].line));
+                    pending_attr = false;
+                }
+                depth += 1;
+            }
+            "}" => {
+                depth -= 1;
+                if let Some(&(d, start)) = open_at.last() {
+                    if d == depth {
+                        regions.push((start, toks[k].line));
+                        open_at.pop();
+                    }
+                }
+            }
+            ";" => {
+                // `#[cfg(test)] use …;` — single-item gate, no braces.
+                pending_attr = false;
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    regions
+}
+
+fn matches(toks: &[Tok], at: usize, texts: &[&str]) -> Option<bool> {
+    for (off, want) in texts.iter().enumerate() {
+        if toks.get(at + off)?.text != *want {
+            return Some(false);
+        }
+    }
+    Some(true)
+}
+
+/// Whether `line` falls inside any of `regions`.
+pub fn in_regions(regions: &[(usize, usize)], line: usize) -> bool {
+    regions.iter().any(|&(a, b)| line >= a && line <= b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_do_not_leak_idents() {
+        let lexed = lex(r##"let x = "PlaintextItemId inside a string"; let y = r#"raw "too""#;"##);
+        let idents: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(idents, vec!["let", "x", "let", "y"]);
+        let strs: Vec<&Tok> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .collect();
+        assert_eq!(strs.len(), 2);
+        assert!(strs[0].text.contains("PlaintextItemId"));
+    }
+
+    #[test]
+    fn comments_are_captured_per_line() {
+        let src = "// relaxed-ok: counter only\nx.load(Relaxed);\n/* block\nspans */ y();\n";
+        let lexed = lex(src);
+        assert!(lexed.comments.get(&1).unwrap().contains("relaxed-ok:"));
+        assert!(lexed.comments.get(&3).unwrap().contains("spans"));
+        assert!(lexed.comments.get(&4).unwrap().contains("spans"));
+        assert!(lexed.code_lines.contains(&2));
+        assert!(!lexed.code_lines.contains(&1));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lexed = lex("fn f<'a>(x: &'a str) -> char { 'z' }");
+        let strs: Vec<&Tok> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .collect();
+        assert_eq!(strs.len(), 1);
+        assert_eq!(strs[0].text, "z");
+    }
+
+    #[test]
+    fn two_char_operators_lex_as_units() {
+        let lexed = lex("if a == b && c != d { e::f(); }");
+        let puncts: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Punct)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert!(puncts.contains(&"=="));
+        assert!(puncts.contains(&"!="));
+        assert!(puncts.contains(&"&&"));
+        assert!(puncts.contains(&"::"));
+    }
+
+    #[test]
+    fn test_region_detection() {
+        let src =
+            "fn prod() {}\n#[cfg(test)]\nmod tests {\n  fn t() { use_it(); }\n}\nfn after() {}\n";
+        let lexed = lex(src);
+        let regions = test_regions(&lexed);
+        assert_eq!(regions.len(), 1);
+        assert!(in_regions(&regions, 4));
+        assert!(!in_regions(&regions, 1));
+        assert!(!in_regions(&regions, 6));
+    }
+
+    #[test]
+    fn cfg_test_on_single_item_does_not_latch() {
+        let src = "#[cfg(test)]\nuse helpers::x;\nfn prod() { body(); }\n";
+        let lexed = lex(src);
+        let regions = test_regions(&lexed);
+        assert!(regions.is_empty());
+    }
+}

@@ -1,0 +1,99 @@
+//! `pprox-analysis`: a privacy-flow static analyzer for the PProx
+//! workspace.
+//!
+//! PProx's central claim — User–Interest unlinkability (§4.2) — is an
+//! information-flow property: UA-side code must never touch item
+//! plaintext, IA-side code must never touch user plaintext, and secret
+//! material must never reach `Debug` output, format strings, or
+//! variable-time comparisons. The type system enforces some of this
+//! (`PlaintextUserId` / `PlaintextItemId` / `SecretBytes`), but types
+//! cannot stop a `use` statement or a derive. This crate closes the gap:
+//! it lexes every crate in the workspace and enforces nine structural
+//! rules (R1–R9, see [`rules`]) as a blocking CI stage.
+//!
+//! The analyzer is deliberately a *lexical* tool, not a type checker: it
+//! keys on the names of layer-private APIs, which the newtypes make
+//! unique and grep-able. False positives are handled by an explicit,
+//! audited escape hatch (`// analysis-allow: <rule> <reason>`) that the
+//! report surfaces for review rather than hiding.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+use report::Report;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Scans the whole workspace under `root` and returns the aggregated,
+/// deterministically sorted report.
+///
+/// # Errors
+///
+/// I/O errors reading the tree.
+pub fn analyze_workspace(root: &Path) -> io::Result<Report> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    for top in ["crates", "shims", "src", "tests"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            collect_rs_files(&dir, &mut files)?;
+        }
+    }
+    files.sort();
+    let mut out = Report::default();
+    for file in files {
+        let rel = normalize(root, &file);
+        let source = fs::read_to_string(&file)?;
+        let file_report = rules::analyze_file(&rel, &source);
+        out.findings.extend(file_report.findings);
+        out.suppressions.extend(file_report.suppressions);
+        out.files_scanned += 1;
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Recursively collects `.rs` files, skipping build output and the
+/// analyzer's own deliberately-violating fixture corpus.
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == "fixtures" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Workspace-relative path with forward slashes (stable across hosts).
+fn normalize(root: &Path, file: &Path) -> String {
+    let rel = file.strip_prefix(root).unwrap_or(file);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_uses_forward_slashes() {
+        let root = Path::new("/w");
+        let file = Path::new("/w/crates/core/src/ua.rs");
+        assert_eq!(normalize(root, file), "crates/core/src/ua.rs");
+    }
+}

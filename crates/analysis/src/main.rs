@@ -1,0 +1,99 @@
+//! CLI for the privacy-flow analyzer.
+//!
+//! ```text
+//! pprox-analysis [--root <dir>] [--json-out <file>]   # scan, exit 1 on violations
+//! pprox-analysis --validate <file>                    # check a committed report
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use pprox_analysis::{analyze_workspace, report};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut json_out: Option<PathBuf> = None;
+    let mut validate: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => return usage("--root needs a value"),
+            },
+            "--json-out" => match args.next() {
+                Some(v) => json_out = Some(PathBuf::from(v)),
+                None => return usage("--json-out needs a value"),
+            },
+            "--validate" => match args.next() {
+                Some(v) => validate = Some(PathBuf::from(v)),
+                None => return usage("--validate needs a value"),
+            },
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    if let Some(path) = validate {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("pprox-analysis: cannot read {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        return match report::validate(&text) {
+            Ok(()) => {
+                println!("pprox-analysis: {} validates", path.display());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("pprox-analysis: {} invalid: {e}", path.display());
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let result = match analyze_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("pprox-analysis: scan failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(path) = json_out {
+        if let Some(parent) = path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        let mut json = result.to_value().to_json();
+        json.push('\n');
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("pprox-analysis: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    println!(
+        "pprox-analysis: {} files, {} finding(s), {} suppression(s)",
+        result.files_scanned,
+        result.findings.len(),
+        result.suppressions.len()
+    );
+    for s in &result.suppressions {
+        println!("  allow {} {}:{} — {}", s.rule, s.path, s.line, s.reason);
+    }
+    if result.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        for f in &result.findings {
+            eprintln!("  {} {}:{} — {}", f.rule, f.path, f.line, f.message);
+        }
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("pprox-analysis: {err}");
+    eprintln!("usage: pprox-analysis [--root <dir>] [--json-out <file>] | --validate <file>");
+    ExitCode::FAILURE
+}

@@ -1,0 +1,233 @@
+//! Machine-readable analysis report.
+//!
+//! The report is deliberately deterministic — no timestamps, stable key
+//! and entry ordering — so the committed `results/ANALYSIS_report.json`
+//! only changes when the analysis outcome changes, and CI can diff it
+//! meaningfully.
+
+use crate::rules::{Finding, Suppression, RULES};
+use pprox_json::Value;
+
+/// Schema tag checked by [`validate`].
+pub const SCHEMA: &str = "pprox-analysis-report-v1";
+
+/// Aggregated result of a workspace scan.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// All findings, sorted by (path, line, rule).
+    pub findings: Vec<Finding>,
+    /// All directive suppressions, sorted by (path, line, rule).
+    pub suppressions: Vec<Suppression>,
+}
+
+impl Report {
+    /// Canonical ordering for deterministic output.
+    pub fn sort(&mut self) {
+        self.findings
+            .sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+        self.suppressions
+            .sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    }
+
+    /// Whether the scan found no violations.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Serializes to the v1 JSON schema.
+    pub fn to_value(&self) -> Value {
+        let rule_counts = Value::object(RULES.iter().map(|(id, _)| {
+            let n = self.findings.iter().filter(|f| f.rule == *id).count() as u64;
+            (*id, Value::from(n))
+        }));
+        let rule_names = Value::object(RULES.iter().map(|(id, name)| (*id, Value::from(*name))));
+        Value::object([
+            ("schema", Value::from(SCHEMA)),
+            ("files_scanned", Value::from(self.files_scanned as u64)),
+            (
+                "status",
+                Value::from(if self.is_clean() {
+                    "clean"
+                } else {
+                    "violations"
+                }),
+            ),
+            ("rule_names", rule_names),
+            ("rule_counts", rule_counts),
+            (
+                "findings",
+                self.findings
+                    .iter()
+                    .map(|f| {
+                        Value::object([
+                            ("rule", Value::from(f.rule)),
+                            ("path", Value::from(f.path.as_str())),
+                            ("line", Value::from(f.line as u64)),
+                            ("message", Value::from(f.message.as_str())),
+                        ])
+                    })
+                    .collect(),
+            ),
+            (
+                "suppressions",
+                self.suppressions
+                    .iter()
+                    .map(|s| {
+                        Value::object([
+                            ("rule", Value::from(s.rule)),
+                            ("path", Value::from(s.path.as_str())),
+                            ("line", Value::from(s.line as u64)),
+                            ("reason", Value::from(s.reason.as_str())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ])
+    }
+}
+
+/// Validates a serialized report: schema tag, internal count consistency,
+/// and status coherence. Mirrors the telemetry snapshot validator: CI
+/// refuses a hand-edited or stale report.
+pub fn validate(text: &str) -> Result<(), String> {
+    let v = Value::parse(text).map_err(|e| format!("not valid JSON: {e}"))?;
+    let schema = v
+        .get("schema")
+        .and_then(Value::as_str)
+        .ok_or("missing `schema`")?;
+    if schema != SCHEMA {
+        return Err(format!("schema `{schema}` != `{SCHEMA}`"));
+    }
+    v.get("files_scanned")
+        .and_then(Value::as_u64)
+        .ok_or("missing `files_scanned`")?;
+    let status = v
+        .get("status")
+        .and_then(Value::as_str)
+        .ok_or("missing `status`")?;
+    let findings = v
+        .get("findings")
+        .and_then(Value::as_array)
+        .ok_or("missing `findings`")?;
+    let suppressions = v
+        .get("suppressions")
+        .and_then(Value::as_array)
+        .ok_or("missing `suppressions`")?;
+    let counts = v
+        .get("rule_counts")
+        .and_then(Value::as_object)
+        .ok_or("missing `rule_counts`")?;
+    for (id, _) in RULES {
+        if !counts.contains_key(*id) {
+            return Err(format!("rule_counts missing `{id}`"));
+        }
+    }
+    let total: u64 = counts.values().filter_map(Value::as_u64).sum();
+    if total != findings.len() as u64 {
+        return Err(format!(
+            "rule_counts sum {total} != findings length {}",
+            findings.len()
+        ));
+    }
+    for (what, entries, value_key) in [
+        ("finding", findings, "message"),
+        ("suppression", suppressions, "reason"),
+    ] {
+        for e in entries {
+            for key in ["rule", "path", value_key] {
+                if e.get(key).and_then(Value::as_str).is_none() {
+                    return Err(format!("{what} missing string `{key}`"));
+                }
+            }
+            if e.get("line").and_then(Value::as_u64).is_none() {
+                return Err(format!("{what} missing numeric `line`"));
+            }
+        }
+    }
+    let expect_status = if findings.is_empty() {
+        "clean"
+    } else {
+        "violations"
+    };
+    if status != expect_status {
+        return Err(format!(
+            "status `{status}` inconsistent with {} findings",
+            findings.len()
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        let mut r = Report {
+            files_scanned: 3,
+            ..Report::default()
+        };
+        r.findings.push(Finding {
+            rule: "R1",
+            path: "crates/core/src/ua.rs".into(),
+            line: 10,
+            message: "test".into(),
+        });
+        r.suppressions.push(Suppression {
+            rule: "R6",
+            path: "crates/core/src/telemetry/mod.rs".into(),
+            line: 35,
+            reason: "epoch anchor".into(),
+        });
+        r.sort();
+        r
+    }
+
+    #[test]
+    fn roundtrip_validates() {
+        let json = sample().to_value().to_json();
+        validate(&json).unwrap();
+    }
+
+    #[test]
+    fn clean_report_validates() {
+        let r = Report {
+            files_scanned: 1,
+            ..Report::default()
+        };
+        validate(&r.to_value().to_json()).unwrap();
+    }
+
+    #[test]
+    fn tampered_counts_rejected() {
+        let json = sample()
+            .to_value()
+            .to_json()
+            .replace("\"R1\":1", "\"R1\":0");
+        assert!(validate(&json).unwrap_err().contains("rule_counts sum"));
+    }
+
+    #[test]
+    fn tampered_status_rejected() {
+        let json = sample()
+            .to_value()
+            .to_json()
+            .replace("\"status\":\"violations\"", "\"status\":\"clean\"");
+        assert!(validate(&json).unwrap_err().contains("inconsistent"));
+    }
+
+    #[test]
+    fn wrong_schema_rejected() {
+        assert!(validate("{\"schema\": \"other\"}").is_err());
+        assert!(validate("not json").is_err());
+    }
+
+    #[test]
+    fn output_is_deterministic() {
+        let a = sample().to_value().to_json();
+        let b = sample().to_value().to_json();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,897 @@
+//! The privacy-flow rules.
+//!
+//! Each rule is a structural check over the token stream of one file; the
+//! file's workspace-relative path decides which rules apply. The rules
+//! encode the PProx unlinkability argument (§4.2 of the paper) and the
+//! hardening decisions of earlier PRs — see DESIGN.md §6.3 for the
+//! rationale behind every rule and the allowlist escape hatch.
+
+use crate::lexer::{self, LexedFile, Tok, TokKind};
+
+/// Rule ids and human names, in report order.
+pub const RULES: &[(&str, &str)] = &[
+    ("R1", "ua-item-isolation"),
+    ("R2", "ia-user-isolation"),
+    ("R3", "cross-layer-reference"),
+    ("R4", "secret-debug-derive"),
+    ("R5", "secret-format-leak"),
+    ("R6", "arrival-oracle"),
+    ("R7", "relaxed-justification"),
+    ("R8", "seqlock-ordering"),
+    ("R9", "non-ct-secret-compare"),
+];
+
+/// Identifiers that constitute an item-plaintext API surface. UA-side
+/// code referencing any of these breaks layer separation (rule R1).
+pub const ITEM_APIS: &[&str] = &[
+    "PlaintextItemId",
+    "pseudonymize_item",
+    "depseudonymize_item",
+    "list_to_plaintext",
+    "list_from_plaintext",
+    "FeedbackEvent",
+    "RecommendationQuery",
+    "MAX_RECOMMENDATIONS",
+    "PAD_ITEM_PREFIX",
+    "ITEM_BLOCK_LEN",
+];
+
+/// Identifiers that constitute a user-plaintext API surface. IA-side
+/// code referencing any of these breaks layer separation (rule R2).
+pub const USER_APIS: &[&str] = &[
+    "PlaintextUserId",
+    "UserClient",
+    "depseudonymize",
+    "GetTicket",
+];
+
+/// Types that must never derive `Debug` nor implement `Display` (R4):
+/// each holds secret material or plaintext ids and carries a manual,
+/// redacting `Debug` instead.
+pub const SECRET_TYPES: &[&str] = &[
+    "SecretBytes",
+    "SymmetricKey",
+    "LayerSecrets",
+    "KeyProvisioner",
+    "GetTicket",
+    "RsaPrivateKey",
+    "SecureRng",
+    "PlaintextUserId",
+    "PlaintextItemId",
+    "UaState",
+    "IaState",
+    "ClientEnvelope",
+    "LayerEnvelope",
+    "EncryptedList",
+    "SecretBag",
+];
+
+/// Identifiers whose appearance in a format-like macro indicates secret
+/// material reaching a formatted string (R5).
+pub const FORMAT_SECRET_IDENTS: &[&str] =
+    &["k_u", "secrets", "sk", "padded_user", "key_bytes", "expose"];
+
+/// Format-like macros whose arguments R5 scans.
+const FORMAT_MACROS: &[&str] = &[
+    "format", "print", "println", "eprint", "eprintln", "write", "writeln", "panic",
+];
+
+/// Identifiers treated as secret-derived for the constant-time rule (R9).
+pub const CT_SECRET_IDENTS: &[&str] = &[
+    "bytes",
+    "key_bytes",
+    "tag",
+    "mac",
+    "digest",
+    "l_hash",
+    "plaintext",
+    "secret",
+    "expose",
+    "as_bytes",
+];
+
+/// Files allowed to reference both user- and item-plaintext APIs (R3),
+/// with the reason. Prefix-matched against the workspace-relative path.
+pub const CROSS_LAYER_ALLOWLIST: &[(&str, &str)] = &[
+    (
+        "crates/core/src/client.rs",
+        "user-side library: runs outside the proxy, legitimately sees both ids",
+    ),
+    (
+        "crates/core/src/ids.rs",
+        "definition site of both id newtypes; contains no id values",
+    ),
+    (
+        "crates/core/src/lib.rs",
+        "crate root: re-exports and error plumbing only",
+    ),
+    (
+        "crates/core/src/message.rs",
+        "wire format: frame sizes for both blocks, no plaintext handling",
+    ),
+    (
+        "crates/core/src/proxy.rs",
+        "deployment harness: instantiates both layers, runs outside enclaves in tests",
+    ),
+    (
+        "crates/core/src/pipeline.rs",
+        "deployment harness: supervises both layers, sees only ciphertext",
+    ),
+    (
+        "crates/core/src/rotation.rs",
+        "breach response: rotates both layers' keys inside their own enclaves",
+    ),
+    (
+        "crates/core/src/gateway.rs",
+        "REST redirection: routes opaque envelopes for both directions",
+    ),
+    (
+        "crates/workload/",
+        "workload generator: simulates users, outside the trust boundary",
+    ),
+    (
+        "crates/attack/",
+        "attack harness: deliberately adversarial, models §6.1 breaches",
+    ),
+    (
+        "crates/bench/",
+        "benchmark driver: orchestrates full deployments end to end",
+    ),
+    ("src/", "facade crate: re-exports only"),
+    ("tests/", "integration tests exercise the full protocol"),
+];
+
+/// A rule violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule id (`R1` … `R9`).
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: usize,
+    /// What was found.
+    pub message: String,
+}
+
+/// A finding silenced by an `analysis-allow:` directive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suppression {
+    /// Rule id that would have fired.
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: usize,
+    /// The justification given in the directive.
+    pub reason: String,
+}
+
+/// Result of analyzing one file.
+#[derive(Debug, Default)]
+pub struct FileReport {
+    /// Violations.
+    pub findings: Vec<Finding>,
+    /// Directive-silenced violations (reported for audit).
+    pub suppressions: Vec<Suppression>,
+}
+
+struct Ctx<'a> {
+    path: &'a str,
+    lex: &'a LexedFile,
+    test_regions: Vec<(usize, usize)>,
+    out: FileReport,
+}
+
+impl Ctx<'_> {
+    fn in_test(&self, line: usize) -> bool {
+        lexer::in_regions(&self.test_regions, line)
+    }
+
+    /// Searches the flagged line and the contiguous comment block above it
+    /// for a directive containing `needle` (e.g. `analysis-allow: R6`);
+    /// returns the trailing text as the reason.
+    fn directive(&self, line: usize, needle: &str) -> Option<String> {
+        let mut l = line;
+        loop {
+            if let Some(text) = self.lex.comments.get(&l) {
+                if let Some(at) = text.find(needle) {
+                    let reason = text[at + needle.len()..].trim().to_string();
+                    return Some(if reason.is_empty() {
+                        "(no reason given)".to_string()
+                    } else {
+                        reason
+                    });
+                }
+            }
+            // Walk upward only through comment-only lines.
+            if l == 0 {
+                return None;
+            }
+            let above = l - 1;
+            if self.lex.comments.contains_key(&above) && !self.lex.code_lines.contains(&above) {
+                l = above;
+            } else if l == line && self.lex.comments.contains_key(&above) {
+                // First hop: allow a directive on the line directly above
+                // even if that line also carries code (trailing comment).
+                l = above;
+            } else {
+                return None;
+            }
+        }
+    }
+
+    fn emit(&mut self, rule: &'static str, line: usize, message: String) {
+        if let Some(reason) = self.directive(line, &format!("analysis-allow: {rule}")) {
+            self.out.suppressions.push(Suppression {
+                rule,
+                path: self.path.to_string(),
+                line,
+                reason,
+            });
+        } else {
+            self.out.findings.push(Finding {
+                rule,
+                path: self.path.to_string(),
+                line,
+                message,
+            });
+        }
+    }
+}
+
+/// Analyzes one file's source against every applicable rule.
+pub fn analyze_file(path: &str, source: &str) -> FileReport {
+    let lex = lexer::lex(source);
+    let test_regions = lexer::test_regions(&lex);
+    let mut ctx = Ctx {
+        path,
+        lex: &lex,
+        test_regions,
+        out: FileReport::default(),
+    };
+    let is_ua = path.ends_with("crates/core/src/ua.rs")
+        || path.ends_with("crates/core/src/shuffler.rs")
+        || path == "crates/core/src/ua.rs"
+        || path == "crates/core/src/shuffler.rs";
+    let is_ia = path.ends_with("crates/core/src/ia.rs") || path == "crates/core/src/ia.rs";
+    if is_ua {
+        rule_layer_isolation(&mut ctx, "R1", ITEM_APIS, "item-plaintext");
+    }
+    if is_ia {
+        rule_layer_isolation(&mut ctx, "R2", USER_APIS, "user-plaintext");
+    }
+    if !is_ua && !is_ia {
+        rule_cross_layer(&mut ctx);
+    }
+    rule_secret_debug(&mut ctx);
+    rule_format_leak(&mut ctx);
+    rule_arrival_oracle(&mut ctx);
+    if path.contains("crates/core/src/telemetry/") {
+        rule_relaxed_justification(&mut ctx);
+        rule_seqlock_ordering(&mut ctx);
+    }
+    if path.starts_with("crates/crypto/") {
+        rule_non_ct_compare(&mut ctx);
+    }
+    ctx.out
+}
+
+/// R1 / R2: a layer-private module references the other layer's plaintext
+/// API. Scans test regions too — layer modules must not even *test*
+/// against the other layer's plaintext surface.
+fn rule_layer_isolation(ctx: &mut Ctx<'_>, rule: &'static str, deny: &[&str], kind: &str) {
+    let hits: Vec<(usize, String)> = ctx
+        .lex
+        .tokens
+        .iter()
+        .filter(|t| t.kind == TokKind::Ident && deny.contains(&t.text.as_str()))
+        .map(|t| (t.line, t.text.clone()))
+        .collect();
+    for (line, name) in hits {
+        ctx.emit(
+            rule,
+            line,
+            format!("layer-private module references {kind} API `{name}`"),
+        );
+    }
+}
+
+/// R3: a file outside the allowlist references both the user-plaintext
+/// and the item-plaintext API surface — a place where the two knowledge
+/// domains could be joined.
+fn rule_cross_layer(ctx: &mut Ctx<'_>) {
+    for (prefix, _reason) in CROSS_LAYER_ALLOWLIST {
+        if ctx.path.starts_with(prefix) || ctx.path.contains("/tests/") {
+            return;
+        }
+    }
+    let mut user_hit: Option<(usize, String)> = None;
+    let mut item_hit: Option<(usize, String)> = None;
+    for t in &ctx.lex.tokens {
+        if t.kind != TokKind::Ident || ctx.in_test(t.line) {
+            continue;
+        }
+        if user_hit.is_none() && USER_APIS.contains(&t.text.as_str()) {
+            user_hit = Some((t.line, t.text.clone()));
+        }
+        if item_hit.is_none() && ITEM_APIS.contains(&t.text.as_str()) {
+            item_hit = Some((t.line, t.text.clone()));
+        }
+    }
+    if let (Some((ul, un)), Some((il, inm))) = (user_hit, item_hit) {
+        let line = ul.max(il);
+        ctx.emit(
+            "R3",
+            line,
+            format!(
+                "non-allowlisted file references both user API `{un}` (line {ul}) and item API `{inm}` (line {il})"
+            ),
+        );
+    }
+}
+
+/// R4: `#[derive(.. Debug ..)]` on — or `impl Display for` — a type in
+/// the secret deny list. Those types carry manual redacting impls; a
+/// derive reintroduced by refactoring would print field bytes.
+fn rule_secret_debug(ctx: &mut Ctx<'_>) {
+    let toks = &ctx.lex.tokens;
+    let mut pending: Vec<(usize, Vec<(usize, String)>)> = Vec::new();
+    let mut k = 0;
+    while k < toks.len() {
+        if toks[k].kind == TokKind::Ident && toks[k].text == "derive" {
+            if let Some(open) = toks.get(k + 1).filter(|t| t.text == "(") {
+                let _ = open;
+                let mut depth = 0usize;
+                let mut j = k + 1;
+                let mut derived: Vec<(usize, String)> = Vec::new();
+                while j < toks.len() {
+                    match toks[j].text.as_str() {
+                        "(" => depth += 1,
+                        ")" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {
+                            if toks[j].kind == TokKind::Ident {
+                                derived.push((toks[j].line, toks[j].text.clone()));
+                            }
+                        }
+                    }
+                    j += 1;
+                }
+                pending.push((j, derived));
+                k = j;
+            }
+        } else if toks[k].kind == TokKind::Ident
+            && (toks[k].text == "struct" || toks[k].text == "enum")
+        {
+            if let Some(name) = toks.get(k + 1).filter(|t| t.kind == TokKind::Ident) {
+                if SECRET_TYPES.contains(&name.text.as_str()) {
+                    // Attach the closest preceding derive list, if any.
+                    if let Some((_, derived)) = pending.last() {
+                        for (line, d) in derived {
+                            if d == "Debug" || d == "Display" {
+                                let (line, name_text) = (*line, name.text.clone());
+                                ctx.emit(
+                                    "R4",
+                                    line,
+                                    format!("secret type `{name_text}` derives `{d}`"),
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+            pending.clear();
+        } else if toks[k].kind == TokKind::Ident && toks[k].text == "fn" {
+            // A function between derive and struct means the derive did
+            // not belong to a type definition we are about to see.
+            pending.clear();
+        } else if toks[k].kind == TokKind::Ident
+            && (toks[k].text == "Display" || toks[k].text == "Debug")
+            && toks.get(k + 1).map(|t| t.text == "for").unwrap_or(false)
+        {
+            // `impl Display for X` — only Display is banned outright; a
+            // manual Debug is exactly what the deny-listed types should
+            // have, so Debug impls are fine.
+            if toks[k].text == "Display" {
+                if let Some(name) = toks.get(k + 2).filter(|t| t.kind == TokKind::Ident) {
+                    if SECRET_TYPES.contains(&name.text.as_str()) {
+                        let (line, name_text) = (toks[k].line, name.text.clone());
+                        ctx.emit(
+                            "R4",
+                            line,
+                            format!("secret type `{name_text}` implements `Display`"),
+                        );
+                    }
+                }
+            }
+        }
+        k += 1;
+    }
+}
+
+/// R5: a secret-bearing identifier reaches a format-like macro, either as
+/// a direct argument or as a `{name}` interpolation inside the format
+/// string. Test regions are exempt (tests format secrets precisely to
+/// assert they redact).
+fn rule_format_leak(ctx: &mut Ctx<'_>) {
+    let toks = &ctx.lex.tokens;
+    let mut k = 0;
+    while k + 2 < toks.len() {
+        let is_macro = toks[k].kind == TokKind::Ident
+            && FORMAT_MACROS.contains(&toks[k].text.as_str())
+            && toks[k + 1].text == "!"
+            && matches!(toks[k + 2].text.as_str(), "(" | "[" | "{");
+        if !is_macro || ctx.in_test(toks[k].line) {
+            k += 1;
+            continue;
+        }
+        let mut depth = 0usize;
+        let mut j = k + 2;
+        let mut offenders: Vec<(usize, String)> = Vec::new();
+        while j < toks.len() {
+            match toks[j].text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            match toks[j].kind {
+                TokKind::Ident if FORMAT_SECRET_IDENTS.contains(&toks[j].text.as_str()) => {
+                    offenders.push((toks[j].line, toks[j].text.clone()));
+                }
+                TokKind::Str => {
+                    for name in interpolated_idents(&toks[j].text) {
+                        if FORMAT_SECRET_IDENTS.contains(&name.as_str()) {
+                            offenders.push((toks[j].line, name));
+                        }
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        for (line, name) in offenders {
+            ctx.emit(
+                "R5",
+                line,
+                format!("secret identifier `{name}` reaches a format-like macro"),
+            );
+        }
+        k = j.max(k + 1);
+    }
+}
+
+/// Extracts `{name}` / `{name:?}` interpolation identifiers from a format
+/// string body.
+fn interpolated_idents(s: &str) -> Vec<String> {
+    let chars: Vec<char> = s.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        if chars[i] == '{' {
+            if chars.get(i + 1) == Some(&'{') {
+                i += 2; // escaped brace
+                continue;
+            }
+            let mut j = i + 1;
+            let mut name = String::new();
+            while j < chars.len() && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                name.push(chars[j]);
+                j += 1;
+            }
+            if !name.is_empty() && matches!(chars.get(j), Some(&'}') | Some(&':')) {
+                out.push(name);
+            }
+            i = j;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// R6: the arrival-oracle rule. (a) No `record_span` call may carry the
+/// `E2e` stage — end-to-end latency goes through `record_duration`, which
+/// carries no arrival timestamp an exporter could correlate with network
+/// captures. (b) Telemetry internals must not read wall-clock time
+/// themselves (`Instant` / `SystemTime`) except at the allow-listed epoch.
+fn rule_arrival_oracle(ctx: &mut Ctx<'_>) {
+    let toks = &ctx.lex.tokens;
+    // (a) — workspace-wide, production code.
+    let mut k = 0;
+    while k < toks.len() {
+        if toks[k].kind == TokKind::Ident
+            && toks[k].text == "record_span"
+            && toks.get(k + 1).map(|t| t.text == "(").unwrap_or(false)
+            && !ctx.in_test(toks[k].line)
+        {
+            let mut depth = 0usize;
+            let mut j = k + 1;
+            while j < toks.len() {
+                match toks[j].text.as_str() {
+                    "(" | "{" | "[" => depth += 1,
+                    ")" | "}" | "]" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                if toks[j].kind == TokKind::Ident && toks[j].text == "E2e" {
+                    let line = toks[j].line;
+                    ctx.emit(
+                        "R6",
+                        line,
+                        "end-to-end stage recorded via record_span: spans carry arrival \
+                         timestamps, which §6.2 forbids for E2e"
+                            .to_string(),
+                    );
+                    break;
+                }
+                j += 1;
+            }
+            k = j;
+        }
+        k += 1;
+    }
+    // (b) — telemetry internals only, production code.
+    if ctx.path.contains("crates/core/src/telemetry/") {
+        let hits: Vec<(usize, String)> = ctx
+            .lex
+            .tokens
+            .iter()
+            .filter(|t| {
+                t.kind == TokKind::Ident
+                    && (t.text == "Instant" || t.text == "SystemTime")
+                    && !ctx.in_test(t.line)
+            })
+            .map(|t| (t.line, t.text.clone()))
+            .collect();
+        for (line, name) in hits {
+            ctx.emit(
+                "R6",
+                line,
+                format!("telemetry internals capture wall-clock time via `{name}`"),
+            );
+        }
+    }
+}
+
+/// R7: every `Ordering::Relaxed` in the lock-free telemetry code must
+/// carry a `relaxed-ok:` justification on the same line or in the
+/// contiguous comment block directly above.
+fn rule_relaxed_justification(ctx: &mut Ctx<'_>) {
+    let hits: Vec<usize> = ctx
+        .lex
+        .tokens
+        .iter()
+        .filter(|t| t.kind == TokKind::Ident && t.text == "Relaxed")
+        .map(|t| t.line)
+        .collect();
+    for line in hits {
+        if ctx.directive(line, "relaxed-ok:").is_none() {
+            ctx.emit(
+                "R7",
+                line,
+                "Ordering::Relaxed without a `relaxed-ok:` justification".to_string(),
+            );
+        }
+    }
+}
+
+/// R8: the seqlock protocol's `version` field must be loaded with at
+/// least Acquire, stored with at least Release, and its compare_exchange
+/// must use an acquiring success ordering. A Relaxed slip here would let
+/// readers observe torn span records.
+fn rule_seqlock_ordering(ctx: &mut Ctx<'_>) {
+    const ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+    let toks = &ctx.lex.tokens;
+    let mut k = 0;
+    while k + 3 < toks.len() {
+        let is_version_op = toks[k].kind == TokKind::Ident
+            && toks[k].text == "version"
+            && toks[k + 1].text == "."
+            && toks[k + 2].kind == TokKind::Ident
+            && toks.get(k + 3).map(|t| t.text == "(").unwrap_or(false);
+        if !is_version_op {
+            k += 1;
+            continue;
+        }
+        let op = toks[k + 2].text.clone();
+        let line = toks[k + 2].line;
+        let mut depth = 0usize;
+        let mut j = k + 3;
+        let mut found: Vec<String> = Vec::new();
+        while j < toks.len() {
+            match toks[j].text.as_str() {
+                "(" => depth += 1,
+                ")" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            if toks[j].kind == TokKind::Ident && ORDERINGS.contains(&toks[j].text.as_str()) {
+                found.push(toks[j].text.clone());
+            }
+            j += 1;
+        }
+        let ok = match op.as_str() {
+            "load" => found.iter().any(|o| o == "Acquire" || o == "SeqCst"),
+            "store" => found.iter().any(|o| o == "Release" || o == "SeqCst"),
+            "compare_exchange" | "compare_exchange_weak" => found
+                .first()
+                .map(|o| o == "Acquire" || o == "AcqRel" || o == "SeqCst")
+                .unwrap_or(false),
+            _ => true,
+        };
+        if !ok {
+            ctx.emit(
+                "R8",
+                line,
+                format!(
+                    "seqlock `version.{op}` uses orderings {found:?}: readers could observe \
+                     torn records"
+                ),
+            );
+        }
+        k = j.max(k + 1);
+    }
+}
+
+/// R9: in the crypto crate, `==` / `!=` on secret-derived byte material
+/// outside `ct_eq` / `verify_tag` is an early-exit timing oracle. Length
+/// checks (`.len()`, `.is_empty()`) are public and exempt.
+fn rule_non_ct_compare(ctx: &mut Ctx<'_>) {
+    const EXEMPT_FNS: &[&str] = &["ct_eq", "verify_tag"];
+    const BOUNDARY: &[&str] = &[";", "{", "}", "&&", "||", ","];
+    let toks = &ctx.lex.tokens;
+    let fn_regions = fn_regions(toks);
+    let mut k = 0;
+    while k < toks.len() {
+        if !(toks[k].kind == TokKind::Punct && (toks[k].text == "==" || toks[k].text == "!=")) {
+            k += 1;
+            continue;
+        }
+        let line = toks[k].line;
+        if ctx.in_test(line)
+            || fn_regions
+                .iter()
+                .any(|(name, a, b)| line >= *a && line <= *b && EXEMPT_FNS.contains(&name.as_str()))
+        {
+            k += 1;
+            continue;
+        }
+        let mut offenders: Vec<String> = Vec::new();
+        // Scan a bounded window on each side of the operator.
+        let lo = k.saturating_sub(10);
+        let hi = (k + 10).min(toks.len());
+        for (idx, t) in toks[lo..hi].iter().enumerate() {
+            let abs = lo + idx;
+            if abs == k {
+                continue;
+            }
+            // Stop the window at statement boundaries between the
+            // candidate and the operator.
+            let between = if abs < k { abs + 1..k } else { k + 1..abs };
+            if toks[between.clone()]
+                .iter()
+                .any(|b| BOUNDARY.contains(&b.text.as_str()))
+            {
+                continue;
+            }
+            if t.kind == TokKind::Ident && CT_SECRET_IDENTS.contains(&t.text.as_str()) {
+                // `.len()` / `.is_empty()` on the secret is public.
+                let next2: Vec<&str> = toks[abs + 1..(abs + 3).min(toks.len())]
+                    .iter()
+                    .map(|t| t.text.as_str())
+                    .collect();
+                if next2.first() == Some(&".")
+                    && matches!(next2.get(1), Some(&"len") | Some(&"is_empty"))
+                {
+                    continue;
+                }
+                offenders.push(t.text.clone());
+            }
+        }
+        if !offenders.is_empty() {
+            let op = toks[k].text.clone();
+            ctx.emit(
+                "R9",
+                line,
+                format!(
+                    "variable-time `{op}` on secret-derived data ({}): use ct_eq",
+                    offenders.join(", ")
+                ),
+            );
+        }
+        k += 1;
+    }
+}
+
+/// `(fn name, start line, end line)` for every function body.
+fn fn_regions(toks: &[Tok]) -> Vec<(String, usize, usize)> {
+    let mut out = Vec::new();
+    let mut depth: i64 = 0;
+    let mut pending: Option<String> = None;
+    let mut stack: Vec<(String, i64, usize)> = Vec::new();
+    let mut k = 0;
+    while k < toks.len() {
+        if toks[k].kind == TokKind::Ident && toks[k].text == "fn" {
+            if let Some(name) = toks.get(k + 1).filter(|t| t.kind == TokKind::Ident) {
+                pending = Some(name.text.clone());
+            }
+        }
+        match toks[k].text.as_str() {
+            "{" => {
+                if let Some(name) = pending.take() {
+                    stack.push((name, depth, toks[k].line));
+                }
+                depth += 1;
+            }
+            "}" => {
+                depth -= 1;
+                if let Some((_, d, _)) = stack.last() {
+                    if *d == depth {
+                        let (name, _, start) = stack.pop().unwrap();
+                        out.push((name, start, toks[k].line));
+                    }
+                }
+            }
+            ";" => {
+                // Trait method signature without body.
+                pending = None;
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_fired(path: &str, src: &str) -> Vec<&'static str> {
+        let mut r: Vec<&'static str> = analyze_file(path, src)
+            .findings
+            .iter()
+            .map(|f| f.rule)
+            .collect();
+        r.sort_unstable();
+        r.dedup();
+        r
+    }
+
+    #[test]
+    fn clean_file_has_no_findings() {
+        let report = analyze_file(
+            "crates/core/src/metrics.rs",
+            "pub fn count(x: u64) -> u64 { x + 1 }\n",
+        );
+        assert!(report.findings.is_empty());
+        assert!(report.suppressions.is_empty());
+    }
+
+    #[test]
+    fn ua_referencing_item_api_fires_r1() {
+        let src = "use crate::ids::PlaintextItemId;\nfn f(_x: &PlaintextItemId) {}\n";
+        assert_eq!(rules_fired("crates/core/src/ua.rs", src), vec!["R1"]);
+        // Same content in a non-layer file is fine (single-domain).
+        assert!(rules_fired("crates/core/src/metrics.rs", src).is_empty());
+    }
+
+    #[test]
+    fn string_mention_does_not_fire() {
+        let src = "fn f() -> &'static str { \"PlaintextItemId\" }\n";
+        assert!(rules_fired("crates/core/src/ua.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allow_directive_moves_finding_to_suppression() {
+        let src = "// analysis-allow: R1 simulation of breach for docs\nuse crate::ids::PlaintextItemId;\n";
+        let report = analyze_file("crates/core/src/ua.rs", src);
+        assert!(report.findings.is_empty());
+        assert_eq!(report.suppressions.len(), 1);
+        assert_eq!(report.suppressions[0].rule, "R1");
+        assert!(report.suppressions[0].reason.contains("simulation"));
+    }
+
+    #[test]
+    fn relaxed_needs_justification() {
+        let bad = "fn f(a: &AtomicU64) { a.load(Ordering::Relaxed); }\n";
+        assert_eq!(
+            rules_fired("crates/core/src/telemetry/x.rs", bad),
+            vec!["R7"]
+        );
+        let same_line =
+            "fn f(a: &AtomicU64) { a.load(Ordering::Relaxed); } // relaxed-ok: counter\n";
+        assert!(rules_fired("crates/core/src/telemetry/x.rs", same_line).is_empty());
+        let block_above = "fn f(a: &AtomicU64) {\n    // relaxed-ok: independent counter, no\n    // ordering needed across fields\n    a.load(Ordering::Relaxed);\n}\n";
+        assert!(rules_fired("crates/core/src/telemetry/x.rs", block_above).is_empty());
+    }
+
+    #[test]
+    fn seqlock_relaxed_version_load_fires_r8() {
+        // relaxed-ok silences R7; R8 still rejects the protocol breach.
+        let src =
+            "fn f(s: &Slot) { let v = s.version.load(Ordering::Relaxed); } // relaxed-ok: wrong\n";
+        assert_eq!(
+            rules_fired("crates/core/src/telemetry/x.rs", src),
+            vec!["R8"]
+        );
+        let good = "fn f(s: &Slot) { let v = s.version.load(Ordering::Acquire); }\n";
+        assert!(rules_fired("crates/core/src/telemetry/x.rs", good).is_empty());
+    }
+
+    #[test]
+    fn compare_exchange_success_ordering_checked() {
+        let bad = "fn f(s: &Slot) { let _ = s.version.compare_exchange(v, v + 1, Ordering::Relaxed, Ordering::Relaxed); } // relaxed-ok: wrong\n";
+        assert_eq!(
+            rules_fired("crates/core/src/telemetry/x.rs", bad),
+            vec!["R8"]
+        );
+        let good = "fn f(s: &Slot) {\n    // relaxed-ok: failure path retries\n    let _ = s.version.compare_exchange(v, v + 1, Ordering::Acquire, Ordering::Relaxed);\n}\n";
+        assert!(rules_fired("crates/core/src/telemetry/x.rs", good).is_empty());
+    }
+
+    #[test]
+    fn non_ct_compare_fires_and_ct_eq_is_exempt() {
+        let bad = "pub fn check(tag: &[u8], other: &[u8]) -> bool { tag == other }\n";
+        assert_eq!(rules_fired("crates/crypto/src/x.rs", bad), vec!["R9"]);
+        let exempt = "pub fn ct_eq(a: &[u8], b: &[u8]) -> bool { let tag = a; tag == b }\n";
+        assert!(rules_fired("crates/crypto/src/x.rs", exempt).is_empty());
+        let len_ok = "pub fn f(key_bytes: &[u8]) -> bool { key_bytes.len() == 32 }\n";
+        assert!(rules_fired("crates/crypto/src/x.rs", len_ok).is_empty());
+    }
+
+    #[test]
+    fn format_interpolation_detected() {
+        let src = "fn f(k_u: &Key) { let _ = format!(\"key is {k_u:?}\"); }\n";
+        assert_eq!(rules_fired("crates/core/src/x.rs", src), vec!["R5"]);
+        let direct = "fn f(secrets: &Bag) { println!(\"{}\", secrets); }\n";
+        assert_eq!(rules_fired("crates/core/src/x.rs", direct), vec!["R5"]);
+        let clean = "fn f(count: u64) { println!(\"{count}\"); }\n";
+        assert!(rules_fired("crates/core/src/x.rs", clean).is_empty());
+    }
+
+    #[test]
+    fn e2e_record_span_fires_r6() {
+        let src =
+            "fn f(t: &Telemetry) { t.record_span(SpanRecord { stage: Stage::E2e, ok: true }); }\n";
+        assert_eq!(rules_fired("crates/core/src/pipeline.rs", src), vec!["R6"]);
+        let duration = "fn f(t: &Telemetry) { t.record_duration(Stage::E2e, us); }\n";
+        assert!(rules_fired("crates/core/src/pipeline.rs", duration).is_empty());
+    }
+
+    #[test]
+    fn derive_debug_on_secret_type_fires_r4() {
+        let src = "#[derive(Debug, Clone)]\npub struct SymmetricKey { bytes: [u8; 32] }\n";
+        assert_eq!(rules_fired("crates/crypto/src/x.rs", src), vec!["R4"]);
+        let manual = "pub struct SymmetricKey { bytes: [u8; 32] }\nimpl std::fmt::Debug for SymmetricKey { }\n";
+        assert!(rules_fired("crates/crypto/src/x.rs", manual).is_empty());
+        let display = "impl std::fmt::Display for GetTicket { }\n";
+        assert_eq!(rules_fired("crates/core/src/x.rs", display), vec!["R4"]);
+    }
+
+    #[test]
+    fn cross_layer_detected_outside_allowlist() {
+        let src = "fn join(u: &PlaintextUserId, i: &PlaintextItemId) {}\n";
+        assert_eq!(rules_fired("crates/core/src/metrics.rs", src), vec!["R3"]);
+        assert!(rules_fired("crates/core/src/client.rs", src).is_empty());
+        assert!(rules_fired("crates/workload/src/gen.rs", src).is_empty());
+    }
+}

@@ -1,0 +1,109 @@
+//! Fixture corpus: every deliberately-violating snippet must be caught by
+//! exactly the rule(s) its header declares, and the `clean` fixtures must
+//! pass. This is the analyzer's own regression suite — a rule that stops
+//! firing fails here before it silently stops protecting the workspace.
+
+use pprox_analysis::rules::analyze_file;
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::PathBuf;
+
+struct Fixture {
+    name: String,
+    role: String,
+    source: String,
+    expect: BTreeSet<String>,
+    expect_suppressed: BTreeSet<String>,
+}
+
+fn load_fixtures() -> Vec<Fixture> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let mut out = Vec::new();
+    let mut paths: Vec<PathBuf> = fs::read_dir(&dir)
+        .expect("fixtures dir")
+        .map(|e| e.expect("entry").path())
+        .filter(|p| p.extension().map(|e| e == "rs").unwrap_or(false))
+        .collect();
+    paths.sort();
+    for path in paths {
+        let source = fs::read_to_string(&path).expect("read fixture");
+        let mut role = None;
+        let mut expect = BTreeSet::new();
+        let mut expect_suppressed = BTreeSet::new();
+        for line in source.lines() {
+            let line = line.trim_start_matches("//").trim();
+            if let Some(r) = line.strip_prefix("fixture-role:") {
+                role = Some(r.trim().to_string());
+            } else if let Some(e) = line.strip_prefix("expect-suppressed:") {
+                expect_suppressed.insert(e.trim().to_string());
+            } else if let Some(e) = line.strip_prefix("expect:") {
+                let e = e.trim();
+                if e != "clean" {
+                    expect.insert(e.to_string());
+                }
+            }
+        }
+        out.push(Fixture {
+            name: path.file_name().unwrap().to_string_lossy().into_owned(),
+            role: role.expect("fixture-role header"),
+            source,
+            expect,
+            expect_suppressed,
+        });
+    }
+    assert!(
+        out.len() >= 10,
+        "fixture corpus unexpectedly small: {}",
+        out.len()
+    );
+    out
+}
+
+#[test]
+fn every_fixture_is_caught_by_exactly_its_rule() {
+    for fx in load_fixtures() {
+        let report = analyze_file(&fx.role, &fx.source);
+        let fired: BTreeSet<String> = report.findings.iter().map(|f| f.rule.to_string()).collect();
+        assert_eq!(
+            fired, fx.expect,
+            "{}: fired {:?}, expected {:?}\nfindings: {:#?}",
+            fx.name, fired, fx.expect, report.findings
+        );
+        let suppressed: BTreeSet<String> = report
+            .suppressions
+            .iter()
+            .map(|s| s.rule.to_string())
+            .collect();
+        assert_eq!(
+            suppressed, fx.expect_suppressed,
+            "{}: suppressed {:?}, expected {:?}",
+            fx.name, suppressed, fx.expect_suppressed
+        );
+    }
+}
+
+#[test]
+fn all_nine_rules_are_covered_by_the_corpus() {
+    let mut covered: BTreeSet<String> = BTreeSet::new();
+    for fx in load_fixtures() {
+        covered.extend(fx.expect.iter().cloned());
+        covered.extend(fx.expect_suppressed.iter().cloned());
+    }
+    for (id, name) in pprox_analysis::rules::RULES {
+        assert!(
+            covered.contains(*id),
+            "rule {id} ({name}) has no fixture exercising it"
+        );
+    }
+}
+
+#[test]
+fn findings_carry_position_and_message() {
+    for fx in load_fixtures() {
+        for f in analyze_file(&fx.role, &fx.source).findings {
+            assert!(f.line >= 1, "{}: finding with line 0", fx.name);
+            assert!(!f.message.is_empty(), "{}: empty message", fx.name);
+            assert_eq!(f.path, fx.role);
+        }
+    }
+}

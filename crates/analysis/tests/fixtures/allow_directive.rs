@@ -1,0 +1,12 @@
+// fixture-role: crates/core/src/telemetry/export.rs
+// expect: clean
+// expect-suppressed: R6
+//
+// The audited escape hatch: an `analysis-allow` directive converts the
+// finding into a suppression that the report lists for human review.
+
+pub fn banner_elapsed_micros() -> u64 {
+    // analysis-allow: R6 startup banner only; never stored per-request
+    let started = std::time::Instant::now();
+    started.elapsed().as_micros() as u64
+}

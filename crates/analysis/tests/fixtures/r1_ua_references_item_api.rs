@@ -1,0 +1,11 @@
+// fixture-role: crates/core/src/ua.rs
+// expect: R1
+//
+// A UA-side module importing the item-plaintext newtype: the exact breach
+// the §4.2 layer separation forbids (UA learning item identifiers).
+
+use crate::ids::PlaintextItemId;
+
+pub fn peek_at_item(item: &PlaintextItemId) -> usize {
+    item.len()
+}

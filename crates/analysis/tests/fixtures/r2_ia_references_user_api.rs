@@ -1,0 +1,9 @@
+// fixture-role: crates/core/src/ia.rs
+// expect: R2
+//
+// IA-side code calling the UA-only depseudonymize API: would let the IA
+// recover plaintext user ids and join them with the item ids it sees.
+
+pub fn correlate(ua: &UaState, pseudonym: &[u8]) -> Vec<u8> {
+    ua.depseudonymize(pseudonym).into_exposed()
+}

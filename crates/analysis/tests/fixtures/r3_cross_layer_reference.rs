@@ -1,0 +1,9 @@
+// fixture-role: crates/core/src/metrics.rs
+// expect: R3
+//
+// A shared module (not on the allowlist) handling both plaintext domains:
+// the one place an accidental user-item join could be coded up.
+
+pub fn tally(user: &PlaintextUserId, item: &PlaintextItemId) -> (usize, usize) {
+    (user.len(), item.len())
+}

@@ -1,0 +1,18 @@
+// fixture-role: crates/crypto/src/ctr.rs
+// expect: R4
+//
+// Deriving Debug on a key type: one `{:?}` in a log line away from key
+// material in plaintext logs. The real type carries a manual redacting
+// impl; this fixture models the refactor that silently reintroduces the
+// derive.
+
+#[derive(Debug, Clone)]
+pub struct SymmetricKey {
+    bytes: [u8; 32],
+}
+
+impl std::fmt::Display for GetTicket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ticket")
+    }
+}

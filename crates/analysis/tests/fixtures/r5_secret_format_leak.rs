@@ -1,0 +1,13 @@
+// fixture-role: crates/core/src/keys.rs
+// expect: R5
+//
+// Secret material reaching format strings: both the inline-interpolation
+// form and the positional-argument form.
+
+pub fn log_key(k_u: &SymmetricKey) {
+    eprintln!("provisioned key {k_u:?}");
+}
+
+pub fn log_bag(secrets: &LayerSecrets) {
+    let _line = format!("bag = {}", secrets);
+}

@@ -1,0 +1,10 @@
+// fixture-role: crates/core/src/telemetry/export.rs
+// expect: R6
+//
+// Telemetry internals capturing wall-clock time: an exporter that stamps
+// records at export time recreates the arrival oracle the epoch-relative
+// design removed.
+
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}

@@ -1,0 +1,18 @@
+// fixture-role: crates/core/src/pipeline.rs
+// expect: R6
+//
+// The PR-3 arrival-oracle regression: recording the end-to-end stage as a
+// *span* gives the exporter per-request arrival timestamps that §6.2's
+// shuffle argument assumes do not exist. E2e must go through
+// record_duration.
+
+pub fn finish(telemetry: &Telemetry, trace: TraceId, start_us: u64, duration_us: u64) {
+    telemetry.record_span(SpanRecord {
+        trace,
+        stage: Stage::E2e,
+        instance: 0,
+        start_us,
+        duration_us,
+        ok: true,
+    });
+}

@@ -1,0 +1,9 @@
+// fixture-role: crates/core/src/telemetry/histogram.rs
+// expect: R7
+//
+// A bare Relaxed with no `relaxed-ok:` justification: the rule forces the
+// author to argue (in place) why no ordering is needed.
+
+pub fn bump(counter: &AtomicU64) {
+    counter.fetch_add(1, Ordering::Relaxed);
+}

@@ -1,0 +1,16 @@
+// fixture-role: crates/core/src/telemetry/trace.rs
+// expect: R8
+//
+// A justified-but-wrong Relaxed on the seqlock version word: relaxed-ok
+// silences R7, but the structural protocol check still rejects it — a
+// Relaxed version load lets readers observe torn span records.
+
+pub fn read_version(slot: &Slot) -> u64 {
+    // relaxed-ok: (wrong!) readers retry anyway
+    slot.version.load(Ordering::Relaxed)
+}
+
+pub fn publish(slot: &Slot, v: u64) {
+    // relaxed-ok: (wrong!) the fields were already written
+    slot.version.store(v + 2, Ordering::Relaxed);
+}

@@ -1,0 +1,29 @@
+// fixture-role: crates/crypto/src/hmac.rs
+// expect: R9
+//
+// Early-exit equality on a MAC tag: the textbook remote timing oracle.
+// The same comparison inside `ct_eq` / on `.len()` is exempt — shown
+// below to pin the exemptions down.
+
+pub fn verify(expected_tag: &[u8], tag: &[u8]) -> bool {
+    tag == expected_tag
+}
+
+pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    // Exempt: this *is* the constant-time primitive; it may compare the
+    // accumulator and lengths directly.
+    let tag = a;
+    if tag.len() != b.len() {
+        return false;
+    }
+    let mut acc = 0u8;
+    for (x, y) in tag.iter().zip(b.iter()) {
+        acc |= x ^ y;
+    }
+    acc == 0
+}
+
+pub fn length_gate(key_bytes: &[u8]) -> bool {
+    // Exempt: lengths are public (constant-size frames).
+    key_bytes.len() == 32
+}

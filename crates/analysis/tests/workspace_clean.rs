@@ -1,0 +1,79 @@
+//! The analyzer against the real workspace: the tree must scan clean, and
+//! a seeded violation injected into the *actual* `ua.rs` source must be
+//! caught — proving the layer-separation rule guards the real layer
+//! modules, not just synthetic fixtures.
+
+use pprox_analysis::rules::analyze_file;
+use pprox_analysis::{analyze_workspace, report};
+use std::path::PathBuf;
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+#[test]
+fn workspace_scans_clean() {
+    let report = analyze_workspace(&workspace_root()).expect("scan");
+    assert!(
+        report.files_scanned > 100,
+        "suspiciously few files scanned: {}",
+        report.files_scanned
+    );
+    assert!(
+        report.is_clean(),
+        "workspace has privacy-flow violations:\n{:#?}",
+        report.findings
+    );
+    // The known, documented escape hatches (telemetry epoch, SecretBag's
+    // redacting-by-construction derive) are suppressions, not silence.
+    assert!(
+        !report.suppressions.is_empty(),
+        "expected the documented analysis-allow sites to be reported"
+    );
+}
+
+#[test]
+fn seeded_violation_in_real_ua_source_is_caught() {
+    let ua_path = workspace_root().join("crates/core/src/ua.rs");
+    let original = std::fs::read_to_string(&ua_path).expect("read ua.rs");
+
+    // The shipped module is clean…
+    let clean = analyze_file("crates/core/src/ua.rs", &original);
+    assert!(
+        clean.findings.is_empty(),
+        "real ua.rs should be clean: {:#?}",
+        clean.findings
+    );
+
+    // …but one stray function taking an item id, appended to the very
+    // same source, trips R1.
+    let seeded = format!("{original}\nfn peek(_x: &PlaintextItemId) {{}}\n");
+    let report = analyze_file("crates/core/src/ua.rs", &seeded);
+    assert!(
+        report.findings.iter().any(|f| f.rule == "R1"),
+        "seeded PlaintextItemId reference in ua.rs must fire R1: {:#?}",
+        report.findings
+    );
+}
+
+#[test]
+fn seeded_violation_in_real_ia_source_is_caught() {
+    let ia_path = workspace_root().join("crates/core/src/ia.rs");
+    let original = std::fs::read_to_string(&ia_path).expect("read ia.rs");
+    let clean = analyze_file("crates/core/src/ia.rs", &original);
+    assert!(clean.findings.is_empty(), "{:#?}", clean.findings);
+
+    let seeded = format!("{original}\nfn join(_c: &UserClient) {{}}\n");
+    let report = analyze_file("crates/core/src/ia.rs", &seeded);
+    assert!(
+        report.findings.iter().any(|f| f.rule == "R2"),
+        "seeded UserClient reference in ia.rs must fire R2: {:#?}",
+        report.findings
+    );
+}
+
+#[test]
+fn workspace_report_roundtrips_through_validator() {
+    let r = analyze_workspace(&workspace_root()).expect("scan");
+    report::validate(&r.to_value().to_json()).expect("self-produced report must validate");
+}

@@ -31,7 +31,7 @@
 //! full report; EXPERIMENTS.md records the numbers.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod cases;
 pub mod combined;

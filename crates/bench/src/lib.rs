@@ -14,7 +14,7 @@
 //!   EXPERIMENTS.md.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod report;
 pub mod sim;

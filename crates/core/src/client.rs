@@ -14,16 +14,18 @@
 //! The library holds only *public* keys — no user-side secrets to
 //! provision, which is the deployment property §3 demands.
 
+use crate::ids::{PlaintextItemId, PlaintextUserId};
 use crate::keys::ClientKeys;
 use crate::message::{
-    ClientEnvelope, EncryptedList, Op, ID_PLAINTEXT_LEN, ITEM_BLOCK_LEN, MAX_ID_LEN,
-    PAD_ITEM_PREFIX, RULES_BLOCK_LEN,
+    ClientEnvelope, EncryptedList, Op, ID_PLAINTEXT_LEN, ITEM_BLOCK_LEN, PAD_ITEM_PREFIX,
+    RULES_BLOCK_LEN,
 };
 use crate::telemetry::{SpanRecord, Stage, Telemetry, TraceId};
 use crate::PProxError;
 use pprox_crypto::ctr::SymmetricKey;
 use pprox_crypto::pad;
 use pprox_crypto::rng::SecureRng;
+use pprox_crypto::secret::SecretBytes;
 use pprox_json::Value;
 use std::sync::Arc;
 use std::time::Instant;
@@ -40,12 +42,22 @@ impl std::fmt::Debug for GetTicket {
 }
 
 /// The user-side library instance embedded in an application front-end.
-#[derive(Debug)]
 pub struct UserClient {
     keys: ClientKeys,
     rng: SecureRng,
     encryption: bool,
     telemetry: Option<Arc<Telemetry>>,
+}
+
+impl std::fmt::Debug for UserClient {
+    // Manual so a derive can never grow to print the RNG state (which
+    // seeds every future k_u) alongside the public keys.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UserClient")
+            .field("encryption", &self.encryption)
+            .field("telemetry", &self.telemetry.is_some())
+            .finish_non_exhaustive()
+    }
 }
 
 impl UserClient {
@@ -98,51 +110,46 @@ impl UserClient {
         }
     }
 
-    fn check_id(id: &str) -> Result<(), PProxError> {
-        if id.len() > MAX_ID_LEN {
-            return Err(PProxError::IdTooLong {
-                len: id.len(),
-                max: MAX_ID_LEN,
-            });
-        }
-        Ok(())
-    }
-
     /// Intercepts `post(u, i[, p])`: yields the encrypted envelope for the
     /// UA layer (Figure 3's `post(enc(u,pkUA), enc(i,pkIA))`).
     ///
     /// # Errors
     ///
     /// [`PProxError::IdTooLong`] when an identifier exceeds
-    /// [`MAX_ID_LEN`]; crypto errors are internal bugs surfaced as
-    /// [`PProxError::Crypto`].
+    /// [`crate::message::MAX_ID_LEN`]; crypto errors are internal bugs
+    /// surfaced as [`PProxError::Crypto`].
     pub fn post(
         &mut self,
         user: &str,
         item: &str,
         payload: Option<f64>,
     ) -> Result<ClientEnvelope, PProxError> {
-        Self::check_id(user)?;
-        Self::check_id(item)?;
+        // Trust boundary: raw strings from the application become typed,
+        // length-checked plaintext ids here and nowhere downstream.
+        let user = PlaintextUserId::new(user)?;
+        let item = PlaintextItemId::new(item)?;
         let started = Instant::now();
-        let mut block = Value::object([("i", Value::from(item))]);
+        let mut block = Value::object([("i", Value::from(item.expose()))]);
         if let Some(p) = payload {
             block.insert("p", Value::from(p));
         }
         if !self.encryption {
             let envelope = ClientEnvelope {
                 op: Op::Post,
-                user: user.as_bytes().to_vec(),
+                user: user.expose_bytes().to_vec(),
                 aux: block.to_json().into_bytes(),
             };
             self.record_encrypt(started);
             return Ok(envelope);
         }
-        let padded_user = pad::pad(user.as_bytes(), ID_PLAINTEXT_LEN)?;
+        let padded_user = SecretBytes::new(pad::pad(user.expose_bytes(), ID_PLAINTEXT_LEN)?);
         let padded_block = pad::pad(block.to_json().as_bytes(), ITEM_BLOCK_LEN)?;
         let envelope = ClientEnvelope {
             op: Op::Post,
-            user: self.keys.pk_ua.encrypt(&padded_user, &mut self.rng)?,
+            user: self
+                .keys
+                .pk_ua
+                .encrypt(padded_user.expose(), &mut self.rng)?,
             aux: self.keys.pk_ia.encrypt(&padded_block, &mut self.rng)?,
         };
         self.record_encrypt(started);
@@ -157,7 +164,7 @@ impl UserClient {
     ///
     /// Same conditions as [`post`](Self::post).
     pub fn get(&mut self, user: &str) -> Result<(ClientEnvelope, GetTicket), PProxError> {
-        Self::check_id(user)?;
+        let user = PlaintextUserId::new(user)?;
         let started = Instant::now();
         let k_u = SymmetricKey::generate(&mut self.rng);
         if !self.encryption {
@@ -165,16 +172,19 @@ impl UserClient {
             return Ok((
                 ClientEnvelope {
                     op: Op::Get,
-                    user: user.as_bytes().to_vec(),
+                    user: user.expose_bytes().to_vec(),
                     aux: Vec::new(),
                 },
                 GetTicket { k_u },
             ));
         }
-        let padded_user = pad::pad(user.as_bytes(), ID_PLAINTEXT_LEN)?;
+        let padded_user = SecretBytes::new(pad::pad(user.expose_bytes(), ID_PLAINTEXT_LEN)?);
         let envelope = ClientEnvelope {
             op: Op::Get,
-            user: self.keys.pk_ua.encrypt(&padded_user, &mut self.rng)?,
+            user: self
+                .keys
+                .pk_ua
+                .encrypt(padded_user.expose(), &mut self.rng)?,
             aux: self.keys.pk_ia.encrypt(k_u.as_bytes(), &mut self.rng)?,
         };
         self.record_encrypt(started);
@@ -199,23 +209,27 @@ impl UserClient {
         user: &str,
         exclude: &[&str],
     ) -> Result<(ClientEnvelope, GetTicket), PProxError> {
-        Self::check_id(user)?;
-        for id in exclude {
-            Self::check_id(id)?;
-        }
+        let user = PlaintextUserId::new(user)?;
+        let exclude = exclude
+            .iter()
+            .map(|id| PlaintextItemId::new(id))
+            .collect::<Result<Vec<_>, _>>()?;
         let started = Instant::now();
         let k_u = SymmetricKey::generate(&mut self.rng);
         if !self.encryption {
             // Passthrough mode: rules travel in the clear.
             let block = Value::object([(
                 "x",
-                exclude.iter().map(|e| Value::from(*e)).collect::<Value>(),
+                exclude
+                    .iter()
+                    .map(|e| Value::from(e.expose()))
+                    .collect::<Value>(),
             )]);
             self.record_encrypt(started);
             return Ok((
                 ClientEnvelope {
                     op: Op::Get,
-                    user: user.as_bytes().to_vec(),
+                    user: user.expose_bytes().to_vec(),
                     aux: block.to_json().into_bytes(),
                 },
                 GetTicket { k_u },
@@ -228,15 +242,21 @@ impl UserClient {
             ),
             (
                 "x",
-                exclude.iter().map(|e| Value::from(*e)).collect::<Value>(),
+                exclude
+                    .iter()
+                    .map(|e| Value::from(e.expose()))
+                    .collect::<Value>(),
             ),
         ]);
         let padded = pad::pad(block.to_json().as_bytes(), RULES_BLOCK_LEN)?;
         let aux = pprox_crypto::hybrid::seal(&self.keys.pk_ia, &padded, &mut self.rng)?;
-        let padded_user = pad::pad(user.as_bytes(), ID_PLAINTEXT_LEN)?;
+        let padded_user = SecretBytes::new(pad::pad(user.expose_bytes(), ID_PLAINTEXT_LEN)?);
         let envelope = ClientEnvelope {
             op: Op::Get,
-            user: self.keys.pk_ua.encrypt(&padded_user, &mut self.rng)?,
+            user: self
+                .keys
+                .pk_ua
+                .encrypt(padded_user.expose(), &mut self.rng)?,
             aux,
         };
         self.record_encrypt(started);
@@ -275,7 +295,7 @@ impl UserClient {
 mod tests {
     use super::*;
     use crate::keys::KeyProvisioner;
-    use crate::message::list_to_plaintext;
+    use crate::message::{list_to_plaintext, MAX_ID_LEN};
 
     fn client() -> UserClient {
         let mut rng = SecureRng::from_seed(31);

@@ -14,6 +14,7 @@
 //! returned items, pads the list to the maximum size, and encrypts it
 //! under `k_u` so the UA layer cannot read it.
 
+use crate::ids::PlaintextItemId;
 use crate::keys::LayerSecrets;
 use crate::message::{
     list_to_plaintext, EncryptedList, LayerEnvelope, Op, ID_PLAINTEXT_LEN, ITEM_BLOCK_LEN,
@@ -25,6 +26,7 @@ use pprox_crypto::base64;
 use pprox_crypto::ctr::SymmetricKey;
 use pprox_crypto::pad;
 use pprox_crypto::rng::SecureRng;
+use pprox_crypto::secret::SecretBytes;
 use pprox_json::Value;
 use pprox_lrs::api::{FeedbackEvent, RecommendationQuery};
 use pprox_lrs::MAX_RECOMMENDATIONS;
@@ -137,10 +139,14 @@ impl IaState {
     }
 
     /// Pseudonymizes an item id: `base64(det_enc(pad(item), kIA))`.
-    fn pseudonymize_item(&self, item: &str) -> Result<String, PProxError> {
+    ///
+    /// Takes the typed plaintext id: the caller must have validated the
+    /// length budget at the trust boundary, and the type name is what the
+    /// analyzer's layer-separation rules key on.
+    fn pseudonymize_item(&self, item: &PlaintextItemId) -> Result<String, PProxError> {
         // Padding already allocated the fixed-size frame; encrypt it in
         // place against the cached keystream prefix.
-        let mut padded = pad::pad(item.as_bytes(), ID_PLAINTEXT_LEN)?;
+        let mut padded = pad::pad(item.expose_bytes(), ID_PLAINTEXT_LEN)?;
         self.secrets.k.det_apply(&mut padded);
         Ok(base64::encode(&padded))
     }
@@ -215,7 +221,10 @@ impl IaState {
             (item, v.get("p").and_then(|p| p.as_f64()))
         };
         let item_for_lrs = if options.encryption && options.item_pseudonymization {
-            self.pseudonymize_item(&item)?
+            // Length was checked client-side, but this enclave must not
+            // trust the client: re-validate at its own boundary. Oversize
+            // ids surface as `IdTooLong` rather than a padding error.
+            self.pseudonymize_item(&PlaintextItemId::new(&item)?)?
         } else {
             item
         };
@@ -263,9 +272,12 @@ impl IaState {
         let mut exclude: Vec<String> = Vec::new();
         if options.encryption {
             let modulus_len = self.secrets.sk.public_key().ciphertext_len();
+            // `k_u` is secret material: it travels through SecretBytes so
+            // an error path can never print it and the buffer is zeroed if
+            // anything below bails out before the store takes ownership.
             let key_bytes = if envelope.aux.len() == modulus_len {
                 // Base protocol: aux = enc(k_u, pkIA).
-                self.secrets.sk.decrypt(&envelope.aux)?
+                SecretBytes::new(self.secrets.sk.decrypt(&envelope.aux)?)
             } else {
                 // Extended protocol: hybrid block {k, x: [excluded ids]}.
                 let padded = pprox_crypto::hybrid::open(&self.secrets.sk, &envelope.aux)?;
@@ -280,19 +292,19 @@ impl IaState {
                     for entry in arr {
                         let id = entry.as_str().ok_or(PProxError::MalformedMessage)?;
                         exclude.push(if options.item_pseudonymization {
-                            self.pseudonymize_item(id)?
+                            self.pseudonymize_item(&PlaintextItemId::new(id)?)?
                         } else {
                             id.to_owned()
                         });
                     }
                 }
-                base64::decode(key_b64)?
+                SecretBytes::new(base64::decode(key_b64)?)
             };
             if key_bytes.len() != 32 {
                 return Err(PProxError::MalformedMessage);
             }
             self.pending
-                .insert(token.0.to_be_bytes().to_vec(), key_bytes)
+                .insert(token.0.to_be_bytes().to_vec(), key_bytes.into_exposed())
                 .map_err(PProxError::Epc)?;
         } else if !envelope.aux.is_empty() {
             // Passthrough mode may still carry clear-text rules.
@@ -368,12 +380,13 @@ impl IaState {
         if !options.encryption {
             return Ok(EncryptedList(plaintext));
         }
-        let key_bytes = self
-            .pending
-            .remove(&token.0.to_be_bytes())
-            .ok_or(PProxError::UnknownToken)?;
+        let key_bytes = SecretBytes::new(
+            self.pending
+                .remove(&token.0.to_be_bytes())
+                .ok_or(PProxError::UnknownToken)?,
+        );
         let mut key = [0u8; 32];
-        key.copy_from_slice(&key_bytes);
+        key.copy_from_slice(key_bytes.expose());
         let k_u = SymmetricKey::from_bytes(key);
         Ok(EncryptedList(k_u.encrypt(&plaintext, &mut self.rng)))
     }
@@ -393,6 +406,10 @@ fn user_id_for_lrs(pseudonym: &[u8], encryption: bool) -> String {
 mod tests {
     use super::*;
     use crate::keys::LayerSecrets;
+
+    fn item_id(id: &str) -> PlaintextItemId {
+        PlaintextItemId::new(id).unwrap()
+    }
 
     fn setup() -> (IaState, SecureRng) {
         let mut rng = SecureRng::from_seed(21);
@@ -466,7 +483,7 @@ mod tests {
         // LRS returns pseudonymized ids.
         let pseudo_items: Vec<String> = ["a", "b"]
             .iter()
-            .map(|i| ia.pseudonymize_item(i).unwrap())
+            .map(|i| ia.pseudonymize_item(&item_id(i)).unwrap())
             .collect();
         let encrypted = ia
             .process_get_response(token, &pseudo_items, IaOptions::default())
@@ -508,7 +525,10 @@ mod tests {
         let (query, _token) = ia.process_get(&env, IaOptions::default()).unwrap();
         assert_eq!(query.exclude.len(), 2);
         // Exclusions were pseudonymized to match the LRS catalog.
-        assert_eq!(query.exclude[0], ia.pseudonymize_item("m00001").unwrap());
+        assert_eq!(
+            query.exclude[0],
+            ia.pseudonymize_item(&item_id("m00001")).unwrap()
+        );
         assert_ne!(query.exclude[0], "m00001");
         assert_eq!(ia.pending_count(), 1, "k_u stored for the response leg");
     }
@@ -606,7 +626,7 @@ mod tests {
     #[test]
     fn item_pseudonym_roundtrip() {
         let (ia, _) = setup();
-        let p = ia.pseudonymize_item("m12345").unwrap();
+        let p = ia.pseudonymize_item(&item_id("m12345")).unwrap();
         assert_ne!(p, "m12345");
         assert_eq!(ia.depseudonymize_item(&p).unwrap(), "m12345");
     }

@@ -1,0 +1,173 @@
+//! Typed plaintext identifiers: [`PlaintextUserId`] and
+//! [`PlaintextItemId`].
+//!
+//! The unlinkability theorem (§4.2) partitions knowledge by layer: UA code
+//! may handle plaintext *user* ids and IA code plaintext *item* ids, never
+//! the other way round. While ids travel as bare `&str`/`Vec<u8>`, that
+//! partition is invisible to the compiler and to reviewers — any function
+//! can accept any id. These newtypes make the partition structural:
+//!
+//! * constructing one validates the [`MAX_ID_LEN`] budget once, at the
+//!   trust boundary, instead of ad-hoc `check_id` calls;
+//! * `Debug` prints only the length — a stray `{:?}` in a log line cannot
+//!   leak the id;
+//! * the buffer is zeroed on drop;
+//! * most importantly, the *type names* are what the `pprox-analysis`
+//!   layer-separation rules (R1/R2) key on: `PlaintextItemId` appearing in
+//!   `ua.rs` is a build failure, as is `PlaintextUserId` in `ia.rs`.
+
+use crate::message::MAX_ID_LEN;
+use crate::PProxError;
+
+fn check_len(id: &str) -> Result<(), PProxError> {
+    if id.len() > MAX_ID_LEN {
+        return Err(PProxError::IdTooLong {
+            len: id.len(),
+            max: MAX_ID_LEN,
+        });
+    }
+    Ok(())
+}
+
+fn zero_string(s: &mut String) {
+    // Best-effort zeroize without unsafe: take the buffer, overwrite it,
+    // and keep the stores observable through a black box.
+    let mut bytes = std::mem::take(s).into_bytes();
+    for b in bytes.iter_mut() {
+        *b = 0;
+    }
+    std::hint::black_box(&bytes);
+}
+
+macro_rules! plaintext_id {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Clone, PartialEq, Eq, Hash)]
+        pub struct $name {
+            inner: String,
+        }
+
+        impl $name {
+            /// Validates and wraps a plaintext identifier.
+            ///
+            /// # Errors
+            ///
+            /// [`PProxError::IdTooLong`] when the id exceeds
+            /// [`MAX_ID_LEN`] bytes.
+            pub fn new(id: &str) -> Result<Self, PProxError> {
+                check_len(id)?;
+                Ok($name {
+                    inner: id.to_owned(),
+                })
+            }
+
+            /// The plaintext id. Named `expose` (not `as_str`) so every
+            /// site where the plaintext actually leaves the wrapper is
+            /// grep-able during privacy review.
+            pub fn expose(&self) -> &str {
+                &self.inner
+            }
+
+            /// The plaintext id as bytes (for padding + encryption).
+            pub fn expose_bytes(&self) -> &[u8] {
+                self.inner.as_bytes()
+            }
+
+            /// Byte length of the id (public: frames are constant-size).
+            pub fn len(&self) -> usize {
+                self.inner.len()
+            }
+
+            /// Whether the id is empty.
+            pub fn is_empty(&self) -> bool {
+                self.inner.is_empty()
+            }
+        }
+
+        impl std::fmt::Debug for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, concat!(stringify!($name), "({} bytes)"), self.inner.len())
+            }
+        }
+
+        impl Drop for $name {
+            fn drop(&mut self) {
+                zero_string(&mut self.inner);
+            }
+        }
+    };
+}
+
+plaintext_id!(
+    /// A plaintext **user** identifier.
+    ///
+    /// May appear in: the user-side library and UA-side code. Must never
+    /// appear in IA-side code (`ia.rs`) — enforced by analyzer rule R2.
+    PlaintextUserId
+);
+
+plaintext_id!(
+    /// A plaintext **item** identifier.
+    ///
+    /// May appear in: the user-side library and IA-side code. Must never
+    /// appear in UA-side code (`ua.rs`, shuffle path) — enforced by
+    /// analyzer rule R1.
+    PlaintextItemId
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_ids_roundtrip() {
+        let u = PlaintextUserId::new("alice").unwrap();
+        assert_eq!(u.expose(), "alice");
+        assert_eq!(u.expose_bytes(), b"alice");
+        assert_eq!(u.len(), 5);
+        assert!(!u.is_empty());
+        let i = PlaintextItemId::new("m00042").unwrap();
+        assert_eq!(i.expose(), "m00042");
+    }
+
+    #[test]
+    fn max_len_boundary() {
+        let at = "x".repeat(MAX_ID_LEN);
+        assert!(PlaintextUserId::new(&at).is_ok());
+        assert!(PlaintextItemId::new(&at).is_ok());
+        let over = "x".repeat(MAX_ID_LEN + 1);
+        assert!(matches!(
+            PlaintextUserId::new(&over),
+            Err(PProxError::IdTooLong { len, max }) if len == MAX_ID_LEN + 1 && max == MAX_ID_LEN
+        ));
+        assert!(PlaintextItemId::new(&over).is_err());
+    }
+
+    #[test]
+    fn debug_redacts_content() {
+        let u = PlaintextUserId::new("alice").unwrap();
+        assert_eq!(format!("{u:?}"), "PlaintextUserId(5 bytes)");
+        let i = PlaintextItemId::new("m1").unwrap();
+        assert_eq!(format!("{i:?}"), "PlaintextItemId(2 bytes)");
+    }
+
+    #[test]
+    fn equality_and_hash() {
+        use std::collections::HashSet;
+        let a = PlaintextUserId::new("u").unwrap();
+        let b = PlaintextUserId::new("u").unwrap();
+        let c = PlaintextUserId::new("v").unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        let set: HashSet<PlaintextUserId> = [a, b, c].into_iter().collect();
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn empty_id_is_allowed() {
+        // An empty id fits the frame; rejecting it is the LRS's business.
+        let e = PlaintextItemId::new("").unwrap();
+        assert!(e.is_empty());
+        assert_eq!(e.len(), 0);
+    }
+}

@@ -59,13 +59,14 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod autoscale;
 pub mod client;
 pub mod config;
 pub mod gateway;
 pub mod ia;
+pub mod ids;
 pub mod keys;
 pub mod message;
 pub mod metrics;
@@ -80,6 +81,7 @@ pub mod ua;
 
 pub use client::UserClient;
 pub use config::PProxConfig;
+pub use ids::{PlaintextItemId, PlaintextUserId};
 pub use proxy::PProxDeployment;
 
 use pprox_crypto::base64::DecodeBase64Error;

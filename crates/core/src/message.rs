@@ -82,7 +82,7 @@ impl Op {
 /// `user` is `enc(u, pkUA)`; `aux` is `enc({item, payload}, pkIA)` for a
 /// post or `enc(k_u, pkIA)` for a get. In passthrough mode (encryption
 /// disabled, micro-benchmark m1) the fields carry the raw values.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Clone, PartialEq, Eq)]
 pub struct ClientEnvelope {
     /// Which call this is.
     pub op: Op,
@@ -94,7 +94,7 @@ pub struct ClientEnvelope {
 
 /// A request after UA processing (UA → IA hop): the user field is now the
 /// deterministic pseudonym.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Clone, PartialEq, Eq)]
 pub struct LayerEnvelope {
     /// Which call this is.
     pub op: Op,
@@ -107,8 +107,52 @@ pub struct LayerEnvelope {
 
 /// An encrypted recommendation list on the response path (IA → UA →
 /// client); opaque to the UA layer.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Clone, PartialEq, Eq)]
 pub struct EncryptedList(pub Vec<u8>);
+
+/// First 4 bytes of the SHA-256 of `bytes`, hex-encoded — enough for a
+/// human to correlate two debug lines, useless for recovering content.
+fn digest8(bytes: &[u8]) -> String {
+    let d = pprox_crypto::sha256::digest(bytes);
+    d[..4].iter().map(|b| format!("{b:02x}")).collect()
+}
+
+// Redacting by hand, not derived: in passthrough mode (and for any future
+// bug that routes plaintext into these fields) a derived `Debug` would
+// print raw ids byte-for-byte into logs. Lengths and a short digest keep
+// debug output useful for correlating frames without carrying content.
+impl std::fmt::Debug for ClientEnvelope {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClientEnvelope")
+            .field("op", &self.op)
+            .field("user_len", &self.user.len())
+            .field("user_digest", &digest8(&self.user))
+            .field("aux_len", &self.aux.len())
+            .field("aux_digest", &digest8(&self.aux))
+            .finish()
+    }
+}
+
+impl std::fmt::Debug for LayerEnvelope {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LayerEnvelope")
+            .field("op", &self.op)
+            .field("user_pseudonym_len", &self.user_pseudonym.len())
+            .field("user_pseudonym_digest", &digest8(&self.user_pseudonym))
+            .field("aux_len", &self.aux.len())
+            .field("aux_digest", &digest8(&self.aux))
+            .finish()
+    }
+}
+
+impl std::fmt::Debug for EncryptedList {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EncryptedList")
+            .field("len", &self.0.len())
+            .field("digest", &digest8(&self.0))
+            .finish()
+    }
+}
 
 fn encode(op: Op, a_name: &str, a: &[u8], b_name: &str, b: &[u8]) -> Result<Vec<u8>, PProxError> {
     let v = Value::object([

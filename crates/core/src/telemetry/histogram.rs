@@ -9,7 +9,7 @@
 //! is what lets per-worker recording aggregate into per-stage and
 //! per-deployment views without any coordination on the write side.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use crate::telemetry::sync::{AtomicU64, Ordering};
 
 /// Linear sub-buckets per octave: 2^5. Relative quantile error is bounded
 /// by one sub-bucket, i.e. ≤ 1/32 ≈ 3.1%.
@@ -83,14 +83,21 @@ impl LatencyHistogram {
 
     /// Records one latency observation. Lock-free; safe from any thread.
     pub fn record(&self, us: u64) {
+        // relaxed-ok: independent commutative counters — every cell is a
+        // standalone accumulator, no cross-cell invariant is read back
+        // under the assumption of ordering; same for the next three ops
         self.cells[bucket_index(us)].fetch_add(1, Ordering::Relaxed);
+        // relaxed-ok: commutative counter (see above)
         self.count.fetch_add(1, Ordering::Relaxed);
+        // relaxed-ok: commutative counter (see above)
         self.sum_us.fetch_add(us, Ordering::Relaxed);
+        // relaxed-ok: commutative max fold (see above)
         self.max_us.fetch_max(us, Ordering::Relaxed);
     }
 
     /// Observations recorded so far.
     pub fn count(&self) -> u64 {
+        // relaxed-ok: standalone monotone counter read; no data guarded
         self.count.load(Ordering::Relaxed)
     }
 
@@ -102,13 +109,17 @@ impl LatencyHistogram {
         let counts: Vec<u64> = self
             .cells
             .iter()
+            // relaxed-ok: snapshot reads are documented as per-cell exact,
+            // not mutually consistent; totals may trail in-flight records
             .map(|c| c.load(Ordering::Relaxed))
             .collect();
         let count = counts.iter().sum();
         HistogramSnapshot {
             counts,
             count,
+            // relaxed-ok: per-cell-exact snapshot read (see above)
             sum_us: self.sum_us.load(Ordering::Relaxed),
+            // relaxed-ok: per-cell-exact snapshot read (see above)
             max_us: self.max_us.load(Ordering::Relaxed),
         }
     }

@@ -22,12 +22,16 @@
 
 pub mod export;
 pub mod histogram;
+pub(crate) mod sync;
 pub mod trace;
 
 pub use histogram::{HistogramSnapshot, LatencyHistogram};
 pub use trace::{SpanRecord, SpanRing, Stage, TraceId, TraceIdPolicy};
 
 use std::sync::Arc;
+// analysis-allow: R6 the hub's epoch is the time *origin* spans are expressed
+// against, not a per-request arrival capture; per-request E2e timing goes
+// through record_duration (histogram only), never the span ring.
 use std::time::Instant;
 
 /// Telemetry deployment parameters.
@@ -126,6 +130,7 @@ pub struct Telemetry {
     stages: StageSet,
     spans: SpanRing,
     policy: TraceIdPolicy,
+    // analysis-allow: R6 shared epoch, not a per-request timestamp
     epoch: Instant,
 }
 
@@ -136,6 +141,7 @@ impl Telemetry {
             stages: StageSet::new(),
             spans: SpanRing::new(config.span_capacity),
             policy: config.trace_policy,
+            // analysis-allow: R6 hub creation time is the clock origin
             epoch: Instant::now(),
         }
     }

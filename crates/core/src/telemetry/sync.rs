@@ -1,0 +1,16 @@
+//! Atomic primitives for the telemetry layer, switchable to the loom
+//! model checker.
+//!
+//! Telemetry's lock-free structures ([`super::trace::SpanRing`],
+//! [`super::histogram::LatencyHistogram`]) import their atomics from here
+//! instead of `std::sync::atomic`. A normal build re-exports std; a build
+//! with `RUSTFLAGS="--cfg loom"` re-exports the loom shim's instrumented
+//! types, whose every operation is a scheduling point — which is what lets
+//! `tests/loom.rs` exhaustively permute writer/reader interleavings of the
+//! seqlock and histogram protocols.
+
+#[cfg(loom)]
+pub(crate) use loom::sync::atomic::{fence, AtomicU64, Ordering};
+
+#[cfg(not(loom))]
+pub(crate) use std::sync::atomic::{fence, AtomicU64, Ordering};

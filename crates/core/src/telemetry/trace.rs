@@ -15,8 +15,8 @@
 //! for — and exists so the `pprox-attack` telemetry audit can demonstrate
 //! it is caught.
 
+use crate::telemetry::sync::{fence, AtomicU64, Ordering};
 use pprox_crypto::rng::SecureRng;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A random, meaning-free span correlation ID.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -207,37 +207,51 @@ impl SpanRing {
 
     /// Total spans ever pushed (including since-overwritten ones).
     pub fn pushed(&self) -> u64 {
+        // relaxed-ok: standalone monotone counter read; no data guarded
         self.head.load(Ordering::Relaxed)
     }
 
     /// Spans dropped because a slot was mid-write (writer contention).
     pub fn dropped(&self) -> u64 {
+        // relaxed-ok: standalone monotone counter read; no data guarded
         self.dropped.load(Ordering::Relaxed)
     }
 
     /// Pushes a span. Lock-free: never blocks, never spins; under slot
     /// contention the span is dropped and counted instead.
     pub fn push(&self, record: SpanRecord) {
+        // relaxed-ok: ticket allocation only needs atomicity of the
+        // increment; slot ownership is decided by the version CAS below
         let ticket = self.head.fetch_add(1, Ordering::Relaxed);
         let slot = &self.slots[(ticket % self.slots.len() as u64) as usize];
         let v = slot.version.load(Ordering::Acquire);
         if v & 1 == 1
             || slot
                 .version
+                // relaxed-ok: CAS failure ordering — on failure we drop the
+                // span and read nothing the version word guards
                 .compare_exchange(v, v + 1, Ordering::Acquire, Ordering::Relaxed)
                 .is_err()
         {
+            // relaxed-ok: standalone loss counter; no data guarded
             self.dropped.fetch_add(1, Ordering::Relaxed);
             return;
         }
+        // relaxed-ok: field stores are ordered by the seqlock protocol —
+        // they happen-after the CAS (success=Acquire) and happen-before the
+        // Release publication store below; same for the next four stores
         slot.seq.store(ticket, Ordering::Relaxed);
+        // relaxed-ok: seqlock field store (see above)
         slot.trace.store(record.trace.0, Ordering::Relaxed);
         slot.packed.store(
             pack(record.stage, record.instance, record.ok),
+            // relaxed-ok: seqlock field store (see above)
             Ordering::Relaxed,
         );
+        // relaxed-ok: seqlock field store (see above)
         slot.start_us.store(record.start_us, Ordering::Relaxed);
         slot.duration_us
+            // relaxed-ok: seqlock field store (see above)
             .store(record.duration_us, Ordering::Relaxed);
         slot.version.store(v + 2, Ordering::Release);
     }
@@ -251,11 +265,24 @@ impl SpanRing {
             if v1 == 0 || v1 & 1 == 1 {
                 continue; // never written, or a write is in progress
             }
+            // relaxed-ok: seqlock field loads — they happen-after the
+            // Acquire version load above, and the Acquire fence below keeps
+            // them from sinking past the revalidating load; same for the
+            // next four loads
             let seq = slot.seq.load(Ordering::Relaxed);
+            // relaxed-ok: seqlock field load (see above)
             let trace = slot.trace.load(Ordering::Relaxed);
+            // relaxed-ok: seqlock field load (see above)
             let packed = slot.packed.load(Ordering::Relaxed);
+            // relaxed-ok: seqlock field load (see above)
             let start_us = slot.start_us.load(Ordering::Relaxed);
+            // relaxed-ok: seqlock field load (see above)
             let duration_us = slot.duration_us.load(Ordering::Relaxed);
+            // Without this fence the relaxed field loads above may be
+            // reordered after the revalidating version load, defeating the
+            // tear check: the reader could validate against a version
+            // observed *before* the fields it actually read.
+            fence(Ordering::Acquire);
             if slot.version.load(Ordering::Acquire) != v1 {
                 continue; // torn read: a writer replaced the slot meanwhile
             }

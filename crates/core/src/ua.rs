@@ -16,6 +16,7 @@ use crate::keys::LayerSecrets;
 use crate::message::{ClientEnvelope, LayerEnvelope};
 use crate::telemetry::LatencyHistogram;
 use crate::PProxError;
+use pprox_crypto::secret::SecretBytes;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -98,10 +99,12 @@ impl UaState {
             // The client encrypted the *padded* id, so the decrypted block
             // is already fixed-size; deterministic CTR keeps it fixed-size.
             // Pseudonymizing in place against the cached keystream prefix
-            // avoids a second allocation per request.
-            let mut padded_user = self.secrets.sk.decrypt(&envelope.user)?;
-            self.secrets.k.det_apply(&mut padded_user);
-            padded_user
+            // avoids a second allocation per request. The plaintext only
+            // ever lives inside a SecretBytes; once `det_apply` has run,
+            // the buffer holds the pseudonym, which is safe to release.
+            let mut padded_user = SecretBytes::new(self.secrets.sk.decrypt(&envelope.user)?);
+            self.secrets.k.det_apply(padded_user.expose_mut());
+            padded_user.into_exposed()
         } else {
             envelope.user.clone()
         };
@@ -115,9 +118,11 @@ impl UaState {
     /// Recovers the plaintext (padded) user id from a pseudonym — only
     /// possible *inside* the UA enclave. Exposed for the security-analysis
     /// harness (§6.1 case 1.c: an adversary holding `kUA` can
-    /// de-pseudonymize LRS user ids).
-    pub fn depseudonymize(&self, pseudonym: &[u8]) -> Vec<u8> {
-        self.secrets.k.det_decrypt(pseudonym)
+    /// de-pseudonymize LRS user ids). The result is a plaintext user id,
+    /// so it comes back wrapped in [`SecretBytes`]: callers must `expose`
+    /// it explicitly, which the privacy-flow analyzer can then audit.
+    pub fn depseudonymize(&self, pseudonym: &[u8]) -> SecretBytes {
+        SecretBytes::new(self.secrets.k.det_decrypt(pseudonym))
     }
 }
 
@@ -226,7 +231,10 @@ mod tests {
         };
         let out = ua.process(&env, true).unwrap();
         let recovered = ua.depseudonymize(&out.user_pseudonym);
-        assert_eq!(pad::unpad(&recovered, ID_PLAINTEXT_LEN).unwrap(), b"carol");
+        assert_eq!(
+            pad::unpad(recovered.expose(), ID_PLAINTEXT_LEN).unwrap(),
+            b"carol"
+        );
     }
 
     #[test]

@@ -1,0 +1,67 @@
+//! Constant-time comparison primitives.
+//!
+//! Every equality check on secret-derived bytes in this crate must go
+//! through [`ct_eq`]: a data-dependent early exit (`==` on slices, `return`
+//! inside a comparison loop) turns the comparison latency into an oracle
+//! for how many leading bytes matched — the classic HMAC/OAEP timing
+//! attack. The `pprox-analysis` R9 lint rejects bare `==` on secret byte
+//! slices in this crate; this module is the sanctioned sink.
+
+/// Constant-time equality of two byte strings.
+///
+/// Always inspects every byte of both inputs; the running time depends
+/// only on the lengths, never on the contents. Returns `false` when the
+/// lengths differ (length is considered public).
+///
+/// # Examples
+///
+/// ```
+/// use pprox_crypto::ct::ct_eq;
+///
+/// assert!(ct_eq(b"tag", b"tag"));
+/// assert!(!ct_eq(b"tag", b"tab"));
+/// assert!(!ct_eq(b"tag", b"tag-longer"));
+/// ```
+#[must_use]
+pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut acc = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        acc |= x ^ y;
+    }
+    // Reduce without branching on intermediate state; the single final
+    // branch reveals only the boolean outcome, which the caller needs.
+    acc == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_slices_compare_equal() {
+        assert!(ct_eq(b"", b""));
+        assert!(ct_eq(b"x", b"x"));
+        assert!(ct_eq(&[0u8; 64], &[0u8; 64]));
+    }
+
+    #[test]
+    fn any_single_bit_flip_breaks_equality() {
+        let base = [0x5au8; 32];
+        for i in 0..32 {
+            for bit in 0..8 {
+                let mut other = base;
+                other[i] ^= 1 << bit;
+                assert!(!ct_eq(&base, &other), "byte {i} bit {bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn length_mismatch_is_unequal() {
+        assert!(!ct_eq(b"abc", b"ab"));
+        assert!(!ct_eq(b"", b"a"));
+    }
+}

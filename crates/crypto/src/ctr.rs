@@ -75,7 +75,9 @@ impl Clone for SymmetricKey {
 
 impl PartialEq for SymmetricKey {
     fn eq(&self, other: &Self) -> bool {
-        self.bytes == other.bytes
+        // Constant-time: key equality must not leak a matching-prefix
+        // length through comparison latency.
+        crate::ct::ct_eq(&self.bytes, &other.bytes)
     }
 }
 

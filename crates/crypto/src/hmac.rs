@@ -44,14 +44,7 @@ pub fn hmac_sha256(key: &[u8], message: &[u8]) -> [u8; DIGEST_LEN] {
 /// Returns `false` when lengths differ. Prevents the trivial timing oracle
 /// on tag verification.
 pub fn verify_tag(expected: &[u8], actual: &[u8]) -> bool {
-    if expected.len() != actual.len() {
-        return false;
-    }
-    let mut acc = 0u8;
-    for (a, b) in expected.iter().zip(actual.iter()) {
-        acc |= a ^ b;
-    }
-    acc == 0
+    crate::ct::ct_eq(expected, actual)
 }
 
 #[cfg(test)]

@@ -41,11 +41,12 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod aes;
 pub mod base64;
 pub mod bigint;
+pub mod ct;
 pub mod ctr;
 pub mod hmac;
 pub mod hybrid;
@@ -53,6 +54,7 @@ pub mod pad;
 pub mod prime;
 pub mod rng;
 pub mod rsa;
+pub mod secret;
 pub mod sha256;
 
 /// Errors produced by the cryptographic operations in this crate.

@@ -22,9 +22,17 @@ use rand::{RngCore, SeedableRng};
 /// let mut b = SecureRng::from_seed(7);
 /// assert_eq!(a.next_u64(), b.next_u64());
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct SecureRng {
     inner: StdRng,
+}
+
+impl std::fmt::Debug for SecureRng {
+    // Redacting on purpose: the generator state seeds future keys (k_u,
+    // trace IDs); printing it would let a log reader predict them.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("SecureRng(state redacted)")
+    }
 }
 
 impl SecureRng {

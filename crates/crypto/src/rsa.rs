@@ -250,7 +250,9 @@ impl RsaPrivateKey {
             *b ^= m;
         }
         let l_hash = sha256::digest(b"");
-        if db[..h_len] != l_hash {
+        // Constant-time: a prefix-dependent early exit here is the classic
+        // OAEP (Manger-style) decryption oracle.
+        if !crate::ct::ct_eq(&db[..h_len], &l_hash) {
             return Err(CryptoError::DecryptionFailed);
         }
         // Skip zero padding until the 0x01 separator.

@@ -26,7 +26,7 @@
 //! byte-identical to direct ones (verified in `tests/transparency.rs`).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod api;
 pub mod cco;

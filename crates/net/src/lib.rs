@@ -20,7 +20,7 @@
 //! milliseconds of the authors' hardware; see EXPERIMENTS.md.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod lb;
 pub mod link;

@@ -22,6 +22,7 @@ use crate::measurement::Measurement;
 use crate::{EnclaveError, EnclaveId};
 use parking_lot::Mutex;
 use pprox_crypto::rng::SecureRng;
+use pprox_crypto::secret::SecretBytes;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
@@ -30,9 +31,14 @@ use std::sync::{Arc, Weak};
 ///
 /// The attack harness inspects these to mount the §6.1 case analysis
 /// (e.g. a broken UA enclave yields `sk_ua` and `k_ua` but never `k_ia`).
+/// Values live in [`SecretBytes`]: the derived `Debug` therefore prints
+/// names and lengths but never key material, and dropping the bag zeroes
+/// every buffer.
+// analysis-allow: R4 every value is a SecretBytes, whose own Debug prints
+// lengths only — the derived impl is redacting by construction
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SecretBag {
-    entries: BTreeMap<String, Vec<u8>>,
+    entries: BTreeMap<String, SecretBytes>,
 }
 
 impl SecretBag {
@@ -43,12 +49,12 @@ impl SecretBag {
 
     /// Adds a named secret.
     pub fn insert(&mut self, name: impl Into<String>, value: Vec<u8>) {
-        self.entries.insert(name.into(), value);
+        self.entries.insert(name.into(), SecretBytes::new(value));
     }
 
     /// Looks up a secret by name.
     pub fn get(&self, name: &str) -> Option<&[u8]> {
-        self.entries.get(name).map(|v| v.as_slice())
+        self.entries.get(name).map(|v| v.expose())
     }
 
     /// Names of all contained secrets.

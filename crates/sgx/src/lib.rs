@@ -32,7 +32,7 @@
 //! ECALLs are counted here ([`enclave::Enclave::ecall_count`]) to drive it.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod attestation;
 pub mod enclave;

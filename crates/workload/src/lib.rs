@@ -17,7 +17,7 @@
 //!   §6.3 night-time experiments.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod dataset;
 pub mod diurnal;

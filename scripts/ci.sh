@@ -13,12 +13,28 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test =="
 cargo test -q --workspace
 
+echo "== privacy-flow analysis =="
+ANALYSIS_DIR="$(mktemp -d)"
+trap 'rm -rf "$ANALYSIS_DIR"' EXIT
+cargo run --release -q -p pprox-analysis -- \
+    --json-out "$ANALYSIS_DIR/ANALYSIS_report.json"
+cargo run --release -q -p pprox-analysis -- \
+    --validate "$ANALYSIS_DIR/ANALYSIS_report.json"
+
+echo "== validate committed analysis report =="
+cargo run --release -q -p pprox-analysis -- \
+    --validate results/ANALYSIS_report.json
+
+echo "== loom model checking (seqlock + histogram) =="
+CARGO_TARGET_DIR=target/loom RUSTFLAGS="--cfg loom" \
+    cargo test -q -p pprox-core --test loom
+
 echo "== bench smoke =="
 ./scripts/bench.sh
 
 echo "== telemetry export smoke =="
 TELEMETRY_DIR="$(mktemp -d)"
-trap 'rm -rf "$TELEMETRY_DIR"' EXIT
+trap 'rm -rf "$TELEMETRY_DIR" "$ANALYSIS_DIR"' EXIT
 cargo run --release -q -p pprox-bench --bin telemetry_export -- \
     --requests 96 --shuffle-size 4 --out-dir "$TELEMETRY_DIR" >/dev/null
 cargo run --release -q -p pprox-bench --bin telemetry_export -- \

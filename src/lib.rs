@@ -48,7 +48,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub use pprox_attack as attack;
 pub use pprox_core as core;
