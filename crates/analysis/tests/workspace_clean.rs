@@ -73,6 +73,35 @@ fn seeded_violation_in_real_ia_source_is_caught() {
 }
 
 #[test]
+fn wire_transport_handlers_are_in_scope_and_clean() {
+    // The wire crate is in the analyzer's scan set (NOT allowlisted):
+    // the transport handlers must satisfy the same layer-separation and
+    // telemetry rules as the core modules.
+    let ua_path = workspace_root().join("crates/wire/src/services/ua.rs");
+    let original = std::fs::read_to_string(&ua_path).expect("read wire ua service");
+    let clean = analyze_file("crates/wire/src/services/ua.rs", &original);
+    assert!(
+        clean.findings.is_empty(),
+        "wire UA service should be clean: {:#?}",
+        clean.findings
+    );
+
+    // Seeding an arrival-timestamped span export into the wire UA
+    // handler — the R6 arrival-oracle pattern — must fire: a span
+    // carrying the end-to-end stage would let a telemetry observer
+    // correlate arrivals across the shuffle boundary.
+    let seeded = format!(
+        "{original}\nfn leak(t: &Telemetry, s: pprox_core::telemetry::SpanRecord) {{\n    t.record_span(SpanRecord {{ stage: Stage::E2e, ..s }});\n}}\n"
+    );
+    let report = analyze_file("crates/wire/src/services/ua.rs", &seeded);
+    assert!(
+        report.findings.iter().any(|f| f.rule == "R6"),
+        "seeded E2e span export in wire handler must fire R6: {:#?}",
+        report.findings
+    );
+}
+
+#[test]
 fn workspace_report_roundtrips_through_validator() {
     let r = analyze_workspace(&workspace_root()).expect("scan");
     report::validate(&r.to_value().to_json()).expect("self-produced report must validate");

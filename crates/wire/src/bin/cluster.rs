@@ -1,0 +1,460 @@
+//! `cluster`: the full PProx chain over loopback TCP, benchmarked.
+//!
+//! Launches 1–4 real [`pprox_wire::WireServer`] instances per layer
+//! (UA, IA, LRS frontend) on `127.0.0.1`, drives them with the
+//! `pprox-workload` request generator from N closed-loop client threads,
+//! and emits `results/BENCH_wire.json`: sustained RPS plus per-stage
+//! p50/p99 from the chain's telemetry histograms, next to the same
+//! workload pushed through the in-process pipeline as a baseline — so
+//! the socket layer's cost is readable from one JSON file.
+//!
+//! Usage:
+//!
+//! ```text
+//! cluster [--instances N] [--lrs-instances N] [--requests N]
+//!         [--clients N] [--shuffle-size S] [--shuffle-timeout-us T]
+//!         [--modulus-bits B] [--seed X] [--no-baseline] [--out PATH]
+//! cluster --validate PATH   # schema-check an emitted JSON file
+//! ```
+
+use pprox_core::config::PProxConfig;
+use pprox_core::pipeline::{Completion, PProxPipeline};
+use pprox_core::resilience::Deadline;
+use pprox_core::shuffler::ShuffleConfig;
+use pprox_core::telemetry::{HistogramSnapshot, Stage};
+use pprox_json::Value;
+use pprox_lrs::stub::StubLrs;
+use pprox_wire::cluster::{ClusterConfig, LoopbackCluster};
+use pprox_workload::dataset::Dataset;
+use pprox_workload::trace::{Request, RequestTrace};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Report schema version.
+const WIRE_SCHEMA_VERSION: u64 = 1;
+
+/// Per-request deadline for the driver's wire calls.
+const REQUEST_BUDGET: Duration = Duration::from_secs(5);
+
+#[derive(Debug)]
+struct Args {
+    instances: usize,
+    lrs_instances: usize,
+    requests: usize,
+    clients: usize,
+    shuffle_size: usize,
+    shuffle_timeout_us: u64,
+    modulus_bits: usize,
+    seed: u64,
+    baseline: bool,
+    out: String,
+    validate: Option<String>,
+}
+
+impl Args {
+    fn parse() -> Args {
+        let mut args = Args {
+            instances: 2,
+            lrs_instances: 1,
+            requests: 400,
+            clients: 4,
+            shuffle_size: 8,
+            shuffle_timeout_us: 20_000,
+            modulus_bits: 1152,
+            seed: 0x77_12e5,
+            baseline: true,
+            out: "results/BENCH_wire.json".to_string(),
+            validate: None,
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| {
+                it.next()
+                    .unwrap_or_else(|| panic!("missing value for {name}"))
+            };
+            match flag.as_str() {
+                "--instances" => args.instances = value("--instances").parse().unwrap(),
+                "--lrs-instances" => args.lrs_instances = value("--lrs-instances").parse().unwrap(),
+                "--requests" => args.requests = value("--requests").parse().unwrap(),
+                "--clients" => args.clients = value("--clients").parse().unwrap(),
+                "--shuffle-size" => args.shuffle_size = value("--shuffle-size").parse().unwrap(),
+                "--shuffle-timeout-us" => {
+                    args.shuffle_timeout_us = value("--shuffle-timeout-us").parse().unwrap()
+                }
+                "--modulus-bits" => args.modulus_bits = value("--modulus-bits").parse().unwrap(),
+                "--seed" => args.seed = value("--seed").parse().unwrap(),
+                "--no-baseline" => args.baseline = false,
+                "--out" => args.out = value("--out"),
+                "--validate" => args.validate = Some(value("--validate")),
+                other => panic!("unknown flag {other}"),
+            }
+        }
+        assert!(
+            (1..=4).contains(&args.instances),
+            "--instances must be 1..=4"
+        );
+        assert!(
+            (1..=4).contains(&args.lrs_instances),
+            "--lrs-instances must be 1..=4"
+        );
+        assert!(args.clients >= 1, "--clients must be >= 1");
+        args
+    }
+
+    fn shuffle(&self) -> ShuffleConfig {
+        if self.shuffle_size <= 1 {
+            ShuffleConfig::disabled()
+        } else {
+            ShuffleConfig {
+                size: self.shuffle_size,
+                timeout_us: self.shuffle_timeout_us,
+            }
+        }
+    }
+}
+
+/// The shared request trace: phase-1 feedback posts followed by phase-2
+/// recommendation gets, per §8's two-phase protocol.
+fn build_trace(dataset: &Dataset, requests: usize, seed: u64) -> Vec<Request> {
+    let posts = requests / 2;
+    let gets = requests - posts;
+    let mut all = RequestTrace::feedback_phase(dataset, Some(posts)).requests;
+    all.extend(RequestTrace::query_phase(dataset, gets, seed).requests);
+    all
+}
+
+struct RunOutcome {
+    sustained_rps: f64,
+    e2e: HistogramSnapshot,
+    stages: Vec<(&'static str, HistogramSnapshot)>,
+    failures: u64,
+}
+
+/// Drives the loopback cluster with `clients` closed-loop threads
+/// sharing one work queue.
+fn run_wire(args: &Args) -> RunOutcome {
+    let config = ClusterConfig {
+        ua_instances: args.instances,
+        ia_instances: args.instances,
+        lrs_instances: args.lrs_instances,
+        shuffle: args.shuffle(),
+        modulus_bits: args.modulus_bits,
+        seed: args.seed,
+        ..ClusterConfig::default()
+    };
+    let mut cluster =
+        LoopbackCluster::launch(config, Arc::new(StubLrs::new())).expect("cluster launch");
+    let telemetry = cluster.telemetry().clone();
+    // Mint the per-thread user clients while we still hold the cluster
+    // mutably; the driving threads then share it read-only.
+    let mut user_clients: Vec<_> = (0..args.clients).map(|_| cluster.client()).collect();
+    let cluster = Arc::new(cluster);
+
+    let dataset = Dataset::small(args.seed);
+    let work: Arc<Mutex<Vec<Request>>> = Arc::new(Mutex::new({
+        let mut t = build_trace(&dataset, args.requests, args.seed);
+        t.reverse(); // pop() serves them in trace order
+        t
+    }));
+
+    let failures = Arc::new(AtomicU64::new(0));
+    let wall = Instant::now();
+    let mut handles = Vec::new();
+    for _ in 0..args.clients {
+        let mut client = user_clients.pop().unwrap();
+        let work = work.clone();
+        let cluster = cluster.clone();
+        let telemetry = telemetry.clone();
+        let failures = failures.clone();
+        handles.push(std::thread::spawn(move || loop {
+            let Some(req) = work.lock().unwrap().pop() else {
+                break;
+            };
+            let started = Instant::now();
+            let ok = match &req {
+                Request::Post {
+                    user,
+                    item,
+                    payload,
+                } => client
+                    .post(user, item, *payload)
+                    .ok()
+                    .and_then(|env| {
+                        cluster
+                            .send_post(&env, Deadline::starting_now(REQUEST_BUDGET))
+                            .ok()
+                    })
+                    .is_some(),
+                Request::Get { user } => client
+                    .get(user)
+                    .ok()
+                    .and_then(|(env, ticket)| {
+                        let list = cluster
+                            .send_get(&env, Deadline::starting_now(REQUEST_BUDGET))
+                            .ok()?;
+                        client.open_response(&ticket, &list).ok()
+                    })
+                    .is_some(),
+            };
+            if ok {
+                telemetry.record_duration(Stage::E2e, started.elapsed().as_micros() as u64);
+            } else {
+                failures.fetch_add(1, Ordering::Relaxed);
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let wall_secs = wall.elapsed().as_secs_f64();
+    let failed = failures.load(Ordering::Relaxed);
+
+    let stages = telemetry.stages();
+    // The cluster's servers drain on drop when the Arc unwinds.
+    RunOutcome {
+        sustained_rps: (args.requests as f64 - failed as f64) / wall_secs,
+        e2e: stages.histogram(Stage::E2e).snapshot(),
+        stages: vec![
+            ("ua", stages.histogram(Stage::Ua).snapshot()),
+            ("ia", stages.histogram(Stage::Ia).snapshot()),
+            ("lrs", stages.histogram(Stage::Lrs).snapshot()),
+            ("shuffle", stages.shuffle_snapshot()),
+        ],
+        failures: failed,
+    }
+}
+
+/// The same trace through the in-process pipeline (window of 32 in
+/// flight), for the overhead comparison column.
+fn run_baseline(args: &Args) -> RunOutcome {
+    let config = PProxConfig {
+        ua_instances: args.instances,
+        ia_instances: args.instances,
+        shuffle: args.shuffle(),
+        modulus_bits: args.modulus_bits,
+        ..PProxConfig::default()
+    };
+    let pipeline = PProxPipeline::new(config, Arc::new(StubLrs::new()), args.seed, 4).unwrap();
+    let mut client = pipeline.client();
+    let dataset = Dataset::small(args.seed);
+    let trace = build_trace(&dataset, args.requests, args.seed);
+
+    let telemetry = pipeline.telemetry().clone();
+    let mut failures = 0u64;
+    let wall = Instant::now();
+    let window = 32usize;
+    let mut in_flight = Vec::new();
+    let mut iter = trace.into_iter();
+    let mut done = false;
+    while !done || !in_flight.is_empty() {
+        while !done && in_flight.len() < window {
+            match iter.next() {
+                Some(Request::Post {
+                    user,
+                    item,
+                    payload,
+                }) => {
+                    let env = client.post(&user, &item, payload).unwrap();
+                    in_flight.push((Instant::now(), None, pipeline.submit(env).unwrap()));
+                }
+                Some(Request::Get { user }) => {
+                    let (env, ticket) = client.get(&user).unwrap();
+                    in_flight.push((Instant::now(), Some(ticket), pipeline.submit(env).unwrap()));
+                }
+                None => done = true,
+            }
+        }
+        if in_flight.is_empty() {
+            break;
+        }
+        let (_started, ticket, rx) = in_flight.remove(0);
+        // The pipeline records its own E2e observations at the response
+        // shuffle boundary; recording here too would double-count.
+        let ok = match rx.recv().unwrap() {
+            Completion::Post(r) => r.is_ok(),
+            Completion::Get(r) => match (r, ticket) {
+                (Ok(list), Some(t)) => client.open_response(&t, &list).is_ok(),
+                _ => false,
+            },
+        };
+        if !ok {
+            failures += 1;
+        }
+    }
+    let wall_secs = wall.elapsed().as_secs_f64();
+    let stages = telemetry.stages();
+    let outcome = RunOutcome {
+        sustained_rps: (args.requests as f64 - failures as f64) / wall_secs,
+        e2e: stages.histogram(Stage::E2e).snapshot(),
+        stages: vec![
+            ("ua", stages.histogram(Stage::Ua).snapshot()),
+            ("ia", stages.histogram(Stage::Ia).snapshot()),
+            ("lrs", stages.histogram(Stage::Lrs).snapshot()),
+            ("shuffle", stages.shuffle_snapshot()),
+        ],
+        failures,
+    };
+    pipeline.shutdown();
+    outcome
+}
+
+fn stage_value(snap: &HistogramSnapshot) -> Value {
+    Value::object([
+        ("count", Value::from(snap.count())),
+        ("p50_us", Value::from(snap.p50())),
+        ("p99_us", Value::from(snap.p99())),
+    ])
+}
+
+fn outcome_value(o: &RunOutcome) -> Value {
+    let mut stages = Value::object::<&str, _>([]);
+    for (name, snap) in &o.stages {
+        stages.insert(*name, stage_value(snap));
+    }
+    Value::object([
+        ("sustained_rps", Value::from(round3(o.sustained_rps))),
+        ("failures", Value::from(o.failures)),
+        ("e2e", stage_value(&o.e2e)),
+        ("stages", stages),
+    ])
+}
+
+fn round3(v: f64) -> f64 {
+    (v * 1000.0).round() / 1000.0
+}
+
+/// Schema check for an emitted report; panics on the first violation so
+/// CI can gate on the exit status.
+fn validate(path: &str) {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+    let root = Value::parse(&text).unwrap_or_else(|e| panic!("{path}: invalid JSON: {e:?}"));
+    assert_eq!(
+        root.get("benchmark").and_then(Value::as_str),
+        Some("wire"),
+        "{path}: missing benchmark tag"
+    );
+    let version = root
+        .get("schema_version")
+        .and_then(Value::as_u64)
+        .unwrap_or_else(|| panic!("{path}: missing schema_version"));
+    assert!(
+        version >= WIRE_SCHEMA_VERSION,
+        "{path}: schema_version {version} < {WIRE_SCHEMA_VERSION}"
+    );
+    let config = root
+        .get("config")
+        .unwrap_or_else(|| panic!("{path}: missing config"));
+    for field in ["instances", "lrs_instances", "requests", "clients"] {
+        assert!(
+            config.get(field).and_then(Value::as_u64).is_some(),
+            "{path}: config.{field} missing"
+        );
+    }
+    let check_section = |name: &str| {
+        let section = root
+            .get(name)
+            .unwrap_or_else(|| panic!("{path}: missing {name} section"));
+        let rps = section
+            .get("sustained_rps")
+            .and_then(Value::as_f64)
+            .unwrap_or_else(|| panic!("{path}: {name}.sustained_rps missing"));
+        assert!(
+            rps.is_finite() && rps > 0.0,
+            "{path}: {name}.sustained_rps must be positive, got {rps}"
+        );
+        let e2e = section
+            .get("e2e")
+            .unwrap_or_else(|| panic!("{path}: {name}.e2e missing"));
+        assert!(
+            e2e.get("count").and_then(Value::as_u64).unwrap_or(0) >= 1,
+            "{path}: {name}.e2e has no observations"
+        );
+        let stages = section
+            .get("stages")
+            .unwrap_or_else(|| panic!("{path}: {name}.stages missing"));
+        for stage in ["ua", "ia", "lrs"] {
+            let s = stages
+                .get(stage)
+                .unwrap_or_else(|| panic!("{path}: {name}.stages.{stage} missing"));
+            let num = |f: &str| {
+                s.get(f)
+                    .and_then(Value::as_f64)
+                    .filter(|v| v.is_finite() && *v >= 0.0)
+                    .unwrap_or_else(|| panic!("{path}: {name}.stages.{stage}.{f} bad"))
+            };
+            assert!(
+                num("count") >= 1.0,
+                "{path}: {name}.stages.{stage} has no observations"
+            );
+            let (p50, p99) = (num("p50_us"), num("p99_us"));
+            assert!(
+                p50 <= p99,
+                "{path}: {name}.stages.{stage} quantiles not monotone ({p50} > {p99})"
+            );
+        }
+    };
+    check_section("wire");
+    if root.get("inprocess_baseline").is_some() {
+        check_section("inprocess_baseline");
+    }
+    println!("{path}: schema OK");
+}
+
+fn main() {
+    let args = Args::parse();
+    if let Some(path) = &args.validate {
+        validate(path);
+        return;
+    }
+
+    eprintln!(
+        "wire: {} requests through {}x UA + {}x IA + {}x LRS over loopback TCP ({} clients)...",
+        args.requests, args.instances, args.instances, args.lrs_instances, args.clients
+    );
+    let wire = run_wire(&args);
+    eprintln!(
+        "wire: {:.1} req/s sustained, {} failures",
+        wire.sustained_rps, wire.failures
+    );
+
+    let baseline = if args.baseline {
+        eprintln!("baseline: same trace through the in-process pipeline...");
+        let b = run_baseline(&args);
+        eprintln!("baseline: {:.1} req/s sustained", b.sustained_rps);
+        Some(b)
+    } else {
+        None
+    };
+
+    let mut report = Value::object([
+        ("benchmark", Value::from("wire")),
+        ("schema_version", Value::from(WIRE_SCHEMA_VERSION)),
+        (
+            "config",
+            Value::object([
+                ("instances", Value::from(args.instances as u64)),
+                ("lrs_instances", Value::from(args.lrs_instances as u64)),
+                ("requests", Value::from(args.requests as u64)),
+                ("clients", Value::from(args.clients as u64)),
+                ("shuffle_size", Value::from(args.shuffle_size as u64)),
+                ("shuffle_timeout_us", Value::from(args.shuffle_timeout_us)),
+                ("modulus_bits", Value::from(args.modulus_bits as u64)),
+                ("seed", Value::from(args.seed)),
+                ("encryption", Value::from(true)),
+            ]),
+        ),
+        ("wire", outcome_value(&wire)),
+    ]);
+    if let Some(b) = &baseline {
+        report.insert("inprocess_baseline", outcome_value(b));
+    }
+
+    let json = report.to_json();
+    if let Some(dir) = std::path::Path::new(&args.out).parent() {
+        std::fs::create_dir_all(dir).ok();
+    }
+    std::fs::write(&args.out, &json).unwrap_or_else(|e| panic!("write {}: {e}", args.out));
+    println!("{json}");
+    eprintln!("wrote {}", args.out);
+}

@@ -1,0 +1,361 @@
+//! Connection-pooled wire client with deadlines and jittered reconnect.
+//!
+//! One [`PooledClient`] targets one server address. Connections are
+//! checked out of an idle pool per call and returned on success; any
+//! transport error discards the connection (pooled sockets with stale
+//! bytes are the classic source of cross-request confusion, which the
+//! correlation-id check catches as a second line of defence).
+//!
+//! Every call takes a [`Deadline`]: connect, read, and write timeouts
+//! are clamped to the remaining budget, and reconnect backoff
+//! (decorrelated jitter via [`RetryBackoff`]) sleeps only while budget
+//! remains. The client never blocks past the caller's deadline.
+
+use crate::frame::{parse_header, Frame, PadClass, HEADER_LEN};
+use crate::{WireError, WireStatus};
+use parking_lot::Mutex;
+use pprox_core::resilience::{Deadline, RetryBackoff};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Duration;
+
+/// Tunables for one [`PooledClient`].
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Idle connections kept for reuse.
+    pub pool_size: usize,
+    /// Transport-level retries per call (reconnect + resend).
+    pub max_retries: u32,
+    /// Decorrelated-jitter base delay between reconnect attempts.
+    pub retry_base: Duration,
+    /// Decorrelated-jitter delay cap.
+    pub retry_cap: Duration,
+    /// Jitter seed (deterministic tests pin this).
+    pub seed: u64,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            pool_size: 4,
+            max_retries: 2,
+            retry_base: Duration::from_millis(5),
+            retry_cap: Duration::from_millis(100),
+            seed: 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+}
+
+/// A pooled client for one server address.
+pub struct PooledClient {
+    addr: SocketAddr,
+    config: ClientConfig,
+    idle: Mutex<Vec<TcpStream>>,
+    backoff: Mutex<RetryBackoff>,
+    corr: AtomicU64,
+    in_flight: AtomicUsize,
+    reconnects: AtomicU64,
+}
+
+impl std::fmt::Debug for PooledClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PooledClient")
+            .field("addr", &self.addr)
+            .field("in_flight", &self.in_flight.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+/// RAII in-flight counter so early returns can't leak a count.
+struct InFlight<'a>(&'a AtomicUsize);
+
+impl<'a> InFlight<'a> {
+    fn enter(counter: &'a AtomicUsize) -> Self {
+        counter.fetch_add(1, Ordering::Relaxed);
+        InFlight(counter)
+    }
+}
+
+impl Drop for InFlight<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+impl PooledClient {
+    /// Creates a client for `addr`. No connection is opened until the
+    /// first call.
+    pub fn new(addr: SocketAddr, config: ClientConfig) -> Self {
+        let backoff = RetryBackoff::new(config.retry_base, config.retry_cap, config.seed);
+        PooledClient {
+            addr,
+            config,
+            idle: Mutex::new(Vec::new()),
+            backoff: Mutex::new(backoff),
+            corr: AtomicU64::new(1),
+            in_flight: AtomicUsize::new(0),
+            reconnects: AtomicU64::new(0),
+        }
+    }
+
+    /// The server address this client targets.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Calls currently executing against this backend (load signal for
+    /// least-loaded balancing).
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.load(Ordering::Relaxed)
+    }
+
+    /// Fresh connections opened after the first (reconnect count).
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects.load(Ordering::Relaxed)
+    }
+
+    /// Sends `payload` in a `Request`-class frame and waits for the
+    /// matching response, retrying over fresh connections on transport
+    /// errors while the deadline allows.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Deadline`] when the budget runs out,
+    /// [`WireError::Remote`] for server-reported failures, or the last
+    /// transport error when retries are exhausted.
+    pub fn call(&self, payload: &[u8], deadline: Deadline) -> Result<Vec<u8>, WireError> {
+        let _guard = InFlight::enter(&self.in_flight);
+        let mut last = WireError::Deadline;
+        for attempt in 0..=self.config.max_retries {
+            if deadline.expired() {
+                return Err(WireError::Deadline);
+            }
+            // First attempt may reuse a pooled connection; retries always
+            // dial fresh (the pooled socket is what just failed).
+            let reuse = attempt == 0;
+            match self.call_once(payload, deadline, reuse) {
+                Ok(bytes) => return Ok(bytes),
+                Err(e) => {
+                    if !e.retryable() {
+                        return Err(e);
+                    }
+                    last = e;
+                }
+            }
+            // Decorrelated-jitter pause before the next attempt, clamped
+            // to the remaining budget.
+            if attempt < self.config.max_retries {
+                let delay = self.backoff.lock().next_delay();
+                match deadline.remaining() {
+                    Some(rem) if rem > delay => std::thread::sleep(delay),
+                    _ => return Err(WireError::Deadline),
+                }
+            }
+        }
+        Err(last)
+    }
+
+    fn call_once(
+        &self,
+        payload: &[u8],
+        deadline: Deadline,
+        reuse: bool,
+    ) -> Result<Vec<u8>, WireError> {
+        let mut stream = match self.checkout(reuse, deadline)? {
+            Some(s) => s,
+            None => return Err(WireError::Deadline),
+        };
+        let corr = self.corr.fetch_add(1, Ordering::Relaxed);
+        let result = self.exchange(&mut stream, corr, payload, deadline);
+        match &result {
+            Ok(_) => self.checkin(stream),
+            Err(_) => drop(stream), // poisoned: never reuse
+        }
+        result
+    }
+
+    fn checkout(&self, reuse: bool, deadline: Deadline) -> Result<Option<TcpStream>, WireError> {
+        if reuse {
+            if let Some(s) = self.idle.lock().pop() {
+                return Ok(Some(s));
+            }
+        } else {
+            self.reconnects.fetch_add(1, Ordering::Relaxed);
+        }
+        let Some(budget) = deadline.remaining() else {
+            return Ok(None);
+        };
+        let stream = TcpStream::connect_timeout(&self.addr, budget).map_err(|e| WireError::Io {
+            phase: "connect",
+            kind: e.kind(),
+        })?;
+        stream.set_nodelay(true).ok();
+        Ok(Some(stream))
+    }
+
+    fn checkin(&self, stream: TcpStream) {
+        let mut idle = self.idle.lock();
+        if idle.len() < self.config.pool_size {
+            idle.push(stream);
+        }
+    }
+
+    fn exchange(
+        &self,
+        stream: &mut TcpStream,
+        corr: u64,
+        payload: &[u8],
+        deadline: Deadline,
+    ) -> Result<Vec<u8>, WireError> {
+        let frame = Frame::new(PadClass::Request, corr, payload.to_vec())?;
+        let bytes = frame.encode()?;
+        set_timeouts(stream, deadline)?;
+        stream.write_all(&bytes).map_err(|e| map_io("write", e))?;
+
+        let mut header = [0u8; HEADER_LEN];
+        read_exact_deadline(stream, &mut header, deadline)?;
+        let (_, body_len, resp_corr) = parse_header(&header)?;
+        if resp_corr != corr {
+            return Err(WireError::CorrelationMismatch);
+        }
+        let mut body = vec![0u8; body_len];
+        read_exact_deadline(stream, &mut body, deadline)?;
+        let mut all = header.to_vec();
+        all.append(&mut body);
+        let resp = Frame::decode(&all)?;
+        match resp.class {
+            PadClass::Response => Ok(resp.payload),
+            PadClass::Control => {
+                let status =
+                    WireStatus::from_payload(&resp.payload).unwrap_or(WireStatus::Malformed);
+                Err(WireError::Remote(status))
+            }
+            PadClass::Request => Err(WireError::Frame(crate::frame::FrameError::UnknownClass(
+                0xfe,
+            ))),
+        }
+    }
+}
+
+fn map_io(phase: &'static str, e: std::io::Error) -> WireError {
+    if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) {
+        WireError::Deadline
+    } else {
+        WireError::Io {
+            phase,
+            kind: e.kind(),
+        }
+    }
+}
+
+fn set_timeouts(stream: &TcpStream, deadline: Deadline) -> Result<(), WireError> {
+    let Some(rem) = deadline.remaining() else {
+        return Err(WireError::Deadline);
+    };
+    stream
+        .set_read_timeout(Some(rem))
+        .and_then(|_| stream.set_write_timeout(Some(rem)))
+        .map_err(|e| map_io("configure", e))
+}
+
+fn read_exact_deadline(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    deadline: Deadline,
+) -> Result<(), WireError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        set_timeouts(stream, deadline)?;
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(WireError::Io {
+                    phase: "read",
+                    kind: ErrorKind::UnexpectedEof,
+                })
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => return Err(map_io("read", e)),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{FrameHandler, ServerConfig, WireServer};
+    use std::sync::Arc;
+
+    struct Echo;
+
+    impl FrameHandler for Echo {
+        fn handle(&self, payload: Vec<u8>, _deadline: Deadline) -> Result<Vec<u8>, WireStatus> {
+            Ok(payload)
+        }
+    }
+
+    fn budget() -> Deadline {
+        Deadline::starting_now(Duration::from_secs(5))
+    }
+
+    #[test]
+    fn call_roundtrips_and_reuses_the_connection() {
+        let mut server = WireServer::spawn(Arc::new(Echo), ServerConfig::default()).unwrap();
+        let client = PooledClient::new(server.local_addr(), ClientConfig::default());
+        for i in 0..8u32 {
+            let msg = format!("payload-{i}").into_bytes();
+            let got = client.call(&msg, budget()).unwrap();
+            assert_eq!(got, msg);
+        }
+        // One connection opened, reused seven times.
+        assert_eq!(server.stats().accepted, 1);
+        assert_eq!(client.reconnects(), 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn reconnects_after_server_restart() {
+        let mut server = WireServer::spawn(Arc::new(Echo), ServerConfig::default()).unwrap();
+        let client = PooledClient::new(server.local_addr(), ClientConfig::default());
+        assert_eq!(client.call(b"one", budget()).unwrap(), b"one");
+        server.shutdown();
+        // A new server on a fresh port: calls to the dead address fail
+        // with a retryable transport error, not a hang.
+        let err = client.call(b"two", budget()).unwrap_err();
+        assert!(
+            matches!(err, WireError::Io { .. } | WireError::Deadline),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn expired_deadline_fails_fast() {
+        let mut server = WireServer::spawn(Arc::new(Echo), ServerConfig::default()).unwrap();
+        let client = PooledClient::new(server.local_addr(), ClientConfig::default());
+        let expired = Deadline::starting_now(Duration::ZERO);
+        assert!(matches!(
+            client.call(b"late", expired),
+            Err(WireError::Deadline)
+        ));
+        server.shutdown();
+    }
+
+    #[test]
+    fn remote_failure_is_not_retried() {
+        struct AlwaysFail;
+        impl FrameHandler for AlwaysFail {
+            fn handle(&self, _p: Vec<u8>, _d: Deadline) -> Result<Vec<u8>, WireStatus> {
+                Err(WireStatus::Failed)
+            }
+        }
+        let mut server = WireServer::spawn(Arc::new(AlwaysFail), ServerConfig::default()).unwrap();
+        let client = PooledClient::new(server.local_addr(), ClientConfig::default());
+        let err = client.call(b"x", budget()).unwrap_err();
+        assert_eq!(err, WireError::Remote(WireStatus::Failed));
+        // Exactly one request reached the server (non-retryable status).
+        assert_eq!(server.stats().frames_in, 1);
+        server.shutdown();
+    }
+}

@@ -1,0 +1,327 @@
+//! The loopback cluster harness: the full PProx chain over real TCP.
+//!
+//! [`LoopbackCluster::launch`] stands up 1–4 [`WireServer`] instances
+//! per layer on `127.0.0.1` — LRS tier first, then IA instances (each
+//! with its own connection pools into the LRS tier and its own circuit
+//! breaker), then UA instances (each with its own pools into the IA
+//! tier and its own shuffle stage) — and a client-side balancer over
+//! the UA tier standing in for the paper's kube-proxy front door.
+//!
+//! Every hop is a distinct socket with per-hop correlation ids, so the
+//! request chain is never linkable end-to-end by transport metadata:
+//! the only joinable state crosses the shuffle buffer, where ordering
+//! is randomized (§4.3).
+//!
+//! This file sits on the *user side* of the privacy boundary — it hands
+//! out [`UserClient`]s and moves opaque ciphertext — so it never names
+//! an item-side API (analyzer rule R3).
+
+use crate::balancer::SocketBalancer;
+use crate::client::ClientConfig;
+use crate::server::{FrameHandler, ServerConfig, WireServer};
+use crate::services::{IaWireService, LrsWireService, UaWireService};
+use pprox_core::ia::{IaOptions, IaState};
+use pprox_core::keys::{KeyProvisioner, IA_CODE_IDENTITY, UA_CODE_IDENTITY};
+use pprox_core::message::{ClientEnvelope, EncryptedList};
+use pprox_core::resilience::{Deadline, ResilienceConfig};
+use pprox_core::shuffler::ShuffleConfig;
+use pprox_core::telemetry::{Telemetry, TelemetryConfig};
+use pprox_core::ua::UaState;
+use pprox_core::{PProxError, UserClient};
+use pprox_crypto::rng::SecureRng;
+use pprox_lrs::RestHandler;
+use pprox_net::BalancePolicy;
+use pprox_sgx::Platform;
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+/// Shape of one loopback deployment.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// UA instances (1–4).
+    pub ua_instances: usize,
+    /// IA instances (1–4).
+    pub ia_instances: usize,
+    /// LRS frontend instances (1–4).
+    pub lrs_instances: usize,
+    /// End-to-end encryption on (the paper's normal mode).
+    pub encryption: bool,
+    /// Item pseudonymization toward the LRS (§4.2).
+    pub item_pseudonymization: bool,
+    /// Shuffle buffer configuration shared by every UA instance.
+    pub shuffle: ShuffleConfig,
+    /// RSA modulus size; tests use small moduli for speed.
+    pub modulus_bits: usize,
+    /// Deadline/retry/breaker policy shared by the chain.
+    pub resilience: ResilienceConfig,
+    /// Per-server socket tuning.
+    pub server: ServerConfig,
+    /// Balancing policy used at every hop.
+    pub policy: BalancePolicy,
+    /// IA-call forwarder threads per UA shuffle stage.
+    pub forwarders: usize,
+    /// Master seed (keys, shuffle order, jitter).
+    pub seed: u64,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            ua_instances: 2,
+            ia_instances: 2,
+            lrs_instances: 1,
+            encryption: true,
+            item_pseudonymization: true,
+            shuffle: ShuffleConfig::disabled(),
+            modulus_bits: 1152,
+            resilience: ResilienceConfig::default(),
+            server: ServerConfig::default(),
+            policy: BalancePolicy::RoundRobin,
+            forwarders: 4,
+            seed: 0xC1A5_7E12,
+        }
+    }
+}
+
+impl ClusterConfig {
+    fn validated(self) -> Self {
+        for (name, n) in [
+            ("ua_instances", self.ua_instances),
+            ("ia_instances", self.ia_instances),
+            ("lrs_instances", self.lrs_instances),
+        ] {
+            assert!(
+                (1..=4).contains(&n),
+                "{name} must be between 1 and 4, got {n}"
+            );
+        }
+        self
+    }
+}
+
+/// A running loopback deployment of the full chain.
+pub struct LoopbackCluster {
+    config: ClusterConfig,
+    provisioner: KeyProvisioner,
+    telemetry: Arc<Telemetry>,
+    frontend: SocketBalancer,
+    ua_servers: Vec<WireServer>,
+    ia_servers: Vec<WireServer>,
+    lrs_servers: Vec<WireServer>,
+    client_seed: u64,
+}
+
+impl std::fmt::Debug for LoopbackCluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LoopbackCluster")
+            .field("ua", &self.ua_servers.len())
+            .field("ia", &self.ia_servers.len())
+            .field("lrs", &self.lrs_servers.len())
+            .finish()
+    }
+}
+
+impl LoopbackCluster {
+    /// Boots the chain: key generation, enclave load + attestation per
+    /// instance, then LRS → IA → UA servers (dependency order) and the
+    /// front-door balancer.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors from server spawning; [`PProxError`] from
+    /// attestation/provisioning.
+    pub fn launch(config: ClusterConfig, rest: Arc<dyn RestHandler>) -> Result<Self, PProxError> {
+        let config = config.validated();
+        let mut rng = SecureRng::from_seed(config.seed);
+        let platform = Platform::new(&mut rng);
+        let provisioner = KeyProvisioner::generate(config.modulus_bits, &mut rng);
+        let telemetry = Arc::new(Telemetry::new(TelemetryConfig::default()));
+        let options = IaOptions {
+            encryption: config.encryption,
+            item_pseudonymization: config.item_pseudonymization,
+        };
+        let client_config = client_config_for(&config.resilience);
+
+        let spawn_err = |e: std::io::Error| {
+            let _ = e;
+            PProxError::Unavailable
+        };
+
+        // LRS tier.
+        let mut lrs_servers = Vec::new();
+        for _ in 0..config.lrs_instances {
+            let service: Arc<dyn FrameHandler> = Arc::new(LrsWireService::new(rest.clone()));
+            lrs_servers.push(WireServer::spawn(service, config.server.clone()).map_err(spawn_err)?);
+        }
+        let lrs_addrs: Vec<SocketAddr> = lrs_servers.iter().map(|s| s.local_addr()).collect();
+
+        // IA tier: per-instance enclave, breaker, and LRS pools.
+        let mut ia_servers = Vec::new();
+        for i in 0..config.ia_instances {
+            let enclave = platform.load_enclave::<IaState>(IA_CODE_IDENTITY);
+            provisioner.provision_ia(&platform, &enclave)?;
+            let lrs_balancer = SocketBalancer::new(
+                &lrs_addrs,
+                config.policy,
+                client_config.clone(),
+                config.seed ^ (0x1a00 + i as u64),
+            );
+            let service: Arc<dyn FrameHandler> = Arc::new(IaWireService::new(
+                enclave,
+                lrs_balancer,
+                options,
+                config.resilience.clone(),
+                telemetry.clone(),
+                config.seed ^ (0x1a10 + i as u64),
+            ));
+            ia_servers.push(WireServer::spawn(service, config.server.clone()).map_err(spawn_err)?);
+        }
+        let ia_addrs: Vec<SocketAddr> = ia_servers.iter().map(|s| s.local_addr()).collect();
+
+        // UA tier: per-instance enclave, IA pools, and shuffle stage.
+        let mut ua_servers = Vec::new();
+        for i in 0..config.ua_instances {
+            let enclave = platform.load_enclave::<UaState>(UA_CODE_IDENTITY);
+            provisioner.provision_ua(&platform, &enclave)?;
+            let ia_balancer = SocketBalancer::new(
+                &ia_addrs,
+                config.policy,
+                client_config.clone(),
+                config.seed ^ (0x0a00 + i as u64),
+            );
+            let service: Arc<dyn FrameHandler> = Arc::new(UaWireService::new(
+                enclave,
+                ia_balancer,
+                config.encryption,
+                config.shuffle,
+                config.forwarders,
+                telemetry.clone(),
+                config.seed ^ (0x0a10 + i as u64),
+            ));
+            ua_servers.push(WireServer::spawn(service, config.server.clone()).map_err(spawn_err)?);
+        }
+        let ua_addrs: Vec<SocketAddr> = ua_servers.iter().map(|s| s.local_addr()).collect();
+
+        // Front door: what the paper's kube-proxy Service does for
+        // user-library traffic.
+        let frontend = SocketBalancer::new(
+            &ua_addrs,
+            config.policy,
+            client_config,
+            config.seed ^ 0xf00d,
+        );
+
+        Ok(LoopbackCluster {
+            client_seed: config.seed ^ 0xc11e,
+            config,
+            provisioner,
+            telemetry,
+            frontend,
+            ua_servers,
+            ia_servers,
+            lrs_servers,
+        })
+    }
+
+    /// A fresh user-side library instance bound to this deployment's
+    /// public keys.
+    pub fn client(&mut self) -> UserClient {
+        self.client_seed = self.client_seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let keys = self.provisioner.client_keys();
+        if self.config.encryption {
+            UserClient::new(keys, self.client_seed)
+        } else {
+            UserClient::new_passthrough(keys, self.client_seed)
+        }
+    }
+
+    /// The chain-wide telemetry sink (stage histograms).
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.telemetry
+    }
+
+    /// UA front-door addresses (for external drivers).
+    pub fn ua_addrs(&self) -> Vec<SocketAddr> {
+        self.ua_servers.iter().map(|s| s.local_addr()).collect()
+    }
+
+    /// Calls retried on another UA instance by the front door.
+    pub fn frontend_failovers(&self) -> u64 {
+        self.frontend.failovers()
+    }
+
+    /// Sends a feedback post through the chain.
+    ///
+    /// # Errors
+    ///
+    /// [`PProxError`] mapped from the wire outcome.
+    pub fn send_post(&self, envelope: &ClientEnvelope, budget: Deadline) -> Result<(), PProxError> {
+        let frame = envelope.to_frame()?;
+        self.frontend
+            .call(&frame, budget)
+            .map(|_ack| ())
+            .map_err(|e| e.to_pprox())
+    }
+
+    /// Sends a recommendation get through the chain; the returned
+    /// ciphertext opens with the ticket held by the issuing client.
+    ///
+    /// # Errors
+    ///
+    /// [`PProxError`] mapped from the wire outcome, or a malformed
+    /// response frame.
+    pub fn send_get(
+        &self,
+        envelope: &ClientEnvelope,
+        budget: Deadline,
+    ) -> Result<EncryptedList, PProxError> {
+        let frame = envelope.to_frame()?;
+        let payload = self
+            .frontend
+            .call(&frame, budget)
+            .map_err(|e| e.to_pprox())?;
+        EncryptedList::from_frame(&payload)
+    }
+
+    /// Kills one IA instance mid-run (drains its socket, keeps the rest
+    /// of the chain up) — the reconnect/failover path's test hook.
+    ///
+    /// # Panics
+    ///
+    /// If `index` is out of range.
+    pub fn kill_ia(&mut self, index: usize) {
+        self.ia_servers[index].shutdown();
+    }
+
+    /// Orderly teardown: UA tier first (stops new chain traffic), then
+    /// IA, then LRS. Idempotent.
+    pub fn shutdown(&mut self) {
+        for s in &mut self.ua_servers {
+            s.shutdown();
+        }
+        for s in &mut self.ia_servers {
+            s.shutdown();
+        }
+        for s in &mut self.lrs_servers {
+            s.shutdown();
+        }
+    }
+}
+
+impl Drop for LoopbackCluster {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Derives the wire client tuning from the chain's resilience policy so
+/// one knob set governs both transports.
+fn client_config_for(resilience: &ResilienceConfig) -> ClientConfig {
+    ClientConfig {
+        pool_size: 8,
+        max_retries: resilience.max_retries,
+        retry_base: resilience.retry_base,
+        retry_cap: resilience.retry_cap,
+        seed: 0x5eed_c0de,
+    }
+}

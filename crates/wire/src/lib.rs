@@ -1,0 +1,221 @@
+//! `pprox-wire`: the real loopback-TCP transport for the PProx chain.
+//!
+//! Everything else in this workspace exercises the UA→IA→LRS chain either
+//! in-process ([`pprox_core::pipeline`]) or inside a discrete-event
+//! simulator (`pprox-net`). This crate puts the chain behind actual
+//! sockets, built on `std::net` only (the build environment has no
+//! registry, hence no async runtime):
+//!
+//! * [`frame`] — the versioned, length-prefixed binary codec with
+//!   constant-size padding classes (§4.3: on-wire frames of a class are
+//!   indistinguishable by length).
+//! * [`server`] — a multi-threaded non-blocking server: acceptor thread,
+//!   one IO thread owning per-connection read/write buffers, and a worker
+//!   pool fed through a bounded queue behind the existing
+//!   [`pprox_core::resilience::AdmissionGate`]. Graceful drain on
+//!   shutdown.
+//! * [`client`] — a connection-pooled client with per-call deadlines and
+//!   decorrelated-jitter reconnect, reusing
+//!   [`pprox_core::resilience::RetryBackoff`].
+//! * [`balancer`] — round-robin / random / least-loaded selection over
+//!   real sockets, sharing [`pprox_net::Selector`] with the simulator's
+//!   `net::lb` so both transports implement one policy set.
+//! * [`services`] — the UA, IA, and LRS frame handlers. Their file split
+//!   mirrors the enclave layer split so the `pprox-analysis` privacy
+//!   rules apply: the UA service never names an item API, the IA service
+//!   never names a user API, and telemetry uses histogram-only recording
+//!   (no arrival-timestamped spans).
+//! * [`cluster`] — the loopback harness: launches 1–4 real server
+//!   instances per layer on `127.0.0.1` and wires them into a full
+//!   chain; `bin/cluster` drives it with the `pprox-workload` generator
+//!   and emits `results/BENCH_wire.json`.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod balancer;
+pub mod client;
+pub mod cluster;
+pub mod frame;
+pub mod server;
+pub mod services;
+
+pub use balancer::SocketBalancer;
+pub use client::{ClientConfig, PooledClient};
+pub use cluster::{ClusterConfig, LoopbackCluster};
+pub use frame::{Frame, FrameError, PadClass, HEADER_LEN, WIRE_VERSION};
+pub use server::{FrameHandler, ServerConfig, WireServer};
+
+/// Wire-level request outcome carried in `Control`-class response frames.
+///
+/// A server answers every request frame: success payloads travel in
+/// `Response`-class frames, failures as one of these codes in a
+/// `Control`-class frame. Both are constant-size, so an observer cannot
+/// tell outcomes apart by length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireStatus {
+    /// Load shed at the admission gate or bounded queue — retryable.
+    Busy,
+    /// The request's deadline expired before completion.
+    Deadline,
+    /// A dependency (LRS, next hop) is unavailable or shedding.
+    Unavailable,
+    /// The request frame or envelope failed to parse.
+    Malformed,
+    /// The request was processed and definitively failed.
+    Failed,
+}
+
+impl WireStatus {
+    /// Stable wire tag.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            WireStatus::Busy => "busy",
+            WireStatus::Deadline => "deadline",
+            WireStatus::Unavailable => "unavailable",
+            WireStatus::Malformed => "malformed",
+            WireStatus::Failed => "failed",
+        }
+    }
+
+    /// Parses a wire tag.
+    pub fn parse(s: &str) -> Option<WireStatus> {
+        match s {
+            "busy" => Some(WireStatus::Busy),
+            "deadline" => Some(WireStatus::Deadline),
+            "unavailable" => Some(WireStatus::Unavailable),
+            "malformed" => Some(WireStatus::Malformed),
+            "failed" => Some(WireStatus::Failed),
+            _ => None,
+        }
+    }
+
+    /// Whether a client may retry the request (possibly elsewhere).
+    pub fn retryable(self) -> bool {
+        matches!(self, WireStatus::Busy | WireStatus::Unavailable)
+    }
+
+    /// Serializes to a `Control`-frame payload.
+    pub fn to_payload(self) -> Vec<u8> {
+        pprox_json::Value::object([("e", pprox_json::Value::from(self.as_str()))])
+            .to_json()
+            .into_bytes()
+    }
+
+    /// Parses a `Control`-frame payload.
+    pub fn from_payload(payload: &[u8]) -> Option<WireStatus> {
+        let text = std::str::from_utf8(payload).ok()?;
+        let v = pprox_json::Value::parse(text).ok()?;
+        WireStatus::parse(v.get("e")?.as_str()?)
+    }
+}
+
+impl std::fmt::Display for WireStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Transport-layer failure of one wire call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Socket-level failure (connect, read, write, EOF). Carries the
+    /// `std::io::ErrorKind` plus a short phase tag ("connect", "read"…).
+    Io {
+        /// Which phase of the call failed.
+        phase: &'static str,
+        /// The underlying error kind.
+        kind: std::io::ErrorKind,
+    },
+    /// The peer sent bytes the codec rejected.
+    Frame(FrameError),
+    /// The call's deadline expired (including backoff that no longer
+    /// fits the remaining budget).
+    Deadline,
+    /// The server answered with an error status.
+    Remote(WireStatus),
+    /// The response's correlation id did not match the request (stale
+    /// bytes on a pooled connection); the connection was discarded.
+    CorrelationMismatch,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io { phase, kind } => write!(f, "io error during {phase}: {kind:?}"),
+            WireError::Frame(e) => write!(f, "frame error: {e}"),
+            WireError::Deadline => write!(f, "wire call deadline expired"),
+            WireError::Remote(s) => write!(f, "remote error: {s}"),
+            WireError::CorrelationMismatch => write!(f, "correlation id mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<FrameError> for WireError {
+    fn from(e: FrameError) -> Self {
+        WireError::Frame(e)
+    }
+}
+
+impl WireError {
+    /// Whether the failure may be retried on another connection or
+    /// backend: transport-level failures and retryable remote statuses.
+    pub fn retryable(&self) -> bool {
+        match self {
+            WireError::Io { .. } | WireError::Frame(_) | WireError::CorrelationMismatch => true,
+            WireError::Remote(s) => s.retryable(),
+            WireError::Deadline => false,
+        }
+    }
+
+    /// Maps to the core error vocabulary for callers speaking
+    /// [`pprox_core::PProxError`].
+    pub fn to_pprox(&self) -> pprox_core::PProxError {
+        match self {
+            WireError::Deadline => pprox_core::PProxError::Deadline,
+            WireError::Remote(WireStatus::Busy) => pprox_core::PProxError::Overloaded,
+            WireError::Remote(WireStatus::Deadline) => pprox_core::PProxError::Deadline,
+            WireError::Remote(WireStatus::Malformed) => pprox_core::PProxError::MalformedMessage,
+            WireError::Remote(WireStatus::Unavailable) | WireError::Io { .. } => {
+                pprox_core::PProxError::Unavailable
+            }
+            WireError::Remote(WireStatus::Failed) => pprox_core::PProxError::Unavailable,
+            WireError::Frame(_) | WireError::CorrelationMismatch => {
+                pprox_core::PProxError::MalformedMessage
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_payload_roundtrip() {
+        for s in [
+            WireStatus::Busy,
+            WireStatus::Deadline,
+            WireStatus::Unavailable,
+            WireStatus::Malformed,
+            WireStatus::Failed,
+        ] {
+            assert_eq!(WireStatus::from_payload(&s.to_payload()), Some(s));
+        }
+        assert_eq!(WireStatus::from_payload(b"not json"), None);
+    }
+
+    #[test]
+    fn retryability_matches_semantics() {
+        assert!(WireStatus::Busy.retryable());
+        assert!(!WireStatus::Malformed.retryable());
+        assert!(WireError::Io {
+            phase: "read",
+            kind: std::io::ErrorKind::ConnectionReset
+        }
+        .retryable());
+        assert!(!WireError::Deadline.retryable());
+    }
+}

@@ -1,0 +1,701 @@
+//! The multi-threaded, non-blocking TCP serving layer.
+//!
+//! Thread model (mirroring the paper's §5 server/data-processing split):
+//!
+//! ```text
+//! acceptor ──new conns──► IO thread ──jobs (bounded, gated)──► workers
+//!                         ▲   per-conn read/write buffers         │
+//!                         └────────── responses ──────────────────┘
+//! ```
+//!
+//! * the **acceptor** owns the listener and hands accepted sockets to
+//!   the IO thread;
+//! * the **IO thread** owns every connection: it reads without blocking
+//!   into per-connection buffers, frames complete requests, and writes
+//!   queued responses back without blocking;
+//! * **workers** run the [`FrameHandler`] — the enclave ECALLs and
+//!   next-hop calls — off the IO thread so one slow request cannot
+//!   stall the sockets.
+//!
+//! Backpressure is explicit and bounded at two points: the
+//! [`AdmissionGate`](pprox_core::resilience::AdmissionGate) caps
+//! requests in flight, and the worker queue is a bounded channel. A
+//! request that fails either bound is answered *immediately* with a
+//! constant-size `busy` control frame — never an unbounded queue, never
+//! a silent drop (§5's "fast, typed errors" discipline, same as the
+//! in-process pipeline).
+//!
+//! Shutdown is a graceful drain: stop accepting, stop reading new
+//! frames, let admitted work finish, flush response buffers, then join.
+
+use crate::frame::{parse_header, Frame, PadClass, HEADER_LEN};
+use crate::WireStatus;
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
+use pprox_core::resilience::{AdmissionGate, AdmissionPermit, Deadline};
+use std::collections::HashMap;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Request handler run on the worker pool, one call per request frame.
+///
+/// The handler returns the success payload (sent back in a
+/// `Response`-class frame) or a [`WireStatus`] (sent back in a
+/// `Control`-class frame). Handlers receive the request's [`Deadline`]
+/// so they can clamp downstream calls to the remaining budget.
+pub trait FrameHandler: Send + Sync + 'static {
+    /// Processes one request payload.
+    ///
+    /// # Errors
+    ///
+    /// A [`WireStatus`] describing why the request was not served.
+    fn handle(&self, payload: Vec<u8>, deadline: Deadline) -> Result<Vec<u8>, WireStatus>;
+}
+
+/// Tunables for one [`WireServer`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads running the handler.
+    pub workers: usize,
+    /// Bounded depth of the IO→worker queue.
+    pub queue_depth: usize,
+    /// Maximum requests admitted and not yet answered (admission gate).
+    pub max_inflight: usize,
+    /// Per-request processing budget, stamped at admission.
+    pub request_budget: Duration,
+    /// IO-thread sleep when every socket is idle.
+    pub poll_interval: Duration,
+    /// Drain budget during shutdown before outstanding work is abandoned.
+    pub drain_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 2,
+            queue_depth: 256,
+            max_inflight: 256,
+            request_budget: Duration::from_secs(2),
+            poll_interval: Duration::from_micros(200),
+            drain_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Wire-level counters for one server (monotone, lock-free).
+#[derive(Debug, Default)]
+struct Counters {
+    accepted: AtomicU64,
+    frames_in: AtomicU64,
+    frames_out: AtomicU64,
+    shed: AtomicU64,
+    protocol_errors: AtomicU64,
+}
+
+/// Point-in-time snapshot of a server's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Connections accepted since start.
+    pub accepted: u64,
+    /// Request frames fully read.
+    pub frames_in: u64,
+    /// Response frames fully written.
+    pub frames_out: u64,
+    /// Requests answered `busy` at the gate or queue.
+    pub shed: u64,
+    /// Connections dropped for malformed framing.
+    pub protocol_errors: u64,
+}
+
+struct Conn {
+    stream: TcpStream,
+    read_buf: Vec<u8>,
+    write_buf: Vec<u8>,
+    written: usize,
+    open: bool,
+}
+
+struct WorkerJob {
+    conn: u64,
+    corr: u64,
+    payload: Vec<u8>,
+    deadline: Deadline,
+    permit: AdmissionPermit,
+}
+
+struct Outgoing {
+    conn: u64,
+    bytes: Vec<u8>,
+}
+
+/// A running TCP server on `127.0.0.1`, serving one [`FrameHandler`].
+pub struct WireServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    gate: AdmissionGate,
+    counters: Arc<Counters>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for WireServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WireServer")
+            .field("addr", &self.addr)
+            .field("threads", &self.handles.len())
+            .finish()
+    }
+}
+
+impl WireServer {
+    /// Binds a loopback listener on an OS-assigned port and spawns the
+    /// acceptor, IO, and worker threads.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors from bind/configure.
+    pub fn spawn(handler: Arc<dyn FrameHandler>, config: ServerConfig) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let gate = AdmissionGate::new(config.max_inflight.max(1));
+        let counters = Arc::new(Counters::default());
+
+        let (conn_tx, conn_rx) = unbounded::<TcpStream>();
+        let (job_tx, job_rx) = bounded::<WorkerJob>(config.queue_depth.max(1));
+        let (resp_tx, resp_rx) = unbounded::<Outgoing>();
+
+        let mut handles = Vec::new();
+
+        // Acceptor: non-blocking accept loop; exits on the stop flag.
+        {
+            let stop = stop.clone();
+            let counters = counters.clone();
+            let poll = config.poll_interval;
+            handles.push(std::thread::spawn(move || {
+                while !stop.load(Ordering::Acquire) {
+                    match listener.accept() {
+                        Ok((stream, _peer)) => {
+                            counters.accepted.fetch_add(1, Ordering::Relaxed);
+                            if stream.set_nonblocking(true).is_ok() && conn_tx.send(stream).is_err()
+                            {
+                                break; // IO thread gone
+                            }
+                        }
+                        Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                            std::thread::sleep(poll);
+                        }
+                        Err(_) => std::thread::sleep(poll),
+                    }
+                }
+                // Dropping `conn_tx` (and the listener) tells the IO
+                // thread no further connections will arrive.
+            }));
+        }
+
+        // Workers: run the handler, push responses back to the IO thread.
+        for _ in 0..config.workers.max(1) {
+            let rx = job_rx.clone();
+            let tx = resp_tx.clone();
+            let handler = handler.clone();
+            handles.push(std::thread::spawn(move || {
+                while let Ok(job) = rx.recv() {
+                    let result = if job.deadline.expired() {
+                        Err(WireStatus::Deadline)
+                    } else {
+                        handler.handle(job.payload, job.deadline)
+                    };
+                    let frame = match result {
+                        Ok(payload) => match Frame::new(PadClass::Response, job.corr, payload) {
+                            Ok(f) => f,
+                            Err(_) => control_frame(job.corr, WireStatus::Failed),
+                        },
+                        Err(status) => control_frame(job.corr, status),
+                    };
+                    if let Ok(bytes) = frame.encode() {
+                        let _ = tx.send(Outgoing {
+                            conn: job.conn,
+                            bytes,
+                        });
+                    }
+                    drop(job.permit); // request answered: free the slot
+                }
+            }));
+        }
+        drop(job_rx);
+        drop(resp_tx);
+
+        // IO thread: owns every connection's buffers.
+        {
+            let stop = stop.clone();
+            let gate = gate.clone();
+            let counters = counters.clone();
+            let config = config.clone();
+            handles.push(std::thread::spawn(move || {
+                io_loop(conn_rx, job_tx, resp_rx, stop, gate, counters, config);
+            }));
+        }
+
+        Ok(WireServer {
+            addr,
+            stop,
+            gate,
+            counters,
+            handles,
+        })
+    }
+
+    /// The bound loopback address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests admitted and not yet answered.
+    pub fn in_flight(&self) -> usize {
+        self.gate.in_flight()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> ServerStats {
+        ServerStats {
+            accepted: self.counters.accepted.load(Ordering::Relaxed),
+            frames_in: self.counters.frames_in.load(Ordering::Relaxed),
+            frames_out: self.counters.frames_out.load(Ordering::Relaxed),
+            shed: self.counters.shed.load(Ordering::Relaxed),
+            protocol_errors: self.counters.protocol_errors.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Graceful drain: stop accepting and reading, finish admitted work,
+    /// flush write buffers, join every thread. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for WireServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn control_frame(corr: u64, status: WireStatus) -> Frame {
+    // Status payloads are tiny; they always fit the control class.
+    Frame::new(PadClass::Control, corr, status.to_payload())
+        .unwrap_or_else(|_| unreachable!("control payloads are below the class capacity"))
+}
+
+/// One pass of non-blocking reads on `conn`; returns complete frames'
+/// raw bytes and whether the connection is still usable.
+fn read_frames(conn: &mut Conn, counters: &Counters) -> Vec<(u64, Vec<u8>)> {
+    let mut chunk = [0u8; 4096];
+    loop {
+        match conn.stream.read(&mut chunk) {
+            Ok(0) => {
+                conn.open = false;
+                break;
+            }
+            Ok(n) => conn.read_buf.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => {
+                conn.open = false;
+                break;
+            }
+        }
+    }
+    let mut frames = Vec::new();
+    loop {
+        if conn.read_buf.len() < HEADER_LEN {
+            break;
+        }
+        let mut header = [0u8; HEADER_LEN];
+        header.copy_from_slice(&conn.read_buf[..HEADER_LEN]);
+        let (_, body_len, _) = match parse_header(&header) {
+            Ok(h) => h,
+            Err(_) => {
+                // Desynchronized or hostile peer: cut the connection
+                // rather than hunt for a resync point.
+                counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                conn.open = false;
+                conn.read_buf.clear();
+                return frames;
+            }
+        };
+        let total = HEADER_LEN + body_len;
+        if conn.read_buf.len() < total {
+            break;
+        }
+        let frame_bytes: Vec<u8> = conn.read_buf.drain(..total).collect();
+        let corr = u64::from_be_bytes([
+            frame_bytes[8],
+            frame_bytes[9],
+            frame_bytes[10],
+            frame_bytes[11],
+            frame_bytes[12],
+            frame_bytes[13],
+            frame_bytes[14],
+            frame_bytes[15],
+        ]);
+        frames.push((corr, frame_bytes));
+    }
+    frames
+}
+
+/// One pass of non-blocking writes on `conn`.
+fn write_pending(conn: &mut Conn, counters: &Counters) {
+    while conn.written < conn.write_buf.len() {
+        match conn.stream.write(&conn.write_buf[conn.written..]) {
+            Ok(0) => {
+                conn.open = false;
+                break;
+            }
+            Ok(n) => conn.written += n,
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => {
+                conn.open = false;
+                break;
+            }
+        }
+    }
+    if conn.written == conn.write_buf.len() && !conn.write_buf.is_empty() {
+        let flushed = conn.write_buf.len();
+        conn.write_buf.clear();
+        conn.written = 0;
+        counters.frames_out.fetch_add(
+            (flushed / PadClass::Response.wire_len().min(flushed)) as u64,
+            Ordering::Relaxed,
+        );
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn io_loop(
+    conn_rx: Receiver<TcpStream>,
+    job_tx: Sender<WorkerJob>,
+    resp_rx: Receiver<Outgoing>,
+    stop: Arc<AtomicBool>,
+    gate: AdmissionGate,
+    counters: Arc<Counters>,
+    config: ServerConfig,
+) {
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut next_id: u64 = 0;
+    let mut draining_since: Option<Instant> = None;
+    loop {
+        let draining = stop.load(Ordering::Acquire);
+        if draining && draining_since.is_none() {
+            draining_since = Some(Instant::now());
+        }
+        let mut progress = false;
+
+        // New connections (none arrive once the acceptor exits).
+        while let Ok(stream) = conn_rx.try_recv() {
+            conns.insert(
+                next_id,
+                Conn {
+                    stream,
+                    read_buf: Vec::new(),
+                    write_buf: Vec::new(),
+                    written: 0,
+                    open: true,
+                },
+            );
+            next_id += 1;
+            progress = true;
+        }
+
+        // Worker responses → per-connection write buffers.
+        while let Ok(out) = resp_rx.try_recv() {
+            if let Some(conn) = conns.get_mut(&out.conn) {
+                conn.write_buf.extend_from_slice(&out.bytes);
+            }
+            progress = true;
+        }
+
+        // Per-connection IO.
+        let mut closed: Vec<u64> = Vec::new();
+        for (&id, conn) in conns.iter_mut() {
+            if conn.open && !draining {
+                for (corr, frame_bytes) in read_frames(conn, &counters) {
+                    progress = true;
+                    counters.frames_in.fetch_add(1, Ordering::Relaxed);
+                    let frame = match Frame::decode(&frame_bytes) {
+                        Ok(f) => f,
+                        Err(_) => {
+                            counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                            conn.open = false;
+                            break;
+                        }
+                    };
+                    if frame.class != PadClass::Request {
+                        respond_inline(conn, control_frame(corr, WireStatus::Malformed));
+                        continue;
+                    }
+                    let Some(permit) = gate.try_admit() else {
+                        counters.shed.fetch_add(1, Ordering::Relaxed);
+                        respond_inline(conn, control_frame(corr, WireStatus::Busy));
+                        continue;
+                    };
+                    let job = WorkerJob {
+                        conn: id,
+                        corr,
+                        payload: frame.payload,
+                        deadline: Deadline::starting_now(config.request_budget),
+                        permit,
+                    };
+                    match job_tx.try_send(job) {
+                        Ok(()) => {}
+                        Err(TrySendError::Full(job)) => {
+                            counters.shed.fetch_add(1, Ordering::Relaxed);
+                            respond_inline(conn, control_frame(job.corr, WireStatus::Busy));
+                            drop(job.permit);
+                        }
+                        Err(TrySendError::Disconnected(job)) => {
+                            respond_inline(conn, control_frame(job.corr, WireStatus::Unavailable));
+                            drop(job.permit);
+                        }
+                    }
+                }
+            }
+            if !conn.write_buf.is_empty() {
+                write_pending(conn, &counters);
+                progress = true;
+            }
+            let flushed = conn.write_buf.is_empty();
+            if !conn.open && flushed {
+                closed.push(id);
+            }
+        }
+        for id in closed {
+            conns.remove(&id);
+        }
+
+        if draining {
+            let drained = gate.in_flight() == 0
+                && resp_rx.is_empty()
+                && conns.values().all(|c| c.write_buf.is_empty());
+            let expired = draining_since
+                .map(|t| t.elapsed() >= config.drain_timeout)
+                .unwrap_or(false);
+            if drained || expired {
+                break;
+            }
+        }
+
+        if !progress {
+            std::thread::sleep(config.poll_interval);
+        }
+    }
+    // Dropping `job_tx` lets the workers exit once the queue is empty.
+}
+
+/// Appends a response frame directly to the connection's write buffer
+/// (gate/queue rejections never touch the worker pool).
+fn respond_inline(conn: &mut Conn, frame: Frame) {
+    if let Ok(bytes) = frame.encode() {
+        conn.write_buf.extend_from_slice(&bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::WireError;
+
+    /// Echoes the payload back, uppercased, after an optional delay.
+    struct Echo {
+        delay: Duration,
+    }
+
+    impl FrameHandler for Echo {
+        fn handle(&self, payload: Vec<u8>, _deadline: Deadline) -> Result<Vec<u8>, WireStatus> {
+            if !self.delay.is_zero() {
+                std::thread::sleep(self.delay);
+            }
+            Ok(payload.to_ascii_uppercase())
+        }
+    }
+
+    fn call_once(addr: SocketAddr, corr: u64, payload: &[u8]) -> Result<Frame, WireError> {
+        let mut stream = TcpStream::connect(addr).map_err(|e| WireError::Io {
+            phase: "connect",
+            kind: e.kind(),
+        })?;
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let frame = Frame::new(PadClass::Request, corr, payload.to_vec()).unwrap();
+        stream
+            .write_all(&frame.encode().unwrap())
+            .map_err(|e| WireError::Io {
+                phase: "write",
+                kind: e.kind(),
+            })?;
+        let mut header = [0u8; HEADER_LEN];
+        stream.read_exact(&mut header).map_err(|e| WireError::Io {
+            phase: "read",
+            kind: e.kind(),
+        })?;
+        let (_, body_len, _) = parse_header(&header)?;
+        let mut body = vec![0u8; body_len];
+        stream.read_exact(&mut body).map_err(|e| WireError::Io {
+            phase: "read",
+            kind: e.kind(),
+        })?;
+        let mut all = header.to_vec();
+        all.extend_from_slice(&body);
+        Ok(Frame::decode(&all)?)
+    }
+
+    #[test]
+    fn serves_request_and_echoes_correlation() {
+        let mut server = WireServer::spawn(
+            Arc::new(Echo {
+                delay: Duration::ZERO,
+            }),
+            ServerConfig::default(),
+        )
+        .unwrap();
+        let resp = call_once(server.local_addr(), 42, b"hello").unwrap();
+        assert_eq!(resp.class, PadClass::Response);
+        assert_eq!(resp.corr, 42);
+        assert_eq!(resp.payload, b"HELLO");
+        server.shutdown();
+        let stats = server.stats();
+        assert_eq!(stats.frames_in, 1);
+        assert_eq!(stats.shed, 0);
+    }
+
+    #[test]
+    fn many_requests_on_one_connection_pipeline() {
+        let mut server = WireServer::spawn(
+            Arc::new(Echo {
+                delay: Duration::ZERO,
+            }),
+            ServerConfig::default(),
+        )
+        .unwrap();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let n = 16u64;
+        for corr in 0..n {
+            let frame =
+                Frame::new(PadClass::Request, corr, format!("m{corr}").into_bytes()).unwrap();
+            stream.write_all(&frame.encode().unwrap()).unwrap();
+        }
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..n {
+            let mut header = [0u8; HEADER_LEN];
+            stream.read_exact(&mut header).unwrap();
+            let (_, body_len, _) = parse_header(&header).unwrap();
+            let mut body = vec![0u8; body_len];
+            stream.read_exact(&mut body).unwrap();
+            let mut all = header.to_vec();
+            all.extend_from_slice(&body);
+            let f = Frame::decode(&all).unwrap();
+            assert_eq!(f.payload, format!("M{}", f.corr).into_bytes());
+            seen.insert(f.corr);
+        }
+        assert_eq!(seen.len(), n as usize);
+        server.shutdown();
+    }
+
+    #[test]
+    fn overload_is_answered_with_busy_not_a_hang() {
+        let mut server = WireServer::spawn(
+            Arc::new(Echo {
+                delay: Duration::from_millis(300),
+            }),
+            ServerConfig {
+                workers: 1,
+                queue_depth: 1,
+                max_inflight: 1,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        for corr in 0..6u64 {
+            let frame = Frame::new(PadClass::Request, corr, b"x".to_vec()).unwrap();
+            stream.write_all(&frame.encode().unwrap()).unwrap();
+        }
+        let mut busy = 0;
+        let mut ok = 0;
+        for _ in 0..6 {
+            let mut header = [0u8; HEADER_LEN];
+            stream.read_exact(&mut header).unwrap();
+            let (_, body_len, _) = parse_header(&header).unwrap();
+            let mut body = vec![0u8; body_len];
+            stream.read_exact(&mut body).unwrap();
+            let mut all = header.to_vec();
+            all.extend_from_slice(&body);
+            let f = Frame::decode(&all).unwrap();
+            match f.class {
+                PadClass::Control => {
+                    assert_eq!(WireStatus::from_payload(&f.payload), Some(WireStatus::Busy));
+                    busy += 1;
+                }
+                PadClass::Response => ok += 1,
+                PadClass::Request => panic!("server sent a request frame"),
+            }
+        }
+        assert!(busy >= 1, "at least one request must be shed");
+        assert!(ok >= 1, "at least one request must be served");
+        let shed = server.stats().shed;
+        assert_eq!(shed, busy as u64);
+        server.shutdown();
+    }
+
+    #[test]
+    fn garbage_bytes_drop_the_connection() {
+        let mut server = WireServer::spawn(
+            Arc::new(Echo {
+                delay: Duration::ZERO,
+            }),
+            ServerConfig::default(),
+        )
+        .unwrap();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        stream.write_all(&[0xffu8; 64]).unwrap();
+        // The server cuts the connection: read returns EOF.
+        let mut buf = [0u8; 16];
+        let got = stream.read(&mut buf).unwrap_or(0);
+        assert_eq!(got, 0, "connection should be closed on protocol error");
+        assert!(server.stats().protocol_errors >= 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn graceful_drain_finishes_admitted_work() {
+        let mut server = WireServer::spawn(
+            Arc::new(Echo {
+                delay: Duration::from_millis(100),
+            }),
+            ServerConfig::default(),
+        )
+        .unwrap();
+        let addr = server.local_addr();
+        let handle = std::thread::spawn(move || call_once(addr, 7, b"slow"));
+        // Give the request time to be admitted, then shut down.
+        std::thread::sleep(Duration::from_millis(30));
+        server.shutdown();
+        let resp = handle.join().unwrap().unwrap();
+        assert_eq!(resp.payload, b"SLOW");
+    }
+}

@@ -1,0 +1,224 @@
+//! The IA layer as a wire service.
+//!
+//! Receives [`LayerEnvelope`] frames from UA instances, runs the IA
+//! enclave ECALLs, and talks to the LRS tier over the wire through a
+//! [`SocketBalancer`] under the full §5 resilience policy — circuit
+//! breaker, per-attempt timeouts clamped to the request deadline, and
+//! decorrelated-jitter retries — mirroring the in-process pipeline's
+//! `call_lrs_resilient`.
+//!
+//! This file never names a user-side API: the user id it handles is
+//! already a pseudonym inside the envelope, and the privacy-flow
+//! analyzer (R3) enforces that lexically.
+
+use crate::balancer::SocketBalancer;
+use crate::server::FrameHandler;
+use crate::services::lrs::{decode_response, encode_request};
+use crate::{WireError, WireStatus};
+use pprox_core::ia::{IaOptions, IaState};
+use pprox_core::message::{LayerEnvelope, Op};
+use pprox_core::resilience::{CircuitBreaker, Deadline, ResilienceConfig, RetryBackoff};
+use pprox_core::telemetry::{Stage, Telemetry};
+use pprox_lrs::api::{RecommendationList, EVENTS_PATH, QUERIES_PATH};
+use pprox_lrs::{HttpRequest, HttpResponse};
+use pprox_sgx::Enclave;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Frame handler for one IA instance.
+pub struct IaWireService {
+    enclave: Arc<Enclave<IaState>>,
+    lrs: SocketBalancer,
+    options: IaOptions,
+    breaker: CircuitBreaker,
+    resilience: ResilienceConfig,
+    telemetry: Arc<Telemetry>,
+    backoff_salt: AtomicU64,
+}
+
+impl IaWireService {
+    /// Builds the service around a provisioned IA enclave and a balancer
+    /// over the LRS tier.
+    pub fn new(
+        enclave: Arc<Enclave<IaState>>,
+        lrs: SocketBalancer,
+        options: IaOptions,
+        resilience: ResilienceConfig,
+        telemetry: Arc<Telemetry>,
+        seed: u64,
+    ) -> Self {
+        let breaker = CircuitBreaker::from_config(&resilience);
+        IaWireService {
+            enclave,
+            lrs,
+            options,
+            breaker,
+            resilience,
+            telemetry,
+            backoff_salt: AtomicU64::new(seed | 1),
+        }
+    }
+
+    /// One resilient HTTP exchange with the LRS tier over the wire.
+    ///
+    /// Per-attempt budget is `lrs_timeout` clamped to the remaining
+    /// deadline; 5xx answers and transport failures trip the breaker and
+    /// retry with decorrelated-jitter backoff; 2xx/4xx are definitive.
+    fn call_lrs(
+        &self,
+        request: &HttpRequest,
+        deadline: Deadline,
+    ) -> Result<HttpResponse, WireStatus> {
+        let started = Instant::now();
+        let result = self.call_lrs_inner(request, deadline);
+        self.telemetry
+            .record_duration(Stage::Lrs, started.elapsed().as_micros() as u64);
+        result
+    }
+
+    fn call_lrs_inner(
+        &self,
+        request: &HttpRequest,
+        deadline: Deadline,
+    ) -> Result<HttpResponse, WireStatus> {
+        let cfg = &self.resilience;
+        let salt = self.backoff_salt.fetch_add(0x9e37_79b9, Ordering::Relaxed);
+        let mut backoff = RetryBackoff::new(cfg.retry_base, cfg.retry_cap, salt);
+        let payload = encode_request(request);
+        let mut attempts = 0u32;
+        loop {
+            let Some(remaining) = deadline.remaining() else {
+                return Err(WireStatus::Deadline);
+            };
+            if !self.breaker.try_acquire() {
+                return Err(WireStatus::Unavailable);
+            }
+            let per_try = Deadline::starting_now(cfg.lrs_timeout.min(remaining));
+            let attempt_started = Instant::now();
+            let outcome = self.lrs.call(&payload, per_try);
+            self.telemetry.record_duration(
+                Stage::LrsAttempt,
+                attempt_started.elapsed().as_micros() as u64,
+            );
+            attempts += 1;
+            let failure = match outcome {
+                Ok(bytes) => match decode_response(&bytes) {
+                    Some(resp) if resp.status >= 500 => {
+                        self.breaker.record_failure();
+                        WireStatus::Failed
+                    }
+                    Some(resp) => {
+                        // Success or a definitive 4xx: the backend
+                        // answered — no retry.
+                        self.breaker.record_success();
+                        return Ok(resp);
+                    }
+                    None => {
+                        self.breaker.record_failure();
+                        WireStatus::Malformed
+                    }
+                },
+                Err(WireError::Deadline) => {
+                    self.breaker.record_failure();
+                    WireStatus::Deadline
+                }
+                Err(e) if e.retryable() => {
+                    self.breaker.record_failure();
+                    WireStatus::Unavailable
+                }
+                Err(_) => {
+                    self.breaker.record_failure();
+                    return Err(WireStatus::Failed);
+                }
+            };
+            if attempts > cfg.max_retries {
+                return Err(failure);
+            }
+            let delay = backoff.next_delay();
+            match deadline.remaining() {
+                Some(rem) if rem > delay => std::thread::sleep(delay),
+                _ => return Err(WireStatus::Deadline),
+            }
+        }
+    }
+
+    fn handle_post(
+        &self,
+        envelope: &LayerEnvelope,
+        deadline: Deadline,
+    ) -> Result<Vec<u8>, WireStatus> {
+        let options = self.options;
+        let started = Instant::now();
+        let event = self
+            .enclave
+            .call(|ia| ia.process_post(envelope, options))
+            .map_err(|_| WireStatus::Unavailable)?
+            .map_err(status_of_core)?;
+        self.telemetry
+            .record_duration(Stage::Ia, started.elapsed().as_micros() as u64);
+        let request = HttpRequest::post(EVENTS_PATH, event.to_json());
+        let response = self.call_lrs(&request, deadline)?;
+        if response.is_success() {
+            Ok(b"{\"ok\":true}".to_vec())
+        } else {
+            Err(WireStatus::Failed)
+        }
+    }
+
+    fn handle_get(
+        &self,
+        envelope: &LayerEnvelope,
+        deadline: Deadline,
+    ) -> Result<Vec<u8>, WireStatus> {
+        let options = self.options;
+        let started = Instant::now();
+        let (query, token) = self
+            .enclave
+            .call(|ia| ia.process_get(envelope, options))
+            .map_err(|_| WireStatus::Unavailable)?
+            .map_err(status_of_core)?;
+        self.telemetry
+            .record_duration(Stage::Ia, started.elapsed().as_micros() as u64);
+
+        let request = HttpRequest::post(QUERIES_PATH, query.to_json());
+        let response = self.call_lrs(&request, deadline)?;
+        if !response.is_success() {
+            return Err(WireStatus::Failed);
+        }
+        let Some(list) = RecommendationList::from_json(&response.body) else {
+            return Err(WireStatus::Malformed);
+        };
+        let item_ids: Vec<String> = list.items.into_iter().map(|s| s.item).collect();
+
+        let started = Instant::now();
+        let encrypted = self
+            .enclave
+            .call(|ia| ia.process_get_response(token, &item_ids, options))
+            .map_err(|_| WireStatus::Unavailable)?
+            .map_err(status_of_core)?;
+        self.telemetry
+            .record_duration(Stage::Ia, started.elapsed().as_micros() as u64);
+        encrypted.to_frame().map_err(|_| WireStatus::Failed)
+    }
+}
+
+fn status_of_core(e: pprox_core::PProxError) -> WireStatus {
+    match e {
+        pprox_core::PProxError::Deadline => WireStatus::Deadline,
+        pprox_core::PProxError::Overloaded => WireStatus::Busy,
+        pprox_core::PProxError::MalformedMessage => WireStatus::Malformed,
+        pprox_core::PProxError::Unavailable => WireStatus::Unavailable,
+        _ => WireStatus::Failed,
+    }
+}
+
+impl FrameHandler for IaWireService {
+    fn handle(&self, payload: Vec<u8>, deadline: Deadline) -> Result<Vec<u8>, WireStatus> {
+        let envelope = LayerEnvelope::from_frame(&payload).map_err(|_| WireStatus::Malformed)?;
+        match envelope.op {
+            Op::Post => self.handle_post(&envelope, deadline),
+            Op::Get => self.handle_get(&envelope, deadline),
+        }
+    }
+}

@@ -1,0 +1,15 @@
+//! The PProx layers as wire-frame handlers.
+//!
+//! One file per layer, on purpose: the `pprox-analysis` layer-separation
+//! rules are lexical per file, so the split makes the §3.2 visibility
+//! boundary statically checkable on the transport too — [`ua`] never
+//! names an item-side API, [`ia`] never names a user-side API, and
+//! [`lrs`] speaks only the REST vocabulary.
+
+pub mod ia;
+pub mod lrs;
+pub mod ua;
+
+pub use ia::IaWireService;
+pub use lrs::LrsWireService;
+pub use ua::UaWireService;

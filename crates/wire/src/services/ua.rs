@@ -1,0 +1,275 @@
+//! The UA layer as a wire service.
+//!
+//! Receives [`ClientEnvelope`] frames, runs the UA enclave's
+//! pseudonymization ECALL, and forwards the resulting [`LayerEnvelope`]
+//! to the IA tier through a [`SocketBalancer`]. With shuffling enabled,
+//! both directions pass through a [`ShuffleBuffer`] (§4.3): requests are
+//! batched and released in random order before they hit the IA sockets,
+//! and responses are batched again on the way back, so a network
+//! observer bracketing one UA instance cannot match arrival order to
+//! departure order beyond the `1/S` bound.
+//!
+//! Telemetry discipline (analyzer rule R6): shuffle dwell and UA
+//! processing go through histogram-only recording — this file never
+//! exports an arrival-timestamped span.
+//!
+//! This file never names an item-side API; the aux block it forwards is
+//! opaque ciphertext bound for the IA.
+
+use crate::balancer::SocketBalancer;
+use crate::server::FrameHandler;
+use crate::{WireError, WireStatus};
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use pprox_core::message::{ClientEnvelope, LayerEnvelope};
+use pprox_core::resilience::Deadline;
+use pprox_core::shuffler::{ShuffleBuffer, ShuffleConfig};
+use pprox_core::telemetry::{Stage, Telemetry};
+use pprox_core::ua::UaState;
+use pprox_sgx::Enclave;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+type WireReply = Result<Vec<u8>, WireStatus>;
+
+struct ShuffleJob {
+    bytes: Vec<u8>,
+    deadline: Deadline,
+    reply: Sender<WireReply>,
+}
+
+struct ReplyJob {
+    result: WireReply,
+    reply: Sender<WireReply>,
+}
+
+/// The request- and response-path shuffle stage of one UA instance:
+/// a shuffle thread per direction plus a forwarder pool making the
+/// actual IA calls between them.
+struct ShuffleStage {
+    tx: Option<Sender<ShuffleJob>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl ShuffleStage {
+    fn spawn(
+        config: ShuffleConfig,
+        forwarders: usize,
+        ia: Arc<SocketBalancer>,
+        telemetry: Arc<Telemetry>,
+        seed: u64,
+    ) -> Self {
+        let (job_tx, job_rx) = unbounded::<ShuffleJob>();
+        let (fwd_tx, fwd_rx) = unbounded::<ShuffleJob>();
+        let (resp_tx, resp_rx) = unbounded::<ReplyJob>();
+        let mut handles = Vec::new();
+
+        // Request-path shuffle: arrivals dwell in the buffer, leave in
+        // random order toward the forwarders.
+        {
+            let telemetry = telemetry.clone();
+            let buffer = ShuffleBuffer::new(config, seed ^ 0x0a5e);
+            handles.push(std::thread::spawn(move || {
+                run_shuffle(job_rx, buffer, telemetry, Stage::ShuffleRequest, |job| {
+                    let _ = fwd_tx.send(job);
+                });
+            }));
+        }
+
+        // Forwarders: the blocking IA calls, off both shuffle threads.
+        for _ in 0..forwarders.max(1) {
+            let rx = fwd_rx.clone();
+            let tx = resp_tx.clone();
+            let ia = ia.clone();
+            handles.push(std::thread::spawn(move || {
+                while let Ok(job) = rx.recv() {
+                    let result = forward_to_ia(&ia, &job.bytes, job.deadline);
+                    let _ = tx.send(ReplyJob {
+                        result,
+                        reply: job.reply,
+                    });
+                }
+            }));
+        }
+        drop(fwd_rx);
+        drop(resp_tx);
+
+        // Response-path shuffle: completions dwell again before their
+        // waiting connections learn anything.
+        {
+            let buffer = ShuffleBuffer::new(config, seed ^ 0x1a5e);
+            handles.push(std::thread::spawn(move || {
+                run_shuffle(resp_rx, buffer, telemetry, Stage::ShuffleResponse, |job| {
+                    let _ = job.reply.send(job.result);
+                });
+            }));
+        }
+
+        ShuffleStage {
+            tx: Some(job_tx),
+            handles,
+        }
+    }
+}
+
+impl Drop for ShuffleStage {
+    fn drop(&mut self) {
+        // Dropping the sender cascades: request shuffle drains and exits,
+        // forwarders exit, response shuffle drains and exits.
+        self.tx = None;
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The generic shuffle loop (mirrors the in-process pipeline's
+/// `shuffle_server`, minus span export): honor the buffer's flush timer,
+/// record each item's dwell into the stage histogram, forward in the
+/// buffer's randomized order.
+fn run_shuffle<T>(
+    rx: Receiver<T>,
+    mut buffer: ShuffleBuffer<T>,
+    telemetry: Arc<Telemetry>,
+    stage: Stage,
+    mut forward: impl FnMut(T),
+) {
+    let mut release = |flush: pprox_core::shuffler::Flush<T>, now_us: u64| {
+        for (item, arrived_us) in flush.items.into_iter().zip(flush.arrived_at_us) {
+            telemetry.record_duration(stage, now_us.saturating_sub(arrived_us));
+            forward(item);
+        }
+    };
+    loop {
+        match buffer.deadline_us() {
+            Some(deadline) => {
+                let timeout = Duration::from_micros(deadline.saturating_sub(telemetry.now_us()));
+                match rx.recv_timeout(timeout) {
+                    Ok(item) => {
+                        if let Some(flush) = buffer.push(telemetry.now_us(), item) {
+                            release(flush, telemetry.now_us());
+                        }
+                    }
+                    Err(RecvTimeoutError::Timeout) => {
+                        if let Some(flush) = buffer.poll_timeout(telemetry.now_us()) {
+                            release(flush, telemetry.now_us());
+                        }
+                    }
+                    Err(RecvTimeoutError::Disconnected) => break,
+                }
+            }
+            None => match rx.recv() {
+                Ok(item) => {
+                    if let Some(flush) = buffer.push(telemetry.now_us(), item) {
+                        release(flush, telemetry.now_us());
+                    }
+                }
+                Err(_) => break,
+            },
+        }
+    }
+    if let Some(flush) = buffer.drain() {
+        release(flush, telemetry.now_us());
+    }
+}
+
+fn forward_to_ia(ia: &SocketBalancer, bytes: &[u8], deadline: Deadline) -> WireReply {
+    match ia.call(bytes, deadline) {
+        Ok(payload) => Ok(payload),
+        Err(WireError::Remote(status)) => Err(status),
+        Err(WireError::Deadline) => Err(WireStatus::Deadline),
+        Err(_) => Err(WireStatus::Unavailable),
+    }
+}
+
+/// Frame handler for one UA instance.
+pub struct UaWireService {
+    enclave: Arc<Enclave<UaState>>,
+    ia: Arc<SocketBalancer>,
+    encryption: bool,
+    telemetry: Arc<Telemetry>,
+    shuffle: Option<ShuffleStage>,
+}
+
+impl UaWireService {
+    /// Builds the service around a provisioned UA enclave and a balancer
+    /// over the IA tier. `forwarders` sizes the shuffle stage's IA-call
+    /// pool (ignored when `shuffle` is disabled — calls then run on the
+    /// server's own workers).
+    pub fn new(
+        enclave: Arc<Enclave<UaState>>,
+        ia: SocketBalancer,
+        encryption: bool,
+        shuffle: ShuffleConfig,
+        forwarders: usize,
+        telemetry: Arc<Telemetry>,
+        seed: u64,
+    ) -> Self {
+        let ia = Arc::new(ia);
+        let stage = if shuffle.is_disabled() {
+            None
+        } else {
+            Some(ShuffleStage::spawn(
+                shuffle,
+                forwarders,
+                ia.clone(),
+                telemetry.clone(),
+                seed,
+            ))
+        };
+        UaWireService {
+            enclave,
+            ia,
+            encryption,
+            telemetry,
+            shuffle: stage,
+        }
+    }
+}
+
+impl FrameHandler for UaWireService {
+    fn handle(&self, payload: Vec<u8>, deadline: Deadline) -> Result<Vec<u8>, WireStatus> {
+        let envelope = ClientEnvelope::from_frame(&payload).map_err(|_| WireStatus::Malformed)?;
+        let encryption = self.encryption;
+        let started = Instant::now();
+        let layer: LayerEnvelope = self
+            .enclave
+            .call(|ua| ua.process(&envelope, encryption))
+            .map_err(|_| WireStatus::Unavailable)?
+            .map_err(|e| match e {
+                pprox_core::PProxError::MalformedMessage => WireStatus::Malformed,
+                pprox_core::PProxError::Deadline => WireStatus::Deadline,
+                _ => WireStatus::Failed,
+            })?;
+        self.telemetry
+            .record_duration(Stage::Ua, started.elapsed().as_micros() as u64);
+        let bytes = layer.to_frame().map_err(|_| WireStatus::Failed)?;
+
+        match &self.shuffle {
+            None => forward_to_ia(&self.ia, &bytes, deadline),
+            Some(stage) => {
+                let (reply_tx, reply_rx) = bounded::<WireReply>(1);
+                let Some(tx) = &stage.tx else {
+                    return Err(WireStatus::Unavailable);
+                };
+                if tx
+                    .send(ShuffleJob {
+                        bytes,
+                        deadline,
+                        reply: reply_tx,
+                    })
+                    .is_err()
+                {
+                    return Err(WireStatus::Unavailable);
+                }
+                let Some(remaining) = deadline.remaining() else {
+                    return Err(WireStatus::Deadline);
+                };
+                match reply_rx.recv_timeout(remaining) {
+                    Ok(result) => result,
+                    Err(_) => Err(WireStatus::Deadline),
+                }
+            }
+        }
+    }
+}

@@ -32,9 +32,22 @@ CARGO_TARGET_DIR=target/loom RUSTFLAGS="--cfg loom" \
 echo "== bench smoke =="
 ./scripts/bench.sh
 
+echo "== wire loopback smoke =="
+WIRE_DIR="$(mktemp -d)"
+trap 'rm -rf "$WIRE_DIR" "$ANALYSIS_DIR"' EXIT
+cargo run --release -q -p pprox-wire --bin cluster -- \
+    --instances 2 --requests 60 --clients 4 --no-baseline \
+    --out "$WIRE_DIR/BENCH_wire.json" >/dev/null
+cargo run --release -q -p pprox-wire --bin cluster -- \
+    --validate "$WIRE_DIR/BENCH_wire.json"
+
+echo "== validate committed wire benchmark =="
+cargo run --release -q -p pprox-wire --bin cluster -- \
+    --validate results/BENCH_wire.json
+
 echo "== telemetry export smoke =="
 TELEMETRY_DIR="$(mktemp -d)"
-trap 'rm -rf "$TELEMETRY_DIR" "$ANALYSIS_DIR"' EXIT
+trap 'rm -rf "$TELEMETRY_DIR" "$WIRE_DIR" "$ANALYSIS_DIR"' EXIT
 cargo run --release -q -p pprox-bench --bin telemetry_export -- \
     --requests 96 --shuffle-size 4 --out-dir "$TELEMETRY_DIR" >/dev/null
 cargo run --release -q -p pprox-bench --bin telemetry_export -- \

