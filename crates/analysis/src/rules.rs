@@ -64,6 +64,7 @@ pub const SECRET_TYPES: &[&str] = &[
     "LayerEnvelope",
     "EncryptedList",
     "SecretBag",
+    "StoreKey",
 ];
 
 /// Identifiers whose appearance in a format-like macro indicates secret

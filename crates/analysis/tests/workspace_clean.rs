@@ -102,6 +102,33 @@ fn wire_transport_handlers_are_in_scope_and_clean() {
 }
 
 #[test]
+fn durable_store_is_in_scope_and_secret_key_debug_is_caught() {
+    // The store crate is in the analyzer's scan set (NOT allowlisted):
+    // the persistence layer holds the data-encryption key and must obey
+    // the same secret-hygiene rules as the crypto modules.
+    let keyring_path = workspace_root().join("crates/store/src/keyring.rs");
+    let original = std::fs::read_to_string(&keyring_path).expect("read store keyring");
+    let clean = analyze_file("crates/store/src/keyring.rs", &original);
+    assert!(
+        clean.findings.is_empty(),
+        "store keyring should be clean: {:#?}",
+        clean.findings
+    );
+
+    // Seeding a `derive(Debug)` onto the DEK newtype — which ships with
+    // a manual, redacting Debug — must fire R4: a derived Debug would
+    // print the key bytes into any log that formats the store.
+    let seeded = format!("{original}\n#[derive(Debug)]\npub struct StoreKey2();\n")
+        .replace("pub struct StoreKey2", "pub struct StoreKey");
+    let report = analyze_file("crates/store/src/keyring.rs", &seeded);
+    assert!(
+        report.findings.iter().any(|f| f.rule == "R4"),
+        "seeded derive(Debug) on StoreKey must fire R4: {:#?}",
+        report.findings
+    );
+}
+
+#[test]
 fn workspace_report_roundtrips_through_validator() {
     let r = analyze_workspace(&workspace_root()).expect("scan");
     report::validate(&r.to_value().to_json()).expect("self-produced report must validate");

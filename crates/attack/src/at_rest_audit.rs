@@ -1,0 +1,336 @@
+//! Privacy audit of the *persisted* image (the §6.1 database adversary
+//! pointed at disk instead of the live LRS).
+//!
+//! The §6.1 case analysis grants the provider the entire LRS database
+//! and shows it only learns pseudonymous interactions. Once the LRS is
+//! durable (`pprox-store`), the database also exists as files that
+//! outlive the process — backups, stolen disks, misconfigured volumes.
+//! This module scans a store directory the way that adversary would and
+//! verifies the §6.1 argument still holds at rest:
+//!
+//! * **No plaintext identifiers.** The caller supplies the raw user and
+//!   item identifiers of the workload that produced the store (ground
+//!   truth the adversary wants to recover); the audit greps every
+//!   persisted byte for them. One hit is a failed audit.
+//! * **No unpadded lengths.** Every WAL record's ciphertext must be the
+//!   16-byte IV plus a whole number of pad classes, and every snapshot
+//!   block file the IV plus a whole number of block classes — the same
+//!   size-class discipline the wire codec enforces (§4.3), so record
+//!   sizes reveal only class counts, never payload lengths.
+//! * **Self-verifying block names.** A `blocks/<hex>` file must hash to
+//!   its own name; anything else in the image is either one of the known
+//!   store artifacts or flagged as foreign.
+//!
+//! The audit deliberately does *not* use the store's keys: it reads the
+//! image exactly as the adversary does, structurally.
+
+use pprox_store::{BLOCKS_DIR, KEYRING_FILE, MANIFEST_FILE, MANIFEST_OLD_FILE, WAL_FILE};
+use std::path::{Path, PathBuf};
+
+/// AES-CTR IV length prefixing every ciphertext in the store.
+const IV_LEN: u64 = 16;
+/// WAL record header: u32 ciphertext length + 8-byte checksum.
+const WAL_HEADER_LEN: usize = 12;
+
+/// One plaintext identifier found in the persisted image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlaintextHit {
+    /// File the identifier appeared in.
+    pub file: PathBuf,
+    /// The identifier (as supplied by the caller).
+    pub token: String,
+}
+
+/// Result of scanning one store directory.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AtRestAuditOutcome {
+    /// Files scanned.
+    pub files_scanned: usize,
+    /// Total bytes scanned.
+    pub bytes_scanned: u64,
+    /// Plaintext identifiers found (must be empty).
+    pub plaintext_hits: Vec<PlaintextHit>,
+    /// Structurally complete WAL records seen.
+    pub wal_records: usize,
+    /// WAL records whose ciphertext length is not IV + k·pad_class
+    /// (must be 0).
+    pub unpadded_wal_records: usize,
+    /// Trailing WAL bytes not forming a complete record (a torn tail —
+    /// reported, not a failure: it is the tolerated crash artifact).
+    pub wal_torn_bytes: u64,
+    /// Snapshot block files seen.
+    pub blocks: usize,
+    /// Block files whose size is not IV + k·block_class (must be 0).
+    pub unpadded_blocks: usize,
+    /// Block files whose content does not hash to their name (must
+    /// be 0).
+    pub mismatched_blocks: usize,
+    /// Files in the image that are not a known store artifact (must be
+    /// empty — anything else is data escaping the encrypted paths).
+    pub foreign_files: Vec<PathBuf>,
+    /// Whether the sealed keyring is present (it must be: its absence
+    /// with data present means the DEK lived somewhere else).
+    pub keyring_present: bool,
+}
+
+impl AtRestAuditOutcome {
+    /// Whether the image upholds the at-rest privacy claim: pseudonymous
+    /// ciphertext only, padded lengths, nothing foreign.
+    pub fn passed(&self) -> bool {
+        self.plaintext_hits.is_empty()
+            && self.unpadded_wal_records == 0
+            && self.unpadded_blocks == 0
+            && self.mismatched_blocks == 0
+            && self.foreign_files.is_empty()
+            && self.keyring_present
+    }
+}
+
+/// Naive substring search (no std memmem on stable).
+fn contains(haystack: &[u8], needle: &[u8]) -> bool {
+    !needle.is_empty() && haystack.windows(needle.len()).any(|w| w == needle)
+}
+
+/// Scans the store directory at `dir` as the at-rest adversary:
+/// `secrets` are the raw (pre-pseudonymization) user and item
+/// identifiers of the workload that produced the store — none may
+/// appear anywhere in the image.
+///
+/// `pad_class` / `block_class` must match the [`pprox_store::StoreConfig`]
+/// the store was opened with (the defaults are 256 and 4096).
+///
+/// # Errors
+///
+/// An [`std::io::Error`] when the directory cannot be read at all;
+/// per-file structural problems are findings, not errors.
+pub fn audit_store_dir(
+    dir: &Path,
+    secrets: &[String],
+    pad_class: usize,
+    block_class: usize,
+) -> std::io::Result<AtRestAuditOutcome> {
+    let mut outcome = AtRestAuditOutcome {
+        keyring_present: dir.join(KEYRING_FILE).is_file(),
+        ..AtRestAuditOutcome::default()
+    };
+
+    let scan = |path: &Path, outcome: &mut AtRestAuditOutcome| -> std::io::Result<Vec<u8>> {
+        let bytes = std::fs::read(path)?;
+        outcome.files_scanned += 1;
+        outcome.bytes_scanned += bytes.len() as u64;
+        for token in secrets {
+            if contains(&bytes, token.as_bytes()) {
+                outcome.plaintext_hits.push(PlaintextHit {
+                    file: path.to_path_buf(),
+                    token: token.clone(),
+                });
+            }
+        }
+        Ok(bytes)
+    };
+
+    // Top level: the four known artifacts, the blocks directory, and
+    // nothing else.
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if path.is_dir() {
+            if name != BLOCKS_DIR {
+                outcome.foreign_files.push(path);
+            }
+            continue;
+        }
+        match name.as_str() {
+            WAL_FILE => {
+                let bytes = scan(&path, &mut outcome)?;
+                audit_wal(&bytes, pad_class, &mut outcome);
+            }
+            KEYRING_FILE | MANIFEST_FILE | MANIFEST_OLD_FILE => {
+                scan(&path, &mut outcome)?;
+            }
+            _ => {
+                scan(&path, &mut outcome)?;
+                outcome.foreign_files.push(path);
+            }
+        }
+    }
+
+    // Blocks: hex names, self-verifying hashes, padded sizes.
+    let blocks_dir = dir.join(BLOCKS_DIR);
+    if blocks_dir.is_dir() {
+        for entry in std::fs::read_dir(&blocks_dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name().to_string_lossy().into_owned();
+            let bytes = scan(&path, &mut outcome)?;
+            let is_address = name.len() == 64 && name.bytes().all(|b| b.is_ascii_hexdigit());
+            if !is_address {
+                outcome.foreign_files.push(path);
+                continue;
+            }
+            outcome.blocks += 1;
+            let len = bytes.len() as u64;
+            let padded = len > IV_LEN && (len - IV_LEN).is_multiple_of(block_class.max(1) as u64);
+            if !padded {
+                outcome.unpadded_blocks += 1;
+            }
+            let digest = pprox_crypto::sha256::digest(&bytes);
+            let hex: String = digest.iter().map(|b| format!("{b:02x}")).collect();
+            if hex != name {
+                outcome.mismatched_blocks += 1;
+            }
+        }
+    }
+
+    Ok(outcome)
+}
+
+/// Walks the WAL's `len | sum | ct` records structurally (no key),
+/// counting records and verifying every ciphertext length is
+/// IV + k·pad_class.
+fn audit_wal(bytes: &[u8], pad_class: usize, outcome: &mut AtRestAuditOutcome) {
+    let mut offset = 0usize;
+    while offset + WAL_HEADER_LEN <= bytes.len() {
+        let len =
+            u32::from_be_bytes(bytes[offset..offset + 4].try_into().expect("4 bytes")) as usize;
+        let end = offset + WAL_HEADER_LEN + len;
+        if len == 0 || end > bytes.len() {
+            break; // torn tail
+        }
+        outcome.wal_records += 1;
+        let ct_len = len as u64;
+        let padded = ct_len > IV_LEN && (ct_len - IV_LEN).is_multiple_of(pad_class.max(1) as u64);
+        if !padded {
+            outcome.unpadded_wal_records += 1;
+        }
+        offset = end;
+    }
+    outcome.wal_torn_bytes = (bytes.len() - offset) as u64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pprox_store::{Measurement, SealedStore, SealingKey, SecureRng, StoreConfig, TempDir};
+
+    fn sealing() -> SealingKey {
+        SealingKey::generate(&mut SecureRng::from_seed(0xa0d1))
+    }
+
+    /// Builds a store the way the durable LRS does: pseudonymous payloads
+    /// only (hex pseudonyms, never the raw ids).
+    fn build_store(dir: &Path) -> Vec<String> {
+        let raw_ids = vec![
+            "alice".to_string(),
+            "bob".to_string(),
+            "item-red-shoes".to_string(),
+            "item-blue-hat".to_string(),
+        ];
+        let (mut store, _) = SealedStore::open(
+            dir,
+            &sealing(),
+            Measurement::of_code("audit-test"),
+            StoreConfig::default(),
+        )
+        .unwrap();
+        let post = |store: &mut SealedStore, i: u64| {
+            // Pseudonymous event: what the IA hands the LRS.
+            let event = format!(
+                "{{\"u\":\"{:016x}\",\"i\":\"{:016x}\"}}",
+                0xdead_0000 + i,
+                0xbeef_0000 + i
+            );
+            store.append_event(event.as_bytes()).unwrap();
+        };
+        for i in 0..8 {
+            post(&mut store, i);
+        }
+        store
+            .snapshot(&[b"chunk-a".to_vec(), b"chunk-b".to_vec()], 8)
+            .unwrap();
+        for i in 8..12 {
+            post(&mut store, i);
+        }
+        raw_ids
+    }
+
+    #[test]
+    fn clean_store_passes() {
+        let dir = TempDir::new("audit-clean");
+        let secrets = build_store(dir.path());
+        let outcome = audit_store_dir(dir.path(), &secrets, 256, 4096).unwrap();
+        assert!(outcome.passed(), "clean image must pass: {outcome:?}");
+        assert!(outcome.wal_records > 0);
+        assert_eq!(outcome.blocks, 2);
+        assert!(outcome.keyring_present);
+        assert_eq!(outcome.wal_torn_bytes, 0);
+    }
+
+    #[test]
+    fn plaintext_identifier_is_caught() {
+        let dir = TempDir::new("audit-leak");
+        let secrets = build_store(dir.path());
+        // Positive control: an LRS that logged a raw id next to the
+        // sealed store fails the audit.
+        std::fs::write(dir.path().join("debug.log"), b"served user alice today").unwrap();
+        let outcome = audit_store_dir(dir.path(), &secrets, 256, 4096).unwrap();
+        assert!(!outcome.passed());
+        assert_eq!(outcome.plaintext_hits.len(), 1);
+        assert_eq!(outcome.plaintext_hits[0].token, "alice");
+        assert_eq!(outcome.foreign_files.len(), 1, "stray file is also foreign");
+    }
+
+    #[test]
+    fn unpadded_wal_record_is_caught() {
+        let dir = TempDir::new("audit-unpadded");
+        let secrets = build_store(dir.path());
+        // Forge a structurally valid record whose ciphertext length is
+        // not IV + k·class: correct checksum, wrong discipline.
+        let ct = vec![0x5au8; 100];
+        let sum = pprox_crypto::sha256::digest(&ct);
+        let mut record = (ct.len() as u32).to_be_bytes().to_vec();
+        record.extend_from_slice(&sum[..8]);
+        record.extend_from_slice(&ct);
+        let wal = dir.path().join(WAL_FILE);
+        let mut bytes = std::fs::read(&wal).unwrap();
+        bytes.extend_from_slice(&record);
+        std::fs::write(&wal, &bytes).unwrap();
+        let outcome = audit_store_dir(dir.path(), &secrets, 256, 4096).unwrap();
+        assert_eq!(outcome.unpadded_wal_records, 1);
+        assert!(!outcome.passed());
+    }
+
+    #[test]
+    fn corrupted_block_is_caught() {
+        let dir = TempDir::new("audit-block");
+        let secrets = build_store(dir.path());
+        let blocks = dir.path().join(BLOCKS_DIR);
+        let name = std::fs::read_dir(&blocks)
+            .unwrap()
+            .next()
+            .unwrap()
+            .unwrap()
+            .file_name();
+        let path = blocks.join(name);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[40] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        let outcome = audit_store_dir(dir.path(), &secrets, 256, 4096).unwrap();
+        assert_eq!(outcome.mismatched_blocks, 1);
+        assert!(!outcome.passed());
+    }
+
+    #[test]
+    fn torn_tail_is_reported_not_failed() {
+        let dir = TempDir::new("audit-torn");
+        let secrets = build_store(dir.path());
+        let wal = dir.path().join(WAL_FILE);
+        let mut bytes = std::fs::read(&wal).unwrap();
+        bytes.extend_from_slice(&[0x01, 0x02, 0x03]); // crash artifact
+        std::fs::write(&wal, &bytes).unwrap();
+        let outcome = audit_store_dir(dir.path(), &secrets, 256, 4096).unwrap();
+        assert_eq!(outcome.wal_torn_bytes, 3);
+        assert!(outcome.passed(), "a torn tail is tolerated: {outcome:?}");
+    }
+}

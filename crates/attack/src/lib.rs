@@ -26,6 +26,10 @@
 //!   system: joins exported telemetry spans across the shuffle boundary,
 //!   checks linkage stays at the `1/S` baseline under trace-ID
 //!   re-randomization, and demonstrates the stable-ID ablation is caught.
+//! * [`at_rest_audit`] — the §6.1 database adversary pointed at *disk*:
+//!   scans a durable store directory (`pprox-store`) for plaintext
+//!   user/item identifiers, unpadded record lengths, and foreign files,
+//!   verifying the at-rest image is pseudonymous padded ciphertext only.
 //!
 //! The harness binary `security_analysis` in `pprox-bench` prints the
 //! full report; EXPERIMENTS.md records the numbers.
@@ -33,6 +37,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod at_rest_audit;
 pub mod cases;
 pub mod combined;
 pub mod correlation;
@@ -41,6 +46,7 @@ pub mod lowtraffic;
 pub mod observer;
 pub mod telemetry_audit;
 
+pub use at_rest_audit::{audit_store_dir, AtRestAuditOutcome, PlaintextHit};
 pub use cases::{break_ia_and_read_database, break_ua_and_read_database, CaseOutcome};
 pub use correlation::{correlation_attack, measure_linkage, CorrelationOutcome};
 pub use history::{intersection_attack, IntersectionOutcome};

@@ -1,0 +1,414 @@
+//! A crash-recoverable LRS front-end: the engine plus a [`SealedStore`].
+//!
+//! [`DurableLrs`] wraps an [`Engine`] behind the same REST surface as
+//! [`crate::frontend::Frontend`], adding write-ahead durability: every
+//! accepted feedback event is appended to the sealed WAL *before* it is
+//! applied to the in-memory engine, under one mutex, so WAL order equals
+//! docstore order and a replayed store rebuilds byte-identical state.
+//! Periodic snapshots compact the event history into encrypted blocks
+//! and truncate the WAL.
+//!
+//! Recovery (`open` on a non-empty directory) is fully self-contained:
+//! the DEK unseals from the platform + measurement, snapshot blocks and
+//! fresh WAL records replay into a new engine, and one training pass
+//! rebuilds the scoring index — after which a fixed query returns
+//! exactly the recommendations it returned before the crash (the index's
+//! deterministic tie-break makes this byte-exact, verified in the
+//! kill-and-replay drills).
+//!
+//! Everything persisted is what the LRS legitimately sees: pseudonymous
+//! ids inside padded ciphertext. `attack::at_rest_audit` scans the
+//! directory to prove it.
+
+use crate::api::{
+    FeedbackEvent, HttpRequest, HttpResponse, Method, RecommendationQuery, RestHandler,
+    EVENTS_PATH, QUERIES_PATH,
+};
+use crate::engine::Engine;
+use crate::MAX_RECOMMENDATIONS;
+use parking_lot::Mutex;
+use pprox_json::Value;
+use pprox_store::{Measurement, SealedStore, SealingKey, StoreConfig, StoreError};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Code identity the store DEK is sealed to. Any LRS instance running
+/// this measurement on the same platform can recover the store.
+pub const LRS_STORE_IDENTITY: &str = "pprox-lrs-store-v1";
+
+/// Events per snapshot block (bounds block size; more events simply span
+/// more fixed-size blocks).
+const EVENTS_PER_BLOCK: usize = 64;
+
+/// Durability tuning for a [`DurableLrs`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DurableConfig {
+    /// Snapshot (and truncate the WAL) after this many appended events;
+    /// 0 disables automatic snapshots (call
+    /// [`DurableLrs::snapshot_now`] explicitly).
+    pub snapshot_every: u64,
+    /// Retrain the engine after this many applied events; 0 disables
+    /// automatic training.
+    pub train_every: u64,
+    /// Size classes of the underlying store.
+    pub store: StoreConfig,
+}
+
+impl Default for DurableConfig {
+    fn default() -> Self {
+        DurableConfig {
+            snapshot_every: 256,
+            train_every: 0,
+            store: StoreConfig::default(),
+        }
+    }
+}
+
+/// What booting a [`DurableLrs`] recovered, and how long it took.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryStats {
+    /// Events restored from snapshot blocks.
+    pub snapshot_events: usize,
+    /// Events replayed from the WAL.
+    pub replayed: usize,
+    /// WAL records skipped because the snapshot already covered them.
+    pub skipped: usize,
+    /// Torn-tail bytes the WAL scan discarded.
+    pub torn_bytes: u64,
+    /// `true` when the directory held no sealed state yet.
+    pub cold_start: bool,
+    /// Wall-clock time from unseal to trained index.
+    pub duration: Duration,
+}
+
+struct DurableInner {
+    store: SealedStore,
+    /// Every applied event body, in order (the snapshot source).
+    events: Vec<String>,
+    last_snapshot_seq: u64,
+}
+
+/// A durable LRS front-end instance.
+pub struct DurableLrs {
+    engine: Engine,
+    inner: Mutex<DurableInner>,
+    config: DurableConfig,
+    recovery: RecoveryStats,
+    served: AtomicU64,
+}
+
+impl std::fmt::Debug for DurableLrs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DurableLrs")
+            .field("engine", &self.engine)
+            .field("served", &self.served.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl DurableLrs {
+    /// Opens (or creates) the durable store at `dir`, unseals the DEK
+    /// against `sealing` + [`LRS_STORE_IDENTITY`], replays snapshot and
+    /// WAL into a fresh engine, and trains the index once.
+    ///
+    /// # Errors
+    ///
+    /// Any [`StoreError`] from recovery; see
+    /// [`SealedStore::open`] for the cases.
+    pub fn open(
+        dir: &Path,
+        sealing: &SealingKey,
+        config: DurableConfig,
+    ) -> Result<DurableLrs, StoreError> {
+        let started = Instant::now();
+        let measurement = Measurement::of_code(LRS_STORE_IDENTITY);
+        let (store, recovered) = SealedStore::open(dir, sealing, measurement, config.store)?;
+
+        let engine = Engine::new();
+        let mut events = Vec::new();
+        let mut snapshot_events = 0;
+        for block in &recovered.snapshot_blocks {
+            for body in decode_event_block(block)? {
+                apply_event(&engine, &body);
+                events.push(body);
+                snapshot_events += 1;
+            }
+        }
+        let replayed = recovered.events.len();
+        for record in &recovered.events {
+            let body = String::from_utf8(record.payload.clone())
+                .map_err(|_| StoreError::Malformed("WAL event encoding"))?;
+            apply_event(&engine, &body);
+            events.push(body);
+        }
+        if !events.is_empty() {
+            engine.train();
+        }
+
+        let last_snapshot_seq = recovered.applied_seq;
+        let recovery = RecoveryStats {
+            snapshot_events,
+            replayed,
+            skipped: recovered.skipped,
+            torn_bytes: recovered.torn_bytes,
+            cold_start: recovered.cold_start,
+            duration: started.elapsed(),
+        };
+        Ok(DurableLrs {
+            engine,
+            inner: Mutex::new(DurableInner {
+                store,
+                events,
+                last_snapshot_seq,
+            }),
+            config,
+            recovery,
+            served: AtomicU64::new(0),
+        })
+    }
+
+    /// The shared engine (same instance the REST surface serves from).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// What booting this instance recovered.
+    pub fn recovery(&self) -> &RecoveryStats {
+        &self.recovery
+    }
+
+    /// Retrains the engine on everything applied so far.
+    pub fn train(&self) -> u64 {
+        self.engine.train()
+    }
+
+    /// Forces a snapshot now (blocks + manifest + WAL truncation).
+    ///
+    /// # Errors
+    ///
+    /// Any [`StoreError`] from block or manifest writes.
+    pub fn snapshot_now(&self) -> Result<(), StoreError> {
+        let mut inner = self.inner.lock();
+        snapshot_locked(&mut inner)
+    }
+
+    /// The store's root directory.
+    pub fn store_dir(&self) -> std::path::PathBuf {
+        self.inner.lock().store.dir().to_path_buf()
+    }
+
+    /// Requests served by this instance.
+    pub fn served(&self) -> u64 {
+        self.served.load(Ordering::Relaxed)
+    }
+
+    fn handle_post_event(&self, request: &HttpRequest) -> HttpResponse {
+        let Some(event) = FeedbackEvent::from_json(&request.body) else {
+            return HttpResponse::error(400, "malformed event");
+        };
+        // Canonicalize so WAL bytes equal what replay will apply.
+        let body = event.to_json();
+        let mut inner = self.inner.lock();
+        let seq = match inner.store.append_event(body.as_bytes()) {
+            Ok(seq) => seq,
+            Err(_) => return HttpResponse::error(503, "event log unavailable"),
+        };
+        self.engine.post(&event.user, &event.item, event.payload);
+        inner.events.push(body);
+        if self.config.snapshot_every > 0
+            && seq - inner.last_snapshot_seq >= self.config.snapshot_every
+        {
+            // A failed snapshot is not fatal to the request: the WAL
+            // already holds the event.
+            let _ = snapshot_locked(&mut inner);
+        }
+        let applied = inner.events.len() as u64;
+        drop(inner);
+        if self.config.train_every > 0 && applied.is_multiple_of(self.config.train_every) {
+            self.engine.train();
+        }
+        HttpResponse::ok(r#"{"status":"ok"}"#)
+    }
+
+    fn handle_query(&self, request: &HttpRequest) -> HttpResponse {
+        match RecommendationQuery::from_json(&request.body) {
+            Some(query) => {
+                let n = query.num.min(MAX_RECOMMENDATIONS);
+                let list = self.engine.get_filtered(&query.user, n, &query.exclude);
+                HttpResponse::ok(list.to_json())
+            }
+            None => HttpResponse::error(400, "malformed query"),
+        }
+    }
+}
+
+impl RestHandler for DurableLrs {
+    fn handle(&self, request: &HttpRequest) -> HttpResponse {
+        self.served.fetch_add(1, Ordering::Relaxed);
+        match (request.method, request.path.as_str()) {
+            (Method::Post, EVENTS_PATH) => self.handle_post_event(request),
+            (Method::Post, QUERIES_PATH) => self.handle_query(request),
+            _ => HttpResponse::error(404, "unknown endpoint"),
+        }
+    }
+}
+
+fn snapshot_locked(inner: &mut DurableInner) -> Result<(), StoreError> {
+    let applied_seq = inner.store.next_seq() - 1;
+    let blocks: Vec<Vec<u8>> = inner
+        .events
+        .chunks(EVENTS_PER_BLOCK)
+        .map(encode_event_block)
+        .collect();
+    inner.store.snapshot(&blocks, applied_seq)?;
+    inner.last_snapshot_seq = applied_seq;
+    Ok(())
+}
+
+/// A snapshot block is a JSON array of event bodies.
+fn encode_event_block(events: &[String]) -> Vec<u8> {
+    let arr: Value = events.iter().map(|e| Value::from(e.as_str())).collect();
+    arr.to_json().into_bytes()
+}
+
+fn decode_event_block(block: &[u8]) -> Result<Vec<String>, StoreError> {
+    let text = std::str::from_utf8(block).map_err(|_| StoreError::Malformed("snapshot block"))?;
+    let value = Value::parse(text).map_err(|_| StoreError::Malformed("snapshot block json"))?;
+    let arr = value
+        .as_array()
+        .ok_or(StoreError::Malformed("snapshot block shape"))?;
+    arr.iter()
+        .map(|e| {
+            e.as_str()
+                .map(str::to_string)
+                .ok_or(StoreError::Malformed("snapshot block entry"))
+        })
+        .collect()
+}
+
+fn apply_event(engine: &Engine, body: &str) {
+    if let Some(event) = FeedbackEvent::from_json(body) {
+        engine.post(&event.user, &event.item, event.payload);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pprox_store::{FaultInjector, StorageFault, TempDir};
+
+    fn sealing() -> SealingKey {
+        SealingKey::generate(&mut pprox_store::SecureRng::from_seed(31))
+    }
+
+    fn post(lrs: &DurableLrs, user: &str, item: &str) {
+        let body = FeedbackEvent {
+            user: user.into(),
+            item: item.into(),
+            payload: None,
+        }
+        .to_json();
+        let resp = lrs.handle(&HttpRequest::post(EVENTS_PATH, body));
+        assert!(resp.is_success());
+    }
+
+    fn query(lrs: &DurableLrs, user: &str) -> HttpResponse {
+        lrs.handle(&HttpRequest::post(
+            QUERIES_PATH,
+            format!(r#"{{"user":"{user}","num":5}}"#),
+        ))
+    }
+
+    fn seed_two_clusters(lrs: &DurableLrs) {
+        for u in 0..6 {
+            post(lrs, &format!("sci-{u}"), "alien");
+            post(lrs, &format!("sci-{u}"), "dune");
+        }
+        for u in 0..6 {
+            post(lrs, &format!("rom-{u}"), "amelie");
+        }
+        lrs.train();
+    }
+
+    #[test]
+    fn kill_and_reopen_yields_identical_recommendations() {
+        let dir = TempDir::new("durable");
+        let sealing = sealing();
+        let lrs = DurableLrs::open(dir.path(), &sealing, DurableConfig::default()).unwrap();
+        assert!(lrs.recovery().cold_start);
+        seed_two_clusters(&lrs);
+        let before = query(&lrs, "sci-0").body;
+        drop(lrs); // simulated kill: in-memory engine is gone
+
+        let revived = DurableLrs::open(dir.path(), &sealing, DurableConfig::default()).unwrap();
+        assert!(!revived.recovery().cold_start);
+        assert_eq!(revived.recovery().replayed, 18);
+        assert_eq!(query(&revived, "sci-0").body, before);
+    }
+
+    #[test]
+    fn snapshot_plus_wal_recovery_is_equivalent() {
+        let dir = TempDir::new("durable");
+        let sealing = sealing();
+        let config = DurableConfig {
+            snapshot_every: 5, // force several snapshots mid-stream
+            ..DurableConfig::default()
+        };
+        let lrs = DurableLrs::open(dir.path(), &sealing, config).unwrap();
+        seed_two_clusters(&lrs);
+        let before = query(&lrs, "sci-3").body;
+        drop(lrs);
+
+        let revived = DurableLrs::open(dir.path(), &sealing, config).unwrap();
+        let stats = revived.recovery();
+        assert!(stats.snapshot_events > 0, "snapshots must have fired");
+        assert_eq!(stats.snapshot_events + stats.replayed, 18);
+        assert_eq!(query(&revived, "sci-3").body, before);
+    }
+
+    #[test]
+    fn torn_write_loses_only_the_torn_event() {
+        let dir = TempDir::new("durable");
+        let sealing = sealing();
+        let config = DurableConfig {
+            snapshot_every: 0,
+            ..DurableConfig::default()
+        };
+        let lrs = DurableLrs::open(dir.path(), &sealing, config).unwrap();
+        seed_two_clusters(&lrs);
+        drop(lrs);
+        let report = FaultInjector::new(dir.path())
+            .inject(StorageFault::TornWrite)
+            .unwrap();
+        assert!(report.applied);
+        let revived = DurableLrs::open(dir.path(), &sealing, config).unwrap();
+        assert_eq!(revived.recovery().replayed, 17);
+        assert!(revived.recovery().torn_bytes > 0);
+        // The system still answers queries from the surviving 17 events.
+        assert!(query(&revived, "sci-0").is_success());
+    }
+
+    #[test]
+    fn malformed_events_are_rejected_not_logged() {
+        let dir = TempDir::new("durable");
+        let lrs = DurableLrs::open(dir.path(), &sealing(), DurableConfig::default()).unwrap();
+        let resp = lrs.handle(&HttpRequest::post(EVENTS_PATH, "not json"));
+        assert_eq!(resp.status, 400);
+        drop(lrs);
+        let revived = DurableLrs::open(dir.path(), &sealing(), DurableConfig::default()).unwrap();
+        assert_eq!(revived.recovery().replayed, 0);
+    }
+
+    #[test]
+    fn rest_surface_matches_frontend() {
+        let dir = TempDir::new("durable");
+        let lrs = DurableLrs::open(dir.path(), &sealing(), DurableConfig::default()).unwrap();
+        assert_eq!(lrs.handle(&HttpRequest::post("/nope", "{}")).status, 404);
+        assert_eq!(
+            lrs.handle(&HttpRequest::post(QUERIES_PATH, "bad")).status,
+            400
+        );
+        assert_eq!(lrs.served(), 2);
+    }
+}

@@ -19,6 +19,7 @@
 //! | nginx static stub (micro-benchmarks) | [`stub`] |
 //! | failure injection (resilience tests) | [`chaos`] |
 //! | Table 3 deployments (b1–b4) | [`cluster`] |
+//! | durable sealed state (crash recovery) | [`durable`] |
 //!
 //! The LRS is deliberately identifier-agnostic: it never interprets user or
 //! item ids, which is what makes PProx's deterministic pseudonymization
@@ -33,6 +34,7 @@ pub mod cco;
 pub mod chaos;
 pub mod cluster;
 pub mod docstore;
+pub mod durable;
 pub mod engine;
 pub mod frontend;
 pub mod index;
@@ -40,6 +42,7 @@ pub mod stub;
 pub mod trainer;
 
 pub use api::{HttpRequest, HttpResponse, RestHandler};
+pub use durable::{DurableConfig, DurableLrs, RecoveryStats};
 pub use engine::Engine;
 
 /// Maximum recommendation list size; responses are padded to this length by

@@ -19,6 +19,7 @@
 
 use crate::attestation::{AttestationService, ProvisioningToken, Quote};
 use crate::measurement::Measurement;
+use crate::sealing::SealingKey;
 use crate::{EnclaveError, EnclaveId};
 use parking_lot::Mutex;
 use pprox_crypto::rng::SecureRng;
@@ -234,6 +235,7 @@ impl<T: EnclaveApp> AnyEnclave for Enclave<T> {
 
 struct PlatformShared {
     attestation: AttestationService,
+    sealing: SealingKey,
     registry: Mutex<Vec<Arc<dyn AnyEnclave>>>,
     next_id: AtomicU64,
     breaches: AtomicU64,
@@ -315,11 +317,12 @@ impl std::fmt::Debug for Platform {
 }
 
 impl Platform {
-    /// Creates a platform with a fresh quoting key.
+    /// Creates a platform with a fresh quoting key and root sealing key.
     pub fn new(rng: &mut SecureRng) -> Self {
         Platform {
             shared: Arc::new(PlatformShared {
                 attestation: AttestationService::new(rng),
+                sealing: SealingKey::generate(rng),
                 registry: Mutex::new(Vec::new()),
                 next_id: AtomicU64::new(1),
                 breaches: AtomicU64::new(0),
@@ -332,6 +335,16 @@ impl Platform {
     /// The platform's attestation service (shared with verifying clients).
     pub fn attestation(&self) -> &AttestationService {
         &self.shared.attestation
+    }
+
+    /// The platform's root sealing key (the CPU-fused key on real SGX).
+    ///
+    /// Deterministic per platform seed, so a re-provisioned process that
+    /// rebuilds the platform from the same seed — the simulated analog of
+    /// restarting on the same physical machine — can unseal state written
+    /// before a crash without any trusted third party.
+    pub fn sealing(&self) -> &SealingKey {
+        &self.shared.sealing
     }
 
     /// Loads enclave code, returning an unprovisioned enclave.
@@ -692,6 +705,22 @@ mod tests {
         let fresh = p.load_enclave::<App>("app-v1");
         provision(&p, &fresh, b"k2");
         assert_eq!(fresh.call(|a| a.secret.to_vec()).unwrap(), b"k2");
+    }
+
+    #[test]
+    fn platform_sealing_key_is_seed_deterministic() {
+        let a = Platform::new(&mut SecureRng::from_seed(42));
+        let b = Platform::new(&mut SecureRng::from_seed(42));
+        let m = Measurement::of_code("app-v1");
+        let blob = a
+            .sealing()
+            .seal_labeled(m, b"t", b"state", &mut SecureRng::from_seed(1));
+        assert_eq!(
+            b.sealing().unseal_labeled(m, b"t", &blob).unwrap(),
+            b"state"
+        );
+        let c = Platform::new(&mut SecureRng::from_seed(43));
+        assert!(c.sealing().unseal_labeled(m, b"t", &blob).is_err());
     }
 
     #[test]

@@ -56,16 +56,22 @@ impl SealingKey {
         SealingKey { root }
     }
 
-    /// Derives the per-measurement sealing key (MRENCLAVE policy).
-    fn derive(&self, measurement: Measurement) -> ([u8; 32], [u8; 32]) {
+    /// Derives the per-measurement sealing key (MRENCLAVE policy). The
+    /// label domain-separates independent sealed artifacts of the same
+    /// enclave (e.g. layer secrets vs. a store data-encryption key); the
+    /// empty label reproduces the original derivation exactly, keeping
+    /// old blobs readable.
+    fn derive(&self, measurement: Measurement, label: &[u8]) -> ([u8; 32], [u8; 32]) {
         let mut enc = Sha256::new();
         enc.update(b"seal-enc");
         enc.update(&self.root);
         enc.update(measurement.as_bytes());
+        enc.update(label);
         let mut mac = Sha256::new();
         mac.update(b"seal-mac");
         mac.update(&self.root);
         mac.update(measurement.as_bytes());
+        mac.update(label);
         (enc.finalize(), mac.finalize())
     }
 
@@ -73,7 +79,20 @@ impl SealingKey {
     ///
     /// Layout: `ciphertext(IV || body) || mac`.
     pub fn seal(&self, measurement: Measurement, data: &[u8], rng: &mut SecureRng) -> Vec<u8> {
-        let (enc_key, mac_key) = self.derive(measurement);
+        self.seal_labeled(measurement, b"", data, rng)
+    }
+
+    /// Seals `data` to `measurement` under an application-chosen `label`,
+    /// so different artifacts of the same enclave cannot be swapped for
+    /// each other on disk. `seal(m, d)` is `seal_labeled(m, b"", d)`.
+    pub fn seal_labeled(
+        &self,
+        measurement: Measurement,
+        label: &[u8],
+        data: &[u8],
+        rng: &mut SecureRng,
+    ) -> Vec<u8> {
+        let (enc_key, mac_key) = self.derive(measurement, label);
         let ct = SymmetricKey::from_bytes(enc_key).encrypt(data, rng);
         let tag = hmac_sha256(&mac_key, &ct);
         let mut out = ct;
@@ -90,11 +109,28 @@ impl SealingKey {
     /// differ or the blob was modified; [`SealError::Malformed`] if the
     /// blob is too short.
     pub fn unseal(&self, measurement: Measurement, blob: &[u8]) -> Result<Vec<u8>, SealError> {
+        self.unseal_labeled(measurement, b"", blob)
+    }
+
+    /// Recovers data sealed by [`seal_labeled`](Self::seal_labeled) with
+    /// the same measurement, label, and platform.
+    ///
+    /// # Errors
+    ///
+    /// [`SealError::AuthenticationFailed`] if platform, measurement, or
+    /// label differ or the blob was modified; [`SealError::Malformed`] if
+    /// the blob is too short.
+    pub fn unseal_labeled(
+        &self,
+        measurement: Measurement,
+        label: &[u8],
+        blob: &[u8],
+    ) -> Result<Vec<u8>, SealError> {
         if blob.len() < MAC_LEN + 16 {
             return Err(SealError::Malformed);
         }
         let (ct, tag) = blob.split_at(blob.len() - MAC_LEN);
-        let (enc_key, mac_key) = self.derive(measurement);
+        let (enc_key, mac_key) = self.derive(measurement, label);
         let expected = hmac_sha256(&mac_key, ct);
         if !verify_tag(&expected, tag) {
             return Err(SealError::AuthenticationFailed);
@@ -169,5 +205,43 @@ mod tests {
     fn debug_redacts() {
         let (key, _, _) = setup();
         assert_eq!(format!("{key:?}"), "SealingKey(redacted)");
+    }
+
+    #[test]
+    fn labeled_roundtrip_and_domain_separation() {
+        let (key, m, mut rng) = setup();
+        let blob = key.seal_labeled(m, b"store-dek", b"dek bytes", &mut rng);
+        assert_eq!(
+            key.unseal_labeled(m, b"store-dek", &blob).unwrap(),
+            b"dek bytes"
+        );
+        // A blob sealed under one label cannot be presented as another
+        // artifact of the same enclave.
+        assert_eq!(
+            key.unseal_labeled(m, b"layer-secrets", &blob),
+            Err(SealError::AuthenticationFailed)
+        );
+        assert_eq!(key.unseal(m, &blob), Err(SealError::AuthenticationFailed));
+    }
+
+    #[test]
+    fn empty_label_is_the_unlabeled_format() {
+        let (key, m, mut rng) = setup();
+        let blob = key.seal(m, b"compat", &mut rng);
+        assert_eq!(key.unseal_labeled(m, b"", &blob).unwrap(), b"compat");
+        let blob2 = key.seal_labeled(m, b"", b"compat", &mut rng);
+        assert_eq!(key.unseal(m, &blob2).unwrap(), b"compat");
+    }
+
+    #[test]
+    fn same_seed_platforms_share_sealing_keys() {
+        // Warm restart with the same platform seed must be able to unseal
+        // blobs written before the crash — the simulated analog of the
+        // CPU-fused key surviving a reboot.
+        let before = SealingKey::generate(&mut SecureRng::from_seed(77));
+        let after = SealingKey::generate(&mut SecureRng::from_seed(77));
+        let m = Measurement::of_code("lrs-store");
+        let blob = before.seal_labeled(m, b"dek", b"k", &mut SecureRng::from_seed(5));
+        assert_eq!(after.unseal_labeled(m, b"dek", &blob).unwrap(), b"k");
     }
 }

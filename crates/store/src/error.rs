@@ -1,0 +1,95 @@
+//! Typed storage errors.
+//!
+//! Recovery code branches on these: a torn tail is routine (truncate and
+//! continue), a corrupt record with valid data behind it is not (the log
+//! was tampered with or the disk reordered writes), and a stale snapshot
+//! means committing would silently lose events.
+
+use pprox_sgx::sealing::SealError;
+use std::path::PathBuf;
+
+/// Errors from the durable store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// An OS-level I/O failure, with the path it concerned.
+    Io {
+        /// Path of the file or directory involved.
+        path: PathBuf,
+        /// The underlying I/O error kind.
+        kind: std::io::ErrorKind,
+    },
+    /// A WAL record failed its checksum or decryption with valid data
+    /// after it — not a torn tail, so not silently recoverable.
+    CorruptRecord {
+        /// Byte offset of the bad record in the log.
+        offset: u64,
+    },
+    /// A block's content no longer hashes to its address, or failed to
+    /// decrypt under the store key.
+    CorruptBlock {
+        /// Content address (hex) of the bad block.
+        address: String,
+    },
+    /// The manifest references a block that is not on disk.
+    MissingBlock {
+        /// Content address (hex) of the absent block.
+        address: String,
+    },
+    /// The manifest on disk is older than the WAL it claims to cover:
+    /// the first fresh record jumps past `applied_seq + 1`, so replaying
+    /// would silently skip events.
+    StaleSnapshot {
+        /// Sequence number the manifest claims is applied.
+        applied_seq: u64,
+        /// First sequence number found in the WAL beyond the snapshot.
+        next_seq: u64,
+    },
+    /// The sealed keyring failed to unseal (wrong platform, wrong
+    /// measurement, or a tampered blob).
+    Seal(SealError),
+    /// A structurally invalid persisted artifact.
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io { path, kind } => write!(f, "io error ({kind:?}) at {}", path.display()),
+            StoreError::CorruptRecord { offset } => {
+                write!(
+                    f,
+                    "corrupt WAL record at offset {offset} with valid data after it"
+                )
+            }
+            StoreError::CorruptBlock { address } => write!(f, "block {address} is corrupt"),
+            StoreError::MissingBlock { address } => write!(f, "block {address} is missing"),
+            StoreError::StaleSnapshot {
+                applied_seq,
+                next_seq,
+            } => write!(
+                f,
+                "stale snapshot: manifest applied_seq={applied_seq} but WAL resumes at {next_seq}"
+            ),
+            StoreError::Seal(e) => write!(f, "keyring unseal failed: {e}"),
+            StoreError::Malformed(what) => write!(f, "malformed {what}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<SealError> for StoreError {
+    fn from(e: SealError) -> Self {
+        StoreError::Seal(e)
+    }
+}
+
+impl StoreError {
+    /// Wraps an `std::io::Error` with the path it occurred on.
+    pub fn io(path: impl Into<PathBuf>, e: std::io::Error) -> Self {
+        StoreError::Io {
+            path: path.into(),
+            kind: e.kind(),
+        }
+    }
+}

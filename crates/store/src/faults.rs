@@ -1,0 +1,328 @@
+//! Deterministic storage fault injection.
+//!
+//! Each fault reproduces a specific real-world failure against a store
+//! directory, so recovery paths are driven by tests and chaos schedules
+//! rather than hoped-for:
+//!
+//! * [`StorageFault::TornWrite`] — `kill -9` mid-append: the WAL's last
+//!   record is cut short. Recovery must truncate and continue.
+//! * [`StorageFault::PartialLog`] — the tail record vanishes entirely
+//!   (lost page cache): the WAL ends at a record boundary, short.
+//! * [`StorageFault::CorruptBlock`] — bit rot in a snapshot block: the
+//!   content hash no longer matches.
+//! * [`StorageFault::StaleSnapshot`] — the previous manifest reappears
+//!   (a restored backup, a reordered rename): recovery must detect the
+//!   sequence gap instead of silently losing events.
+//!
+//! Injection only touches bytes on disk — exactly what the adversary or
+//! the failing hardware could do — never the store's in-memory state.
+
+use crate::error::StoreError;
+use crate::log::HEADER_LEN;
+use crate::{MANIFEST_FILE, MANIFEST_OLD_FILE, WAL_FILE};
+use std::fs::OpenOptions;
+use std::path::{Path, PathBuf};
+
+/// The storage fault classes the injector can produce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StorageFault {
+    /// Cut the WAL's final record short, mid-ciphertext.
+    TornWrite,
+    /// Remove the WAL's final record entirely (truncate at a boundary).
+    PartialLog,
+    /// Flip one byte inside a snapshot block.
+    CorruptBlock,
+    /// Reinstall the previous manifest over the committed one.
+    StaleSnapshot,
+}
+
+impl std::fmt::Display for StorageFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            StorageFault::TornWrite => "torn-write",
+            StorageFault::PartialLog => "partial-log",
+            StorageFault::CorruptBlock => "corrupt-block",
+            StorageFault::StaleSnapshot => "stale-snapshot",
+        };
+        f.write_str(name)
+    }
+}
+
+/// What an injection actually did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultReport {
+    /// The requested fault.
+    pub fault: StorageFault,
+    /// `false` when the store had no artifact to damage (e.g. an empty
+    /// WAL cannot tear).
+    pub applied: bool,
+    /// Human-readable description of the mutation.
+    pub detail: String,
+}
+
+/// Injects storage faults into one store directory.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    dir: PathBuf,
+}
+
+impl FaultInjector {
+    /// Targets the store rooted at `dir`.
+    pub fn new(dir: &Path) -> Self {
+        FaultInjector {
+            dir: dir.to_path_buf(),
+        }
+    }
+
+    /// Applies `fault`, returning what was damaged.
+    pub fn inject(&self, fault: StorageFault) -> Result<FaultReport, StoreError> {
+        match fault {
+            StorageFault::TornWrite => self.torn_write(),
+            StorageFault::PartialLog => self.partial_log(),
+            StorageFault::CorruptBlock => self.corrupt_block(),
+            StorageFault::StaleSnapshot => self.stale_snapshot(),
+        }
+    }
+
+    /// Record boundaries of the WAL, by walking the plaintext length
+    /// headers (no key needed).
+    fn wal_boundaries(&self) -> Result<(PathBuf, Vec<u64>, u64), StoreError> {
+        let path = self.dir.join(WAL_FILE);
+        let bytes = match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(StoreError::io(&path, e)),
+        };
+        let mut boundaries = vec![0u64];
+        let mut offset = 0usize;
+        while offset + HEADER_LEN <= bytes.len() {
+            let len =
+                u32::from_be_bytes(bytes[offset..offset + 4].try_into().expect("4 bytes")) as usize;
+            let next = offset + HEADER_LEN + len;
+            if len == 0 || next > bytes.len() {
+                break;
+            }
+            boundaries.push(next as u64);
+            offset = next;
+        }
+        Ok((path, boundaries, bytes.len() as u64))
+    }
+
+    fn torn_write(&self) -> Result<FaultReport, StoreError> {
+        let (path, boundaries, len) = self.wal_boundaries()?;
+        let Some(&last_start) = boundaries.iter().rev().nth(1) else {
+            return Ok(not_applied(StorageFault::TornWrite, "WAL has no records"));
+        };
+        // Cut inside the last record: keep its header plus a little
+        // ciphertext, as an interrupted write would.
+        let cut = last_start + HEADER_LEN as u64 + 3;
+        let file = OpenOptions::new()
+            .write(true)
+            .open(&path)
+            .map_err(|e| StoreError::io(&path, e))?;
+        file.set_len(cut).map_err(|e| StoreError::io(&path, e))?;
+        Ok(FaultReport {
+            fault: StorageFault::TornWrite,
+            applied: true,
+            detail: format!("truncated WAL from {len} to {cut} bytes, mid-record"),
+        })
+    }
+
+    fn partial_log(&self) -> Result<FaultReport, StoreError> {
+        let (path, boundaries, len) = self.wal_boundaries()?;
+        let Some(&last_start) = boundaries.iter().rev().nth(1) else {
+            return Ok(not_applied(StorageFault::PartialLog, "WAL has no records"));
+        };
+        let file = OpenOptions::new()
+            .write(true)
+            .open(&path)
+            .map_err(|e| StoreError::io(&path, e))?;
+        file.set_len(last_start)
+            .map_err(|e| StoreError::io(&path, e))?;
+        Ok(FaultReport {
+            fault: StorageFault::PartialLog,
+            applied: true,
+            detail: format!("dropped final WAL record ({len} -> {last_start} bytes)"),
+        })
+    }
+
+    fn corrupt_block(&self) -> Result<FaultReport, StoreError> {
+        let blocks_dir = self.dir.join(crate::BLOCKS_DIR);
+        let mut names: Vec<String> = match std::fs::read_dir(&blocks_dir) {
+            Ok(entries) => entries
+                .filter_map(|e| e.ok())
+                .filter_map(|e| e.file_name().to_str().map(str::to_string))
+                .filter(|n| n.len() == 64)
+                .collect(),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(StoreError::io(&blocks_dir, e)),
+        };
+        names.sort();
+        let Some(name) = names.first() else {
+            return Ok(not_applied(StorageFault::CorruptBlock, "no blocks on disk"));
+        };
+        let path = blocks_dir.join(name);
+        let mut bytes = std::fs::read(&path).map_err(|e| StoreError::io(&path, e))?;
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x5a;
+        std::fs::write(&path, &bytes).map_err(|e| StoreError::io(&path, e))?;
+        Ok(FaultReport {
+            fault: StorageFault::CorruptBlock,
+            applied: true,
+            detail: format!("flipped byte {mid} of block {}", &name[..8]),
+        })
+    }
+
+    fn stale_snapshot(&self) -> Result<FaultReport, StoreError> {
+        let old = self.dir.join(MANIFEST_OLD_FILE);
+        let live = self.dir.join(MANIFEST_FILE);
+        if !old.exists() {
+            return Ok(not_applied(
+                StorageFault::StaleSnapshot,
+                "no previous manifest to reinstall",
+            ));
+        }
+        std::fs::copy(&old, &live).map_err(|e| StoreError::io(&live, e))?;
+        Ok(FaultReport {
+            fault: StorageFault::StaleSnapshot,
+            applied: true,
+            detail: "reinstalled previous manifest over the committed one".to_string(),
+        })
+    }
+}
+
+fn not_applied(fault: StorageFault, why: &str) -> FaultReport {
+    FaultReport {
+        fault,
+        applied: false,
+        detail: why.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::{SealedStore, StoreConfig};
+    use crate::tempdir::TempDir;
+    use pprox_crypto::rng::SecureRng;
+    use pprox_sgx::measurement::Measurement;
+    use pprox_sgx::sealing::SealingKey;
+
+    fn sealing() -> SealingKey {
+        SealingKey::generate(&mut SecureRng::from_seed(21))
+    }
+
+    fn measurement() -> Measurement {
+        Measurement::of_code("fault-drill")
+    }
+
+    fn open(dir: &TempDir) -> (SealedStore, crate::store::Recovery) {
+        SealedStore::open(
+            dir.path(),
+            &sealing(),
+            measurement(),
+            StoreConfig::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn torn_write_recovers_all_but_last_record() {
+        let dir = TempDir::new("faults");
+        let (mut store, _) = open(&dir);
+        for i in 0..3 {
+            store.append_event(format!("e{i}").as_bytes()).unwrap();
+        }
+        drop(store);
+        let report = FaultInjector::new(dir.path())
+            .inject(StorageFault::TornWrite)
+            .unwrap();
+        assert!(report.applied);
+        let (_, rec) = open(&dir);
+        assert_eq!(rec.events.len(), 2, "torn record is lost, rest survive");
+        assert!(rec.torn_bytes > 0);
+    }
+
+    #[test]
+    fn partial_log_loses_exactly_the_tail_record() {
+        let dir = TempDir::new("faults");
+        let (mut store, _) = open(&dir);
+        for i in 0..3 {
+            store.append_event(format!("e{i}").as_bytes()).unwrap();
+        }
+        drop(store);
+        let report = FaultInjector::new(dir.path())
+            .inject(StorageFault::PartialLog)
+            .unwrap();
+        assert!(report.applied);
+        let (_, rec) = open(&dir);
+        assert_eq!(rec.events.len(), 2);
+        assert_eq!(rec.torn_bytes, 0, "a boundary cut is not a torn tail");
+    }
+
+    #[test]
+    fn corrupt_block_is_caught_on_recovery() {
+        let dir = TempDir::new("faults");
+        let (mut store, _) = open(&dir);
+        store.append_event(b"x").unwrap();
+        store.snapshot(&[b"precious state".to_vec()], 1).unwrap();
+        drop(store);
+        let report = FaultInjector::new(dir.path())
+            .inject(StorageFault::CorruptBlock)
+            .unwrap();
+        assert!(report.applied);
+        assert!(matches!(
+            SealedStore::open(
+                dir.path(),
+                &sealing(),
+                measurement(),
+                StoreConfig::default()
+            ),
+            Err(StoreError::CorruptBlock { .. })
+        ));
+    }
+
+    #[test]
+    fn stale_snapshot_is_caught_on_recovery() {
+        let dir = TempDir::new("faults");
+        let (mut store, _) = open(&dir);
+        store.append_event(b"a").unwrap();
+        store.snapshot(&[b"s1".to_vec()], 1).unwrap();
+        store.append_event(b"b").unwrap();
+        store.snapshot(&[b"s2".to_vec()], 2).unwrap();
+        store.append_event(b"c").unwrap(); // seq 3, fresh in WAL
+        drop(store);
+        let report = FaultInjector::new(dir.path())
+            .inject(StorageFault::StaleSnapshot)
+            .unwrap();
+        assert!(report.applied);
+        // Manifest says applied=1, WAL resumes at 3: seq 2 is gone.
+        assert!(matches!(
+            SealedStore::open(
+                dir.path(),
+                &sealing(),
+                measurement(),
+                StoreConfig::default()
+            ),
+            Err(StoreError::StaleSnapshot {
+                applied_seq: 1,
+                next_seq: 3
+            })
+        ));
+    }
+
+    #[test]
+    fn faults_on_an_empty_store_do_not_apply() {
+        let dir = TempDir::new("faults");
+        let injector = FaultInjector::new(dir.path());
+        for fault in [
+            StorageFault::TornWrite,
+            StorageFault::PartialLog,
+            StorageFault::CorruptBlock,
+            StorageFault::StaleSnapshot,
+        ] {
+            let report = injector.inject(fault).unwrap();
+            assert!(!report.applied, "{fault} applied on empty store");
+        }
+    }
+}

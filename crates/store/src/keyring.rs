@@ -1,0 +1,188 @@
+//! The sealed keyring: the store's data-encryption key (DEK) at rest.
+//!
+//! The DEK encrypting the WAL and blocks is random — not derived from
+//! any provisioned layer secret — and persists only inside a blob sealed
+//! to (platform root key, enclave measurement, label). Recovery after
+//! `kill -9` is therefore self-contained: a respawned instance on the
+//! same platform re-derives the sealing key from its measurement and
+//! unseals the DEK with no provisioner or third party in the loop,
+//! exactly the SGX sealed-storage model.
+
+use crate::error::StoreError;
+use crate::KEYRING_FILE;
+use pprox_crypto::ctr::SymmetricKey;
+use pprox_crypto::rng::SecureRng;
+use pprox_sgx::measurement::Measurement;
+use pprox_sgx::sealing::SealingKey;
+use std::path::Path;
+
+/// Domain-separation label under which the DEK is sealed.
+pub const DEK_LABEL: &[u8] = b"pprox-store-dek-v1";
+
+/// The store's data-encryption key. Never persisted in the clear and
+/// never printed: `Debug` redacts.
+#[derive(Clone)]
+pub struct StoreKey {
+    dek: [u8; 32],
+}
+
+impl std::fmt::Debug for StoreKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("StoreKey(redacted)")
+    }
+}
+
+impl StoreKey {
+    /// Generates a fresh random DEK.
+    pub fn generate(rng: &mut SecureRng) -> Self {
+        let mut dek = [0u8; 32];
+        rng.fill(&mut dek);
+        StoreKey { dek }
+    }
+
+    /// The symmetric cipher instance for this key.
+    pub fn cipher(&self) -> SymmetricKey {
+        SymmetricKey::from_bytes(self.dek)
+    }
+}
+
+/// Manages the sealed DEK file inside a store directory.
+pub struct StoreKeyring {
+    dek: StoreKey,
+}
+
+impl std::fmt::Debug for StoreKeyring {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("StoreKeyring(redacted)")
+    }
+}
+
+impl StoreKeyring {
+    /// Generates a fresh DEK and seals it to `dir/keyring.sealed`.
+    pub fn create(
+        dir: &Path,
+        sealing: &SealingKey,
+        measurement: Measurement,
+        rng: &mut SecureRng,
+    ) -> Result<Self, StoreError> {
+        let dek = StoreKey::generate(rng);
+        let blob = sealing.seal_labeled(measurement, DEK_LABEL, &dek.dek, rng);
+        let path = dir.join(KEYRING_FILE);
+        std::fs::write(&path, &blob).map_err(|e| StoreError::io(&path, e))?;
+        Ok(StoreKeyring { dek })
+    }
+
+    /// Unseals the DEK from an existing `dir/keyring.sealed`.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when the file is absent or unreadable;
+    /// [`StoreError::Seal`] when the platform or measurement differ from
+    /// the sealer's (the blob is bound to both).
+    pub fn open(
+        dir: &Path,
+        sealing: &SealingKey,
+        measurement: Measurement,
+    ) -> Result<Self, StoreError> {
+        let path = dir.join(KEYRING_FILE);
+        let blob = std::fs::read(&path).map_err(|e| StoreError::io(&path, e))?;
+        let raw = sealing.unseal_labeled(measurement, DEK_LABEL, &blob)?;
+        let dek: [u8; 32] = raw
+            .as_slice()
+            .try_into()
+            .map_err(|_| StoreError::Malformed("keyring payload"))?;
+        Ok(StoreKeyring {
+            dek: StoreKey { dek },
+        })
+    }
+
+    /// Opens the keyring if present, creating and sealing a fresh DEK
+    /// otherwise — the normal path for both cold start and warm restart.
+    pub fn open_or_create(
+        dir: &Path,
+        sealing: &SealingKey,
+        measurement: Measurement,
+        rng: &mut SecureRng,
+    ) -> Result<Self, StoreError> {
+        if dir.join(KEYRING_FILE).exists() {
+            Self::open(dir, sealing, measurement)
+        } else {
+            Self::create(dir, sealing, measurement, rng)
+        }
+    }
+
+    /// The unsealed DEK.
+    pub fn key(&self) -> &StoreKey {
+        &self.dek
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tempdir::TempDir;
+
+    fn setup() -> (TempDir, SealingKey, Measurement, SecureRng) {
+        (
+            TempDir::new("keyring"),
+            SealingKey::generate(&mut SecureRng::from_seed(1)),
+            Measurement::of_code("pprox-lrs-store-v1"),
+            SecureRng::from_seed(2),
+        )
+    }
+
+    #[test]
+    fn create_then_open_recovers_same_dek() {
+        let (dir, sealing, m, mut rng) = setup();
+        let created = StoreKeyring::create(dir.path(), &sealing, m, &mut rng).unwrap();
+        let opened = StoreKeyring::open(dir.path(), &sealing, m).unwrap();
+        assert_eq!(created.key().dek, opened.key().dek);
+    }
+
+    #[test]
+    fn open_or_create_is_idempotent() {
+        let (dir, sealing, m, mut rng) = setup();
+        let a = StoreKeyring::open_or_create(dir.path(), &sealing, m, &mut rng).unwrap();
+        let b = StoreKeyring::open_or_create(dir.path(), &sealing, m, &mut rng).unwrap();
+        assert_eq!(a.key().dek, b.key().dek);
+    }
+
+    #[test]
+    fn wrong_measurement_cannot_unseal() {
+        let (dir, sealing, m, mut rng) = setup();
+        StoreKeyring::create(dir.path(), &sealing, m, &mut rng).unwrap();
+        let other = Measurement::of_code("some-other-enclave");
+        assert!(matches!(
+            StoreKeyring::open(dir.path(), &sealing, other),
+            Err(StoreError::Seal(_))
+        ));
+    }
+
+    #[test]
+    fn wrong_platform_cannot_unseal() {
+        let (dir, sealing, m, mut rng) = setup();
+        StoreKeyring::create(dir.path(), &sealing, m, &mut rng).unwrap();
+        let foreign = SealingKey::generate(&mut SecureRng::from_seed(99));
+        assert!(matches!(
+            StoreKeyring::open(dir.path(), &foreign, m),
+            Err(StoreError::Seal(_))
+        ));
+    }
+
+    #[test]
+    fn missing_keyring_is_io_error() {
+        let (dir, sealing, m, _) = setup();
+        assert!(matches!(
+            StoreKeyring::open(dir.path(), &sealing, m),
+            Err(StoreError::Io { .. })
+        ));
+    }
+
+    #[test]
+    fn debug_redacts() {
+        let (dir, sealing, m, mut rng) = setup();
+        let keyring = StoreKeyring::create(dir.path(), &sealing, m, &mut rng).unwrap();
+        assert_eq!(format!("{keyring:?}"), "StoreKeyring(redacted)");
+        assert_eq!(format!("{:?}", keyring.key()), "StoreKey(redacted)");
+    }
+}

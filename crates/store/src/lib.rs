@@ -1,0 +1,130 @@
+//! Durable sealed state for the PProx reproduction.
+//!
+//! Everything the proxy chain keeps in memory — the LRS corpus, trained
+//! indicators, and each enclave's working keys — dies with a `kill -9`.
+//! PProx §6 bounds what the provider *sees*; a deployable system must
+//! also bound what survives a crash *on disk*. This crate provides the
+//! storage layer both properties hang off:
+//!
+//! * [`keyring::StoreKeyring`] — a random data-encryption key (DEK)
+//!   sealed to the platform + measurement via
+//!   [`pprox_sgx::sealing::SealingKey::seal_labeled`]. A re-provisioned
+//!   enclave on the same platform unseals the DEK by itself; no trusted
+//!   third party holds a copy.
+//! * [`log::EventLog`] — an append-only write-ahead log of encrypted,
+//!   length-prefixed, checksummed records, padded to a fixed size class
+//!   so record boundaries reveal no payload lengths. Opening tolerates a
+//!   torn final write (the `kill -9` artifact) by truncating it; valid
+//!   data *after* a corrupt record is a hard [`error::StoreError`].
+//! * [`block::BlockStore`] — content-addressed encrypted snapshot blocks
+//!   (address = SHA-256 of the ciphertext), padded to a block class, so
+//!   the at-rest image is uniform ciphertext with self-verifying names.
+//! * [`manifest`] — the snapshot commit point: one encrypted record
+//!   naming the block set and the WAL sequence number it covers,
+//!   installed by atomic rename.
+//! * [`store::SealedStore`] — the facade combining the four:
+//!   `open` unseals and replays, `append_event` logs, `snapshot`
+//!   checkpoints and truncates the WAL.
+//! * [`faults::FaultInjector`] — deterministic storage fault injection
+//!   (torn write, corrupted block, stale snapshot, partial log) driving
+//!   the recovery paths in tests and chaos schedules.
+//!
+//! Crash-ordering contract: snapshot writes blocks, then installs the
+//! manifest by rename (the commit point), then truncates the WAL. A
+//! crash between the last two steps leaves records at or below the
+//! manifest's `applied_seq` in the log; recovery skips them. A WAL whose
+//! first fresh record jumps past `applied_seq + 1` means the manifest on
+//! disk is older than the log it claims to cover — recovery refuses with
+//! [`error::StoreError::StaleSnapshot`] rather than silently losing
+//! events.
+//!
+//! The crate is std-only and stores only what the LRS legitimately sees:
+//! pseudonymous events and ciphertext. `attack::at_rest_audit` in
+//! `pprox-attack` scans a store directory to verify exactly that.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod block;
+pub mod error;
+pub mod faults;
+pub mod keyring;
+pub mod log;
+pub mod manifest;
+pub mod store;
+pub mod tempdir;
+
+pub use block::BlockStore;
+pub use error::StoreError;
+pub use faults::{FaultInjector, FaultReport, StorageFault};
+pub use keyring::{StoreKey, StoreKeyring};
+pub use log::{EventLog, LogRecord, LogRecovery};
+pub use manifest::Manifest;
+pub use store::{Recovery, SealedStore, StoreConfig};
+pub use tempdir::TempDir;
+
+// Re-exported so store consumers (e.g. `pprox-lrs`) can name the sealing
+// surface without depending on `pprox-sgx` directly.
+pub use pprox_crypto::rng::SecureRng;
+pub use pprox_sgx::measurement::Measurement;
+pub use pprox_sgx::sealing::{SealError, SealingKey};
+
+/// File name of the write-ahead log inside a store directory.
+pub const WAL_FILE: &str = "wal.log";
+/// File name of the sealed keyring inside a store directory.
+pub const KEYRING_FILE: &str = "keyring.sealed";
+/// File name of the committed snapshot manifest.
+pub const MANIFEST_FILE: &str = "manifest.bin";
+/// File name the previous manifest is renamed to during a snapshot.
+pub const MANIFEST_OLD_FILE: &str = "manifest.old";
+/// Subdirectory holding content-addressed blocks.
+pub const BLOCKS_DIR: &str = "blocks";
+
+pub(crate) mod framing {
+    //! Fixed-class plaintext framing shared by the WAL and block store:
+    //! `len(u32 BE) || payload || zeros`, padded up to the next multiple
+    //! of the size class so ciphertext lengths reveal only a class count.
+
+    /// Frames `payload` into the smallest multiple of `class` that fits.
+    pub fn frame(payload: &[u8], class: usize) -> Vec<u8> {
+        let class = class.max(1);
+        let raw = 4 + payload.len();
+        let framed = raw.div_ceil(class) * class;
+        let mut out = Vec::with_capacity(framed);
+        out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        out.extend_from_slice(payload);
+        out.resize(framed, 0);
+        out
+    }
+
+    /// Recovers the payload from a frame; `None` if structurally invalid.
+    pub fn unframe(frame: &[u8]) -> Option<Vec<u8>> {
+        if frame.len() < 4 {
+            return None;
+        }
+        let len = u32::from_be_bytes([frame[0], frame[1], frame[2], frame[3]]) as usize;
+        if 4 + len > frame.len() {
+            return None;
+        }
+        Some(frame[4..4 + len].to_vec())
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn frame_pads_to_class_multiples() {
+            assert_eq!(frame(b"", 64).len(), 64);
+            assert_eq!(frame(&[7u8; 59], 64).len(), 64);
+            assert_eq!(frame(&[7u8; 61], 64).len(), 128);
+            assert_eq!(unframe(&frame(&[7u8; 61], 64)).unwrap(), vec![7u8; 61]);
+        }
+
+        #[test]
+        fn unframe_rejects_garbage() {
+            assert!(unframe(&[]).is_none());
+            assert!(unframe(&[0xff, 0xff, 0xff, 0xff, 0]).is_none());
+        }
+    }
+}

@@ -1,0 +1,446 @@
+//! The append-only sealed event log (write-ahead log).
+//!
+//! On-disk record layout:
+//!
+//! ```text
+//! len: u32 BE   — ciphertext length
+//! sum: 8 bytes  — SHA-256(ciphertext) prefix
+//! ct:  len bytes — AES-256-CTR(IV || frame) under the store DEK
+//! ```
+//!
+//! The encrypted frame is `len(u32 BE) || seq(u64 BE) || payload`,
+//! zero-padded to the next multiple of the configured pad class, so the
+//! ciphertext length discloses only a class count, never the payload
+//! size — the same discipline as the wire codec's padding classes.
+//!
+//! Torn-write tolerance: a `kill -9` can leave a half-written final
+//! record. Opening scans forward; a record that extends past EOF or
+//! fails its checksum *with nothing valid after it* is treated as the
+//! torn tail, reported, and truncated away. A bad record followed by a
+//! valid one is not a crash artifact — the scan refuses with
+//! [`StoreError::CorruptRecord`].
+
+use crate::error::StoreError;
+use crate::framing;
+use crate::keyring::StoreKey;
+use pprox_crypto::ctr::SymmetricKey;
+use pprox_crypto::rng::SecureRng;
+use pprox_crypto::sha256;
+use std::fs::{File, OpenOptions};
+use std::io::{Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Record header length: u32 ciphertext length + 8-byte checksum.
+pub const HEADER_LEN: usize = 12;
+
+/// Upper bound on a single ciphertext, to reject absurd length headers
+/// during the recovery scan.
+const MAX_RECORD_LEN: usize = 1 << 20;
+
+/// One recovered log record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogRecord {
+    /// Monotonic sequence number stamped at append time.
+    pub seq: u64,
+    /// The application payload (for the LRS: one pseudonymous event).
+    pub payload: Vec<u8>,
+}
+
+/// What opening a log found on disk.
+#[derive(Debug, Clone, Default)]
+pub struct LogRecovery {
+    /// All intact records, in append order.
+    pub records: Vec<LogRecord>,
+    /// Bytes of torn tail discarded (0 for a clean log).
+    pub torn_bytes: u64,
+}
+
+/// The append-only encrypted event log.
+pub struct EventLog {
+    path: PathBuf,
+    file: File,
+    cipher: SymmetricKey,
+    pad_class: usize,
+    next_seq: u64,
+    len: u64,
+    rng: SecureRng,
+}
+
+impl std::fmt::Debug for EventLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventLog")
+            .field("path", &self.path)
+            .field("next_seq", &self.next_seq)
+            .field("len", &self.len)
+            .finish()
+    }
+}
+
+/// Is there a structurally valid record at `offset`? (Header plausible,
+/// full ciphertext present, checksum matches — no key required.)
+fn valid_record_at(bytes: &[u8], offset: usize) -> bool {
+    let Some(header) = bytes.get(offset..offset + HEADER_LEN) else {
+        return false;
+    };
+    let len = u32::from_be_bytes([header[0], header[1], header[2], header[3]]) as usize;
+    if len == 0 || len > MAX_RECORD_LEN {
+        return false;
+    }
+    let Some(ct) = bytes.get(offset + HEADER_LEN..offset + HEADER_LEN + len) else {
+        return false;
+    };
+    sha256::digest(ct)[..8] == header[4..12]
+}
+
+impl EventLog {
+    /// Opens (or creates) the log at `path`, scanning and decrypting all
+    /// intact records and truncating a torn tail.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::CorruptRecord`] when a bad record is followed by a
+    /// valid one (mid-log corruption, not a crash artifact);
+    /// [`StoreError::Io`] on filesystem failures.
+    pub fn open(
+        path: &Path,
+        key: &StoreKey,
+        pad_class: usize,
+        rng_seed: u64,
+    ) -> Result<(EventLog, LogRecovery), StoreError> {
+        let cipher = key.cipher();
+        let bytes = match std::fs::read(path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(StoreError::io(path, e)),
+        };
+
+        let mut recovery = LogRecovery::default();
+        let mut offset = 0usize;
+        let mut expected_seq: Option<u64> = None;
+        let good_end = loop {
+            if offset == bytes.len() {
+                break offset;
+            }
+            // Decide whether the bytes at `offset` are a torn tail
+            // (tolerated) or mid-log corruption (refused): corruption is
+            // only tolerable when nothing valid follows it.
+            let record = parse_record(&bytes, offset, &cipher);
+            match record {
+                Ok((seq, payload, next_offset)) => {
+                    if let Some(want) = expected_seq {
+                        if seq != want {
+                            return Err(StoreError::CorruptRecord {
+                                offset: offset as u64,
+                            });
+                        }
+                    }
+                    expected_seq = Some(seq + 1);
+                    recovery.records.push(LogRecord { seq, payload });
+                    offset = next_offset;
+                }
+                Err(claimed_next) => {
+                    // Resync probe: a valid record at the claimed next
+                    // offset (or anywhere the corrupt header could not
+                    // reach) proves this is not the tail.
+                    if let Some(next) = claimed_next {
+                        if valid_record_at(&bytes, next) {
+                            return Err(StoreError::CorruptRecord {
+                                offset: offset as u64,
+                            });
+                        }
+                    }
+                    recovery.torn_bytes = (bytes.len() - offset) as u64;
+                    break offset;
+                }
+            }
+        };
+
+        if recovery.torn_bytes > 0 {
+            // Truncate the torn tail so the next append starts clean.
+            let file = OpenOptions::new()
+                .write(true)
+                .open(path)
+                .map_err(|e| StoreError::io(path, e))?;
+            file.set_len(good_end as u64)
+                .map_err(|e| StoreError::io(path, e))?;
+        }
+
+        let mut file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(|e| StoreError::io(path, e))?;
+        file.seek(SeekFrom::End(0))
+            .map_err(|e| StoreError::io(path, e))?;
+        let next_seq = recovery.records.last().map_or(1, |r| r.seq + 1);
+        Ok((
+            EventLog {
+                path: path.to_path_buf(),
+                file,
+                cipher,
+                pad_class: pad_class.max(1),
+                next_seq,
+                len: good_end as u64,
+                rng: SecureRng::from_seed(rng_seed),
+            },
+            recovery,
+        ))
+    }
+
+    /// Appends one payload, returning its sequence number.
+    pub fn append(&mut self, payload: &[u8]) -> Result<u64, StoreError> {
+        let seq = self.next_seq;
+        let mut plain = Vec::with_capacity(8 + payload.len());
+        plain.extend_from_slice(&seq.to_be_bytes());
+        plain.extend_from_slice(payload);
+        let frame = framing::frame(&plain, self.pad_class);
+        let ct = self.cipher.encrypt(&frame, &mut self.rng);
+        let sum = sha256::digest(&ct);
+        let mut record = Vec::with_capacity(HEADER_LEN + ct.len());
+        record.extend_from_slice(&(ct.len() as u32).to_be_bytes());
+        record.extend_from_slice(&sum[..8]);
+        record.extend_from_slice(&ct);
+        self.file
+            .write_all(&record)
+            .map_err(|e| StoreError::io(&self.path, e))?;
+        self.file
+            .flush()
+            .map_err(|e| StoreError::io(&self.path, e))?;
+        self.len += record.len() as u64;
+        self.next_seq = seq + 1;
+        Ok(seq)
+    }
+
+    /// Forces appended records to stable storage.
+    pub fn sync(&mut self) -> Result<(), StoreError> {
+        self.file
+            .sync_data()
+            .map_err(|e| StoreError::io(&self.path, e))
+    }
+
+    /// Truncates the log after a snapshot covering everything up to and
+    /// including `applied_seq`; subsequent appends continue the sequence
+    /// from there.
+    pub fn reset(&mut self, applied_seq: u64) -> Result<(), StoreError> {
+        self.file
+            .set_len(0)
+            .map_err(|e| StoreError::io(&self.path, e))?;
+        self.file
+            .seek(SeekFrom::Start(0))
+            .map_err(|e| StoreError::io(&self.path, e))?;
+        self.len = 0;
+        self.next_seq = applied_seq + 1;
+        Ok(())
+    }
+
+    /// Sequence number the next append will receive.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Overrides the next sequence number (used after recovery to resume
+    /// past a snapshot's `applied_seq` when the log is empty).
+    pub fn set_next_seq(&mut self, next_seq: u64) {
+        self.next_seq = next_seq;
+    }
+
+    /// Current on-disk length in bytes.
+    pub fn len_bytes(&self) -> u64 {
+        self.len
+    }
+}
+
+/// Parses the record at `offset`. `Ok((seq, payload, next_offset))` for
+/// an intact record; `Err(claimed_next_offset)` when the record is bad —
+/// the claimed offset (where the length header said the next record
+/// starts, when plausible and in-bounds) lets the caller probe for valid
+/// data beyond the corruption.
+fn parse_record(
+    bytes: &[u8],
+    offset: usize,
+    cipher: &SymmetricKey,
+) -> Result<(u64, Vec<u8>, usize), Option<usize>> {
+    let header = bytes.get(offset..offset + HEADER_LEN).ok_or(None)?;
+    let len = u32::from_be_bytes([header[0], header[1], header[2], header[3]]) as usize;
+    if len == 0 || len > MAX_RECORD_LEN {
+        return Err(None);
+    }
+    let next_offset = offset + HEADER_LEN + len;
+    let claimed = if next_offset <= bytes.len() {
+        Some(next_offset)
+    } else {
+        None
+    };
+    let ct = bytes.get(offset + HEADER_LEN..next_offset).ok_or(claimed)?;
+    if sha256::digest(ct)[..8] != header[4..12] {
+        return Err(claimed);
+    }
+    let frame = cipher.decrypt(ct).ok_or(claimed)?;
+    let inner = framing::unframe(&frame).ok_or(claimed)?;
+    if inner.len() < 8 {
+        return Err(claimed);
+    }
+    let seq = u64::from_be_bytes(inner[..8].try_into().expect("8 bytes"));
+    Ok((seq, inner[8..].to_vec(), next_offset))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tempdir::TempDir;
+
+    fn key() -> StoreKey {
+        StoreKey::generate(&mut SecureRng::from_seed(7))
+    }
+
+    fn open(dir: &TempDir) -> (EventLog, LogRecovery) {
+        EventLog::open(&dir.path().join("wal.log"), &key(), 256, 0x10).unwrap()
+    }
+
+    #[test]
+    fn append_and_replay_roundtrip() {
+        let dir = TempDir::new("wal");
+        let (mut log, rec) = open(&dir);
+        assert!(rec.records.is_empty());
+        assert_eq!(log.append(b"alpha").unwrap(), 1);
+        assert_eq!(log.append(b"beta").unwrap(), 2);
+        drop(log);
+        let (log, rec) = open(&dir);
+        assert_eq!(log.next_seq(), 3);
+        assert_eq!(rec.torn_bytes, 0);
+        assert_eq!(
+            rec.records,
+            vec![
+                LogRecord {
+                    seq: 1,
+                    payload: b"alpha".to_vec()
+                },
+                LogRecord {
+                    seq: 2,
+                    payload: b"beta".to_vec()
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn record_lengths_are_padded_to_class() {
+        let dir = TempDir::new("wal");
+        let (mut log, _) = open(&dir);
+        log.append(b"x").unwrap();
+        log.append(&[9u8; 200]).unwrap();
+        drop(log);
+        // Both payloads fit one 256-byte class: identical record sizes.
+        let bytes = std::fs::read(dir.path().join("wal.log")).unwrap();
+        let len0 = u32::from_be_bytes(bytes[..4].try_into().unwrap()) as usize;
+        assert_eq!(len0, 16 + 256, "IV plus one pad class");
+        assert_eq!(bytes.len(), 2 * (HEADER_LEN + len0));
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_reported() {
+        let dir = TempDir::new("wal");
+        let path = dir.path().join("wal.log");
+        let (mut log, _) = open(&dir);
+        log.append(b"keep me").unwrap();
+        log.append(b"torn").unwrap();
+        drop(log);
+        // Cut into the middle of the final record, as a crash mid-write
+        // would.
+        let full = std::fs::read(&path).unwrap();
+        let file = OpenOptions::new().write(true).open(&path).unwrap();
+        file.set_len(full.len() as u64 - 20).unwrap();
+        drop(file);
+
+        let (mut log, rec) = open(&dir);
+        assert_eq!(rec.records.len(), 1);
+        assert_eq!(rec.records[0].payload, b"keep me");
+        assert!(rec.torn_bytes > 0);
+        // The tail is gone from disk and appending resumes at seq 2.
+        assert_eq!(log.append(b"after").unwrap(), 2);
+        drop(log);
+        let (_, rec) = open(&dir);
+        assert_eq!(rec.records.len(), 2);
+        assert_eq!(rec.torn_bytes, 0);
+    }
+
+    #[test]
+    fn mid_log_corruption_with_valid_tail_is_refused() {
+        let dir = TempDir::new("wal");
+        let path = dir.path().join("wal.log");
+        let (mut log, _) = open(&dir);
+        log.append(b"first").unwrap();
+        log.append(b"second").unwrap();
+        drop(log);
+        // Flip a ciphertext byte inside the FIRST record: the second is
+        // still valid, so this cannot be a torn tail.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[HEADER_LEN + 5] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        match EventLog::open(&path, &key(), 256, 0x10) {
+            Err(StoreError::CorruptRecord { offset }) => assert_eq!(offset, 0),
+            other => panic!("expected CorruptRecord, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_header_is_a_torn_tail() {
+        let dir = TempDir::new("wal");
+        let path = dir.path().join("wal.log");
+        let (mut log, _) = open(&dir);
+        log.append(b"ok").unwrap();
+        drop(log);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(&[0x00, 0x00]); // 2 stray header bytes
+        std::fs::write(&path, &bytes).unwrap();
+        let (_, rec) = open(&dir);
+        assert_eq!(rec.records.len(), 1);
+        assert_eq!(rec.torn_bytes, 2);
+    }
+
+    #[test]
+    fn reset_truncates_and_continues_sequence() {
+        let dir = TempDir::new("wal");
+        let (mut log, _) = open(&dir);
+        for i in 0..5 {
+            log.append(format!("e{i}").as_bytes()).unwrap();
+        }
+        log.reset(5).unwrap();
+        assert_eq!(log.len_bytes(), 0);
+        assert_eq!(log.append(b"post-snapshot").unwrap(), 6);
+        drop(log);
+        let (_, rec) = open(&dir);
+        assert_eq!(rec.records.len(), 1);
+        assert_eq!(rec.records[0].seq, 6);
+    }
+
+    #[test]
+    fn wrong_key_refuses_log_with_single_record() {
+        let dir = TempDir::new("wal");
+        let path = dir.path().join("wal.log");
+        let (mut log, _) = open(&dir);
+        log.append(b"sealed").unwrap();
+        drop(log);
+        // With one record, a failed decrypt looks like a torn tail — the
+        // log opens empty rather than leaking anything. (Checksums pass;
+        // decrypt structure fails only probabilistically, so assert the
+        // recovered payloads never match.)
+        let other = StoreKey::generate(&mut SecureRng::from_seed(8));
+        let (_, rec) = EventLog::open(&path, &other, 256, 0x10).unwrap();
+        assert!(rec.records.iter().all(|r| r.payload != b"sealed"));
+    }
+
+    #[test]
+    fn empty_payloads_and_class_boundaries() {
+        let dir = TempDir::new("wal");
+        let (mut log, _) = open(&dir);
+        log.append(b"").unwrap();
+        log.append(&vec![1u8; 244]).unwrap(); // exactly fills one class
+        log.append(&vec![2u8; 245]).unwrap(); // spills into a second
+        drop(log);
+        let (_, rec) = open(&dir);
+        assert_eq!(rec.records[0].payload, b"");
+        assert_eq!(rec.records[1].payload.len(), 244);
+        assert_eq!(rec.records[2].payload.len(), 245);
+    }
+}

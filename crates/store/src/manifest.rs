@@ -1,0 +1,204 @@
+//! The snapshot manifest: the store's atomic commit point.
+//!
+//! A manifest is one encrypted, checksummed record (same layout as a WAL
+//! record) naming the snapshot's block set and the WAL sequence number
+//! it covers. Installation is two renames: the live `manifest.bin` moves
+//! to `manifest.old`, then the freshly written temp file moves to
+//! `manifest.bin`. Renames are atomic on POSIX, so recovery always finds
+//! either the old or the new manifest intact — never a torn one — and
+//! `manifest.old` doubles as the artifact the stale-snapshot fault
+//! injector restores.
+
+use crate::error::StoreError;
+use crate::framing;
+use crate::keyring::StoreKey;
+use crate::{MANIFEST_FILE, MANIFEST_OLD_FILE};
+use pprox_crypto::rng::SecureRng;
+use pprox_crypto::sha256;
+use pprox_json::Value;
+use std::path::Path;
+
+/// Schema version embedded in each manifest.
+pub const MANIFEST_VERSION: u64 = 1;
+
+/// Snapshot metadata: which blocks, covering which WAL prefix.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Manifest {
+    /// Highest WAL sequence number whose effect is captured in the
+    /// snapshot blocks; replay skips records at or below it.
+    pub applied_seq: u64,
+    /// Content addresses of the snapshot blocks, in load order.
+    pub blocks: Vec<String>,
+}
+
+impl Manifest {
+    fn to_value(&self) -> Value {
+        Value::object([
+            ("version", Value::from(MANIFEST_VERSION)),
+            ("applied_seq", Value::from(self.applied_seq)),
+            (
+                "blocks",
+                self.blocks
+                    .iter()
+                    .map(|b| Value::from(b.as_str()))
+                    .collect(),
+            ),
+        ])
+    }
+
+    fn from_value(v: &Value) -> Option<Manifest> {
+        if v.get("version").and_then(Value::as_u64)? != MANIFEST_VERSION {
+            return None;
+        }
+        let blocks = v
+            .get("blocks")?
+            .as_array()?
+            .iter()
+            .map(|b| b.as_str().map(str::to_string))
+            .collect::<Option<Vec<_>>>()?;
+        Some(Manifest {
+            applied_seq: v.get("applied_seq").and_then(Value::as_u64)?,
+            blocks,
+        })
+    }
+}
+
+/// Encrypts and atomically installs `manifest` as `dir/manifest.bin`,
+/// preserving the previous one as `dir/manifest.old`.
+pub fn save(
+    dir: &Path,
+    key: &StoreKey,
+    manifest: &Manifest,
+    rng: &mut SecureRng,
+) -> Result<(), StoreError> {
+    let plain = manifest.to_value().to_json();
+    let frame = framing::frame(plain.as_bytes(), 256);
+    let ct = key.cipher().encrypt(&frame, rng);
+    let sum = sha256::digest(&ct);
+    let mut record = Vec::with_capacity(12 + ct.len());
+    record.extend_from_slice(&(ct.len() as u32).to_be_bytes());
+    record.extend_from_slice(&sum[..8]);
+    record.extend_from_slice(&ct);
+
+    let tmp = dir.join(format!("{MANIFEST_FILE}.tmp"));
+    let live = dir.join(MANIFEST_FILE);
+    let old = dir.join(MANIFEST_OLD_FILE);
+    std::fs::write(&tmp, &record).map_err(|e| StoreError::io(&tmp, e))?;
+    if live.exists() {
+        std::fs::rename(&live, &old).map_err(|e| StoreError::io(&old, e))?;
+    }
+    std::fs::rename(&tmp, &live).map_err(|e| StoreError::io(&live, e))?;
+    Ok(())
+}
+
+/// Loads the committed manifest, or `None` when the store has never
+/// snapshotted.
+///
+/// # Errors
+///
+/// [`StoreError::Malformed`] when the record fails its checksum,
+/// decryption, or schema — a manifest is installed atomically, so a bad
+/// one is tampering, not a crash artifact.
+pub fn load(dir: &Path, key: &StoreKey) -> Result<Option<Manifest>, StoreError> {
+    let live = dir.join(MANIFEST_FILE);
+    let record = match std::fs::read(&live) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(StoreError::io(&live, e)),
+    };
+    if record.len() < 12 {
+        return Err(StoreError::Malformed("manifest record"));
+    }
+    let len = u32::from_be_bytes(record[..4].try_into().expect("4 bytes")) as usize;
+    let ct = record
+        .get(12..12 + len)
+        .ok_or(StoreError::Malformed("manifest record"))?;
+    if sha256::digest(ct)[..8] != record[4..12] {
+        return Err(StoreError::Malformed("manifest checksum"));
+    }
+    let frame = key
+        .cipher()
+        .decrypt(ct)
+        .ok_or(StoreError::Malformed("manifest ciphertext"))?;
+    let plain = framing::unframe(&frame).ok_or(StoreError::Malformed("manifest frame"))?;
+    let text = String::from_utf8(plain).map_err(|_| StoreError::Malformed("manifest encoding"))?;
+    let value = Value::parse(&text).map_err(|_| StoreError::Malformed("manifest json"))?;
+    Manifest::from_value(&value)
+        .map(Some)
+        .ok_or(StoreError::Malformed("manifest schema"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tempdir::TempDir;
+
+    fn setup() -> (TempDir, StoreKey, SecureRng) {
+        (
+            TempDir::new("manifest"),
+            StoreKey::generate(&mut SecureRng::from_seed(5)),
+            SecureRng::from_seed(6),
+        )
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let (dir, key, mut rng) = setup();
+        assert_eq!(load(dir.path(), &key).unwrap(), None);
+        let m = Manifest {
+            applied_seq: 42,
+            blocks: vec!["a".repeat(64), "b".repeat(64)],
+        };
+        save(dir.path(), &key, &m, &mut rng).unwrap();
+        assert_eq!(load(dir.path(), &key).unwrap(), Some(m));
+    }
+
+    #[test]
+    fn save_preserves_previous_as_old() {
+        let (dir, key, mut rng) = setup();
+        let first = Manifest {
+            applied_seq: 1,
+            blocks: vec![],
+        };
+        let second = Manifest {
+            applied_seq: 2,
+            blocks: vec![],
+        };
+        save(dir.path(), &key, &first, &mut rng).unwrap();
+        save(dir.path(), &key, &second, &mut rng).unwrap();
+        assert!(dir.path().join(MANIFEST_OLD_FILE).exists());
+        assert_eq!(load(dir.path(), &key).unwrap(), Some(second));
+        // Restoring manifest.old (the stale-snapshot fault) yields the
+        // first manifest again.
+        std::fs::rename(
+            dir.path().join(MANIFEST_OLD_FILE),
+            dir.path().join(MANIFEST_FILE),
+        )
+        .unwrap();
+        assert_eq!(load(dir.path(), &key).unwrap(), Some(first));
+    }
+
+    #[test]
+    fn tampered_manifest_is_malformed() {
+        let (dir, key, mut rng) = setup();
+        save(
+            dir.path(),
+            &key,
+            &Manifest {
+                applied_seq: 9,
+                blocks: vec![],
+            },
+            &mut rng,
+        )
+        .unwrap();
+        let path = dir.path().join(MANIFEST_FILE);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 1;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            load(dir.path(), &key),
+            Err(StoreError::Malformed(_))
+        ));
+    }
+}

@@ -1,0 +1,69 @@
+//! A std-only scratch-directory helper for recovery drills and tests.
+//!
+//! The workspace builds offline, so there is no `tempfile` crate; this
+//! is the minimal subset the store's tests and the kill-and-replay
+//! drills need: a uniquely named directory under the OS temp root,
+//! removed on drop unless explicitly kept.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A uniquely named scratch directory, recursively deleted on drop.
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+    keep: bool,
+}
+
+impl TempDir {
+    /// Creates `{tmp}/pprox-{tag}-{pid}-{n}-{t}`; panics on failure (the
+    /// callers are tests and report binaries, where a missing temp root
+    /// is unrecoverable anyway).
+    pub fn new(tag: &str) -> Self {
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let t = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.subsec_nanos())
+            .unwrap_or(0);
+        let path = std::env::temp_dir().join(format!("pprox-{tag}-{}-{n}-{t}", std::process::id()));
+        std::fs::create_dir_all(&path)
+            .unwrap_or_else(|e| panic!("cannot create {}: {e}", path.display()));
+        TempDir { path, keep: false }
+    }
+
+    /// The directory's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Disables deletion on drop (for post-mortem inspection).
+    pub fn keep(&mut self) {
+        self.keep = true;
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        if !self.keep {
+            let _ = std::fs::remove_dir_all(&self.path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unique_and_removed_on_drop() {
+        let a = TempDir::new("t");
+        let b = TempDir::new("t");
+        assert_ne!(a.path(), b.path());
+        let kept = a.path().to_path_buf();
+        assert!(kept.is_dir());
+        drop(a);
+        assert!(!kept.exists());
+    }
+}

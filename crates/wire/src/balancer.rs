@@ -10,29 +10,47 @@
 //! On a retryable failure the balancer fails over: it walks the
 //! remaining backends in ring order from the selected one, so a dead
 //! instance costs one connect timeout, not the whole call.
+//!
+//! Ring membership is dynamic: [`SocketBalancer::replace_backend`] swaps
+//! one slot for a fresh client at a new address — the supervisor's
+//! readmission path when a killed instance respawns on a different port.
 
 use crate::client::{ClientConfig, PooledClient};
 use crate::WireError;
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use pprox_core::resilience::Deadline;
 use pprox_net::{BalancePolicy, Selector};
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Fan-out client over several equivalent server instances.
 pub struct SocketBalancer {
-    backends: Vec<PooledClient>,
+    backends: RwLock<Vec<Arc<PooledClient>>>,
+    client_config: ClientConfig,
     selector: Mutex<Selector>,
     rng_state: AtomicU64,
     failovers: AtomicU64,
+    replacements: AtomicU64,
 }
 
 impl std::fmt::Debug for SocketBalancer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SocketBalancer")
-            .field("backends", &self.backends.len())
+            .field("backends", &self.backends.read().len())
             .finish()
     }
+}
+
+/// Derives a per-slot client config so concurrent pools don't share
+/// jitter streams.
+fn slot_config(base: &ClientConfig, index: usize) -> ClientConfig {
+    let mut cfg = base.clone();
+    cfg.seed = cfg
+        .seed
+        .wrapping_add(index as u64)
+        .wrapping_mul(0x2545_f491_4f6c_dd1d);
+    cfg
 }
 
 impl SocketBalancer {
@@ -51,31 +69,26 @@ impl SocketBalancer {
         let backends = addrs
             .iter()
             .enumerate()
-            .map(|(i, &addr)| {
-                let mut cfg = client_config.clone();
-                cfg.seed = cfg
-                    .seed
-                    .wrapping_add(i as u64)
-                    .wrapping_mul(0x2545_f491_4f6c_dd1d);
-                PooledClient::new(addr, cfg)
-            })
+            .map(|(i, &addr)| Arc::new(PooledClient::new(addr, slot_config(&client_config, i))))
             .collect::<Vec<_>>();
         SocketBalancer {
             selector: Mutex::new(Selector::new(policy, backends.len())),
-            backends,
+            backends: RwLock::new(backends),
+            client_config,
             rng_state: AtomicU64::new(seed | 1),
             failovers: AtomicU64::new(0),
+            replacements: AtomicU64::new(0),
         }
     }
 
     /// Number of backends.
     pub fn len(&self) -> usize {
-        self.backends.len()
+        self.backends.read().len()
     }
 
     /// Whether the balancer has no backends (never true by construction).
     pub fn is_empty(&self) -> bool {
-        self.backends.is_empty()
+        self.backends.read().is_empty()
     }
 
     /// Calls that were retried on a different backend after a transport
@@ -84,9 +97,34 @@ impl SocketBalancer {
         self.failovers.load(Ordering::Relaxed)
     }
 
+    /// Backend slots swapped via [`SocketBalancer::replace_backend`].
+    pub fn replacements(&self) -> u64 {
+        self.replacements.load(Ordering::Relaxed)
+    }
+
     /// Total in-flight calls across backends.
     pub fn in_flight(&self) -> usize {
-        self.backends.iter().map(|b| b.in_flight()).sum()
+        self.backends.read().iter().map(|b| b.in_flight()).sum()
+    }
+
+    /// Swaps slot `index` for a fresh connection pool at `addr` — the
+    /// readmission half of the supervisor's kill/respawn cycle. Calls
+    /// already in flight on the old pool finish (or fail over) on their
+    /// own clone of the pool handle; new selections see the new address
+    /// immediately.
+    ///
+    /// # Panics
+    ///
+    /// If `index` is out of range.
+    pub fn replace_backend(&self, index: usize, addr: SocketAddr) {
+        let fresh = Arc::new(PooledClient::new(
+            addr,
+            slot_config(&self.client_config, index),
+        ));
+        let mut backends = self.backends.write();
+        assert!(index < backends.len(), "backend index out of range");
+        backends[index] = fresh;
+        self.replacements.fetch_add(1, Ordering::Relaxed);
     }
 
     fn random_below(&self, n: usize) -> usize {
@@ -99,8 +137,8 @@ impl SocketBalancer {
         (x.wrapping_mul(0x2545_f491_4f6c_dd1d) % n.max(1) as u64) as usize
     }
 
-    fn select(&self) -> usize {
-        let loads: Vec<usize> = self.backends.iter().map(|b| b.in_flight()).collect();
+    fn select(&self, backends: &[Arc<PooledClient>]) -> usize {
+        let loads: Vec<usize> = backends.iter().map(|b| b.in_flight()).collect();
         self.selector
             .lock()
             .select(Some(&loads), &mut |n| self.random_below(n))
@@ -114,15 +152,18 @@ impl SocketBalancer {
     /// The first non-retryable error, [`WireError::Deadline`] when the
     /// budget runs out, or the last backend's error once all have failed.
     pub fn call(&self, payload: &[u8], deadline: Deadline) -> Result<Vec<u8>, WireError> {
-        let start = self.select();
-        let n = self.backends.len();
+        // Snapshot the ring: a concurrent replace_backend never stalls or
+        // redirects a call mid-walk.
+        let backends: Vec<Arc<PooledClient>> = self.backends.read().clone();
+        let start = self.select(&backends);
+        let n = backends.len();
         let mut last = WireError::Deadline;
         for hop in 0..n {
             if deadline.expired() {
                 return Err(WireError::Deadline);
             }
             let idx = (start + hop) % n;
-            match self.backends[idx].call(payload, deadline) {
+            match backends[idx].call(payload, deadline) {
                 Ok(bytes) => {
                     if hop > 0 {
                         self.failovers.fetch_add(1, Ordering::Relaxed);
@@ -210,6 +251,34 @@ mod tests {
         assert_eq!(hits.load(Ordering::Relaxed), 4);
         assert!(balancer.failovers() >= 1);
         live.shutdown();
+    }
+
+    #[test]
+    fn replace_backend_readmits_a_respawned_instance() {
+        let (mut s1, h1) = spawn_tagged(1);
+        let (mut s2, _h2) = spawn_tagged(2);
+        let balancer = SocketBalancer::new(
+            &[s1.local_addr(), s2.local_addr()],
+            BalancePolicy::RoundRobin,
+            ClientConfig {
+                max_retries: 0,
+                ..ClientConfig::default()
+            },
+            7,
+        );
+        // Kill slot 1, respawn elsewhere, readmit: every call succeeds
+        // and the replacement carries real traffic again.
+        s2.shutdown();
+        let (mut s3, h3) = spawn_tagged(3);
+        balancer.replace_backend(1, s3.local_addr());
+        assert_eq!(balancer.replacements(), 1);
+        for _ in 0..6 {
+            balancer.call(b"x", budget()).unwrap();
+        }
+        assert_eq!(h1.load(Ordering::Relaxed), 3);
+        assert_eq!(h3.load(Ordering::Relaxed), 3);
+        s1.shutdown();
+        s3.shutdown();
     }
 
     #[test]

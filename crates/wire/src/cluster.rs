@@ -12,6 +12,16 @@
 //! the only joinable state crosses the shuffle buffer, where ordering
 //! is randomized (§4.3).
 //!
+//! With `supervisor` enabled, a [`Supervisor`] thread probes every
+//! instance's listener and rebuilds dead ones: a fresh enclave is
+//! loaded and re-attested for proxy layers, the LRS handler is rebuilt
+//! through the boot factory (a durable LRS unseals its keys and replays
+//! its WAL from disk — [`LoopbackCluster::launch_with_factory`]), and
+//! the new address is swapped into every upstream
+//! [`SocketBalancer`] ring. While an instance is down, survivors carry
+//! the load: the balancers fail over around the dead address and an
+//! overloaded survivor answers `busy` through its admission gate.
+//!
 //! This file sits on the *user side* of the privacy boundary — it hands
 //! out [`UserClient`]s and moves opaque ciphertext — so it never names
 //! an item-side API (analyzer rule R3).
@@ -20,6 +30,10 @@ use crate::balancer::SocketBalancer;
 use crate::client::ClientConfig;
 use crate::server::{FrameHandler, ServerConfig, WireServer};
 use crate::services::{IaWireService, LrsWireService, UaWireService};
+use crate::supervisor::{
+    is_alive, RespawnEvent, RespawnFn, Supervisor, SupervisorConfig, WatchedSlot,
+};
+use parking_lot::Mutex;
 use pprox_core::ia::{IaOptions, IaState};
 use pprox_core::keys::{KeyProvisioner, IA_CODE_IDENTITY, UA_CODE_IDENTITY};
 use pprox_core::message::{ClientEnvelope, EncryptedList};
@@ -34,6 +48,12 @@ use pprox_net::BalancePolicy;
 use pprox_sgx::Platform;
 use std::net::SocketAddr;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Builds (or rebuilds) the REST handler behind the LRS tier. Called at
+/// launch and again whenever the supervisor respawns an LRS instance
+/// whose handler is gone — the durable recovery entry point.
+pub type LrsFactory = Arc<dyn Fn() -> Arc<dyn RestHandler> + Send + Sync>;
 
 /// Shape of one loopback deployment.
 #[derive(Debug, Clone)]
@@ -60,6 +80,10 @@ pub struct ClusterConfig {
     pub policy: BalancePolicy,
     /// IA-call forwarder threads per UA shuffle stage.
     pub forwarders: usize,
+    /// Run the kill/respawn/readmit supervisor over every instance.
+    pub supervisor: bool,
+    /// Supervisor probe cadence (when `supervisor` is on).
+    pub supervise: SupervisorConfig,
     /// Master seed (keys, shuffle order, jitter).
     pub seed: u64,
 }
@@ -78,6 +102,8 @@ impl Default for ClusterConfig {
             server: ServerConfig::default(),
             policy: BalancePolicy::RoundRobin,
             forwarders: 4,
+            supervisor: false,
+            supervise: SupervisorConfig::default(),
             seed: 0xC1A5_7E12,
         }
     }
@@ -99,42 +125,80 @@ impl ClusterConfig {
     }
 }
 
+/// Instance slots of one tier. A killed slot holds `None` until the
+/// supervisor (or teardown) deals with it; the recorded address is kept
+/// for liveness probing and readmission bookkeeping.
+type TierSlots = Arc<Mutex<Vec<Option<WireServer>>>>;
+
 /// A running loopback deployment of the full chain.
 pub struct LoopbackCluster {
     config: ClusterConfig,
-    provisioner: KeyProvisioner,
+    platform: Platform,
+    provisioner: Arc<KeyProvisioner>,
     telemetry: Arc<Telemetry>,
-    frontend: SocketBalancer,
-    ua_servers: Vec<WireServer>,
-    ia_servers: Vec<WireServer>,
-    lrs_servers: Vec<WireServer>,
+    factory: LrsFactory,
+    frontend: Arc<SocketBalancer>,
+    ua_servers: TierSlots,
+    ia_servers: TierSlots,
+    lrs_servers: TierSlots,
+    ua_addrs: Vec<Arc<Mutex<SocketAddr>>>,
+    ia_addrs: Vec<Arc<Mutex<SocketAddr>>>,
+    lrs_addrs: Vec<Arc<Mutex<SocketAddr>>>,
+    /// Per-UA ring into the IA tier (kept so respawned IA instances can
+    /// be readmitted into the rings the UA services are using).
+    ua_ia_balancers: Vec<Arc<SocketBalancer>>,
+    /// Per-IA ring into the LRS tier.
+    ia_lrs_balancers: Vec<Arc<SocketBalancer>>,
+    supervisor: Option<Supervisor>,
+    /// Recoveries performed by supervisors already replaced (the
+    /// supervisor is swapped out during an atomic layer kill).
+    prior_respawns: u64,
+    prior_events: Vec<RespawnEvent>,
     client_seed: u64,
 }
 
 impl std::fmt::Debug for LoopbackCluster {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("LoopbackCluster")
-            .field("ua", &self.ua_servers.len())
-            .field("ia", &self.ia_servers.len())
-            .field("lrs", &self.lrs_servers.len())
+            .field("ua", &self.ua_addrs.len())
+            .field("ia", &self.ia_addrs.len())
+            .field("lrs", &self.lrs_addrs.len())
+            .field("supervised", &self.supervisor.is_some())
             .finish()
     }
 }
 
 impl LoopbackCluster {
-    /// Boots the chain: key generation, enclave load + attestation per
-    /// instance, then LRS → IA → UA servers (dependency order) and the
-    /// front-door balancer.
+    /// Boots the chain around one shared REST handler — the common case
+    /// where the LRS backing state lives in memory and instances are
+    /// plain front-ends over it.
     ///
     /// # Errors
     ///
     /// Socket errors from server spawning; [`PProxError`] from
     /// attestation/provisioning.
     pub fn launch(config: ClusterConfig, rest: Arc<dyn RestHandler>) -> Result<Self, PProxError> {
+        Self::launch_with_factory(config, Arc::new(move || rest.clone()))
+    }
+
+    /// Boots the chain with an LRS boot factory. The factory is invoked
+    /// once per LRS instance at launch and again on every supervised
+    /// respawn — a durable factory (one that opens a sealed store and
+    /// replays its WAL) makes the whole LRS layer crash-recoverable:
+    /// `kill -9` the layer, and the supervisor rebuilds it from disk.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors from server spawning; [`PProxError`] from
+    /// attestation/provisioning.
+    pub fn launch_with_factory(
+        config: ClusterConfig,
+        factory: LrsFactory,
+    ) -> Result<Self, PProxError> {
         let config = config.validated();
         let mut rng = SecureRng::from_seed(config.seed);
         let platform = Platform::new(&mut rng);
-        let provisioner = KeyProvisioner::generate(config.modulus_bits, &mut rng);
+        let provisioner = Arc::new(KeyProvisioner::generate(config.modulus_bits, &mut rng));
         let telemetry = Arc::new(Telemetry::new(TelemetryConfig::default()));
         let options = IaOptions {
             encryption: config.encryption,
@@ -150,76 +214,236 @@ impl LoopbackCluster {
         // LRS tier.
         let mut lrs_servers = Vec::new();
         for _ in 0..config.lrs_instances {
-            let service: Arc<dyn FrameHandler> = Arc::new(LrsWireService::new(rest.clone()));
-            lrs_servers.push(WireServer::spawn(service, config.server.clone()).map_err(spawn_err)?);
+            let service: Arc<dyn FrameHandler> = Arc::new(LrsWireService::new(factory()));
+            lrs_servers.push(Some(
+                WireServer::spawn(service, config.server.clone()).map_err(spawn_err)?,
+            ));
         }
-        let lrs_addrs: Vec<SocketAddr> = lrs_servers.iter().map(|s| s.local_addr()).collect();
+        let lrs_addrs: Vec<Arc<Mutex<SocketAddr>>> = lrs_servers
+            .iter()
+            .map(|s| Arc::new(Mutex::new(s.as_ref().expect("just spawned").local_addr())))
+            .collect();
+        let lrs_addr_list: Vec<SocketAddr> = lrs_addrs.iter().map(|a| *a.lock()).collect();
 
         // IA tier: per-instance enclave, breaker, and LRS pools.
         let mut ia_servers = Vec::new();
+        let mut ia_lrs_balancers = Vec::new();
         for i in 0..config.ia_instances {
             let enclave = platform.load_enclave::<IaState>(IA_CODE_IDENTITY);
             provisioner.provision_ia(&platform, &enclave)?;
-            let lrs_balancer = SocketBalancer::new(
-                &lrs_addrs,
+            let lrs_balancer = Arc::new(SocketBalancer::new(
+                &lrs_addr_list,
                 config.policy,
                 client_config.clone(),
                 config.seed ^ (0x1a00 + i as u64),
-            );
+            ));
             let service: Arc<dyn FrameHandler> = Arc::new(IaWireService::new(
                 enclave,
-                lrs_balancer,
+                lrs_balancer.clone(),
                 options,
                 config.resilience.clone(),
                 telemetry.clone(),
                 config.seed ^ (0x1a10 + i as u64),
             ));
-            ia_servers.push(WireServer::spawn(service, config.server.clone()).map_err(spawn_err)?);
+            ia_servers.push(Some(
+                WireServer::spawn(service, config.server.clone()).map_err(spawn_err)?,
+            ));
+            ia_lrs_balancers.push(lrs_balancer);
         }
-        let ia_addrs: Vec<SocketAddr> = ia_servers.iter().map(|s| s.local_addr()).collect();
+        let ia_addrs: Vec<Arc<Mutex<SocketAddr>>> = ia_servers
+            .iter()
+            .map(|s| Arc::new(Mutex::new(s.as_ref().expect("just spawned").local_addr())))
+            .collect();
+        let ia_addr_list: Vec<SocketAddr> = ia_addrs.iter().map(|a| *a.lock()).collect();
 
         // UA tier: per-instance enclave, IA pools, and shuffle stage.
         let mut ua_servers = Vec::new();
+        let mut ua_ia_balancers = Vec::new();
         for i in 0..config.ua_instances {
             let enclave = platform.load_enclave::<UaState>(UA_CODE_IDENTITY);
             provisioner.provision_ua(&platform, &enclave)?;
-            let ia_balancer = SocketBalancer::new(
-                &ia_addrs,
+            let ia_balancer = Arc::new(SocketBalancer::new(
+                &ia_addr_list,
                 config.policy,
                 client_config.clone(),
                 config.seed ^ (0x0a00 + i as u64),
-            );
+            ));
             let service: Arc<dyn FrameHandler> = Arc::new(UaWireService::new(
                 enclave,
-                ia_balancer,
+                ia_balancer.clone(),
                 config.encryption,
                 config.shuffle,
                 config.forwarders,
                 telemetry.clone(),
                 config.seed ^ (0x0a10 + i as u64),
             ));
-            ua_servers.push(WireServer::spawn(service, config.server.clone()).map_err(spawn_err)?);
+            ua_servers.push(Some(
+                WireServer::spawn(service, config.server.clone()).map_err(spawn_err)?,
+            ));
+            ua_ia_balancers.push(ia_balancer);
         }
-        let ua_addrs: Vec<SocketAddr> = ua_servers.iter().map(|s| s.local_addr()).collect();
+        let ua_addrs: Vec<Arc<Mutex<SocketAddr>>> = ua_servers
+            .iter()
+            .map(|s| Arc::new(Mutex::new(s.as_ref().expect("just spawned").local_addr())))
+            .collect();
+        let ua_addr_list: Vec<SocketAddr> = ua_addrs.iter().map(|a| *a.lock()).collect();
 
         // Front door: what the paper's kube-proxy Service does for
         // user-library traffic.
-        let frontend = SocketBalancer::new(
-            &ua_addrs,
+        let frontend = Arc::new(SocketBalancer::new(
+            &ua_addr_list,
             config.policy,
             client_config,
             config.seed ^ 0xf00d,
-        );
+        ));
 
-        Ok(LoopbackCluster {
+        let mut cluster = LoopbackCluster {
             client_seed: config.seed ^ 0xc11e,
             config,
+            platform,
             provisioner,
             telemetry,
+            factory,
             frontend,
-            ua_servers,
-            ia_servers,
-            lrs_servers,
+            ua_servers: Arc::new(Mutex::new(ua_servers)),
+            ia_servers: Arc::new(Mutex::new(ia_servers)),
+            lrs_servers: Arc::new(Mutex::new(lrs_servers)),
+            ua_addrs,
+            ia_addrs,
+            lrs_addrs,
+            ua_ia_balancers,
+            ia_lrs_balancers,
+            supervisor: None,
+            prior_respawns: 0,
+            prior_events: Vec::new(),
+        };
+        if cluster.config.supervisor {
+            cluster.supervisor = Some(Supervisor::spawn(
+                cluster.config.supervise,
+                cluster.watched_slots(),
+            ));
+        }
+        Ok(cluster)
+    }
+
+    /// Builds the supervisor's slot list: every instance of every tier,
+    /// each with a respawn closure that rebuilds the instance and
+    /// readmits it to the upstream ring(s).
+    fn watched_slots(&self) -> Vec<WatchedSlot> {
+        let mut slots = Vec::new();
+        for (i, addr) in self.lrs_addrs.iter().enumerate() {
+            slots.push(WatchedSlot {
+                tier: "lrs",
+                index: i,
+                addr: addr.clone(),
+                respawn: self.lrs_respawn(i),
+            });
+        }
+        for (i, addr) in self.ia_addrs.iter().enumerate() {
+            slots.push(WatchedSlot {
+                tier: "ia",
+                index: i,
+                addr: addr.clone(),
+                respawn: self.ia_respawn(i),
+            });
+        }
+        for (i, addr) in self.ua_addrs.iter().enumerate() {
+            slots.push(WatchedSlot {
+                tier: "ua",
+                index: i,
+                addr: addr.clone(),
+                respawn: self.ua_respawn(i),
+            });
+        }
+        slots
+    }
+
+    fn lrs_respawn(&self, index: usize) -> RespawnFn {
+        let factory = self.factory.clone();
+        let servers = self.lrs_servers.clone();
+        let server_cfg = self.config.server.clone();
+        let ia_rings = self.ia_lrs_balancers.clone();
+        Box::new(move || {
+            // The factory decides what "rebuild" means: a shared
+            // in-memory handler is simply re-used; a durable factory
+            // unseals and replays from disk when the old handler died
+            // with its servers.
+            let handler = factory();
+            let service: Arc<dyn FrameHandler> = Arc::new(LrsWireService::new(handler));
+            let server = WireServer::spawn(service, server_cfg.clone()).ok()?;
+            let addr = server.local_addr();
+            servers.lock()[index] = Some(server);
+            for ring in &ia_rings {
+                ring.replace_backend(index, addr);
+            }
+            Some(addr)
+        })
+    }
+
+    fn ia_respawn(&self, index: usize) -> RespawnFn {
+        let platform = self.platform.clone();
+        let provisioner = self.provisioner.clone();
+        let telemetry = self.telemetry.clone();
+        let servers = self.ia_servers.clone();
+        let server_cfg = self.config.server.clone();
+        let lrs_balancer = self.ia_lrs_balancers[index].clone();
+        let ua_rings = self.ua_ia_balancers.clone();
+        let options = IaOptions {
+            encryption: self.config.encryption,
+            item_pseudonymization: self.config.item_pseudonymization,
+        };
+        let resilience = self.config.resilience.clone();
+        let seed = self.config.seed ^ (0x1a10 + index as u64);
+        Box::new(move || {
+            let enclave = platform.load_enclave::<IaState>(IA_CODE_IDENTITY);
+            provisioner.provision_ia(&platform, &enclave).ok()?;
+            let service: Arc<dyn FrameHandler> = Arc::new(IaWireService::new(
+                enclave,
+                lrs_balancer.clone(),
+                options,
+                resilience.clone(),
+                telemetry.clone(),
+                seed,
+            ));
+            let server = WireServer::spawn(service, server_cfg.clone()).ok()?;
+            let addr = server.local_addr();
+            servers.lock()[index] = Some(server);
+            for ring in &ua_rings {
+                ring.replace_backend(index, addr);
+            }
+            Some(addr)
+        })
+    }
+
+    fn ua_respawn(&self, index: usize) -> RespawnFn {
+        let platform = self.platform.clone();
+        let provisioner = self.provisioner.clone();
+        let telemetry = self.telemetry.clone();
+        let servers = self.ua_servers.clone();
+        let server_cfg = self.config.server.clone();
+        let ia_balancer = self.ua_ia_balancers[index].clone();
+        let frontend = self.frontend.clone();
+        let encryption = self.config.encryption;
+        let shuffle = self.config.shuffle;
+        let forwarders = self.config.forwarders;
+        let seed = self.config.seed ^ (0x0a10 + index as u64);
+        Box::new(move || {
+            let enclave = platform.load_enclave::<UaState>(UA_CODE_IDENTITY);
+            provisioner.provision_ua(&platform, &enclave).ok()?;
+            let service: Arc<dyn FrameHandler> = Arc::new(UaWireService::new(
+                enclave,
+                ia_balancer.clone(),
+                encryption,
+                shuffle,
+                forwarders,
+                telemetry.clone(),
+                seed,
+            ));
+            let server = WireServer::spawn(service, server_cfg.clone()).ok()?;
+            let addr = server.local_addr();
+            servers.lock()[index] = Some(server);
+            frontend.replace_backend(index, addr);
+            Some(addr)
         })
     }
 
@@ -242,12 +466,49 @@ impl LoopbackCluster {
 
     /// UA front-door addresses (for external drivers).
     pub fn ua_addrs(&self) -> Vec<SocketAddr> {
-        self.ua_servers.iter().map(|s| s.local_addr()).collect()
+        self.ua_addrs.iter().map(|a| *a.lock()).collect()
     }
 
     /// Calls retried on another UA instance by the front door.
     pub fn frontend_failovers(&self) -> u64 {
         self.frontend.failovers()
+    }
+
+    /// Instances the supervisor has recovered (0 without a supervisor).
+    pub fn respawns(&self) -> u64 {
+        self.prior_respawns + self.supervisor.as_ref().map_or(0, Supervisor::respawns)
+    }
+
+    /// Every supervised recovery, in order.
+    pub fn respawn_events(&self) -> Vec<RespawnEvent> {
+        let mut events = self.prior_events.clone();
+        if let Some(sup) = &self.supervisor {
+            events.extend(sup.events());
+        }
+        events
+    }
+
+    /// Blocks until every instance of every tier answers a TCP probe, or
+    /// `timeout` elapses. Returns whether the chain is fully up — the
+    /// post-kill barrier for recovery drills.
+    pub fn wait_ready(&self, timeout: Duration) -> bool {
+        let end = Instant::now() + timeout;
+        let probe = Duration::from_millis(150);
+        loop {
+            let all_up = self
+                .lrs_addrs
+                .iter()
+                .chain(&self.ia_addrs)
+                .chain(&self.ua_addrs)
+                .all(|a| is_alive(*a.lock(), probe));
+            if all_up {
+                return true;
+            }
+            if Instant::now() >= end {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
     }
 
     /// Sends a feedback post through the chain.
@@ -283,27 +544,90 @@ impl LoopbackCluster {
         EncryptedList::from_frame(&payload)
     }
 
+    fn kill_slot(servers: &TierSlots, index: usize) {
+        // Take the server out of its slot so every strong reference it
+        // holds (service, handler, engine) is dropped — for a durable
+        // LRS this is what makes a whole-layer kill lose the in-memory
+        // state and force disk recovery.
+        let taken = servers.lock()[index].take();
+        if let Some(mut server) = taken {
+            server.shutdown();
+        }
+    }
+
+    /// Kills one UA instance mid-run (graceful: its shuffle buffers are
+    /// drained so buffered requests are answered before the socket
+    /// closes).
+    ///
+    /// # Panics
+    ///
+    /// If `index` is out of range.
+    pub fn kill_ua(&self, index: usize) {
+        Self::kill_slot(&self.ua_servers, index);
+    }
+
     /// Kills one IA instance mid-run (drains its socket, keeps the rest
     /// of the chain up) — the reconnect/failover path's test hook.
     ///
     /// # Panics
     ///
     /// If `index` is out of range.
-    pub fn kill_ia(&mut self, index: usize) {
-        self.ia_servers[index].shutdown();
+    pub fn kill_ia(&self, index: usize) {
+        Self::kill_slot(&self.ia_servers, index);
     }
 
-    /// Orderly teardown: UA tier first (stops new chain traffic), then
-    /// IA, then LRS. Idempotent.
+    /// Kills one LRS instance mid-run.
+    ///
+    /// # Panics
+    ///
+    /// If `index` is out of range.
+    pub fn kill_lrs(&self, index: usize) {
+        Self::kill_slot(&self.lrs_servers, index);
+    }
+
+    /// Kills the *entire* LRS layer — every instance, and with them every
+    /// in-memory handler reference. With a durable boot factory and the
+    /// supervisor on, the layer comes back by unsealing and replaying
+    /// from disk.
+    ///
+    /// The supervisor is quiesced for the duration of the kill so the
+    /// layer dies atomically: without this, the monitor could respawn the
+    /// first instance while the second still holds the old in-memory
+    /// handler alive, and the "recovered" layer would never touch disk.
+    pub fn kill_lrs_layer(&mut self) {
+        let supervised = match self.supervisor.take() {
+            Some(mut sup) => {
+                sup.stop();
+                self.prior_respawns += sup.respawns();
+                self.prior_events.extend(sup.events());
+                true
+            }
+            None => false,
+        };
+        for index in 0..self.lrs_addrs.len() {
+            Self::kill_slot(&self.lrs_servers, index);
+        }
+        if supervised {
+            self.supervisor = Some(Supervisor::spawn(
+                self.config.supervise,
+                self.watched_slots(),
+            ));
+        }
+    }
+
+    /// Orderly teardown: supervisor first (so nothing resurrects), then
+    /// UA tier (stops new chain traffic), then IA, then LRS. Idempotent.
     pub fn shutdown(&mut self) {
-        for s in &mut self.ua_servers {
-            s.shutdown();
+        if let Some(mut sup) = self.supervisor.take() {
+            sup.stop();
         }
-        for s in &mut self.ia_servers {
-            s.shutdown();
-        }
-        for s in &mut self.lrs_servers {
-            s.shutdown();
+        for tier in [&self.ua_servers, &self.ia_servers, &self.lrs_servers] {
+            let mut servers = tier.lock();
+            for slot in servers.iter_mut() {
+                if let Some(server) = slot.as_mut() {
+                    server.shutdown();
+                }
+            }
         }
     }
 }

@@ -29,6 +29,10 @@
 //!   instances per layer on `127.0.0.1` and wires them into a full
 //!   chain; `bin/cluster` drives it with the `pprox-workload` generator
 //!   and emits `results/BENCH_wire.json`.
+//! * [`supervisor`] — the kill/respawn loop: probes each instance's
+//!   listener, rebuilds dead ones (a durable LRS unseals and replays
+//!   from disk), and readmits them to the balancer rings — the loopback
+//!   stand-in for the paper's Kubernetes ReplicaSet + Service pair.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -39,12 +43,14 @@ pub mod cluster;
 pub mod frame;
 pub mod server;
 pub mod services;
+pub mod supervisor;
 
 pub use balancer::SocketBalancer;
 pub use client::{ClientConfig, PooledClient};
 pub use cluster::{ClusterConfig, LoopbackCluster};
 pub use frame::{Frame, FrameError, PadClass, HEADER_LEN, WIRE_VERSION};
 pub use server::{FrameHandler, ServerConfig, WireServer};
+pub use supervisor::{RespawnEvent, Supervisor, SupervisorConfig};
 
 /// Wire-level request outcome carried in `Control`-class response frames.
 ///

@@ -53,6 +53,13 @@ pub trait FrameHandler: Send + Sync + 'static {
     ///
     /// A [`WireStatus`] describing why the request was not served.
     fn handle(&self, payload: Vec<u8>, deadline: Deadline) -> Result<Vec<u8>, WireStatus>;
+
+    /// Called once at the start of a graceful shutdown, before the server
+    /// waits for in-flight work. Handlers holding requests in internal
+    /// buffers (the UA shuffle stage) flush them here so buffered
+    /// requests are *answered*, not dropped, on exit. The default does
+    /// nothing.
+    fn drain(&self) {}
 }
 
 /// Tunables for one [`WireServer`].
@@ -137,6 +144,7 @@ pub struct WireServer {
     stop: Arc<AtomicBool>,
     gate: AdmissionGate,
     counters: Arc<Counters>,
+    handler: Arc<dyn FrameHandler>,
     handles: Vec<JoinHandle<()>>,
 }
 
@@ -244,6 +252,7 @@ impl WireServer {
             stop,
             gate,
             counters,
+            handler,
             handles,
         })
     }
@@ -269,10 +278,14 @@ impl WireServer {
         }
     }
 
-    /// Graceful drain: stop accepting and reading, finish admitted work,
+    /// Graceful drain: stop accepting and reading, flush the handler's
+    /// internal buffers ([`FrameHandler::drain`]), finish admitted work,
     /// flush write buffers, join every thread. Idempotent.
     pub fn shutdown(&mut self) {
         self.stop.store(true, Ordering::Release);
+        // After the stop flag: no new frames are read, so everything the
+        // handler flushes now is the complete set of buffered requests.
+        self.handler.drain();
         for handle in self.handles.drain(..) {
             let _ = handle.join();
         }

@@ -29,7 +29,7 @@ use std::time::Instant;
 /// Frame handler for one IA instance.
 pub struct IaWireService {
     enclave: Arc<Enclave<IaState>>,
-    lrs: SocketBalancer,
+    lrs: Arc<SocketBalancer>,
     options: IaOptions,
     breaker: CircuitBreaker,
     resilience: ResilienceConfig,
@@ -38,11 +38,12 @@ pub struct IaWireService {
 }
 
 impl IaWireService {
-    /// Builds the service around a provisioned IA enclave and a balancer
-    /// over the LRS tier.
+    /// Builds the service around a provisioned IA enclave and a shared
+    /// balancer over the LRS tier (shared so a supervisor can readmit
+    /// respawned LRS instances into the ring the service is using).
     pub fn new(
         enclave: Arc<Enclave<IaState>>,
-        lrs: SocketBalancer,
+        lrs: Arc<SocketBalancer>,
         options: IaOptions,
         resilience: ResilienceConfig,
         telemetry: Arc<Telemetry>,

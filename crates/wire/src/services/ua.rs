@@ -48,6 +48,10 @@ struct ReplyJob {
 /// actual IA calls between them.
 struct ShuffleStage {
     tx: Option<Sender<ShuffleJob>>,
+    /// One kick sender per shuffle direction; a kick flushes that
+    /// direction's buffer immediately and switches it to pass-through
+    /// (the graceful-drain path).
+    kicks: Vec<Sender<()>>,
     handles: Vec<JoinHandle<()>>,
 }
 
@@ -62,6 +66,8 @@ impl ShuffleStage {
         let (job_tx, job_rx) = unbounded::<ShuffleJob>();
         let (fwd_tx, fwd_rx) = unbounded::<ShuffleJob>();
         let (resp_tx, resp_rx) = unbounded::<ReplyJob>();
+        let (req_kick_tx, req_kick_rx) = unbounded::<()>();
+        let (resp_kick_tx, resp_kick_rx) = unbounded::<()>();
         let mut handles = Vec::new();
 
         // Request-path shuffle: arrivals dwell in the buffer, leave in
@@ -70,9 +76,16 @@ impl ShuffleStage {
             let telemetry = telemetry.clone();
             let buffer = ShuffleBuffer::new(config, seed ^ 0x0a5e);
             handles.push(std::thread::spawn(move || {
-                run_shuffle(job_rx, buffer, telemetry, Stage::ShuffleRequest, |job| {
-                    let _ = fwd_tx.send(job);
-                });
+                run_shuffle(
+                    job_rx,
+                    req_kick_rx,
+                    buffer,
+                    telemetry,
+                    Stage::ShuffleRequest,
+                    |job| {
+                        let _ = fwd_tx.send(job);
+                    },
+                );
             }));
         }
 
@@ -99,15 +112,35 @@ impl ShuffleStage {
         {
             let buffer = ShuffleBuffer::new(config, seed ^ 0x1a5e);
             handles.push(std::thread::spawn(move || {
-                run_shuffle(resp_rx, buffer, telemetry, Stage::ShuffleResponse, |job| {
-                    let _ = job.reply.send(job.result);
-                });
+                run_shuffle(
+                    resp_rx,
+                    resp_kick_rx,
+                    buffer,
+                    telemetry,
+                    Stage::ShuffleResponse,
+                    |job| {
+                        let _ = job.reply.send(job.result);
+                    },
+                );
             }));
         }
 
         ShuffleStage {
             tx: Some(job_tx),
+            kicks: vec![req_kick_tx, resp_kick_tx],
             handles,
+        }
+    }
+
+    /// Flushes both shuffle buffers immediately: buffered requests go to
+    /// the forwarders, buffered responses go to their waiting
+    /// connections, and the stage answers everything still arriving
+    /// without further dwell. Unlinkability is not weakened for normal
+    /// traffic — this only fires on the shutdown path, where the
+    /// alternative is dropping the buffered requests outright.
+    fn flush(&self) {
+        for kick in &self.kicks {
+            let _ = kick.send(());
         }
     }
 }
@@ -123,12 +156,21 @@ impl Drop for ShuffleStage {
     }
 }
 
+/// How often an idle shuffle thread wakes to notice a drain kick.
+const KICK_POLL: Duration = Duration::from_millis(25);
+
 /// The generic shuffle loop (mirrors the in-process pipeline's
 /// `shuffle_server`, minus span export): honor the buffer's flush timer,
 /// record each item's dwell into the stage histogram, forward in the
 /// buffer's randomized order.
+///
+/// A message on `kick_rx` (the server's graceful drain) flushes the
+/// buffer immediately and switches the loop to pass-through: every item
+/// already buffered — and any still arriving during the shutdown window
+/// — is forwarded without dwell instead of being dropped with the stage.
 fn run_shuffle<T>(
     rx: Receiver<T>,
+    kick_rx: Receiver<()>,
     mut buffer: ShuffleBuffer<T>,
     telemetry: Arc<Telemetry>,
     stage: Stage,
@@ -140,32 +182,40 @@ fn run_shuffle<T>(
             forward(item);
         }
     };
+    let mut draining = false;
     loop {
-        match buffer.deadline_us() {
-            Some(deadline) => {
-                let timeout = Duration::from_micros(deadline.saturating_sub(telemetry.now_us()));
-                match rx.recv_timeout(timeout) {
-                    Ok(item) => {
-                        if let Some(flush) = buffer.push(telemetry.now_us(), item) {
-                            release(flush, telemetry.now_us());
-                        }
-                    }
-                    Err(RecvTimeoutError::Timeout) => {
-                        if let Some(flush) = buffer.poll_timeout(telemetry.now_us()) {
-                            release(flush, telemetry.now_us());
-                        }
-                    }
-                    Err(RecvTimeoutError::Disconnected) => break,
-                }
+        if !draining && kick_rx.try_recv().is_ok() {
+            draining = true;
+        }
+        if draining {
+            if let Some(flush) = buffer.drain() {
+                release(flush, telemetry.now_us());
             }
-            None => match rx.recv() {
-                Ok(item) => {
-                    if let Some(flush) = buffer.push(telemetry.now_us(), item) {
+        }
+        // Cap the wait so a kick is noticed promptly even when the
+        // buffer is empty (no flush deadline to wake for).
+        let timeout = buffer
+            .deadline_us()
+            .map(|deadline| Duration::from_micros(deadline.saturating_sub(telemetry.now_us())))
+            .unwrap_or(KICK_POLL)
+            .min(KICK_POLL);
+        match rx.recv_timeout(timeout) {
+            Ok(item) => {
+                if let Some(flush) = buffer.push(telemetry.now_us(), item) {
+                    release(flush, telemetry.now_us());
+                }
+                if draining {
+                    if let Some(flush) = buffer.drain() {
                         release(flush, telemetry.now_us());
                     }
                 }
-                Err(_) => break,
-            },
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                if let Some(flush) = buffer.poll_timeout(telemetry.now_us()) {
+                    release(flush, telemetry.now_us());
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => break,
         }
     }
     if let Some(flush) = buffer.drain() {
@@ -192,20 +242,21 @@ pub struct UaWireService {
 }
 
 impl UaWireService {
-    /// Builds the service around a provisioned UA enclave and a balancer
-    /// over the IA tier. `forwarders` sizes the shuffle stage's IA-call
-    /// pool (ignored when `shuffle` is disabled — calls then run on the
-    /// server's own workers).
+    /// Builds the service around a provisioned UA enclave and a shared
+    /// balancer over the IA tier (shared so a supervisor can readmit
+    /// respawned IA instances into the ring the service is using).
+    /// `forwarders` sizes the shuffle stage's IA-call pool (ignored when
+    /// `shuffle` is disabled — calls then run on the server's own
+    /// workers).
     pub fn new(
         enclave: Arc<Enclave<UaState>>,
-        ia: SocketBalancer,
+        ia: Arc<SocketBalancer>,
         encryption: bool,
         shuffle: ShuffleConfig,
         forwarders: usize,
         telemetry: Arc<Telemetry>,
         seed: u64,
     ) -> Self {
-        let ia = Arc::new(ia);
         let stage = if shuffle.is_disabled() {
             None
         } else {
@@ -228,6 +279,14 @@ impl UaWireService {
 }
 
 impl FrameHandler for UaWireService {
+    /// Graceful drain: flush both shuffle buffers so every buffered
+    /// request is answered before the server exits.
+    fn drain(&self) {
+        if let Some(stage) = &self.shuffle {
+            stage.flush();
+        }
+    }
+
     fn handle(&self, payload: Vec<u8>, deadline: Deadline) -> Result<Vec<u8>, WireStatus> {
         let envelope = ClientEnvelope::from_frame(&payload).map_err(|_| WireStatus::Malformed)?;
         let encryption = self.encryption;

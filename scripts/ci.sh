@@ -45,9 +45,21 @@ echo "== validate committed wire benchmark =="
 cargo run --release -q -p pprox-wire --bin cluster -- \
     --validate results/BENCH_wire.json
 
+echo "== recovery drill (kill -9 the LRS layer, replay, audit) =="
+RECOVERY_DIR="$(mktemp -d)"
+trap 'rm -rf "$RECOVERY_DIR" "$WIRE_DIR" "$ANALYSIS_DIR"' EXIT
+cargo run --release -q -p pprox-bench --bin recovery_report -- \
+    --events 120 --out "$RECOVERY_DIR/BENCH_recovery.json" >/dev/null
+cargo run --release -q -p pprox-bench --bin recovery_report -- \
+    --validate "$RECOVERY_DIR/BENCH_recovery.json"
+
+echo "== validate committed recovery report =="
+cargo run --release -q -p pprox-bench --bin recovery_report -- \
+    --validate results/BENCH_recovery.json
+
 echo "== telemetry export smoke =="
 TELEMETRY_DIR="$(mktemp -d)"
-trap 'rm -rf "$TELEMETRY_DIR" "$WIRE_DIR" "$ANALYSIS_DIR"' EXIT
+trap 'rm -rf "$TELEMETRY_DIR" "$RECOVERY_DIR" "$WIRE_DIR" "$ANALYSIS_DIR"' EXIT
 cargo run --release -q -p pprox-bench --bin telemetry_export -- \
     --requests 96 --shuffle-size 4 --out-dir "$TELEMETRY_DIR" >/dev/null
 cargo run --release -q -p pprox-bench --bin telemetry_export -- \

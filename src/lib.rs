@@ -14,6 +14,10 @@
 //! * [`sgx`] (`pprox-sgx`) — a simulated trusted-execution platform with
 //!   attestation, sealed provisioning, EPC budgeting, and the paper's
 //!   one-layer-at-a-time compromise model.
+//! * [`store`] (`pprox-store`) — durable sealed state: an encrypted
+//!   append-only event log and content-addressed block store keyed via
+//!   SGX sealing, with torn-write tolerance and a storage fault injector
+//!   for crash-recovery drills.
 //! * [`lrs`] (`pprox-lrs`) — a Harness / Universal Recommender stand-in:
 //!   document store, CCO/LLR trainer, scoring index, REST front-ends, and
 //!   the nginx-like stub.
@@ -61,5 +65,6 @@ pub use pprox_json as json;
 pub use pprox_lrs as lrs;
 pub use pprox_net as net;
 pub use pprox_sgx as sgx;
+pub use pprox_store as store;
 pub use pprox_wire as wire;
 pub use pprox_workload as workload;

@@ -385,3 +385,124 @@ proptest! {
         p.shutdown();
     }
 }
+
+// ---------------------------------------------------------------------
+// Storage faults: scheduled damage to the durable store's on-disk image.
+// The request path never sees these — they surface at the next recovery,
+// which must either repair (torn tail) or refuse with a typed error.
+// ---------------------------------------------------------------------
+
+mod storage_faults {
+    use super::*;
+    use pprox::lrs::api::{HttpRequest, RestHandler, EVENTS_PATH, QUERIES_PATH};
+    use pprox::lrs::durable::{DurableConfig, DurableLrs};
+    use pprox::store::{SealingKey, SecureRng, StoreError, TempDir};
+
+    fn sealing() -> SealingKey {
+        SealingKey::generate(&mut SecureRng::from_seed(77))
+    }
+
+    fn wal_only() -> DurableConfig {
+        DurableConfig {
+            snapshot_every: 0,
+            ..DurableConfig::default()
+        }
+    }
+
+    fn post(handler: &dyn RestHandler, user: &str, item: &str) {
+        let body = format!(r#"{{"user":"{user}","item":"{item}"}}"#);
+        assert!(handler
+            .handle(&HttpRequest::post(EVENTS_PATH, body))
+            .is_success());
+    }
+
+    #[test]
+    fn scheduled_torn_writes_recover_with_bounded_loss() {
+        let dir = TempDir::new("res-torn");
+        let sealing = sealing();
+        let lrs = Arc::new(DurableLrs::open(dir.path(), &sealing, wal_only()).unwrap());
+        // Four clean writes, then the crash: the schedule tears the WAL
+        // tail on the final request, modeling a kill -9 mid-append. (An
+        // inactive far-future window rides along to exercise schedule
+        // composition with storage faults.)
+        for i in 0..4 {
+            post(lrs.as_ref(), &format!("u{i}"), "film");
+        }
+        let schedule = ChaosSchedule::none()
+            .with(ChaosEntry::window(
+                Fault::ErrorStatus,
+                1.0,
+                Duration::from_secs(3600),
+                Duration::from_secs(7200),
+            ))
+            .with(ChaosEntry::always(Fault::TornWrite, 1.0));
+        let chaos =
+            ChaosLrs::with_schedule(lrs.clone(), schedule, 11).with_store_dir(&lrs.store_dir());
+        post(&chaos, "u4", "film");
+        assert_eq!(chaos.injected(), 1);
+        assert_eq!(chaos.served(), 1, "storage faults never fail the request");
+        drop(chaos);
+        drop(lrs);
+
+        let revived = DurableLrs::open(dir.path(), &sealing, wal_only()).unwrap();
+        let stats = revived.recovery().clone();
+        assert!(stats.torn_bytes > 0, "final tear visible at recovery");
+        assert_eq!(stats.replayed, 4, "exactly the torn record is lost");
+        // The revived instance serves.
+        assert!(revived
+            .handle(&HttpRequest::post(QUERIES_PATH, r#"{"user":"u0"}"#))
+            .is_success());
+    }
+
+    #[test]
+    fn scheduled_block_corruption_is_refused_at_recovery() {
+        let dir = TempDir::new("res-corrupt");
+        let sealing = sealing();
+        let lrs = Arc::new(DurableLrs::open(dir.path(), &sealing, wal_only()).unwrap());
+        post(lrs.as_ref(), "u1", "film");
+        post(lrs.as_ref(), "u2", "film");
+        lrs.snapshot_now().unwrap();
+
+        let schedule = ChaosSchedule::constant(Fault::CorruptBlock, 1.0);
+        let chaos =
+            ChaosLrs::with_schedule(lrs.clone(), schedule, 13).with_store_dir(&lrs.store_dir());
+        assert!(chaos
+            .handle(&HttpRequest::post(QUERIES_PATH, r#"{"user":"u1"}"#))
+            .is_success());
+        assert_eq!(chaos.injected(), 1);
+        drop(chaos);
+        drop(lrs);
+
+        // Detection, not silent acceptance: the damaged block is named.
+        let err = DurableLrs::open(dir.path(), &sealing, wal_only()).unwrap_err();
+        assert!(matches!(err, StoreError::CorruptBlock { .. }), "{err}");
+    }
+
+    #[test]
+    fn scheduled_stale_snapshot_is_refused_at_recovery() {
+        let dir = TempDir::new("res-stale");
+        let sealing = sealing();
+        let lrs = Arc::new(DurableLrs::open(dir.path(), &sealing, wal_only()).unwrap());
+        post(lrs.as_ref(), "u1", "a");
+        lrs.snapshot_now().unwrap();
+        post(lrs.as_ref(), "u2", "b");
+        lrs.snapshot_now().unwrap(); // previous manifest becomes .old
+        post(lrs.as_ref(), "u3", "c"); // fresh WAL record past the snapshot
+
+        let schedule = ChaosSchedule::constant(Fault::StaleSnapshot, 1.0);
+        let chaos =
+            ChaosLrs::with_schedule(lrs.clone(), schedule, 17).with_store_dir(&lrs.store_dir());
+        assert!(chaos
+            .handle(&HttpRequest::post(QUERIES_PATH, r#"{"user":"u1"}"#))
+            .is_success());
+        assert_eq!(chaos.injected(), 1);
+        drop(chaos);
+        drop(lrs);
+
+        let err = DurableLrs::open(dir.path(), &sealing, wal_only()).unwrap_err();
+        assert!(
+            matches!(err, StoreError::StaleSnapshot { .. }),
+            "stale manifest must not silently lose events: {err}"
+        );
+    }
+}

@@ -15,9 +15,13 @@
 use pprox::core::config::PProxConfig;
 use pprox::core::pipeline::{Completion, PProxPipeline};
 use pprox::core::resilience::Deadline;
+use pprox::core::shuffler::ShuffleConfig;
+use pprox::lrs::durable::{DurableConfig, DurableLrs};
 use pprox::lrs::stub::StubLrs;
-use pprox::wire::cluster::{ClusterConfig, LoopbackCluster};
-use std::sync::Arc;
+use pprox::lrs::RestHandler;
+use pprox::store::{SealingKey, SecureRng, TempDir};
+use pprox::wire::cluster::{ClusterConfig, LoopbackCluster, LrsFactory};
+use std::sync::{Arc, Mutex, Weak};
 use std::time::Duration;
 
 fn budget() -> Deadline {
@@ -118,5 +122,234 @@ fn survives_ia_instance_killed_mid_run() {
         .expect("get after kill failed");
     let items = client.open_response(&ticket, &encrypted).unwrap();
     assert!(!items.is_empty());
+    cluster.shutdown();
+}
+
+/// Killing a UA instance and then an LRS instance mid-run must not fail
+/// user requests: the front-door balancer routes around the dead UA, and
+/// the IA tier's resilient LRS calls (breaker + retries + failover)
+/// absorb the dead LRS frontend.
+#[test]
+fn survives_ua_and_lrs_instances_killed_mid_run() {
+    let config = ClusterConfig {
+        ua_instances: 2,
+        ia_instances: 2,
+        lrs_instances: 2,
+        modulus_bits: 1152,
+        seed: 0x001c_1110,
+        ..ClusterConfig::default()
+    };
+    let mut cluster = LoopbackCluster::launch(config, Arc::new(StubLrs::new())).unwrap();
+    let mut client = cluster.client();
+
+    // Warm phase: every tier member carries traffic.
+    for i in 0..8 {
+        let env = client
+            .post(&format!("u{i}"), &format!("m{i}"), None)
+            .unwrap();
+        cluster.send_post(&env, budget()).unwrap();
+    }
+
+    cluster.kill_ua(0);
+    for i in 0..6 {
+        let env = client
+            .post(&format!("v{i}"), &format!("m{i}"), None)
+            .unwrap();
+        cluster
+            .send_post(&env, budget())
+            .unwrap_or_else(|e| panic!("post {i} after UA kill failed: {e:?}"));
+    }
+
+    cluster.kill_lrs(0);
+    for i in 0..6 {
+        let env = client
+            .post(&format!("w{i}"), &format!("m{i}"), None)
+            .unwrap();
+        cluster
+            .send_post(&env, budget())
+            .unwrap_or_else(|e| panic!("post {i} after LRS kill failed: {e:?}"));
+    }
+    let (env, ticket) = client.get("u0").unwrap();
+    let encrypted = cluster
+        .send_get(&env, budget())
+        .expect("get after both kills failed");
+    let items = client.open_response(&ticket, &encrypted).unwrap();
+    assert!(!items.is_empty());
+    cluster.shutdown();
+}
+
+/// Graceful drain: requests sitting in the UA shuffle buffer when the
+/// cluster shuts down must be answered, not dropped. The buffer's flush
+/// timer is set far beyond the test's patience, so only the drain path
+/// can release them.
+#[test]
+fn shutdown_drains_buffered_shuffle_requests() {
+    let config = ClusterConfig {
+        ua_instances: 1,
+        ia_instances: 1,
+        lrs_instances: 1,
+        modulus_bits: 1152,
+        shuffle: ShuffleConfig {
+            size: 16,                // far more than we will send
+            timeout_us: 120_000_000, // 2 minutes: the timer never fires
+        },
+        seed: 0x000d_6a14,
+        ..ClusterConfig::default()
+    };
+    let mut cluster = LoopbackCluster::launch(config, Arc::new(StubLrs::new())).unwrap();
+    let mut clients: Vec<_> = (0..3).map(|_| cluster.client()).collect();
+
+    // Three posts enter the shuffle buffer and block there: 3 < 16 and
+    // the timer is minutes away — only the drain can release them.
+    let started = std::time::Instant::now();
+    let results: Vec<_> = std::thread::scope(|scope| {
+        let cluster = &cluster;
+        let handles: Vec<_> = clients
+            .iter_mut()
+            .enumerate()
+            .map(|(i, client)| {
+                scope.spawn(move || {
+                    let env = client.post(&format!("d{i}"), "m001", None).unwrap();
+                    cluster.send_post(&env, Deadline::starting_now(Duration::from_secs(30)))
+                })
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(400)); // let them buffer
+        cluster.kill_ua(0); // graceful shutdown of the only UA: drain fires
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sender thread must not panic"))
+            .collect()
+    });
+
+    for (i, result) in results.iter().enumerate() {
+        assert!(
+            result.is_ok(),
+            "buffered post {i} was dropped on shutdown: {result:?}"
+        );
+    }
+    assert!(
+        started.elapsed() < Duration::from_secs(20),
+        "answers must come from the drain, not the flush timer"
+    );
+    cluster.shutdown();
+}
+
+/// The full recovery drill: a supervised cluster over a *durable* LRS
+/// loses its entire LRS layer to a kill; the supervisor respawns it, the
+/// replacement unseals the store, replays snapshot + WAL, and a
+/// fixed-seed query returns exactly the recommendations it returned
+/// before the kill.
+#[test]
+fn supervised_durable_lrs_layer_recovers_with_identical_recommendations() {
+    let dir = TempDir::new("wire-recovery");
+    let sealing = SealingKey::generate(&mut SecureRng::from_seed(0x5ea1));
+    let durable_config = DurableConfig {
+        snapshot_every: 6, // several snapshots over the 20-event trace
+        train_every: 1,    // index is always trained when queried
+        ..DurableConfig::default()
+    };
+
+    // The boot factory the supervisor re-runs: one shared DurableLrs
+    // while any instance holds it; rebuilt from disk once the whole
+    // layer (and with it every strong reference) is gone.
+    let memo: Arc<Mutex<Weak<DurableLrs>>> = Arc::new(Mutex::new(Weak::new()));
+    let factory: LrsFactory = {
+        let memo = memo.clone();
+        let store_dir = dir.path().to_path_buf();
+        Arc::new(move || {
+            let mut slot = memo.lock().unwrap();
+            if let Some(live) = slot.upgrade() {
+                return live as Arc<dyn RestHandler>;
+            }
+            let lrs = Arc::new(
+                DurableLrs::open(&store_dir, &sealing, durable_config)
+                    .expect("durable recovery must succeed"),
+            );
+            *slot = Arc::downgrade(&lrs);
+            lrs
+        })
+    };
+
+    let config = ClusterConfig {
+        ua_instances: 1,
+        ia_instances: 1,
+        lrs_instances: 2,
+        modulus_bits: 1152,
+        supervisor: true,
+        seed: 0x4ec0,
+        ..ClusterConfig::default()
+    };
+    let mut cluster = LoopbackCluster::launch_with_factory(config, factory).unwrap();
+    let mut client = cluster.client();
+
+    // Fixed-seed trace: two taste clusters plus two extra events so the
+    // store holds snapshots AND a fresh WAL tail at kill time.
+    let mut trace = Vec::new();
+    for u in 0..6 {
+        trace.push((format!("sci-{u}"), "alien".to_string()));
+        trace.push((format!("sci-{u}"), "dune".to_string()));
+    }
+    for u in 0..6 {
+        trace.push((format!("rom-{u}"), "amelie".to_string()));
+    }
+    // sci-1 likes one film sci-0 has not seen: the recommendable item.
+    trace.push(("sci-1".to_string(), "contact".to_string()));
+    trace.push(("rom-0".to_string(), "amelie".to_string()));
+    for (user, item) in &trace {
+        let env = client.post(user, item, Some(4.0)).unwrap();
+        cluster.send_post(&env, budget()).unwrap();
+    }
+
+    let recommend = |cluster: &LoopbackCluster, client: &mut pprox::core::UserClient| {
+        let (env, ticket) = client.get("sci-0").unwrap();
+        let encrypted = cluster.send_get(&env, budget()).expect("get failed");
+        client.open_response(&ticket, &encrypted).unwrap()
+    };
+    let before = recommend(&cluster, &mut client);
+    assert!(!before.is_empty(), "trained backend must recommend");
+
+    // Kill -9 the whole LRS layer: every in-memory handler reference
+    // dies with the servers. The supervisor may respawn (a fresh
+    // allocation, rebuilt from disk) at any point afterwards, so the
+    // liveness check pins the pre-kill allocation, not the memo slot.
+    let pre_kill = memo.lock().unwrap().clone();
+    cluster.kill_lrs_layer();
+    assert!(
+        pre_kill.upgrade().is_none(),
+        "layer kill must drop every strong reference to the handler"
+    );
+
+    assert!(
+        cluster.wait_ready(Duration::from_secs(20)),
+        "supervisor must bring the layer back"
+    );
+    assert!(cluster.respawns() >= 2, "both LRS instances were recovered");
+
+    // The replacement came from disk, not from memory.
+    let revived = memo
+        .lock()
+        .unwrap()
+        .upgrade()
+        .expect("respawned layer must hold the recovered handler");
+    let stats = revived.recovery();
+    assert!(!stats.cold_start, "recovery must unseal the existing store");
+    assert_eq!(
+        stats.snapshot_events + stats.replayed,
+        trace.len(),
+        "snapshot + WAL replay must restore the full trace"
+    );
+    assert!(stats.snapshot_events > 0, "snapshots must have fired");
+    assert!(stats.replayed > 0, "the WAL tail must replay");
+
+    let after = recommend(&cluster, &mut client);
+    assert_eq!(
+        after, before,
+        "recovered layer must return identical recommendations"
+    );
+
+    // And the revived layer keeps accepting writes.
+    let env = client.post("sci-1", "contact", Some(5.0)).unwrap();
+    cluster.send_post(&env, budget()).unwrap();
     cluster.shutdown();
 }
