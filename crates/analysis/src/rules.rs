@@ -138,6 +138,10 @@ pub const CROSS_LAYER_ALLOWLIST: &[(&str, &str)] = &[
         "crates/bench/",
         "benchmark driver: orchestrates full deployments end to end",
     ),
+    (
+        "crates/scenario/",
+        "scenario harness: plays the user population and the wire adversary",
+    ),
     ("src/", "facade crate: re-exports only"),
     ("tests/", "integration tests exercise the full protocol"),
 ];

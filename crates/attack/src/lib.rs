@@ -26,6 +26,10 @@
 //!   system: joins exported telemetry spans across the shuffle boundary,
 //!   checks linkage stays at the `1/S` baseline under trace-ID
 //!   re-randomization, and demonstrates the stable-ID ablation is caught.
+//! * [`wire_audit`] — the §6.2 adversary pointed at *real sockets*: a
+//!   burst-clustering, rank-matching linkage estimator over frame
+//!   timings recorded by a tap on the UA→IA boundary, scored against
+//!   `1/S` and `1/(S·I)`; `pprox-scenario` feeds it live cluster traces.
 //! * [`at_rest_audit`] — the §6.1 database adversary pointed at *disk*:
 //!   scans a durable store directory (`pprox-store`) for plaintext
 //!   user/item identifiers, unpadded record lengths, and foreign files,
@@ -45,6 +49,7 @@ pub mod history;
 pub mod lowtraffic;
 pub mod observer;
 pub mod telemetry_audit;
+pub mod wire_audit;
 
 pub use at_rest_audit::{audit_store_dir, AtRestAuditOutcome, PlaintextHit};
 pub use cases::{break_ia_and_read_database, break_ua_and_read_database, CaseOutcome};
@@ -53,3 +58,6 @@ pub use history::{intersection_attack, IntersectionOutcome};
 pub use lowtraffic::{measure_anonymity_set, AnonymitySetReport};
 pub use observer::{run_observation, ObservationConfig};
 pub use telemetry_audit::{audit_telemetry, TelemetryAuditConfig, TelemetryAuditOutcome};
+pub use wire_audit::{
+    wire_linkage_attack, TraceArrival, TraceDeparture, WireAuditConfig, WireAuditOutcome, WireTrace,
+};

@@ -90,6 +90,7 @@ pub struct ShuffleBuffer<T> {
     rng: SecureRng,
     flushes: u64,
     timeout_flushes: u64,
+    order_ablation: bool,
 }
 
 impl<T> ShuffleBuffer<T> {
@@ -107,7 +108,18 @@ impl<T> ShuffleBuffer<T> {
             rng: SecureRng::from_seed(seed),
             flushes: 0,
             timeout_flushes: 0,
+            order_ablation: false,
         }
+    }
+
+    /// Seeded ablation for the attack harnesses: batching still happens
+    /// (items dwell until `S` or the timer), but the release permutation
+    /// is suppressed — batches leave in arrival order. This deliberately
+    /// voids the §4.3 unlinkability argument while keeping every timing
+    /// characteristic identical, so a traffic-analysis audit must *catch*
+    /// it as a bound violation rather than pass by construction.
+    pub fn set_order_ablation(&mut self, on: bool) {
+        self.order_ablation = on;
     }
 
     /// Adds an item arriving at `now_us`; returns a flush when the buffer
@@ -155,7 +167,9 @@ impl<T> ShuffleBuffer<T> {
         // times stay attached to their items through the permutation.
         let mut held = std::mem::take(&mut self.held);
         self.oldest_at_us = None;
-        self.rng.shuffle(&mut held);
+        if !self.order_ablation {
+            self.rng.shuffle(&mut held);
+        }
         self.flushes += 1;
         let mut items = Vec::with_capacity(held.len());
         let mut arrived_at_us = Vec::with_capacity(held.len());
@@ -307,6 +321,23 @@ mod tests {
         let paper = ShuffleConfig::paper_default();
         assert_eq!(paper.size, 10);
         assert!(!paper.is_disabled());
+    }
+
+    #[test]
+    fn order_ablation_preserves_arrival_order() {
+        let mut b = buf(8, 1_000_000);
+        b.set_order_ablation(true);
+        for _ in 0..10 {
+            let mut flush = None;
+            for i in 0..8u32 {
+                flush = b.push(0, i).or(flush);
+            }
+            assert_eq!(
+                flush.unwrap().items,
+                (0..8).collect::<Vec<_>>(),
+                "ablated buffer must release in arrival order"
+            );
+        }
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use pprox_core::autoscale::{AutoscaleConfig, Autoscaler};
 use pprox_core::message::{ClientEnvelope, LayerEnvelope, Op};
 use pprox_core::routing::RoutingTable;
-use pprox_core::shuffler::{ShuffleBuffer, ShuffleConfig};
+use pprox_core::shuffler::{FlushReason, ShuffleBuffer, ShuffleConfig};
 use pprox_core::telemetry::histogram::SUB_BUCKETS;
 use pprox_core::telemetry::{HistogramSnapshot, LatencyHistogram};
 use proptest::prelude::*;
@@ -91,6 +91,158 @@ proptest! {
             }
         }
         prop_assert!(buffer.len() < size);
+    }
+
+    /// Every flush releases at least one item, never more than S, and
+    /// full-reason flushes release exactly S — under arbitrary
+    /// interleavings of pushes and timer polls.
+    #[test]
+    fn shuffler_flushes_are_nonempty_and_bounded(
+        ops in shuffle_ops(),
+        size in 1usize..20,
+        timeout_us in 1_000u64..1_000_000,
+        seed in any::<u64>(),
+    ) {
+        let mut buffer = ShuffleBuffer::new(ShuffleConfig { size, timeout_us }, seed);
+        let mut now = 0u64;
+        let mut item = 0u64;
+        let check = |flush: pprox_core::shuffler::Flush<u64>| {
+            prop_assert!(!flush.items.is_empty(), "empty flush ({:?})", flush.reason);
+            prop_assert!(flush.items.len() <= size, "oversized flush");
+            if flush.reason == FlushReason::Full {
+                prop_assert_eq!(flush.items.len(), size);
+            }
+            Ok(())
+        };
+        for op in ops {
+            match op {
+                ShuffleOp::Push(dt) => {
+                    now += dt;
+                    item += 1;
+                    if let Some(flush) = buffer.push(now, item) {
+                        check(flush)?;
+                    }
+                }
+                ShuffleOp::AdvanceAndPoll(dt) => {
+                    now += dt;
+                    if let Some(flush) = buffer.poll_timeout(now) {
+                        check(flush)?;
+                    }
+                }
+            }
+        }
+        if let Some(flush) = buffer.drain() {
+            check(flush)?;
+        }
+    }
+
+    /// Dwell is bounded: after any timer poll, no held item is older
+    /// than the flush timeout, and no released item ever dwelt past it
+    /// by more than the gap since the previous poll. The §4.3
+    /// privacy/latency trade-off depends on the timeout capping dwell.
+    #[test]
+    fn shuffler_dwell_is_bounded_by_timeout(
+        ops in shuffle_ops(),
+        size in 2usize..20,
+        timeout_us in 1_000u64..1_000_000,
+        seed in any::<u64>(),
+    ) {
+        let mut buffer = ShuffleBuffer::new(ShuffleConfig { size, timeout_us }, seed);
+        let mut now = 0u64;
+        // Shadow model of the buffer: (item, arrival) in push order.
+        let mut held: Vec<(u64, u64)> = Vec::new();
+        let mut item = 0u64;
+        let on_flush = |flush: pprox_core::shuffler::Flush<u64>,
+                            held: &mut Vec<(u64, u64)>,
+                            now_us: u64,
+                            slack: u64| {
+            for released in &flush.items {
+                let pos = held.iter().position(|(i, _)| i == released)
+                    .expect("released an item the model does not hold");
+                let (_, arrived) = held.remove(pos);
+                // The timer is observed only at poll points, so dwell
+                // can overshoot the timeout by at most the time since
+                // the previous poll (when the buffer was last checked).
+                prop_assert!(
+                    now_us - arrived <= timeout_us + slack,
+                    "item dwelt {} µs past a {} µs timeout (slack {})",
+                    now_us - arrived, timeout_us, slack
+                );
+            }
+            Ok(())
+        };
+        let mut last_poll_at = 0u64;
+        for op in ops {
+            match op {
+                ShuffleOp::Push(dt) => {
+                    now += dt;
+                    item += 1;
+                    held.push((item, now));
+                    if let Some(flush) = buffer.push(now, item) {
+                        on_flush(flush, &mut held, now, now - last_poll_at)?;
+                    }
+                }
+                ShuffleOp::AdvanceAndPoll(dt) => {
+                    now += dt;
+                    if let Some(flush) = buffer.poll_timeout(now) {
+                        on_flush(flush, &mut held, now, now - last_poll_at)?;
+                    }
+                    last_poll_at = now;
+                    // The timer poll just ran: whatever is still held
+                    // must be younger than the timeout.
+                    if let Some(&(_, oldest)) = held.first() {
+                        prop_assert!(
+                            now < oldest + timeout_us,
+                            "poll left an item {} µs overdue",
+                            now - (oldest + timeout_us)
+                        );
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(held.len(), buffer.len(), "model diverged from buffer");
+    }
+
+    /// The release permutation is positional, not content-dependent:
+    /// two same-seed buffers fed the same arrival slots release from
+    /// the same positions regardless of which items occupy them. The
+    /// adversary-facing property: batch order carries no information
+    /// about arrival order beyond the seed.
+    #[test]
+    fn shuffler_permutation_is_independent_of_item_order(
+        size in 2usize..16,
+        batches in 1usize..8,
+        seed in any::<u64>(),
+        reversed in any::<bool>(),
+    ) {
+        let config = ShuffleConfig { size, timeout_us: u64::MAX / 2 };
+        let mut a = ShuffleBuffer::new(config, seed);
+        let mut b = ShuffleBuffer::new(config, seed);
+        for batch in 0..batches as u64 {
+            let base = batch * size as u64;
+            let items_a: Vec<u64> = (0..size as u64).map(|i| base + i).collect();
+            let mut items_b = items_a.clone();
+            if reversed {
+                items_b.reverse();
+            }
+            let mut out_a = None;
+            let mut out_b = None;
+            for i in 0..size {
+                out_a = a.push(i as u64, items_a[i]).or(out_a);
+                out_b = b.push(i as u64, items_b[i]).or(out_b);
+            }
+            let out_a = out_a.expect("batch A must flush").items;
+            let out_b = out_b.expect("batch B must flush").items;
+            // Derive A's positional permutation π (slot fed → release
+            // rank) and check B applied the identical π to its slots.
+            for (rank, &released) in out_a.iter().enumerate() {
+                let slot = items_a.iter().position(|&x| x == released).unwrap();
+                prop_assert_eq!(
+                    out_b[rank], items_b[slot],
+                    "release rank {} drew from a different slot", rank
+                );
+            }
+        }
     }
 
     /// Routing table: every registered id resolves exactly once, ids are

@@ -1,0 +1,175 @@
+//! The scenario catalog.
+//!
+//! Eight named scenarios cover the deployment conditions the paper's
+//! §6.2 bounds must survive: steady state, diurnal ramps, flash crowds,
+//! client churn, WAN latency between layers, slow-loris floors,
+//! admission-gate abuse — plus the seeded shuffle ablation the audit
+//! must *catch*. Rates are tuned so `S / per_instance_rate` stays well
+//! under the flush timeout: buffers fill before the timer fires, which
+//! is the regime the `1/S` analysis assumes (§6.3 treats the starved
+//! regime separately; `pprox-attack::lowtraffic` measures it).
+//!
+//! The ablation scenario runs a single forwarder on a single instance:
+//! concurrent forwarders would re-randomize wire order on their own and
+//! mask the suppressed permutation, turning a real leak into a pass.
+
+use crate::harness::ScenarioSpec;
+use crate::schedule::LoadShape;
+
+/// Baseline shared by the catalog; scenarios override what they test.
+fn base(name: &'static str) -> ScenarioSpec {
+    ScenarioSpec {
+        name,
+        shape: LoadShape::Steady { rps: 200.0 },
+        requests: 320,
+        shuffle_size: 4,
+        shuffle_timeout_us: 80_000,
+        ua_instances: 2,
+        ia_instances: 2,
+        forwarders: 2,
+        wan_delay_us: 0,
+        churn_every: None,
+        slow_loris_conns: 0,
+        max_inflight: None,
+        order_ablation: false,
+        violation_expected: false,
+        batch_gap_us: 8_000,
+    }
+}
+
+/// The full catalog, in report order.
+pub fn all() -> Vec<ScenarioSpec> {
+    vec![
+        ScenarioSpec {
+            shape: LoadShape::Steady { rps: 220.0 },
+            shuffle_timeout_us: 60_000,
+            ..base("steady")
+        },
+        ScenarioSpec {
+            shape: LoadShape::Diurnal {
+                low_rps: 120.0,
+                high_rps: 280.0,
+                cycles: 2,
+            },
+            requests: 360,
+            ..base("diurnal")
+        },
+        ScenarioSpec {
+            shape: LoadShape::Flash {
+                base_rps: 140.0,
+                spike_rps: 420.0,
+                spike_start: 0.4,
+                spike_frac: 0.25,
+            },
+            requests: 360,
+            ..base("flash_crowd")
+        },
+        ScenarioSpec {
+            churn_every: Some(12),
+            ..base("churn")
+        },
+        ScenarioSpec {
+            shape: LoadShape::Steady { rps: 120.0 },
+            requests: 240,
+            wan_delay_us: 5_000,
+            shuffle_timeout_us: 100_000,
+            // WAN serialization spreads a flush's frames ~5 ms apart on
+            // a shared connection; the gap must clear that spread while
+            // staying far under the ~67 ms inter-flush interval.
+            batch_gap_us: 16_000,
+            ..base("wan")
+        },
+        ScenarioSpec {
+            shape: LoadShape::Steady { rps: 180.0 },
+            requests: 280,
+            slow_loris_conns: 16,
+            ..base("slow_loris")
+        },
+        ScenarioSpec {
+            shape: LoadShape::Steady { rps: 320.0 },
+            requests: 360,
+            shuffle_timeout_us: 60_000,
+            max_inflight: Some(8),
+            ..base("busy_shed")
+        },
+        ScenarioSpec {
+            shape: LoadShape::Steady { rps: 160.0 },
+            requests: 240,
+            shuffle_timeout_us: 60_000,
+            ua_instances: 1,
+            ia_instances: 1,
+            forwarders: 1,
+            order_ablation: true,
+            violation_expected: true,
+            ..base("ablation_unshuffled")
+        },
+    ]
+}
+
+/// A short two-scenario set for CI smoke runs: one normal scenario that
+/// must meet its bounds and one ablation that must be caught.
+pub fn smoke() -> Vec<ScenarioSpec> {
+    vec![
+        ScenarioSpec {
+            requests: 144,
+            shuffle_timeout_us: 60_000,
+            ..base("steady_smoke")
+        },
+        ScenarioSpec {
+            shape: LoadShape::Steady { rps: 160.0 },
+            requests: 96,
+            shuffle_timeout_us: 60_000,
+            ua_instances: 1,
+            ia_instances: 1,
+            forwarders: 1,
+            order_ablation: true,
+            violation_expected: true,
+            ..base("ablation_smoke")
+        },
+    ]
+}
+
+/// Looks a scenario up by name across both catalogs.
+pub fn by_name(name: &str) -> Option<ScenarioSpec> {
+    all().into_iter().chain(smoke()).find(|s| s.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_is_well_formed() {
+        let specs = all();
+        assert!(specs.len() >= 5, "report needs at least five scenarios");
+        let mut names: Vec<_> = specs.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), specs.len(), "duplicate scenario names");
+        for s in specs.iter().chain(&smoke()) {
+            assert!(s.requests > 0 && s.shuffle_size > 1);
+            assert!(s.violation_expected == s.order_ablation);
+            // Buffers must fill before the flush timer fires: the mean
+            // per-instance inter-flush interval S/rate stays under the
+            // timeout with margin.
+            let per_instance = s.shape.mean_rps(s.requests) / s.ua_instances as f64;
+            let fill_us = s.shuffle_size as f64 / per_instance * 1e6;
+            assert!(
+                fill_us < s.shuffle_timeout_us as f64 * 0.9,
+                "{}: buffers would starve (fill {:.0}µs vs timeout {}µs)",
+                s.name,
+                fill_us,
+                s.shuffle_timeout_us
+            );
+            // And the burst-clustering gap must separate flushes.
+            assert!(
+                (s.batch_gap_us as f64) < fill_us,
+                "{}: batch gap would merge consecutive flushes",
+                s.name
+            );
+        }
+        assert!(by_name("steady").is_some());
+        assert!(by_name("ablation_smoke").is_some());
+        assert!(by_name("nope").is_none());
+    }
+}

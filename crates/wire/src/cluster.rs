@@ -26,10 +26,11 @@
 //! out [`UserClient`]s and moves opaque ciphertext — so it never names
 //! an item-side API (analyzer rule R3).
 
+use crate::audit::LinkageAudit;
 use crate::balancer::SocketBalancer;
 use crate::client::ClientConfig;
-use crate::server::{FrameHandler, ServerConfig, WireServer};
-use crate::services::{IaWireService, LrsWireService, UaWireService};
+use crate::server::{FrameHandler, ServerConfig, ServerStats, WireServer};
+use crate::services::{IaWireService, LrsWireService, UaServiceOptions, UaWireService};
 use crate::supervisor::{
     is_alive, RespawnEvent, RespawnFn, Supervisor, SupervisorConfig, WatchedSlot,
 };
@@ -86,6 +87,14 @@ pub struct ClusterConfig {
     pub supervise: SupervisorConfig,
     /// Master seed (keys, shuffle order, jitter).
     pub seed: u64,
+    /// Record per-request shuffle-egress ground truth on every UA
+    /// instance (see [`LinkageAudit`]). Off in production; the scenario
+    /// harness turns it on to score its traffic-analysis adversary.
+    pub linkage_audit: bool,
+    /// Seeded ablation: shuffle buffers batch but release in arrival
+    /// order, deliberately voiding the §4.3 permutation so audits can
+    /// prove they would catch a broken shuffle.
+    pub shuffle_order_ablation: bool,
 }
 
 impl Default for ClusterConfig {
@@ -105,11 +114,20 @@ impl Default for ClusterConfig {
             supervisor: false,
             supervise: SupervisorConfig::default(),
             seed: 0xC1A5_7E12,
+            linkage_audit: false,
+            shuffle_order_ablation: false,
         }
     }
 }
 
 impl ClusterConfig {
+    /// Sets shuffle size `S` and flush timeout in one call — the knobs
+    /// scenarios and tests sweep without rebuilding anything else.
+    pub fn with_shuffle(mut self, size: usize, timeout_us: u64) -> Self {
+        self.shuffle = ShuffleConfig { size, timeout_us };
+        self
+    }
+
     fn validated(self) -> Self {
         for (name, n) in [
             ("ua_instances", self.ua_instances),
@@ -149,6 +167,9 @@ pub struct LoopbackCluster {
     ua_ia_balancers: Vec<Arc<SocketBalancer>>,
     /// Per-IA ring into the LRS tier.
     ia_lrs_balancers: Vec<Arc<SocketBalancer>>,
+    /// Per-UA ground-truth departure logs (empty unless
+    /// `config.linkage_audit`); survive instance respawns.
+    linkage_audits: Vec<Arc<LinkageAudit>>,
     supervisor: Option<Supervisor>,
     /// Recoveries performed by supervisors already replaced (the
     /// supervisor is swapped out during an atomic layer kill).
@@ -259,6 +280,13 @@ impl LoopbackCluster {
         // UA tier: per-instance enclave, IA pools, and shuffle stage.
         let mut ua_servers = Vec::new();
         let mut ua_ia_balancers = Vec::new();
+        let linkage_audits: Vec<Arc<LinkageAudit>> = if config.linkage_audit {
+            (0..config.ua_instances)
+                .map(|_| Arc::new(LinkageAudit::new()))
+                .collect()
+        } else {
+            Vec::new()
+        };
         for i in 0..config.ua_instances {
             let enclave = platform.load_enclave::<UaState>(UA_CODE_IDENTITY);
             provisioner.provision_ua(&platform, &enclave)?;
@@ -271,9 +299,13 @@ impl LoopbackCluster {
             let service: Arc<dyn FrameHandler> = Arc::new(UaWireService::new(
                 enclave,
                 ia_balancer.clone(),
-                config.encryption,
-                config.shuffle,
-                config.forwarders,
+                UaServiceOptions {
+                    encryption: config.encryption,
+                    shuffle: config.shuffle,
+                    forwarders: config.forwarders,
+                    shuffle_order_ablation: config.shuffle_order_ablation,
+                    audit: linkage_audits.get(i).cloned(),
+                },
                 telemetry.clone(),
                 config.seed ^ (0x0a10 + i as u64),
             ));
@@ -313,6 +345,7 @@ impl LoopbackCluster {
             lrs_addrs,
             ua_ia_balancers,
             ia_lrs_balancers,
+            linkage_audits,
             supervisor: None,
             prior_respawns: 0,
             prior_events: Vec::new(),
@@ -423,9 +456,13 @@ impl LoopbackCluster {
         let server_cfg = self.config.server.clone();
         let ia_balancer = self.ua_ia_balancers[index].clone();
         let frontend = self.frontend.clone();
-        let encryption = self.config.encryption;
-        let shuffle = self.config.shuffle;
-        let forwarders = self.config.forwarders;
+        let options = UaServiceOptions {
+            encryption: self.config.encryption,
+            shuffle: self.config.shuffle,
+            forwarders: self.config.forwarders,
+            shuffle_order_ablation: self.config.shuffle_order_ablation,
+            audit: self.linkage_audits.get(index).cloned(),
+        };
         let seed = self.config.seed ^ (0x0a10 + index as u64);
         Box::new(move || {
             let enclave = platform.load_enclave::<UaState>(UA_CODE_IDENTITY);
@@ -433,9 +470,7 @@ impl LoopbackCluster {
             let service: Arc<dyn FrameHandler> = Arc::new(UaWireService::new(
                 enclave,
                 ia_balancer.clone(),
-                encryption,
-                shuffle,
-                forwarders,
+                options.clone(),
                 telemetry.clone(),
                 seed,
             ));
@@ -467,6 +502,66 @@ impl LoopbackCluster {
     /// UA front-door addresses (for external drivers).
     pub fn ua_addrs(&self) -> Vec<SocketAddr> {
         self.ua_addrs.iter().map(|a| *a.lock()).collect()
+    }
+
+    /// IA tier addresses — where a scenario harness points its recording
+    /// taps before rerouting a UA's uplink through them.
+    pub fn ia_addrs(&self) -> Vec<SocketAddr> {
+        self.ia_addrs.iter().map(|a| *a.lock()).collect()
+    }
+
+    /// Per-UA ground-truth departure logs (empty unless the cluster was
+    /// launched with `linkage_audit`).
+    pub fn linkage_audits(&self) -> Vec<Arc<LinkageAudit>> {
+        self.linkage_audits.clone()
+    }
+
+    /// Requests currently inside one UA server's admission gate. A
+    /// request parked in the shuffle buffer holds its permit for the
+    /// whole dwell, so this is the deadline-polling signal for "N
+    /// requests are buffered" — no sleeps needed.
+    ///
+    /// Returns 0 for a killed slot.
+    ///
+    /// # Panics
+    ///
+    /// If `index` is out of range.
+    pub fn ua_in_flight(&self, index: usize) -> usize {
+        self.ua_servers.lock()[index]
+            .as_ref()
+            .map_or(0, WireServer::in_flight)
+    }
+
+    /// Socket-level counters of one UA server (shed counts for the
+    /// Busy-abuse scenarios). `None` for a killed slot.
+    ///
+    /// # Panics
+    ///
+    /// If `index` is out of range.
+    pub fn ua_stats(&self, index: usize) -> Option<ServerStats> {
+        self.ua_servers.lock()[index]
+            .as_ref()
+            .map(WireServer::stats)
+    }
+
+    /// Reroutes one UA instance's uplink ring through interposed
+    /// addresses (the scenario harness's recording taps): backend `j` of
+    /// that UA's IA ring is replaced by `addrs[j]`. The tap processes
+    /// must forward to the real IA addresses themselves.
+    ///
+    /// # Panics
+    ///
+    /// If `ua` is out of range or `addrs` does not cover the IA tier.
+    pub fn reroute_ua_uplink(&self, ua: usize, addrs: &[SocketAddr]) {
+        let ring = &self.ua_ia_balancers[ua];
+        assert_eq!(
+            addrs.len(),
+            ring.len(),
+            "tap address list must cover every IA backend"
+        );
+        for (j, addr) in addrs.iter().enumerate() {
+            ring.replace_backend(j, *addr);
+        }
     }
 
     /// Calls retried on another UA instance by the front door.

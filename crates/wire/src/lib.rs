@@ -20,6 +20,8 @@
 //! * [`balancer`] — round-robin / random / least-loaded selection over
 //!   real sockets, sharing [`pprox_net::Selector`] with the simulator's
 //!   `net::lb` so both transports implement one policy set.
+//! * [`audit`] — ground-truth departure logging for the traffic-analysis
+//!   audit (`pprox-scenario`): off by default, fingerprint + timing only.
 //! * [`services`] — the UA, IA, and LRS frame handlers. Their file split
 //!   mirrors the enclave layer split so the `pprox-analysis` privacy
 //!   rules apply: the UA service never names an item API, the IA service
@@ -37,6 +39,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod audit;
 pub mod balancer;
 pub mod client;
 pub mod cluster;
@@ -45,6 +48,7 @@ pub mod server;
 pub mod services;
 pub mod supervisor;
 
+pub use audit::{AuditEvent, LinkageAudit};
 pub use balancer::SocketBalancer;
 pub use client::{ClientConfig, PooledClient};
 pub use cluster::{ClusterConfig, LoopbackCluster};

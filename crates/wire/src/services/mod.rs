@@ -12,4 +12,4 @@ pub mod ua;
 
 pub use ia::IaWireService;
 pub use lrs::LrsWireService;
-pub use ua::UaWireService;
+pub use ua::{UaServiceOptions, UaWireService};

@@ -16,6 +16,7 @@
 //! This file never names an item-side API; the aux block it forwards is
 //! opaque ciphertext bound for the IA.
 
+use crate::audit::{self, LinkageAudit};
 use crate::balancer::SocketBalancer;
 use crate::server::FrameHandler;
 use crate::{WireError, WireStatus};
@@ -36,6 +37,41 @@ struct ShuffleJob {
     bytes: Vec<u8>,
     deadline: Deadline,
     reply: Sender<WireReply>,
+    /// Request fingerprint for the linkage-audit ground truth; zero when
+    /// auditing is off.
+    fp: u64,
+}
+
+/// Per-instance tuning of one [`UaWireService`], bundled so the cluster
+/// can thread scenario knobs (audit hooks, the order ablation) through
+/// without growing the constructor every time.
+#[derive(Debug, Clone)]
+pub struct UaServiceOptions {
+    /// End-to-end encryption on (the paper's normal mode).
+    pub encryption: bool,
+    /// Shuffle buffer configuration (§4.3); disabled ⇒ no stage threads.
+    pub shuffle: ShuffleConfig,
+    /// IA-call forwarder threads behind the request shuffle.
+    pub forwarders: usize,
+    /// Seeded ablation: batch but release in arrival order (see
+    /// [`ShuffleBuffer::set_order_ablation`]). The traffic audit must
+    /// catch this as a bound violation.
+    pub shuffle_order_ablation: bool,
+    /// Ground-truth departure log for the linkage scorer; `None` in
+    /// production (the default).
+    pub audit: Option<Arc<LinkageAudit>>,
+}
+
+impl Default for UaServiceOptions {
+    fn default() -> Self {
+        UaServiceOptions {
+            encryption: true,
+            shuffle: ShuffleConfig::disabled(),
+            forwarders: 4,
+            shuffle_order_ablation: false,
+            audit: None,
+        }
+    }
 }
 
 struct ReplyJob {
@@ -62,6 +98,8 @@ impl ShuffleStage {
         ia: Arc<SocketBalancer>,
         telemetry: Arc<Telemetry>,
         seed: u64,
+        order_ablation: bool,
+        audit: Option<Arc<LinkageAudit>>,
     ) -> Self {
         let (job_tx, job_rx) = unbounded::<ShuffleJob>();
         let (fwd_tx, fwd_rx) = unbounded::<ShuffleJob>();
@@ -74,7 +112,8 @@ impl ShuffleStage {
         // random order toward the forwarders.
         {
             let telemetry = telemetry.clone();
-            let buffer = ShuffleBuffer::new(config, seed ^ 0x0a5e);
+            let mut buffer = ShuffleBuffer::new(config, seed ^ 0x0a5e);
+            buffer.set_order_ablation(order_ablation);
             handles.push(std::thread::spawn(move || {
                 run_shuffle(
                     job_rx,
@@ -94,8 +133,15 @@ impl ShuffleStage {
             let rx = fwd_rx.clone();
             let tx = resp_tx.clone();
             let ia = ia.clone();
+            let audit = audit.clone();
+            let telemetry = telemetry.clone();
             handles.push(std::thread::spawn(move || {
                 while let Ok(job) = rx.recv() {
+                    // Audit ground truth: this is the instant the request
+                    // leaves the shuffle stage for the wire.
+                    if let Some(log) = &audit {
+                        log.record_departure(job.fp, telemetry.now_us());
+                    }
                     let result = forward_to_ia(&ia, &job.bytes, job.deadline);
                     let _ = tx.send(ReplyJob {
                         result,
@@ -110,7 +156,8 @@ impl ShuffleStage {
         // Response-path shuffle: completions dwell again before their
         // waiting connections learn anything.
         {
-            let buffer = ShuffleBuffer::new(config, seed ^ 0x1a5e);
+            let mut buffer = ShuffleBuffer::new(config, seed ^ 0x1a5e);
+            buffer.set_order_ablation(order_ablation);
             handles.push(std::thread::spawn(move || {
                 run_shuffle(
                     resp_rx,
@@ -239,41 +286,43 @@ pub struct UaWireService {
     encryption: bool,
     telemetry: Arc<Telemetry>,
     shuffle: Option<ShuffleStage>,
+    audit: Option<Arc<LinkageAudit>>,
 }
 
 impl UaWireService {
     /// Builds the service around a provisioned UA enclave and a shared
     /// balancer over the IA tier (shared so a supervisor can readmit
     /// respawned IA instances into the ring the service is using).
-    /// `forwarders` sizes the shuffle stage's IA-call pool (ignored when
-    /// `shuffle` is disabled — calls then run on the server's own
-    /// workers).
+    /// `options.forwarders` sizes the shuffle stage's IA-call pool
+    /// (ignored when `options.shuffle` is disabled — calls then run on
+    /// the server's own workers).
     pub fn new(
         enclave: Arc<Enclave<UaState>>,
         ia: Arc<SocketBalancer>,
-        encryption: bool,
-        shuffle: ShuffleConfig,
-        forwarders: usize,
+        options: UaServiceOptions,
         telemetry: Arc<Telemetry>,
         seed: u64,
     ) -> Self {
-        let stage = if shuffle.is_disabled() {
+        let stage = if options.shuffle.is_disabled() {
             None
         } else {
             Some(ShuffleStage::spawn(
-                shuffle,
-                forwarders,
+                options.shuffle,
+                options.forwarders,
                 ia.clone(),
                 telemetry.clone(),
                 seed,
+                options.shuffle_order_ablation,
+                options.audit.clone(),
             ))
         };
         UaWireService {
             enclave,
             ia,
-            encryption,
+            encryption: options.encryption,
             telemetry,
             shuffle: stage,
+            audit: options.audit,
         }
     }
 }
@@ -288,6 +337,14 @@ impl FrameHandler for UaWireService {
     }
 
     fn handle(&self, payload: Vec<u8>, deadline: Deadline) -> Result<Vec<u8>, WireStatus> {
+        // Fingerprint the raw client frame bytes before any processing:
+        // the scenario harness computed the same hash when it encoded the
+        // envelope, which is what joins audit events back to requests.
+        let fp = self
+            .audit
+            .as_ref()
+            .map(|_| audit::request_fingerprint(&payload))
+            .unwrap_or(0);
         let envelope = ClientEnvelope::from_frame(&payload).map_err(|_| WireStatus::Malformed)?;
         let encryption = self.encryption;
         let started = Instant::now();
@@ -305,7 +362,12 @@ impl FrameHandler for UaWireService {
         let bytes = layer.to_frame().map_err(|_| WireStatus::Failed)?;
 
         match &self.shuffle {
-            None => forward_to_ia(&self.ia, &bytes, deadline),
+            None => {
+                if let Some(log) = &self.audit {
+                    log.record_departure(fp, self.telemetry.now_us());
+                }
+                forward_to_ia(&self.ia, &bytes, deadline)
+            }
             Some(stage) => {
                 let (reply_tx, reply_rx) = bounded::<WireReply>(1);
                 let Some(tx) = &stage.tx else {
@@ -316,6 +378,7 @@ impl FrameHandler for UaWireService {
                         bytes,
                         deadline,
                         reply: reply_tx,
+                        fp,
                     })
                     .is_err()
                 {

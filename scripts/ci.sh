@@ -68,4 +68,16 @@ cargo run --release -q -p pprox-bench --bin telemetry_export -- \
 echo "== validate committed telemetry snapshot =="
 cargo run --release -q -p pprox-bench --bin telemetry_export -- --validate results
 
+echo "== scenario smoke (measured unlinkability + seeded ablation) =="
+SCENARIO_DIR="$(mktemp -d)"
+trap 'rm -rf "$SCENARIO_DIR" "$TELEMETRY_DIR" "$RECOVERY_DIR" "$WIRE_DIR" "$ANALYSIS_DIR"' EXIT
+cargo run --release -q -p pprox-bench --bin scenario_report -- \
+    --smoke --out "$SCENARIO_DIR/BENCH_scenarios.json" >/dev/null
+cargo run --release -q -p pprox-bench --bin scenario_report -- \
+    --validate "$SCENARIO_DIR/BENCH_scenarios.json"
+
+echo "== validate committed scenario report =="
+cargo run --release -q -p pprox-bench --bin scenario_report -- \
+    --validate results/BENCH_scenarios.json
+
 echo "CI green."

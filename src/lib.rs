@@ -31,6 +31,10 @@
 //!   codec with constant-size padding classes, non-blocking server,
 //!   pooled clients, socket load balancing, and the `bin/cluster`
 //!   harness running the full chain over sockets.
+//! * [`scenario`] (`pprox-scenario`) — topology-driven cluster
+//!   scenarios (diurnal ramps, flash crowds, churn, WAN latency,
+//!   slow-loris, Busy-shed abuse) plus the wire-tap traffic-analysis
+//!   adversary that checks measured linkage against the §6.2 bounds.
 //!
 //! # Quickstart
 //!
@@ -64,6 +68,7 @@ pub use pprox_crypto as crypto;
 pub use pprox_json as json;
 pub use pprox_lrs as lrs;
 pub use pprox_net as net;
+pub use pprox_scenario as scenario;
 pub use pprox_sgx as sgx;
 pub use pprox_store as store;
 pub use pprox_wire as wire;

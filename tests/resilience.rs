@@ -13,6 +13,7 @@ use pprox::core::shuffler::ShuffleConfig;
 use pprox::core::{PProxDeployment, PProxError};
 use pprox::lrs::chaos::{ChaosEntry, ChaosLrs, ChaosSchedule, Fault};
 use pprox::lrs::stub::StubLrs;
+use pprox::scenario::test_seed;
 use pprox::sgx::Measurement;
 use proptest::prelude::*;
 use std::sync::Arc;
@@ -70,13 +71,14 @@ fn pipeline_survives_partial_lrs_failures() {
     // flapping_lrs_trips_breaker_and_recovers covers that path).
     let mut config = test_config();
     config.resilience.breaker_failure_threshold = u32::MAX;
+    let seed = test_seed(3);
     let chaos = Arc::new(ChaosLrs::new(
         Arc::new(StubLrs::new()),
         0.3,
         Fault::ErrorStatus,
-        3,
+        seed,
     ));
-    let p = PProxPipeline::new(config, chaos.clone(), 3, 2).unwrap();
+    let p = PProxPipeline::new(config, chaos.clone(), seed, 2).unwrap();
     let mut client = p.client();
     let mut rxs = Vec::new();
     for i in 0..100 {
@@ -305,6 +307,9 @@ proptest! {
     /// budget, and the pipeline must stay serviceable afterwards.
     #[test]
     fn randomized_chaos_every_request_resolves(seed in 0u64..1_000) {
+        // PPROX_TEST_SEED pins the schedule for replay; otherwise the
+        // proptest-drawn seed is used (and reprinted by the banner).
+        let seed = test_seed(seed);
         let mut config = test_config();
         config.resilience.deadline = Duration::from_secs(2);
         config.resilience.lrs_timeout = Duration::from_millis(200);

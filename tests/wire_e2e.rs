@@ -41,6 +41,7 @@ fn wire_chain_matches_in_process_pipeline() {
         ..ClusterConfig::default()
     };
     let mut cluster = LoopbackCluster::launch(config, Arc::new(StubLrs::new())).unwrap();
+    assert!(cluster.wait_ready(Duration::from_secs(10)));
     let mut wire_client = cluster.client();
 
     // Post some feedback first, then query.
@@ -93,6 +94,7 @@ fn survives_ia_instance_killed_mid_run() {
         ..ClusterConfig::default()
     };
     let mut cluster = LoopbackCluster::launch(config, Arc::new(StubLrs::new())).unwrap();
+    assert!(cluster.wait_ready(Duration::from_secs(10)));
     let mut client = cluster.client();
 
     // Warm phase: both IA instances serve traffic (round-robin), so the
@@ -140,6 +142,7 @@ fn survives_ua_and_lrs_instances_killed_mid_run() {
         ..ClusterConfig::default()
     };
     let mut cluster = LoopbackCluster::launch(config, Arc::new(StubLrs::new())).unwrap();
+    assert!(cluster.wait_ready(Duration::from_secs(10)));
     let mut client = cluster.client();
 
     // Warm phase: every tier member carries traffic.
@@ -197,6 +200,7 @@ fn shutdown_drains_buffered_shuffle_requests() {
         ..ClusterConfig::default()
     };
     let mut cluster = LoopbackCluster::launch(config, Arc::new(StubLrs::new())).unwrap();
+    assert!(cluster.wait_ready(Duration::from_secs(10)));
     let mut clients: Vec<_> = (0..3).map(|_| cluster.client()).collect();
 
     // Three posts enter the shuffle buffer and block there: 3 < 16 and
@@ -214,7 +218,19 @@ fn shutdown_drains_buffered_shuffle_requests() {
                 })
             })
             .collect();
-        std::thread::sleep(Duration::from_millis(400)); // let them buffer
+        // A request parked in the shuffle buffer holds its admission
+        // permit, so the UA's in-flight gauge says exactly how many are
+        // buffered — poll it to a deadline instead of sleeping and
+        // hoping (the old fixed sleep flaked under load).
+        let buffered_deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while cluster.ua_in_flight(0) < 3 {
+            assert!(
+                std::time::Instant::now() < buffered_deadline,
+                "posts never reached the shuffle buffer (in flight: {})",
+                cluster.ua_in_flight(0)
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
         cluster.kill_ua(0); // graceful shutdown of the only UA: drain fires
         handles
             .into_iter()
@@ -281,6 +297,7 @@ fn supervised_durable_lrs_layer_recovers_with_identical_recommendations() {
         ..ClusterConfig::default()
     };
     let mut cluster = LoopbackCluster::launch_with_factory(config, factory).unwrap();
+    assert!(cluster.wait_ready(Duration::from_secs(10)));
     let mut client = cluster.client();
 
     // Fixed-seed trace: two taste clusters plus two extra events so the
