@@ -507,8 +507,10 @@ fn interpolated_idents(s: &str) -> Vec<String> {
 /// R6: the arrival-oracle rule. (a) No `record_span` call may carry the
 /// `E2e` stage — end-to-end latency goes through `record_duration`, which
 /// carries no arrival timestamp an exporter could correlate with network
-/// captures. (b) Telemetry internals must not read wall-clock time
-/// themselves (`Instant` / `SystemTime`) except at the allow-listed epoch.
+/// captures. (b) Telemetry internals — the in-process collector *and* the
+/// wire scrape plane (`crates/wire/src/scrape.rs`), which exports across
+/// the trust boundary — must not read wall-clock time themselves
+/// (`Instant` / `SystemTime`) except at allow-listed epochs.
 fn rule_arrival_oracle(ctx: &mut Ctx<'_>) {
     let toks = &ctx.lex.tokens;
     // (a) — workspace-wide, production code.
@@ -549,8 +551,11 @@ fn rule_arrival_oracle(ctx: &mut Ctx<'_>) {
         }
         k += 1;
     }
-    // (b) — telemetry internals only, production code.
-    if ctx.path.contains("crates/core/src/telemetry/") {
+    // (b) — telemetry internals only, production code. The wire scrape
+    // module is telemetry too: everything it touches leaves the node.
+    if ctx.path.contains("crates/core/src/telemetry/")
+        || ctx.path.contains("crates/wire/src/scrape.rs")
+    {
         let hits: Vec<(usize, String)> = ctx
             .lex
             .tokens
@@ -880,6 +885,19 @@ mod tests {
         assert_eq!(rules_fired("crates/core/src/pipeline.rs", src), vec!["R6"]);
         let duration = "fn f(t: &Telemetry) { t.record_duration(Stage::E2e, us); }\n";
         assert!(rules_fired("crates/core/src/pipeline.rs", duration).is_empty());
+    }
+
+    #[test]
+    fn wire_scrape_wall_clock_fires_r6() {
+        // The scrape plane counts as telemetry internals: an unmarked
+        // wall-clock read there is an arrival oracle in the making.
+        let bad = "fn f(m: &NodeMetrics) { let now = Instant::now(); m.stamp(now); }\n";
+        assert_eq!(rules_fired("crates/wire/src/scrape.rs", bad), vec!["R6"]);
+        // Same code elsewhere in the wire crate is not telemetry.
+        assert!(rules_fired("crates/wire/src/server.rs", bad).is_empty());
+        // The allow-listed uptime epoch stays silent.
+        let epoch = "fn f() {\n    // analysis-allow: R6 uptime origin, not a per-request timestamp\n    let started = Instant::now();\n}\n";
+        assert!(rules_fired("crates/wire/src/scrape.rs", epoch).is_empty());
     }
 
     #[test]

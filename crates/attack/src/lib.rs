@@ -26,6 +26,11 @@
 //!   system: joins exported telemetry spans across the shuffle boundary,
 //!   checks linkage stays at the `1/S` baseline under trace-ID
 //!   re-randomization, and demonstrates the stable-ID ablation is caught.
+//! * [`scrape_audit`] — the §6.2 adversary holding the *wire metrics
+//!   exports* (PR 8's scrape channel) as side information: verifies the
+//!   bucketed aggregates add nothing over the network observer (linkage
+//!   stays at `1/S`), catches the raw-timestamp unsafe-export ablation,
+//!   and triages real snapshots for linkage oracles.
 //! * [`wire_audit`] — the §6.2 adversary pointed at *real sockets*: a
 //!   burst-clustering, rank-matching linkage estimator over frame
 //!   timings recorded by a tap on the UA→IA boundary, scored against
@@ -48,6 +53,7 @@ pub mod correlation;
 pub mod history;
 pub mod lowtraffic;
 pub mod observer;
+pub mod scrape_audit;
 pub mod telemetry_audit;
 pub mod wire_audit;
 
@@ -57,6 +63,9 @@ pub use correlation::{correlation_attack, measure_linkage, CorrelationOutcome};
 pub use history::{intersection_attack, IntersectionOutcome};
 pub use lowtraffic::{measure_anonymity_set, AnonymitySetReport};
 pub use observer::{run_observation, ObservationConfig};
+pub use scrape_audit::{
+    audit_scrape_channel, scan_export_for_oracles, ScrapeAuditConfig, ScrapeAuditOutcome,
+};
 pub use telemetry_audit::{audit_telemetry, TelemetryAuditConfig, TelemetryAuditOutcome};
 pub use wire_audit::{
     wire_linkage_attack, TraceArrival, TraceDeparture, WireAuditConfig, WireAuditOutcome, WireTrace,

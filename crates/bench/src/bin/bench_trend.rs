@@ -1,0 +1,213 @@
+//! `bench_trend`: regression gate over the committed benchmark reports.
+//!
+//! Diffs every `results/BENCH_*.json` on disk against the committed
+//! baseline (by default `git show HEAD:<path>`, i.e. the version the
+//! current working tree started from) and:
+//!
+//! * prints per-metric deltas for every numeric leaf the two versions
+//!   share (objects are walked recursively; arrays such as pressure
+//!   timelines are skipped — they are traces, not metrics), and
+//! * **fails** when a guarded throughput metric regresses by more than
+//!   `--max-regression` (default 20%). The guarded set is currently
+//!   `BENCH_wire.json :: wire.sustained_rps`.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_trend [--results DIR] [--baseline-ref REF | --previous DIR]
+//!             [--max-regression F] [--report-only]
+//! ```
+//!
+//! `--previous DIR` compares against a directory of reports instead of
+//! a git ref (useful for A/B-ing two local runs). `--report-only`
+//! prints deltas but always exits 0.
+
+use pprox_json::Value;
+use std::process::Command;
+
+/// Guarded metrics: (report file, dotted path, human label). A drop of
+/// more than `--max-regression` in any of these fails the gate; these
+/// are higher-is-better throughput numbers.
+const GUARDED: &[(&str, &str)] = &[("BENCH_wire.json", "wire.sustained_rps")];
+
+#[derive(Debug)]
+struct Args {
+    results: String,
+    baseline_ref: String,
+    previous_dir: Option<String>,
+    max_regression: f64,
+    report_only: bool,
+}
+
+impl Args {
+    fn parse() -> Args {
+        let mut args = Args {
+            results: "results".to_string(),
+            baseline_ref: "HEAD".to_string(),
+            previous_dir: None,
+            max_regression: 0.20,
+            report_only: false,
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| {
+                it.next()
+                    .unwrap_or_else(|| panic!("missing value for {name}"))
+            };
+            match flag.as_str() {
+                "--results" => args.results = value("--results"),
+                "--baseline-ref" => args.baseline_ref = value("--baseline-ref"),
+                "--previous" => args.previous_dir = Some(value("--previous")),
+                "--max-regression" => {
+                    args.max_regression = value("--max-regression").parse().unwrap()
+                }
+                "--report-only" => args.report_only = true,
+                other => panic!("unknown flag {other}"),
+            }
+        }
+        args
+    }
+}
+
+/// Loads the baseline version of `results/<name>`: from `--previous`
+/// when given, otherwise from git. `None` means the report did not
+/// exist in the baseline (a new benchmark — nothing to regress from).
+fn load_baseline(args: &Args, name: &str) -> Option<Value> {
+    let text = match &args.previous_dir {
+        Some(dir) => std::fs::read_to_string(format!("{dir}/{name}")).ok()?,
+        None => {
+            let spec = format!("{}:{}/{}", args.baseline_ref, args.results, name);
+            let out = Command::new("git").args(["show", &spec]).output().ok()?;
+            if !out.status.success() {
+                return None;
+            }
+            String::from_utf8(out.stdout).ok()?
+        }
+    };
+    Value::parse(&text).ok()
+}
+
+/// Collects every numeric leaf reachable through objects only, as
+/// (dotted path, value). Arrays are deliberately not entered: timeline
+/// and per-run arrays are traces whose element counts legitimately
+/// change between runs.
+fn numeric_leaves(prefix: &str, v: &Value, out: &mut Vec<(String, f64)>) {
+    if let Some(n) = v.as_f64() {
+        out.push((prefix.to_string(), n));
+        return;
+    }
+    if let Some(obj) = v.as_object() {
+        for (k, child) in obj {
+            let path = if prefix.is_empty() {
+                k.clone()
+            } else {
+                format!("{prefix}.{k}")
+            };
+            numeric_leaves(&path, child, out);
+        }
+    }
+}
+
+fn lookup(v: &Value, dotted: &str) -> Option<f64> {
+    let mut cur = v;
+    for part in dotted.split('.') {
+        cur = cur.get(part)?;
+    }
+    cur.as_f64()
+}
+
+fn main() {
+    let args = Args::parse();
+    let mut names: Vec<String> = std::fs::read_dir(&args.results)
+        .unwrap_or_else(|e| panic!("cannot list {}: {e}", args.results))
+        .filter_map(|e| e.ok())
+        .filter_map(|e| e.file_name().into_string().ok())
+        .filter(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        .collect();
+    names.sort();
+    assert!(
+        !names.is_empty(),
+        "{}: no BENCH_*.json reports to diff",
+        args.results
+    );
+
+    let mut failures: Vec<String> = Vec::new();
+    for name in &names {
+        let text = std::fs::read_to_string(format!("{}/{name}", args.results))
+            .unwrap_or_else(|e| panic!("read {name}: {e}"));
+        let current = Value::parse(&text).unwrap_or_else(|e| panic!("{name}: bad JSON: {e:?}"));
+        let Some(baseline) = load_baseline(&args, name) else {
+            println!("{name}: new report (no baseline), skipping diff");
+            continue;
+        };
+
+        let mut cur_leaves = Vec::new();
+        numeric_leaves("", &current, &mut cur_leaves);
+        let mut moved = 0usize;
+        println!("{name}:");
+        for (path, now) in &cur_leaves {
+            let Some(before) = lookup(&baseline, path) else {
+                continue;
+            };
+            if before == *now {
+                continue;
+            }
+            moved += 1;
+            if before.abs() > f64::EPSILON {
+                let delta = (now - before) / before.abs();
+                // Keep the listing readable: only metrics that moved
+                // by at least 1% get a line; the guard below still
+                // sees everything.
+                if delta.abs() >= 0.01 {
+                    println!("  {path}: {before:.3} -> {now:.3} ({:+.1}%)", delta * 100.0);
+                }
+            } else {
+                println!("  {path}: {before:.3} -> {now:.3}");
+            }
+        }
+        if moved == 0 {
+            println!("  unchanged");
+        }
+
+        for (file, metric) in GUARDED {
+            if file != name {
+                continue;
+            }
+            let (Some(before), Some(now)) = (lookup(&baseline, metric), lookup(&current, metric))
+            else {
+                failures.push(format!("{name}: guarded metric {metric} missing"));
+                continue;
+            };
+            if before <= 0.0 {
+                continue;
+            }
+            let regression = (before - now) / before;
+            if regression > args.max_regression {
+                failures.push(format!(
+                    "{name}: {metric} regressed {:.1}% ({before:.3} -> {now:.3}), limit {:.0}%",
+                    regression * 100.0,
+                    args.max_regression * 100.0
+                ));
+            } else {
+                println!(
+                    "  guard {metric}: {before:.3} -> {now:.3} ({:+.1}%) within {:.0}% budget",
+                    -regression * 100.0,
+                    args.max_regression * 100.0
+                );
+            }
+        }
+    }
+
+    if failures.is_empty() {
+        println!("bench_trend: no guarded regressions");
+        return;
+    }
+    for f in &failures {
+        eprintln!("REGRESSION: {f}");
+    }
+    if args.report_only {
+        println!("bench_trend: --report-only, not failing");
+    } else {
+        std::process::exit(1);
+    }
+}

@@ -151,6 +151,30 @@ impl HistogramSnapshot {
         }
     }
 
+    /// Rebuilds a snapshot from externally transported parts (e.g. a
+    /// metrics scrape that crossed the wire). `counts` is padded or
+    /// truncated to the fixed [`NUM_BUCKETS`] layout and the total is
+    /// re-derived from the cells, so a reconstructed snapshot always
+    /// merges exactly like a locally captured one.
+    pub fn from_parts(mut counts: Vec<u64>, sum_us: u64, max_us: u64) -> Self {
+        counts.resize(NUM_BUCKETS, 0);
+        let count = counts.iter().sum();
+        HistogramSnapshot {
+            counts,
+            count,
+            sum_us,
+            max_us,
+        }
+    }
+
+    /// The raw per-bucket counts in fixed [`NUM_BUCKETS`] layout — the
+    /// transport-side counterpart of [`HistogramSnapshot::from_parts`].
+    /// Bucketed aggregates only: indices are log-linear latency ranges,
+    /// never per-request values.
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
     /// Total observations.
     pub fn count(&self) -> u64 {
         self.count
@@ -368,6 +392,24 @@ mod tests {
             prev = c;
         }
         assert_eq!(s.cumulative_le(u64::MAX), s.count());
+    }
+
+    #[test]
+    fn from_parts_roundtrips_and_normalizes() {
+        let h = LatencyHistogram::new();
+        for v in [3u64, 40, 400, 4_000, 40_000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let rebuilt =
+            HistogramSnapshot::from_parts(s.bucket_counts().to_vec(), s.sum_us(), s.max_us());
+        assert_eq!(rebuilt, s);
+        // Short and long vectors normalize to the fixed layout.
+        let short = HistogramSnapshot::from_parts(vec![2, 0, 1], 4, 2);
+        assert_eq!(short.count(), 3);
+        assert_eq!(short.bucket_counts().len(), NUM_BUCKETS);
+        let long = HistogramSnapshot::from_parts(vec![1; NUM_BUCKETS + 7], 0, 0);
+        assert_eq!(long.count(), NUM_BUCKETS as u64);
     }
 
     #[test]

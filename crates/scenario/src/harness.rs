@@ -42,7 +42,7 @@ use pprox_core::shuffler::ShuffleConfig;
 use pprox_lrs::stub::StubLrs;
 use pprox_wire::audit::request_fingerprint;
 use pprox_wire::cluster::{ClusterConfig, LoopbackCluster};
-use pprox_wire::{ClientConfig, PooledClient};
+use pprox_wire::{ClientConfig, ClusterScraper, PooledClient, PressureSample};
 
 use crate::schedule::{arrival_times_us, LoadShape};
 use crate::tap::{RecordingTap, TapClock, TapDirection};
@@ -89,6 +89,18 @@ pub struct ScenarioSpec {
     pub batch_gap_us: u64,
 }
 
+/// One window of a run's pressure timeline: a wire scrape of every
+/// node, taken while the load ran.
+#[derive(Debug, Clone)]
+pub struct PressurePoint {
+    /// Offset from dispatch start, ms.
+    pub at_ms: u64,
+    /// Nodes that did not answer this pass (killed or respawning).
+    pub unreachable: usize,
+    /// Gauges merged across the nodes that answered.
+    pub sample: PressureSample,
+}
+
 /// Everything one scenario run produced.
 #[derive(Debug, Clone)]
 pub struct ScenarioOutcome {
@@ -108,6 +120,9 @@ pub struct ScenarioOutcome {
     pub aware: WireAuditOutcome,
     /// Instance-blind adversary vs the `1/(S·I)` curve.
     pub blind: WireAuditOutcome,
+    /// Pressure timeline: one wire scrape of every node per ~100 ms
+    /// window for the whole run (queue depth, sheds, shuffle occupancy).
+    pub pressure: Vec<PressurePoint>,
 }
 
 impl ScenarioOutcome {
@@ -154,11 +169,9 @@ pub fn run_scenario(spec: &ScenarioSpec, seed: u64) -> ScenarioOutcome {
         seed: seed ^ 0xc105_7e2d_0000_0001,
         ..ClusterConfig::default()
     };
-    // A shuffled request blocks its server worker for the whole dwell
-    // (the handler answers synchronously), so the worker pool bounds how
-    // many requests a buffer can hold. Size it well above S per
-    // direction or flushes degrade to timeout-driven dribbles.
-    config.server.workers = (spec.shuffle_size * 4).max(8);
+    // UA worker sizing (a shuffled request parks its worker for the
+    // whole dwell) is derived by `ClusterConfig::ua_server_config` —
+    // the harness no longer hand-rolls the 4·S formula.
     if let Some(cap) = spec.max_inflight {
         config.server.max_inflight = cap;
     }
@@ -323,6 +336,34 @@ fn drive(
         .collect();
     drop(rx);
 
+    // Pressure sampler: one wire scrape of every node per ~100 ms window
+    // while the load runs, so the observability plane is exercised under
+    // every load shape and the run yields a pressure timeline.
+    let scraper = ClusterScraper::new(cluster.scrape_targets());
+    let sampler_stop = Arc::new(AtomicBool::new(false));
+    let pressure: Arc<Mutex<Vec<PressurePoint>>> = Arc::new(Mutex::new(Vec::new()));
+    let sampler = {
+        let stop = sampler_stop.clone();
+        let pressure = pressure.clone();
+        std::thread::spawn(move || {
+            let t0 = Instant::now();
+            while !stop.load(Ordering::Acquire) {
+                let snap = scraper.scrape();
+                pressure.lock().push(PressurePoint {
+                    at_ms: t0.elapsed().as_millis() as u64,
+                    unreachable: snap.unreachable.len(),
+                    sample: snap.pressure(),
+                });
+                for _ in 0..10 {
+                    if stop.load(Ordering::Acquire) {
+                        return;
+                    }
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+            }
+        })
+    };
+
     // Open-loop dispatch: replay the schedule against the wall clock,
     // never waiting for responses.
     let started = Instant::now();
@@ -353,6 +394,10 @@ fn drive(
         std::thread::sleep(Duration::from_millis(10));
     }
     let duration_us = telemetry.now_us().saturating_sub(t0_us);
+
+    sampler_stop.store(true, Ordering::Release);
+    let _ = sampler.join();
+    let pressure = pressure.lock().clone();
 
     loris_stop.store(true, Ordering::Release);
     for h in loris {
@@ -431,6 +476,7 @@ fn drive(
         offered_rps: spec.shape.mean_rps(spec.requests),
         aware,
         blind,
+        pressure,
     }
 }
 

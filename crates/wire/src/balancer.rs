@@ -24,6 +24,18 @@ use std::net::SocketAddr;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+/// Summed pooled-client counters across a balancer's backends — the
+/// uplink health view one node exports in its metrics scrape.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientStats {
+    /// Fresh connections dialed after the first (reconnects).
+    pub reconnects: u64,
+    /// Transport-level retry attempts.
+    pub retries: u64,
+    /// Calls that ran out of deadline budget inside a client.
+    pub deadline_clamps: u64,
+}
+
 /// Fan-out client over several equivalent server instances.
 pub struct SocketBalancer {
     backends: RwLock<Vec<Arc<PooledClient>>>,
@@ -105,6 +117,21 @@ impl SocketBalancer {
     /// Total in-flight calls across backends.
     pub fn in_flight(&self) -> usize {
         self.backends.read().iter().map(|b| b.in_flight()).sum()
+    }
+
+    /// Summed pooled-client counters across the current backend ring.
+    /// Counters on a pool swapped out by
+    /// [`SocketBalancer::replace_backend`] leave with the old pool —
+    /// the sum reflects the ring as it serves now.
+    pub fn client_stats(&self) -> ClientStats {
+        self.backends
+            .read()
+            .iter()
+            .fold(ClientStats::default(), |acc, b| ClientStats {
+                reconnects: acc.reconnects + b.reconnects(),
+                retries: acc.retries + b.retries(),
+                deadline_clamps: acc.deadline_clamps + b.deadline_clamps(),
+            })
     }
 
     /// Swaps slot `index` for a fresh connection pool at `addr` — the

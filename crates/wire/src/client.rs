@@ -56,6 +56,8 @@ pub struct PooledClient {
     corr: AtomicU64,
     in_flight: AtomicUsize,
     reconnects: AtomicU64,
+    retries: AtomicU64,
+    deadline_clamps: AtomicU64,
 }
 
 impl std::fmt::Debug for PooledClient {
@@ -96,6 +98,8 @@ impl PooledClient {
             corr: AtomicU64::new(1),
             in_flight: AtomicUsize::new(0),
             reconnects: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            deadline_clamps: AtomicU64::new(0),
         }
     }
 
@@ -115,6 +119,18 @@ impl PooledClient {
         self.reconnects.load(Ordering::Relaxed)
     }
 
+    /// Transport-level retry attempts performed after a failed first
+    /// attempt.
+    pub fn retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
+    }
+
+    /// Calls that ran out of deadline budget inside this client —
+    /// before dialing, mid-backoff, or waiting on the socket.
+    pub fn deadline_clamps(&self) -> u64 {
+        self.deadline_clamps.load(Ordering::Relaxed)
+    }
+
     /// Sends `payload` in a `Request`-class frame and waits for the
     /// matching response, retrying over fresh connections on transport
     /// errors while the deadline allows.
@@ -128,7 +144,11 @@ impl PooledClient {
         let _guard = InFlight::enter(&self.in_flight);
         let mut last = WireError::Deadline;
         for attempt in 0..=self.config.max_retries {
+            if attempt > 0 {
+                self.retries.fetch_add(1, Ordering::Relaxed);
+            }
             if deadline.expired() {
+                self.deadline_clamps.fetch_add(1, Ordering::Relaxed);
                 return Err(WireError::Deadline);
             }
             // First attempt may reuse a pooled connection; retries always
@@ -138,6 +158,9 @@ impl PooledClient {
                 Ok(bytes) => return Ok(bytes),
                 Err(e) => {
                     if !e.retryable() {
+                        if matches!(e, WireError::Deadline) {
+                            self.deadline_clamps.fetch_add(1, Ordering::Relaxed);
+                        }
                         return Err(e);
                     }
                     last = e;
@@ -149,7 +172,10 @@ impl PooledClient {
                 let delay = self.backoff.lock().next_delay();
                 match deadline.remaining() {
                     Some(rem) if rem > delay => std::thread::sleep(delay),
-                    _ => return Err(WireError::Deadline),
+                    _ => {
+                        self.deadline_clamps.fetch_add(1, Ordering::Relaxed);
+                        return Err(WireError::Deadline);
+                    }
                 }
             }
         }

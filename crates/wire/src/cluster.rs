@@ -29,6 +29,7 @@
 use crate::audit::LinkageAudit;
 use crate::balancer::SocketBalancer;
 use crate::client::ClientConfig;
+use crate::scrape::NodeMetrics;
 use crate::server::{FrameHandler, ServerConfig, ServerStats, WireServer};
 use crate::services::{IaWireService, LrsWireService, UaServiceOptions, UaWireService};
 use crate::supervisor::{
@@ -128,6 +129,21 @@ impl ClusterConfig {
         self
     }
 
+    /// Server tuning for the UA tier. With shuffling enabled a UA worker
+    /// parks inside the shuffle stage for the whole dwell (its admission
+    /// permit is held until the response shuffle releases), so the tier
+    /// needs enough workers to keep a full buffer of `S` requests plus
+    /// new arrivals in flight: `4·S`, floor 8. Derived here so every
+    /// launcher — the cluster bin, the scenario harness, tests — sizes
+    /// the tier identically instead of each hand-rolling the formula.
+    pub fn ua_server_config(&self) -> ServerConfig {
+        let mut cfg = self.server.clone();
+        if !self.shuffle.is_disabled() {
+            cfg.workers = cfg.workers.max((self.shuffle.size * 4).max(8));
+        }
+        cfg
+    }
+
     fn validated(self) -> Self {
         for (name, n) in [
             ("ua_instances", self.ua_instances),
@@ -170,6 +186,13 @@ pub struct LoopbackCluster {
     /// Per-UA ground-truth departure logs (empty unless
     /// `config.linkage_audit`); survive instance respawns.
     linkage_audits: Vec<Arc<LinkageAudit>>,
+    /// Per-node metrics hubs, one per instance slot. Unlike the servers
+    /// they accumulate across respawns: a rebuilt instance is handed the
+    /// same hub, so a scrape of the new socket still reports the node's
+    /// whole history (including the probe failures that got it killed).
+    ua_metrics: Vec<Arc<NodeMetrics>>,
+    ia_metrics: Vec<Arc<NodeMetrics>>,
+    lrs_metrics: Vec<Arc<NodeMetrics>>,
     supervisor: Option<Supervisor>,
     /// Recoveries performed by supervisors already replaced (the
     /// supervisor is swapped out during an atomic layer kill).
@@ -232,13 +255,33 @@ impl LoopbackCluster {
             PProxError::Unavailable
         };
 
+        // One shared `Telemetry` serves the whole chain, so every node
+        // advertises the same non-zero telemetry group: the cluster
+        // scraper deduplicates the shared stage histograms instead of
+        // triple-counting them.
+        let telemetry_group = (config.seed as u32) | 1;
+        let node_metrics = |tier: &'static str, index: usize| {
+            let m = Arc::new(NodeMetrics::new(tier, index, telemetry_group));
+            m.attach_telemetry(telemetry.clone());
+            m
+        };
+        let with_metrics = |base: &ServerConfig, m: &Arc<NodeMetrics>| {
+            let mut cfg = base.clone();
+            cfg.metrics = Some(m.clone());
+            cfg
+        };
+
         // LRS tier.
         let mut lrs_servers = Vec::new();
-        for _ in 0..config.lrs_instances {
+        let mut lrs_metrics = Vec::new();
+        for i in 0..config.lrs_instances {
+            let metrics = node_metrics("lrs", i);
             let service: Arc<dyn FrameHandler> = Arc::new(LrsWireService::new(factory()));
             lrs_servers.push(Some(
-                WireServer::spawn(service, config.server.clone()).map_err(spawn_err)?,
+                WireServer::spawn(service, with_metrics(&config.server, &metrics))
+                    .map_err(spawn_err)?,
             ));
+            lrs_metrics.push(metrics);
         }
         let lrs_addrs: Vec<Arc<Mutex<SocketAddr>>> = lrs_servers
             .iter()
@@ -249,7 +292,9 @@ impl LoopbackCluster {
         // IA tier: per-instance enclave, breaker, and LRS pools.
         let mut ia_servers = Vec::new();
         let mut ia_lrs_balancers = Vec::new();
+        let mut ia_metrics = Vec::new();
         for i in 0..config.ia_instances {
+            let metrics = node_metrics("ia", i);
             let enclave = platform.load_enclave::<IaState>(IA_CODE_IDENTITY);
             provisioner.provision_ia(&platform, &enclave)?;
             let lrs_balancer = Arc::new(SocketBalancer::new(
@@ -258,6 +303,7 @@ impl LoopbackCluster {
                 client_config.clone(),
                 config.seed ^ (0x1a00 + i as u64),
             ));
+            metrics.attach_uplink(lrs_balancer.clone());
             let service: Arc<dyn FrameHandler> = Arc::new(IaWireService::new(
                 enclave,
                 lrs_balancer.clone(),
@@ -267,9 +313,11 @@ impl LoopbackCluster {
                 config.seed ^ (0x1a10 + i as u64),
             ));
             ia_servers.push(Some(
-                WireServer::spawn(service, config.server.clone()).map_err(spawn_err)?,
+                WireServer::spawn(service, with_metrics(&config.server, &metrics))
+                    .map_err(spawn_err)?,
             ));
             ia_lrs_balancers.push(lrs_balancer);
+            ia_metrics.push(metrics);
         }
         let ia_addrs: Vec<Arc<Mutex<SocketAddr>>> = ia_servers
             .iter()
@@ -287,7 +335,10 @@ impl LoopbackCluster {
         } else {
             Vec::new()
         };
+        let ua_server_cfg = config.ua_server_config();
+        let mut ua_metrics = Vec::new();
         for i in 0..config.ua_instances {
+            let metrics = node_metrics("ua", i);
             let enclave = platform.load_enclave::<UaState>(UA_CODE_IDENTITY);
             provisioner.provision_ua(&platform, &enclave)?;
             let ia_balancer = Arc::new(SocketBalancer::new(
@@ -296,6 +347,7 @@ impl LoopbackCluster {
                 client_config.clone(),
                 config.seed ^ (0x0a00 + i as u64),
             ));
+            metrics.attach_uplink(ia_balancer.clone());
             let service: Arc<dyn FrameHandler> = Arc::new(UaWireService::new(
                 enclave,
                 ia_balancer.clone(),
@@ -305,14 +357,17 @@ impl LoopbackCluster {
                     forwarders: config.forwarders,
                     shuffle_order_ablation: config.shuffle_order_ablation,
                     audit: linkage_audits.get(i).cloned(),
+                    metrics: Some(metrics.clone()),
                 },
                 telemetry.clone(),
                 config.seed ^ (0x0a10 + i as u64),
             ));
             ua_servers.push(Some(
-                WireServer::spawn(service, config.server.clone()).map_err(spawn_err)?,
+                WireServer::spawn(service, with_metrics(&ua_server_cfg, &metrics))
+                    .map_err(spawn_err)?,
             ));
             ua_ia_balancers.push(ia_balancer);
+            ua_metrics.push(metrics);
         }
         let ua_addrs: Vec<Arc<Mutex<SocketAddr>>> = ua_servers
             .iter()
@@ -346,6 +401,9 @@ impl LoopbackCluster {
             ua_ia_balancers,
             ia_lrs_balancers,
             linkage_audits,
+            ua_metrics,
+            ia_metrics,
+            lrs_metrics,
             supervisor: None,
             prior_respawns: 0,
             prior_events: Vec::new(),
@@ -370,6 +428,7 @@ impl LoopbackCluster {
                 index: i,
                 addr: addr.clone(),
                 respawn: self.lrs_respawn(i),
+                metrics: Some(self.lrs_metrics[i].clone()),
             });
         }
         for (i, addr) in self.ia_addrs.iter().enumerate() {
@@ -378,6 +437,7 @@ impl LoopbackCluster {
                 index: i,
                 addr: addr.clone(),
                 respawn: self.ia_respawn(i),
+                metrics: Some(self.ia_metrics[i].clone()),
             });
         }
         for (i, addr) in self.ua_addrs.iter().enumerate() {
@@ -386,6 +446,7 @@ impl LoopbackCluster {
                 index: i,
                 addr: addr.clone(),
                 respawn: self.ua_respawn(i),
+                metrics: Some(self.ua_metrics[i].clone()),
             });
         }
         slots
@@ -394,7 +455,8 @@ impl LoopbackCluster {
     fn lrs_respawn(&self, index: usize) -> RespawnFn {
         let factory = self.factory.clone();
         let servers = self.lrs_servers.clone();
-        let server_cfg = self.config.server.clone();
+        let mut server_cfg = self.config.server.clone();
+        server_cfg.metrics = Some(self.lrs_metrics[index].clone());
         let ia_rings = self.ia_lrs_balancers.clone();
         Box::new(move || {
             // The factory decides what "rebuild" means: a shared
@@ -418,7 +480,8 @@ impl LoopbackCluster {
         let provisioner = self.provisioner.clone();
         let telemetry = self.telemetry.clone();
         let servers = self.ia_servers.clone();
-        let server_cfg = self.config.server.clone();
+        let mut server_cfg = self.config.server.clone();
+        server_cfg.metrics = Some(self.ia_metrics[index].clone());
         let lrs_balancer = self.ia_lrs_balancers[index].clone();
         let ua_rings = self.ua_ia_balancers.clone();
         let options = IaOptions {
@@ -453,7 +516,8 @@ impl LoopbackCluster {
         let provisioner = self.provisioner.clone();
         let telemetry = self.telemetry.clone();
         let servers = self.ua_servers.clone();
-        let server_cfg = self.config.server.clone();
+        let mut server_cfg = self.config.ua_server_config();
+        server_cfg.metrics = Some(self.ua_metrics[index].clone());
         let ia_balancer = self.ua_ia_balancers[index].clone();
         let frontend = self.frontend.clone();
         let options = UaServiceOptions {
@@ -462,6 +526,7 @@ impl LoopbackCluster {
             forwarders: self.config.forwarders,
             shuffle_order_ablation: self.config.shuffle_order_ablation,
             audit: self.linkage_audits.get(index).cloned(),
+            metrics: Some(self.ua_metrics[index].clone()),
         };
         let seed = self.config.seed ^ (0x0a10 + index as u64);
         Box::new(move || {
@@ -508,6 +573,39 @@ impl LoopbackCluster {
     /// taps before rerouting a UA's uplink through them.
     pub fn ia_addrs(&self) -> Vec<SocketAddr> {
         self.ia_addrs.iter().map(|a| *a.lock()).collect()
+    }
+
+    /// LRS tier addresses.
+    pub fn lrs_addrs(&self) -> Vec<SocketAddr> {
+        self.lrs_addrs.iter().map(|a| *a.lock()).collect()
+    }
+
+    /// Every node of the cluster as a scrape target — `("ua0", addr)`
+    /// and so on, reading each slot's *current* address so a
+    /// [`crate::scrape::ClusterScraper`] keeps working across respawns.
+    pub fn scrape_targets(&self) -> Vec<(String, SocketAddr)> {
+        let mut targets = Vec::new();
+        for (tier, addrs) in [
+            ("ua", &self.ua_addrs),
+            ("ia", &self.ia_addrs),
+            ("lrs", &self.lrs_addrs),
+        ] {
+            for (i, addr) in addrs.iter().enumerate() {
+                targets.push((format!("{tier}{i}"), *addr.lock()));
+            }
+        }
+        targets
+    }
+
+    /// The per-node metrics hubs, in `scrape_targets()` order — the
+    /// in-process view of what a wire scrape of each node would report.
+    pub fn node_metrics(&self) -> Vec<Arc<NodeMetrics>> {
+        self.ua_metrics
+            .iter()
+            .chain(&self.ia_metrics)
+            .chain(&self.lrs_metrics)
+            .cloned()
+            .collect()
     }
 
     /// Per-UA ground-truth departure logs (empty unless the cluster was

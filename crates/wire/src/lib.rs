@@ -31,6 +31,11 @@
 //!   instances per layer on `127.0.0.1` and wires them into a full
 //!   chain; `bin/cluster` drives it with the `pprox-workload` generator
 //!   and emits `results/BENCH_wire.json`.
+//! * [`scrape`] — the cluster observability plane: every node answers a
+//!   padded `Control`-class metrics scrape over the same frame protocol
+//!   (wire-indistinguishable from other control traffic), and
+//!   [`scrape::ClusterScraper`] merges per-node snapshots into one
+//!   validated [`pprox_core::telemetry::export::TelemetryReport`].
 //! * [`supervisor`] — the kill/respawn loop: probes each instance's
 //!   listener, rebuilds dead ones (a durable LRS unseals and replays
 //!   from disk), and readmits them to the balancer rings — the loopback
@@ -44,15 +49,20 @@ pub mod balancer;
 pub mod client;
 pub mod cluster;
 pub mod frame;
+pub mod scrape;
 pub mod server;
 pub mod services;
 pub mod supervisor;
 
 pub use audit::{AuditEvent, LinkageAudit};
-pub use balancer::SocketBalancer;
+pub use balancer::{ClientStats, SocketBalancer};
 pub use client::{ClientConfig, PooledClient};
 pub use cluster::{ClusterConfig, LoopbackCluster};
 pub use frame::{Frame, FrameError, PadClass, HEADER_LEN, WIRE_VERSION};
+pub use scrape::{
+    validate_scrape_snapshot, ClusterScraper, ClusterSnapshot, NodeMetrics, NodeSnapshot,
+    PressureSample, ScrapeError,
+};
 pub use server::{FrameHandler, ServerConfig, WireServer};
 pub use supervisor::{RespawnEvent, Supervisor, SupervisorConfig};
 

@@ -1,0 +1,1353 @@
+//! The cluster observability plane: per-node metrics capture and the
+//! padded Control-frame scrape protocol.
+//!
+//! Every [`crate::server::WireServer`] owns a [`NodeMetrics`] hub that
+//! the serving hot paths update lock-free: accept rate, open
+//! connections, IO-poll pass latency, job-queue depth high-water,
+//! admission sheds, worker busy time, pooled-client reconnect/retry
+//! counters, UA shuffle-buffer occupancy and flush causes, and the
+//! supervisor's probe/respawn history. A node answers a *metrics
+//! scrape* over the existing frame protocol: the request is one
+//! `Control`-class frame carrying [`SCRAPE_QUERY`], the response is a
+//! sequence of `Control`-class frames each holding one chunk of the
+//! node's snapshot JSON. Every frame — request and every response
+//! chunk — is exactly [`PadClass::Control`]'s constant wire length, so
+//! scrape traffic is indistinguishable in size from the busy/deadline
+//! control frames the cluster already emits (§4.3's padded-message
+//! discipline extends to the ops surface).
+//!
+//! What a scrape may carry is structurally bounded:
+//! [`validate_scrape_snapshot`] whitelists every key a snapshot can
+//! contain. Counters are monotone aggregates, latencies are bucketed
+//! log-linear histograms ([`HistogramSnapshot`] cells), and nothing
+//! per-request — no correlation ids, no trace ids, no raw arrival
+//! timestamps — can appear without failing validation. The
+//! `pprox-attack` scrape audit additionally plays the §6.2 adversary
+//! *with scrape output as side information* and holds it to the `1/S`
+//! linkage bound.
+//!
+//! [`ClusterScraper`] polls every node and merges the snapshots into
+//! one [`TelemetryReport`], reusing the PR 3 Prometheus/JSON exporters
+//! and validators unchanged.
+
+use crate::balancer::SocketBalancer;
+use crate::frame::{parse_header, Frame, FrameError, PadClass, HEADER_LEN};
+use parking_lot::Mutex;
+use pprox_core::metrics::{LayerSnapshot, MetricsRegistry};
+use pprox_core::shuffler::FlushReason;
+use pprox_core::telemetry::export::TelemetryReport;
+use pprox_core::telemetry::histogram::NUM_BUCKETS;
+use pprox_core::telemetry::{HistogramSnapshot, LatencyHistogram, Stage, Telemetry};
+use pprox_json::Value;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+// analysis-allow: R6 the node's start instant is the uptime origin the
+// scrape reports elapsed time against — a deployment-level clock, not a
+// per-request arrival capture (those stay histogram-only).
+use std::time::{Duration, Instant};
+
+/// Schema version of the per-node scrape snapshot document.
+pub const SCRAPE_SCHEMA_VERSION: u64 = 1;
+
+/// The payload of a metrics-scrape request frame.
+pub const SCRAPE_QUERY: &[u8] = br#"{"q":"metrics"}"#;
+
+/// Chunk header: `seq` (u16 BE) then `total` (u16 BE).
+const CHUNK_HEADER: usize = 4;
+
+/// Snapshot bytes carried per Control-class chunk frame.
+fn chunk_data_len() -> usize {
+    PadClass::Control.max_payload() - CHUNK_HEADER
+}
+
+/// `true` when `frame` is a metrics-scrape request.
+pub fn is_scrape_request(frame: &Frame) -> bool {
+    frame.class == PadClass::Control && frame.payload == SCRAPE_QUERY
+}
+
+/// Builds the scrape request frame for a correlation id.
+pub fn scrape_request(corr: u64) -> Frame {
+    Frame::new(PadClass::Control, corr, SCRAPE_QUERY.to_vec())
+        .unwrap_or_else(|_| unreachable!("the scrape query fits the control class"))
+}
+
+/// Splits a snapshot document into Control-class chunk frames, all with
+/// the same correlation id and all exactly the control class's constant
+/// wire length.
+pub fn scrape_response_frames(corr: u64, snapshot_json: &str) -> Vec<Frame> {
+    let data = snapshot_json.as_bytes();
+    let per = chunk_data_len();
+    let total = data.chunks(per).count().max(1).min(u16::MAX as usize);
+    data.chunks(per)
+        .take(total)
+        .enumerate()
+        .map(|(seq, chunk)| {
+            let mut payload = Vec::with_capacity(CHUNK_HEADER + chunk.len());
+            payload.extend_from_slice(&(seq as u16).to_be_bytes());
+            payload.extend_from_slice(&(total as u16).to_be_bytes());
+            payload.extend_from_slice(chunk);
+            Frame::new(PadClass::Control, corr, payload)
+                .unwrap_or_else(|_| unreachable!("chunks are sized to the control class"))
+        })
+        .collect()
+}
+
+/// Why a scrape failed.
+#[derive(Debug)]
+pub enum ScrapeError {
+    /// Socket-level failure, tagged with the phase that hit it.
+    Io {
+        /// `connect`, `write`, or `read`.
+        phase: &'static str,
+        /// The OS error kind.
+        kind: ErrorKind,
+    },
+    /// The peer sent bytes that do not decode as a frame.
+    Frame(FrameError),
+    /// The frames decoded but violate the chunk protocol or the
+    /// snapshot schema.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ScrapeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScrapeError::Io { phase, kind } => write!(f, "scrape {phase} failed: {kind}"),
+            ScrapeError::Frame(e) => write!(f, "scrape frame error: {e}"),
+            ScrapeError::Protocol(msg) => write!(f, "scrape protocol error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ScrapeError {}
+
+impl From<FrameError> for ScrapeError {
+    fn from(e: FrameError) -> Self {
+        ScrapeError::Frame(e)
+    }
+}
+
+/// The per-node metrics hub. One lives inside every
+/// [`crate::server::WireServer`]; the serving layers update it
+/// lock-free and the IO thread renders it into the scrape response.
+///
+/// Everything here is an aggregate: monotone counters, gauges, and
+/// log-linear histograms. Per-request identifiers never enter this
+/// structure — [`validate_scrape_snapshot`] enforces the same property
+/// on the way out.
+pub struct NodeMetrics {
+    tier: String,
+    index: usize,
+    telemetry_group: u32,
+    telemetry: Mutex<Option<Arc<Telemetry>>>,
+    registry: MetricsRegistry,
+    uplinks: Mutex<Vec<Arc<SocketBalancer>>>,
+    // Server internals.
+    accepted: AtomicU64,
+    open_connections: AtomicU64,
+    frames_in: AtomicU64,
+    frames_out: AtomicU64,
+    shed: AtomicU64,
+    protocol_errors: AtomicU64,
+    queue_depth: AtomicU64,
+    queue_depth_high_water: AtomicU64,
+    workers: AtomicU64,
+    worker_busy_us: AtomicU64,
+    poll_loop: LatencyHistogram,
+    // UA shuffle stage.
+    shuffle_occupancy: AtomicU64,
+    shuffle_high_water: AtomicU64,
+    flush_full: AtomicU64,
+    flush_timeout: AtomicU64,
+    flush_drain: AtomicU64,
+    // Supervisor history for this node.
+    probe_failures: AtomicU64,
+    respawns: AtomicU64,
+    // The scrape itself.
+    scrapes: AtomicU64,
+    // analysis-allow: R6 uptime origin, not a per-request timestamp
+    started: Instant,
+}
+
+impl std::fmt::Debug for NodeMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NodeMetrics")
+            .field("tier", &self.tier)
+            .field("index", &self.index)
+            .field("telemetry_group", &self.telemetry_group)
+            .finish()
+    }
+}
+
+impl NodeMetrics {
+    /// A hub for the node `tier`/`index`. Nodes sharing one
+    /// [`Telemetry`] hub must share `telemetry_group` (non-zero) so the
+    /// cluster merge counts their stage histograms once, not per node.
+    pub fn new(tier: impl Into<String>, index: usize, telemetry_group: u32) -> Self {
+        NodeMetrics {
+            tier: tier.into(),
+            index,
+            telemetry_group,
+            telemetry: Mutex::new(None),
+            registry: MetricsRegistry::new(),
+            uplinks: Mutex::new(Vec::new()),
+            accepted: AtomicU64::new(0),
+            open_connections: AtomicU64::new(0),
+            frames_in: AtomicU64::new(0),
+            frames_out: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            protocol_errors: AtomicU64::new(0),
+            queue_depth: AtomicU64::new(0),
+            queue_depth_high_water: AtomicU64::new(0),
+            workers: AtomicU64::new(0),
+            worker_busy_us: AtomicU64::new(0),
+            poll_loop: LatencyHistogram::new(),
+            shuffle_occupancy: AtomicU64::new(0),
+            shuffle_high_water: AtomicU64::new(0),
+            flush_full: AtomicU64::new(0),
+            flush_timeout: AtomicU64::new(0),
+            flush_drain: AtomicU64::new(0),
+            probe_failures: AtomicU64::new(0),
+            respawns: AtomicU64::new(0),
+            scrapes: AtomicU64::new(0),
+            // analysis-allow: R6 node start time is the uptime origin
+            started: Instant::now(),
+        }
+    }
+
+    /// A hub for a standalone server outside any cluster (tests, tools).
+    /// `telemetry_group` 0 means "private stages": the merge never
+    /// deduplicates it against another node.
+    pub fn detached() -> Self {
+        NodeMetrics::new("node", 0, 0)
+    }
+
+    /// Attaches the telemetry hub whose stage histograms this node's
+    /// snapshot exports.
+    pub fn attach_telemetry(&self, telemetry: Arc<Telemetry>) {
+        *self.telemetry.lock() = Some(telemetry);
+    }
+
+    /// Registers an uplink balancer whose pooled-client counters
+    /// (reconnects, retries, deadline clamps) this node reports.
+    pub fn attach_uplink(&self, balancer: Arc<SocketBalancer>) {
+        self.uplinks.lock().push(balancer);
+    }
+
+    /// The per-layer counter registry for this node's services.
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// Records an accepted connection.
+    pub fn on_accept(&self) {
+        self.accepted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Updates the open-connection gauge.
+    pub fn set_open_connections(&self, n: u64) {
+        self.open_connections.store(n, Ordering::Relaxed);
+    }
+
+    /// Records one fully read request frame.
+    pub fn on_frame_in(&self) {
+        self.frames_in.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `n` fully written response frames.
+    pub fn on_frames_out(&self, n: u64) {
+        self.frames_out.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records a request shed at the gate or queue.
+    pub fn on_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a connection dropped for malformed framing.
+    pub fn on_protocol_error(&self) {
+        self.protocol_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a job entering the worker queue, folding the new depth
+    /// into the high-water mark.
+    pub fn on_enqueue(&self) {
+        let depth = self.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
+        self.queue_depth_high_water
+            .fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Records a job leaving the worker queue.
+    pub fn on_dequeue(&self) {
+        // Saturating: a respawned server re-uses the hub with jobs from
+        // the previous incarnation already drained.
+        let _ = self
+            .queue_depth
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |d| {
+                Some(d.saturating_sub(1))
+            });
+    }
+
+    /// Declares the worker-pool size (for busy-fraction math).
+    pub fn set_workers(&self, n: u64) {
+        self.workers.store(n, Ordering::Relaxed);
+    }
+
+    /// Adds handler time to the worker busy accumulator.
+    pub fn add_worker_busy_us(&self, us: u64) {
+        self.worker_busy_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Records the working (non-sleep) time of one IO-poll pass.
+    pub fn record_poll_pass_us(&self, us: u64) {
+        self.poll_loop.record(us);
+    }
+
+    /// Updates the shuffle-buffer occupancy gauge, folding it into the
+    /// high-water mark.
+    pub fn set_shuffle_occupancy(&self, n: u64) {
+        self.shuffle_occupancy.store(n, Ordering::Relaxed);
+        self.shuffle_high_water.fetch_max(n, Ordering::Relaxed);
+    }
+
+    /// Records a shuffle flush by cause.
+    pub fn on_flush(&self, reason: FlushReason) {
+        match reason {
+            FlushReason::Full => &self.flush_full,
+            FlushReason::Timeout => &self.flush_timeout,
+            FlushReason::Drain => &self.flush_drain,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a failed supervisor liveness probe against this node.
+    pub fn on_probe_failure(&self) {
+        self.probe_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a supervisor respawn of this node.
+    pub fn on_respawn(&self) {
+        self.respawns.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one served metrics scrape.
+    pub fn on_scrape(&self) {
+        self.scrapes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Scrapes served so far.
+    pub fn scrapes(&self) -> u64 {
+        self.scrapes.load(Ordering::Relaxed)
+    }
+
+    /// Failed liveness probes recorded so far.
+    pub fn probe_failures(&self) -> u64 {
+        self.probe_failures.load(Ordering::Relaxed)
+    }
+
+    /// Peak worker-queue depth observed.
+    pub fn queue_depth_high_water(&self) -> u64 {
+        self.queue_depth_high_water.load(Ordering::Relaxed)
+    }
+
+    /// Peak shuffle-buffer occupancy observed.
+    pub fn shuffle_high_water(&self) -> u64 {
+        self.shuffle_high_water.load(Ordering::Relaxed)
+    }
+
+    /// Renders the node snapshot document (already validated shape:
+    /// `validate_scrape_snapshot` accepts everything this emits).
+    pub fn snapshot_json(&self) -> Value {
+        let load = |a: &AtomicU64| Value::from(a.load(Ordering::Relaxed));
+        let (reconnects, retries, clamps) = {
+            let uplinks = self.uplinks.lock();
+            uplinks.iter().fold((0u64, 0u64, 0u64), |acc, b| {
+                let s = b.client_stats();
+                (
+                    acc.0 + s.reconnects,
+                    acc.1 + s.retries,
+                    acc.2 + s.deadline_clamps,
+                )
+            })
+        };
+        let mut stages = Value::object::<&str, _>([]);
+        if let Some(telemetry) = self.telemetry.lock().clone() {
+            for (stage, snap) in telemetry.stages().snapshot() {
+                stages.insert(stage.as_str(), histogram_to_value(&snap));
+            }
+        }
+        let layers: Value = self
+            .registry
+            .snapshot()
+            .into_iter()
+            .map(|(name, s)| layer_to_value(&name, &s))
+            .collect();
+        Value::object([
+            ("report", Value::from("node-metrics")),
+            ("schema_version", Value::from(SCRAPE_SCHEMA_VERSION)),
+            (
+                "node",
+                Value::object([
+                    ("tier", Value::from(self.tier.as_str())),
+                    ("index", Value::from(self.index as u64)),
+                    ("telemetry_group", Value::from(self.telemetry_group as u64)),
+                ]),
+            ),
+            (
+                "uptime_us",
+                Value::from(self.started.elapsed().as_micros() as u64),
+            ),
+            (
+                "server",
+                Value::object([
+                    ("accepted", load(&self.accepted)),
+                    ("open_connections", load(&self.open_connections)),
+                    ("frames_in", load(&self.frames_in)),
+                    ("frames_out", load(&self.frames_out)),
+                    ("shed", load(&self.shed)),
+                    ("protocol_errors", load(&self.protocol_errors)),
+                    ("queue_depth", load(&self.queue_depth)),
+                    ("queue_depth_high_water", load(&self.queue_depth_high_water)),
+                    ("workers", load(&self.workers)),
+                    ("worker_busy_us", load(&self.worker_busy_us)),
+                    ("poll_loop", histogram_to_value(&self.poll_loop.snapshot())),
+                ]),
+            ),
+            (
+                "client",
+                Value::object([
+                    ("reconnects", Value::from(reconnects)),
+                    ("retries", Value::from(retries)),
+                    ("deadline_clamps", Value::from(clamps)),
+                ]),
+            ),
+            (
+                "shuffle",
+                Value::object([
+                    ("occupancy", load(&self.shuffle_occupancy)),
+                    ("high_water", load(&self.shuffle_high_water)),
+                    ("flush_full", load(&self.flush_full)),
+                    ("flush_timeout", load(&self.flush_timeout)),
+                    ("flush_drain", load(&self.flush_drain)),
+                ]),
+            ),
+            (
+                "supervisor",
+                Value::object([
+                    ("probe_failures", load(&self.probe_failures)),
+                    ("respawns", load(&self.respawns)),
+                ]),
+            ),
+            ("scrapes", load(&self.scrapes)),
+            ("stages", stages),
+            ("layers", layers),
+        ])
+    }
+}
+
+/// Renders a histogram snapshot as bucketed aggregates: sparse
+/// `[bucket_index, count]` pairs plus totals. Bucket indices are
+/// positions in the fixed log-linear layout, never raw values.
+fn histogram_to_value(snap: &HistogramSnapshot) -> Value {
+    let counts: Value = snap
+        .bucket_counts()
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| c > 0)
+        .map(|(i, &c)| Value::Array(vec![Value::from(i as u64), Value::from(c)]))
+        .collect();
+    Value::object([
+        ("counts", counts),
+        ("sum_us", Value::from(snap.sum_us())),
+        ("max_us", Value::from(snap.max_us())),
+    ])
+}
+
+/// Rebuilds a histogram snapshot from its scrape encoding.
+fn histogram_from_value(v: &Value) -> Result<HistogramSnapshot, String> {
+    let pairs = v
+        .get("counts")
+        .and_then(Value::as_array)
+        .ok_or("histogram without counts array")?;
+    let mut counts = vec![0u64; NUM_BUCKETS];
+    for pair in pairs {
+        let cells = pair.as_array().ok_or("histogram count entry not a pair")?;
+        if cells.len() != 2 {
+            return Err("histogram count entry not a pair".into());
+        }
+        let idx = cells[0].as_u64().ok_or("bucket index not an integer")? as usize;
+        let c = cells[1].as_u64().ok_or("bucket count not an integer")?;
+        if idx >= NUM_BUCKETS {
+            return Err(format!("bucket index {idx} out of layout"));
+        }
+        counts[idx] += c;
+    }
+    let sum_us = v
+        .get("sum_us")
+        .and_then(Value::as_u64)
+        .ok_or("histogram without sum_us")?;
+    let max_us = v
+        .get("max_us")
+        .and_then(Value::as_u64)
+        .ok_or("histogram without max_us")?;
+    Ok(HistogramSnapshot::from_parts(counts, sum_us, max_us))
+}
+
+fn layer_to_value(name: &str, s: &LayerSnapshot) -> Value {
+    Value::object([
+        ("name", Value::from(name)),
+        ("requests", Value::from(s.requests)),
+        ("responses", Value::from(s.responses)),
+        ("errors", Value::from(s.errors)),
+        ("busy_us", Value::from(s.busy_us)),
+        ("shuffle_flushes", Value::from(s.shuffle_flushes)),
+        ("shuffle_timeouts", Value::from(s.shuffle_timeouts)),
+        ("retries", Value::from(s.retries)),
+        ("deadline_misses", Value::from(s.deadline_misses)),
+        ("rejected", Value::from(s.rejected)),
+    ])
+}
+
+fn layer_from_value(v: &Value) -> Result<(String, LayerSnapshot), String> {
+    let name = v
+        .get("name")
+        .and_then(Value::as_str)
+        .ok_or("layer without name")?
+        .to_string();
+    let field = |f: &str| -> Result<u64, String> {
+        v.get(f)
+            .and_then(Value::as_u64)
+            .ok_or(format!("layer {name} missing {f}"))
+    };
+    Ok((
+        name.clone(),
+        LayerSnapshot {
+            requests: field("requests")?,
+            responses: field("responses")?,
+            errors: field("errors")?,
+            busy_us: field("busy_us")?,
+            shuffle_flushes: field("shuffle_flushes")?,
+            shuffle_timeouts: field("shuffle_timeouts")?,
+            retries: field("retries")?,
+            deadline_misses: field("deadline_misses")?,
+            rejected: field("rejected")?,
+        },
+    ))
+}
+
+/// Checks an object holds *exactly* `keys` — unknown keys are the
+/// failure mode that matters: an exporter quietly widened to carry
+/// per-request data must not validate.
+fn expect_keys(v: &Value, ctx: &str, keys: &[&str]) -> Result<(), String> {
+    let obj = v.as_object().ok_or(format!("{ctx} is not an object"))?;
+    for k in obj.keys() {
+        if !keys.contains(&k.as_str()) {
+            return Err(format!("{ctx} carries unexpected key {k}"));
+        }
+    }
+    for k in keys {
+        if !obj.contains_key(*k) {
+            return Err(format!("{ctx} missing key {k}"));
+        }
+    }
+    Ok(())
+}
+
+fn expect_u64(v: &Value, ctx: &str, key: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(Value::as_u64)
+        .ok_or(format!("{ctx}.{key} missing or not a non-negative integer"))
+}
+
+fn validate_histogram(v: &Value, ctx: &str) -> Result<(), String> {
+    expect_keys(v, ctx, &["counts", "sum_us", "max_us"])?;
+    let pairs = v
+        .get("counts")
+        .and_then(Value::as_array)
+        .ok_or(format!("{ctx}.counts is not an array"))?;
+    let mut prev: Option<u64> = None;
+    for pair in pairs {
+        let cells = pair
+            .as_array()
+            .filter(|c| c.len() == 2)
+            .ok_or(format!("{ctx}.counts entry is not an [index, count] pair"))?;
+        let idx = cells[0]
+            .as_u64()
+            .ok_or(format!("{ctx}.counts index not an integer"))?;
+        cells[1]
+            .as_u64()
+            .ok_or(format!("{ctx}.counts count not an integer"))?;
+        if idx as usize >= NUM_BUCKETS {
+            return Err(format!("{ctx}.counts index {idx} outside bucket layout"));
+        }
+        // Strictly increasing indices: a sequence of repeated or
+        // unordered indices could smuggle ordering information.
+        if prev.is_some_and(|p| idx <= p) {
+            return Err(format!("{ctx}.counts indices not strictly increasing"));
+        }
+        prev = Some(idx);
+    }
+    expect_u64(v, ctx, "sum_us")?;
+    expect_u64(v, ctx, "max_us")?;
+    Ok(())
+}
+
+/// Validates a per-node scrape snapshot: exact key whitelist at every
+/// level, bucketed aggregates only. Anything a snapshot is not allowed
+/// to carry — per-request correlation or trace ids, raw per-request
+/// timestamps, arrival sequences — has no whitelisted place to live and
+/// fails here by construction.
+///
+/// # Errors
+///
+/// A human-readable description of the first violation.
+pub fn validate_scrape_snapshot(root: &Value) -> Result<(), String> {
+    expect_keys(
+        root,
+        "snapshot",
+        &[
+            "report",
+            "schema_version",
+            "node",
+            "uptime_us",
+            "server",
+            "client",
+            "shuffle",
+            "supervisor",
+            "scrapes",
+            "stages",
+            "layers",
+        ],
+    )?;
+    if root.get("report").and_then(Value::as_str) != Some("node-metrics") {
+        return Err("missing report=node-metrics tag".into());
+    }
+    let version = expect_u64(root, "snapshot", "schema_version")?;
+    if version < SCRAPE_SCHEMA_VERSION {
+        return Err(format!("schema_version {version} too old"));
+    }
+    let node = root.get("node").ok_or("missing node object")?;
+    expect_keys(node, "node", &["tier", "index", "telemetry_group"])?;
+    node.get("tier")
+        .and_then(Value::as_str)
+        .ok_or("node.tier missing or not a string")?;
+    expect_u64(node, "node", "index")?;
+    expect_u64(node, "node", "telemetry_group")?;
+    expect_u64(root, "snapshot", "uptime_us")?;
+
+    let server = root.get("server").ok_or("missing server object")?;
+    expect_keys(
+        server,
+        "server",
+        &[
+            "accepted",
+            "open_connections",
+            "frames_in",
+            "frames_out",
+            "shed",
+            "protocol_errors",
+            "queue_depth",
+            "queue_depth_high_water",
+            "workers",
+            "worker_busy_us",
+            "poll_loop",
+        ],
+    )?;
+    for k in [
+        "accepted",
+        "open_connections",
+        "frames_in",
+        "frames_out",
+        "shed",
+        "protocol_errors",
+        "queue_depth",
+        "queue_depth_high_water",
+        "workers",
+        "worker_busy_us",
+    ] {
+        expect_u64(server, "server", k)?;
+    }
+    validate_histogram(
+        server.get("poll_loop").ok_or("missing poll_loop")?,
+        "server.poll_loop",
+    )?;
+
+    let client = root.get("client").ok_or("missing client object")?;
+    expect_keys(
+        client,
+        "client",
+        &["reconnects", "retries", "deadline_clamps"],
+    )?;
+    for k in ["reconnects", "retries", "deadline_clamps"] {
+        expect_u64(client, "client", k)?;
+    }
+
+    let shuffle = root.get("shuffle").ok_or("missing shuffle object")?;
+    expect_keys(
+        shuffle,
+        "shuffle",
+        &[
+            "occupancy",
+            "high_water",
+            "flush_full",
+            "flush_timeout",
+            "flush_drain",
+        ],
+    )?;
+    for k in [
+        "occupancy",
+        "high_water",
+        "flush_full",
+        "flush_timeout",
+        "flush_drain",
+    ] {
+        expect_u64(shuffle, "shuffle", k)?;
+    }
+
+    let supervisor = root.get("supervisor").ok_or("missing supervisor object")?;
+    expect_keys(supervisor, "supervisor", &["probe_failures", "respawns"])?;
+    expect_u64(supervisor, "supervisor", "probe_failures")?;
+    expect_u64(supervisor, "supervisor", "respawns")?;
+    expect_u64(root, "snapshot", "scrapes")?;
+
+    let stages = root
+        .get("stages")
+        .and_then(Value::as_object)
+        .ok_or("stages is not an object")?;
+    for (name, hist) in stages {
+        if !Stage::ALL.iter().any(|s| s.as_str() == name) {
+            return Err(format!("stages carries unknown stage {name}"));
+        }
+        validate_histogram(hist, &format!("stages.{name}"))?;
+    }
+
+    let layers = root
+        .get("layers")
+        .and_then(Value::as_array)
+        .ok_or("layers is not an array")?;
+    for layer in layers {
+        expect_keys(
+            layer,
+            "layer",
+            &[
+                "name",
+                "requests",
+                "responses",
+                "errors",
+                "busy_us",
+                "shuffle_flushes",
+                "shuffle_timeouts",
+                "retries",
+                "deadline_misses",
+                "rejected",
+            ],
+        )?;
+        layer_from_value(layer)?;
+    }
+    Ok(())
+}
+
+/// One node's scraped snapshot.
+#[derive(Debug, Clone)]
+pub struct NodeSnapshot {
+    /// Node name as registered with the scraper (e.g. `ua0`).
+    pub name: String,
+    /// The parsed snapshot document.
+    pub json: Value,
+}
+
+impl NodeSnapshot {
+    fn u64_at(&self, object: &str, key: &str) -> u64 {
+        self.json
+            .get(object)
+            .and_then(|o| o.get(key))
+            .and_then(Value::as_u64)
+            .unwrap_or(0)
+    }
+
+    fn telemetry_group(&self) -> u64 {
+        self.json
+            .get("node")
+            .and_then(|n| n.get("telemetry_group"))
+            .and_then(Value::as_u64)
+            .unwrap_or(0)
+    }
+}
+
+/// A point-in-time cluster pressure sample: gauges summed across nodes,
+/// high-water marks taken as the cluster maximum. The scenario harness
+/// records one per window to build the pressure timeline.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PressureSample {
+    /// Nodes that answered the scrape.
+    pub nodes: usize,
+    /// Sum of per-node worker-queue depth gauges.
+    pub queue_depth: u64,
+    /// Maximum per-node queue-depth high-water mark.
+    pub queue_depth_high_water: u64,
+    /// Total requests shed at gates and queues.
+    pub shed: u64,
+    /// Sum of shuffle-buffer occupancy gauges.
+    pub shuffle_occupancy: u64,
+    /// Maximum per-node shuffle occupancy high-water mark.
+    pub shuffle_high_water: u64,
+    /// Sum of open-connection gauges.
+    pub open_connections: u64,
+    /// Total request frames read by all nodes.
+    pub frames_in: u64,
+}
+
+/// Snapshots from one cluster-wide scrape pass.
+#[derive(Debug, Clone)]
+pub struct ClusterSnapshot {
+    /// Per-node snapshots, in scrape order.
+    pub nodes: Vec<NodeSnapshot>,
+    /// Names of nodes that did not answer (killed or respawning).
+    pub unreachable: Vec<String>,
+}
+
+impl ClusterSnapshot {
+    /// Validates every node snapshot and requires full coverage.
+    ///
+    /// # Errors
+    ///
+    /// The first schema violation, or the first unreachable node.
+    pub fn validate(&self) -> Result<(), String> {
+        if let Some(name) = self.unreachable.first() {
+            return Err(format!("node {name} did not answer the scrape"));
+        }
+        for node in &self.nodes {
+            validate_scrape_snapshot(&node.json).map_err(|e| format!("{}: {e}", node.name))?;
+        }
+        Ok(())
+    }
+
+    /// Merges the per-node snapshots into one cluster
+    /// [`TelemetryReport`] consumable by the PR 3 exporters. Stage
+    /// histograms are deduplicated by telemetry group (nodes sharing a
+    /// hub report the same histograms; the group with the freshest
+    /// counts represents them once), then merged across groups. Every
+    /// node contributes a synthesized `<name>/server` layer plus its
+    /// registered service layers prefixed `<name>/`.
+    pub fn report(&self) -> TelemetryReport {
+        // Pick one representative snapshot per telemetry group: the one
+        // whose stage histograms carry the most observations (the
+        // freshest scrape of the shared hub). Group 0 is "private".
+        let mut reps: Vec<(u64, &NodeSnapshot, u64)> = Vec::new();
+        for (pos, node) in self.nodes.iter().enumerate() {
+            let group = match node.telemetry_group() {
+                0 => u64::MAX - pos as u64,
+                g => g,
+            };
+            let total: u64 = node
+                .json
+                .get("stages")
+                .and_then(Value::as_object)
+                .map(|stages| {
+                    stages
+                        .values()
+                        .filter_map(|h| histogram_from_value(h).ok())
+                        .map(|s| s.count())
+                        .sum()
+                })
+                .unwrap_or(0);
+            match reps.iter_mut().find(|(g, _, _)| *g == group) {
+                Some(entry) if total > entry.2 => {
+                    entry.1 = node;
+                    entry.2 = total;
+                }
+                Some(_) => {}
+                None => reps.push((group, node, total)),
+            }
+        }
+        let mut merged: Vec<(Stage, HistogramSnapshot)> = Stage::ALL
+            .iter()
+            .map(|&s| (s, HistogramSnapshot::empty()))
+            .collect();
+        for (_, node, _) in &reps {
+            if let Some(stages) = node.json.get("stages").and_then(Value::as_object) {
+                for (name, hist) in stages {
+                    if let (Some(stage), Ok(snap)) = (
+                        Stage::ALL.iter().find(|s| s.as_str() == name),
+                        histogram_from_value(hist),
+                    ) {
+                        merged[*stage as usize].1.merge(&snap);
+                    }
+                }
+            }
+        }
+        let mut shuffle = merged[Stage::ShuffleRequest as usize].1.clone();
+        shuffle.merge(&merged[Stage::ShuffleResponse as usize].1);
+
+        let mut layers: Vec<(String, LayerSnapshot)> = Vec::new();
+        for node in &self.nodes {
+            let flushes = node.u64_at("shuffle", "flush_full")
+                + node.u64_at("shuffle", "flush_timeout")
+                + node.u64_at("shuffle", "flush_drain");
+            layers.push((
+                format!("{}/server", node.name),
+                LayerSnapshot {
+                    requests: node.u64_at("server", "frames_in"),
+                    responses: node.u64_at("server", "frames_out"),
+                    errors: node.u64_at("server", "protocol_errors"),
+                    busy_us: node.u64_at("server", "worker_busy_us"),
+                    shuffle_flushes: flushes,
+                    shuffle_timeouts: node.u64_at("shuffle", "flush_timeout"),
+                    retries: node.u64_at("client", "retries"),
+                    deadline_misses: node.u64_at("client", "deadline_clamps"),
+                    rejected: node.u64_at("server", "shed"),
+                },
+            ));
+            if let Some(list) = node.json.get("layers").and_then(Value::as_array) {
+                for layer in list {
+                    if let Ok((name, snap)) = layer_from_value(layer) {
+                        layers.push((format!("{}/{name}", node.name), snap));
+                    }
+                }
+            }
+        }
+        TelemetryReport {
+            stages: merged,
+            shuffle,
+            layers,
+            trace_policy: "rerandomize".into(),
+            spans_pushed: 0,
+            spans_exported: 0,
+            spans_dropped: 0,
+        }
+    }
+
+    /// Aggregates the gauges that make up one pressure-timeline window.
+    pub fn pressure(&self) -> PressureSample {
+        let mut sample = PressureSample {
+            nodes: self.nodes.len(),
+            ..PressureSample::default()
+        };
+        for node in &self.nodes {
+            sample.queue_depth += node.u64_at("server", "queue_depth");
+            sample.queue_depth_high_water = sample
+                .queue_depth_high_water
+                .max(node.u64_at("server", "queue_depth_high_water"));
+            sample.shed += node.u64_at("server", "shed");
+            sample.shuffle_occupancy += node.u64_at("shuffle", "occupancy");
+            sample.shuffle_high_water = sample
+                .shuffle_high_water
+                .max(node.u64_at("shuffle", "high_water"));
+            sample.open_connections += node.u64_at("server", "open_connections");
+            sample.frames_in += node.u64_at("server", "frames_in");
+        }
+        sample
+    }
+}
+
+/// Polls every cluster node's metrics scrape and merges the results.
+pub struct ClusterScraper {
+    targets: Vec<(String, SocketAddr)>,
+    timeout: Duration,
+    corr: AtomicU64,
+}
+
+impl std::fmt::Debug for ClusterScraper {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClusterScraper")
+            .field("targets", &self.targets.len())
+            .finish()
+    }
+}
+
+impl ClusterScraper {
+    /// A scraper over named node addresses with the default 2 s
+    /// per-node timeout.
+    pub fn new(targets: Vec<(String, SocketAddr)>) -> Self {
+        ClusterScraper::with_timeout(targets, Duration::from_secs(2))
+    }
+
+    /// A scraper with an explicit per-node IO timeout.
+    pub fn with_timeout(targets: Vec<(String, SocketAddr)>, timeout: Duration) -> Self {
+        ClusterScraper {
+            targets,
+            timeout,
+            corr: AtomicU64::new(0x5c4a_9e00),
+        }
+    }
+
+    /// The scrape targets, in polling order.
+    pub fn targets(&self) -> &[(String, SocketAddr)] {
+        &self.targets
+    }
+
+    /// Scrapes every target once. Unreachable nodes are reported, not
+    /// fatal — during a kill/respawn drill part of the cluster is
+    /// legitimately down.
+    pub fn scrape(&self) -> ClusterSnapshot {
+        let mut nodes = Vec::new();
+        let mut unreachable = Vec::new();
+        for (name, addr) in &self.targets {
+            match self.scrape_node(*addr) {
+                Ok(json) => nodes.push(NodeSnapshot {
+                    name: name.clone(),
+                    json,
+                }),
+                Err(_) => unreachable.push(name.clone()),
+            }
+        }
+        ClusterSnapshot { nodes, unreachable }
+    }
+
+    /// Scrapes one node: sends the padded Control-class query and
+    /// reassembles the chunked Control-class response.
+    ///
+    /// # Errors
+    ///
+    /// [`ScrapeError`] on socket failure, undecodable frames, chunk
+    /// protocol violations, or a snapshot that fails JSON parsing.
+    pub fn scrape_node(&self, addr: SocketAddr) -> Result<Value, ScrapeError> {
+        let corr = self.corr.fetch_add(1, Ordering::Relaxed);
+        let mut stream =
+            TcpStream::connect_timeout(&addr, self.timeout).map_err(|e| ScrapeError::Io {
+                phase: "connect",
+                kind: e.kind(),
+            })?;
+        stream
+            .set_read_timeout(Some(self.timeout))
+            .and_then(|()| stream.set_write_timeout(Some(self.timeout)))
+            .map_err(|e| ScrapeError::Io {
+                phase: "connect",
+                kind: e.kind(),
+            })?;
+        let _ = stream.set_nodelay(true);
+        let request = scrape_request(corr).encode().map_err(ScrapeError::Frame)?;
+        stream.write_all(&request).map_err(|e| ScrapeError::Io {
+            phase: "write",
+            kind: e.kind(),
+        })?;
+
+        let mut data = Vec::new();
+        let mut expected_total: Option<usize> = None;
+        let mut next_seq = 0usize;
+        loop {
+            let frame = read_one_frame(&mut stream)?;
+            if frame.class != PadClass::Control {
+                return Err(ScrapeError::Protocol(format!(
+                    "scrape answered with a {:?}-class frame",
+                    frame.class
+                )));
+            }
+            if frame.corr != corr {
+                return Err(ScrapeError::Protocol("correlation mismatch".into()));
+            }
+            if frame.payload.len() < CHUNK_HEADER {
+                return Err(ScrapeError::Protocol(
+                    "chunk shorter than its header".into(),
+                ));
+            }
+            let seq = u16::from_be_bytes([frame.payload[0], frame.payload[1]]) as usize;
+            let total = u16::from_be_bytes([frame.payload[2], frame.payload[3]]) as usize;
+            if total == 0 {
+                return Err(ScrapeError::Protocol("chunk declares zero total".into()));
+            }
+            match expected_total {
+                None => expected_total = Some(total),
+                Some(t) if t != total => {
+                    return Err(ScrapeError::Protocol(
+                        "chunk total changed mid-stream".into(),
+                    ))
+                }
+                Some(_) => {}
+            }
+            if seq != next_seq {
+                return Err(ScrapeError::Protocol(format!(
+                    "chunk {seq} out of order (expected {next_seq})"
+                )));
+            }
+            data.extend_from_slice(&frame.payload[CHUNK_HEADER..]);
+            next_seq += 1;
+            if next_seq == expected_total.unwrap_or(0) {
+                break;
+            }
+        }
+        let text = String::from_utf8(data)
+            .map_err(|_| ScrapeError::Protocol("snapshot is not UTF-8".into()))?;
+        Value::parse(&text)
+            .map_err(|e| ScrapeError::Protocol(format!("snapshot JSON invalid: {e:?}")))
+    }
+}
+
+/// Blocking read of exactly one frame off `stream`.
+fn read_one_frame(stream: &mut TcpStream) -> Result<Frame, ScrapeError> {
+    let mut header = [0u8; HEADER_LEN];
+    stream
+        .read_exact(&mut header)
+        .map_err(|e| ScrapeError::Io {
+            phase: "read",
+            kind: e.kind(),
+        })?;
+    let (_, body_len, _) = parse_header(&header)?;
+    let mut body = vec![0u8; body_len];
+    stream.read_exact(&mut body).map_err(|e| ScrapeError::Io {
+        phase: "read",
+        kind: e.kind(),
+    })?;
+    let mut all = header.to_vec();
+    all.extend_from_slice(&body);
+    Ok(Frame::decode(&all)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn populated_hub() -> NodeMetrics {
+        let m = NodeMetrics::new("ua", 0, 7);
+        m.on_accept();
+        m.on_frame_in();
+        m.on_frames_out(1);
+        m.on_shed();
+        m.on_enqueue();
+        m.on_enqueue();
+        m.on_dequeue();
+        m.set_workers(4);
+        m.add_worker_busy_us(1_500);
+        m.record_poll_pass_us(120);
+        m.set_open_connections(3);
+        m.set_shuffle_occupancy(5);
+        m.on_flush(FlushReason::Full);
+        m.on_flush(FlushReason::Timeout);
+        m.on_probe_failure();
+        m.on_scrape();
+        m.registry().register("ua-svc").record_request(200);
+        m
+    }
+
+    #[test]
+    fn snapshot_round_trips_and_validates() {
+        let m = populated_hub();
+        let json = m.snapshot_json();
+        validate_scrape_snapshot(&json).unwrap();
+        let reparsed = Value::parse(&json.to_json()).unwrap();
+        validate_scrape_snapshot(&reparsed).unwrap();
+        assert_eq!(
+            reparsed
+                .get("server")
+                .unwrap()
+                .get("accepted")
+                .unwrap()
+                .as_u64(),
+            Some(1)
+        );
+        assert_eq!(
+            reparsed
+                .get("server")
+                .unwrap()
+                .get("queue_depth_high_water")
+                .unwrap()
+                .as_u64(),
+            Some(2)
+        );
+        assert_eq!(
+            reparsed
+                .get("shuffle")
+                .unwrap()
+                .get("high_water")
+                .unwrap()
+                .as_u64(),
+            Some(5)
+        );
+    }
+
+    #[test]
+    fn validator_rejects_unknown_keys_anywhere() {
+        let m = populated_hub();
+        // Top level.
+        let mut json = m.snapshot_json();
+        json.insert("arrival_times", Value::Array(vec![Value::from(12u64)]));
+        assert!(validate_scrape_snapshot(&json)
+            .unwrap_err()
+            .contains("arrival_times"));
+        // Inside server.
+        let mut json = m.snapshot_json();
+        json.get_mut("server")
+            .unwrap()
+            .insert("last_corr", Value::from(42u64));
+        assert!(validate_scrape_snapshot(&json)
+            .unwrap_err()
+            .contains("last_corr"));
+        // Inside a layer.
+        let mut json = m.snapshot_json();
+        if let Some(Value::Array(layers)) = json.get_mut("layers").map(std::mem::take) {
+            let mut layers = layers;
+            layers[0].insert("trace_id", Value::from(9u64));
+            json.insert("layers", Value::Array(layers));
+        }
+        assert!(validate_scrape_snapshot(&json)
+            .unwrap_err()
+            .contains("trace_id"));
+    }
+
+    #[test]
+    fn validator_rejects_raw_timestamp_shapes_in_histograms() {
+        let m = populated_hub();
+        let mut json = m.snapshot_json();
+        // A "histogram" whose counts are not [index, count] pairs —
+        // the shape a raw per-request timestamp list would take.
+        json.get_mut("server").unwrap().insert(
+            "poll_loop",
+            Value::object([
+                (
+                    "counts",
+                    Value::Array(vec![Value::from(1_723_012u64), Value::from(1_723_844u64)]),
+                ),
+                ("sum_us", Value::from(0u64)),
+                ("max_us", Value::from(0u64)),
+            ]),
+        );
+        assert!(validate_scrape_snapshot(&json).is_err());
+        // Out-of-layout bucket indices likewise.
+        let mut json = m.snapshot_json();
+        json.get_mut("server").unwrap().insert(
+            "poll_loop",
+            Value::object([
+                (
+                    "counts",
+                    Value::Array(vec![Value::Array(vec![
+                        Value::from(NUM_BUCKETS as u64 + 5),
+                        Value::from(1u64),
+                    ])]),
+                ),
+                ("sum_us", Value::from(0u64)),
+                ("max_us", Value::from(0u64)),
+            ]),
+        );
+        assert!(validate_scrape_snapshot(&json)
+            .unwrap_err()
+            .contains("outside bucket layout"));
+    }
+
+    #[test]
+    fn chunking_round_trips_and_pads_constantly() {
+        let m = populated_hub();
+        let text = m.snapshot_json().to_json();
+        let frames = scrape_response_frames(9, &text);
+        assert!(frames.len() > 1, "a real snapshot spans several chunks");
+        let mut data = Vec::new();
+        for (i, f) in frames.iter().enumerate() {
+            assert_eq!(f.class, PadClass::Control);
+            assert_eq!(f.corr, 9);
+            // Constant on-wire size regardless of content.
+            assert_eq!(f.encode().unwrap().len(), PadClass::Control.wire_len());
+            let seq = u16::from_be_bytes([f.payload[0], f.payload[1]]) as usize;
+            let total = u16::from_be_bytes([f.payload[2], f.payload[3]]) as usize;
+            assert_eq!(seq, i);
+            assert_eq!(total, frames.len());
+            data.extend_from_slice(&f.payload[CHUNK_HEADER..]);
+        }
+        assert_eq!(String::from_utf8(data).unwrap(), text);
+    }
+
+    #[test]
+    fn scrape_request_is_wire_indistinguishable_from_status_control() {
+        let scrape = scrape_request(1).encode().unwrap();
+        let status = Frame::new(PadClass::Control, 1, crate::WireStatus::Busy.to_payload())
+            .unwrap()
+            .encode()
+            .unwrap();
+        assert_eq!(scrape.len(), status.len());
+        assert!(is_scrape_request(&Frame::decode(&scrape).unwrap()));
+        assert!(!is_scrape_request(&Frame::decode(&status).unwrap()));
+    }
+
+    #[test]
+    fn histogram_sparse_encoding_round_trips() {
+        let h = LatencyHistogram::new();
+        for v in [1u64, 1, 90, 4_000, 250_000] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        let rebuilt = histogram_from_value(&histogram_to_value(&snap)).unwrap();
+        assert_eq!(rebuilt, snap);
+    }
+
+    #[test]
+    fn cluster_report_deduplicates_shared_telemetry_groups() {
+        use pprox_core::telemetry::{Telemetry, TelemetryConfig};
+        let telemetry = Arc::new(Telemetry::new(TelemetryConfig::default()));
+        for _ in 0..10 {
+            telemetry.record_duration(Stage::Ua, 100);
+        }
+        // Two nodes share group 7; a third has its own hub in group 9.
+        let a = NodeMetrics::new("ua", 0, 7);
+        let b = NodeMetrics::new("ua", 1, 7);
+        a.attach_telemetry(telemetry.clone());
+        b.attach_telemetry(telemetry.clone());
+        let other = Arc::new(Telemetry::new(TelemetryConfig::default()));
+        other.record_duration(Stage::Ua, 900);
+        let c = NodeMetrics::new("ia", 0, 9);
+        c.attach_telemetry(other);
+        let snapshot = ClusterSnapshot {
+            nodes: vec![
+                NodeSnapshot {
+                    name: "ua0".into(),
+                    json: a.snapshot_json(),
+                },
+                NodeSnapshot {
+                    name: "ua1".into(),
+                    json: b.snapshot_json(),
+                },
+                NodeSnapshot {
+                    name: "ia0".into(),
+                    json: c.snapshot_json(),
+                },
+            ],
+            unreachable: Vec::new(),
+        };
+        snapshot.validate().unwrap();
+        let report = snapshot.report();
+        let ua = &report.stages[Stage::Ua as usize].1;
+        // 10 from the shared hub (once, not twice) + 1 from the other.
+        assert_eq!(ua.count(), 11);
+        // Every node contributes a synthesized server layer.
+        assert!(report.layers.iter().any(|(n, _)| n == "ua0/server"));
+        assert!(report.layers.iter().any(|(n, _)| n == "ia0/server"));
+    }
+
+    #[test]
+    fn pressure_sample_sums_gauges_and_maxes_high_water() {
+        let a = NodeMetrics::new("ua", 0, 0);
+        a.set_shuffle_occupancy(3);
+        a.on_shed();
+        a.on_enqueue();
+        let b = NodeMetrics::new("ua", 1, 0);
+        b.set_shuffle_occupancy(9);
+        let snapshot = ClusterSnapshot {
+            nodes: vec![
+                NodeSnapshot {
+                    name: "ua0".into(),
+                    json: a.snapshot_json(),
+                },
+                NodeSnapshot {
+                    name: "ua1".into(),
+                    json: b.snapshot_json(),
+                },
+            ],
+            unreachable: Vec::new(),
+        };
+        let p = snapshot.pressure();
+        assert_eq!(p.nodes, 2);
+        assert_eq!(p.shuffle_occupancy, 12);
+        assert_eq!(p.shuffle_high_water, 9);
+        assert_eq!(p.shed, 1);
+        assert_eq!(p.queue_depth, 1);
+        assert_eq!(p.queue_depth_high_water, 1);
+    }
+
+    #[test]
+    fn unreachable_node_fails_validation_but_not_the_scrape() {
+        let snapshot = ClusterSnapshot {
+            nodes: Vec::new(),
+            unreachable: vec!["ia1".into()],
+        };
+        assert!(snapshot.validate().unwrap_err().contains("ia1"));
+    }
+}

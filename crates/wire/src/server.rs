@@ -29,6 +29,7 @@
 //! frames, let admitted work finish, flush response buffers, then join.
 
 use crate::frame::{parse_header, Frame, PadClass, HEADER_LEN};
+use crate::scrape::{is_scrape_request, scrape_response_frames, NodeMetrics};
 use crate::WireStatus;
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
 use pprox_core::resilience::{AdmissionGate, AdmissionPermit, Deadline};
@@ -77,6 +78,10 @@ pub struct ServerConfig {
     pub poll_interval: Duration,
     /// Drain budget during shutdown before outstanding work is abandoned.
     pub drain_timeout: Duration,
+    /// The node's metrics hub, answering Control-class metrics scrapes
+    /// and accumulating across respawns. When absent the server creates
+    /// a private detached hub, so every server answers scrapes.
+    pub metrics: Option<Arc<NodeMetrics>>,
 }
 
 impl Default for ServerConfig {
@@ -88,6 +93,7 @@ impl Default for ServerConfig {
             request_budget: Duration::from_secs(2),
             poll_interval: Duration::from_micros(200),
             drain_timeout: Duration::from_secs(5),
+            metrics: None,
         }
     }
 }
@@ -144,6 +150,7 @@ pub struct WireServer {
     stop: Arc<AtomicBool>,
     gate: AdmissionGate,
     counters: Arc<Counters>,
+    metrics: Arc<NodeMetrics>,
     handler: Arc<dyn FrameHandler>,
     handles: Vec<JoinHandle<()>>,
 }
@@ -171,6 +178,13 @@ impl WireServer {
         let stop = Arc::new(AtomicBool::new(false));
         let gate = AdmissionGate::new(config.max_inflight.max(1));
         let counters = Arc::new(Counters::default());
+        // `Counters` stays per-incarnation (`stats()` semantics);
+        // `NodeMetrics` accumulates for the node, surviving respawns.
+        let metrics = config
+            .metrics
+            .clone()
+            .unwrap_or_else(|| Arc::new(NodeMetrics::detached()));
+        metrics.set_workers(config.workers.max(1) as u64);
 
         let (conn_tx, conn_rx) = unbounded::<TcpStream>();
         let (job_tx, job_rx) = bounded::<WorkerJob>(config.queue_depth.max(1));
@@ -182,12 +196,14 @@ impl WireServer {
         {
             let stop = stop.clone();
             let counters = counters.clone();
+            let metrics = metrics.clone();
             let poll = config.poll_interval;
             handles.push(std::thread::spawn(move || {
                 while !stop.load(Ordering::Acquire) {
                     match listener.accept() {
                         Ok((stream, _peer)) => {
                             counters.accepted.fetch_add(1, Ordering::Relaxed);
+                            metrics.on_accept();
                             if stream.set_nonblocking(true).is_ok() && conn_tx.send(stream).is_err()
                             {
                                 break; // IO thread gone
@@ -209,13 +225,17 @@ impl WireServer {
             let rx = job_rx.clone();
             let tx = resp_tx.clone();
             let handler = handler.clone();
+            let metrics = metrics.clone();
             handles.push(std::thread::spawn(move || {
                 while let Ok(job) = rx.recv() {
+                    metrics.on_dequeue();
+                    let busy_from = Instant::now();
                     let result = if job.deadline.expired() {
                         Err(WireStatus::Deadline)
                     } else {
                         handler.handle(job.payload, job.deadline)
                     };
+                    metrics.add_worker_busy_us(busy_from.elapsed().as_micros() as u64);
                     let frame = match result {
                         Ok(payload) => match Frame::new(PadClass::Response, job.corr, payload) {
                             Ok(f) => f,
@@ -241,9 +261,12 @@ impl WireServer {
             let stop = stop.clone();
             let gate = gate.clone();
             let counters = counters.clone();
+            let metrics = metrics.clone();
             let config = config.clone();
             handles.push(std::thread::spawn(move || {
-                io_loop(conn_rx, job_tx, resp_rx, stop, gate, counters, config);
+                io_loop(
+                    conn_rx, job_tx, resp_rx, stop, gate, counters, metrics, config,
+                );
             }));
         }
 
@@ -252,6 +275,7 @@ impl WireServer {
             stop,
             gate,
             counters,
+            metrics,
             handler,
             handles,
         })
@@ -265,6 +289,12 @@ impl WireServer {
     /// Requests admitted and not yet answered.
     pub fn in_flight(&self) -> usize {
         self.gate.in_flight()
+    }
+
+    /// The node metrics hub this server reports into (and serves over
+    /// the scrape protocol).
+    pub fn metrics(&self) -> &Arc<NodeMetrics> {
+        &self.metrics
     }
 
     /// Counter snapshot.
@@ -306,7 +336,7 @@ fn control_frame(corr: u64, status: WireStatus) -> Frame {
 
 /// One pass of non-blocking reads on `conn`; returns complete frames'
 /// raw bytes and whether the connection is still usable.
-fn read_frames(conn: &mut Conn, counters: &Counters) -> Vec<(u64, Vec<u8>)> {
+fn read_frames(conn: &mut Conn, counters: &Counters, metrics: &NodeMetrics) -> Vec<(u64, Vec<u8>)> {
     let mut chunk = [0u8; 4096];
     loop {
         match conn.stream.read(&mut chunk) {
@@ -336,6 +366,7 @@ fn read_frames(conn: &mut Conn, counters: &Counters) -> Vec<(u64, Vec<u8>)> {
                 // Desynchronized or hostile peer: cut the connection
                 // rather than hunt for a resync point.
                 counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                metrics.on_protocol_error();
                 conn.open = false;
                 conn.read_buf.clear();
                 return frames;
@@ -362,7 +393,7 @@ fn read_frames(conn: &mut Conn, counters: &Counters) -> Vec<(u64, Vec<u8>)> {
 }
 
 /// One pass of non-blocking writes on `conn`.
-fn write_pending(conn: &mut Conn, counters: &Counters) {
+fn write_pending(conn: &mut Conn, counters: &Counters, metrics: &NodeMetrics) {
     while conn.written < conn.write_buf.len() {
         match conn.stream.write(&conn.write_buf[conn.written..]) {
             Ok(0) => {
@@ -382,10 +413,9 @@ fn write_pending(conn: &mut Conn, counters: &Counters) {
         let flushed = conn.write_buf.len();
         conn.write_buf.clear();
         conn.written = 0;
-        counters.frames_out.fetch_add(
-            (flushed / PadClass::Response.wire_len().min(flushed)) as u64,
-            Ordering::Relaxed,
-        );
+        let frames = (flushed / PadClass::Response.wire_len().min(flushed)) as u64;
+        counters.frames_out.fetch_add(frames, Ordering::Relaxed);
+        metrics.on_frames_out(frames);
     }
 }
 
@@ -397,6 +427,7 @@ fn io_loop(
     stop: Arc<AtomicBool>,
     gate: AdmissionGate,
     counters: Arc<Counters>,
+    metrics: Arc<NodeMetrics>,
     config: ServerConfig,
 ) {
     let mut conns: HashMap<u64, Conn> = HashMap::new();
@@ -407,6 +438,9 @@ fn io_loop(
         if draining && draining_since.is_none() {
             draining_since = Some(Instant::now());
         }
+        // analysis-allow: R6 poll-pass latency is bucketed into the shared
+        // histogram; no raw per-pass timestamp leaves this loop.
+        let pass_started = Instant::now();
         let mut progress = false;
 
         // New connections (none arrive once the acceptor exits).
@@ -424,6 +458,7 @@ fn io_loop(
             next_id += 1;
             progress = true;
         }
+        metrics.set_open_connections(conns.len() as u64);
 
         // Worker responses → per-connection write buffers.
         while let Ok(out) = resp_rx.try_recv() {
@@ -437,23 +472,34 @@ fn io_loop(
         let mut closed: Vec<u64> = Vec::new();
         for (&id, conn) in conns.iter_mut() {
             if conn.open && !draining {
-                for (corr, frame_bytes) in read_frames(conn, &counters) {
+                for (corr, frame_bytes) in read_frames(conn, &counters, &metrics) {
                     progress = true;
                     counters.frames_in.fetch_add(1, Ordering::Relaxed);
+                    metrics.on_frame_in();
                     let frame = match Frame::decode(&frame_bytes) {
                         Ok(f) => f,
                         Err(_) => {
                             counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                            metrics.on_protocol_error();
                             conn.open = false;
                             break;
                         }
                     };
                     if frame.class != PadClass::Request {
-                        respond_inline(conn, control_frame(corr, WireStatus::Malformed));
+                        if is_scrape_request(&frame) {
+                            metrics.on_scrape();
+                            let snapshot = metrics.snapshot_json().to_json();
+                            for chunk in scrape_response_frames(corr, &snapshot) {
+                                respond_inline(conn, chunk);
+                            }
+                        } else {
+                            respond_inline(conn, control_frame(corr, WireStatus::Malformed));
+                        }
                         continue;
                     }
                     let Some(permit) = gate.try_admit() else {
                         counters.shed.fetch_add(1, Ordering::Relaxed);
+                        metrics.on_shed();
                         respond_inline(conn, control_frame(corr, WireStatus::Busy));
                         continue;
                     };
@@ -465,9 +511,10 @@ fn io_loop(
                         permit,
                     };
                     match job_tx.try_send(job) {
-                        Ok(()) => {}
+                        Ok(()) => metrics.on_enqueue(),
                         Err(TrySendError::Full(job)) => {
                             counters.shed.fetch_add(1, Ordering::Relaxed);
+                            metrics.on_shed();
                             respond_inline(conn, control_frame(job.corr, WireStatus::Busy));
                             drop(job.permit);
                         }
@@ -479,7 +526,7 @@ fn io_loop(
                 }
             }
             if !conn.write_buf.is_empty() {
-                write_pending(conn, &counters);
+                write_pending(conn, &counters, &metrics);
                 progress = true;
             }
             let flushed = conn.write_buf.is_empty();
@@ -487,8 +534,11 @@ fn io_loop(
                 closed.push(id);
             }
         }
-        for id in closed {
-            conns.remove(&id);
+        if !closed.is_empty() {
+            for id in closed {
+                conns.remove(&id);
+            }
+            metrics.set_open_connections(conns.len() as u64);
         }
 
         if draining {
@@ -503,7 +553,11 @@ fn io_loop(
             }
         }
 
-        if !progress {
+        if progress {
+            // Only busy passes are recorded: idle passes measure the sleep
+            // interval, not the loop, and would drown the histogram.
+            metrics.record_poll_pass_us(pass_started.elapsed().as_micros() as u64);
+        } else {
             std::thread::sleep(config.poll_interval);
         }
     }

@@ -18,6 +18,7 @@
 
 use crate::audit::{self, LinkageAudit};
 use crate::balancer::SocketBalancer;
+use crate::scrape::NodeMetrics;
 use crate::server::FrameHandler;
 use crate::{WireError, WireStatus};
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
@@ -60,6 +61,9 @@ pub struct UaServiceOptions {
     /// Ground-truth departure log for the linkage scorer; `None` in
     /// production (the default).
     pub audit: Option<Arc<LinkageAudit>>,
+    /// Node metrics hub: the shuffle stage reports buffer occupancy and
+    /// flush causes there (bucketed aggregates only — safe to scrape).
+    pub metrics: Option<Arc<NodeMetrics>>,
 }
 
 impl Default for UaServiceOptions {
@@ -70,6 +74,7 @@ impl Default for UaServiceOptions {
             forwarders: 4,
             shuffle_order_ablation: false,
             audit: None,
+            metrics: None,
         }
     }
 }
@@ -92,11 +97,13 @@ struct ShuffleStage {
 }
 
 impl ShuffleStage {
+    #[allow(clippy::too_many_arguments)]
     fn spawn(
         config: ShuffleConfig,
         forwarders: usize,
         ia: Arc<SocketBalancer>,
         telemetry: Arc<Telemetry>,
+        metrics: Option<Arc<NodeMetrics>>,
         seed: u64,
         order_ablation: bool,
         audit: Option<Arc<LinkageAudit>>,
@@ -112,6 +119,7 @@ impl ShuffleStage {
         // random order toward the forwarders.
         {
             let telemetry = telemetry.clone();
+            let metrics = metrics.clone();
             let mut buffer = ShuffleBuffer::new(config, seed ^ 0x0a5e);
             buffer.set_order_ablation(order_ablation);
             handles.push(std::thread::spawn(move || {
@@ -120,6 +128,7 @@ impl ShuffleStage {
                     req_kick_rx,
                     buffer,
                     telemetry,
+                    metrics,
                     Stage::ShuffleRequest,
                     |job| {
                         let _ = fwd_tx.send(job);
@@ -164,6 +173,7 @@ impl ShuffleStage {
                     resp_kick_rx,
                     buffer,
                     telemetry,
+                    metrics,
                     Stage::ShuffleResponse,
                     |job| {
                         let _ = job.reply.send(job.result);
@@ -220,10 +230,18 @@ fn run_shuffle<T>(
     kick_rx: Receiver<()>,
     mut buffer: ShuffleBuffer<T>,
     telemetry: Arc<Telemetry>,
+    metrics: Option<Arc<NodeMetrics>>,
     stage: Stage,
     mut forward: impl FnMut(T),
 ) {
+    // Both shuffle directions share the node's gauge: the instantaneous
+    // value is the latest sample from either buffer, the high-water mark
+    // (fetch_max) is exact across both.
+    let metrics = metrics.as_deref();
     let mut release = |flush: pprox_core::shuffler::Flush<T>, now_us: u64| {
+        if let Some(m) = metrics {
+            m.on_flush(flush.reason);
+        }
         for (item, arrived_us) in flush.items.into_iter().zip(flush.arrived_at_us) {
             telemetry.record_duration(stage, now_us.saturating_sub(arrived_us));
             forward(item);
@@ -264,9 +282,15 @@ fn run_shuffle<T>(
             }
             Err(RecvTimeoutError::Disconnected) => break,
         }
+        if let Some(m) = metrics {
+            m.set_shuffle_occupancy(buffer.len() as u64);
+        }
     }
     if let Some(flush) = buffer.drain() {
         release(flush, telemetry.now_us());
+    }
+    if let Some(m) = metrics {
+        m.set_shuffle_occupancy(buffer.len() as u64);
     }
 }
 
@@ -311,6 +335,7 @@ impl UaWireService {
                 options.forwarders,
                 ia.clone(),
                 telemetry.clone(),
+                options.metrics.clone(),
                 seed,
                 options.shuffle_order_ablation,
                 options.audit.clone(),

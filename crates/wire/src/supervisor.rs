@@ -16,6 +16,7 @@
 //! overloaded survivor answers `busy` through the admission gate rather
 //! than erroring — so a kill shows up as shed load, never corruption.
 
+use crate::scrape::NodeMetrics;
 use parking_lot::Mutex;
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -44,6 +45,10 @@ pub struct WatchedSlot {
     pub addr: Arc<Mutex<SocketAddr>>,
     /// Rebuilds the instance (service + server + balancer readmission).
     pub respawn: RespawnFn,
+    /// The node's metrics hub, when the slot is observable: the
+    /// supervisor records failed probes and successful respawns there so
+    /// a metrics scrape of the (respawned) node reports its own history.
+    pub metrics: Option<Arc<NodeMetrics>>,
 }
 
 /// One recovery the supervisor performed.
@@ -113,9 +118,15 @@ impl Supervisor {
                         if is_alive(current, config.probe_timeout) {
                             continue;
                         }
+                        if let Some(metrics) = &slot.metrics {
+                            metrics.on_probe_failure();
+                        }
                         if let Some(new_addr) = (slot.respawn)() {
                             *slot.addr.lock() = new_addr;
                             respawns.fetch_add(1, Ordering::Relaxed);
+                            if let Some(metrics) = &slot.metrics {
+                                metrics.on_respawn();
+                            }
                             events.lock().push(RespawnEvent {
                                 tier: slot.tier,
                                 index: slot.index,
@@ -195,6 +206,7 @@ mod tests {
         servers.lock().push(first);
 
         let addr = Arc::new(Mutex::new(first_addr));
+        let metrics = Arc::new(NodeMetrics::new("echo", 0, 0));
         let respawn: RespawnFn = {
             let servers = servers.clone();
             Box::new(move || {
@@ -211,6 +223,7 @@ mod tests {
                 index: 0,
                 addr: addr.clone(),
                 respawn,
+                metrics: Some(metrics.clone()),
             }],
         );
 
@@ -230,6 +243,10 @@ mod tests {
         assert_eq!(events[0].tier, "echo");
         assert_eq!(events[0].old_addr, first_addr);
         assert_eq!(events[0].new_addr, new_addr);
+        assert!(
+            metrics.probe_failures() >= 1,
+            "failed probe must reach the node metrics"
+        );
         sup.stop();
     }
 
@@ -263,6 +280,7 @@ mod tests {
                 index: 0,
                 addr: Arc::new(Mutex::new(dead)),
                 respawn,
+                metrics: None,
             }],
         );
         assert!(

@@ -80,4 +80,19 @@ echo "== validate committed scenario report =="
 cargo run --release -q -p pprox-bench --bin scenario_report -- \
     --validate results/BENCH_scenarios.json
 
+echo "== observability smoke (scrape plane, audits, pressure timelines) =="
+OBS_DIR="$(mktemp -d)"
+trap 'rm -rf "$OBS_DIR" "$SCENARIO_DIR" "$TELEMETRY_DIR" "$RECOVERY_DIR" "$WIRE_DIR" "$ANALYSIS_DIR"' EXIT
+cargo run --release -q -p pprox-bench --bin observability_report -- \
+    --smoke --out "$OBS_DIR/BENCH_observability.json" >/dev/null
+cargo run --release -q -p pprox-bench --bin observability_report -- \
+    --validate "$OBS_DIR/BENCH_observability.json"
+
+echo "== validate committed observability report =="
+cargo run --release -q -p pprox-bench --bin observability_report -- \
+    --validate results/BENCH_observability.json
+
+echo "== benchmark trend gate (no >20% throughput regressions vs HEAD) =="
+cargo run --release -q -p pprox-bench --bin bench_trend
+
 echo "CI green."
