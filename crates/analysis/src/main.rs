@@ -1,9 +1,14 @@
 //! CLI for the privacy-flow analyzer.
 //!
 //! ```text
-//! pprox-analysis [--root <dir>] [--json-out <file>]   # scan, exit 1 on violations
+//! pprox-analysis [--root <dir>] [--json-out <file>] [--ratchet] [--emit-budget <file>]
 //! pprox-analysis --validate <file>                    # check a committed report
 //! ```
+//!
+//! `--ratchet` compares the scan's per-rule `analysis-allow:` counts
+//! against the committed `results/ANALYSIS_budget.json` and fails if any
+//! rule is over budget; `--emit-budget` writes a budget matching the
+//! current counts (used once when a justified suppression is added).
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -16,6 +21,8 @@ fn main() -> ExitCode {
     let mut root = PathBuf::from(".");
     let mut json_out: Option<PathBuf> = None;
     let mut validate: Option<PathBuf> = None;
+    let mut ratchet = false;
+    let mut emit_budget: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -30,6 +37,11 @@ fn main() -> ExitCode {
             "--validate" => match args.next() {
                 Some(v) => validate = Some(PathBuf::from(v)),
                 None => return usage("--validate needs a value"),
+            },
+            "--ratchet" => ratchet = true,
+            "--emit-budget" => match args.next() {
+                Some(v) => emit_budget = Some(PathBuf::from(v)),
+                None => return usage("--emit-budget needs a value"),
             },
             other => return usage(&format!("unknown argument `{other}`")),
         }
@@ -63,24 +75,45 @@ fn main() -> ExitCode {
         }
     };
     if let Some(path) = json_out {
-        if let Some(parent) = path.parent() {
-            let _ = std::fs::create_dir_all(parent);
-        }
-        let mut json = result.to_value().to_json();
-        json.push('\n');
-        if let Err(e) = std::fs::write(&path, json) {
+        if let Err(e) = write_json(&path, result.to_value().to_json()) {
             eprintln!("pprox-analysis: cannot write {}: {e}", path.display());
             return ExitCode::FAILURE;
         }
     }
+    if let Some(path) = emit_budget {
+        if let Err(e) = write_json(&path, result.budget_value().to_json()) {
+            eprintln!("pprox-analysis: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("pprox-analysis: budget written to {}", path.display());
+    }
     println!(
-        "pprox-analysis: {} files, {} finding(s), {} suppression(s)",
+        "pprox-analysis: {} files, {} finding(s), {} suppression(s), lock graph {} node(s)/{} edge(s)",
         result.files_scanned,
         result.findings.len(),
-        result.suppressions.len()
+        result.suppressions.len(),
+        result.lock_graph.nodes.len(),
+        result.lock_graph.edges.len(),
     );
     for s in &result.suppressions {
         println!("  allow {} {}:{} — {}", s.rule, s.path, s.line, s.reason);
+    }
+    if ratchet {
+        let budget_path = root.join("results/ANALYSIS_budget.json");
+        let text = match std::fs::read_to_string(&budget_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("pprox-analysis: cannot read {}: {e}", budget_path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        match report::check_ratchet(&result, &text) {
+            Ok(()) => println!("pprox-analysis: suppression ratchet holds"),
+            Err(e) => {
+                eprintln!("pprox-analysis: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
     }
     if result.is_clean() {
         ExitCode::SUCCESS
@@ -92,8 +125,19 @@ fn main() -> ExitCode {
     }
 }
 
+fn write_json(path: &std::path::Path, mut json: String) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    json.push('\n');
+    std::fs::write(path, json)
+}
+
 fn usage(err: &str) -> ExitCode {
     eprintln!("pprox-analysis: {err}");
-    eprintln!("usage: pprox-analysis [--root <dir>] [--json-out <file>] | --validate <file>");
+    eprintln!(
+        "usage: pprox-analysis [--root <dir>] [--json-out <file>] [--ratchet] \
+         [--emit-budget <file>] | --validate <file>"
+    );
     ExitCode::FAILURE
 }

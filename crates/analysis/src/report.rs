@@ -1,15 +1,25 @@
-//! Machine-readable analysis report.
+//! Machine-readable analysis report (v2) and the suppression budget.
 //!
 //! The report is deliberately deterministic — no timestamps, stable key
 //! and entry ordering — so the committed `results/ANALYSIS_report.json`
 //! only changes when the analysis outcome changes, and CI can diff it
-//! meaningfully.
+//! meaningfully. v2 extends v1 with the embedded lock-order graph (R11),
+//! the panic-site classification (R13), and per-rule suppression counts
+//! — the last of which feed the **ratchet**: the committed
+//! `results/ANALYSIS_budget.json` caps how many `analysis-allow:`
+//! directives each rule may carry, so suppressions can only grow when
+//! the budget file is updated (and reviewed) in the same change.
 
+use crate::locks::{LockGraph, PanicClassification};
 use crate::rules::{Finding, Suppression, RULES};
 use pprox_json::Value;
+use std::collections::BTreeMap;
 
 /// Schema tag checked by [`validate`].
-pub const SCHEMA: &str = "pprox-analysis-report-v1";
+pub const SCHEMA: &str = "pprox-analysis-report-v2";
+
+/// Schema tag of the suppression budget file.
+pub const BUDGET_SCHEMA: &str = "pprox-analysis-budget-v1";
 
 /// Aggregated result of a workspace scan.
 #[derive(Debug, Default)]
@@ -20,6 +30,10 @@ pub struct Report {
     pub findings: Vec<Finding>,
     /// All directive suppressions, sorted by (path, line, rule).
     pub suppressions: Vec<Suppression>,
+    /// The workspace lock-acquisition graph (R11).
+    pub lock_graph: LockGraph,
+    /// The R13 panic-site classification for `crates/wire`.
+    pub panics: PanicClassification,
 }
 
 impl Report {
@@ -36,13 +50,63 @@ impl Report {
         self.findings.is_empty()
     }
 
-    /// Serializes to the v1 JSON schema.
+    /// Per-rule suppression counts (every rule present, zeros included).
+    pub fn suppression_counts(&self) -> BTreeMap<&'static str, u64> {
+        RULES
+            .iter()
+            .map(|(id, _)| {
+                (
+                    *id,
+                    self.suppressions.iter().filter(|s| s.rule == *id).count() as u64,
+                )
+            })
+            .collect()
+    }
+
+    /// Serializes to the v2 JSON schema.
     pub fn to_value(&self) -> Value {
         let rule_counts = Value::object(RULES.iter().map(|(id, _)| {
             let n = self.findings.iter().filter(|f| f.rule == *id).count() as u64;
             (*id, Value::from(n))
         }));
         let rule_names = Value::object(RULES.iter().map(|(id, name)| (*id, Value::from(*name))));
+        let suppression_counts = Value::object(
+            self.suppression_counts()
+                .into_iter()
+                .map(|(id, n)| (id, Value::from(n))),
+        );
+        let lock_graph = Value::object([
+            (
+                "nodes",
+                self.lock_graph
+                    .nodes
+                    .iter()
+                    .map(|n| Value::from(n.as_str()))
+                    .collect(),
+            ),
+            (
+                "edges",
+                self.lock_graph
+                    .edges
+                    .iter()
+                    .map(|e| {
+                        Value::object([
+                            ("from", Value::from(e.from.as_str())),
+                            ("to", Value::from(e.to.as_str())),
+                            ("path", Value::from(e.path.as_str())),
+                            ("line", Value::from(e.line as u64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+            ("cycle_free", Value::from(self.lock_graph.cycle_free)),
+        ]);
+        let panics = Value::object([
+            ("total", Value::from(self.panics.total as u64)),
+            ("request_path", Value::from(self.panics.request_path as u64)),
+            ("test", Value::from(self.panics.test as u64)),
+            ("other", Value::from(self.panics.other as u64)),
+        ]);
         Value::object([
             ("schema", Value::from(SCHEMA)),
             ("files_scanned", Value::from(self.files_scanned as u64)),
@@ -56,6 +120,9 @@ impl Report {
             ),
             ("rule_names", rule_names),
             ("rule_counts", rule_counts),
+            ("suppression_counts", suppression_counts),
+            ("lock_graph", lock_graph),
+            ("panic_classification", panics),
             (
                 "findings",
                 self.findings
@@ -86,11 +153,27 @@ impl Report {
             ),
         ])
     }
+
+    /// Serializes the suppression budget matching this report's current
+    /// suppression counts (the `--emit-budget` output).
+    pub fn budget_value(&self) -> Value {
+        Value::object([
+            ("schema", Value::from(BUDGET_SCHEMA)),
+            (
+                "suppressions",
+                Value::object(
+                    self.suppression_counts()
+                        .into_iter()
+                        .map(|(id, n)| (id, Value::from(n))),
+                ),
+            ),
+        ])
+    }
 }
 
 /// Validates a serialized report: schema tag, internal count consistency,
-/// and status coherence. Mirrors the telemetry snapshot validator: CI
-/// refuses a hand-edited or stale report.
+/// lock-graph shape, and status coherence. Mirrors the telemetry snapshot
+/// validator: CI refuses a hand-edited or stale report.
 pub fn validate(text: &str) -> Result<(), String> {
     let v = Value::parse(text).map_err(|e| format!("not valid JSON: {e}"))?;
     let schema = v
@@ -115,21 +198,26 @@ pub fn validate(text: &str) -> Result<(), String> {
         .get("suppressions")
         .and_then(Value::as_array)
         .ok_or("missing `suppressions`")?;
-    let counts = v
-        .get("rule_counts")
-        .and_then(Value::as_object)
-        .ok_or("missing `rule_counts`")?;
-    for (id, _) in RULES {
-        if !counts.contains_key(*id) {
-            return Err(format!("rule_counts missing `{id}`"));
+    for (key, entries) in [
+        ("rule_counts", findings),
+        ("suppression_counts", suppressions),
+    ] {
+        let counts = v
+            .get(key)
+            .and_then(Value::as_object)
+            .ok_or(format!("missing `{key}`"))?;
+        for (id, _) in RULES {
+            if !counts.contains_key(*id) {
+                return Err(format!("{key} missing `{id}`"));
+            }
         }
-    }
-    let total: u64 = counts.values().filter_map(Value::as_u64).sum();
-    if total != findings.len() as u64 {
-        return Err(format!(
-            "rule_counts sum {total} != findings length {}",
-            findings.len()
-        ));
+        let total: u64 = counts.values().filter_map(Value::as_u64).sum();
+        if total != entries.len() as u64 {
+            return Err(format!(
+                "{key} sum {total} != entry count {}",
+                entries.len()
+            ));
+        }
     }
     for (what, entries, value_key) in [
         ("finding", findings, "message"),
@@ -146,6 +234,56 @@ pub fn validate(text: &str) -> Result<(), String> {
             }
         }
     }
+    let graph = v.get("lock_graph").ok_or("missing `lock_graph`")?;
+    graph
+        .get("nodes")
+        .and_then(Value::as_array)
+        .ok_or("lock_graph missing `nodes`")?;
+    let edges = graph
+        .get("edges")
+        .and_then(Value::as_array)
+        .ok_or("lock_graph missing `edges`")?;
+    for e in edges {
+        for key in ["from", "to", "path"] {
+            if e.get(key).and_then(Value::as_str).is_none() {
+                return Err(format!("lock_graph edge missing string `{key}`"));
+            }
+        }
+        if e.get("line").and_then(Value::as_u64).is_none() {
+            return Err("lock_graph edge missing numeric `line`".to_string());
+        }
+    }
+    let cycle_free = graph
+        .get("cycle_free")
+        .and_then(Value::as_bool)
+        .ok_or("lock_graph missing `cycle_free`")?;
+    let r11 = v
+        .get("rule_counts")
+        .and_then(|c| c.get("R11"))
+        .and_then(Value::as_u64)
+        .unwrap_or(0);
+    if !cycle_free && r11 == 0 {
+        return Err("lock_graph has a cycle but rule_counts.R11 is 0".to_string());
+    }
+    let panics = v
+        .get("panic_classification")
+        .ok_or("missing `panic_classification`")?;
+    let mut parts = 0u64;
+    for key in ["request_path", "test", "other"] {
+        parts += panics
+            .get(key)
+            .and_then(Value::as_u64)
+            .ok_or(format!("panic_classification missing `{key}`"))?;
+    }
+    let total = panics
+        .get("total")
+        .and_then(Value::as_u64)
+        .ok_or("panic_classification missing `total`")?;
+    if total != parts {
+        return Err(format!(
+            "panic_classification total {total} != sum of parts {parts}"
+        ));
+    }
     let expect_status = if findings.is_empty() {
         "clean"
     } else {
@@ -160,9 +298,56 @@ pub fn validate(text: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Enforces the suppression ratchet: every rule's current suppression
+/// count must be within the committed budget. A rule over budget means
+/// an `analysis-allow:` directive was added without updating (and
+/// thereby surfacing for review) `results/ANALYSIS_budget.json`.
+///
+/// # Errors
+///
+/// A description of every rule over budget, or a malformed budget file.
+pub fn check_ratchet(report: &Report, budget_text: &str) -> Result<(), String> {
+    let v = Value::parse(budget_text).map_err(|e| format!("budget is not valid JSON: {e}"))?;
+    let schema = v
+        .get("schema")
+        .and_then(Value::as_str)
+        .ok_or("budget missing `schema`")?;
+    if schema != BUDGET_SCHEMA {
+        return Err(format!("budget schema `{schema}` != `{BUDGET_SCHEMA}`"));
+    }
+    let budget = v
+        .get("suppressions")
+        .and_then(Value::as_object)
+        .ok_or("budget missing `suppressions`")?;
+    for key in budget.keys() {
+        if !RULES.iter().any(|(id, _)| id == key) {
+            return Err(format!("budget names unknown rule `{key}`"));
+        }
+    }
+    let mut over: Vec<String> = Vec::new();
+    for (rule, current) in report.suppression_counts() {
+        let allowed = budget.get(rule).and_then(Value::as_u64).unwrap_or(0);
+        if current > allowed {
+            over.push(format!(
+                "{rule}: {current} suppression(s), budget {allowed}"
+            ));
+        }
+    }
+    if over.is_empty() {
+        Ok(())
+    } else {
+        Err(format!(
+            "suppression ratchet violated — update results/ANALYSIS_budget.json if the new \
+             directive is justified: {}",
+            over.join("; ")
+        ))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::locks::LockEdge;
 
     fn sample() -> Report {
         let mut r = Report {
@@ -181,6 +366,23 @@ mod tests {
             line: 35,
             reason: "epoch anchor".into(),
         });
+        r.lock_graph.cycle_free = true;
+        r.lock_graph.nodes = vec![
+            "wire/scrape.uplinks".into(),
+            "wire/balancer.backends".into(),
+        ];
+        r.lock_graph.edges = vec![LockEdge {
+            from: "wire/scrape.uplinks".into(),
+            to: "wire/balancer.backends".into(),
+            path: "crates/wire/src/scrape.rs".into(),
+            line: 367,
+        }];
+        r.panics = PanicClassification {
+            total: 10,
+            request_path: 1,
+            test: 8,
+            other: 1,
+        };
         r.sort();
         r
     }
@@ -193,10 +395,11 @@ mod tests {
 
     #[test]
     fn clean_report_validates() {
-        let r = Report {
+        let mut r = Report {
             files_scanned: 1,
             ..Report::default()
         };
+        r.lock_graph.cycle_free = true;
         validate(&r.to_value().to_json()).unwrap();
     }
 
@@ -222,6 +425,30 @@ mod tests {
     fn wrong_schema_rejected() {
         assert!(validate("{\"schema\": \"other\"}").is_err());
         assert!(validate("not json").is_err());
+        let v1 = "{\"schema\": \"pprox-analysis-report-v1\"}";
+        assert!(validate(v1).unwrap_err().contains("v2"));
+    }
+
+    #[test]
+    fn missing_lock_graph_rejected() {
+        let json = sample().to_value().to_json().replace("lock_graph", "lg");
+        assert!(validate(&json).unwrap_err().contains("lock_graph"));
+    }
+
+    #[test]
+    fn cyclic_graph_without_r11_finding_rejected() {
+        let mut r = sample();
+        r.lock_graph.cycle_free = false;
+        let err = validate(&r.to_value().to_json()).unwrap_err();
+        assert!(err.contains("cycle"));
+    }
+
+    #[test]
+    fn inconsistent_panic_totals_rejected() {
+        let mut r = sample();
+        r.panics.total = 99;
+        let err = validate(&r.to_value().to_json()).unwrap_err();
+        assert!(err.contains("panic_classification"));
     }
 
     #[test]
@@ -229,5 +456,30 @@ mod tests {
         let a = sample().to_value().to_json();
         let b = sample().to_value().to_json();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ratchet_passes_at_budget_and_fails_over() {
+        let r = sample(); // one R6 suppression
+        let at = r.budget_value().to_json();
+        check_ratchet(&r, &at).unwrap();
+        let zero = "{\"schema\":\"pprox-analysis-budget-v1\",\"suppressions\":{}}";
+        let err = check_ratchet(&r, zero).unwrap_err();
+        assert!(err.contains("R6"), "{err}");
+        let unknown = "{\"schema\":\"pprox-analysis-budget-v1\",\"suppressions\":{\"R99\":1}}";
+        assert!(check_ratchet(&r, unknown).unwrap_err().contains("R99"));
+    }
+
+    #[test]
+    fn budget_emission_round_trips() {
+        let r = sample();
+        let v = Value::parse(&r.budget_value().to_json()).unwrap();
+        assert_eq!(v.get("schema").and_then(Value::as_str), Some(BUDGET_SCHEMA));
+        assert_eq!(
+            v.get("suppressions")
+                .and_then(|s| s.get("R6"))
+                .and_then(Value::as_u64),
+            Some(1)
+        );
     }
 }

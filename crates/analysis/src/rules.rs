@@ -19,6 +19,10 @@ pub const RULES: &[(&str, &str)] = &[
     ("R7", "relaxed-justification"),
     ("R8", "seqlock-ordering"),
     ("R9", "non-ct-secret-compare"),
+    ("R10", "secret-taint-dataflow"),
+    ("R11", "lock-order-graph"),
+    ("R12", "blocking-in-poll-thread"),
+    ("R13", "panic-on-request-path"),
 ];
 
 /// Identifiers that constitute an item-plaintext API surface. UA-side
@@ -181,6 +185,76 @@ pub struct FileReport {
     pub suppressions: Vec<Suppression>,
 }
 
+/// Searches the flagged line and the contiguous comment block above it
+/// for a directive containing `needle` (e.g. `analysis-allow: R6`);
+/// returns the trailing text as the reason.
+pub(crate) fn find_directive(lex: &LexedFile, line: usize, needle: &str) -> Option<String> {
+    let mut l = line;
+    loop {
+        if let Some(text) = lex.comments.get(&l) {
+            if let Some(at) = text.find(needle) {
+                let reason = text[at + needle.len()..].trim().to_string();
+                return Some(if reason.is_empty() {
+                    "(no reason given)".to_string()
+                } else {
+                    reason
+                });
+            }
+        }
+        // Walk upward only through comment-only lines.
+        if l == 0 {
+            return None;
+        }
+        let above = l - 1;
+        if lex.comments.contains_key(&above) && !lex.code_lines.contains(&above) {
+            l = above;
+        } else if l == line && lex.comments.contains_key(&above) {
+            // First hop: allow a directive on the line directly above
+            // even if that line also carries code (trailing comment).
+            l = above;
+        } else {
+            return None;
+        }
+    }
+}
+
+/// Routes a candidate finding through the suppression machinery: an
+/// `analysis-allow: <rule>` directive (or, for R13, the
+/// `analysis-allow: panic-ok` spelling the panic audit uses) on the
+/// flagged line or the comment block above it records an audited
+/// suppression instead. Used by the global rules (R11–R13), which run
+/// outside the per-file [`Ctx`].
+pub fn emit_global(
+    out: &mut FileReport,
+    lex: &LexedFile,
+    rule: &'static str,
+    path: &str,
+    line: usize,
+    message: String,
+) {
+    let mut needles = vec![format!("analysis-allow: {rule}")];
+    if rule == "R13" {
+        needles.push("analysis-allow: panic-ok".to_string());
+    }
+    for needle in &needles {
+        if let Some(reason) = find_directive(lex, line, needle) {
+            out.suppressions.push(Suppression {
+                rule,
+                path: path.to_string(),
+                line,
+                reason,
+            });
+            return;
+        }
+    }
+    out.findings.push(Finding {
+        rule,
+        path: path.to_string(),
+        line,
+        message,
+    });
+}
+
 struct Ctx<'a> {
     path: &'a str,
     lex: &'a LexedFile,
@@ -193,37 +267,8 @@ impl Ctx<'_> {
         lexer::in_regions(&self.test_regions, line)
     }
 
-    /// Searches the flagged line and the contiguous comment block above it
-    /// for a directive containing `needle` (e.g. `analysis-allow: R6`);
-    /// returns the trailing text as the reason.
     fn directive(&self, line: usize, needle: &str) -> Option<String> {
-        let mut l = line;
-        loop {
-            if let Some(text) = self.lex.comments.get(&l) {
-                if let Some(at) = text.find(needle) {
-                    let reason = text[at + needle.len()..].trim().to_string();
-                    return Some(if reason.is_empty() {
-                        "(no reason given)".to_string()
-                    } else {
-                        reason
-                    });
-                }
-            }
-            // Walk upward only through comment-only lines.
-            if l == 0 {
-                return None;
-            }
-            let above = l - 1;
-            if self.lex.comments.contains_key(&above) && !self.lex.code_lines.contains(&above) {
-                l = above;
-            } else if l == line && self.lex.comments.contains_key(&above) {
-                // First hop: allow a directive on the line directly above
-                // even if that line also carries code (trailing comment).
-                l = above;
-            } else {
-                return None;
-            }
-        }
+        find_directive(self.lex, line, needle)
     }
 
     fn emit(&mut self, rule: &'static str, line: usize, message: String) {
@@ -245,14 +290,21 @@ impl Ctx<'_> {
     }
 }
 
-/// Analyzes one file's source against every applicable rule.
+/// Analyzes one file's source against every applicable per-file rule
+/// (R1–R10). The global rules (R11–R13) need the whole workspace — see
+/// [`crate::locks::analyze_global`].
 pub fn analyze_file(path: &str, source: &str) -> FileReport {
-    let lex = lexer::lex(source);
-    let test_regions = lexer::test_regions(&lex);
+    analyze_parsed(&crate::parser::parse_source(path, source))
+}
+
+/// [`analyze_file`] over an already-parsed file (the workspace scan
+/// parses once and shares the result with the global pass).
+pub fn analyze_parsed(parsed: &crate::parser::ParsedFile) -> FileReport {
+    let path = parsed.path.as_str();
     let mut ctx = Ctx {
         path,
-        lex: &lex,
-        test_regions,
+        lex: &parsed.lex,
+        test_regions: parsed.test_regions.clone(),
         out: FileReport::default(),
     };
     let is_ua = path.ends_with("crates/core/src/ua.rs")
@@ -278,6 +330,10 @@ pub fn analyze_file(path: &str, source: &str) -> FileReport {
     }
     if path.starts_with("crates/crypto/") {
         rule_non_ct_compare(&mut ctx);
+    }
+    // R10: function-scope secret taint, workspace-wide.
+    for hit in crate::taint::analyze(parsed) {
+        ctx.emit("R10", hit.line, hit.message);
     }
     ctx.out
 }
@@ -477,7 +533,7 @@ fn rule_format_leak(ctx: &mut Ctx<'_>) {
 
 /// Extracts `{name}` / `{name:?}` interpolation identifiers from a format
 /// string body.
-fn interpolated_idents(s: &str) -> Vec<String> {
+pub(crate) fn interpolated_idents(s: &str) -> Vec<String> {
     let chars: Vec<char> = s.chars().collect();
     let mut out = Vec::new();
     let mut i = 0;

@@ -3,10 +3,25 @@
 //! pass. This is the analyzer's own regression suite — a rule that stops
 //! firing fails here before it silently stops protecting the workspace.
 
-use pprox_analysis::rules::analyze_file;
+use pprox_analysis::locks::analyze_global;
+use pprox_analysis::parser::parse_source;
+use pprox_analysis::rules::{analyze_parsed, FileReport};
 use std::collections::BTreeSet;
 use std::fs;
 use std::path::PathBuf;
+
+/// Runs both analyzer passes — per-file (R1–R10) and global (R11–R13,
+/// with the fixture as the whole "workspace" and no declared lock
+/// order) — and merges their findings, so one corpus exercises every
+/// rule through the same entry points the workspace scan uses.
+fn analyze_fixture(role: &str, source: &str) -> FileReport {
+    let parsed = parse_source(role, source);
+    let mut report = analyze_parsed(&parsed);
+    let global = analyze_global(std::slice::from_ref(&parsed), None);
+    report.findings.extend(global.report.findings);
+    report.suppressions.extend(global.report.suppressions);
+    report
+}
 
 struct Fixture {
     name: String,
@@ -62,7 +77,7 @@ fn load_fixtures() -> Vec<Fixture> {
 #[test]
 fn every_fixture_is_caught_by_exactly_its_rule() {
     for fx in load_fixtures() {
-        let report = analyze_file(&fx.role, &fx.source);
+        let report = analyze_fixture(&fx.role, &fx.source);
         let fired: BTreeSet<String> = report.findings.iter().map(|f| f.rule.to_string()).collect();
         assert_eq!(
             fired, fx.expect,
@@ -83,7 +98,7 @@ fn every_fixture_is_caught_by_exactly_its_rule() {
 }
 
 #[test]
-fn all_nine_rules_are_covered_by_the_corpus() {
+fn all_rules_are_covered_by_the_corpus() {
     let mut covered: BTreeSet<String> = BTreeSet::new();
     for fx in load_fixtures() {
         covered.extend(fx.expect.iter().cloned());
@@ -100,7 +115,7 @@ fn all_nine_rules_are_covered_by_the_corpus() {
 #[test]
 fn findings_carry_position_and_message() {
     for fx in load_fixtures() {
-        for f in analyze_file(&fx.role, &fx.source).findings {
+        for f in analyze_fixture(&fx.role, &fx.source).findings {
             assert!(f.line >= 1, "{}: finding with line 0", fx.name);
             assert!(!f.message.is_empty(), "{}: empty message", fx.name);
             assert_eq!(f.path, fx.role);

@@ -1,0 +1,23 @@
+// fixture-role: crates/core/src/ua.rs
+// expect: R10
+// expect-suppressed: R10
+//
+// R10: a secret laundered through a let binding reaches a format macro.
+// The binding name `k` is on no deny list — only dataflow catches this.
+
+fn leak(key: &SecretBytes) {
+    let k = key.expose();
+    let _ = format!("{k:?}");
+}
+
+fn justified(key: &SecretBytes) {
+    let k = key.expose();
+    // analysis-allow: R10 fixture-only: demonstrates the audited escape hatch
+    let _ = format!("{k:?}");
+}
+
+fn clean(key: &SecretBytes) {
+    let n = key.len();
+    let d = sha256(key.expose());
+    let _ = format!("{n} {d:?}");
+}

@@ -1,0 +1,18 @@
+// fixture-role: crates/wire/src/ring.rs
+// expect: R11
+//
+// R11: two functions acquire the same pair of mutexes in opposite
+// orders — a deadlock waiting for the right interleaving. The analyzer
+// must recover both nesting edges and flag the cycle.
+
+fn forward(s: &Shared) {
+    let a = s.accounts.lock();
+    let b = s.ledger.lock();
+    a.post(&b);
+}
+
+fn backward(s: &Shared) {
+    let b = s.ledger.lock();
+    let a = s.accounts.lock();
+    b.reconcile(&a);
+}

@@ -1,0 +1,16 @@
+// fixture-role: crates/wire/src/server.rs
+// expect: R12
+//
+// R12: the IO poll loop must stay non-blocking. Here it takes a mutex
+// directly and sleeps via a helper it calls — both reachable from the
+// `io_loop` root, both findings.
+
+fn io_loop(state: &Shared) {
+    let conns = state.conns.lock();
+    drain(&conns);
+    backoff();
+}
+
+fn backoff() {
+    std::thread::sleep(Duration::from_millis(5));
+}

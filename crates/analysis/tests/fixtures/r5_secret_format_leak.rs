@@ -1,5 +1,6 @@
 // fixture-role: crates/core/src/keys.rs
 // expect: R5
+// expect: R10
 //
 // Secret material reaching format strings: both the inline-interpolation
 // form and the positional-argument form.

@@ -3,6 +3,8 @@
 //! caught — proving the layer-separation rule guards the real layer
 //! modules, not just synthetic fixtures.
 
+use pprox_analysis::locks::analyze_global;
+use pprox_analysis::parser::parse_source;
 use pprox_analysis::rules::analyze_file;
 use pprox_analysis::{analyze_workspace, report};
 use std::path::PathBuf;
@@ -132,4 +134,154 @@ fn durable_store_is_in_scope_and_secret_key_debug_is_caught() {
 fn workspace_report_roundtrips_through_validator() {
     let r = analyze_workspace(&workspace_root()).expect("scan");
     report::validate(&r.to_value().to_json()).expect("self-produced report must validate");
+}
+
+#[test]
+fn seeded_taint_leak_in_real_ua_source_is_caught() {
+    // R10: the taint pass guards the real UA module — a function that
+    // launders key material through a local binding and formats it must
+    // fire even though the binding name is on no deny list.
+    let ua_path = workspace_root().join("crates/core/src/ua.rs");
+    let original = std::fs::read_to_string(&ua_path).expect("read ua.rs");
+    let seeded = format!(
+        "{original}\nfn stray(key: &SecretBytes) {{\n    let k = key.expose();\n    let _ = format!(\"{{k:?}}\");\n}}\n"
+    );
+    let report = analyze_file("crates/core/src/ua.rs", &seeded);
+    assert!(
+        report.findings.iter().any(|f| f.rule == "R10"),
+        "seeded laundered-secret format in ua.rs must fire R10: {:#?}",
+        report.findings
+    );
+}
+
+#[test]
+fn seeded_lock_inversion_in_real_scrape_source_is_caught() {
+    // R11: the real scrape module nests the uplink registry over the
+    // balancer ring; seeding a pair of functions that nest the scrape
+    // module's own locks in opposite orders must close a cycle.
+    let path = workspace_root().join("crates/wire/src/scrape.rs");
+    let original = std::fs::read_to_string(&path).expect("read scrape.rs");
+
+    let parsed = parse_source("crates/wire/src/scrape.rs", &original);
+    let clean = analyze_global(std::slice::from_ref(&parsed), None);
+    assert!(
+        clean.report.findings.is_empty(),
+        "real scrape.rs alone should be R11-clean: {:#?}",
+        clean.report.findings
+    );
+
+    let seeded = format!(
+        "{original}\nfn seeded_fwd(h: &Hub) {{\n    let a = h.uplinks.lock();\n    let b = h.telemetry.lock();\n    a.touch(&b);\n}}\nfn seeded_rev(h: &Hub) {{\n    let b = h.telemetry.lock();\n    let a = h.uplinks.lock();\n    b.touch(&a);\n}}\n"
+    );
+    let parsed = parse_source("crates/wire/src/scrape.rs", &seeded);
+    let global = analyze_global(std::slice::from_ref(&parsed), None);
+    assert!(
+        global.report.findings.iter().any(|f| f.rule == "R11"),
+        "seeded lock inversion in scrape.rs must fire R11: {:#?}",
+        global.report.findings
+    );
+    assert!(!global.graph.cycle_free, "seeded cycle must mark the graph");
+}
+
+#[test]
+fn stripping_the_poll_sleep_directive_resurfaces_r12() {
+    // R12: the idle-backoff sleep in the real `io_loop` is allowed only
+    // because of its audited directive — removing the directive (without
+    // touching the code) must bring the finding back.
+    let path = workspace_root().join("crates/wire/src/server.rs");
+    let original = std::fs::read_to_string(&path).expect("read server.rs");
+
+    let parsed = parse_source("crates/wire/src/server.rs", &original);
+    let clean = analyze_global(std::slice::from_ref(&parsed), None);
+    assert!(
+        !clean.report.findings.iter().any(|f| f.rule == "R12"),
+        "real server.rs must be R12-clean (directive honored): {:#?}",
+        clean.report.findings
+    );
+    assert!(
+        clean.report.suppressions.iter().any(|s| s.rule == "R12"),
+        "the audited sleep must be visible as a suppression"
+    );
+
+    let stripped = original.replace("analysis-allow: R12", "note:");
+    assert_ne!(stripped, original, "directive should exist to strip");
+    let parsed = parse_source("crates/wire/src/server.rs", &stripped);
+    let global = analyze_global(std::slice::from_ref(&parsed), None);
+    assert!(
+        global.report.findings.iter().any(|f| f.rule == "R12"),
+        "stripping the directive must resurface the poll-thread sleep: {:#?}",
+        global.report.findings
+    );
+}
+
+#[test]
+fn seeded_panic_on_real_request_path_is_caught() {
+    // R13: an unwrap added to the real wire UA handler module, reachable
+    // from the `handle` request root, must fire.
+    let path = workspace_root().join("crates/wire/src/services/ua.rs");
+    let original = std::fs::read_to_string(&path).expect("read wire ua service");
+    let seeded = format!("{original}\nfn handle(x: Option<u64>) -> u64 {{\n    x.unwrap()\n}}\n");
+    let parsed = parse_source("crates/wire/src/services/ua.rs", &seeded);
+    let global = analyze_global(std::slice::from_ref(&parsed), None);
+    assert!(
+        global.report.findings.iter().any(|f| f.rule == "R13"),
+        "seeded unwrap on the request path must fire R13: {:#?}",
+        global.report.findings
+    );
+}
+
+#[test]
+fn members_are_scanned_or_exempt() {
+    // The scan set is derived from the workspace manifest: a new crate
+    // lands in the analyzer's jurisdiction the moment it joins the
+    // build graph, unless a reviewed SCAN_EXEMPT entry says otherwise.
+    let root = workspace_root();
+    let members = pprox_analysis::workspace_members(&root).expect("members");
+    assert!(
+        members.len() >= 5,
+        "suspiciously few workspace members: {members:?}"
+    );
+    let roots = pprox_analysis::scan_roots(&root).expect("scan roots");
+    for m in &members {
+        let covered = roots.contains(m) || pprox_analysis::SCAN_EXEMPT.iter().any(|(e, _)| e == m);
+        assert!(
+            covered,
+            "workspace member `{m}` is neither scanned nor allowlisted in SCAN_EXEMPT"
+        );
+    }
+    // And exemptions must not rot: every entry still names a member.
+    for (e, why) in pprox_analysis::SCAN_EXEMPT {
+        assert!(
+            members.iter().any(|m| m == e),
+            "SCAN_EXEMPT entry `{e}` ({why}) is not a workspace member"
+        );
+    }
+}
+
+#[test]
+fn workspace_lock_graph_is_cycle_free_and_declared() {
+    let r = analyze_workspace(&workspace_root()).expect("scan");
+    assert!(r.lock_graph.cycle_free, "edges: {:#?}", r.lock_graph.edges);
+    assert!(
+        !r.lock_graph.edges.is_empty(),
+        "expected the scrape-path nesting edge to be recovered"
+    );
+    assert_eq!(
+        r.panics.request_path, 0,
+        "request path must be panic-free (or carry audited panic-ok)"
+    );
+    assert_eq!(
+        r.panics.total,
+        r.panics.request_path + r.panics.test + r.panics.other,
+        "panic classification must partition"
+    );
+}
+
+#[test]
+fn workspace_suppressions_are_within_committed_budget() {
+    let root = workspace_root();
+    let r = analyze_workspace(&root).expect("scan");
+    let budget = std::fs::read_to_string(root.join("results/ANALYSIS_budget.json"))
+        .expect("committed suppression budget");
+    report::check_ratchet(&r, &budget).expect("suppression ratchet must hold");
 }

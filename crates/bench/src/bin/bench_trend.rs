@@ -198,6 +198,33 @@ fn main() {
         }
     }
 
+    // The analysis report rides along with the benchmark reports: a
+    // change that introduces a privacy-flow finding fails the trend gate
+    // even when every throughput number is unchanged.
+    let analysis_path = format!("{}/ANALYSIS_report.json", args.results);
+    match std::fs::read_to_string(&analysis_path) {
+        Ok(text) => match Value::parse(&text) {
+            Ok(v) => {
+                let findings = v
+                    .get("findings")
+                    .and_then(Value::as_array)
+                    .map(|a| a.len())
+                    .unwrap_or(usize::MAX);
+                let status = v.get("status").and_then(Value::as_str).unwrap_or("?");
+                if findings != 0 || status != "clean" {
+                    failures.push(format!(
+                        "{analysis_path}: {findings} analysis finding(s), status \
+                         `{status}` — the committed report must stay clean"
+                    ));
+                } else {
+                    println!("analysis guard: 0 findings, status clean");
+                }
+            }
+            Err(e) => failures.push(format!("{analysis_path}: bad JSON: {e:?}")),
+        },
+        Err(e) => failures.push(format!("{analysis_path}: unreadable: {e}")),
+    }
+
     if failures.is_empty() {
         println!("bench_trend: no guarded regressions");
         return;

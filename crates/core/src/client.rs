@@ -137,12 +137,14 @@ impl UserClient {
             let envelope = ClientEnvelope {
                 op: Op::Post,
                 user: user.expose_bytes().to_vec(),
+                // analysis-allow: R10 explicit plaintext baseline mode; the client owns this plaintext
                 aux: block.to_json().into_bytes(),
             };
             self.record_encrypt(started);
             return Ok(envelope);
         }
         let padded_user = SecretBytes::new(pad::pad(user.expose_bytes(), ID_PLAINTEXT_LEN)?);
+        // analysis-allow: R10 pre-encryption marshalling; sealed under pk_ia two lines down
         let padded_block = pad::pad(block.to_json().as_bytes(), ITEM_BLOCK_LEN)?;
         let envelope = ClientEnvelope {
             op: Op::Post,
@@ -230,6 +232,7 @@ impl UserClient {
                 ClientEnvelope {
                     op: Op::Get,
                     user: user.expose_bytes().to_vec(),
+                    // analysis-allow: R10 explicit plaintext baseline mode; the client owns this plaintext
                     aux: block.to_json().into_bytes(),
                 },
                 GetTicket { k_u },
@@ -248,6 +251,7 @@ impl UserClient {
                     .collect::<Value>(),
             ),
         ]);
+        // analysis-allow: R10 pre-encryption marshalling; sealed under pk_ia on the next line
         let padded = pad::pad(block.to_json().as_bytes(), RULES_BLOCK_LEN)?;
         let aux = pprox_crypto::hybrid::seal(&self.keys.pk_ia, &padded, &mut self.rng)?;
         let padded_user = SecretBytes::new(pad::pad(user.expose_bytes(), ID_PLAINTEXT_LEN)?);

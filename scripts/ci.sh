@@ -13,11 +13,11 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test =="
 cargo test -q --workspace
 
-echo "== privacy-flow analysis =="
+echo "== privacy-flow analysis (v2: taint + lock order + poll/panic discipline) =="
 ANALYSIS_DIR="$(mktemp -d)"
 trap 'rm -rf "$ANALYSIS_DIR"' EXIT
 cargo run --release -q -p pprox-analysis -- \
-    --json-out "$ANALYSIS_DIR/ANALYSIS_report.json"
+    --json-out "$ANALYSIS_DIR/ANALYSIS_report.json" --ratchet
 cargo run --release -q -p pprox-analysis -- \
     --validate "$ANALYSIS_DIR/ANALYSIS_report.json"
 
@@ -25,9 +25,11 @@ echo "== validate committed analysis report =="
 cargo run --release -q -p pprox-analysis -- \
     --validate results/ANALYSIS_report.json
 
-echo "== loom model checking (seqlock + histogram) =="
+echo "== loom model checking (seqlock + histogram + wire job-queue handoff) =="
 CARGO_TARGET_DIR=target/loom RUSTFLAGS="--cfg loom" \
     cargo test -q -p pprox-core --test loom
+CARGO_TARGET_DIR=target/loom RUSTFLAGS="--cfg loom" \
+    cargo test -q -p pprox-wire --test loom
 
 echo "== bench smoke =="
 ./scripts/bench.sh
