@@ -31,6 +31,12 @@
 //!   bucketed aggregates add nothing over the network observer (linkage
 //!   stays at `1/S`), catches the raw-timestamp unsafe-export ablation,
 //!   and triages real snapshots for linkage oracles.
+//! * [`shard_audit`] — the §6.2 adversary pointed at the *sharded LRS
+//!   tier*: scores post-shuffle linkage with per-departure shard labels
+//!   in hand (must stay at `1/S` — the label is a pure function of the
+//!   pseudonym), checks consistent-hash balance so no shard's
+//!   population becomes an identifiable sub-anonymity-set, and flags
+//!   the arrival-order routing ablation.
 //! * [`wire_audit`] — the §6.2 adversary pointed at *real sockets*: a
 //!   burst-clustering, rank-matching linkage estimator over frame
 //!   timings recorded by a tap on the UA→IA boundary, scored against
@@ -54,6 +60,7 @@ pub mod history;
 pub mod lowtraffic;
 pub mod observer;
 pub mod scrape_audit;
+pub mod shard_audit;
 pub mod telemetry_audit;
 pub mod wire_audit;
 
@@ -66,6 +73,7 @@ pub use observer::{run_observation, ObservationConfig};
 pub use scrape_audit::{
     audit_scrape_channel, scan_export_for_oracles, ScrapeAuditConfig, ScrapeAuditOutcome,
 };
+pub use shard_audit::{shard_skew_attack, ShardAuditConfig, ShardAuditOutcome};
 pub use telemetry_audit::{audit_telemetry, TelemetryAuditConfig, TelemetryAuditOutcome};
 pub use wire_audit::{
     wire_linkage_attack, TraceArrival, TraceDeparture, WireAuditConfig, WireAuditOutcome, WireTrace,

@@ -9,7 +9,8 @@
 //!   timelines are skipped — they are traces, not metrics), and
 //! * **fails** when a guarded throughput metric regresses by more than
 //!   `--max-regression` (default 20%). The guarded set is currently
-//!   `BENCH_wire.json :: wire.sustained_rps`.
+//!   `BENCH_wire.json :: wire.sustained_rps` and
+//!   `BENCH_sharding.json :: scaling.sustained_rps_max`.
 //!
 //! Usage:
 //!
@@ -28,7 +29,10 @@ use std::process::Command;
 /// Guarded metrics: (report file, dotted path, human label). A drop of
 /// more than `--max-regression` in any of these fails the gate; these
 /// are higher-is-better throughput numbers.
-const GUARDED: &[(&str, &str)] = &[("BENCH_wire.json", "wire.sustained_rps")];
+const GUARDED: &[(&str, &str)] = &[
+    ("BENCH_wire.json", "wire.sustained_rps"),
+    ("BENCH_sharding.json", "scaling.sustained_rps_max"),
+];
 
 #[derive(Debug)]
 struct Args {

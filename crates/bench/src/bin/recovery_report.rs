@@ -33,7 +33,7 @@ use pprox_json::Value;
 use pprox_lrs::api::{FeedbackEvent, HttpRequest, RestHandler, EVENTS_PATH, QUERIES_PATH};
 use pprox_lrs::durable::{DurableConfig, DurableLrs};
 use pprox_store::{SealingKey, SecureRng, TempDir};
-use pprox_wire::cluster::{ClusterConfig, LoopbackCluster, LrsFactory};
+use pprox_wire::cluster::{ClusterConfig, LoopbackCluster, LrsFactory, LrsInstance};
 use pprox_workload::dataset::Dataset;
 use std::path::Path;
 use std::sync::{Arc, Mutex, Weak};
@@ -198,16 +198,16 @@ fn durable_factory(dir: &Path, seed: u64, config: DurableConfig) -> LrsFactory {
     let sealing = SealingKey::generate(&mut SecureRng::from_seed(seed));
     let memo: Mutex<Weak<DurableLrs>> = Mutex::new(Weak::new());
     let dir = dir.to_path_buf();
-    Arc::new(move || {
+    Arc::new(move |_slot_index| {
         let mut slot = memo.lock().unwrap();
         if let Some(live) = slot.upgrade() {
-            return live as Arc<dyn RestHandler>;
+            return LrsInstance::plain(live);
         }
         let lrs = Arc::new(
             DurableLrs::open(&dir, &sealing, config).expect("durable recovery must succeed"),
         );
         *slot = Arc::downgrade(&lrs);
-        lrs
+        LrsInstance::plain(lrs)
     })
 }
 

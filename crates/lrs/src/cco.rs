@@ -193,12 +193,16 @@ impl CcoTrainer {
             });
         }
 
-        // 4. Keep only the strongest indicators per item.
+        // 4. Keep only the strongest indicators per item. The item-name
+        // tie-break makes the order a total one, so the trained model is
+        // byte-identical regardless of hash-map iteration order — the
+        // property the incremental trainer's differential test leans on.
         for list in indicators.values_mut() {
             list.sort_by(|x, y| {
                 y.llr
                     .partial_cmp(&x.llr)
                     .unwrap_or(std::cmp::Ordering::Equal)
+                    .then_with(|| x.item.cmp(&y.item))
             });
             list.truncate(self.config.max_indicators_per_item);
         }

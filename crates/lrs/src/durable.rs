@@ -266,13 +266,15 @@ fn snapshot_locked(inner: &mut DurableInner) -> Result<(), StoreError> {
     Ok(())
 }
 
-/// A snapshot block is a JSON array of event bodies.
-fn encode_event_block(events: &[String]) -> Vec<u8> {
+/// A snapshot block is a JSON array of event bodies. Shared with the
+/// sharded durable path ([`crate::shard::durable`]), which persists the
+/// same canonical event bodies.
+pub(crate) fn encode_event_block(events: &[String]) -> Vec<u8> {
     let arr: Value = events.iter().map(|e| Value::from(e.as_str())).collect();
     arr.to_json().into_bytes()
 }
 
-fn decode_event_block(block: &[u8]) -> Result<Vec<String>, StoreError> {
+pub(crate) fn decode_event_block(block: &[u8]) -> Result<Vec<String>, StoreError> {
     let text = std::str::from_utf8(block).map_err(|_| StoreError::Malformed("snapshot block"))?;
     let value = Value::parse(text).map_err(|_| StoreError::Malformed("snapshot block json"))?;
     let arr = value

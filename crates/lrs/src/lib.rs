@@ -20,6 +20,7 @@
 //! | failure injection (resilience tests) | [`chaos`] |
 //! | Table 3 deployments (b1–b4) | [`cluster`] |
 //! | durable sealed state (crash recovery) | [`durable`] |
+//! | consistent-hash sharding + incremental CCO | [`shard`] |
 //!
 //! The LRS is deliberately identifier-agnostic: it never interprets user or
 //! item ids, which is what makes PProx's deterministic pseudonymization
@@ -38,6 +39,7 @@ pub mod durable;
 pub mod engine;
 pub mod frontend;
 pub mod index;
+pub mod shard;
 pub mod stub;
 pub mod trainer;
 

@@ -1,0 +1,340 @@
+//! Crash-recoverable shard: a [`ShardEngine`] plus a sealed WAL.
+//!
+//! Mirrors [`crate::durable::DurableLrs`] — WAL-first appends under one
+//! mutex, periodic encrypted snapshots, sealed DEK — but over one
+//! shard's partition, so each shard recovers *independently*: a crashed
+//! shard replays only its own store, and its siblings' rings, models
+//! and stores are untouched (the TEE-decentralization property the
+//! Dhasade et al. line of work motivates; the supervisor drill in
+//! `tests/wire_e2e.rs` exercises it end-to-end).
+//!
+//! Recovery needs no training pass: the incremental model is a
+//! deterministic fold over the event sequence, so replaying the WAL in
+//! order rebuilds byte-identical state — including any documented
+//! indicator-list drift the live instance had accumulated, which is
+//! exactly what makes pre- and post-crash answers byte-equal.
+
+use super::engine::ShardEngine;
+use super::ShardGauges;
+use crate::api::{FeedbackEvent, HttpRequest, HttpResponse, Method, RestHandler, EVENTS_PATH};
+use crate::cco::CcoConfig;
+use crate::durable::{decode_event_block, encode_event_block, DurableConfig, RecoveryStats};
+use parking_lot::Mutex;
+use pprox_store::{Measurement, SealedStore, SealingKey, StoreError};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Code identity a shard store's DEK is sealed to. Distinct from
+/// [`crate::durable::LRS_STORE_IDENTITY`] so a monolithic store can
+/// never be unsealed as a shard (or vice versa) by mistake.
+pub const SHARD_STORE_IDENTITY: &str = "pprox-lrs-shard-v1";
+
+/// Events per snapshot block (same bound as the monolithic path).
+const EVENTS_PER_BLOCK: usize = 64;
+
+struct DurableShardInner {
+    store: SealedStore,
+    events: Vec<String>,
+    last_snapshot_seq: u64,
+}
+
+/// A durable LRS shard instance.
+pub struct DurableShard {
+    engine: ShardEngine,
+    inner: Mutex<DurableShardInner>,
+    config: DurableConfig,
+    recovery: RecoveryStats,
+    served: AtomicU64,
+}
+
+impl std::fmt::Debug for DurableShard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DurableShard")
+            .field("engine", &self.engine)
+            .field("served", &self.served.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl DurableShard {
+    /// Opens (or creates) the shard store at `dir` with default CCO
+    /// limits, unseals against `sealing` + [`SHARD_STORE_IDENTITY`],
+    /// and replays snapshot blocks plus WAL into a fresh incremental
+    /// engine. No training pass runs: replay *is* the training.
+    ///
+    /// # Errors
+    ///
+    /// Any [`StoreError`] from recovery.
+    pub fn open(
+        dir: &Path,
+        sealing: &SealingKey,
+        config: DurableConfig,
+    ) -> Result<DurableShard, StoreError> {
+        Self::open_with_cco(dir, sealing, config, CcoConfig::default())
+    }
+
+    /// [`open`](Self::open) with explicit CCO limits.
+    ///
+    /// # Errors
+    ///
+    /// Any [`StoreError`] from recovery.
+    pub fn open_with_cco(
+        dir: &Path,
+        sealing: &SealingKey,
+        config: DurableConfig,
+        cco: CcoConfig,
+    ) -> Result<DurableShard, StoreError> {
+        let started = Instant::now();
+        let measurement = Measurement::of_code(SHARD_STORE_IDENTITY);
+        let (store, recovered) = SealedStore::open(dir, sealing, measurement, config.store)?;
+
+        let engine = ShardEngine::with_config(cco);
+        let mut events = Vec::new();
+        let mut snapshot_events = 0;
+        for block in &recovered.snapshot_blocks {
+            for body in decode_event_block(block)? {
+                apply_event(&engine, &body);
+                events.push(body);
+                snapshot_events += 1;
+            }
+        }
+        let replayed = recovered.events.len();
+        for record in &recovered.events {
+            let body = String::from_utf8(record.payload.clone())
+                .map_err(|_| StoreError::Malformed("WAL event encoding"))?;
+            apply_event(&engine, &body);
+            events.push(body);
+        }
+
+        let recovery = RecoveryStats {
+            snapshot_events,
+            replayed,
+            skipped: recovered.skipped,
+            torn_bytes: recovered.torn_bytes,
+            cold_start: recovered.cold_start,
+            duration: started.elapsed(),
+        };
+        Ok(DurableShard {
+            engine,
+            inner: Mutex::new(DurableShardInner {
+                store,
+                events,
+                last_snapshot_seq: recovered.applied_seq,
+            }),
+            config,
+            recovery,
+            served: AtomicU64::new(0),
+        })
+    }
+
+    /// The shard engine behind the REST surface.
+    pub fn engine(&self) -> &ShardEngine {
+        &self.engine
+    }
+
+    /// What booting this shard recovered.
+    pub fn recovery(&self) -> &RecoveryStats {
+        &self.recovery
+    }
+
+    /// Forces a snapshot now (blocks + manifest + WAL truncation).
+    ///
+    /// # Errors
+    ///
+    /// Any [`StoreError`] from block or manifest writes.
+    pub fn snapshot_now(&self) -> Result<(), StoreError> {
+        let mut inner = self.inner.lock();
+        snapshot_locked(&mut inner)
+    }
+
+    /// The store's root directory.
+    pub fn store_dir(&self) -> std::path::PathBuf {
+        self.inner.lock().store.dir().to_path_buf()
+    }
+
+    /// Requests served by this instance.
+    pub fn served(&self) -> u64 {
+        self.served.load(Ordering::Relaxed)
+    }
+
+    /// Gauges for the scrape surface.
+    pub fn gauges(&self) -> ShardGauges {
+        self.engine.gauges()
+    }
+
+    fn handle_post_event(&self, request: &HttpRequest) -> HttpResponse {
+        let Some(event) = FeedbackEvent::from_json(&request.body) else {
+            return HttpResponse::error(400, "malformed event");
+        };
+        // Canonicalize so WAL bytes equal what replay will apply.
+        let body = event.to_json();
+        let mut inner = self.inner.lock();
+        let seq = match inner.store.append_event(body.as_bytes()) {
+            Ok(seq) => seq,
+            Err(_) => return HttpResponse::error(503, "event log unavailable"),
+        };
+        self.engine.post(&event.user, &event.item, event.payload);
+        inner.events.push(body);
+        if self.config.snapshot_every > 0
+            && seq - inner.last_snapshot_seq >= self.config.snapshot_every
+        {
+            // A failed snapshot is not fatal: the WAL holds the event.
+            let _ = snapshot_locked(&mut inner);
+        }
+        HttpResponse::ok(r#"{"status":"ok"}"#)
+    }
+}
+
+impl RestHandler for DurableShard {
+    fn handle(&self, request: &HttpRequest) -> HttpResponse {
+        self.served.fetch_add(1, Ordering::Relaxed);
+        if (request.method, request.path.as_str()) == (Method::Post, EVENTS_PATH) {
+            // Writes go WAL-first; everything else is read-only and
+            // delegates straight to the engine's surface.
+            self.handle_post_event(request)
+        } else {
+            self.engine.handle(request)
+        }
+    }
+}
+
+fn snapshot_locked(inner: &mut DurableShardInner) -> Result<(), StoreError> {
+    let applied_seq = inner.store.next_seq() - 1;
+    let blocks: Vec<Vec<u8>> = inner
+        .events
+        .chunks(EVENTS_PER_BLOCK)
+        .map(encode_event_block)
+        .collect();
+    inner.store.snapshot(&blocks, applied_seq)?;
+    inner.last_snapshot_seq = applied_seq;
+    Ok(())
+}
+
+fn apply_event(engine: &ShardEngine, body: &str) {
+    if let Some(event) = FeedbackEvent::from_json(body) {
+        engine.post(&event.user, &event.item, event.payload);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::QUERIES_PATH;
+    use pprox_store::{SecureRng, TempDir};
+
+    fn sealing() -> SealingKey {
+        SealingKey::generate(&mut SecureRng::from_seed(47))
+    }
+
+    fn post(shard: &DurableShard, user: &str, item: &str) {
+        let body = FeedbackEvent {
+            user: user.into(),
+            item: item.into(),
+            payload: None,
+        }
+        .to_json();
+        assert!(shard
+            .handle(&HttpRequest::post(EVENTS_PATH, body))
+            .is_success());
+    }
+
+    fn query(shard: &DurableShard, user: &str) -> String {
+        shard
+            .handle(&HttpRequest::post(
+                QUERIES_PATH,
+                format!(r#"{{"user":"{user}","num":5}}"#),
+            ))
+            .body
+    }
+
+    fn seed(shard: &DurableShard) {
+        for u in 0..6 {
+            post(shard, &format!("bg-{u}"), &format!("solo-{u}"));
+        }
+        for u in 0..6 {
+            post(shard, &format!("sci-{u}"), "alien");
+            post(shard, &format!("sci-{u}"), "dune");
+        }
+    }
+
+    #[test]
+    fn kill_and_reopen_yields_identical_recommendations() {
+        let dir = TempDir::new("durable-shard");
+        let sealing = sealing();
+        let shard = DurableShard::open(dir.path(), &sealing, DurableConfig::default()).unwrap();
+        assert!(shard.recovery().cold_start);
+        seed(&shard);
+        post(&shard, "newbie", "alien");
+        let before = query(&shard, "newbie");
+        assert!(before.contains("dune"), "{before}");
+        drop(shard); // simulated kill
+
+        let revived = DurableShard::open(dir.path(), &sealing, DurableConfig::default()).unwrap();
+        assert!(!revived.recovery().cold_start);
+        assert_eq!(revived.recovery().replayed, 19);
+        assert_eq!(query(&revived, "newbie"), before);
+    }
+
+    #[test]
+    fn snapshot_plus_wal_recovery_is_equivalent() {
+        let dir = TempDir::new("durable-shard");
+        let sealing = sealing();
+        let config = DurableConfig {
+            snapshot_every: 5,
+            ..DurableConfig::default()
+        };
+        let shard = DurableShard::open(dir.path(), &sealing, config).unwrap();
+        seed(&shard);
+        let before = query(&shard, "sci-3");
+        drop(shard);
+
+        let revived = DurableShard::open(dir.path(), &sealing, config).unwrap();
+        let stats = revived.recovery();
+        assert!(stats.snapshot_events > 0, "snapshots must have fired");
+        assert_eq!(stats.snapshot_events + stats.replayed, 18);
+        assert_eq!(query(&revived, "sci-3"), before);
+    }
+
+    #[test]
+    fn wrong_identity_cannot_unseal_a_shard_store() {
+        let dir = TempDir::new("durable-shard");
+        let sealing = sealing();
+        let shard = DurableShard::open(dir.path(), &sealing, DurableConfig::default()).unwrap();
+        seed(&shard);
+        drop(shard);
+        // The monolithic DurableLrs seals to a different measurement.
+        let err = crate::durable::DurableLrs::open(dir.path(), &sealing, DurableConfig::default());
+        assert!(err.is_err(), "monolith must not unseal a shard store");
+    }
+
+    #[test]
+    fn internal_endpoints_survive_recovery() {
+        let dir = TempDir::new("durable-shard");
+        let sealing = sealing();
+        let shard = DurableShard::open(dir.path(), &sealing, DurableConfig::default()).unwrap();
+        seed(&shard);
+        drop(shard);
+        let revived = DurableShard::open(dir.path(), &sealing, DurableConfig::default()).unwrap();
+        assert_eq!(revived.engine().history("sci-0"), vec!["alien", "dune"]);
+        let scored = revived
+            .engine()
+            .score_history(&["alien".to_owned()], 5, &[]);
+        assert_eq!(scored.item_ids(), vec!["dune"]);
+    }
+
+    #[test]
+    fn malformed_events_are_rejected_not_logged() {
+        let dir = TempDir::new("durable-shard");
+        let shard = DurableShard::open(dir.path(), &sealing(), DurableConfig::default()).unwrap();
+        assert_eq!(
+            shard
+                .handle(&HttpRequest::post(EVENTS_PATH, "not json"))
+                .status,
+            400
+        );
+        drop(shard);
+        let revived = DurableShard::open(dir.path(), &sealing(), DurableConfig::default()).unwrap();
+        assert_eq!(revived.recovery().replayed, 0);
+    }
+}

@@ -1,0 +1,454 @@
+//! Incremental CCO training: per-event indicator/co-occurrence updates.
+//!
+//! The batch trainer ([`crate::cco::CcoTrainer`]) recounts every pair on
+//! every retrain — the Spark-job shape the paper inherits from Harness.
+//! At million-user scale that batch is the freshness bottleneck: an
+//! association posted right after a retrain is invisible until the next
+//! one. This module keeps the *same* count structures the batch job
+//! would build (per-user deduplicated/downsampled sets, per-item user
+//! counts, pairwise co-occurrence counts) and folds each accepted event
+//! into them online, then repairs only the indicator lists the event
+//! touched — the incremental item-similarity update of Zhao et al.
+//! (scalable item-based top-N, PAPERS.md).
+//!
+//! ## Exactness invariants
+//!
+//! * **Counts are always exact.** After any event prefix, user sets,
+//!   item counts, co-occurrence counts and interaction totals are
+//!   byte-identical to what a batch pass over the same prefix would
+//!   count (the acceptance rule is the batch rule, applied online).
+//! * **Touched lists are fresh.** Every pair whose `k11` changed is
+//!   re-scored immediately and repositioned in both items' top-K lists,
+//!   so a new association is queryable as soon as its post returns.
+//! * **Untouched lists may drift.** A pair only one of whose marginals
+//!   changed (`k12`/`k21`/`k22` via another item's count or a new user)
+//!   keeps its last LLR until its item is next touched or [`sync`]
+//!   runs. [`sync`](IncrementalCco::sync) recomputes every list from
+//!   the exact counts, after which recommendations are byte-identical
+//!   to a batch retrain over the same events (the differential test in
+//!   `tests/shard_differential.rs` holds this line).
+
+use crate::cco::{log_likelihood_ratio, CcoConfig};
+use std::collections::{HashMap, HashSet};
+use std::time::Instant;
+
+/// Interned item id (the catalog is bounded — ~100k items — while users
+/// are not, so only items are interned).
+pub type ItemId = u32;
+
+/// Aggregate counters of one incremental model, for gauges and reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IncrementalStats {
+    /// Accepted interactions (after dedup/downsampling) — the batch
+    /// trainer's `num_interactions`.
+    pub interactions: u64,
+    /// Distinct items with at least one accepted interaction.
+    pub items: u64,
+    /// Items whose indicator lists may have drifted since the last
+    /// [`IncrementalCco::sync`] (the ingest-backlog depth gauge).
+    pub dirty: u64,
+    /// Microseconds the most recent accepted event spent updating the
+    /// index — the ingest lag between a post and its queryability.
+    pub last_apply_us: u64,
+}
+
+/// An incrementally-trained CCO model plus its inverted scoring index.
+///
+/// Owns the item-side state only; the caller owns per-user sets (they
+/// live with the user record) and passes them in, which keeps one map
+/// of users instead of two at million-user scale.
+pub struct IncrementalCco {
+    config: CcoConfig,
+    names: Vec<String>,
+    ids: HashMap<String, ItemId>,
+    /// Users per item (over deduplicated sets) — `k11 + k12` marginal.
+    item_count: Vec<u64>,
+    /// Symmetric co-occurrence adjacency: `cooc[a][b] == cooc[b][a]`.
+    cooc: Vec<HashMap<ItemId, u64>>,
+    /// Per target item: its top-K indicators, ordered (LLR desc, item
+    /// name asc) — the same total order the batch trainer sorts by.
+    indicators: Vec<Vec<(ItemId, f64)>>,
+    /// Inverted index: `postings[h]` lists `(target, llr)` for every
+    /// target whose indicator list contains `h`.
+    postings: Vec<Vec<(ItemId, f64)>>,
+    items_seen: u64,
+    interactions: u64,
+    dirty: HashSet<ItemId>,
+    last_apply_us: u64,
+}
+
+impl std::fmt::Debug for IncrementalCco {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IncrementalCco")
+            .field("items", &self.items_seen)
+            .field("interactions", &self.interactions)
+            .field("dirty", &self.dirty.len())
+            .finish()
+    }
+}
+
+impl IncrementalCco {
+    /// An empty model with the given CCO limits.
+    pub fn new(config: CcoConfig) -> Self {
+        IncrementalCco {
+            config,
+            names: Vec::new(),
+            ids: HashMap::new(),
+            item_count: Vec::new(),
+            cooc: Vec::new(),
+            indicators: Vec::new(),
+            postings: Vec::new(),
+            items_seen: 0,
+            interactions: 0,
+            dirty: HashSet::new(),
+            last_apply_us: 0,
+        }
+    }
+
+    /// The model's CCO limits.
+    pub fn config(&self) -> &CcoConfig {
+        &self.config
+    }
+
+    /// Interns `name`, growing every per-item table in step.
+    pub fn intern(&mut self, name: &str) -> ItemId {
+        if let Some(&id) = self.ids.get(name) {
+            return id;
+        }
+        let id = self.names.len() as ItemId;
+        self.names.push(name.to_owned());
+        self.ids.insert(name.to_owned(), id);
+        self.item_count.push(0);
+        self.cooc.push(HashMap::new());
+        self.indicators.push(Vec::new());
+        self.postings.push(Vec::new());
+        id
+    }
+
+    /// The id of an already-interned item.
+    pub fn lookup(&self, name: &str) -> Option<ItemId> {
+        self.ids.get(name).copied()
+    }
+
+    /// The name of an interned item.
+    ///
+    /// # Panics
+    ///
+    /// If `id` was not returned by [`intern`](Self::intern).
+    pub fn name(&self, id: ItemId) -> &str {
+        &self.names[id as usize]
+    }
+
+    /// Applies one interaction: item `item` joins the caller's per-user
+    /// `set` under the batch acceptance rule (reject when the set is at
+    /// `max_prefs_per_user` or already contains the item), and every
+    /// touched pair is re-scored into both top-K lists. `num_users` must
+    /// count the user owning `set` (it is the `k22` marginal).
+    ///
+    /// Returns whether the interaction was accepted.
+    pub fn add_to_set(&mut self, set: &mut Vec<ItemId>, item: ItemId, num_users: u64) -> bool {
+        if set.len() >= self.config.max_prefs_per_user || set.contains(&item) {
+            return false;
+        }
+        let started = Instant::now();
+        set.push(item);
+        self.interactions += 1;
+        self.item_count[item as usize] += 1;
+        if self.item_count[item as usize] == 1 {
+            self.items_seen += 1;
+        }
+        self.dirty.insert(item);
+        // Count and re-score every pair the event touched. `set` ends
+        // with `item` itself; skip it.
+        for &other in set.iter().take(set.len() - 1) {
+            *self.cooc[item as usize].entry(other).or_insert(0) += 1;
+            *self.cooc[other as usize].entry(item).or_insert(0) += 1;
+            let llr = self.pair_llr(item, other, num_users);
+            self.upsert_indicator(item, other, llr);
+            self.upsert_indicator(other, item, llr);
+            self.dirty.insert(other);
+        }
+        self.last_apply_us = started.elapsed().as_micros() as u64;
+        true
+    }
+
+    /// Dunning LLR of the `(a, b)` pair from the current exact counts.
+    ///
+    /// The pair is canonicalized by item name before building the
+    /// contingency table: the batch trainer computes each pair once
+    /// with the lexicographically smaller item in the row role, and the
+    /// entropy sums are order-sensitive in the last ulps — transposing
+    /// the table gives a mathematically equal but not bit-equal f64.
+    fn pair_llr(&self, a: ItemId, b: ItemId, num_users: u64) -> f64 {
+        let (a, b) = if self.names[a as usize] <= self.names[b as usize] {
+            (a, b)
+        } else {
+            (b, a)
+        };
+        let k11 = self.cooc[a as usize].get(&b).copied().unwrap_or(0);
+        let count_a = self.item_count[a as usize];
+        let count_b = self.item_count[b as usize];
+        let k12 = count_a - k11;
+        let k21 = count_b - k11;
+        let k22 = num_users.saturating_sub(count_a + count_b - k11);
+        log_likelihood_ratio(k11, k12, k21, k22)
+    }
+
+    /// `true` when `(llr_x, name_x)` sorts before `(llr_y, name_y)` in
+    /// indicator order: LLR descending, item name ascending — the batch
+    /// trainer's exact comparator.
+    fn precedes(&self, x: (ItemId, f64), y: (ItemId, f64)) -> bool {
+        match y.1.partial_cmp(&x.1).unwrap_or(std::cmp::Ordering::Equal) {
+            std::cmp::Ordering::Less => true,
+            std::cmp::Ordering::Greater => false,
+            std::cmp::Ordering::Equal => self.names[x.0 as usize] < self.names[y.0 as usize],
+        }
+    }
+
+    /// Repositions indicator `ind` in `target`'s top-K list at strength
+    /// `llr`, mirroring the change into the inverted postings. Below
+    /// `min_llr` (or evicted by a stronger K-th entry) the indicator is
+    /// removed instead.
+    fn upsert_indicator(&mut self, target: ItemId, ind: ItemId, llr: f64) {
+        let list = &mut self.indicators[target as usize];
+        let existing = list.iter().position(|&(i, _)| i == ind);
+        if llr < self.config.min_llr {
+            if existing.is_some() {
+                self.remove_indicator(target, ind);
+            }
+            return;
+        }
+        if let Some(at) = existing {
+            list.remove(at);
+        } else if list.len() >= self.config.max_indicators_per_item {
+            // Full list: the candidate must beat the current weakest.
+            let weakest = *list.last().expect("non-empty at capacity");
+            if !self.precedes((ind, llr), weakest) {
+                return;
+            }
+            self.remove_indicator(target, weakest.0);
+        }
+        let entry = (ind, llr);
+        let list = &self.indicators[target as usize];
+        let mut at = list.len();
+        for (i, &e) in list.iter().enumerate() {
+            if !self.precedes(e, entry) {
+                at = i;
+                break;
+            }
+        }
+        self.indicators[target as usize].insert(at, entry);
+        let posts = &mut self.postings[ind as usize];
+        match posts.iter_mut().find(|(t, _)| *t == target) {
+            Some(slot) => slot.1 = llr,
+            None => posts.push((target, llr)),
+        }
+    }
+
+    /// Drops indicator `ind` from `target`'s list and its posting.
+    fn remove_indicator(&mut self, target: ItemId, ind: ItemId) {
+        self.indicators[target as usize].retain(|&(i, _)| i != ind);
+        self.postings[ind as usize].retain(|&(t, _)| t != target);
+    }
+
+    /// Accumulates indicator strengths over `history` (in order, one
+    /// contribution per `(history item, target)` pair — the same
+    /// arithmetic, in the same order, as
+    /// [`crate::index::ScoringIndex::recommend_filtered`]).
+    pub fn score(&self, history: &[ItemId]) -> HashMap<ItemId, f64> {
+        let mut scores: HashMap<ItemId, f64> = HashMap::new();
+        for &h in history {
+            if let Some(posts) = self.postings.get(h as usize) {
+                for &(target, llr) in posts {
+                    *scores.entry(target).or_insert(0.0) += llr;
+                }
+            }
+        }
+        scores
+    }
+
+    /// Full exact repair: recomputes every indicator list from the
+    /// (always-exact) counts and rebuilds the inverted index. After
+    /// `sync`, recommendations are byte-identical to a batch retrain
+    /// over the same events. Cost is proportional to the number of
+    /// distinct co-occurring pairs.
+    pub fn sync(&mut self, num_users: u64) {
+        for posts in &mut self.postings {
+            posts.clear();
+        }
+        for a in 0..self.names.len() as ItemId {
+            let mut list: Vec<(ItemId, f64)> = self.cooc[a as usize]
+                .iter()
+                .map(|(&b, _)| (b, self.pair_llr(a, b, num_users)))
+                .filter(|&(_, llr)| llr >= self.config.min_llr)
+                .collect();
+            list.sort_by(|&x, &y| {
+                y.1.partial_cmp(&x.1)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then_with(|| self.names[x.0 as usize].cmp(&self.names[y.0 as usize]))
+            });
+            list.truncate(self.config.max_indicators_per_item);
+            self.indicators[a as usize] = list;
+        }
+        for a in 0..self.names.len() as ItemId {
+            for &(ind, llr) in &self.indicators[a as usize] {
+                self.postings[ind as usize].push((a, llr));
+            }
+        }
+        self.dirty.clear();
+    }
+
+    /// The current indicator list of `name`, strongest first, as
+    /// `(item name, llr)` pairs. Empty for unknown items.
+    pub fn indicators_of(&self, name: &str) -> Vec<(String, f64)> {
+        let Some(id) = self.lookup(name) else {
+            return Vec::new();
+        };
+        self.indicators[id as usize]
+            .iter()
+            .map(|&(i, llr)| (self.names[i as usize].clone(), llr))
+            .collect()
+    }
+
+    /// Aggregate counters for gauges and reports.
+    pub fn stats(&self) -> IncrementalStats {
+        IncrementalStats {
+            interactions: self.interactions,
+            items: self.items_seen,
+            dirty: self.dirty.len() as u64,
+            last_apply_us: self.last_apply_us,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> IncrementalCco {
+        IncrementalCco::new(CcoConfig {
+            min_llr: 0.5,
+            ..CcoConfig::default()
+        })
+    }
+
+    /// Drives `(user, item)` events through per-user sets the way the
+    /// shard engine does.
+    fn drive(m: &mut IncrementalCco, events: &[(&str, &str)]) {
+        let mut users: HashMap<String, Vec<ItemId>> = HashMap::new();
+        for &(u, i) in events {
+            let id = m.intern(i);
+            let is_new = !users.contains_key(u);
+            let num_users = users.len() as u64 + is_new as u64;
+            let set = users.entry(u.to_owned()).or_default();
+            m.add_to_set(set, id, num_users);
+        }
+    }
+
+    fn clustered() -> Vec<(&'static str, &'static str)> {
+        // Contrast users first: an event's LLR is computed against the
+        // user population at event time, so the pair events must arrive
+        // when the background already exists for "immediately visible"
+        // to hold (otherwise the pair waits for the next sync — the
+        // documented drift).
+        let mut ev = Vec::new();
+        for u in ["x1", "x2", "x3", "x4", "x5", "x6"] {
+            ev.push((u, "solo"));
+        }
+        for u in ["u1", "u2", "u3", "u4", "u5", "u6"] {
+            ev.push((u, "a"));
+            ev.push((u, "b"));
+        }
+        ev
+    }
+
+    #[test]
+    fn association_is_visible_immediately() {
+        let mut m = model();
+        drive(&mut m, &clustered());
+        let inds = m.indicators_of("a");
+        assert_eq!(inds.len(), 1);
+        assert_eq!(inds[0].0, "b");
+        assert!(inds[0].1 > 1.0);
+    }
+
+    #[test]
+    fn duplicates_and_caps_follow_the_batch_rule() {
+        let mut m = IncrementalCco::new(CcoConfig {
+            max_prefs_per_user: 2,
+            ..CcoConfig::default()
+        });
+        let a = m.intern("a");
+        let b = m.intern("b");
+        let c = m.intern("c");
+        let mut set = Vec::new();
+        assert!(m.add_to_set(&mut set, a, 1));
+        assert!(!m.add_to_set(&mut set, a, 1), "duplicate rejected");
+        assert!(m.add_to_set(&mut set, b, 1));
+        assert!(!m.add_to_set(&mut set, c, 1), "cap rejected");
+        assert_eq!(m.stats().interactions, 2);
+    }
+
+    #[test]
+    fn scoring_accumulates_over_history() {
+        let mut m = model();
+        drive(&mut m, &clustered());
+        let a = m.lookup("a").unwrap();
+        let b = m.lookup("b").unwrap();
+        let scores = m.score(&[a]);
+        assert!(scores[&b] > 0.0);
+        let double = m.score(&[a, a]);
+        assert!((double[&b] - 2.0 * scores[&b]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sync_clears_the_dirty_backlog() {
+        let mut m = model();
+        drive(&mut m, &clustered());
+        assert!(m.stats().dirty > 0);
+        m.sync(12);
+        assert_eq!(m.stats().dirty, 0);
+        // Lists survive the repair.
+        assert_eq!(m.indicators_of("a")[0].0, "b");
+    }
+
+    #[test]
+    fn weak_pairs_are_filtered() {
+        let mut m = IncrementalCco::new(CcoConfig {
+            min_llr: 1000.0,
+            ..CcoConfig::default()
+        });
+        drive(&mut m, &clustered());
+        assert!(m.indicators_of("a").is_empty());
+        let a = m.lookup("a").unwrap();
+        assert!(m.score(&[a]).is_empty());
+    }
+
+    #[test]
+    fn top_k_evicts_the_weakest() {
+        let mut m = IncrementalCco::new(CcoConfig {
+            max_indicators_per_item: 2,
+            min_llr: 0.1,
+            ..CcoConfig::default()
+        });
+        // hub pairs with i1 (3 users), i2 (2 users), i3 (1 user), plus
+        // background users for contrast.
+        let mut ev: Vec<(String, String)> = Vec::new();
+        for (strength, other) in [(5, "i1"), (4, "i2"), (2, "i3")] {
+            for u in 0..strength {
+                ev.push((format!("u-{other}-{u}"), "hub".into()));
+                ev.push((format!("u-{other}-{u}"), other.into()));
+            }
+        }
+        for u in 0..30 {
+            ev.push((format!("bg{u}"), format!("bg-{u}")));
+        }
+        let evs: Vec<(&str, &str)> = ev.iter().map(|(u, i)| (u.as_str(), i.as_str())).collect();
+        drive(&mut m, &evs);
+        m.sync(41);
+        let inds = m.indicators_of("hub");
+        assert_eq!(inds.len(), 2);
+        assert!(inds[0].1 >= inds[1].1);
+        assert!(!inds.iter().any(|(n, _)| n == "i3"), "{inds:?}");
+    }
+}

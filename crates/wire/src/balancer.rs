@@ -206,6 +206,38 @@ impl SocketBalancer {
         }
         Err(last)
     }
+
+    /// Sends `payload` to the backend in slot `index`, with *no*
+    /// failover: a sharded call must reach the owning shard or fail —
+    /// silently answering from a sibling would corrupt the partition
+    /// view. Pinned calls still ride the slot's pooled retries, and the
+    /// supervisor's [`SocketBalancer::replace_backend`] readmission
+    /// makes the slot healthy again after a kill.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Deadline`] when the budget ran out; an out-of-range
+    /// slot maps to an unavailable remote (a misrouted shard call must
+    /// fail like a dead one, not take the request thread down);
+    /// otherwise the slot's own error.
+    pub fn call_backend(
+        &self,
+        index: usize,
+        payload: &[u8],
+        deadline: Deadline,
+    ) -> Result<Vec<u8>, WireError> {
+        let backend = {
+            let backends = self.backends.read();
+            match backends.get(index) {
+                Some(b) => b.clone(),
+                None => return Err(WireError::Remote(crate::WireStatus::Unavailable)),
+            }
+        };
+        if deadline.expired() {
+            return Err(WireError::Deadline);
+        }
+        backend.call(payload, deadline)
+    }
 }
 
 #[cfg(test)]

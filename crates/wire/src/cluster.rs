@@ -29,6 +29,7 @@
 use crate::audit::LinkageAudit;
 use crate::balancer::SocketBalancer;
 use crate::client::ClientConfig;
+use crate::router::ShardRouter;
 use crate::scrape::NodeMetrics;
 use crate::server::{FrameHandler, ServerConfig, ServerStats, WireServer};
 use crate::services::{IaWireService, LrsWireService, UaServiceOptions, UaWireService};
@@ -52,10 +53,33 @@ use std::net::SocketAddr;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// Builds (or rebuilds) the REST handler behind the LRS tier. Called at
-/// launch and again whenever the supervisor respawns an LRS instance
-/// whose handler is gone — the durable recovery entry point.
-pub type LrsFactory = Arc<dyn Fn() -> Arc<dyn RestHandler> + Send + Sync>;
+/// One LRS tier instance as built by an [`LrsFactory`]: its REST
+/// handler plus (for sharded tiers) the per-shard gauge source the
+/// node's metrics hub exports.
+pub struct LrsInstance {
+    /// The REST handler serving this instance.
+    pub handler: Arc<dyn RestHandler>,
+    /// Per-shard depth/ingest-lag gauges, when the instance is a shard.
+    pub shard_gauges: Option<crate::scrape::ShardGaugeFn>,
+}
+
+impl LrsInstance {
+    /// An unsharded instance: just a handler, no shard gauges.
+    pub fn plain(handler: Arc<dyn RestHandler>) -> Self {
+        LrsInstance {
+            handler,
+            shard_gauges: None,
+        }
+    }
+}
+
+/// Builds (or rebuilds) the REST handler behind one LRS tier slot
+/// (`index` is the slot — shard id when sharded). Called at launch and
+/// again whenever the supervisor respawns an LRS instance whose handler
+/// is gone — the durable recovery entry point. A sharded factory
+/// returns a *different* partition per index; an unsharded one may
+/// ignore the index and share state.
+pub type LrsFactory = Arc<dyn Fn(usize) -> LrsInstance + Send + Sync>;
 
 /// Shape of one loopback deployment.
 #[derive(Debug, Clone)]
@@ -64,8 +88,14 @@ pub struct ClusterConfig {
     pub ua_instances: usize,
     /// IA instances (1–4).
     pub ia_instances: usize,
-    /// LRS frontend instances (1–4).
+    /// LRS frontend instances (1–4 replicated, up to 8 when sharded).
     pub lrs_instances: usize,
+    /// Treat the LRS tier as consistent-hash *shards* instead of
+    /// replicas: IA instances route each pseudonym to its owning slot
+    /// and scatter-gather reads across the tier.
+    pub lrs_sharded: bool,
+    /// Virtual nodes per shard on the routing ring (sharded tiers).
+    pub shard_vnodes: usize,
     /// End-to-end encryption on (the paper's normal mode).
     pub encryption: bool,
     /// Item pseudonymization toward the LRS (§4.2).
@@ -104,6 +134,8 @@ impl Default for ClusterConfig {
             ua_instances: 2,
             ia_instances: 2,
             lrs_instances: 1,
+            lrs_sharded: false,
+            shard_vnodes: pprox_lrs::shard::DEFAULT_VNODES,
             encryption: true,
             item_pseudonymization: true,
             shuffle: ShuffleConfig::disabled(),
@@ -148,12 +180,22 @@ impl ClusterConfig {
         for (name, n) in [
             ("ua_instances", self.ua_instances),
             ("ia_instances", self.ia_instances),
-            ("lrs_instances", self.lrs_instances),
         ] {
             assert!(
                 (1..=4).contains(&n),
                 "{name} must be between 1 and 4, got {n}"
             );
+        }
+        // The LRS tier scales past the proxy tiers when sharded: the
+        // backend is the paper's horizontal-scale escape hatch (§3).
+        let lrs_cap = if self.lrs_sharded { 8 } else { 4 };
+        assert!(
+            (1..=lrs_cap).contains(&self.lrs_instances),
+            "lrs_instances must be between 1 and {lrs_cap}, got {}",
+            self.lrs_instances
+        );
+        if self.lrs_sharded {
+            assert!(self.shard_vnodes > 0, "sharded tier needs vnodes > 0");
         }
         self
     }
@@ -183,6 +225,10 @@ pub struct LoopbackCluster {
     ua_ia_balancers: Vec<Arc<SocketBalancer>>,
     /// Per-IA ring into the LRS tier.
     ia_lrs_balancers: Vec<Arc<SocketBalancer>>,
+    /// Pseudonym→shard router shared by the IA tier (`None` unless
+    /// `config.lrs_sharded`). Shared state: survives IA respawns, so its
+    /// per-shard aggregates span the deployment's lifetime.
+    shard_router: Option<Arc<ShardRouter>>,
     /// Per-UA ground-truth departure logs (empty unless
     /// `config.linkage_audit`); survive instance respawns.
     linkage_audits: Vec<Arc<LinkageAudit>>,
@@ -222,7 +268,7 @@ impl LoopbackCluster {
     /// Socket errors from server spawning; [`PProxError`] from
     /// attestation/provisioning.
     pub fn launch(config: ClusterConfig, rest: Arc<dyn RestHandler>) -> Result<Self, PProxError> {
-        Self::launch_with_factory(config, Arc::new(move || rest.clone()))
+        Self::launch_with_factory(config, Arc::new(move |_i| LrsInstance::plain(rest.clone())))
     }
 
     /// Boots the chain with an LRS boot factory. The factory is invoked
@@ -271,12 +317,17 @@ impl LoopbackCluster {
             cfg
         };
 
-        // LRS tier.
+        // LRS tier: slot i is shard i when sharded (the shared router
+        // below maps pseudonyms to these slot indices).
         let mut lrs_servers = Vec::new();
         let mut lrs_metrics = Vec::new();
         for i in 0..config.lrs_instances {
             let metrics = node_metrics("lrs", i);
-            let service: Arc<dyn FrameHandler> = Arc::new(LrsWireService::new(factory()));
+            let instance = factory(i);
+            if let Some(gauges) = instance.shard_gauges.clone() {
+                metrics.attach_shard_gauges(gauges);
+            }
+            let service: Arc<dyn FrameHandler> = Arc::new(LrsWireService::new(instance.handler));
             lrs_servers.push(Some(
                 WireServer::spawn(service, with_metrics(&config.server, &metrics))
                     .map_err(spawn_err)?,
@@ -288,6 +339,13 @@ impl LoopbackCluster {
             .map(|s| Arc::new(Mutex::new(s.as_ref().expect("just spawned").local_addr())))
             .collect();
         let lrs_addr_list: Vec<SocketAddr> = lrs_addrs.iter().map(|a| *a.lock()).collect();
+
+        // One router shared by every IA instance (and their respawns):
+        // its per-shard aggregates then cover the whole tier, which is
+        // what the shard-skew audit scores.
+        let shard_router = config
+            .lrs_sharded
+            .then(|| Arc::new(ShardRouter::new(config.lrs_instances, config.shard_vnodes)));
 
         // IA tier: per-instance enclave, breaker, and LRS pools.
         let mut ia_servers = Vec::new();
@@ -304,14 +362,18 @@ impl LoopbackCluster {
                 config.seed ^ (0x1a00 + i as u64),
             ));
             metrics.attach_uplink(lrs_balancer.clone());
-            let service: Arc<dyn FrameHandler> = Arc::new(IaWireService::new(
+            let mut ia_service = IaWireService::new(
                 enclave,
                 lrs_balancer.clone(),
                 options,
                 config.resilience.clone(),
                 telemetry.clone(),
                 config.seed ^ (0x1a10 + i as u64),
-            ));
+            );
+            if let Some(router) = &shard_router {
+                ia_service = ia_service.with_router(router.clone());
+            }
+            let service: Arc<dyn FrameHandler> = Arc::new(ia_service);
             ia_servers.push(Some(
                 WireServer::spawn(service, with_metrics(&config.server, &metrics))
                     .map_err(spawn_err)?,
@@ -400,6 +462,7 @@ impl LoopbackCluster {
             lrs_addrs,
             ua_ia_balancers,
             ia_lrs_balancers,
+            shard_router,
             linkage_audits,
             ua_metrics,
             ia_metrics,
@@ -455,16 +518,23 @@ impl LoopbackCluster {
     fn lrs_respawn(&self, index: usize) -> RespawnFn {
         let factory = self.factory.clone();
         let servers = self.lrs_servers.clone();
+        let metrics = self.lrs_metrics[index].clone();
         let mut server_cfg = self.config.server.clone();
-        server_cfg.metrics = Some(self.lrs_metrics[index].clone());
+        server_cfg.metrics = Some(metrics.clone());
         let ia_rings = self.ia_lrs_balancers.clone();
         Box::new(move || {
             // The factory decides what "rebuild" means: a shared
             // in-memory handler is simply re-used; a durable factory
             // unseals and replays from disk when the old handler died
-            // with its servers.
-            let handler = factory();
-            let service: Arc<dyn FrameHandler> = Arc::new(LrsWireService::new(handler));
+            // with its servers. A sharded factory rebuilds *this*
+            // partition only — slot index is shard id, and the
+            // `replace_backend` below readmits it under that id, so
+            // sibling shards are never re-keyed.
+            let instance = factory(index);
+            if let Some(gauges) = instance.shard_gauges.clone() {
+                metrics.attach_shard_gauges(gauges);
+            }
+            let service: Arc<dyn FrameHandler> = Arc::new(LrsWireService::new(instance.handler));
             let server = WireServer::spawn(service, server_cfg.clone()).ok()?;
             let addr = server.local_addr();
             servers.lock()[index] = Some(server);
@@ -490,17 +560,22 @@ impl LoopbackCluster {
         };
         let resilience = self.config.resilience.clone();
         let seed = self.config.seed ^ (0x1a10 + index as u64);
+        let router = self.shard_router.clone();
         Box::new(move || {
             let enclave = platform.load_enclave::<IaState>(IA_CODE_IDENTITY);
             provisioner.provision_ia(&platform, &enclave).ok()?;
-            let service: Arc<dyn FrameHandler> = Arc::new(IaWireService::new(
+            let mut ia_service = IaWireService::new(
                 enclave,
                 lrs_balancer.clone(),
                 options,
                 resilience.clone(),
                 telemetry.clone(),
                 seed,
-            ));
+            );
+            if let Some(router) = &router {
+                ia_service = ia_service.with_router(router.clone());
+            }
+            let service: Arc<dyn FrameHandler> = Arc::new(ia_service);
             let server = WireServer::spawn(service, server_cfg.clone()).ok()?;
             let addr = server.local_addr();
             servers.lock()[index] = Some(server);
@@ -562,6 +637,12 @@ impl LoopbackCluster {
     /// The chain-wide telemetry sink (stage histograms).
     pub fn telemetry(&self) -> &Arc<Telemetry> {
         &self.telemetry
+    }
+
+    /// The shared pseudonym→shard router, when the LRS tier is sharded.
+    /// Audits read its per-shard route-count aggregates.
+    pub fn shard_router(&self) -> Option<&Arc<ShardRouter>> {
+        self.shard_router.as_ref()
     }
 
     /// UA front-door addresses (for external drivers).

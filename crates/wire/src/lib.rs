@@ -49,6 +49,7 @@ pub mod balancer;
 pub mod client;
 pub mod cluster;
 pub mod frame;
+pub mod router;
 pub mod scrape;
 pub mod server;
 pub mod services;
@@ -59,9 +60,10 @@ pub use balancer::{ClientStats, SocketBalancer};
 pub use client::{ClientConfig, PooledClient};
 pub use cluster::{ClusterConfig, LoopbackCluster};
 pub use frame::{Frame, FrameError, PadClass, HEADER_LEN, WIRE_VERSION};
+pub use router::ShardRouter;
 pub use scrape::{
     validate_scrape_snapshot, ClusterScraper, ClusterSnapshot, NodeMetrics, NodeSnapshot,
-    PressureSample, ScrapeError,
+    PressureSample, ScrapeError, ShardGaugeFn,
 };
 pub use server::{FrameHandler, ServerConfig, WireServer};
 pub use supervisor::{RespawnEvent, Supervisor, SupervisorConfig};

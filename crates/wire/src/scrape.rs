@@ -49,7 +49,14 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Schema version of the per-node scrape snapshot document.
-pub const SCRAPE_SCHEMA_VERSION: u64 = 1;
+///
+/// v2 added the `shard` section: per-shard event/query totals plus the
+/// incremental trainer's dirty-list depth and ingest-lag gauges —
+/// aggregates of the node's own partition only, no routing keys.
+pub const SCRAPE_SCHEMA_VERSION: u64 = 2;
+
+/// Source of one LRS shard's gauges, attached to the shard node's hub.
+pub type ShardGaugeFn = Arc<dyn Fn() -> pprox_lrs::shard::ShardGauges + Send + Sync>;
 
 /// The payload of a metrics-scrape request frame.
 pub const SCRAPE_QUERY: &[u8] = br#"{"q":"metrics"}"#;
@@ -154,6 +161,7 @@ pub struct NodeMetrics {
     telemetry: Mutex<Option<Arc<Telemetry>>>,
     registry: MetricsRegistry,
     uplinks: Mutex<Vec<Arc<SocketBalancer>>>,
+    shard_gauges: Mutex<Option<ShardGaugeFn>>,
     // Server internals.
     accepted: AtomicU64,
     open_connections: AtomicU64,
@@ -203,6 +211,7 @@ impl NodeMetrics {
             telemetry: Mutex::new(None),
             registry: MetricsRegistry::new(),
             uplinks: Mutex::new(Vec::new()),
+            shard_gauges: Mutex::new(None),
             accepted: AtomicU64::new(0),
             open_connections: AtomicU64::new(0),
             frames_in: AtomicU64::new(0),
@@ -244,6 +253,13 @@ impl NodeMetrics {
     /// (reconnects, retries, deadline clamps) this node reports.
     pub fn attach_uplink(&self, balancer: Arc<SocketBalancer>) {
         self.uplinks.lock().push(balancer);
+    }
+
+    /// Attaches the gauge source of the LRS shard this node fronts.
+    /// Re-attached on every respawn (the hub outlives the instance);
+    /// the latest source wins. Unattached nodes report zeros.
+    pub fn attach_shard_gauges(&self, gauges: ShardGaugeFn) {
+        *self.shard_gauges.lock() = Some(gauges);
     }
 
     /// The per-layer counter registry for this node's services.
@@ -398,6 +414,9 @@ impl NodeMetrics {
             .into_iter()
             .map(|(name, s)| layer_to_value(&name, &s))
             .collect();
+        // analysis-allow: R12 set-once handle, written at wiring time
+        let shard_fn = self.shard_gauges.lock().clone();
+        let shard = shard_fn.map(|f| f()).unwrap_or_default();
         Value::object([
             ("report", Value::from("node-metrics")),
             ("schema_version", Value::from(SCRAPE_SCHEMA_VERSION)),
@@ -452,6 +471,19 @@ impl NodeMetrics {
                 Value::object([
                     ("probe_failures", load(&self.probe_failures)),
                     ("respawns", load(&self.respawns)),
+                ]),
+            ),
+            (
+                // This node's own partition, aggregates only: event and
+                // query totals plus trainer depth/lag gauges. No routing
+                // keys, no per-pseudonym anything — the shard-skew audit
+                // reads exactly these.
+                "shard",
+                Value::object([
+                    ("events", Value::from(shard.events)),
+                    ("queries", Value::from(shard.queries)),
+                    ("dirty", Value::from(shard.dirty)),
+                    ("lag_us", Value::from(shard.lag_us)),
                 ]),
             ),
             ("scrapes", load(&self.scrapes)),
@@ -630,6 +662,7 @@ pub fn validate_scrape_snapshot(root: &Value) -> Result<(), String> {
             "client",
             "shuffle",
             "supervisor",
+            "shard",
             "scrapes",
             "stages",
             "layers",
@@ -724,6 +757,12 @@ pub fn validate_scrape_snapshot(root: &Value) -> Result<(), String> {
     expect_keys(supervisor, "supervisor", &["probe_failures", "respawns"])?;
     expect_u64(supervisor, "supervisor", "probe_failures")?;
     expect_u64(supervisor, "supervisor", "respawns")?;
+
+    let shard = root.get("shard").ok_or("missing shard object")?;
+    expect_keys(shard, "shard", &["events", "queries", "dirty", "lag_us"])?;
+    for k in ["events", "queries", "dirty", "lag_us"] {
+        expect_u64(shard, "shard", k)?;
+    }
     expect_u64(root, "snapshot", "scrapes")?;
 
     let stages = root

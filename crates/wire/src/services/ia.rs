@@ -12,6 +12,7 @@
 //! analyzer (R3) enforces that lexically.
 
 use crate::balancer::SocketBalancer;
+use crate::router::ShardRouter;
 use crate::server::FrameHandler;
 use crate::services::lrs::{decode_response, encode_request};
 use crate::{WireError, WireStatus};
@@ -20,16 +21,44 @@ use pprox_core::message::{LayerEnvelope, Op};
 use pprox_core::resilience::{CircuitBreaker, Deadline, ResilienceConfig, RetryBackoff};
 use pprox_core::telemetry::{Stage, Telemetry};
 use pprox_lrs::api::{RecommendationList, EVENTS_PATH, QUERIES_PATH};
+use pprox_lrs::shard::{
+    history_request_body, merge_scored, parse_history_response, score_request_body_bounded,
+    HISTORY_PATH, SCORE_PATH,
+};
 use pprox_lrs::{HttpRequest, HttpResponse};
 use pprox_sgx::Enclave;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
+/// History entries a sharded read fetches from the owner shard. Chosen
+/// so the `/shard/score` request (16 × 44-char pseudonyms + wrapper,
+/// JSON-escaped inside the wire envelope) always fits one padded
+/// `Request`-class frame.
+pub const WIRE_HISTORY_LIMIT: usize = 16;
+
+/// Byte budget for the `/shard/score` body: the `Request` pad class
+/// carries 1148 payload bytes minus the `{"m","p","b"}` wrapper and
+/// JSON string escaping of the body's quotes (~2 bytes per history
+/// item). 900 keeps comfortable margin.
+const SCORE_BODY_BUDGET: usize = 900;
+
+/// Which LRS backend a wire exchange may use.
+#[derive(Debug, Clone, Copy)]
+enum LrsTarget {
+    /// Any backend, with ring-order failover (the unsharded tier is a
+    /// set of replicas — every backend serves every key).
+    Any,
+    /// Exactly this balancer slot, no failover (the sharded tier is a
+    /// partition — a sibling cannot answer for the owner).
+    Shard(usize),
+}
+
 /// Frame handler for one IA instance.
 pub struct IaWireService {
     enclave: Arc<Enclave<IaState>>,
     lrs: Arc<SocketBalancer>,
+    router: Option<Arc<ShardRouter>>,
     options: IaOptions,
     breaker: CircuitBreaker,
     resilience: ResilienceConfig,
@@ -53,12 +82,22 @@ impl IaWireService {
         IaWireService {
             enclave,
             lrs,
+            router: None,
             options,
             breaker,
             resilience,
             telemetry,
             backoff_salt: AtomicU64::new(seed | 1),
         }
+    }
+
+    /// Enables sharded routing: events pin to the owner shard's
+    /// balancer slot, reads scatter-gather across all slots. The router
+    /// is shared across IA instances so its per-shard aggregates cover
+    /// the whole tier.
+    pub fn with_router(mut self, router: Arc<ShardRouter>) -> Self {
+        self.router = Some(router);
+        self
     }
 
     /// One resilient HTTP exchange with the LRS tier over the wire.
@@ -70,9 +109,10 @@ impl IaWireService {
         &self,
         request: &HttpRequest,
         deadline: Deadline,
+        target: LrsTarget,
     ) -> Result<HttpResponse, WireStatus> {
         let started = Instant::now();
-        let result = self.call_lrs_inner(request, deadline);
+        let result = self.call_lrs_inner(request, deadline, target);
         self.telemetry
             .record_duration(Stage::Lrs, started.elapsed().as_micros() as u64);
         result
@@ -82,6 +122,7 @@ impl IaWireService {
         &self,
         request: &HttpRequest,
         deadline: Deadline,
+        target: LrsTarget,
     ) -> Result<HttpResponse, WireStatus> {
         let cfg = &self.resilience;
         let salt = self.backoff_salt.fetch_add(0x9e37_79b9, Ordering::Relaxed);
@@ -97,7 +138,13 @@ impl IaWireService {
             }
             let per_try = Deadline::starting_now(cfg.lrs_timeout.min(remaining));
             let attempt_started = Instant::now();
-            let outcome = self.lrs.call(&payload, per_try);
+            let outcome = match target {
+                LrsTarget::Any => self.lrs.call(&payload, per_try),
+                // Pinned: retries (below) re-dial the same slot, which
+                // the supervisor refreshes on respawn — but never a
+                // sibling shard.
+                LrsTarget::Shard(slot) => self.lrs.call_backend(slot, &payload, per_try),
+            };
             self.telemetry.record_duration(
                 Stage::LrsAttempt,
                 attempt_started.elapsed().as_micros() as u64,
@@ -158,8 +205,12 @@ impl IaWireService {
             .map_err(status_of_core)?;
         self.telemetry
             .record_duration(Stage::Ia, started.elapsed().as_micros() as u64);
+        let target = match &self.router {
+            Some(router) => LrsTarget::Shard(router.route(&event.user)),
+            None => LrsTarget::Any,
+        };
         let request = HttpRequest::post(EVENTS_PATH, event.to_json());
-        let response = self.call_lrs(&request, deadline)?;
+        let response = self.call_lrs(&request, deadline, target)?;
         if response.is_success() {
             Ok(b"{\"ok\":true}".to_vec())
         } else {
@@ -182,13 +233,16 @@ impl IaWireService {
         self.telemetry
             .record_duration(Stage::Ia, started.elapsed().as_micros() as u64);
 
-        let request = HttpRequest::post(QUERIES_PATH, query.to_json());
-        let response = self.call_lrs(&request, deadline)?;
-        if !response.is_success() {
-            return Err(WireStatus::Failed);
-        }
-        let Some(list) = RecommendationList::from_json(&response.body) else {
-            return Err(WireStatus::Malformed);
+        let list = match self.router.clone() {
+            None => {
+                let request = HttpRequest::post(QUERIES_PATH, query.to_json());
+                let response = self.call_lrs(&request, deadline, LrsTarget::Any)?;
+                if !response.is_success() {
+                    return Err(WireStatus::Failed);
+                }
+                RecommendationList::from_json(&response.body).ok_or(WireStatus::Malformed)?
+            }
+            Some(router) => self.sharded_get(&router, &query, deadline)?,
         };
         let item_ids: Vec<String> = list.items.into_iter().map(|s| s.item).collect();
 
@@ -201,6 +255,49 @@ impl IaWireService {
         self.telemetry
             .record_duration(Stage::Ia, started.elapsed().as_micros() as u64);
         encrypted.to_frame().map_err(|_| WireStatus::Failed)
+    }
+
+    /// Scatter-gather read over the sharded tier: the owner shard
+    /// supplies the pseudonymous history (trimmed to the wire budget),
+    /// every shard scores it locally, and the per-shard top-k lists
+    /// merge deterministically. A failed shard degrades the read
+    /// (partial merge) instead of failing it; only a total blackout
+    /// errors.
+    fn sharded_get(
+        &self,
+        router: &ShardRouter,
+        query: &pprox_lrs::api::RecommendationQuery,
+        deadline: Deadline,
+    ) -> Result<RecommendationList, WireStatus> {
+        let owner = router.route(&query.user);
+        let history_req = HttpRequest::post(
+            HISTORY_PATH,
+            history_request_body(&query.user, Some(WIRE_HISTORY_LIMIT)),
+        );
+        let response = self.call_lrs(&history_req, deadline, LrsTarget::Shard(owner))?;
+        if !response.is_success() {
+            return Err(WireStatus::Failed);
+        }
+        let history = parse_history_response(&response.body).ok_or(WireStatus::Malformed)?;
+
+        let n = query.num.min(pprox_lrs::MAX_RECOMMENDATIONS);
+        let (body, _trimmed) =
+            score_request_body_bounded(&history, n, &query.exclude, SCORE_BODY_BUDGET);
+        let mut lists = Vec::new();
+        for slot in 0..router.num_shards() {
+            let score_req = HttpRequest::post(SCORE_PATH, body.clone());
+            if let Ok(resp) = self.call_lrs(&score_req, deadline, LrsTarget::Shard(slot)) {
+                if resp.is_success() {
+                    if let Some(list) = RecommendationList::from_json(&resp.body) {
+                        lists.push(list);
+                    }
+                }
+            }
+        }
+        if lists.is_empty() {
+            return Err(WireStatus::Unavailable);
+        }
+        Ok(merge_scored(lists, n))
     }
 }
 

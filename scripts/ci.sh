@@ -94,6 +94,18 @@ echo "== validate committed observability report =="
 cargo run --release -q -p pprox-bench --bin observability_report -- \
     --validate results/BENCH_observability.json
 
+echo "== sharding smoke (scaling curve + incremental/batch differential) =="
+SHARD_DIR="$(mktemp -d)"
+trap 'rm -rf "$SHARD_DIR" "$OBS_DIR" "$SCENARIO_DIR" "$TELEMETRY_DIR" "$RECOVERY_DIR" "$WIRE_DIR" "$ANALYSIS_DIR"' EXIT
+cargo run --release -q -p pprox-bench --bin shard_report -- \
+    --smoke --out "$SHARD_DIR/BENCH_sharding.json" >/dev/null
+cargo run --release -q -p pprox-bench --bin shard_report -- \
+    --validate "$SHARD_DIR/BENCH_sharding.json"
+
+echo "== validate committed sharding report =="
+cargo run --release -q -p pprox-bench --bin shard_report -- \
+    --validate results/BENCH_sharding.json
+
 echo "== benchmark trend gate (no >20% throughput regressions vs HEAD) =="
 cargo run --release -q -p pprox-bench --bin bench_trend
 

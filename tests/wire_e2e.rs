@@ -16,11 +16,14 @@ use pprox::core::config::PProxConfig;
 use pprox::core::pipeline::{Completion, PProxPipeline};
 use pprox::core::resilience::Deadline;
 use pprox::core::shuffler::ShuffleConfig;
+use pprox::lrs::cco::CcoConfig;
 use pprox::lrs::durable::{DurableConfig, DurableLrs};
+use pprox::lrs::shard::{DurableShard, ShardEngine};
 use pprox::lrs::stub::StubLrs;
-use pprox::lrs::RestHandler;
 use pprox::store::{SealingKey, SecureRng, TempDir};
-use pprox::wire::cluster::{ClusterConfig, LoopbackCluster, LrsFactory};
+use pprox::wire::cluster::{ClusterConfig, LoopbackCluster, LrsFactory, LrsInstance};
+use pprox::wire::scrape::ShardGaugeFn;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, Weak};
 use std::time::Duration;
 
@@ -273,17 +276,17 @@ fn supervised_durable_lrs_layer_recovers_with_identical_recommendations() {
     let factory: LrsFactory = {
         let memo = memo.clone();
         let store_dir = dir.path().to_path_buf();
-        Arc::new(move || {
+        Arc::new(move |_slot_index| {
             let mut slot = memo.lock().unwrap();
             if let Some(live) = slot.upgrade() {
-                return live as Arc<dyn RestHandler>;
+                return LrsInstance::plain(live);
             }
             let lrs = Arc::new(
                 DurableLrs::open(&store_dir, &sealing, durable_config)
                     .expect("durable recovery must succeed"),
             );
             *slot = Arc::downgrade(&lrs);
-            lrs
+            LrsInstance::plain(lrs)
         })
     };
 
@@ -367,6 +370,281 @@ fn supervised_durable_lrs_layer_recovers_with_identical_recommendations() {
 
     // And the revived layer keeps accepting writes.
     let env = client.post("sci-1", "contact", Some(5.0)).unwrap();
+    cluster.send_post(&env, budget()).unwrap();
+    cluster.shutdown();
+}
+
+/// The fixed-seed trace the sharded tests post: background users first
+/// (the incremental trainer scores pairs against the user population at
+/// event time), then one strong taste cluster, then the query user.
+fn sharded_trace() -> Vec<(String, String)> {
+    let mut trace = Vec::new();
+    for u in 0..12 {
+        trace.push((format!("bg-{u}"), format!("solo-{u}")));
+    }
+    for u in 0..12 {
+        trace.push((format!("sci-{u}"), "alien".to_string()));
+        trace.push((format!("sci-{u}"), "dune".to_string()));
+    }
+    trace.push(("newbie".to_string(), "alien".to_string()));
+    trace
+}
+
+/// A sharded LRS tier over the wire: events must land on exactly one
+/// owning shard each (the tier partitions instead of replicating), and
+/// a recommendation read must scatter-gather across shards and still
+/// surface the cross-user association.
+#[test]
+fn sharded_lrs_tier_partitions_and_merges_over_the_wire() {
+    const SHARDS: usize = 4;
+    let engines: Vec<Arc<ShardEngine>> = (0..SHARDS)
+        .map(|_| {
+            Arc::new(ShardEngine::with_config(CcoConfig {
+                min_llr: 0.5,
+                ..CcoConfig::default()
+            }))
+        })
+        .collect();
+    let factory: LrsFactory = {
+        let engines = engines.clone();
+        Arc::new(move |slot| {
+            let engine = engines[slot].clone();
+            let gauge_src = engine.clone();
+            LrsInstance {
+                handler: engine,
+                shard_gauges: Some(Arc::new(move || gauge_src.gauges()) as ShardGaugeFn),
+            }
+        })
+    };
+    let config = ClusterConfig {
+        ua_instances: 1,
+        ia_instances: 2,
+        lrs_instances: SHARDS,
+        lrs_sharded: true,
+        modulus_bits: 1152,
+        seed: 0x54a2_d001,
+        ..ClusterConfig::default()
+    };
+    let mut cluster = LoopbackCluster::launch_with_factory(config, factory).unwrap();
+    assert!(cluster.wait_ready(Duration::from_secs(10)));
+    let mut client = cluster.client();
+
+    let trace = sharded_trace();
+    for (user, item) in &trace {
+        let env = client.post(user, item, Some(4.0)).unwrap();
+        cluster.send_post(&env, budget()).unwrap();
+    }
+
+    // Partitioning: every event landed on exactly one shard, and each
+    // user's records live on exactly one shard — per-shard user counts
+    // sum to the distinct-user total with no double counting.
+    let total_events: u64 = engines.iter().map(|e| e.gauges().events).sum();
+    assert_eq!(total_events, trace.len() as u64, "events must not fan out");
+    let total_users: u64 = engines.iter().map(|e| e.num_users()).sum();
+    assert_eq!(total_users, 25, "each user must live on exactly one shard");
+    let populated = engines.iter().filter(|e| e.num_users() > 0).count();
+    assert!(
+        populated >= 2,
+        "pseudonym hashing must spread 25 users past one shard (got {populated})"
+    );
+
+    // The read scatter-gathers and still finds the association, even
+    // though no single shard holds the whole taste cluster.
+    let (env, ticket) = client.get("newbie").unwrap();
+    let encrypted = cluster.send_get(&env, budget()).unwrap();
+    let items = client.open_response(&ticket, &encrypted).unwrap();
+    assert!(
+        items.contains(&"dune".to_string()),
+        "scatter-gather must surface the cross-shard association: {items:?}"
+    );
+
+    // The shared router counted every routed exchange, per shard.
+    let router = cluster
+        .shard_router()
+        .expect("sharded cluster has a router");
+    let counts = router.route_counts();
+    assert_eq!(counts.len(), SHARDS);
+    assert!(
+        counts.iter().sum::<u64>() > trace.len() as u64,
+        "route aggregates must cover posts and the get: {counts:?}"
+    );
+    cluster.shutdown();
+}
+
+/// The shard-kill drill: killing one durable shard mid-run must recover
+/// *only* that shard — the supervisor rebuilds it from its own sealed
+/// store, `replace_backend` readmits it under its old slot, and sibling
+/// shards keep their live in-memory state untouched (no re-keying, no
+/// replay). Answers before and after the kill are byte-identical.
+#[test]
+fn supervised_shard_kill_recovers_only_that_shard() {
+    const SHARDS: usize = 3;
+    let dir = TempDir::new("wire-shard-recovery");
+    let sealing = SealingKey::generate(&mut SecureRng::from_seed(0x51ab));
+    let durable_config = DurableConfig {
+        snapshot_every: 4, // snapshots AND a WAL tail at kill time
+        ..DurableConfig::default()
+    };
+
+    // Per-slot memoized boot factory: each slot opens its own store
+    // subdirectory, and `opens` counts how many times each partition was
+    // actually (re)built from disk.
+    let memos: Arc<Vec<Mutex<Weak<DurableShard>>>> =
+        Arc::new((0..SHARDS).map(|_| Mutex::new(Weak::new())).collect());
+    let opens: Arc<Vec<AtomicU64>> = Arc::new((0..SHARDS).map(|_| AtomicU64::new(0)).collect());
+    let factory: LrsFactory = {
+        let memos = memos.clone();
+        let opens = opens.clone();
+        let root = dir.path().to_path_buf();
+        let sealing = sealing.clone();
+        Arc::new(move |slot| {
+            let mut weak = memos[slot].lock().unwrap();
+            let shard = match weak.upgrade() {
+                Some(live) => live,
+                None => {
+                    opens[slot].fetch_add(1, Ordering::Relaxed);
+                    let shard = Arc::new(
+                        DurableShard::open_with_cco(
+                            &root.join(format!("shard-{slot}")),
+                            &sealing,
+                            durable_config,
+                            CcoConfig {
+                                min_llr: 0.5,
+                                ..CcoConfig::default()
+                            },
+                        )
+                        .expect("shard recovery must succeed"),
+                    );
+                    *weak = Arc::downgrade(&shard);
+                    shard
+                }
+            };
+            // The gauge source must hold a *weak* reference: the metrics
+            // hub outlives kills, and a strong handle there would keep a
+            // dead shard's state alive and mask the disk-recovery path.
+            let gauge_src = Arc::downgrade(&shard);
+            LrsInstance {
+                handler: shard,
+                shard_gauges: Some(Arc::new(move || {
+                    gauge_src.upgrade().map(|s| s.gauges()).unwrap_or_default()
+                }) as ShardGaugeFn),
+            }
+        })
+    };
+
+    let config = ClusterConfig {
+        ua_instances: 1,
+        ia_instances: 1,
+        lrs_instances: SHARDS,
+        lrs_sharded: true,
+        modulus_bits: 1152,
+        supervisor: true,
+        seed: 0x54a2_d002,
+        ..ClusterConfig::default()
+    };
+    let mut cluster = LoopbackCluster::launch_with_factory(config, factory).unwrap();
+    assert!(cluster.wait_ready(Duration::from_secs(10)));
+    let mut client = cluster.client();
+
+    for (user, item) in &sharded_trace() {
+        let env = client.post(user, item, Some(4.0)).unwrap();
+        cluster.send_post(&env, budget()).unwrap();
+    }
+
+    let recommend = |cluster: &LoopbackCluster, client: &mut pprox::core::UserClient| {
+        let (env, ticket) = client.get("newbie").unwrap();
+        let encrypted = cluster.send_get(&env, budget()).expect("get failed");
+        client.open_response(&ticket, &encrypted).unwrap()
+    };
+    let before = recommend(&cluster, &mut client);
+    assert!(
+        !before.is_empty(),
+        "sharded tier must recommend before the kill"
+    );
+
+    // Pin every shard's current allocation, then kill the busiest one
+    // (guaranteed to hold real state under the fixed seed).
+    let shards_before: Vec<Arc<DurableShard>> = memos
+        .iter()
+        .map(|m| m.lock().unwrap().upgrade().expect("shard alive pre-kill"))
+        .collect();
+    let victim = shards_before
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, s)| s.gauges().events)
+        .map(|(i, _)| i)
+        .expect("at least one shard");
+    let victim_events = shards_before[victim].gauges().events;
+    assert!(
+        victim_events > 0,
+        "victim must hold state for the drill to bite"
+    );
+    let victim_weak = Arc::downgrade(&shards_before[victim]);
+    drop(shards_before[victim].clone()); // no hidden strong handles below
+    let siblings: Vec<(usize, Arc<DurableShard>)> = shards_before
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != victim)
+        .map(|(i, s)| (i, s.clone()))
+        .collect();
+    drop(shards_before);
+
+    cluster.kill_lrs(victim);
+    assert!(
+        victim_weak.upgrade().is_none(),
+        "the kill must drop the victim's in-memory state"
+    );
+    assert!(
+        cluster.wait_ready(Duration::from_secs(20)),
+        "supervisor must bring the shard back"
+    );
+    assert!(cluster.respawns() >= 1);
+
+    // Only the victim was rebuilt — and it came from disk, not memory.
+    for (slot, opened) in opens.iter().enumerate() {
+        let expected = if slot == victim { 2 } else { 1 };
+        assert_eq!(
+            opened.load(Ordering::Relaxed),
+            expected,
+            "slot {slot} rebuilt the wrong number of times"
+        );
+    }
+    let revived = memos[victim]
+        .lock()
+        .unwrap()
+        .upgrade()
+        .expect("respawned shard must be live");
+    let stats = revived.recovery();
+    assert!(
+        !stats.cold_start,
+        "recovery must unseal the existing shard store"
+    );
+    assert_eq!(
+        (stats.snapshot_events + stats.replayed) as u64,
+        victim_events,
+        "snapshot + WAL replay must restore exactly this shard's events"
+    );
+
+    // Siblings were never touched: same allocations, same state.
+    for (slot, pre) in &siblings {
+        let now = memos[*slot]
+            .lock()
+            .unwrap()
+            .upgrade()
+            .expect("sibling shard must still be live");
+        assert!(
+            Arc::ptr_eq(pre, &now),
+            "sibling shard {slot} was rebuilt by an unrelated kill"
+        );
+    }
+
+    // Readmission under the old slot id: routing is unchanged, so the
+    // same query returns byte-identical recommendations.
+    let after = recommend(&cluster, &mut client);
+    assert_eq!(after, before, "readmitted shard must answer identically");
+
+    // And the tier keeps accepting writes.
+    let env = client.post("sci-0", "contact", Some(5.0)).unwrap();
     cluster.send_post(&env, budget()).unwrap();
     cluster.shutdown();
 }
